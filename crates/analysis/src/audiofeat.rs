@@ -1,0 +1,210 @@
+//! Audio feature extraction for content classification.
+//!
+//! Paper §5: *"Audio content analysis has been used to categorize and
+//! search for music. Algorithms have had some success in categorizing
+//! music into categories and identifying salient features."* These are
+//! the classic short-time features such systems use: zero-crossing rate,
+//! energy, spectral centroid, rolloff, and flux.
+
+use signal::fft::Fft;
+use signal::window::{Window, WindowKind};
+
+/// The feature vector for one analysis window.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AudioFeatures {
+    /// Zero crossings per sample (0..1).
+    pub zero_crossing_rate: f64,
+    /// Mean squared amplitude.
+    pub energy: f64,
+    /// Spectral centroid as a fraction of Nyquist (0..1).
+    pub centroid: f64,
+    /// Frequency (fraction of Nyquist) below which 85% of power lies.
+    pub rolloff: f64,
+    /// L2 distance between consecutive normalized power spectra.
+    pub flux: f64,
+}
+
+impl AudioFeatures {
+    /// Features as a fixed array (for distance computations).
+    #[must_use]
+    pub fn as_array(&self) -> [f64; 5] {
+        [
+            self.zero_crossing_rate,
+            self.energy,
+            self.centroid,
+            self.rolloff,
+            self.flux,
+        ]
+    }
+}
+
+/// Streaming feature extractor over fixed-size windows.
+#[derive(Debug, Clone)]
+pub struct FeatureExtractor {
+    window_len: usize,
+    fft: Fft,
+    window: Window,
+    prev_spectrum: Option<Vec<f64>>,
+}
+
+impl FeatureExtractor {
+    /// Creates an extractor for power-of-two windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_len` is not a power of two.
+    #[must_use]
+    pub fn new(window_len: usize) -> Self {
+        Self {
+            window_len,
+            fft: Fft::new(window_len),
+            window: Window::new(WindowKind::Hann, window_len),
+            prev_spectrum: None,
+        }
+    }
+
+    /// The configured window length.
+    #[must_use]
+    pub fn window_len(&self) -> usize {
+        self.window_len
+    }
+
+    /// Extracts features from one window of samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples.len() != window_len`.
+    pub fn extract(&mut self, samples: &[f64]) -> AudioFeatures {
+        assert_eq!(samples.len(), self.window_len, "window length mismatch");
+        // Time-domain features.
+        let zc = samples
+            .windows(2)
+            .filter(|w| (w[0] >= 0.0) != (w[1] >= 0.0))
+            .count() as f64
+            / (samples.len() - 1) as f64;
+        let energy = samples.iter().map(|v| v * v).sum::<f64>() / samples.len() as f64;
+
+        // Spectral features.
+        let windowed = self.window.applied(samples);
+        let power = self.fft.power_spectrum(&windowed);
+        let total: f64 = power.iter().sum::<f64>().max(1e-30);
+        let centroid = power
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| i as f64 * p)
+            .sum::<f64>()
+            / total
+            / (power.len() - 1) as f64;
+        let mut acc = 0.0;
+        let mut rolloff = 1.0;
+        for (i, &p) in power.iter().enumerate() {
+            acc += p;
+            if acc >= 0.85 * total {
+                rolloff = i as f64 / (power.len() - 1) as f64;
+                break;
+            }
+        }
+        let norm: Vec<f64> = power.iter().map(|&p| p / total).collect();
+        let flux = match &self.prev_spectrum {
+            Some(prev) => prev
+                .iter()
+                .zip(&norm)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt(),
+            None => 0.0,
+        };
+        self.prev_spectrum = Some(norm);
+
+        AudioFeatures {
+            zero_crossing_rate: zc,
+            energy,
+            centroid,
+            rolloff,
+            flux,
+        }
+    }
+
+    /// Extracts features for every full window in `samples` (hop =
+    /// window length).
+    pub fn extract_all(&mut self, samples: &[f64]) -> Vec<AudioFeatures> {
+        samples
+            .chunks_exact(self.window_len)
+            .map(|w| self.extract(w))
+            .collect()
+    }
+
+    /// Clears the flux history.
+    pub fn reset(&mut self) {
+        self.prev_spectrum = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use signal::gen::{SignalGen, ToneSpec};
+
+    #[test]
+    fn noise_has_higher_zcr_than_low_tone() {
+        let mut g = SignalGen::new(61);
+        let mut fx = FeatureExtractor::new(1024);
+        let tone = g.tone(&ToneSpec::new(200.0, 1.0), 8000.0, 1024);
+        let noise = g.white_noise(1.0, 1024);
+        let ft = fx.extract(&tone);
+        fx.reset();
+        let fun = fx.extract(&noise);
+        assert!(fun.zero_crossing_rate > 3.0 * ft.zero_crossing_rate);
+    }
+
+    #[test]
+    fn centroid_tracks_tone_frequency() {
+        let mut g = SignalGen::new(62);
+        let mut fx = FeatureExtractor::new(1024);
+        let low = fx.extract(&g.tone(&ToneSpec::new(300.0, 1.0), 8000.0, 1024));
+        fx.reset();
+        let high = fx.extract(&g.tone(&ToneSpec::new(3000.0, 1.0), 8000.0, 1024));
+        assert!(high.centroid > 5.0 * low.centroid);
+        // 3000 Hz / 4000 Hz Nyquist = 0.75.
+        assert!((high.centroid - 0.75).abs() < 0.05, "{}", high.centroid);
+    }
+
+    #[test]
+    fn noise_rolloff_exceeds_tone_rolloff() {
+        let mut g = SignalGen::new(63);
+        let mut fx = FeatureExtractor::new(1024);
+        let tone = fx.extract(&g.tone(&ToneSpec::new(500.0, 1.0), 8000.0, 1024));
+        fx.reset();
+        let noise = fx.extract(&g.white_noise(1.0, 1024));
+        assert!(noise.rolloff > 2.0 * tone.rolloff);
+    }
+
+    #[test]
+    fn flux_small_within_steady_tone_large_across_change() {
+        let mut g = SignalGen::new(64);
+        let mut fx = FeatureExtractor::new(512);
+        let a = g.tone(&ToneSpec::new(400.0, 1.0), 8000.0, 512);
+        let b = g.tone(&ToneSpec::new(400.0, 1.0), 8000.0, 512);
+        let c = g.white_noise(1.0, 512);
+        fx.extract(&a);
+        let steady = fx.extract(&b);
+        let change = fx.extract(&c);
+        assert!(change.flux > 3.0 * steady.flux);
+    }
+
+    #[test]
+    fn extract_all_windows_count() {
+        let mut g = SignalGen::new(65);
+        let mut fx = FeatureExtractor::new(256);
+        let x = g.white_noise(1.0, 256 * 5 + 100);
+        assert_eq!(fx.extract_all(&x).len(), 5);
+    }
+
+    #[test]
+    fn silence_features_are_near_zero() {
+        let mut fx = FeatureExtractor::new(256);
+        let f = fx.extract(&vec![0.0; 256]);
+        assert_eq!(f.energy, 0.0);
+        assert_eq!(f.zero_crossing_rate, 0.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Black-frame detection — the Replay DVR's commercial cue.
+//!
+//! Paper §5: *"Replay uses black frames between programs and commercials
+//! to identify television."* A frame is black when its mean luma is low
+//! *and* its luma spread is small (a dark night scene has low mean but
+//! high spread; a separator frame has neither).
+
+use video::frame::Frame;
+
+/// Detector thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlackFrameConfig {
+    /// Maximum mean luma for a black frame.
+    pub max_mean_luma: f64,
+    /// Maximum luma standard deviation for a black frame.
+    pub max_luma_std: f64,
+}
+
+impl Default for BlackFrameConfig {
+    /// Mean ≤ 32, standard deviation ≤ 12 — tolerant of broadcast noise.
+    fn default() -> Self {
+        Self {
+            max_mean_luma: 32.0,
+            max_luma_std: 12.0,
+        }
+    }
+}
+
+/// The black-frame detector.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlackFrameDetector {
+    config: BlackFrameConfig,
+}
+
+impl BlackFrameDetector {
+    /// Creates a detector with the given thresholds.
+    #[must_use]
+    pub fn new(config: BlackFrameConfig) -> Self {
+        Self { config }
+    }
+
+    /// The thresholds.
+    #[must_use]
+    pub fn config(&self) -> &BlackFrameConfig {
+        &self.config
+    }
+
+    /// `true` if `frame` is a black separator frame.
+    #[must_use]
+    pub fn is_black(&self, frame: &Frame) -> bool {
+        let mean = frame.mean_luma();
+        if mean > self.config.max_mean_luma {
+            return false;
+        }
+        let var = frame
+            .luma()
+            .iter()
+            .map(|&v| {
+                let d = v as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / frame.luma().len() as f64;
+        var.sqrt() <= self.config.max_luma_std
+    }
+
+    /// Per-frame black flags for a sequence.
+    #[must_use]
+    pub fn scan(&self, frames: &[Frame]) -> Vec<bool> {
+        frames.iter().map(|f| self.is_black(f)).collect()
+    }
+
+    /// Runs of consecutive black frames of at least `min_run` frames,
+    /// returned as `(start, len)` pairs.
+    #[must_use]
+    pub fn black_runs(&self, frames: &[Frame], min_run: usize) -> Vec<(usize, usize)> {
+        let flags = self.scan(frames);
+        let mut runs = Vec::new();
+        let mut start = None;
+        for (i, &b) in flags.iter().enumerate() {
+            match (b, start) {
+                (true, None) => start = Some(i),
+                (false, Some(s)) => {
+                    if i - s >= min_run {
+                        runs.push((s, i - s));
+                    }
+                    start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = start {
+            if flags.len() - s >= min_run {
+                runs.push((s, flags.len() - s));
+            }
+        }
+        runs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use video::synth::SequenceGen;
+
+    #[test]
+    fn detects_true_black_frames() {
+        let det = BlackFrameDetector::default();
+        assert!(det.is_black(&Frame::black(32, 32).unwrap()));
+        assert!(!det.is_black(&Frame::grey(32, 32).unwrap()));
+    }
+
+    #[test]
+    fn dark_textured_scene_is_not_black() {
+        let mut g = SequenceGen::new(31);
+        let mut f = g.textured_frame(32, 32);
+        // Darken but keep the texture: subtract uniformly.
+        for v in f.luma_mut() {
+            *v = v.saturating_sub(100);
+        }
+        let det = BlackFrameDetector::default();
+        // Mean may be low, but spread keeps it from reading as a separator.
+        if f.mean_luma() <= det.config().max_mean_luma {
+            assert!(!det.is_black(&f), "textured dark frame misread as black");
+        }
+    }
+
+    #[test]
+    fn noisy_black_frames_still_detected() {
+        let mut g = SequenceGen::new(32);
+        let mut f = Frame::black(32, 32).unwrap();
+        g.add_noise(&mut f, 4.0);
+        assert!(BlackFrameDetector::default().is_black(&f));
+    }
+
+    #[test]
+    fn black_runs_found_with_min_length() {
+        let mut g = SequenceGen::new(33);
+        let mut frames = Vec::new();
+        frames.extend((0..5).map(|_| g.textured_frame(32, 32)));
+        frames.extend((0..3).map(|_| Frame::black(32, 32).unwrap()));
+        frames.extend((0..4).map(|_| g.textured_frame(32, 32)));
+        frames.push(Frame::black(32, 32).unwrap()); // single, below min_run
+        frames.extend((0..2).map(|_| g.textured_frame(32, 32)));
+        let runs = BlackFrameDetector::default().black_runs(&frames, 2);
+        assert_eq!(runs, vec![(5, 3)]);
+    }
+
+    #[test]
+    fn trailing_run_is_reported() {
+        let mut g = SequenceGen::new(34);
+        let mut frames = vec![g.textured_frame(32, 32)];
+        frames.extend((0..3).map(|_| Frame::black(32, 32).unwrap()));
+        let runs = BlackFrameDetector::default().black_runs(&frames, 2);
+        assert_eq!(runs, vec![(1, 3)]);
+    }
+
+    #[test]
+    fn scan_length_matches_input() {
+        let mut g = SequenceGen::new(35);
+        let frames: Vec<_> = (0..7).map(|_| g.textured_frame(32, 32)).collect();
+        assert_eq!(BlackFrameDetector::default().scan(&frames).len(), 7);
+    }
+}

@@ -1,0 +1,247 @@
+//! Audio class recognition: a nearest-centroid classifier over the
+//! short-time features.
+//!
+//! Paper §5: music categorization "can then be used to recommend similar
+//! pieces of music" and is "generally conducted off-line on a server" —
+//! the classifier here is deliberately lightweight, the kind of model a
+//! consumer MPSoC could also run locally.
+
+use crate::audiofeat::{AudioFeatures, FeatureExtractor};
+
+/// Audio content classes distinguished by the classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AudioClass {
+    /// Speech-like: alternating voiced/unvoiced, moderate ZCR, bursty.
+    Speech,
+    /// Music-like: harmonic, steady, low flux.
+    Music,
+    /// Noise-like: broadband, high ZCR and rolloff.
+    Noise,
+}
+
+impl core::fmt::Display for AudioClass {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            AudioClass::Speech => "speech",
+            AudioClass::Music => "music",
+            AudioClass::Noise => "noise",
+        })
+    }
+}
+
+/// A trained nearest-centroid model.
+#[derive(Debug, Clone)]
+pub struct Classifier {
+    centroids: Vec<(AudioClass, [f64; 5])>,
+    /// Per-dimension scale for normalized distance.
+    scale: [f64; 5],
+    window_len: usize,
+}
+
+/// Errors from training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainError {
+    /// A class had no training windows.
+    EmptyClass(AudioClass),
+    /// No training data at all.
+    NoData,
+}
+
+impl core::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TrainError::EmptyClass(c) => write!(f, "no training windows for class {c}"),
+            TrainError::NoData => f.write_str("no training data"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl Classifier {
+    /// Trains centroids from labelled signals. Each `(class, samples)`
+    /// pair is windowed and averaged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError`] if any class contributes no full window.
+    pub fn train(
+        window_len: usize,
+        data: &[(AudioClass, &[f64])],
+    ) -> Result<Self, TrainError> {
+        if data.is_empty() {
+            return Err(TrainError::NoData);
+        }
+        let mut centroids = Vec::new();
+        let mut all_features: Vec<[f64; 5]> = Vec::new();
+        for &(class, samples) in data {
+            let mut fx = FeatureExtractor::new(window_len);
+            let feats = fx.extract_all(samples);
+            if feats.is_empty() {
+                return Err(TrainError::EmptyClass(class));
+            }
+            let mut mean = [0.0f64; 5];
+            for f in &feats {
+                for (m, v) in mean.iter_mut().zip(f.as_array()) {
+                    *m += v;
+                }
+                all_features.push(f.as_array());
+            }
+            for m in &mut mean {
+                *m /= feats.len() as f64;
+            }
+            centroids.push((class, mean));
+        }
+        // Normalize dimensions by their global spread so energy (large
+        // dynamic range) does not drown ZCR.
+        let mut scale = [1.0f64; 5];
+        for d in 0..5 {
+            let vals: Vec<f64> = all_features.iter().map(|f| f[d]).collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                / vals.len() as f64;
+            scale[d] = var.sqrt().max(1e-9);
+        }
+        Ok(Self {
+            centroids,
+            scale,
+            window_len,
+        })
+    }
+
+    /// The analysis window length.
+    #[must_use]
+    pub fn window_len(&self) -> usize {
+        self.window_len
+    }
+
+    /// Classifies one feature vector.
+    #[must_use]
+    pub fn classify_features(&self, f: &AudioFeatures) -> AudioClass {
+        let fa = f.as_array();
+        self.centroids
+            .iter()
+            .min_by(|a, b| {
+                let da = self.distance(&fa, &a.1);
+                let db = self.distance(&fa, &b.1);
+                da.total_cmp(&db)
+            })
+            .map(|(c, _)| *c)
+            .expect("classifier always has centroids")
+    }
+
+    /// Classifies a signal by majority vote over its windows. Returns
+    /// `None` if the signal is shorter than one window.
+    #[must_use]
+    pub fn classify(&self, samples: &[f64]) -> Option<AudioClass> {
+        let mut fx = FeatureExtractor::new(self.window_len);
+        let feats = fx.extract_all(samples);
+        if feats.is_empty() {
+            return None;
+        }
+        let mut votes: std::collections::HashMap<AudioClass, usize> =
+            std::collections::HashMap::new();
+        for f in &feats {
+            *votes.entry(self.classify_features(f)).or_insert(0) += 1;
+        }
+        votes.into_iter().max_by_key(|&(_, n)| n).map(|(c, _)| c)
+    }
+
+    fn distance(&self, a: &[f64; 5], b: &[f64; 5]) -> f64 {
+        (0..5)
+            .map(|d| {
+                let diff = (a[d] - b[d]) / self.scale[d];
+                diff * diff
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use signal::gen::SignalGen;
+
+    const FS: f64 = 8000.0;
+    const WIN: usize = 512;
+
+    fn corpus(seed: u64, len: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let mut g = SignalGen::new(seed);
+        let (speech, _) = g.speech_sentence(FS, len);
+        let music = g.music(261.0, FS, len);
+        let noise = g.white_noise(0.4, len);
+        (speech, music, noise)
+    }
+
+    #[test]
+    fn separates_the_three_classes() {
+        let (speech, music, noise) = corpus(71, 8192);
+        let clf = Classifier::train(
+            WIN,
+            &[
+                (AudioClass::Speech, &speech),
+                (AudioClass::Music, &music),
+                (AudioClass::Noise, &noise),
+            ],
+        )
+        .unwrap();
+        // Held-out data from different seeds.
+        let (s2, m2, n2) = corpus(72, 8192);
+        assert_eq!(clf.classify(&s2), Some(AudioClass::Speech));
+        assert_eq!(clf.classify(&m2), Some(AudioClass::Music));
+        assert_eq!(clf.classify(&n2), Some(AudioClass::Noise));
+    }
+
+    #[test]
+    fn accuracy_beats_chance_across_seeds() {
+        let (speech, music, noise) = corpus(73, 8192);
+        let clf = Classifier::train(
+            WIN,
+            &[
+                (AudioClass::Speech, &speech),
+                (AudioClass::Music, &music),
+                (AudioClass::Noise, &noise),
+            ],
+        )
+        .unwrap();
+        let mut correct = 0;
+        let mut total = 0;
+        for seed in 80..90 {
+            let (s, m, n) = corpus(seed, 4096);
+            for (truth, x) in [
+                (AudioClass::Speech, s),
+                (AudioClass::Music, m),
+                (AudioClass::Noise, n),
+            ] {
+                total += 1;
+                if clf.classify(&x) == Some(truth) {
+                    correct += 1;
+                }
+            }
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.7, "accuracy {acc:.2} barely beats chance (0.33)");
+    }
+
+    #[test]
+    fn short_input_returns_none() {
+        let (speech, music, noise) = corpus(74, 4096);
+        let clf = Classifier::train(
+            WIN,
+            &[
+                (AudioClass::Speech, &speech),
+                (AudioClass::Music, &music),
+                (AudioClass::Noise, &noise),
+            ],
+        )
+        .unwrap();
+        assert_eq!(clf.classify(&[0.0; 10]), None);
+    }
+
+    #[test]
+    fn empty_class_rejected() {
+        let err = Classifier::train(WIN, &[(AudioClass::Music, &[0.0; 8][..])]).unwrap_err();
+        assert_eq!(err, TrainError::EmptyClass(AudioClass::Music));
+        assert_eq!(Classifier::train(WIN, &[]).unwrap_err(), TrainError::NoData);
+    }
+}

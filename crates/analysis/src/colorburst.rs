@@ -1,0 +1,121 @@
+//! Color-presence detection — the early VCR commercial cue.
+//!
+//! Paper §5: *"Early VCR add-ons identified commercials using the color
+//! burst, under the assumption that many movies on broadcast TV were
+//! black-and-white while the commercials were in color."* In the digital
+//! domain the analogue of the color burst is chroma saturation: a
+//! monochrome program sits at Cb = Cr = 128, a commercial does not.
+
+use video::frame::Frame;
+
+/// Classification of a frame's colorfulness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColorClass {
+    /// Essentially no chroma content.
+    Monochrome,
+    /// Clear chroma content.
+    Color,
+}
+
+/// Chroma-saturation threshold detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColorBurstDetector {
+    /// Mean chroma deviation above which a frame counts as color.
+    pub threshold: f64,
+}
+
+impl Default for ColorBurstDetector {
+    /// Threshold 6.0 — tolerant of slight chroma noise on B&W material.
+    fn default() -> Self {
+        Self { threshold: 6.0 }
+    }
+}
+
+impl ColorBurstDetector {
+    /// Creates a detector with an explicit threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is negative.
+    #[must_use]
+    pub fn new(threshold: f64) -> Self {
+        assert!(threshold >= 0.0, "threshold must be non-negative");
+        Self { threshold }
+    }
+
+    /// Classifies one frame.
+    #[must_use]
+    pub fn classify(&self, frame: &Frame) -> ColorClass {
+        if frame.chroma_saturation() > self.threshold {
+            ColorClass::Color
+        } else {
+            ColorClass::Monochrome
+        }
+    }
+
+    /// Flags the frames that would be skipped under the old-VCR rule
+    /// ("skip everything in color"). Only meaningful when the program
+    /// really is monochrome — the assumption the paper calls out.
+    #[must_use]
+    pub fn color_frames(&self, frames: &[Frame]) -> Vec<bool> {
+        frames
+            .iter()
+            .map(|f| self.classify(f) == ColorClass::Color)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use video::synth::SequenceGen;
+
+    #[test]
+    fn monochrome_vs_color() {
+        let mut g = SequenceGen::new(36);
+        let det = ColorBurstDetector::default();
+        assert_eq!(det.classify(&g.monochrome_frame(32, 32)), ColorClass::Monochrome);
+        assert_eq!(det.classify(&g.commercial_frame(32, 32)), ColorClass::Color);
+    }
+
+    #[test]
+    fn rule_works_on_bw_programs_fails_on_color_programs() {
+        let mut g = SequenceGen::new(37);
+        let det = ColorBurstDetector::default();
+        // B&W program + color commercials: rule separates them.
+        let (bw_frames, bw_labels) = g.broadcast(32, 32, 6, 4, 1, 1, true, 1.0);
+        let flags = det.color_frames(&bw_frames);
+        let mut correct = 0;
+        for (flag, label) in flags.iter().zip(&bw_labels) {
+            let is_commercial = matches!(label, video::synth::BroadcastLabel::Commercial { .. });
+            if *flag == is_commercial
+                || matches!(label, video::synth::BroadcastLabel::Black)
+            {
+                correct += 1;
+            }
+        }
+        assert!(
+            correct as f64 / flags.len() as f64 > 0.9,
+            "rule should work on B&W programs"
+        );
+
+        // Color program: every program frame is also flagged -> rule broken.
+        let (color_frames_seq, labels) = g.broadcast(32, 32, 6, 4, 1, 1, false, 1.0);
+        let flags = det.color_frames(&color_frames_seq);
+        let program_flagged = flags
+            .iter()
+            .zip(&labels)
+            .filter(|(f, l)| **f && matches!(l, video::synth::BroadcastLabel::Program { .. }))
+            .count();
+        assert!(
+            program_flagged > 0,
+            "color programs must defeat the color-burst rule (the paper's point)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_threshold_panics() {
+        let _ = ColorBurstDetector::new(-1.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Commercial-break detection — the DVR feature of paper §5.
+//!
+//! *"The Replay (TM) digital video recorder, for example, automatically
+//! identifies commercials and skips them."* The detector combines the
+//! black-frame separator cue with break-length plausibility: a commercial
+//! break is a region bracketed by black-frame runs whose length sits in a
+//! plausible range. Frames inside detected breaks (and the separators
+//! themselves) are marked skippable.
+
+use video::frame::Frame;
+use video::synth::BroadcastLabel;
+
+use crate::blackframe::{BlackFrameConfig, BlackFrameDetector};
+
+/// Detector configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommercialConfig {
+    /// Black-frame thresholds.
+    pub black: BlackFrameConfig,
+    /// Minimum consecutive black frames to count as a separator.
+    pub min_black_run: usize,
+    /// Minimum frames between separators to count as a break body.
+    pub min_break_len: usize,
+    /// Maximum frames between separators to count as a break body.
+    pub max_break_len: usize,
+}
+
+impl Default for CommercialConfig {
+    /// Separators of ≥2 black frames; break bodies of 2..=120 frames.
+    /// `max_break_len` is the load-bearing prior: it must sit below the
+    /// typical program-segment length, otherwise the span between one
+    /// break's trailing separator and the next break's leading separator
+    /// would itself look like a break.
+    fn default() -> Self {
+        Self {
+            black: BlackFrameConfig::default(),
+            min_black_run: 2,
+            min_break_len: 2,
+            max_break_len: 120,
+        }
+    }
+}
+
+/// A detected skippable interval `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkipInterval {
+    /// First skippable frame.
+    pub start: usize,
+    /// One past the last skippable frame.
+    pub end: usize,
+}
+
+impl SkipInterval {
+    /// Interval length in frames.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` for an empty interval.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// The commercial detector.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CommercialDetector {
+    config: CommercialConfig,
+}
+
+impl CommercialDetector {
+    /// Creates a detector.
+    #[must_use]
+    pub fn new(config: CommercialConfig) -> Self {
+        Self { config }
+    }
+
+    /// Finds skippable intervals: each pair of *consecutive* black-frame
+    /// runs whose gap length is plausible (short enough to be a break
+    /// body, not a program segment) becomes
+    /// `[first_run.start, second_run.end)`. Overlapping intervals are
+    /// merged, so a break containing several spots separated by black
+    /// chains into one interval.
+    #[must_use]
+    pub fn detect(&self, frames: &[Frame]) -> Vec<SkipInterval> {
+        let runs = BlackFrameDetector::new(self.config.black)
+            .black_runs(frames, self.config.min_black_run);
+        let mut intervals: Vec<SkipInterval> = Vec::new();
+        for w in runs.windows(2) {
+            let (s1, l1) = w[0];
+            let (s2, l2) = w[1];
+            let gap = s2 - (s1 + l1);
+            if gap >= self.config.min_break_len && gap <= self.config.max_break_len {
+                intervals.push(SkipInterval {
+                    start: s1,
+                    end: s2 + l2,
+                });
+            }
+        }
+        // Merge overlaps.
+        intervals.sort_by_key(|iv| iv.start);
+        let mut merged: Vec<SkipInterval> = Vec::new();
+        for iv in intervals {
+            match merged.last_mut() {
+                Some(last) if iv.start <= last.end => last.end = last.end.max(iv.end),
+                _ => merged.push(iv),
+            }
+        }
+        merged
+    }
+
+    /// Per-frame skip flags.
+    #[must_use]
+    pub fn skip_flags(&self, frames: &[Frame]) -> Vec<bool> {
+        let mut flags = vec![false; frames.len()];
+        for iv in self.detect(frames) {
+            for f in flags.iter_mut().take(iv.end.min(frames.len())).skip(iv.start) {
+                *f = true;
+            }
+        }
+        flags
+    }
+
+    /// Scores skip flags against broadcast ground truth, frame by frame.
+    #[must_use]
+    pub fn score(flags: &[bool], labels: &[BroadcastLabel]) -> signal::stats::Detection {
+        let mut tp = 0;
+        let mut fp = 0;
+        let mut fn_ = 0;
+        for (flag, label) in flags.iter().zip(labels) {
+            match (flag, label.is_skippable()) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, true) => fn_ += 1,
+                (false, false) => {}
+            }
+        }
+        signal::stats::Detection::new(tp, fp, fn_)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use video::synth::SequenceGen;
+
+    #[test]
+    fn clean_broadcast_breaks_found() {
+        let mut g = SequenceGen::new(51);
+        let (frames, labels) = g.broadcast(32, 32, 150, 12, 2, 3, false, 1.0);
+        let det = CommercialDetector::default();
+        let flags = det.skip_flags(&frames);
+        let score = CommercialDetector::score(&flags, &labels);
+        assert!(score.f1() > 0.95, "clean broadcast: {score}");
+    }
+
+    #[test]
+    fn noisy_broadcast_still_detected() {
+        let mut g = SequenceGen::new(52);
+        let (frames, labels) = g.broadcast(32, 32, 140, 10, 3, 3, false, 5.0);
+        let det = CommercialDetector::default();
+        let flags = det.skip_flags(&frames);
+        let score = CommercialDetector::score(&flags, &labels);
+        assert!(score.f1() > 0.9, "noisy broadcast: {score}");
+    }
+
+    #[test]
+    fn program_without_breaks_is_untouched() {
+        let mut g = SequenceGen::new(53);
+        let frames = g.panning_sequence(32, 32, 30, 1, 0);
+        let det = CommercialDetector::default();
+        assert!(det.detect(&frames).is_empty());
+        assert!(det.skip_flags(&frames).iter().all(|&f| !f));
+    }
+
+    #[test]
+    fn implausibly_long_gaps_are_rejected() {
+        let mut g = SequenceGen::new(54);
+        let det = CommercialDetector::new(CommercialConfig {
+            max_break_len: 5,
+            ..Default::default()
+        });
+        // Break body of 12 frames exceeds max_break_len = 5.
+        let (frames, _) = g.broadcast(32, 32, 10, 12, 1, 3, false, 0.5);
+        assert!(det.detect(&frames).is_empty());
+    }
+
+    #[test]
+    fn intervals_merge_for_multi_spot_breaks() {
+        let mut g = SequenceGen::new(55);
+        // Two breaks close together: black-program-black-commercial-black…
+        let (frames, _) = g.broadcast(32, 32, 8, 6, 3, 2, false, 0.5);
+        let det = CommercialDetector::default();
+        let intervals = det.detect(&frames);
+        for w in intervals.windows(2) {
+            assert!(w[0].end <= w[1].start, "intervals must not overlap after merge");
+        }
+    }
+
+    #[test]
+    fn score_counts_frame_level_errors() {
+        use video::synth::BroadcastLabel as L;
+        let flags = [true, true, false, false];
+        let labels = [
+            L::Commercial { spot: 0 },
+            L::Program { scene: 0 },
+            L::Commercial { spot: 0 },
+            L::Program { scene: 0 },
+        ];
+        let d = CommercialDetector::score(&flags, &labels);
+        assert_eq!((d.tp, d.fp, d.fn_), (1, 1, 1));
+    }
+}

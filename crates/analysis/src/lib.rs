@@ -1,0 +1,40 @@
+//! # `analysis` — the content-analysis systems of Wolf's §5
+//!
+//! *"Content analysis tools use characteristics of the multimedia material
+//! to classify the material either as a whole or into its constituent
+//! components."* This crate implements every example the paper names:
+//!
+//! * [`blackframe`] — the Replay DVR's black-frame separator cue.
+//! * [`colorburst`] — the early-VCR "commercials are in color" rule,
+//!   including the failure mode the paper implies (color programs).
+//! * [`commercial`] — the full commercial-break detector built from the
+//!   separator cue, scored against broadcast ground truth (E9).
+//! * [`shots`] — histogram-based shot-boundary detection and scene
+//!   segmentation ("parse television content into segments", E10).
+//! * [`audiofeat`] + [`classify`] — music/speech/noise categorization
+//!   from short-time audio features (E11).
+//!
+//! # Example
+//!
+//! ```
+//! use analysis::commercial::CommercialDetector;
+//! use video::synth::SequenceGen;
+//!
+//! let (frames, labels) = SequenceGen::new(1).broadcast(32, 32, 12, 8, 1, 3, false, 1.0);
+//! let det = CommercialDetector::default();
+//! let flags = det.skip_flags(&frames);
+//! let score = CommercialDetector::score(&flags, &labels);
+//! assert!(score.f1() > 0.9);
+//! ```
+
+pub mod audiofeat;
+pub mod blackframe;
+pub mod classify;
+pub mod colorburst;
+pub mod commercial;
+pub mod shots;
+
+pub use blackframe::BlackFrameDetector;
+pub use classify::{AudioClass, Classifier};
+pub use commercial::CommercialDetector;
+pub use shots::ShotDetector;

@@ -1,0 +1,223 @@
+//! Shot-boundary (cut) detection and scene segmentation.
+//!
+//! Paper §5: *"A number of research groups have developed algorithms that
+//! can parse various types of television content into segments. Such
+//! algorithms would allow a viewer to skip an interview segment, for
+//! example."* The detector uses the classic luma-histogram-difference
+//! cue: a hard cut replaces the scene's intensity distribution wholesale,
+//! while motion within a shot barely moves it.
+
+use video::frame::Frame;
+
+/// Shot detector configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShotConfig {
+    /// Histogram L1 distance above which a frame pair is a cut.
+    pub cut_threshold: f64,
+    /// Minimum frames between reported cuts (debounce).
+    pub min_shot_len: usize,
+}
+
+impl Default for ShotConfig {
+    /// Threshold 0.3 on L1 histogram distance, shots at least 3 frames.
+    fn default() -> Self {
+        Self {
+            cut_threshold: 0.3,
+            min_shot_len: 3,
+        }
+    }
+}
+
+/// L1 distance between two normalized histograms (0 = identical, 2 =
+/// disjoint).
+#[must_use]
+pub fn histogram_distance(a: &[f64; 64], b: &[f64; 64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Histogram-based shot detector.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShotDetector {
+    config: ShotConfig,
+}
+
+/// A contiguous shot: `[start, end)` frame indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shot {
+    /// First frame of the shot.
+    pub start: usize,
+    /// One past the last frame.
+    pub end: usize,
+}
+
+impl Shot {
+    /// Number of frames in the shot.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` if the shot is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+impl ShotDetector {
+    /// Creates a detector.
+    #[must_use]
+    pub fn new(config: ShotConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &ShotConfig {
+        &self.config
+    }
+
+    /// Frame indices where a new shot begins (a cut between `i-1` and
+    /// `i` reports index `i`).
+    #[must_use]
+    pub fn detect_cuts(&self, frames: &[Frame]) -> Vec<usize> {
+        if frames.len() < 2 {
+            return Vec::new();
+        }
+        let hists: Vec<[f64; 64]> = frames.iter().map(|f| f.luma_histogram()).collect();
+        let mut cuts = Vec::new();
+        let mut last_cut = 0usize;
+        for i in 1..frames.len() {
+            let d = histogram_distance(&hists[i - 1], &hists[i]);
+            if d > self.config.cut_threshold && i - last_cut >= self.config.min_shot_len {
+                cuts.push(i);
+                last_cut = i;
+            }
+        }
+        cuts
+    }
+
+    /// Splits the sequence into shots at the detected cuts.
+    #[must_use]
+    pub fn segment(&self, frames: &[Frame]) -> Vec<Shot> {
+        let cuts = self.detect_cuts(frames);
+        let mut shots = Vec::with_capacity(cuts.len() + 1);
+        let mut start = 0usize;
+        for &c in &cuts {
+            shots.push(Shot { start, end: c });
+            start = c;
+        }
+        if start < frames.len() {
+            shots.push(Shot {
+                start,
+                end: frames.len(),
+            });
+        }
+        shots
+    }
+
+    /// Scores detected cuts against ground truth with a positional
+    /// tolerance, returning the detection tally.
+    #[must_use]
+    pub fn score(
+        detected: &[usize],
+        truth: &[usize],
+        tolerance: usize,
+    ) -> signal::stats::Detection {
+        let mut used = vec![false; detected.len()];
+        let mut tp = 0usize;
+        for &t in truth {
+            let hit = detected.iter().enumerate().find(|(i, &d)| {
+                !used[*i] && d.abs_diff(t) <= tolerance
+            });
+            if let Some((i, _)) = hit {
+                used[i] = true;
+                tp += 1;
+            }
+        }
+        signal::stats::Detection::new(tp, detected.len() - tp, truth.len() - tp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use video::synth::SequenceGen;
+
+    #[test]
+    fn finds_hard_cuts_exactly() {
+        let mut g = SequenceGen::new(41);
+        let (frames, truth) = g.scene_sequence(48, 48, &[6, 7, 5]);
+        let cuts = ShotDetector::default().detect_cuts(&frames);
+        let score = ShotDetector::score(&cuts, &truth, 0);
+        assert!(
+            score.f1() > 0.99,
+            "clean cuts should be found exactly: {score}"
+        );
+    }
+
+    #[test]
+    fn robust_to_moderate_noise() {
+        let mut g = SequenceGen::new(42);
+        let (mut frames, truth) = g.scene_sequence(48, 48, &[8, 8, 8, 8]);
+        for f in &mut frames {
+            g.add_noise(f, 6.0);
+        }
+        let cuts = ShotDetector::default().detect_cuts(&frames);
+        let score = ShotDetector::score(&cuts, &truth, 1);
+        assert!(score.f1() > 0.8, "noise broke the detector: {score}");
+    }
+
+    #[test]
+    fn no_cuts_within_a_panning_shot() {
+        let mut g = SequenceGen::new(43);
+        let frames = g.panning_sequence(48, 48, 12, 2, 1);
+        let cuts = ShotDetector::default().detect_cuts(&frames);
+        assert!(cuts.is_empty(), "panning misread as cuts at {cuts:?}");
+    }
+
+    #[test]
+    fn segments_cover_the_sequence() {
+        let mut g = SequenceGen::new(44);
+        let (frames, _) = g.scene_sequence(48, 48, &[5, 6, 7]);
+        let shots = ShotDetector::default().segment(&frames);
+        assert_eq!(shots.first().unwrap().start, 0);
+        assert_eq!(shots.last().unwrap().end, frames.len());
+        for w in shots.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "shots must tile the sequence");
+        }
+        let total: usize = shots.iter().map(Shot::len).sum();
+        assert_eq!(total, frames.len());
+    }
+
+    #[test]
+    fn debounce_suppresses_adjacent_cuts() {
+        let det = ShotDetector::new(ShotConfig {
+            cut_threshold: 0.0, // everything is a "cut"
+            min_shot_len: 4,
+        });
+        let mut g = SequenceGen::new(45);
+        let frames: Vec<_> = (0..12).map(|_| g.textured_frame(32, 32)).collect();
+        let cuts = det.detect_cuts(&frames);
+        for w in cuts.windows(2) {
+            assert!(w[1] - w[0] >= 4);
+        }
+    }
+
+    #[test]
+    fn score_counts_misses_and_false_alarms() {
+        let d = ShotDetector::score(&[10, 20, 31], &[10, 30, 50], 1);
+        assert_eq!(d.tp, 2); // 10 and 31~30
+        assert_eq!(d.fp, 1); // 20
+        assert_eq!(d.fn_, 1); // 50
+    }
+
+    #[test]
+    fn short_sequences_have_no_cuts() {
+        let mut g = SequenceGen::new(46);
+        assert!(ShotDetector::default()
+            .detect_cuts(&[g.textured_frame(32, 32)])
+            .is_empty());
+        assert!(ShotDetector::default().detect_cuts(&[]).is_empty());
+    }
+}

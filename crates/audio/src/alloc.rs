@@ -1,0 +1,174 @@
+//! Bit allocation: turning signal-to-mask ratios into per-band bit
+//! depths.
+//!
+//! The greedy water-filling allocator repeatedly gives one more bit to the
+//! band whose *need* (SMR minus the SNR already bought, ≈6.02 dB per bit)
+//! is largest — so masked bands (negative SMR) receive bits only after
+//! every audible band is satisfied, which at realistic budgets means
+//! never. The flat allocator is the no-psychoacoustics baseline that
+//! experiment E7 compares against.
+
+use crate::filterbank::BANDS;
+
+/// SNR gained per quantizer bit, dB.
+pub const DB_PER_BIT: f64 = 6.02;
+
+/// Maximum bits per subband sample.
+pub const MAX_BITS: u8 = 15;
+
+/// A per-band bit-depth assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Allocation {
+    /// Bits per sample for each band.
+    pub bits: [u8; BANDS],
+}
+
+impl Allocation {
+    /// Total bits consumed by `granules` samples per band.
+    #[must_use]
+    pub fn total_bits(&self, granules: usize) -> u64 {
+        self.bits.iter().map(|&b| b as u64 * granules as u64).sum()
+    }
+
+    /// Number of bands given zero bits.
+    #[must_use]
+    pub fn zeroed_bands(&self) -> usize {
+        self.bits.iter().filter(|&&b| b == 0).count()
+    }
+}
+
+/// Greedy psychoacoustic allocation: spend `budget_bits` (for one band's
+/// worth of `granules` samples each step) maximizing masking-aware
+/// benefit. Stops early when every band's need drops below `stop_need_db`
+/// (no audible improvement left).
+///
+/// # Panics
+///
+/// Panics if `granules == 0`.
+#[must_use]
+pub fn psychoacoustic(
+    smr_db: &[f64; BANDS],
+    granules: usize,
+    budget_bits: u64,
+    stop_need_db: f64,
+) -> Allocation {
+    assert!(granules > 0, "need at least one granule");
+    let mut bits = [0u8; BANDS];
+    let mut spent = 0u64;
+    let step = granules as u64; // adding 1 bit to a band costs this much
+    loop {
+        // Find the neediest band that can still take a bit.
+        let mut best: Option<(usize, f64)> = None;
+        for b in 0..BANDS {
+            if bits[b] >= MAX_BITS {
+                continue;
+            }
+            let need = smr_db[b] - DB_PER_BIT * bits[b] as f64;
+            if best.map(|(_, n)| need > n).unwrap_or(true) {
+                best = Some((b, need));
+            }
+        }
+        let Some((band, need)) = best else { break };
+        if need < stop_need_db || spent + step > budget_bits {
+            break;
+        }
+        bits[band] += 1;
+        spent += step;
+    }
+    Allocation { bits }
+}
+
+/// Flat baseline: the same depth everywhere, as many bits as the budget
+/// allows, ignoring masking entirely.
+///
+/// # Panics
+///
+/// Panics if `granules == 0`.
+#[must_use]
+pub fn flat(granules: usize, budget_bits: u64) -> Allocation {
+    assert!(granules > 0, "need at least one granule");
+    let per_band = (budget_bits / (BANDS as u64 * granules as u64)).min(MAX_BITS as u64) as u8;
+    Allocation {
+        bits: [per_band; BANDS],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smr_with(values: &[(usize, f64)]) -> [f64; BANDS] {
+        let mut smr = [-20.0; BANDS];
+        for &(b, v) in values {
+            smr[b] = v;
+        }
+        smr
+    }
+
+    #[test]
+    fn masked_bands_get_zero_bits() {
+        let smr = smr_with(&[(3, 40.0), (4, 30.0)]);
+        let alloc = psychoacoustic(&smr, 36, 10_000, 0.0);
+        assert!(alloc.bits[3] > 0);
+        assert!(alloc.bits[4] > 0);
+        for b in 0..BANDS {
+            if b != 3 && b != 4 {
+                assert_eq!(alloc.bits[b], 0, "masked band {b} got bits");
+            }
+        }
+    }
+
+    #[test]
+    fn higher_smr_gets_more_bits() {
+        let smr = smr_with(&[(1, 50.0), (2, 20.0)]);
+        let alloc = psychoacoustic(&smr, 36, 300 * 36, 0.0);
+        assert!(alloc.bits[1] > alloc.bits[2]);
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let smr = [30.0; BANDS];
+        let granules = 36;
+        let budget = 1000;
+        let alloc = psychoacoustic(&smr, granules, budget, -60.0);
+        assert!(alloc.total_bits(granules) <= budget);
+    }
+
+    #[test]
+    fn allocation_stops_at_no_audible_gain() {
+        let smr = smr_with(&[(0, 12.0)]);
+        // Huge budget, but needs drop below 0 after 2 bits (12 - 12.04 < 0).
+        let alloc = psychoacoustic(&smr, 1, 1_000_000, 0.0);
+        assert_eq!(alloc.bits[0], 2);
+    }
+
+    #[test]
+    fn bits_capped_at_max() {
+        let smr = smr_with(&[(0, 500.0)]);
+        let alloc = psychoacoustic(&smr, 1, 1_000_000, 0.0);
+        assert_eq!(alloc.bits[0], MAX_BITS);
+    }
+
+    #[test]
+    fn flat_spreads_evenly() {
+        let alloc = flat(36, 4 * 32 * 36);
+        assert!(alloc.bits.iter().all(|&b| b == 4));
+        assert_eq!(alloc.zeroed_bands(), 0);
+    }
+
+    #[test]
+    fn flat_caps_at_max_bits() {
+        let alloc = flat(1, u64::MAX);
+        assert!(alloc.bits.iter().all(|&b| b == MAX_BITS));
+    }
+
+    #[test]
+    fn total_bits_formula() {
+        let mut bits = [0u8; BANDS];
+        bits[0] = 3;
+        bits[5] = 2;
+        let alloc = Allocation { bits };
+        assert_eq!(alloc.total_bits(10), 50);
+        assert_eq!(alloc.zeroed_bands(), 30);
+    }
+}

@@ -1,0 +1,35 @@
+//! # `audio` — the audio compression systems of Wolf's §4
+//!
+//! Two codecs, matching the two models the paper describes:
+//!
+//! * **MPEG-1-style subband coder** (Figure 2): [`filterbank`] mapper →
+//!   [`psycho`]acoustic model → bit [`alloc`]ation → [`quantizer`] →
+//!   frame packer, all orchestrated by [`encoder`]. Built on *hearing*:
+//!   masked components are simply not transmitted.
+//! * **RPE-LTP speech coder** ([`rpeltp`]): the GSM full-rate structure,
+//!   built on *sound generation* — the voiced/unvoiced source–filter model
+//!   of the human voice.
+//!
+//! # Example
+//!
+//! ```
+//! use audio::encoder::{AudioConfig, AudioEncoder, decode};
+//! use signal::gen::SignalGen;
+//! use signal::metrics::snr;
+//!
+//! let pcm = SignalGen::new(9).music(330.0, 44_100.0, 2 * 1152);
+//! let stream = AudioEncoder::new(AudioConfig::default()).encode(&pcm)?;
+//! let out = decode(&stream.bytes)?;
+//! assert!(snr(&pcm, &out.samples).unwrap() > 10.0);
+//! # Ok::<(), audio::encoder::AudioError>(())
+//! ```
+
+pub mod alloc;
+pub mod encoder;
+pub mod filterbank;
+pub mod psycho;
+pub mod quantizer;
+pub mod rpeltp;
+
+pub use encoder::{decode, AudioConfig, AudioEncoder, AudioError, EncodedAudio};
+pub use rpeltp::RpeLtp;

@@ -1,0 +1,255 @@
+//! The psychoacoustic model of Figure 2.
+//!
+//! Paper §4: *"A key psychoacoustic mechanism exploited by compression is
+//! masking — when one tone is heard, followed by another tone at a nearby
+//! frequency, the second tone cannot be heard for some interval. … The
+//! encoder can eliminate masked tones to reduce the amount of information
+//! that is sent to the decoder."*
+//!
+//! The model analyses each frame with an FFT, folds bin power into the 32
+//! subbands of the mapper, spreads each band's power across its neighbours
+//! (simultaneous masking, asymmetric slopes), applies a masking offset and
+//! an absolute hearing threshold, and reports the signal-to-mask ratio
+//! (SMR) per band. Bands with negative SMR are inaudible — the bit
+//! allocator gives them nothing.
+
+use signal::fft::Fft;
+use signal::window::{Window, WindowKind};
+
+use crate::filterbank::BANDS;
+
+/// Size of the model's FFT.
+pub const FFT_SIZE: usize = 1024;
+
+/// Masking offset in dB (how far below a masker the masked threshold
+/// sits).
+pub const MASK_OFFSET_DB: f64 = 14.0;
+
+/// Spreading slope toward higher bands, dB per band.
+pub const SLOPE_UP_DB: f64 = 15.0;
+
+/// Spreading slope toward lower bands, dB per band.
+pub const SLOPE_DOWN_DB: f64 = 25.0;
+
+/// Absolute threshold of hearing, as linear power (model floor).
+pub const ABSOLUTE_THRESHOLD: f64 = 1e-10;
+
+/// Per-band analysis produced by the model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PsychoAnalysis {
+    /// Linear signal power per band.
+    pub band_power: [f64; BANDS],
+    /// Linear masked threshold per band.
+    pub threshold: [f64; BANDS],
+}
+
+impl PsychoAnalysis {
+    /// Signal-to-mask ratio in dB per band: positive means the band is
+    /// audible above the mask and needs bits; negative means masked.
+    #[must_use]
+    pub fn smr_db(&self) -> [f64; BANDS] {
+        let mut out = [0.0; BANDS];
+        for b in 0..BANDS {
+            out[b] = 10.0
+                * (self.band_power[b].max(1e-30) / self.threshold[b].max(1e-30)).log10();
+        }
+        out
+    }
+
+    /// Indices of masked (inaudible) bands.
+    #[must_use]
+    pub fn masked_bands(&self) -> Vec<usize> {
+        self.smr_db()
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s <= 0.0)
+            .map(|(b, _)| b)
+            .collect()
+    }
+}
+
+/// The psychoacoustic model (plans its FFT once).
+///
+/// # Example
+///
+/// ```
+/// use audio::psycho::PsychoModel;
+/// use signal::gen::{SignalGen, ToneSpec};
+///
+/// // A strong tone in band 4 masks a weak tone in band 5.
+/// let fs = 32_000.0;
+/// let mut g = SignalGen::new(1);
+/// let x = g.tones(
+///     &[ToneSpec::new(2250.0, 1.0), ToneSpec::new(2750.0, 0.01)],
+///     fs,
+///     1024,
+/// );
+/// let model = PsychoModel::new();
+/// let analysis = model.analyse(&x);
+/// assert!(analysis.masked_bands().contains(&5));
+/// assert!(!analysis.masked_bands().contains(&4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PsychoModel {
+    fft: Fft,
+    window: Window,
+}
+
+impl Default for PsychoModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PsychoModel {
+    /// Builds the model.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            fft: Fft::new(FFT_SIZE),
+            window: Window::new(WindowKind::Hann, FFT_SIZE),
+        }
+    }
+
+    /// Analyses one frame. Frames shorter than the FFT are zero-padded;
+    /// longer frames use their first [`FFT_SIZE`] samples.
+    #[must_use]
+    pub fn analyse(&self, frame: &[f64]) -> PsychoAnalysis {
+        let mut buf = vec![0.0; FFT_SIZE];
+        let n = frame.len().min(FFT_SIZE);
+        buf[..n].copy_from_slice(&frame[..n]);
+        self.window.apply(&mut buf);
+        let power = self.fft.power_spectrum(&buf);
+
+        // Fold the FFT's N/2+1 bins into the 32 subbands: band b covers
+        // normalized frequency [b/64, (b+1)/64), i.e. bins
+        // [b*(N/64), (b+1)*(N/64)).
+        let bins_per_band = FFT_SIZE / (2 * BANDS);
+        let mut band_power = [0.0f64; BANDS];
+        for b in 0..BANDS {
+            let lo = b * bins_per_band;
+            let hi = ((b + 1) * bins_per_band).min(power.len());
+            band_power[b] = power[lo..hi].iter().sum();
+        }
+
+        // Spread masking from every band to every other.
+        let mut threshold = [ABSOLUTE_THRESHOLD; BANDS];
+        for masker in 0..BANDS {
+            let p = band_power[masker];
+            if p <= 0.0 {
+                continue;
+            }
+            let p_db = 10.0 * p.log10();
+            for maskee in 0..BANDS {
+                let dist = maskee as f64 - masker as f64;
+                let drop = if dist >= 0.0 {
+                    SLOPE_UP_DB * dist
+                } else {
+                    SLOPE_DOWN_DB * -dist
+                };
+                let t_db = p_db - MASK_OFFSET_DB - drop;
+                let t = 10f64.powf(t_db / 10.0);
+                if t > threshold[maskee] {
+                    threshold[maskee] = t;
+                }
+            }
+        }
+        PsychoAnalysis {
+            band_power,
+            threshold,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use signal::gen::{SignalGen, ToneSpec};
+
+    const FS: f64 = 32_000.0;
+
+    /// Frequency at the centre of subband `b` for FS.
+    fn band_freq(b: usize) -> f64 {
+        (b as f64 + 0.5) / 64.0 * FS
+    }
+
+    #[test]
+    fn single_tone_band_has_positive_smr() {
+        let mut g = SignalGen::new(1);
+        let x = g.tone(&ToneSpec::new(band_freq(6), 0.8), FS, 2048);
+        let a = PsychoModel::new().analyse(&x);
+        let smr = a.smr_db();
+        assert!(smr[6] > 10.0, "tone band SMR {}", smr[6]);
+    }
+
+    #[test]
+    fn weak_neighbour_is_masked_strong_one_is_not() {
+        let mut g = SignalGen::new(2);
+        // 40 dB below the masker, one band up: masked (offset 14 + slope 15
+        // = threshold 29 dB below masker).
+        let masked = g.tones(
+            &[
+                ToneSpec::new(band_freq(8), 1.0),
+                ToneSpec::new(band_freq(9), 0.01),
+            ],
+            FS,
+            2048,
+        );
+        let a = PsychoModel::new().analyse(&masked);
+        assert!(a.masked_bands().contains(&9), "smr: {:?}", a.smr_db());
+
+        // Only 12 dB below: audible.
+        let audible = g.tones(
+            &[
+                ToneSpec::new(band_freq(8), 1.0),
+                ToneSpec::new(band_freq(9), 0.25),
+            ],
+            FS,
+            2048,
+        );
+        let a = PsychoModel::new().analyse(&audible);
+        assert!(!a.masked_bands().contains(&9), "smr: {:?}", a.smr_db());
+    }
+
+    #[test]
+    fn masking_is_asymmetric() {
+        // Equal probes one band above and one below an identical masker:
+        // the upward threshold must exceed the downward threshold.
+        let mut g = SignalGen::new(3);
+        let x = g.tone(&ToneSpec::new(band_freq(10), 1.0), FS, 2048);
+        let a = PsychoModel::new().analyse(&x);
+        assert!(
+            a.threshold[11] > a.threshold[9],
+            "upward spreading should be stronger: {} vs {}",
+            a.threshold[11],
+            a.threshold[9]
+        );
+    }
+
+    #[test]
+    fn silence_thresholds_fall_to_absolute_floor() {
+        let a = PsychoModel::new().analyse(&vec![0.0; 1024]);
+        for b in 0..BANDS {
+            assert_eq!(a.threshold[b], ABSOLUTE_THRESHOLD);
+        }
+        assert_eq!(a.masked_bands().len(), BANDS);
+    }
+
+    #[test]
+    fn distant_bands_unaffected_by_masker() {
+        let mut g = SignalGen::new(4);
+        let x = g.tone(&ToneSpec::new(band_freq(3), 1.0), FS, 2048);
+        let a = PsychoModel::new().analyse(&x);
+        // 20 bands away the spread threshold is far below the absolute one.
+        assert_eq!(a.threshold[25], ABSOLUTE_THRESHOLD);
+    }
+
+    #[test]
+    fn white_noise_leaves_most_bands_audible() {
+        let mut g = SignalGen::new(5);
+        let x = g.white_noise(0.5, 2048);
+        let a = PsychoModel::new().analyse(&x);
+        let audible = BANDS - a.masked_bands().len();
+        assert!(audible > 20, "only {audible} audible bands in white noise");
+    }
+}

@@ -1,0 +1,137 @@
+//! Subband sample quantization with logarithmic scalefactors.
+//!
+//! Figure 2's quantizer/coder box: each band gets a scalefactor (coarse,
+//! logarithmic, 6 bits) covering its largest sample in the frame, and each
+//! sample is then uniformly quantized to the bit depth the allocator chose
+//! for that band.
+
+/// Number of scalefactor indices (6 bits).
+pub const SCALEFACTOR_COUNT: u8 = 64;
+
+/// Scalefactor for index `i`: `2^((i - 40) / 3)` — covers ≈ 2e-5 … 256
+/// in ~2 dB steps, enough for normalized audio plus filterbank gain.
+///
+/// # Panics
+///
+/// Panics if `i >= 64`.
+#[must_use]
+pub fn scalefactor(i: u8) -> f64 {
+    assert!(i < SCALEFACTOR_COUNT, "scalefactor index out of range");
+    2f64.powf((i as f64 - 40.0) / 3.0)
+}
+
+/// The smallest scalefactor index whose value covers `max_abs`.
+#[must_use]
+pub fn scalefactor_for(max_abs: f64) -> u8 {
+    for i in 0..SCALEFACTOR_COUNT {
+        if scalefactor(i) >= max_abs {
+            return i;
+        }
+    }
+    SCALEFACTOR_COUNT - 1
+}
+
+/// Quantizes one sample to `bits` bits given a scalefactor. Returns the
+/// code (0 when `bits == 0`).
+#[must_use]
+pub fn quantize(x: f64, sf: f64, bits: u8) -> u32 {
+    if bits == 0 {
+        return 0;
+    }
+    let levels = (1u32 << bits) - 1;
+    let unit = ((x / sf).clamp(-1.0, 1.0) + 1.0) / 2.0; // 0..=1
+    (unit * levels as f64).round() as u32
+}
+
+/// Reconstructs a sample from its code.
+#[must_use]
+pub fn dequantize(code: u32, sf: f64, bits: u8) -> f64 {
+    if bits == 0 {
+        return 0.0;
+    }
+    let levels = ((1u32 << bits) - 1) as f64;
+    (code as f64 / levels * 2.0 - 1.0) * sf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use signal::rng::Xoroshiro128;
+
+    #[test]
+    fn scalefactors_are_monotone() {
+        for i in 1..SCALEFACTOR_COUNT {
+            assert!(scalefactor(i) > scalefactor(i - 1));
+        }
+    }
+
+    #[test]
+    fn scalefactor_for_covers_value() {
+        for &v in &[1e-4, 0.01, 0.5, 1.0, 17.3, 200.0] {
+            let i = scalefactor_for(v);
+            assert!(scalefactor(i) >= v, "sf({i}) too small for {v}");
+            if i > 0 {
+                assert!(scalefactor(i - 1) < v, "sf index {i} not minimal for {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn huge_values_saturate_to_top_index() {
+        assert_eq!(scalefactor_for(1e12), SCALEFACTOR_COUNT - 1);
+    }
+
+    #[test]
+    fn round_trip_error_shrinks_with_bits() {
+        let mut rng = Xoroshiro128::new(91);
+        let sf = 1.0;
+        let mut prev_err = f64::INFINITY;
+        for bits in [2u8, 4, 8, 12] {
+            let mut err = 0.0;
+            for _ in 0..1000 {
+                let x = rng.range_f64(-1.0, 1.0);
+                let y = dequantize(quantize(x, sf, bits), sf, bits);
+                err += (x - y).abs();
+            }
+            assert!(err < prev_err, "error should shrink with bits");
+            prev_err = err;
+        }
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_step() {
+        let sf = 2.0;
+        let bits = 6u8;
+        let step = 2.0 * sf / ((1u32 << bits) - 1) as f64;
+        let mut rng = Xoroshiro128::new(92);
+        for _ in 0..1000 {
+            let x = rng.range_f64(-sf, sf);
+            let y = dequantize(quantize(x, sf, bits), sf, bits);
+            assert!((x - y).abs() <= step / 2.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_bits_zeroes_everything() {
+        assert_eq!(quantize(0.7, 1.0, 0), 0);
+        assert_eq!(dequantize(99, 1.0, 0), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_samples_clamp() {
+        let code = quantize(5.0, 1.0, 4);
+        assert_eq!(code, 15);
+        assert!((dequantize(code, 1.0, 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn codes_fit_in_bits() {
+        let mut rng = Xoroshiro128::new(93);
+        for _ in 0..100 {
+            let bits = rng.range_i64(1, 15) as u8;
+            let x = rng.range_f64(-3.0, 3.0);
+            let code = quantize(x, 1.5, bits);
+            assert!(code < (1u32 << bits));
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Criterion bench for E2: the Figure 2 audio encoder and the RPE-LTP
+//! speech codec.
+
+use audio::encoder::{AudioConfig, AudioEncoder};
+use audio::rpeltp::RpeLtp;
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmbench::{test_music, test_speech};
+
+fn bench_subband(c: &mut Criterion) {
+    let pcm = test_music(4);
+    let enc = AudioEncoder::new(AudioConfig::default());
+    c.bench_function("audio_encoder_4frames", |b| {
+        b.iter(|| enc.encode(std::hint::black_box(&pcm)).expect("encode"));
+    });
+    let stream = enc.encode(&pcm).expect("encode");
+    c.bench_function("audio_decoder_4frames", |b| {
+        b.iter(|| audio::encoder::decode(std::hint::black_box(&stream.bytes)).expect("decode"));
+    });
+}
+
+fn bench_rpeltp(c: &mut Criterion) {
+    let speech = test_speech(10);
+    let codec = RpeLtp::new();
+    c.bench_function("rpeltp_encode_10frames", |b| {
+        b.iter(|| codec.encode(std::hint::black_box(&speech)).expect("encode"));
+    });
+}
+
+criterion_group!(benches, bench_subband, bench_rpeltp);
+criterion_main!(benches);

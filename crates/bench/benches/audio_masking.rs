@@ -1,0 +1,22 @@
+//! Criterion bench for E7: the psychoacoustic model and bit allocation.
+
+use audio::alloc;
+use audio::psycho::PsychoModel;
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmbench::test_music;
+
+fn bench_psycho(c: &mut Criterion) {
+    let pcm = test_music(1);
+    let model = PsychoModel::new();
+    c.bench_function("psycho_model_frame", |b| {
+        b.iter(|| model.analyse(std::hint::black_box(&pcm[..1152])));
+    });
+    let analysis = model.analyse(&pcm[..1152]);
+    let smr = analysis.smr_db();
+    c.bench_function("bit_allocation_frame", |b| {
+        b.iter(|| alloc::psychoacoustic(std::hint::black_box(&smr), 37, 4608, 0.0));
+    });
+}
+
+criterion_group!(benches, bench_psycho);
+criterion_main!(benches);

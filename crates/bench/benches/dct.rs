@@ -1,0 +1,24 @@
+//! Criterion bench for E4: separable vs direct 8x8 DCT.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use signal::rng::Xoroshiro128;
+use video::dct::{forward_direct, Dct2d};
+
+fn bench_dct(c: &mut Criterion) {
+    let mut rng = Xoroshiro128::new(4);
+    let block: Vec<f64> = (0..64).map(|_| rng.range_f64(-128.0, 127.0)).collect();
+    let dct = Dct2d::new();
+    c.bench_function("dct8x8_rowcol", |b| {
+        b.iter(|| dct.forward(std::hint::black_box(&block)));
+    });
+    c.bench_function("dct8x8_direct", |b| {
+        b.iter(|| forward_direct(std::hint::black_box(&block)));
+    });
+    let coeffs = dct.forward(&block);
+    c.bench_function("idct8x8_rowcol", |b| {
+        b.iter(|| dct.inverse(std::hint::black_box(&coeffs)));
+    });
+}
+
+criterion_group!(benches, bench_dct);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench for shared kernels: FFT, filterbank, cipher, hash,
+//! TCP-lite transfer, servo loop.
+
+use audio::filterbank::Filterbank;
+use criterion::{criterion_group, criterion_main, Criterion};
+use drm::cipher::XteaCtr;
+use netstack::link::LinkConfig;
+use netstack::tcplite::{transfer, TcpConfig};
+use servo::control::Pid;
+use servo::loopctl::{nominal_gains, run_loop};
+use servo::plant::Mechanism;
+use signal::fft::Fft;
+use signal::rng::Xoroshiro128;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = Xoroshiro128::new(1);
+    let x: Vec<f64> = (0..1024).map(|_| rng.normal()).collect();
+    let fft = Fft::new(1024);
+    c.bench_function("fft_1024", |b| {
+        b.iter(|| fft.forward_real(std::hint::black_box(&x)));
+    });
+
+    let fb = Filterbank::new();
+    let frame: Vec<f64> = (0..1152).map(|_| rng.normal()).collect();
+    c.bench_function("filterbank_analysis_1152", |b| {
+        b.iter(|| fb.analysis(std::hint::black_box(&frame)));
+    });
+
+    let ctr = XteaCtr::new(&[7u8; 16], 1);
+    let data = vec![0u8; 65_536];
+    c.bench_function("xtea_ctr_64k", |b| {
+        b.iter(|| ctr.applied(std::hint::black_box(&data)));
+    });
+
+    c.bench_function("hash_64k", |b| {
+        b.iter(|| drm::hash::hash(std::hint::black_box(&data)));
+    });
+
+    let payload = vec![0u8; 20_000];
+    c.bench_function("tcplite_20k_loss10", |b| {
+        b.iter(|| {
+            transfer(
+                std::hint::black_box(&payload),
+                TcpConfig::default(),
+                LinkConfig::default().with_loss(0.1),
+                9,
+            )
+            .expect("transfer")
+        });
+    });
+
+    c.bench_function("servo_loop_50k_samples", |b| {
+        b.iter(|| {
+            let mut pid = Pid::new(nominal_gains(), 50_000.0);
+            run_loop(Mechanism::nominal(), &mut pid, 50_000.0, 50_000, 1)
+        });
+    });
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

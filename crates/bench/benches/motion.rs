@@ -1,0 +1,23 @@
+//! Criterion bench for E5: motion-estimation search strategies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use video::me::{MotionEstimator, SearchKind};
+use video::synth::SequenceGen;
+
+fn bench_me(c: &mut Criterion) {
+    let mut gen = SequenceGen::new(5);
+    let reference = gen.textured_frame(176, 144);
+    let current = gen.shift_frame(&reference, 4, -2);
+    let mut group = c.benchmark_group("motion_estimation_qcif");
+    group.sample_size(10);
+    for kind in [SearchKind::Full, SearchKind::ThreeStep, SearchKind::Diamond] {
+        group.bench_function(kind.to_string(), |b| {
+            let me = MotionEstimator::new(kind, 15);
+            b.iter(|| me.estimate(std::hint::black_box(&current), std::hint::black_box(&reference)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_me);
+criterion_main!(benches);

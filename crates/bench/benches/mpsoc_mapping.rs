@@ -1,0 +1,23 @@
+//! Criterion bench for E16: simulator throughput and mapping strategies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmbench::{cif_spec, SEED};
+use mmsoc::deploy::{deploy, Strategy};
+use mmsoc::video_encoder_pipeline;
+use mpsoc::platform::Platform;
+
+fn bench_mapping(c: &mut Criterion) {
+    let pipeline = video_encoder_pipeline(&cif_spec(), SEED);
+    let platform = Platform::symmetric_bus("quad", 4, 300e6);
+    let mut group = c.benchmark_group("deploy_strategies");
+    group.sample_size(10);
+    for s in [Strategy::RoundRobin, Strategy::LoadBalanced, Strategy::PipelineAffine] {
+        group.bench_function(s.to_string(), |b| {
+            b.iter(|| deploy(std::hint::black_box(&pipeline.graph), &platform, s, 16).expect("deploy"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for E1: the Figure 1 video encoder end to end, per
+//! configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmbench::test_video;
+use video::encoder::{Encoder, EncoderConfig};
+
+fn bench_encoder(c: &mut Criterion) {
+    let frames = test_video(176, 144, 6);
+    let mut group = c.benchmark_group("video_encoder_qcif6");
+    group.sample_size(10);
+    for (name, config) in [
+        ("symmetric_conference", EncoderConfig::symmetric_conference()),
+        ("asymmetric_broadcast", EncoderConfig::asymmetric_broadcast()),
+        ("all_intra", EncoderConfig { gop: 1, ..Default::default() }),
+    ] {
+        group.bench_function(name, |b| {
+            let enc = Encoder::new(config).expect("valid");
+            b.iter(|| enc.encode(std::hint::black_box(&frames)).expect("encode"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_decoder(c: &mut Criterion) {
+    let frames = test_video(176, 144, 6);
+    let encoded = Encoder::new(EncoderConfig::default())
+        .expect("valid")
+        .encode(&frames)
+        .expect("encode");
+    c.bench_function("video_decoder_qcif6", |b| {
+        b.iter(|| video::decoder::decode(std::hint::black_box(&encoded.bytes)).expect("decode"));
+    });
+}
+
+criterion_group!(benches, bench_encoder, bench_decoder);
+criterion_main!(benches);

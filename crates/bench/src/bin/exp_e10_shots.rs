@@ -1,0 +1,48 @@
+//! E10 — §5: parsing television content into segments.
+//!
+//! Shot-boundary detection over multi-scene sequences with increasing
+//! noise; reports precision/recall/F1 and the resulting segmentation.
+
+use analysis::shots::ShotDetector;
+use mmbench::banner;
+use mmsoc::report::{f, Table};
+use video::synth::SequenceGen;
+
+fn main() {
+    banner(
+        "E10: scene segmentation (§5)",
+        "algorithms can parse television content into segments so a viewer can \
+         skip to the next part of the program",
+    );
+
+    let mut table = Table::new(vec!["noise sigma", "cuts (truth)", "cuts found", "P", "R", "F1"]);
+    for noise in [0.0, 3.0, 6.0, 10.0, 15.0] {
+        let mut g = SequenceGen::new(11);
+        let (mut frames, truth) = g.scene_sequence(64, 48, &[9, 8, 10, 7, 9, 8]);
+        for fr in &mut frames {
+            g.add_noise(fr, noise);
+        }
+        let det = ShotDetector::default();
+        let cuts = det.detect_cuts(&frames);
+        let score = ShotDetector::score(&cuts, &truth, 1);
+        table.row(vec![
+            f(noise, 1),
+            truth.len().to_string(),
+            cuts.len().to_string(),
+            f(score.precision(), 3),
+            f(score.recall(), 3),
+            f(score.f1(), 3),
+        ]);
+    }
+    println!("{table}");
+
+    // Show one segmentation explicitly.
+    let mut g = SequenceGen::new(12);
+    let (frames, truth) = g.scene_sequence(64, 48, &[6, 9, 7]);
+    let shots = ShotDetector::default().segment(&frames);
+    println!("example segmentation (truth cuts at {truth:?}):");
+    for (i, s) in shots.iter().enumerate() {
+        println!("  segment {i}: frames {}..{} ({} frames)", s.start, s.end, s.len());
+    }
+    println!("\nexpected shape: near-perfect on clean cuts, graceful degradation with noise.");
+}

@@ -1,0 +1,91 @@
+//! E13 — §7: the embedded media file system.
+//!
+//! (a) Streaming cost vs allocation policy: contiguous vs churned vs
+//! deliberately scattered chains, priced with the seek model. (b) Foreign
+//! CD/MP3 trees in four authoring styles must enumerate completely.
+
+use mediafs::foreign::{generate_tree, scan_tracks, TreeStyle};
+use mediafs::fs::{AllocPolicy, MediaFs};
+use mmbench::banner;
+use mmsoc::report::{count, f, Table};
+
+fn main() {
+    banner(
+        "E13: media file systems (§7)",
+        "large file sizes and non-sequential allocation of blocks are \
+         unavoidable; foreign CD/MP3 trees must be handled regardless of \
+         directory structure or names",
+    );
+
+    // (a) Fragmentation pricing: stream a 2 MB recording.
+    let file = vec![0u8; 2 * 1024 * 1024];
+    let mut table = Table::new(vec![
+        "layout",
+        "fragmentation",
+        "seeks",
+        "modelled read time (ms)",
+    ]);
+    // Contiguous.
+    let mut seq = MediaFs::new(16_384, 512, AllocPolicy::FirstFit);
+    seq.create("/rec.ts", &file).expect("create");
+    seq.reset_io_stats();
+    seq.read("/rec.ts").expect("read");
+    table.row(vec![
+        "contiguous (first-fit, fresh disk)".to_string(),
+        f(seq.fragmentation("/rec.ts").expect("frag"), 3),
+        count(seq.io_stats().seeks),
+        f(seq.io_stats().time_ms(8.0, 0.05), 1),
+    ]);
+    // Churned: fill/delete cycles then allocate.
+    let mut churn = MediaFs::new(16_384, 512, AllocPolicy::FirstFit);
+    for i in 0..24 {
+        churn
+            .create(&format!("/t{i}"), &vec![0u8; 512 * 256])
+            .expect("create");
+    }
+    for i in (0..24).step_by(2) {
+        churn.delete(&format!("/t{i}")).expect("delete");
+    }
+    churn.create("/rec.ts", &file).expect("create");
+    churn.reset_io_stats();
+    churn.read("/rec.ts").expect("read");
+    table.row(vec![
+        "churned (first-fit after deletes)".to_string(),
+        f(churn.fragmentation("/rec.ts").expect("frag"), 3),
+        count(churn.io_stats().seeks),
+        f(churn.io_stats().time_ms(8.0, 0.05), 1),
+    ]);
+    // Fully scattered.
+    let mut scat = MediaFs::new(16_384, 512, AllocPolicy::Scatter(13));
+    scat.create("/rec.ts", &file).expect("create");
+    scat.reset_io_stats();
+    scat.read("/rec.ts").expect("read");
+    table.row(vec![
+        "scattered (worst case)".to_string(),
+        f(scat.fragmentation("/rec.ts").expect("frag"), 3),
+        count(scat.io_stats().seeks),
+        f(scat.io_stats().time_ms(8.0, 0.05), 1),
+    ]);
+    println!("{table}");
+
+    // (b) Foreign trees.
+    let mut table = Table::new(vec!["authoring style", "tracks written", "tracks found", "complete?"]);
+    for style in [
+        TreeStyle::Dos83,
+        TreeStyle::LongNames,
+        TreeStyle::DeepNested,
+        TreeStyle::FlatDump,
+    ] {
+        let mut fs = MediaFs::new(8_192, 512, AllocPolicy::FirstFit);
+        let written = generate_tree(&mut fs, style, 40, 14).expect("generate");
+        let found = scan_tracks(&fs, "/").expect("scan");
+        table.row(vec![
+            style.to_string(),
+            written.len().to_string(),
+            found.len().to_string(),
+            if found.len() == written.len() { "yes".to_string() } else { "NO (UNEXPECTED)".into() },
+        ]);
+    }
+    println!("{table}");
+    println!("expected shape: seek count (and modelled time) grows with fragmentation; every foreign style enumerates completely.");
+}

@@ -1,0 +1,66 @@
+//! E14 — §7: the small IP stack under loss.
+//!
+//! Content download (TCP-lite) and license fetch over links of rising
+//! loss: transfers stay exact while retransmission cost grows; UDP
+//! baseline shows what best-effort alone would deliver.
+
+use mmbench::banner;
+use mmsoc::report::{count, f, Table};
+use netstack::fetch::{fetch, ContentServer};
+use netstack::link::LinkConfig;
+use netstack::tcplite::{transfer, TcpConfig};
+use netstack::udp::send_datagrams;
+
+fn main() {
+    banner(
+        "E14: small IP stack for content access and DRM (§7)",
+        "devices use small IP stacks for limited purposes such as content \
+         access or DRM; reliability must come from the stack, not the link",
+    );
+
+    let content: Vec<u8> = (0..100_000u32).map(|i| (i * 7) as u8).collect();
+    let mut table = Table::new(vec![
+        "link loss",
+        "tcp-lite exact?",
+        "ticks",
+        "retransmissions",
+        "udp delivery ratio",
+    ]);
+    for loss in [0.0, 0.05, 0.1, 0.2, 0.3] {
+        let link = LinkConfig::default().with_loss(loss);
+        let r = transfer(&content, TcpConfig::default(), link, 15).expect("transfer");
+        let datagrams: Vec<Vec<u8>> = content.chunks(512).map(<[u8]>::to_vec).collect();
+        let udp = send_datagrams(&datagrams, link, 600, 16);
+        table.row(vec![
+            f(loss, 2),
+            if r.data == content { "yes".to_string() } else { "NO".into() },
+            count(r.ticks),
+            count(r.retransmissions),
+            f(udp.delivery_ratio(), 3),
+        ]);
+    }
+    println!("{table}");
+
+    // License fetch (the DRM leg).
+    let mut server = ContentServer::new();
+    server.publish("license.bin", vec![0x42; 300]);
+    let mut table = Table::new(vec!["link loss", "license fetched?", "total ticks", "retransmissions"]);
+    for loss in [0.0, 0.15, 0.3] {
+        let link = LinkConfig::default().with_loss(loss);
+        match fetch(&server, "license.bin", TcpConfig::default(), link, 17) {
+            Ok(r) => {
+                table.row(vec![
+                    f(loss, 2),
+                    (r.data.len() == 300).to_string(),
+                    count(r.ticks),
+                    count(r.retransmissions),
+                ]);
+            }
+            Err(e) => {
+                table.row(vec![f(loss, 2), format!("failed: {e}"), String::new(), String::new()]);
+            }
+        }
+    }
+    println!("{table}");
+    println!("expected shape: tcp-lite always exact with cost rising in loss; udp decays toward the raw link rate.");
+}

@@ -1,0 +1,60 @@
+//! E15 — §7: drive servo control adapted to the mechanism.
+//!
+//! Runs the 50 kHz tracking loop on three mechanism variants under (a)
+//! the fixed nominal control law and (b) the mechanism-adapted law.
+//! Expected shape: the fixed law degrades off-nominal; adaptation
+//! recovers tracking everywhere.
+
+use mmbench::banner;
+use mmsoc::report::{f, Table};
+use servo::control::Pid;
+use servo::loopctl::{adapt_gains, nominal_gains, run_loop};
+use servo::plant::Mechanism;
+
+fn main() {
+    banner(
+        "E15: mechanism-adapted servo control (§7)",
+        "drive control needs complex digital filters at high rates, with \
+         control laws adapted to the particular mechanism being used",
+    );
+
+    const FS: f64 = 50_000.0;
+    let mechanisms = [
+        ("nominal", Mechanism::nominal()),
+        ("stiff variant", Mechanism::stiff()),
+        ("loose variant", Mechanism::loose()),
+    ];
+
+    let mut table = Table::new(vec![
+        "mechanism",
+        "resonance Hz",
+        "fixed-law RMS err",
+        "adapted RMS err",
+        "fixed atten.",
+        "adapted atten.",
+    ]);
+    for (name, mech) in mechanisms {
+        let fixed = {
+            let mut pid = Pid::new(nominal_gains(), FS);
+            run_loop(mech, &mut pid, FS, 150_000, 15)
+        };
+        let gains = adapt_gains(mech, FS);
+        let adapted = {
+            let mut pid = Pid::new(gains, FS);
+            run_loop(mech, &mut pid, FS, 150_000, 15)
+        };
+        table.row(vec![
+            name.to_string(),
+            f(mech.natural_freq() / core::f64::consts::TAU, 1),
+            f(fixed.rms_error, 4),
+            f(adapted.rms_error, 4),
+            f(fixed.attenuation(), 1),
+            f(adapted.attenuation(), 1),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "expected shape: fixed law is good only on the nominal mechanism; the \
+         adapted law tracks within tolerance on all three."
+    );
+}

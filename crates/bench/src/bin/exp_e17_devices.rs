@@ -1,0 +1,56 @@
+//! E17 — §2: the five consumer device classes as
+//! cost/performance/power points.
+//!
+//! Deploys each device's application on its platform preset and reports
+//! throughput vs real-time target, energy per frame, and average power.
+//! Expected shape: workload and power budgets rank phone < player < STB
+//! ≤ camera ≈ DVR, and every device meets (or approaches) its target.
+
+use mmbench::banner;
+use mmsoc::deploy::deploy_device;
+use mmsoc::profile::DeviceClass;
+use mmsoc::report::{count, f, Table};
+
+fn main() {
+    banner(
+        "E17: device classes (§2)",
+        "consumer multimedia devices cover a broad range of \
+         cost/performance/power points",
+    );
+
+    let mut table = Table::new(vec![
+        "device",
+        "PEs",
+        "app ops/frame",
+        "fps achieved",
+        "fps target",
+        "meets RT?",
+        "mJ/frame",
+        "avg power (mW)",
+    ]);
+    for class in DeviceClass::ALL {
+        let graph_ops = class.application(17).total_ops().total();
+        let d = deploy_device(class, 17, 12).expect("deploy");
+        let target = class.realtime_target_hz();
+        let energy_per_frame = d.report.energy().total_j() / d.report.iterations() as f64;
+        let power = d
+            .report
+            .energy()
+            .average_power_w(d.report.makespan_s());
+        table.row(vec![
+            class.to_string(),
+            class.platform().pe_count().to_string(),
+            count(graph_ops),
+            f(d.throughput_hz(), 1),
+            f(target, 1),
+            if d.meets(target) { "yes".to_string() } else { "no".into() },
+            f(energy_per_frame * 1e3, 3),
+            f(power * 1e3, 1),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "expected shape: audio player lightest, DVR heaviest; per-frame energy \
+         tracks the §2 cost/power ordering."
+    );
+}

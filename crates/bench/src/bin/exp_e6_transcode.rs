@@ -1,0 +1,47 @@
+//! E6 — §3: "each generation of transcoding reduces image quality".
+//!
+//! Chains decode→re-encode generations between two device configurations
+//! and tracks PSNR against the original. Expected shape: PSNR falls
+//! generation over generation, steepest at generation 1.
+
+use mmbench::{banner, test_video};
+use mmsoc::report::{f, Table};
+use video::encoder::EncoderConfig;
+use video::transcode::generations;
+
+fn main() {
+    banner(
+        "E6: transcoding generation loss (§3)",
+        "because encoding is lossy, each generation of transcoding reduces \
+         image quality",
+    );
+
+    let frames = test_video(176, 144, 8);
+    let device_a = EncoderConfig { quality: 60, gop: 8, ..Default::default() };
+    let device_b = EncoderConfig { quality: 45, gop: 8, ..Default::default() };
+    let stats = generations(&frames, device_a, device_b, 5).expect("transcode chain");
+
+    let mut table = Table::new(vec!["generation", "PSNR vs original (dB)", "stream kbits"]);
+    for s in &stats {
+        table.row(vec![
+            s.generation.to_string(),
+            f(s.psnr_vs_original_db, 2),
+            f(s.bits as f64 / 1000.0, 0),
+        ]);
+    }
+    println!("{table}");
+
+    let first_drop = stats[0].psnr_vs_original_db - stats[1].psnr_vs_original_db;
+    let total_drop = stats[0].psnr_vs_original_db - stats.last().unwrap().psnr_vs_original_db;
+    println!(
+        "gen-1 -> gen-2 loss: {} dB; total loss over {} generations: {} dB — {}",
+        f(first_drop, 2),
+        stats.len(),
+        f(total_drop, 2),
+        if total_drop >= -0.05 {
+            "quality never recovers (matches §3)"
+        } else {
+            "quality recovered (UNEXPECTED)"
+        }
+    );
+}

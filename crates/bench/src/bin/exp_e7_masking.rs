@@ -1,0 +1,129 @@
+//! E7 — §4: psychoacoustic masking drives the bit allocation.
+//!
+//! Three probes: (a) a strong tone masks a weak neighbour — the model's
+//! threshold sits above the neighbour's power, so the allocator gives its
+//! band zero bits; (b) in *audible* bands (where listeners hear noise),
+//! masking-aware allocation beats the flat baseline at constrained
+//! budgets; (c) the psychoacoustic coder reaches its quality ceiling while
+//! *spending fewer bits* — the paper's "eliminate masked tones to reduce
+//! the amount of information that is sent to the decoder".
+
+use audio::encoder::{decode, AllocationMode, AudioConfig, AudioEncoder, FRAME_SAMPLES};
+use audio::psycho::PsychoModel;
+use mmbench::banner;
+use mmsoc::report::{f, Table};
+use signal::fft::Fft;
+use signal::gen::{SignalGen, ToneSpec};
+
+/// SNR restricted to the subbands the psychoacoustic model marks audible.
+fn audible_band_snr(original: &[f64], decoded: &[f64]) -> f64 {
+    let model = PsychoModel::new();
+    let fft = Fft::new(1024);
+    let mut sig = 0.0;
+    let mut err = 0.0;
+    for (o_frame, d_frame) in original
+        .chunks_exact(FRAME_SAMPLES)
+        .zip(decoded.chunks_exact(FRAME_SAMPLES))
+    {
+        let analysis = model.analyse(o_frame);
+        let smr = analysis.smr_db();
+        let o_spec = fft.power_spectrum(&o_frame[..1024]);
+        let e: Vec<f64> = o_frame[..1024]
+            .iter()
+            .zip(&d_frame[..1024])
+            .map(|(a, b)| a - b)
+            .collect();
+        let e_spec = fft.power_spectrum(&e);
+        let bins_per_band = 1024 / 64;
+        for b in 0..32 {
+            if smr[b] > 0.0 {
+                let lo = b * bins_per_band;
+                let hi = (b + 1) * bins_per_band;
+                sig += o_spec[lo..hi].iter().sum::<f64>();
+                err += e_spec[lo..hi].iter().sum::<f64>();
+            }
+        }
+    }
+    10.0 * (sig / err.max(1e-30)).log10()
+}
+
+fn main() {
+    banner(
+        "E7: masking in the psychoacoustic model (§4)",
+        "when one tone is heard, a nearby weaker tone cannot be heard; the \
+         encoder eliminates masked tones to reduce the information sent",
+    );
+
+    // (a) Masking threshold demonstration.
+    let fs = 32_000.0;
+    let band_freq = |b: usize| (b as f64 + 0.5) / 64.0 * fs;
+    let model = PsychoModel::new();
+    let mut table = Table::new(vec!["probe", "band 8 SMR dB", "band 9 SMR dB", "band 9 audible?"]);
+    for (name, amp9) in [("weak neighbour (-40 dB)", 0.01), ("strong neighbour (-12 dB)", 0.25)] {
+        let mut g = SignalGen::new(7);
+        let x = g.tones(
+            &[ToneSpec::new(band_freq(8), 1.0), ToneSpec::new(band_freq(9), amp9)],
+            fs,
+            2048,
+        );
+        let a = model.analyse(&x);
+        let smr = a.smr_db();
+        table.row(vec![
+            name.to_string(),
+            f(smr[8], 1),
+            f(smr[9], 1),
+            if smr[9] > 0.0 { "yes".into() } else { "no (masked -> 0 bits)".to_string() },
+        ]);
+    }
+    println!("{table}");
+
+    // (b)+(c) Psychoacoustic vs flat allocation: audible-band quality and
+    // bits actually spent, per budget.
+    let mut g = SignalGen::new(8);
+    let pcm = g.tones(
+        &[
+            ToneSpec::new(500.0, 0.8),
+            ToneSpec::new(2000.0, 0.4),
+            ToneSpec::new(8000.0, 0.2),
+        ],
+        44_100.0,
+        8 * FRAME_SAMPLES,
+    );
+    let mut table = Table::new(vec![
+        "budget bits/frame",
+        "psycho audible-SNR dB",
+        "flat audible-SNR dB",
+        "psycho bits spent",
+        "flat bits spent",
+    ]);
+    for budget in [1000u64, 2000, 4000, 8000] {
+        let run = |mode: AllocationMode| {
+            let cfg = AudioConfig {
+                budget_bits_per_frame: budget,
+                mode,
+                ..Default::default()
+            };
+            let stream = AudioEncoder::new(cfg).encode(&pcm).expect("encode");
+            let bits = stream.frames.iter().map(|fr| fr.bits).sum::<usize>()
+                / stream.frames.len();
+            let out = decode(&stream.bytes).expect("decode");
+            (audible_band_snr(&pcm, &out.samples), bits)
+        };
+        let (p_snr, p_bits) = run(AllocationMode::Psychoacoustic);
+        let (f_snr, f_bits) = run(AllocationMode::Flat);
+        table.row(vec![
+            budget.to_string(),
+            f(p_snr, 1),
+            f(f_snr, 1),
+            p_bits.to_string(),
+            f_bits.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "expected shape: at constrained budgets the psychoacoustic allocation wins \
+         in the bands listeners hear; once both are past the masking ceiling the \
+         psychoacoustic coder gets there spending far fewer bits (masked bands \
+         transmit nothing)."
+    );
+}

@@ -1,0 +1,69 @@
+//! # `mmbench` — shared helpers for the experiment harness
+//!
+//! Every table and figure claim in DESIGN.md §3 has a runnable
+//! regenerator in `src/bin/exp_e*.rs`; the Criterion micro-benchmarks for
+//! the hot kernels live in `benches/`. This library holds the workload
+//! constructors those binaries share, so every experiment uses the same
+//! seeds and sizes.
+
+use video::encoder::EncoderConfig;
+use video::frame::Frame;
+use video::synth::SequenceGen;
+
+/// The canonical seed for every experiment workload.
+pub const SEED: u64 = 2005; // the paper's year
+
+/// The calibration video used by the codec experiments: panning texture.
+#[must_use]
+pub fn test_video(width: usize, height: usize, frames: usize) -> Vec<Frame> {
+    SequenceGen::new(SEED).panning_sequence(width, height, frames, 2, 1)
+}
+
+/// The default CIF spec used in encoder experiments.
+#[must_use]
+pub fn cif_spec() -> mmsoc::VideoPipelineSpec {
+    mmsoc::VideoPipelineSpec {
+        width: 352,
+        height: 288,
+        config: EncoderConfig::default(),
+    }
+}
+
+/// Test music: 44.1 kHz harmonic material, `frames` MPEG frames long.
+#[must_use]
+pub fn test_music(frames: usize) -> Vec<f64> {
+    signal::gen::SignalGen::new(SEED).music(440.0, 44_100.0, frames * audio::encoder::FRAME_SAMPLES)
+}
+
+/// Test speech: 8 kHz sentence of `frames` RPE-LTP frames.
+#[must_use]
+pub fn test_speech(frames: usize) -> Vec<f64> {
+    signal::gen::SignalGen::new(SEED)
+        .speech_sentence(8000.0, frames * audio::rpeltp::FRAME)
+        .0
+}
+
+/// Prints the experiment banner every binary starts with.
+pub fn banner(id: &str, claim: &str) {
+    println!("=== {id} ===");
+    println!("paper claim: {claim}");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_have_requested_sizes() {
+        assert_eq!(test_video(64, 48, 5).len(), 5);
+        assert_eq!(test_music(2).len(), 2 * 1152);
+        assert_eq!(test_speech(3).len(), 3 * 160);
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        assert_eq!(test_video(32, 32, 2), test_video(32, 32, 2));
+        assert_eq!(test_music(1), test_music(1));
+    }
+}

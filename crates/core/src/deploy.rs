@@ -1,0 +1,199 @@
+//! Deployment: choosing a mapping and running an application on its
+//! platform.
+//!
+//! The MPSoC design loop in miniature: take a device's application graph,
+//! try the mapping heuristics, simulate streaming execution, and report
+//! whether the device meets its real-time target and at what energy.
+
+use mpsoc::map::Mapping;
+use mpsoc::platform::Platform;
+use mpsoc::sched::{RunReport, SimError, Simulator};
+use mpsoc::task::TaskGraph;
+
+use crate::profile::DeviceClass;
+
+/// A named mapping strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Everything on PE 0.
+    SingleCore,
+    /// Round-robin across PEs.
+    RoundRobin,
+    /// Load-balanced (LPT with per-PE speed).
+    LoadBalanced,
+    /// Contiguous pipeline groups.
+    PipelineAffine,
+    /// Load-balanced then hill-climb improved.
+    Improved,
+}
+
+impl Strategy {
+    /// All strategies in evaluation order.
+    pub const ALL: [Strategy; 5] = [
+        Strategy::SingleCore,
+        Strategy::RoundRobin,
+        Strategy::LoadBalanced,
+        Strategy::PipelineAffine,
+        Strategy::Improved,
+    ];
+
+    /// Builds the mapping for a graph on a platform.
+    #[must_use]
+    pub fn mapping(self, graph: &TaskGraph, platform: &Platform) -> Mapping {
+        match self {
+            Strategy::SingleCore => Mapping::all_on_one(graph),
+            Strategy::RoundRobin => Mapping::round_robin(graph, platform.pe_count()),
+            Strategy::LoadBalanced => Mapping::load_balanced(graph, platform),
+            Strategy::PipelineAffine => Mapping::pipeline_affine(graph, platform),
+            Strategy::Improved => {
+                Mapping::load_balanced(graph, platform).improved(graph, platform, 8, 3)
+            }
+        }
+    }
+}
+
+impl core::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Strategy::SingleCore => "single-core",
+            Strategy::RoundRobin => "round-robin",
+            Strategy::LoadBalanced => "load-balanced",
+            Strategy::PipelineAffine => "pipeline-affine",
+            Strategy::Improved => "improved",
+        })
+    }
+}
+
+/// Result of deploying an application.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    /// The strategy that produced the mapping.
+    pub strategy: Strategy,
+    /// The chosen mapping.
+    pub mapping: Mapping,
+    /// Streaming simulation report.
+    pub report: RunReport,
+}
+
+impl Deployment {
+    /// Frames per second achieved in steady streaming.
+    #[must_use]
+    pub fn throughput_hz(&self) -> f64 {
+        self.report.throughput_per_s()
+    }
+
+    /// `true` when the deployment sustains the given frame rate.
+    #[must_use]
+    pub fn meets(&self, target_hz: f64) -> bool {
+        self.throughput_hz() >= target_hz
+    }
+}
+
+/// Deploys `graph` on `platform` with one strategy, streaming
+/// `iterations` frames.
+///
+/// # Errors
+///
+/// Returns [`SimError`] from the simulator (invalid graphs/mappings).
+pub fn deploy(
+    graph: &TaskGraph,
+    platform: &Platform,
+    strategy: Strategy,
+    iterations: usize,
+) -> Result<Deployment, SimError> {
+    let mapping = strategy.mapping(graph, platform);
+    let report = Simulator::new(platform).run_stream(graph, &mapping, iterations)?;
+    Ok(Deployment {
+        strategy,
+        mapping,
+        report,
+    })
+}
+
+/// Tries every strategy and returns all deployments plus the index of the
+/// best (highest throughput).
+///
+/// # Errors
+///
+/// Returns [`SimError`] if any simulation fails.
+pub fn deploy_best(
+    graph: &TaskGraph,
+    platform: &Platform,
+    iterations: usize,
+) -> Result<(Vec<Deployment>, usize), SimError> {
+    let mut all = Vec::with_capacity(Strategy::ALL.len());
+    for s in Strategy::ALL {
+        all.push(deploy(graph, platform, s, iterations)?);
+    }
+    let best = all
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.throughput_hz().total_cmp(&b.1.throughput_hz()))
+        .map(|(i, _)| i)
+        .expect("strategies are non-empty");
+    Ok((all, best))
+}
+
+/// Deploys a device class end to end: its application on its platform
+/// with the best strategy.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if simulation fails.
+pub fn deploy_device(class: DeviceClass, seed: u64, iterations: usize) -> Result<Deployment, SimError> {
+    let graph = class.application(seed);
+    let platform = class.platform();
+    let (mut all, best) = deploy_best(&graph, &platform, iterations)?;
+    Ok(all.swap_remove(best))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{video_encoder_pipeline, VideoPipelineSpec};
+
+    #[test]
+    fn multicore_beats_single_core_on_the_encoder() {
+        let p = video_encoder_pipeline(&VideoPipelineSpec::default(), 1);
+        let platform = Platform::symmetric_bus("quad", 4, 300e6);
+        let single = deploy(&p.graph, &platform, Strategy::SingleCore, 12).unwrap();
+        let (all, best) = deploy_best(&p.graph, &platform, 12).unwrap();
+        assert!(
+            all[best].throughput_hz() > 1.3 * single.throughput_hz(),
+            "best {} vs single {}",
+            all[best].throughput_hz(),
+            single.throughput_hz()
+        );
+    }
+
+    #[test]
+    fn all_strategies_produce_valid_deployments() {
+        let p = video_encoder_pipeline(&VideoPipelineSpec::default(), 2);
+        let platform = Platform::symmetric_bus("dual", 2, 200e6);
+        for s in Strategy::ALL {
+            let d = deploy(&p.graph, &platform, s, 4).unwrap();
+            assert!(d.throughput_hz() > 0.0, "{s}");
+            assert!(d.report.energy().total_j() > 0.0, "{s}");
+        }
+    }
+
+    #[test]
+    fn meets_compares_throughput() {
+        let p = video_encoder_pipeline(&VideoPipelineSpec::default(), 3);
+        let platform = Platform::symmetric_bus("dual", 2, 200e6);
+        let d = deploy(&p.graph, &platform, Strategy::LoadBalanced, 4).unwrap();
+        assert!(d.meets(d.throughput_hz() * 0.9));
+        assert!(!d.meets(d.throughput_hz() * 1.1));
+    }
+
+    #[test]
+    fn device_deployment_runs() {
+        let d = deploy_device(DeviceClass::AudioPlayer, 4, 8).unwrap();
+        assert!(d.throughput_hz() > 0.0);
+    }
+
+    #[test]
+    fn strategy_display() {
+        assert_eq!(Strategy::PipelineAffine.to_string(), "pipeline-affine");
+    }
+}

@@ -1,0 +1,410 @@
+//! Application pipelines as task graphs.
+//!
+//! The bridge between the functional crates and the platform simulator:
+//! each media pipeline (Figure 1 video encode, Figure 2 audio encode,
+//! their decoders, content analysis) is profiled by *running the real
+//! kernels* on a short calibration workload, and the measured per-stage
+//! operation tallies become [`TaskGraph`] node weights. Mapping
+//! experiments therefore use compute ratios that come from the actual
+//! code, not hand-waved constants.
+
+use mpsoc::task::{OpCounts, TaskGraph};
+use video::encoder::{Encoder, EncoderConfig};
+use video::synth::SequenceGen;
+
+/// Parameters of a video-encode pipeline instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VideoPipelineSpec {
+    /// Frame width (multiple of 16).
+    pub width: usize,
+    /// Frame height (multiple of 16).
+    pub height: usize,
+    /// Encoder configuration (search kind/range, GOP, quality).
+    pub config: EncoderConfig,
+}
+
+impl Default for VideoPipelineSpec {
+    /// CIF 352×288 with the default encoder.
+    fn default() -> Self {
+        Self {
+            width: 352,
+            height: 288,
+            config: EncoderConfig::default(),
+        }
+    }
+}
+
+/// Calibration output: the graph plus the raw per-frame stage ops.
+#[derive(Debug, Clone)]
+pub struct CalibratedPipeline {
+    /// One iteration of the graph = one frame (or one audio frame).
+    pub graph: TaskGraph,
+    /// Human-readable per-stage op totals for reporting.
+    pub stage_ops: Vec<(String, u64)>,
+}
+
+/// Builds the Figure 1 encoder graph with weights measured from a real
+/// encode of a small calibration sequence, scaled to the requested
+/// resolution.
+///
+/// Stages (matching the figure): motion estimator → DCT → quantizer →
+/// variable-length encode, plus the reconstruction loop (inverse DCT +
+/// motion-compensated predictor) feeding back.
+///
+/// # Panics
+///
+/// Panics if the spec's dimensions are not multiples of 16 or the encoder
+/// configuration is invalid.
+#[must_use]
+pub fn video_encoder_pipeline(spec: &VideoPipelineSpec, seed: u64) -> CalibratedPipeline {
+    // Calibrate on a small sequence with identical encoder settings.
+    let (cw, ch, frames) = (64usize, 48usize, 6usize);
+    let cal_frames = SequenceGen::new(seed).panning_sequence(cw, ch, frames, 2, 1);
+    let encoder = Encoder::new(spec.config).expect("invalid encoder configuration");
+    let encoded = encoder.encode(&cal_frames).expect("calibration encode failed");
+    let t = encoded.tally;
+    // Scale measured ops from calibration pixels to target pixels.
+    let scale = (spec.width * spec.height) as f64 / (cw * ch) as f64 / frames as f64;
+    let s = |v: u64| -> u64 { ((v as f64) * scale).round() as u64 };
+
+    // Frame-sized buffers flow between stages (luma + chroma).
+    let frame_bytes = (spec.width * spec.height * 3 / 2) as u64;
+    let coeff_bytes = frame_bytes * 2; // 16-bit levels
+    let me_ops = s(t.me_pixel_ops);
+    let dct_macs = s(t.dct_blocks * 2 * 8 * 8 * 8);
+    let idct_macs = s(t.idct_blocks * 2 * 8 * 8 * 8);
+    let quant_ops = s(t.quant_coeffs);
+    let vlc_ops = s(t.vlc_symbols * 8);
+    let mc_ops = s(t.mc_pixels);
+
+    // Motion estimation and the transform are data-parallel across frame
+    // slices (as real encoders exploit); entropy coding is serial because
+    // the bitstream is one stream.
+    const SLICES: usize = 4;
+    let mut g = TaskGraph::new("video-encoder");
+    let src = g.add_task("capture", OpCounts::new().with_mem(s(t.mc_pixels / 8)), 0);
+    let quant = g.add_task("quantizer", OpCounts::new().with_int_alu(quant_ops), 0);
+    for slice in 0..SLICES {
+        let me = g.add_task(
+            format!("motion-estimator-s{slice}"),
+            OpCounts::new()
+                .with_mac(me_ops / SLICES as u64)
+                .with_mem(me_ops / (8 * SLICES as u64)),
+            0,
+        );
+        let dct = g.add_task(
+            format!("dct-s{slice}"),
+            OpCounts::new().with_mac(dct_macs / SLICES as u64),
+            0,
+        );
+        g.add_edge(src, me, frame_bytes / SLICES as u64)
+            .expect("acyclic by construction");
+        g.add_edge(me, dct, frame_bytes / SLICES as u64)
+            .expect("acyclic by construction");
+        g.add_edge(dct, quant, coeff_bytes / SLICES as u64)
+            .expect("acyclic by construction");
+    }
+    let vlc = g.add_task(
+        "vlc",
+        OpCounts::new().with_control(vlc_ops / 2).with_bit(vlc_ops),
+        0,
+    );
+    let buffer = g.add_task("buffer", OpCounts::new().with_bit(vlc_ops / 4), 0);
+    let recon = g.add_task(
+        "recon-loop",
+        OpCounts::new().with_mac(idct_macs).with_int_alu(mc_ops),
+        0,
+    );
+    g.add_edge(quant, vlc, coeff_bytes).expect("acyclic by construction");
+    g.add_edge(vlc, buffer, frame_bytes / 8).expect("acyclic by construction");
+    g.add_edge(quant, recon, coeff_bytes).expect("acyclic by construction");
+
+    CalibratedPipeline {
+        stage_ops: vec![
+            ("motion-estimator".into(), me_ops),
+            ("dct".into(), dct_macs),
+            ("quantizer".into(), quant_ops),
+            ("vlc".into(), vlc_ops),
+            ("recon-loop".into(), idct_macs + mc_ops),
+        ],
+        graph: g,
+    }
+}
+
+/// Builds the matching decoder graph (VLC decode → inverse quantize →
+/// inverse DCT → motion compensation): no motion search, hence the §2
+/// encode/decode asymmetry.
+#[must_use]
+pub fn video_decoder_pipeline(spec: &VideoPipelineSpec, seed: u64) -> CalibratedPipeline {
+    let enc = video_encoder_pipeline(spec, seed);
+    // Decoder ops mirror the encoder's reconstruction path.
+    let find = |name: &str| {
+        enc.stage_ops
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    let idct = find("dct"); // same transform count as forward
+    let vlc = find("vlc");
+    let quant = find("quantizer");
+    let frame_bytes = (spec.width * spec.height * 3 / 2) as u64;
+    let coeff_bytes = frame_bytes * 2;
+
+    let mut g = TaskGraph::new("video-decoder");
+    let parse = g.add_task(
+        "vlc-decode",
+        OpCounts::new().with_control(vlc / 2).with_bit(vlc),
+        0,
+    );
+    let deq = g.add_task("dequantizer", OpCounts::new().with_int_alu(quant), 0);
+    let idct_t = g.add_task("inverse-dct", OpCounts::new().with_mac(idct), 0);
+    let mc = g.add_task(
+        "motion-compensator",
+        OpCounts::new().with_int_alu(frame_bytes).with_mem(frame_bytes / 4),
+        0,
+    );
+    let out = g.add_task("display", OpCounts::new().with_mem(frame_bytes / 8), 0);
+    g.add_edge(parse, deq, coeff_bytes).expect("acyclic");
+    g.add_edge(deq, idct_t, coeff_bytes).expect("acyclic");
+    g.add_edge(idct_t, mc, frame_bytes).expect("acyclic");
+    g.add_edge(mc, out, frame_bytes).expect("acyclic");
+
+    CalibratedPipeline {
+        stage_ops: vec![
+            ("vlc-decode".into(), vlc),
+            ("dequantizer".into(), quant),
+            ("inverse-dct".into(), idct),
+            ("motion-compensator".into(), frame_bytes),
+        ],
+        graph: g,
+    }
+}
+
+/// Builds the Figure 2 audio encoder graph with weights measured from a
+/// real encode: mapper (filterbank) → psychoacoustic model → quantizer →
+/// frame packer.
+#[must_use]
+pub fn audio_encoder_pipeline(seed: u64) -> CalibratedPipeline {
+    use audio::encoder::{AudioConfig, AudioEncoder};
+    let frames = 4usize;
+    let pcm = signal::gen::SignalGen::new(seed)
+        .music(440.0, 44_100.0, frames * audio::encoder::FRAME_SAMPLES);
+    let stream = AudioEncoder::new(AudioConfig::default())
+        .encode(&pcm)
+        .expect("calibration encode failed");
+    let t = stream.tally;
+    let per = |v: u64| v / frames as u64;
+    let granule_bytes = 32 * 8 * 36u64;
+
+    let mut g = TaskGraph::new("audio-encoder");
+    let src = g.add_task("pcm-in", OpCounts::new().with_mem(1152), 0);
+    let mapper = g.add_task(
+        "mapper",
+        OpCounts::new().with_mac(per(t.filterbank_macs)),
+        0,
+    );
+    let psycho = g.add_task(
+        "psychoacoustic-model",
+        OpCounts::new()
+            .with_mac(per(t.psycho_ops))
+            .with_control(per(t.psycho_ops) / 8),
+        0,
+    );
+    let quant = g.add_task(
+        "quantizer-coder",
+        OpCounts::new().with_int_alu(per(t.quant_samples) * 4),
+        0,
+    );
+    let packer = g.add_task(
+        "frame-packer",
+        OpCounts::new().with_bit(per(t.packed_bits)),
+        0,
+    );
+    g.add_edge(src, mapper, 1152 * 8).expect("acyclic");
+    g.add_edge(src, psycho, 1152 * 8).expect("acyclic");
+    g.add_edge(mapper, quant, granule_bytes).expect("acyclic");
+    g.add_edge(psycho, quant, 32 * 8).expect("acyclic");
+    g.add_edge(quant, packer, granule_bytes / 2).expect("acyclic");
+
+    CalibratedPipeline {
+        stage_ops: vec![
+            ("mapper".into(), per(t.filterbank_macs)),
+            ("psychoacoustic-model".into(), per(t.psycho_ops)),
+            ("quantizer-coder".into(), per(t.quant_samples) * 4),
+            ("frame-packer".into(), per(t.packed_bits)),
+        ],
+        graph: g,
+    }
+}
+
+/// Builds the audio *decoder* graph: frame unpack → dequantize →
+/// synthesis filterbank. No psychoacoustic model — that is encoder-only,
+/// which is exactly why playback devices are so much cheaper than
+/// recording ones.
+#[must_use]
+pub fn audio_decoder_pipeline(seed: u64) -> CalibratedPipeline {
+    let enc = audio_encoder_pipeline(seed);
+    let find = |name: &str| {
+        enc.stage_ops
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    // Synthesis costs the same MACs as analysis; unpack mirrors packing;
+    // dequantization mirrors quantization.
+    let synth = find("mapper");
+    let unpack = find("frame-packer");
+    let deq = find("quantizer-coder");
+    let granule_bytes = 32 * 8 * 36u64;
+
+    let mut g = TaskGraph::new("audio-decoder");
+    let parse = g.add_task("frame-unpack", OpCounts::new().with_bit(unpack), 0);
+    let dq = g.add_task("dequantizer", OpCounts::new().with_int_alu(deq), 0);
+    let fb = g.add_task("synthesis-filterbank", OpCounts::new().with_mac(synth), 0);
+    let out = g.add_task("pcm-out", OpCounts::new().with_mem(1152), 0);
+    g.add_edge(parse, dq, granule_bytes / 2).expect("acyclic");
+    g.add_edge(dq, fb, granule_bytes).expect("acyclic");
+    g.add_edge(fb, out, 1152 * 2).expect("acyclic");
+
+    CalibratedPipeline {
+        stage_ops: vec![
+            ("frame-unpack".into(), unpack),
+            ("dequantizer".into(), deq),
+            ("synthesis-filterbank".into(), synth),
+        ],
+        graph: g,
+    }
+}
+
+/// Content-analysis graph for a DVR (§5): per frame, black-frame check,
+/// histogram, shot compare — cheap relative to the codecs, but present.
+#[must_use]
+pub fn analysis_pipeline(width: usize, height: usize) -> CalibratedPipeline {
+    let pixels = (width * height) as u64;
+    let mut g = TaskGraph::new("content-analysis");
+    let luma = g.add_task("luma-stats", OpCounts::new().with_int_alu(pixels), 0);
+    let hist = g.add_task("histogram", OpCounts::new().with_int_alu(pixels).with_mem(64), 0);
+    let detect = g.add_task(
+        "break-detector",
+        OpCounts::new().with_control(256).with_int_alu(128),
+        0,
+    );
+    g.add_edge(luma, detect, 16).expect("acyclic");
+    g.add_edge(hist, detect, 64 * 8).expect("acyclic");
+    CalibratedPipeline {
+        stage_ops: vec![
+            ("luma-stats".into(), pixels),
+            ("histogram".into(), pixels),
+            ("break-detector".into(), 384),
+        ],
+        graph: g,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use video::me::SearchKind;
+
+    #[test]
+    fn encoder_graph_matches_figure_1_shape() {
+        let p = video_encoder_pipeline(&VideoPipelineSpec::default(), 1);
+        let names: Vec<&str> = p.graph.tasks().iter().map(|t| t.name.as_str()).collect();
+        for stage in [
+            "motion-estimator-s0",
+            "dct-s0",
+            "quantizer",
+            "vlc",
+            "buffer",
+            "recon-loop",
+        ] {
+            assert!(names.contains(&stage), "missing stage {stage}");
+        }
+        assert!(p.graph.topological_order().is_ok());
+    }
+
+    #[test]
+    fn motion_estimation_dominates_encoder_ops() {
+        let p = video_encoder_pipeline(&VideoPipelineSpec::default(), 2);
+        let me = p.stage_ops.iter().find(|(n, _)| n == "motion-estimator").unwrap().1;
+        for (name, ops) in &p.stage_ops {
+            if name != "motion-estimator" {
+                assert!(me > *ops, "{name} ({ops}) out-weighs ME ({me})");
+            }
+        }
+    }
+
+    #[test]
+    fn cheap_search_shrinks_me_weight() {
+        let full = video_encoder_pipeline(&VideoPipelineSpec::default(), 3);
+        let diamond = video_encoder_pipeline(
+            &VideoPipelineSpec {
+                config: EncoderConfig {
+                    search: SearchKind::Diamond,
+                    search_range: 7,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            3,
+        );
+        let me_of = |p: &CalibratedPipeline| {
+            p.stage_ops
+                .iter()
+                .find(|(n, _)| n == "motion-estimator")
+                .unwrap()
+                .1
+        };
+        assert!(me_of(&full) > 5 * me_of(&diamond));
+    }
+
+    #[test]
+    fn ops_scale_with_resolution() {
+        let small = video_encoder_pipeline(
+            &VideoPipelineSpec {
+                width: 176,
+                height: 144,
+                ..Default::default()
+            },
+            4,
+        );
+        let large = video_encoder_pipeline(&VideoPipelineSpec::default(), 4);
+        assert!(
+            large.graph.total_ops().total() > 3 * small.graph.total_ops().total(),
+            "CIF should be ~4x QCIF"
+        );
+    }
+
+    #[test]
+    fn decoder_is_cheaper_than_encoder() {
+        let enc = video_encoder_pipeline(&VideoPipelineSpec::default(), 5);
+        let dec = video_decoder_pipeline(&VideoPipelineSpec::default(), 5);
+        assert!(
+            enc.graph.total_ops().total() > 3 * dec.graph.total_ops().total(),
+            "asymmetry missing: enc {} dec {}",
+            enc.graph.total_ops().total(),
+            dec.graph.total_ops().total()
+        );
+    }
+
+    #[test]
+    fn audio_graph_matches_figure_2_shape() {
+        let p = audio_encoder_pipeline(6);
+        let names: Vec<&str> = p.graph.tasks().iter().map(|t| t.name.as_str()).collect();
+        for stage in ["mapper", "psychoacoustic-model", "quantizer-coder", "frame-packer"] {
+            assert!(names.contains(&stage), "missing stage {stage}");
+        }
+        // Mapper + psycho dominate (the paper's compute story for audio).
+        let get = |n: &str| p.stage_ops.iter().find(|(x, _)| x == n).unwrap().1;
+        assert!(get("mapper") + get("psychoacoustic-model") > get("quantizer-coder"));
+    }
+
+    #[test]
+    fn analysis_pipeline_is_light() {
+        let a = analysis_pipeline(352, 288);
+        let v = video_encoder_pipeline(&VideoPipelineSpec::default(), 7);
+        assert!(a.graph.total_ops().total() * 10 < v.graph.total_ops().total());
+    }
+}

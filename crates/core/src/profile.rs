@@ -1,0 +1,220 @@
+//! Device profiles — the §2 consumer device classes as runnable
+//! workload/platform pairs.
+//!
+//! *"consumer multimedia devices cover a broad range of
+//! cost/performance/power points: multimedia-enabled cell phones, digital
+//! audio players, digital set-top boxes, digital video recorders, digital
+//! video cameras."* Each [`DeviceClass`] pairs an application task graph
+//! (built from the calibrated pipelines) with the matching platform
+//! preset, plus the real-time target the device must meet.
+
+use mpsoc::platform::Platform;
+use mpsoc::task::TaskGraph;
+use video::encoder::EncoderConfig;
+use video::me::SearchKind;
+
+use crate::pipeline::{
+    analysis_pipeline, audio_decoder_pipeline, video_decoder_pipeline, video_encoder_pipeline,
+    VideoPipelineSpec,
+};
+
+/// The five §2 consumer device classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceClass {
+    /// Multimedia-enabled cell phone: low-resolution symmetric video call.
+    CellPhone,
+    /// Digital audio player: audio decode only.
+    AudioPlayer,
+    /// Digital set-top box: broadcast video + audio decode.
+    SetTopBox,
+    /// Digital video recorder: encode + decode + content analysis.
+    VideoRecorder,
+    /// Digital video camera: encode-heavy.
+    VideoCamera,
+}
+
+impl DeviceClass {
+    /// All classes, in the paper's order.
+    pub const ALL: [DeviceClass; 5] = [
+        DeviceClass::CellPhone,
+        DeviceClass::AudioPlayer,
+        DeviceClass::SetTopBox,
+        DeviceClass::VideoRecorder,
+        DeviceClass::VideoCamera,
+    ];
+
+    /// The platform preset for this class.
+    #[must_use]
+    pub fn platform(self) -> Platform {
+        match self {
+            DeviceClass::CellPhone => Platform::cell_phone(),
+            DeviceClass::AudioPlayer => Platform::audio_player(),
+            DeviceClass::SetTopBox => Platform::set_top_box(),
+            DeviceClass::VideoRecorder => Platform::video_recorder(),
+            DeviceClass::VideoCamera => Platform::video_camera(),
+        }
+    }
+
+    /// Iterations (frames) per second the device must sustain.
+    #[must_use]
+    pub fn realtime_target_hz(self) -> f64 {
+        match self {
+            DeviceClass::CellPhone => 15.0,   // video call frame rate
+            DeviceClass::AudioPlayer => 38.3, // 1152-sample frames at 44.1 kHz
+            DeviceClass::SetTopBox => 30.0,
+            DeviceClass::VideoRecorder => 30.0,
+            DeviceClass::VideoCamera => 30.0,
+        }
+    }
+
+    /// The application task graph (one iteration = one frame).
+    #[must_use]
+    pub fn application(self, seed: u64) -> TaskGraph {
+        match self {
+            DeviceClass::CellPhone => {
+                // Symmetric videoconference at QCIF with cheap search (§2).
+                let spec = VideoPipelineSpec {
+                    width: 176,
+                    height: 144,
+                    config: EncoderConfig {
+                        search: SearchKind::Diamond,
+                        search_range: 7,
+                        gop: 8,
+                        ..Default::default()
+                    },
+                };
+                let enc = video_encoder_pipeline(&spec, seed).graph;
+                let dec = video_decoder_pipeline(&spec, seed).graph;
+                merge_graphs("cell-phone-call", &[enc, dec])
+            }
+            DeviceClass::AudioPlayer => {
+                // Decode-only: unpack -> dequantize -> synthesis filterbank.
+                relabel(audio_decoder_pipeline(seed).graph, "audio-player")
+            }
+            DeviceClass::SetTopBox => {
+                let spec = VideoPipelineSpec::default();
+                let vdec = video_decoder_pipeline(&spec, seed).graph;
+                let adec = audio_decoder_pipeline(seed).graph;
+                merge_graphs("set-top-box", &[vdec, adec])
+            }
+            DeviceClass::VideoRecorder => {
+                // Consumer encoder silicon never runs exhaustive search at
+                // CIF/30; a fast logarithmic search is the historically
+                // accurate choice.
+                let spec = VideoPipelineSpec {
+                    config: EncoderConfig {
+                        search: SearchKind::ThreeStep,
+                        search_range: 15,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                };
+                let enc = video_encoder_pipeline(&spec, seed).graph;
+                let dec = video_decoder_pipeline(&spec, seed).graph;
+                let ana = analysis_pipeline(spec.width, spec.height).graph;
+                merge_graphs("video-recorder", &[enc, dec, ana])
+            }
+            DeviceClass::VideoCamera => {
+                let spec = VideoPipelineSpec {
+                    config: EncoderConfig {
+                        search: SearchKind::ThreeStep,
+                        search_range: 15,
+                        gop: 15,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                };
+                video_encoder_pipeline(&spec, seed).graph
+            }
+        }
+    }
+}
+
+impl core::fmt::Display for DeviceClass {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            DeviceClass::CellPhone => "cell-phone",
+            DeviceClass::AudioPlayer => "audio-player",
+            DeviceClass::SetTopBox => "set-top-box",
+            DeviceClass::VideoRecorder => "video-recorder",
+            DeviceClass::VideoCamera => "video-camera",
+        })
+    }
+}
+
+/// Concatenates independent graphs into one (disjoint union), renaming
+/// the result.
+#[must_use]
+pub fn merge_graphs(name: &str, graphs: &[TaskGraph]) -> TaskGraph {
+    let mut out = TaskGraph::new(name);
+    for g in graphs {
+        let offset = out.task_count();
+        for t in g.tasks() {
+            out.add_task(format!("{}:{}", g.name(), t.name), t.ops, t.state_bytes);
+        }
+        for e in g.edges() {
+            out.add_edge(
+                mpsoc::task::TaskId(e.from.0 + offset),
+                mpsoc::task::TaskId(e.to.0 + offset),
+                e.bytes,
+            )
+            .expect("disjoint union preserves acyclicity");
+        }
+    }
+    out
+}
+
+fn relabel(g: TaskGraph, name: &str) -> TaskGraph {
+    merge_graphs(name, &[g])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_class_builds_a_valid_application() {
+        for class in DeviceClass::ALL {
+            let g = class.application(1);
+            assert!(g.task_count() > 0, "{class}");
+            assert!(g.topological_order().is_ok(), "{class}");
+            assert!(class.platform().pe_count() >= 2, "{class}");
+            assert!(class.realtime_target_hz() > 0.0);
+        }
+    }
+
+    #[test]
+    fn recorder_workload_is_heaviest() {
+        let dvr = DeviceClass::VideoRecorder.application(2).total_ops().total();
+        for class in [DeviceClass::CellPhone, DeviceClass::AudioPlayer] {
+            let other = class.application(2).total_ops().total();
+            assert!(dvr > other, "{class} should be lighter than the DVR");
+        }
+    }
+
+    #[test]
+    fn audio_player_is_lightest() {
+        let player = DeviceClass::AudioPlayer.application(3).total_ops().total();
+        for class in [
+            DeviceClass::SetTopBox,
+            DeviceClass::VideoRecorder,
+            DeviceClass::VideoCamera,
+        ] {
+            assert!(class.application(3).total_ops().total() > player);
+        }
+    }
+
+    #[test]
+    fn merge_preserves_structure() {
+        let a = DeviceClass::VideoCamera.application(4);
+        let merged = merge_graphs("two-cameras", &[a.clone(), a.clone()]);
+        assert_eq!(merged.task_count(), 2 * a.task_count());
+        assert_eq!(merged.edge_count(), 2 * a.edge_count());
+        assert!(merged.topological_order().is_ok());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DeviceClass::SetTopBox.to_string(), "set-top-box");
+    }
+}

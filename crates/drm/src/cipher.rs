@@ -1,0 +1,188 @@
+//! XTEA block cipher with a counter (CTR) stream mode — the encryption
+//! tool of paper §6.
+//!
+//! *"Digital rights management uses encryption as a tool but it affects
+//! the system architecture from user interface to file management."* The
+//! DRM experiments need a real symmetric cipher in the playback path to
+//! measure its overhead and to make tampering detectable; XTEA (Needham &
+//! Wheeler, 1997) is implemented from scratch here. The point of the DRM
+//! crate is the *rights architecture*, not cryptographic novelty
+//! (DESIGN.md §5); do not reuse this module as a general-purpose security
+//! library.
+
+/// A 128-bit key.
+pub type Key = [u8; 16];
+
+/// XTEA rounds (the recommended 32 cycles = 64 Feistel rounds).
+const ROUNDS: u32 = 32;
+const DELTA: u32 = 0x9E37_79B9;
+
+/// The XTEA block cipher.
+#[derive(Debug, Clone, Copy)]
+pub struct Xtea {
+    k: [u32; 4],
+}
+
+impl Xtea {
+    /// Creates a cipher from a 128-bit key.
+    #[must_use]
+    pub fn new(key: &Key) -> Self {
+        let mut k = [0u32; 4];
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            k[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        Self { k }
+    }
+
+    /// Encrypts one 64-bit block.
+    #[must_use]
+    pub fn encrypt_block(&self, block: u64) -> u64 {
+        let mut v0 = (block >> 32) as u32;
+        let mut v1 = block as u32;
+        let mut sum = 0u32;
+        for _ in 0..ROUNDS {
+            v0 = v0.wrapping_add(
+                (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1))
+                    ^ (sum.wrapping_add(self.k[(sum & 3) as usize])),
+            );
+            sum = sum.wrapping_add(DELTA);
+            v1 = v1.wrapping_add(
+                (((v0 << 4) ^ (v0 >> 5)).wrapping_add(v0))
+                    ^ (sum.wrapping_add(self.k[((sum >> 11) & 3) as usize])),
+            );
+        }
+        ((v0 as u64) << 32) | v1 as u64
+    }
+
+    /// Decrypts one 64-bit block.
+    #[must_use]
+    pub fn decrypt_block(&self, block: u64) -> u64 {
+        let mut v0 = (block >> 32) as u32;
+        let mut v1 = block as u32;
+        let mut sum = DELTA.wrapping_mul(ROUNDS);
+        for _ in 0..ROUNDS {
+            v1 = v1.wrapping_sub(
+                (((v0 << 4) ^ (v0 >> 5)).wrapping_add(v0))
+                    ^ (sum.wrapping_add(self.k[((sum >> 11) & 3) as usize])),
+            );
+            sum = sum.wrapping_sub(DELTA);
+            v0 = v0.wrapping_sub(
+                (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1))
+                    ^ (sum.wrapping_add(self.k[(sum & 3) as usize])),
+            );
+        }
+        ((v0 as u64) << 32) | v1 as u64
+    }
+}
+
+/// XTEA in counter mode: a symmetric keystream cipher (encrypt ==
+/// decrypt). The nonce separates streams under the same key.
+#[derive(Debug, Clone, Copy)]
+pub struct XteaCtr {
+    cipher: Xtea,
+    nonce: u32,
+}
+
+impl XteaCtr {
+    /// Creates a CTR-mode cipher.
+    #[must_use]
+    pub fn new(key: &Key, nonce: u32) -> Self {
+        Self {
+            cipher: Xtea::new(key),
+            nonce,
+        }
+    }
+
+    /// Encrypts or decrypts `data` in place (CTR is an involution).
+    pub fn apply(&self, data: &mut [u8]) {
+        for (i, chunk) in data.chunks_mut(8).enumerate() {
+            let counter = ((self.nonce as u64) << 32) | i as u64;
+            let ks = self.cipher.encrypt_block(counter).to_be_bytes();
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+    }
+
+    /// Convenience: returns an encrypted/decrypted copy.
+    #[must_use]
+    pub fn applied(&self, data: &[u8]) -> Vec<u8> {
+        let mut out = data.to_vec();
+        self.apply(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use signal::rng::Xoroshiro128;
+
+    const KEY: Key = [
+        0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xAA, 0xBB, 0xCC, 0xDD,
+        0xEE, 0xFF,
+    ];
+
+    #[test]
+    fn block_round_trip() {
+        let c = Xtea::new(&KEY);
+        let mut rng = Xoroshiro128::new(81);
+        for _ in 0..100 {
+            let p = rng.next_u64();
+            assert_eq!(c.decrypt_block(c.encrypt_block(p)), p);
+        }
+    }
+
+    #[test]
+    fn encryption_actually_changes_data() {
+        let c = Xtea::new(&KEY);
+        assert_ne!(c.encrypt_block(0), 0);
+        assert_ne!(c.encrypt_block(1), c.encrypt_block(2));
+    }
+
+    #[test]
+    fn different_keys_give_different_ciphertexts() {
+        let mut k2 = KEY;
+        k2[0] ^= 1;
+        let a = Xtea::new(&KEY).encrypt_block(0x1234_5678_9ABC_DEF0);
+        let b = Xtea::new(&k2).encrypt_block(0x1234_5678_9ABC_DEF0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ctr_is_an_involution() {
+        let ctr = XteaCtr::new(&KEY, 7);
+        let msg = b"the content of a protected title".to_vec();
+        let enc = ctr.applied(&msg);
+        assert_ne!(enc, msg);
+        assert_eq!(ctr.applied(&enc), msg);
+    }
+
+    #[test]
+    fn ctr_handles_partial_blocks() {
+        let ctr = XteaCtr::new(&KEY, 1);
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17] {
+            let msg: Vec<u8> = (0..len as u8).collect();
+            assert_eq!(ctr.applied(&ctr.applied(&msg)), msg, "len {len}");
+        }
+    }
+
+    #[test]
+    fn nonces_separate_streams() {
+        let a = XteaCtr::new(&KEY, 1).applied(b"same plaintext bytes");
+        let b = XteaCtr::new(&KEY, 2).applied(b"same plaintext bytes");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn keystream_looks_balanced() {
+        // Not a randomness proof — just a sanity check that the keystream
+        // is not degenerate.
+        let ctr = XteaCtr::new(&KEY, 3);
+        let zeros = vec![0u8; 4096];
+        let ks = ctr.applied(&zeros);
+        let ones: u32 = ks.iter().map(|b| b.count_ones()).sum();
+        let frac = ones as f64 / (4096.0 * 8.0);
+        assert!((frac - 0.5).abs() < 0.02, "bit balance {frac}");
+    }
+}

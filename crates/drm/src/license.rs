@@ -1,0 +1,386 @@
+//! Rights and licenses — the §6 rights model, verbatim.
+//!
+//! The paper enumerates the forms rights may take:
+//!
+//! > * The ability to play certain titles.
+//! > * The number of times that a title may be played.
+//! > * The right to play a title on more than one device.
+//! > * The time period during which the title may be played.
+//!
+//! [`Right`] encodes exactly those four forms; a [`License`] carries a set
+//! of them plus the content key, serialized with a keyed MAC so tampering
+//! (extending an expiry, adding a device) is detected.
+
+use signal::bits::{BitReader, BitWriter, OutOfBitsError};
+
+use crate::cipher::Key;
+use crate::hash::{digest_eq, mac, Digest};
+
+/// Identifies a piece of content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TitleId(pub u64);
+
+impl core::fmt::Display for TitleId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "title:{}", self.0)
+    }
+}
+
+/// Identifies a playback device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceId(pub u64);
+
+impl core::fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "device:{}", self.0)
+    }
+}
+
+/// The four §6 right forms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Right {
+    /// The ability to play this title at all (unconditional play right).
+    Play,
+    /// The number of times the title may be played.
+    PlayCount(
+        /// Plays allowed over the license's lifetime.
+        u32,
+    ),
+    /// The devices on which the title may be played (one or more).
+    Devices(Vec<DeviceId>),
+    /// The time period `[not_before, not_after]` (seconds) during which
+    /// the title may be played.
+    TimeWindow {
+        /// Earliest permitted play time (inclusive).
+        not_before: u64,
+        /// Latest permitted play time (inclusive).
+        not_after: u64,
+    },
+}
+
+/// Why an authorization was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Refusal {
+    /// No play right for the title at all.
+    NoPlayRight,
+    /// The play count is exhausted.
+    CountExhausted,
+    /// The requesting device is not licensed.
+    WrongDevice,
+    /// Outside the permitted time window.
+    OutsideWindow,
+}
+
+impl core::fmt::Display for Refusal {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Refusal::NoPlayRight => "no play right for this title",
+            Refusal::CountExhausted => "play count exhausted",
+            Refusal::WrongDevice => "device not licensed for this title",
+            Refusal::OutsideWindow => "outside the licensed time window",
+        })
+    }
+}
+
+impl std::error::Error for Refusal {}
+
+/// A license: rights over one title, plus the content decryption key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct License {
+    /// The licensed title.
+    pub title: TitleId,
+    /// The granted rights (all must be satisfied to play).
+    pub rights: Vec<Right>,
+    /// Key that decrypts the title's content stream.
+    pub content_key: Key,
+}
+
+impl License {
+    /// Checks whether `device` may play at time `now` given `plays_used`
+    /// prior plays. Every right present must be satisfied; a license with
+    /// no `Play` and no `PlayCount` right grants nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Refusal`] encountered.
+    pub fn authorize(&self, device: DeviceId, now: u64, plays_used: u32) -> Result<(), Refusal> {
+        let mut playable = false;
+        for right in &self.rights {
+            match right {
+                Right::Play => playable = true,
+                Right::PlayCount(n) => {
+                    if plays_used >= *n {
+                        return Err(Refusal::CountExhausted);
+                    }
+                    playable = true;
+                }
+                Right::Devices(devs) => {
+                    if !devs.contains(&device) {
+                        return Err(Refusal::WrongDevice);
+                    }
+                }
+                Right::TimeWindow {
+                    not_before,
+                    not_after,
+                } => {
+                    if now < *not_before || now > *not_after {
+                        return Err(Refusal::OutsideWindow);
+                    }
+                }
+            }
+        }
+        if playable {
+            Ok(())
+        } else {
+            Err(Refusal::NoPlayRight)
+        }
+    }
+
+    /// Serializes the license body (without MAC).
+    fn write_body(&self, w: &mut BitWriter) {
+        w.write_bits((self.title.0 >> 32) as u32, 32);
+        w.write_bits(self.title.0 as u32, 32);
+        w.write_bits(self.rights.len() as u32, 8);
+        for r in &self.rights {
+            match r {
+                Right::Play => w.write_bits(0, 2),
+                Right::PlayCount(n) => {
+                    w.write_bits(1, 2);
+                    w.write_bits(*n, 32);
+                }
+                Right::Devices(devs) => {
+                    w.write_bits(2, 2);
+                    w.write_bits(devs.len() as u32, 8);
+                    for d in devs {
+                        w.write_bits((d.0 >> 32) as u32, 32);
+                        w.write_bits(d.0 as u32, 32);
+                    }
+                }
+                Right::TimeWindow {
+                    not_before,
+                    not_after,
+                } => {
+                    w.write_bits(3, 2);
+                    w.write_bits((*not_before >> 32) as u32, 32);
+                    w.write_bits(*not_before as u32, 32);
+                    w.write_bits((*not_after >> 32) as u32, 32);
+                    w.write_bits(*not_after as u32, 32);
+                }
+            }
+        }
+        for b in self.content_key {
+            w.write_bits(b as u32, 8);
+        }
+    }
+
+    /// Serializes with a MAC under the authority's signing key.
+    #[must_use]
+    pub fn seal(&self, signing_key: &[u8]) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        self.write_body(&mut w);
+        let body = w.into_bytes();
+        let tag: Digest = mac(signing_key, &body);
+        let mut out = Vec::with_capacity(body.len() + 34);
+        out.extend_from_slice(&(body.len() as u16).to_be_bytes());
+        out.extend_from_slice(&body);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Parses and verifies a sealed license.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LicenseParseError`] for truncated data, bad MACs, or
+    /// malformed bodies.
+    pub fn unseal(bytes: &[u8], signing_key: &[u8]) -> Result<Self, LicenseParseError> {
+        if bytes.len() < 2 {
+            return Err(LicenseParseError::Truncated);
+        }
+        let body_len = u16::from_be_bytes([bytes[0], bytes[1]]) as usize;
+        if bytes.len() < 2 + body_len + 32 {
+            return Err(LicenseParseError::Truncated);
+        }
+        let body = &bytes[2..2 + body_len];
+        let tag: Digest = bytes[2 + body_len..2 + body_len + 32]
+            .try_into()
+            .expect("32 bytes checked");
+        let expect = mac(signing_key, body);
+        if !digest_eq(&tag, &expect) {
+            return Err(LicenseParseError::BadMac);
+        }
+        let mut r = BitReader::new(body);
+        let read_u64 = |r: &mut BitReader<'_>| -> Result<u64, OutOfBitsError> {
+            let hi = r.read_bits(32)? as u64;
+            let lo = r.read_bits(32)? as u64;
+            Ok((hi << 32) | lo)
+        };
+        let title = TitleId(read_u64(&mut r)?);
+        let n_rights = r.read_bits(8)? as usize;
+        let mut rights = Vec::with_capacity(n_rights);
+        for _ in 0..n_rights {
+            let kind = r.read_bits(2)?;
+            rights.push(match kind {
+                0 => Right::Play,
+                1 => Right::PlayCount(r.read_bits(32)?),
+                2 => {
+                    let n = r.read_bits(8)? as usize;
+                    let mut devs = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        devs.push(DeviceId(read_u64(&mut r)?));
+                    }
+                    Right::Devices(devs)
+                }
+                _ => Right::TimeWindow {
+                    not_before: read_u64(&mut r)?,
+                    not_after: read_u64(&mut r)?,
+                },
+            });
+        }
+        let mut content_key = [0u8; 16];
+        for b in &mut content_key {
+            *b = r.read_bits(8)? as u8;
+        }
+        Ok(Self {
+            title,
+            rights,
+            content_key,
+        })
+    }
+}
+
+/// Errors parsing a sealed license.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LicenseParseError {
+    /// Data too short.
+    Truncated,
+    /// MAC verification failed (tampering or wrong authority).
+    BadMac,
+}
+
+impl core::fmt::Display for LicenseParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            LicenseParseError::Truncated => "license data truncated",
+            LicenseParseError::BadMac => "license MAC verification failed",
+        })
+    }
+}
+
+impl std::error::Error for LicenseParseError {}
+
+impl From<OutOfBitsError> for LicenseParseError {
+    fn from(_: OutOfBitsError) -> Self {
+        LicenseParseError::Truncated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: Key = [9u8; 16];
+    const SIGNING: &[u8] = b"authority-secret";
+
+    fn full_license() -> License {
+        License {
+            title: TitleId(42),
+            rights: vec![
+                Right::PlayCount(3),
+                Right::Devices(vec![DeviceId(1), DeviceId(2)]),
+                Right::TimeWindow {
+                    not_before: 100,
+                    not_after: 200,
+                },
+            ],
+            content_key: KEY,
+        }
+    }
+
+    #[test]
+    fn all_rights_satisfied_authorizes() {
+        let l = full_license();
+        assert_eq!(l.authorize(DeviceId(1), 150, 0), Ok(()));
+    }
+
+    #[test]
+    fn each_right_form_is_enforced() {
+        let l = full_license();
+        assert_eq!(
+            l.authorize(DeviceId(1), 150, 3),
+            Err(Refusal::CountExhausted)
+        );
+        assert_eq!(l.authorize(DeviceId(9), 150, 0), Err(Refusal::WrongDevice));
+        assert_eq!(l.authorize(DeviceId(1), 99, 0), Err(Refusal::OutsideWindow));
+        assert_eq!(l.authorize(DeviceId(2), 201, 0), Err(Refusal::OutsideWindow));
+    }
+
+    #[test]
+    fn no_play_right_refuses() {
+        let l = License {
+            title: TitleId(1),
+            rights: vec![Right::Devices(vec![DeviceId(1)])],
+            content_key: KEY,
+        };
+        assert_eq!(l.authorize(DeviceId(1), 0, 0), Err(Refusal::NoPlayRight));
+    }
+
+    #[test]
+    fn unconditional_play_right() {
+        let l = License {
+            title: TitleId(1),
+            rights: vec![Right::Play],
+            content_key: KEY,
+        };
+        assert_eq!(l.authorize(DeviceId(77), u64::MAX, u32::MAX), Ok(()));
+    }
+
+    #[test]
+    fn seal_unseal_round_trip() {
+        let l = full_license();
+        let sealed = l.seal(SIGNING);
+        let back = License::unseal(&sealed, SIGNING).unwrap();
+        assert_eq!(back, l);
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let l = full_license();
+        let mut sealed = l.seal(SIGNING);
+        // Flip a bit inside the body (e.g., the play count).
+        sealed[12] ^= 0x01;
+        assert_eq!(
+            License::unseal(&sealed, SIGNING).unwrap_err(),
+            LicenseParseError::BadMac
+        );
+    }
+
+    #[test]
+    fn wrong_authority_rejected() {
+        let sealed = full_license().seal(SIGNING);
+        assert_eq!(
+            License::unseal(&sealed, b"impostor").unwrap_err(),
+            LicenseParseError::BadMac
+        );
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let sealed = full_license().seal(SIGNING);
+        assert_eq!(
+            License::unseal(&sealed[..10], SIGNING).unwrap_err(),
+            LicenseParseError::Truncated
+        );
+        assert_eq!(
+            License::unseal(&[], SIGNING).unwrap_err(),
+            LicenseParseError::Truncated
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TitleId(5).to_string(), "title:5");
+        assert_eq!(DeviceId(6).to_string(), "device:6");
+        assert!(!Refusal::WrongDevice.to_string().is_empty());
+    }
+}

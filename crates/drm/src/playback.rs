@@ -1,0 +1,343 @@
+//! The protected playback path and the license authority.
+//!
+//! Paper §6: *"The playback device must be able not only to perform the
+//! authorization transaction but also to play back the content in such a
+//! way that the authorizations are not easily subverted. For example, a
+//! playback device may be architected to provide only analog output at
+//! the pins to prevent direct copying of unencoded digital content."*
+//!
+//! [`PlaybackDevice`] holds the license store, decrypts content inside
+//! the "chip", and exposes the decrypted samples only through the output
+//! policy: an analog-only device never returns the digital bytes.
+
+use crate::cipher::{Key, XteaCtr};
+use crate::license::{DeviceId, License, Refusal, Right, TitleId};
+use crate::store::{LicenseStore, StoreDecision};
+
+/// What the device's output pins expose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputPolicy {
+    /// Decrypted digital samples may leave the device (e.g. toward an
+    /// internal decoder pipeline).
+    DigitalAllowed,
+    /// Only an "analog" rendering leaves the device — modeled as `f64`
+    /// sample levels with quantization detail destroyed, so the exact
+    /// digital content cannot be copied off the pins.
+    AnalogOnly,
+}
+
+/// The result of a playback request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlaybackOutput {
+    /// Digital pass-through (policy permitting).
+    Digital(Vec<u8>),
+    /// Analog rendering: one level per sample, with the LSBs gone.
+    Analog(Vec<f64>),
+}
+
+/// Errors from a playback request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlaybackError {
+    /// The store refused authorization.
+    NotAuthorized(StoreDecision),
+}
+
+impl core::fmt::Display for PlaybackError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PlaybackError::NotAuthorized(d) => write!(f, "authorization refused: {d:?}"),
+        }
+    }
+}
+
+impl std::error::Error for PlaybackError {}
+
+/// A consumer playback device with a protected content path.
+#[derive(Debug, Clone)]
+pub struct PlaybackDevice {
+    id: DeviceId,
+    store: LicenseStore,
+    policy: OutputPolicy,
+}
+
+impl PlaybackDevice {
+    /// Creates a device.
+    #[must_use]
+    pub fn new(id: DeviceId, policy: OutputPolicy) -> Self {
+        Self {
+            id,
+            store: LicenseStore::new(),
+            policy,
+        }
+    }
+
+    /// The device id.
+    #[must_use]
+    pub fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    /// The output policy.
+    #[must_use]
+    pub fn policy(&self) -> OutputPolicy {
+        self.policy
+    }
+
+    /// Mutable access to the license store (for installs and marker
+    /// updates).
+    pub fn store_mut(&mut self) -> &mut LicenseStore {
+        &mut self.store
+    }
+
+    /// Read access to the license store.
+    #[must_use]
+    pub fn store(&self) -> &LicenseStore {
+        &self.store
+    }
+
+    /// Plays encrypted content: authorizes, decrypts with the license's
+    /// content key, and renders according to the output policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlaybackError::NotAuthorized`] when the store refuses.
+    pub fn play(
+        &mut self,
+        title: TitleId,
+        encrypted: &[u8],
+        nonce: u32,
+        now: u64,
+    ) -> Result<PlaybackOutput, PlaybackError> {
+        let decision = self.store.authorize_play(title, self.id, now);
+        if !decision.is_granted() {
+            return Err(PlaybackError::NotAuthorized(decision));
+        }
+        let key = self
+            .store
+            .license(title)
+            .expect("granted implies license present")
+            .content_key;
+        let clear = XteaCtr::new(&key, nonce).applied(encrypted);
+        Ok(match self.policy {
+            OutputPolicy::DigitalAllowed => PlaybackOutput::Digital(clear),
+            OutputPolicy::AnalogOnly => PlaybackOutput::Analog(
+                // "Analog at the pins": drop the 3 LSBs — enough signal to
+                // listen to, not enough to reconstruct the digital stream.
+                clear
+                    .iter()
+                    .map(|&b| (b & 0xF8) as f64 / 255.0)
+                    .collect(),
+            ),
+        })
+    }
+}
+
+/// The content owner's license authority: issues sealed licenses and
+/// encrypts content.
+#[derive(Debug, Clone)]
+pub struct LicenseAuthority {
+    signing_key: Vec<u8>,
+    /// Per-title content keys.
+    keys: std::collections::HashMap<TitleId, Key>,
+}
+
+impl LicenseAuthority {
+    /// Creates an authority with a signing secret.
+    #[must_use]
+    pub fn new(signing_key: impl Into<Vec<u8>>) -> Self {
+        Self {
+            signing_key: signing_key.into(),
+            keys: std::collections::HashMap::new(),
+        }
+    }
+
+    /// The signing key devices use to verify licenses (in a real system a
+    /// public key; symmetric here).
+    #[must_use]
+    pub fn verification_key(&self) -> &[u8] {
+        &self.signing_key
+    }
+
+    /// Registers a title, deriving its content key from the signing
+    /// secret and title id.
+    pub fn register_title(&mut self, title: TitleId) -> Key {
+        let digest = crate::hash::mac(&self.signing_key, &title.0.to_be_bytes());
+        let mut key = [0u8; 16];
+        key.copy_from_slice(&digest[..16]);
+        self.keys.insert(title, key);
+        key
+    }
+
+    /// Encrypts content for a registered title.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the title is not registered.
+    #[must_use]
+    pub fn encrypt_content(&self, title: TitleId, content: &[u8], nonce: u32) -> Vec<u8> {
+        let key = self.keys.get(&title).expect("title not registered");
+        XteaCtr::new(key, nonce).applied(content)
+    }
+
+    /// Issues a sealed license granting `rights` over `title`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the title is not registered.
+    #[must_use]
+    pub fn issue(&self, title: TitleId, rights: Vec<Right>) -> Vec<u8> {
+        let key = self.keys.get(&title).expect("title not registered");
+        License {
+            title,
+            rights,
+            content_key: *key,
+        }
+        .seal(&self.signing_key)
+    }
+}
+
+/// End-to-end convenience used by examples and benches: play `content`
+/// through a full authorize-decrypt-render transaction.
+///
+/// # Errors
+///
+/// Propagates [`PlaybackError`] from the device.
+pub fn protected_play(
+    device: &mut PlaybackDevice,
+    authority: &LicenseAuthority,
+    title: TitleId,
+    content: &[u8],
+    nonce: u32,
+    now: u64,
+) -> Result<PlaybackOutput, PlaybackError> {
+    let encrypted = authority.encrypt_content(title, content, nonce);
+    device.play(title, &encrypted, nonce, now)
+}
+
+/// A refusal mapped back to the §6 right that caused it, for reporting.
+#[must_use]
+pub fn refusal_of(decision: StoreDecision) -> Option<Refusal> {
+    match decision {
+        StoreDecision::Refused(r) => Some(r),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (LicenseAuthority, PlaybackDevice, TitleId) {
+        let mut authority = LicenseAuthority::new(b"studio-secret".to_vec());
+        let title = TitleId(7);
+        authority.register_title(title);
+        let device = PlaybackDevice::new(DeviceId(1), OutputPolicy::DigitalAllowed);
+        (authority, device, title)
+    }
+
+    #[test]
+    fn licensed_playback_round_trips_content() {
+        let (authority, mut device, title) = setup();
+        let sealed = authority.issue(title, vec![Right::Play]);
+        device
+            .store_mut()
+            .install(&sealed, authority.verification_key())
+            .unwrap();
+        let content = b"compressed media payload".to_vec();
+        let out = protected_play(&mut device, &authority, title, &content, 1, 0).unwrap();
+        assert_eq!(out, PlaybackOutput::Digital(content));
+    }
+
+    #[test]
+    fn unlicensed_playback_refused() {
+        let (authority, mut device, title) = setup();
+        let err = protected_play(&mut device, &authority, title, b"x", 1, 0).unwrap_err();
+        assert_eq!(err, PlaybackError::NotAuthorized(StoreDecision::NoLicense));
+    }
+
+    #[test]
+    fn play_count_decrements_through_device() {
+        let (authority, mut device, title) = setup();
+        let sealed = authority.issue(title, vec![Right::PlayCount(2)]);
+        device
+            .store_mut()
+            .install(&sealed, authority.verification_key())
+            .unwrap();
+        assert!(protected_play(&mut device, &authority, title, b"c", 1, 0).is_ok());
+        assert!(protected_play(&mut device, &authority, title, b"c", 1, 0).is_ok());
+        let err = protected_play(&mut device, &authority, title, b"c", 1, 0).unwrap_err();
+        assert_eq!(
+            refusal_of(match err {
+                PlaybackError::NotAuthorized(d) => d,
+            }),
+            Some(Refusal::CountExhausted)
+        );
+    }
+
+    #[test]
+    fn device_binding_enforced_through_device() {
+        let (authority, _, title) = setup();
+        let sealed = authority.issue(
+            title,
+            vec![Right::Play, Right::Devices(vec![DeviceId(42)])],
+        );
+        let mut wrong_device = PlaybackDevice::new(DeviceId(1), OutputPolicy::DigitalAllowed);
+        wrong_device
+            .store_mut()
+            .install(&sealed, authority.verification_key())
+            .unwrap();
+        assert!(protected_play(&mut wrong_device, &authority, title, b"c", 1, 0).is_err());
+        let mut right_device = PlaybackDevice::new(DeviceId(42), OutputPolicy::DigitalAllowed);
+        right_device
+            .store_mut()
+            .install(&sealed, authority.verification_key())
+            .unwrap();
+        assert!(protected_play(&mut right_device, &authority, title, b"c", 1, 0).is_ok());
+    }
+
+    #[test]
+    fn analog_only_never_exposes_digital_bytes() {
+        let (authority, _, title) = setup();
+        let sealed = authority.issue(title, vec![Right::Play]);
+        let mut device = PlaybackDevice::new(DeviceId(1), OutputPolicy::AnalogOnly);
+        device
+            .store_mut()
+            .install(&sealed, authority.verification_key())
+            .unwrap();
+        let content: Vec<u8> = (0..=255).collect();
+        let out = protected_play(&mut device, &authority, title, &content, 1, 0).unwrap();
+        match out {
+            PlaybackOutput::Analog(levels) => {
+                assert_eq!(levels.len(), content.len());
+                // LSB detail must be destroyed: bytes differing only in
+                // the low 3 bits render identically.
+                let l0 = levels[0]; // byte 0
+                let l7 = levels[7]; // byte 7 (same high bits as 0)
+                assert_eq!(l0, l7, "analog output leaked LSB detail");
+            }
+            PlaybackOutput::Digital(_) => panic!("analog-only device emitted digital output"),
+        }
+    }
+
+    #[test]
+    fn wrong_nonce_scrambles_content() {
+        let (authority, mut device, title) = setup();
+        let sealed = authority.issue(title, vec![Right::Play]);
+        device
+            .store_mut()
+            .install(&sealed, authority.verification_key())
+            .unwrap();
+        let content = b"some recognizable plaintext content".to_vec();
+        let encrypted = authority.encrypt_content(title, &content, 1);
+        let out = device.play(title, &encrypted, 2, 0).unwrap(); // wrong nonce
+        assert_ne!(out, PlaybackOutput::Digital(content));
+    }
+
+    #[test]
+    fn content_keys_differ_per_title() {
+        let mut authority = LicenseAuthority::new(b"s".to_vec());
+        let k1 = authority.register_title(TitleId(1));
+        let k2 = authority.register_title(TitleId(2));
+        assert_ne!(k1, k2);
+    }
+}

@@ -1,0 +1,205 @@
+//! The device-side rights store.
+//!
+//! Paper §6: *"In other cases, DRM may hold rights markers that can be
+//! updated over the Internet but do not require a connection for
+//! verification."* The store holds verified licenses and mutable rights
+//! markers (play counts used), authorizes playback offline, and accepts
+//! marker updates (top-ups, revocations) from the authority when a
+//! connection happens to exist.
+
+use std::collections::HashMap;
+
+use crate::license::{DeviceId, License, LicenseParseError, Refusal, TitleId};
+
+/// Result of an authorization request against the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreDecision {
+    /// Playback may proceed; the play has been counted.
+    Granted,
+    /// Playback refused by a right check.
+    Refused(Refusal),
+    /// No license at all for the title.
+    NoLicense,
+    /// The title's license was revoked by the authority.
+    Revoked,
+}
+
+impl StoreDecision {
+    /// `true` when playback may proceed.
+    #[must_use]
+    pub fn is_granted(self) -> bool {
+        self == StoreDecision::Granted
+    }
+}
+
+/// The on-device license store.
+#[derive(Debug, Clone, Default)]
+pub struct LicenseStore {
+    licenses: HashMap<TitleId, License>,
+    plays_used: HashMap<TitleId, u32>,
+    revoked: HashMap<TitleId, bool>,
+}
+
+impl LicenseStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a sealed license after verifying its MAC against the
+    /// authority's signing key. Replaces any previous license for the
+    /// title and clears its revocation flag (a fresh grant supersedes an
+    /// old revocation); play markers persist across reinstalls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LicenseParseError`] when verification fails.
+    pub fn install(&mut self, sealed: &[u8], signing_key: &[u8]) -> Result<TitleId, LicenseParseError> {
+        let license = License::unseal(sealed, signing_key)?;
+        let title = license.title;
+        self.licenses.insert(title, license);
+        self.revoked.remove(&title);
+        Ok(title)
+    }
+
+    /// Number of installed licenses.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.licenses.len()
+    }
+
+    /// `true` when no licenses are installed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.licenses.is_empty()
+    }
+
+    /// Plays consumed for a title.
+    #[must_use]
+    pub fn plays_used(&self, title: TitleId) -> u32 {
+        self.plays_used.get(&title).copied().unwrap_or(0)
+    }
+
+    /// The installed license for a title, if any.
+    #[must_use]
+    pub fn license(&self, title: TitleId) -> Option<&License> {
+        self.licenses.get(&title)
+    }
+
+    /// Offline authorization: checks every right and, when granted,
+    /// consumes one play marker.
+    pub fn authorize_play(&mut self, title: TitleId, device: DeviceId, now: u64) -> StoreDecision {
+        if self.revoked.get(&title).copied().unwrap_or(false) {
+            return StoreDecision::Revoked;
+        }
+        let Some(license) = self.licenses.get(&title) else {
+            return StoreDecision::NoLicense;
+        };
+        let used = self.plays_used.get(&title).copied().unwrap_or(0);
+        match license.authorize(device, now, used) {
+            Ok(()) => {
+                *self.plays_used.entry(title).or_insert(0) += 1;
+                StoreDecision::Granted
+            }
+            Err(r) => StoreDecision::Refused(r),
+        }
+    }
+
+    /// Online marker update: the authority grants additional plays
+    /// (negative of consumption). Models §6's "rights markers that can be
+    /// updated over the Internet".
+    pub fn top_up_plays(&mut self, title: TitleId, additional: u32) {
+        let used = self.plays_used.entry(title).or_insert(0);
+        *used = used.saturating_sub(additional);
+    }
+
+    /// Online revocation of a title.
+    pub fn revoke(&mut self, title: TitleId) {
+        self.revoked.insert(title, true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::license::Right;
+
+    const SIGNING: &[u8] = b"authority";
+
+    fn sealed_counted(title: u64, plays: u32) -> Vec<u8> {
+        License {
+            title: TitleId(title),
+            rights: vec![Right::PlayCount(plays)],
+            content_key: [1u8; 16],
+        }
+        .seal(SIGNING)
+    }
+
+    #[test]
+    fn install_and_play() {
+        let mut store = LicenseStore::new();
+        let title = store.install(&sealed_counted(1, 2), SIGNING).unwrap();
+        assert_eq!(store.len(), 1);
+        assert!(store.authorize_play(title, DeviceId(1), 0).is_granted());
+        assert!(store.authorize_play(title, DeviceId(1), 0).is_granted());
+        assert_eq!(
+            store.authorize_play(title, DeviceId(1), 0),
+            StoreDecision::Refused(Refusal::CountExhausted)
+        );
+        assert_eq!(store.plays_used(title), 2);
+    }
+
+    #[test]
+    fn unknown_title_refused() {
+        let mut store = LicenseStore::new();
+        assert_eq!(
+            store.authorize_play(TitleId(9), DeviceId(1), 0),
+            StoreDecision::NoLicense
+        );
+    }
+
+    #[test]
+    fn bad_seal_not_installed() {
+        let mut store = LicenseStore::new();
+        let mut sealed = sealed_counted(1, 2);
+        sealed[5] ^= 0xFF;
+        assert!(store.install(&sealed, SIGNING).is_err());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn top_up_restores_plays() {
+        let mut store = LicenseStore::new();
+        let title = store.install(&sealed_counted(1, 1), SIGNING).unwrap();
+        assert!(store.authorize_play(title, DeviceId(1), 0).is_granted());
+        assert!(!store.authorize_play(title, DeviceId(1), 0).is_granted());
+        store.top_up_plays(title, 1);
+        assert!(store.authorize_play(title, DeviceId(1), 0).is_granted());
+    }
+
+    #[test]
+    fn revocation_blocks_until_reinstall() {
+        let mut store = LicenseStore::new();
+        let title = store.install(&sealed_counted(1, 10), SIGNING).unwrap();
+        store.revoke(title);
+        assert_eq!(
+            store.authorize_play(title, DeviceId(1), 0),
+            StoreDecision::Revoked
+        );
+        // A fresh license supersedes revocation.
+        store.install(&sealed_counted(1, 10), SIGNING).unwrap();
+        assert!(store.authorize_play(title, DeviceId(1), 0).is_granted());
+    }
+
+    #[test]
+    fn markers_persist_across_reinstall() {
+        let mut store = LicenseStore::new();
+        let title = store.install(&sealed_counted(1, 2), SIGNING).unwrap();
+        assert!(store.authorize_play(title, DeviceId(1), 0).is_granted());
+        store.install(&sealed_counted(1, 2), SIGNING).unwrap();
+        // One play already consumed; only one remains.
+        assert!(store.authorize_play(title, DeviceId(1), 0).is_granted());
+        assert!(!store.authorize_play(title, DeviceId(1), 0).is_granted());
+    }
+}

@@ -1,0 +1,256 @@
+//! Block device model with seek accounting.
+//!
+//! Media file systems live on devices where *sequence matters*: streaming
+//! a fragmented file costs seeks. The in-memory device here counts reads,
+//! writes, and seeks (any access whose block is not the successor of the
+//! previous access) so experiment E13 can price fragmentation.
+
+/// I/O statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoStats {
+    /// Blocks read.
+    pub reads: u64,
+    /// Blocks written.
+    pub writes: u64,
+    /// Non-sequential repositionings.
+    pub seeks: u64,
+}
+
+impl IoStats {
+    /// Total block operations.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Modelled access time: `seek_ms` per seek plus `transfer_ms` per
+    /// block operation.
+    #[must_use]
+    pub fn time_ms(&self, seek_ms: f64, transfer_ms: f64) -> f64 {
+        self.seeks as f64 * seek_ms + self.ops() as f64 * transfer_ms
+    }
+}
+
+/// Errors from the block device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockError {
+    /// Block index beyond the device.
+    OutOfRange {
+        /// The offending index.
+        index: u32,
+        /// Device capacity in blocks.
+        capacity: u32,
+    },
+    /// Write data does not match the block size.
+    WrongSize {
+        /// Bytes supplied.
+        got: usize,
+        /// Block size.
+        expected: usize,
+    },
+}
+
+impl core::fmt::Display for BlockError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BlockError::OutOfRange { index, capacity } => {
+                write!(f, "block {index} out of range (capacity {capacity})")
+            }
+            BlockError::WrongSize { got, expected } => {
+                write!(f, "write of {got} bytes does not match block size {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BlockError {}
+
+/// An in-memory block device.
+///
+/// # Example
+///
+/// ```
+/// use mediafs::block::BlockDevice;
+///
+/// let mut dev = BlockDevice::new(16, 512);
+/// dev.write(3, &vec![7u8; 512])?;
+/// assert_eq!(dev.read(3)?[0], 7);
+/// # Ok::<(), mediafs::block::BlockError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlockDevice {
+    block_size: usize,
+    blocks: Vec<Vec<u8>>,
+    head: Option<u32>,
+    stats: IoStats,
+}
+
+impl BlockDevice {
+    /// Creates a zero-filled device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(block_count: u32, block_size: usize) -> Self {
+        assert!(block_count > 0 && block_size > 0, "device must be non-empty");
+        Self {
+            block_size,
+            blocks: vec![vec![0u8; block_size]; block_count as usize],
+            head: None,
+            stats: IoStats::default(),
+        }
+    }
+
+    /// Block size in bytes.
+    #[must_use]
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Device capacity in blocks.
+    #[must_use]
+    pub fn block_count(&self) -> u32 {
+        self.blocks.len() as u32
+    }
+
+    fn seek_to(&mut self, index: u32) {
+        // Sequential means "same block or the next one"; anything else
+        // repositions the head. The first access always seeks.
+        let sequential = matches!(self.head, Some(h) if h == index || h + 1 == index);
+        if !sequential {
+            self.stats.seeks += 1;
+        }
+        self.head = Some(index);
+    }
+
+    /// Reads one block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlockError::OutOfRange`] past the device end.
+    pub fn read(&mut self, index: u32) -> Result<&[u8], BlockError> {
+        if index >= self.block_count() {
+            return Err(BlockError::OutOfRange {
+                index,
+                capacity: self.block_count(),
+            });
+        }
+        self.seek_to(index);
+        self.stats.reads += 1;
+        Ok(&self.blocks[index as usize])
+    }
+
+    /// Writes one full block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlockError`] for bad indices or sizes.
+    pub fn write(&mut self, index: u32, data: &[u8]) -> Result<(), BlockError> {
+        if index >= self.block_count() {
+            return Err(BlockError::OutOfRange {
+                index,
+                capacity: self.block_count(),
+            });
+        }
+        if data.len() != self.block_size {
+            return Err(BlockError::WrongSize {
+                got: data.len(),
+                expected: self.block_size,
+            });
+        }
+        self.seek_to(index);
+        self.stats.writes += 1;
+        self.blocks[index as usize].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Clears statistics (keeps data and head position).
+    pub fn reset_stats(&mut self) {
+        self.stats = IoStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut dev = BlockDevice::new(8, 64);
+        dev.write(2, &vec![0xAB; 64]).unwrap();
+        assert!(dev.read(2).unwrap().iter().all(|&b| b == 0xAB));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut dev = BlockDevice::new(4, 16);
+        assert!(matches!(dev.read(4), Err(BlockError::OutOfRange { .. })));
+        assert!(matches!(
+            dev.write(9, &vec![0; 16]),
+            Err(BlockError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_size_write_rejected() {
+        let mut dev = BlockDevice::new(4, 16);
+        assert!(matches!(
+            dev.write(0, &[1, 2, 3]),
+            Err(BlockError::WrongSize { got: 3, expected: 16 })
+        ));
+    }
+
+    #[test]
+    fn sequential_access_counts_one_seek() {
+        let mut dev = BlockDevice::new(16, 8);
+        for i in 0..8 {
+            dev.read(i).unwrap();
+        }
+        // Only the initial positioning is a seek.
+        assert_eq!(dev.stats().seeks, 1);
+        assert_eq!(dev.stats().reads, 8);
+    }
+
+    #[test]
+    fn random_access_counts_many_seeks() {
+        let mut dev = BlockDevice::new(16, 8);
+        for i in [0u32, 8, 1, 9, 2, 10] {
+            dev.read(i).unwrap();
+        }
+        assert_eq!(dev.stats().seeks, 6);
+    }
+
+    #[test]
+    fn rereading_same_block_is_not_a_seek() {
+        let mut dev = BlockDevice::new(4, 8);
+        dev.read(1).unwrap();
+        dev.read(1).unwrap();
+        assert_eq!(dev.stats().seeks, 1);
+    }
+
+    #[test]
+    fn time_model() {
+        let s = IoStats {
+            reads: 10,
+            writes: 0,
+            seeks: 2,
+        };
+        assert!((s.time_ms(10.0, 0.5) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_stats_keeps_data() {
+        let mut dev = BlockDevice::new(4, 8);
+        dev.write(1, &vec![5; 8]).unwrap();
+        dev.reset_stats();
+        assert_eq!(dev.stats(), IoStats::default());
+        assert_eq!(dev.read(1).unwrap()[0], 5);
+    }
+}

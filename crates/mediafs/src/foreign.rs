@@ -1,0 +1,188 @@
+//! Foreign media trees — the CD/MP3 interoperability case.
+//!
+//! Paper §7: *"MP3-enabled CD players are a particularly interesting case
+//! since the files are created outside the player. A CD/MP3 player must
+//! be able to handle a wide variety of directory structures, file names,
+//! etc."* The generator here produces trees in several authoring styles
+//! (DOS 8.3, long names with spaces/unicode, deep nesting, flat dumps);
+//! the scanner must enumerate every playable track regardless.
+
+use signal::rng::Xoroshiro128;
+
+use crate::fs::{FsError, MediaFs};
+
+/// Authoring styles seen on burned discs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeStyle {
+    /// Uppercase 8.3 names, shallow folders (old DOS burners).
+    Dos83,
+    /// Long names with spaces and mixed case.
+    LongNames,
+    /// Artist/Album/Track nesting, several levels deep.
+    DeepNested,
+    /// Hundreds of files dumped into the root.
+    FlatDump,
+}
+
+impl core::fmt::Display for TreeStyle {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            TreeStyle::Dos83 => "dos-8.3",
+            TreeStyle::LongNames => "long-names",
+            TreeStyle::DeepNested => "deep-nested",
+            TreeStyle::FlatDump => "flat-dump",
+        })
+    }
+}
+
+/// Generates a foreign tree of `tracks` MP3-like files in the given style
+/// onto a file system, returning the created track paths.
+///
+/// # Errors
+///
+/// Propagates [`FsError`] (e.g. `NoSpace`).
+pub fn generate_tree(
+    fs: &mut MediaFs,
+    style: TreeStyle,
+    tracks: usize,
+    seed: u64,
+) -> Result<Vec<String>, FsError> {
+    let mut rng = Xoroshiro128::new(seed);
+    let mut paths = Vec::with_capacity(tracks);
+    let payload = |rng: &mut Xoroshiro128| -> Vec<u8> {
+        let len = 200 + rng.below(600) as usize;
+        (0..len).map(|_| rng.next_u32() as u8).collect()
+    };
+    match style {
+        TreeStyle::Dos83 => {
+            fs.mkdir("/MUSIC").ok();
+            for i in 0..tracks {
+                let p = format!("/MUSIC/TRACK{:03}.MP3", i);
+                fs.create(&p, &payload(&mut rng))?;
+                paths.push(p);
+            }
+        }
+        TreeStyle::LongNames => {
+            fs.mkdir("/My Music Collection").ok();
+            for i in 0..tracks {
+                let p = format!(
+                    "/My Music Collection/{} - Song Nº{} (Remastered).mp3",
+                    ["Aria", "Bölero", "Étude"][i % 3],
+                    i
+                );
+                fs.create(&p, &payload(&mut rng))?;
+                paths.push(p);
+            }
+        }
+        TreeStyle::DeepNested => {
+            for i in 0..tracks {
+                let artist = format!("/artist{}", i % 3);
+                let album = format!("{artist}/album{}", i % 2);
+                let disc = format!("{album}/disc{}", i % 2);
+                fs.mkdir(&artist).ok();
+                fs.mkdir(&album).ok();
+                fs.mkdir(&disc).ok();
+                let p = format!("{disc}/t{i}.mp3");
+                fs.create(&p, &payload(&mut rng))?;
+                paths.push(p);
+            }
+        }
+        TreeStyle::FlatDump => {
+            for i in 0..tracks {
+                let p = format!("/{i:04}.mp3");
+                fs.create(&p, &payload(&mut rng))?;
+                paths.push(p);
+            }
+        }
+    }
+    Ok(paths)
+}
+
+/// Recursively finds every playable track (case-insensitive `.mp3`
+/// extension) under `path`, in deterministic (sorted) order.
+///
+/// # Errors
+///
+/// Propagates [`FsError`] from directory listing.
+pub fn scan_tracks(fs: &MediaFs, path: &str) -> Result<Vec<String>, FsError> {
+    let mut out = Vec::new();
+    let entries = fs.list(path)?;
+    for e in entries {
+        let child = if path == "/" {
+            format!("/{}", e.name)
+        } else {
+            format!("{}/{}", path, e.name)
+        };
+        if e.is_dir {
+            out.extend(scan_tracks(fs, &child)?);
+        } else if e.name.to_lowercase().ends_with(".mp3") {
+            out.push(child);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::AllocPolicy;
+
+    fn fs() -> MediaFs {
+        MediaFs::new(4096, 256, AllocPolicy::FirstFit)
+    }
+
+    #[test]
+    fn every_style_enumerates_fully() {
+        for style in [
+            TreeStyle::Dos83,
+            TreeStyle::LongNames,
+            TreeStyle::DeepNested,
+            TreeStyle::FlatDump,
+        ] {
+            let mut f = fs();
+            let created = generate_tree(&mut f, style, 12, 1).unwrap();
+            let mut found = scan_tracks(&f, "/").unwrap();
+            let mut expect = created.clone();
+            found.sort();
+            expect.sort();
+            assert_eq!(found, expect, "style {style}");
+        }
+    }
+
+    #[test]
+    fn scan_ignores_non_mp3_files() {
+        let mut f = fs();
+        f.create("/readme.txt", b"not audio").unwrap();
+        f.create("/track.MP3", b"audio").unwrap();
+        let found = scan_tracks(&f, "/").unwrap();
+        assert_eq!(found, vec!["/track.MP3".to_string()]);
+    }
+
+    #[test]
+    fn deep_nesting_is_traversed() {
+        let mut f = fs();
+        generate_tree(&mut f, TreeStyle::DeepNested, 8, 2).unwrap();
+        let found = scan_tracks(&f, "/").unwrap();
+        assert_eq!(found.len(), 8);
+        assert!(found.iter().all(|p| p.matches('/').count() == 4));
+    }
+
+    #[test]
+    fn tracks_are_readable_after_import() {
+        let mut f = fs();
+        let created = generate_tree(&mut f, TreeStyle::LongNames, 5, 3).unwrap();
+        for p in &created {
+            let data = f.read(p).unwrap();
+            assert!(data.len() >= 200, "track {p} too small");
+        }
+    }
+
+    #[test]
+    fn unicode_names_survive() {
+        let mut f = fs();
+        generate_tree(&mut f, TreeStyle::LongNames, 3, 4).unwrap();
+        let found = scan_tracks(&f, "/").unwrap();
+        assert!(found.iter().any(|p| p.contains('Ö') || p.contains('ö') || p.contains('É') || p.contains('º')),
+            "unicode names lost: {found:?}");
+    }
+}

@@ -1,0 +1,575 @@
+//! The media file system: FAT-style chains, hierarchical directories,
+//! pluggable allocation.
+//!
+//! Paper §7: *"these file systems must still incorporate the major
+//! characteristics of modern file systems: large file sizes,
+//! non-sequential allocation of blocks, etc."* Files are block chains in
+//! a file-allocation table; the allocator either keeps chains contiguous
+//! ([`AllocPolicy::FirstFit`]) or deliberately scatters them
+//! ([`AllocPolicy::Scatter`]) so fragmentation costs are measurable.
+
+use std::collections::BTreeMap;
+
+use signal::rng::Xoroshiro128;
+
+use crate::block::{BlockDevice, BlockError, IoStats};
+
+/// One FAT entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FatEntry {
+    Free,
+    EndOfChain,
+    Next(u32),
+}
+
+/// Block allocation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocPolicy {
+    /// Lowest-numbered free blocks first (contiguous while the free list
+    /// is).
+    FirstFit,
+    /// Pseudo-random placement with the given seed — the worst case of
+    /// "non-sequential allocation".
+    Scatter(
+        /// RNG seed for placement.
+        u64,
+    ),
+}
+
+/// File-system errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// Path not found.
+    NotFound(String),
+    /// A path component that should be a directory is a file (or vice
+    /// versa).
+    NotADirectory(String),
+    /// Target already exists.
+    AlreadyExists(String),
+    /// Out of free blocks.
+    NoSpace,
+    /// Underlying device error.
+    Device(BlockError),
+    /// Invalid path syntax (empty, or empty component).
+    BadPath(String),
+    /// Directory not empty on delete.
+    NotEmpty(String),
+}
+
+impl core::fmt::Display for FsError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "not found: {p}"),
+            FsError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            FsError::AlreadyExists(p) => write!(f, "already exists: {p}"),
+            FsError::NoSpace => f.write_str("no free blocks"),
+            FsError::Device(e) => write!(f, "device error: {e}"),
+            FsError::BadPath(p) => write!(f, "bad path: {p}"),
+            FsError::NotEmpty(p) => write!(f, "directory not empty: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+impl From<BlockError> for FsError {
+    fn from(e: BlockError) -> Self {
+        FsError::Device(e)
+    }
+}
+
+/// A directory entry as reported by [`MediaFs::list`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Entry name (single component).
+    pub name: String,
+    /// `true` for directories.
+    pub is_dir: bool,
+    /// File size in bytes (0 for directories).
+    pub size: u64,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    File { first_block: Option<u32>, size: u64 },
+    Dir(BTreeMap<String, Node>),
+}
+
+/// The media file system.
+///
+/// # Example
+///
+/// ```
+/// use mediafs::fs::{AllocPolicy, MediaFs};
+///
+/// let mut fs = MediaFs::new(256, 512, AllocPolicy::FirstFit);
+/// fs.mkdir("/music")?;
+/// fs.create("/music/track.mp3", &vec![1u8; 5000])?;
+/// assert_eq!(fs.read("/music/track.mp3")?, vec![1u8; 5000]);
+/// # Ok::<(), mediafs::fs::FsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MediaFs {
+    device: BlockDevice,
+    fat: Vec<FatEntry>,
+    root: Node,
+    policy: AllocPolicy,
+    rng: Xoroshiro128,
+}
+
+impl MediaFs {
+    /// Creates an empty file system on a fresh device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device dimensions are zero.
+    #[must_use]
+    pub fn new(block_count: u32, block_size: usize, policy: AllocPolicy) -> Self {
+        let seed = match policy {
+            AllocPolicy::Scatter(s) => s,
+            AllocPolicy::FirstFit => 0,
+        };
+        Self {
+            device: BlockDevice::new(block_count, block_size),
+            fat: vec![FatEntry::Free; block_count as usize],
+            root: Node::Dir(BTreeMap::new()),
+            policy,
+            rng: Xoroshiro128::new(seed),
+        }
+    }
+
+    /// Block size in bytes.
+    #[must_use]
+    pub fn block_size(&self) -> usize {
+        self.device.block_size()
+    }
+
+    /// Free blocks remaining.
+    #[must_use]
+    pub fn free_blocks(&self) -> u32 {
+        self.fat.iter().filter(|e| **e == FatEntry::Free).count() as u32
+    }
+
+    /// Device I/O statistics so far.
+    #[must_use]
+    pub fn io_stats(&self) -> IoStats {
+        self.device.stats()
+    }
+
+    /// Clears device I/O statistics.
+    pub fn reset_io_stats(&mut self) {
+        self.device.reset_stats();
+    }
+
+    fn split_path(path: &str) -> Result<Vec<&str>, FsError> {
+        if !path.starts_with('/') {
+            return Err(FsError::BadPath(path.to_string()));
+        }
+        let comps: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
+        if path != "/" && comps.is_empty() {
+            return Err(FsError::BadPath(path.to_string()));
+        }
+        Ok(comps)
+    }
+
+    fn dir_of<'a>(root: &'a mut Node, comps: &[&str]) -> Result<&'a mut BTreeMap<String, Node>, FsError> {
+        let mut cur = root;
+        for &c in comps {
+            let Node::Dir(map) = cur else {
+                return Err(FsError::NotADirectory(c.to_string()));
+            };
+            cur = map
+                .get_mut(c)
+                .ok_or_else(|| FsError::NotFound(c.to_string()))?;
+        }
+        match cur {
+            Node::Dir(map) => Ok(map),
+            _ => Err(FsError::NotADirectory(comps.join("/"))),
+        }
+    }
+
+    /// Creates a directory. Parent must exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] for bad paths, missing parents, or collisions.
+    pub fn mkdir(&mut self, path: &str) -> Result<(), FsError> {
+        let comps = Self::split_path(path)?;
+        let Some((name, parent)) = comps.split_last() else {
+            return Err(FsError::BadPath(path.to_string()));
+        };
+        let dir = Self::dir_of(&mut self.root, parent)?;
+        if dir.contains_key(*name) {
+            return Err(FsError::AlreadyExists(path.to_string()));
+        }
+        dir.insert((*name).to_string(), Node::Dir(BTreeMap::new()));
+        Ok(())
+    }
+
+    fn allocate(&mut self, count: usize) -> Result<Vec<u32>, FsError> {
+        let free: Vec<u32> = (0..self.fat.len() as u32)
+            .filter(|&i| self.fat[i as usize] == FatEntry::Free)
+            .collect();
+        if free.len() < count {
+            return Err(FsError::NoSpace);
+        }
+        let chosen: Vec<u32> = match self.policy {
+            AllocPolicy::FirstFit => free[..count].to_vec(),
+            AllocPolicy::Scatter(_) => {
+                let mut pool = free;
+                self.rng.shuffle(&mut pool);
+                pool[..count].to_vec()
+            }
+        };
+        Ok(chosen)
+    }
+
+    /// Creates a file with the given contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] for path problems or lack of space.
+    pub fn create(&mut self, path: &str, data: &[u8]) -> Result<(), FsError> {
+        let comps = Self::split_path(path)?;
+        let Some((name, parent)) = comps.split_last() else {
+            return Err(FsError::BadPath(path.to_string()));
+        };
+        // Allocate before touching the tree so failures leave no trace.
+        let bs = self.device.block_size();
+        let n_blocks = data.len().div_ceil(bs);
+        let blocks = self.allocate(n_blocks)?;
+        {
+            let dir = Self::dir_of(&mut self.root, parent)?;
+            if dir.contains_key(*name) {
+                return Err(FsError::AlreadyExists(path.to_string()));
+            }
+            dir.insert(
+                (*name).to_string(),
+                Node::File {
+                    first_block: blocks.first().copied(),
+                    size: data.len() as u64,
+                },
+            );
+        }
+        // Chain the FAT and write the data.
+        for (i, &b) in blocks.iter().enumerate() {
+            self.fat[b as usize] = match blocks.get(i + 1) {
+                Some(&next) => FatEntry::Next(next),
+                None => FatEntry::EndOfChain,
+            };
+            let mut buf = vec![0u8; bs];
+            let lo = i * bs;
+            let hi = (lo + bs).min(data.len());
+            buf[..hi - lo].copy_from_slice(&data[lo..hi]);
+            self.device.write(b, &buf)?;
+        }
+        Ok(())
+    }
+
+    fn find(&self, path: &str) -> Result<&Node, FsError> {
+        let comps = Self::split_path(path)?;
+        let mut cur = &self.root;
+        for &c in &comps {
+            let Node::Dir(map) = cur else {
+                return Err(FsError::NotADirectory(c.to_string()));
+            };
+            cur = map.get(c).ok_or_else(|| FsError::NotFound(path.to_string()))?;
+        }
+        Ok(cur)
+    }
+
+    /// Reads a whole file (streaming through the device, so I/O stats
+    /// reflect the chain layout).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] if the path is missing or is a directory.
+    pub fn read(&mut self, path: &str) -> Result<Vec<u8>, FsError> {
+        let (mut block, size) = match self.find(path)? {
+            Node::File { first_block, size } => (*first_block, *size as usize),
+            Node::Dir(_) => return Err(FsError::NotADirectory(path.to_string())),
+        };
+        let bs = self.device.block_size();
+        let mut out = Vec::with_capacity(size);
+        while let Some(b) = block {
+            let data = self.device.read(b)?;
+            let take = bs.min(size - out.len());
+            out.extend_from_slice(&data[..take]);
+            block = match self.fat[b as usize] {
+                FatEntry::Next(n) => Some(n),
+                FatEntry::EndOfChain => None,
+                FatEntry::Free => None, // corrupt chain tolerated as EOF
+            };
+            if out.len() >= size {
+                break;
+            }
+        }
+        out.truncate(size);
+        Ok(out)
+    }
+
+    /// File size without reading data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] for missing paths or directories.
+    pub fn size_of(&self, path: &str) -> Result<u64, FsError> {
+        match self.find(path)? {
+            Node::File { size, .. } => Ok(*size),
+            Node::Dir(_) => Err(FsError::NotADirectory(path.to_string())),
+        }
+    }
+
+    /// Deletes a file (frees its chain) or an empty directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] for missing paths or non-empty directories.
+    pub fn delete(&mut self, path: &str) -> Result<(), FsError> {
+        let comps = Self::split_path(path)?;
+        let Some((name, parent)) = comps.split_last() else {
+            return Err(FsError::BadPath(path.to_string()));
+        };
+        // Inspect first.
+        let first_block = match self.find(path)? {
+            Node::File { first_block, .. } => *first_block,
+            Node::Dir(map) => {
+                if !map.is_empty() {
+                    return Err(FsError::NotEmpty(path.to_string()));
+                }
+                None
+            }
+        };
+        // Free the chain.
+        let mut block = first_block;
+        while let Some(b) = block {
+            let next = match self.fat[b as usize] {
+                FatEntry::Next(n) => Some(n),
+                _ => None,
+            };
+            self.fat[b as usize] = FatEntry::Free;
+            block = next;
+        }
+        let dir = Self::dir_of(&mut self.root, parent)?;
+        dir.remove(*name);
+        Ok(())
+    }
+
+    /// Lists a directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] for missing paths or files.
+    pub fn list(&self, path: &str) -> Result<Vec<DirEntry>, FsError> {
+        match self.find(path)? {
+            Node::Dir(map) => Ok(map
+                .iter()
+                .map(|(name, node)| DirEntry {
+                    name: name.clone(),
+                    is_dir: matches!(node, Node::Dir(_)),
+                    size: match node {
+                        Node::File { size, .. } => *size,
+                        Node::Dir(_) => 0,
+                    },
+                })
+                .collect()),
+            Node::File { .. } => Err(FsError::NotADirectory(path.to_string())),
+        }
+    }
+
+    /// Fraction of a file's block transitions that are non-sequential
+    /// (0.0 = perfectly contiguous, 1.0 = fully scattered).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] for missing paths or directories.
+    pub fn fragmentation(&self, path: &str) -> Result<f64, FsError> {
+        let mut block = match self.find(path)? {
+            Node::File { first_block, .. } => *first_block,
+            Node::Dir(_) => return Err(FsError::NotADirectory(path.to_string())),
+        };
+        let mut transitions = 0u64;
+        let mut jumps = 0u64;
+        while let Some(b) = block {
+            if let FatEntry::Next(n) = self.fat[b as usize] {
+                transitions += 1;
+                if n != b + 1 {
+                    jumps += 1;
+                }
+                block = Some(n);
+            } else {
+                block = None;
+            }
+        }
+        Ok(if transitions == 0 {
+            0.0
+        } else {
+            jumps as f64 / transitions as f64
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> MediaFs {
+        MediaFs::new(128, 64, AllocPolicy::FirstFit)
+    }
+
+    #[test]
+    fn create_read_round_trip() {
+        let mut f = fs();
+        let data: Vec<u8> = (0..300).map(|i| i as u8).collect();
+        f.create("/a.bin", &data).unwrap();
+        assert_eq!(f.read("/a.bin").unwrap(), data);
+        assert_eq!(f.size_of("/a.bin").unwrap(), 300);
+    }
+
+    #[test]
+    fn nested_directories() {
+        let mut f = fs();
+        f.mkdir("/music").unwrap();
+        f.mkdir("/music/rock").unwrap();
+        f.create("/music/rock/track.mp3", b"abc").unwrap();
+        let entries = f.list("/music/rock").unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].name, "track.mp3");
+        assert!(!entries[0].is_dir);
+        assert_eq!(entries[0].size, 3);
+    }
+
+    #[test]
+    fn missing_parent_fails() {
+        let mut f = fs();
+        assert!(matches!(
+            f.create("/no/file.txt", b"x"),
+            Err(FsError::NotFound(_))
+        ));
+        assert!(matches!(f.mkdir("/a/b"), Err(FsError::NotFound(_))));
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut f = fs();
+        f.create("/x", b"1").unwrap();
+        assert!(matches!(f.create("/x", b"2"), Err(FsError::AlreadyExists(_))));
+        f.mkdir("/d").unwrap();
+        assert!(matches!(f.mkdir("/d"), Err(FsError::AlreadyExists(_))));
+    }
+
+    #[test]
+    fn delete_frees_blocks() {
+        let mut f = fs();
+        let before = f.free_blocks();
+        f.create("/big", &vec![1u8; 64 * 10]).unwrap();
+        assert_eq!(f.free_blocks(), before - 10);
+        f.delete("/big").unwrap();
+        assert_eq!(f.free_blocks(), before);
+        assert!(matches!(f.read("/big"), Err(FsError::NotFound(_))));
+    }
+
+    #[test]
+    fn non_empty_directory_protected() {
+        let mut f = fs();
+        f.mkdir("/d").unwrap();
+        f.create("/d/x", b"1").unwrap();
+        assert!(matches!(f.delete("/d"), Err(FsError::NotEmpty(_))));
+        f.delete("/d/x").unwrap();
+        f.delete("/d").unwrap();
+        assert!(matches!(f.list("/d"), Err(FsError::NotFound(_))));
+    }
+
+    #[test]
+    fn no_space_reported_and_tree_untouched() {
+        let mut f = MediaFs::new(4, 64, AllocPolicy::FirstFit);
+        assert!(matches!(
+            f.create("/too-big", &vec![0u8; 64 * 5]),
+            Err(FsError::NoSpace)
+        ));
+        assert!(f.list("/").unwrap().is_empty(), "failed create left debris");
+    }
+
+    #[test]
+    fn large_file_spans_many_blocks() {
+        // "Large file sizes" — a file much bigger than a block.
+        let mut f = MediaFs::new(1024, 64, AllocPolicy::FirstFit);
+        let data: Vec<u8> = (0..50_000).map(|i| (i * 7) as u8).collect();
+        f.create("/movie.vob", &data).unwrap();
+        assert_eq!(f.read("/movie.vob").unwrap(), data);
+    }
+
+    #[test]
+    fn first_fit_is_contiguous_scatter_is_not() {
+        let mut seq = MediaFs::new(256, 64, AllocPolicy::FirstFit);
+        seq.create("/f", &vec![0u8; 64 * 20]).unwrap();
+        assert_eq!(seq.fragmentation("/f").unwrap(), 0.0);
+
+        let mut scat = MediaFs::new(256, 64, AllocPolicy::Scatter(7));
+        scat.create("/f", &vec![0u8; 64 * 20]).unwrap();
+        assert!(
+            scat.fragmentation("/f").unwrap() > 0.8,
+            "scatter policy should fragment"
+        );
+    }
+
+    #[test]
+    fn fragmented_files_cost_more_seeks() {
+        let data = vec![0u8; 64 * 32];
+        let mut seq = MediaFs::new(256, 64, AllocPolicy::FirstFit);
+        seq.create("/f", &data).unwrap();
+        seq.reset_io_stats();
+        seq.read("/f").unwrap();
+        let seq_seeks = seq.io_stats().seeks;
+
+        let mut scat = MediaFs::new(256, 64, AllocPolicy::Scatter(9));
+        scat.create("/f", &data).unwrap();
+        scat.reset_io_stats();
+        scat.read("/f").unwrap();
+        let scat_seeks = scat.io_stats().seeks;
+        assert!(
+            scat_seeks > 10 * seq_seeks.max(1),
+            "scattered read should seek much more: {scat_seeks} vs {seq_seeks}"
+        );
+    }
+
+    #[test]
+    fn non_sequential_allocation_after_churn() {
+        // Delete/create churn forces even FirstFit into fragmentation —
+        // the paper's "non-sequential allocation" in action.
+        let mut f = MediaFs::new(64, 64, AllocPolicy::FirstFit);
+        for i in 0..8 {
+            f.create(&format!("/t{i}"), &vec![0u8; 64 * 4]).unwrap();
+        }
+        // Free every other file, then allocate one spanning the holes.
+        for i in (0..8).step_by(2) {
+            f.delete(&format!("/t{i}")).unwrap();
+        }
+        f.create("/big", &vec![0u8; 64 * 12]).unwrap();
+        // 12 blocks across three 4-block holes: 2 jumps in 11 transitions.
+        assert!(
+            f.fragmentation("/big").unwrap() >= 2.0 / 11.0 - 1e-9,
+            "churn should fragment even first-fit"
+        );
+        assert_eq!(f.read("/big").unwrap().len(), 64 * 12);
+    }
+
+    #[test]
+    fn bad_paths_rejected() {
+        let mut f = fs();
+        assert!(matches!(f.create("relative", b"x"), Err(FsError::BadPath(_))));
+        assert!(matches!(f.mkdir("/"), Err(FsError::BadPath(_))));
+        assert!(matches!(f.read("/"), Err(FsError::NotADirectory(_))));
+    }
+
+    #[test]
+    fn root_listing() {
+        let mut f = fs();
+        f.mkdir("/a").unwrap();
+        f.create("/b", b"xy").unwrap();
+        let entries = f.list("/").unwrap();
+        assert_eq!(entries.len(), 2);
+        assert!(entries.iter().any(|e| e.name == "a" && e.is_dir));
+        assert!(entries.iter().any(|e| e.name == "b" && e.size == 2));
+    }
+}

@@ -1,0 +1,32 @@
+//! # `mediafs` — the embedded media file system of Wolf's §7
+//!
+//! *"Devices with local storage, such as personal audio players or
+//! digital video recorders, must provide file systems … these file
+//! systems must still incorporate the major characteristics of modern
+//! file systems: large file sizes, non-sequential allocation of blocks."*
+//!
+//! * [`block`] — block device with seek accounting, so fragmentation has
+//!   a measurable cost (experiment E13).
+//! * [`fs`] — FAT-chained files, hierarchical directories, first-fit and
+//!   deliberately-scattered allocation policies.
+//! * [`foreign`] — CD/MP3 trees authored elsewhere (DOS 8.3, long names,
+//!   deep nesting, flat dumps) and the scanner that must read them all.
+//!
+//! # Example
+//!
+//! ```
+//! use mediafs::fs::{AllocPolicy, MediaFs};
+//!
+//! let mut fs = MediaFs::new(512, 256, AllocPolicy::FirstFit);
+//! fs.mkdir("/recordings")?;
+//! fs.create("/recordings/show.ts", &vec![0u8; 10_000])?;
+//! assert_eq!(fs.size_of("/recordings/show.ts")?, 10_000);
+//! # Ok::<(), mediafs::fs::FsError>(())
+//! ```
+
+pub mod block;
+pub mod foreign;
+pub mod fs;
+
+pub use block::{BlockDevice, IoStats};
+pub use fs::{AllocPolicy, DirEntry, FsError, MediaFs};

@@ -1,0 +1,138 @@
+//! Activity-based energy accounting.
+//!
+//! Paper §2: consumer multimedia devices live or die on *cost and power*.
+//! The simulator charges dynamic energy per executed operation (per PE
+//! kind), transfer energy per byte moved (per interconnect), and leakage
+//! for the whole makespan. Experiment E17 ranks the device-class platforms
+//! by these budgets.
+
+/// Energy breakdown for one simulation run, in joules.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyReport {
+    compute_j: f64,
+    transfer_j: f64,
+    leakage_j: f64,
+}
+
+impl EnergyReport {
+    /// Creates a report from its components (joules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component is negative or non-finite.
+    #[must_use]
+    pub fn new(compute_j: f64, transfer_j: f64, leakage_j: f64) -> Self {
+        for v in [compute_j, transfer_j, leakage_j] {
+            assert!(v.is_finite() && v >= 0.0, "energy must be non-negative");
+        }
+        Self {
+            compute_j,
+            transfer_j,
+            leakage_j,
+        }
+    }
+
+    /// Dynamic energy spent executing operations.
+    #[must_use]
+    pub fn compute_j(&self) -> f64 {
+        self.compute_j
+    }
+
+    /// Energy spent moving bytes over the interconnect.
+    #[must_use]
+    pub fn transfer_j(&self) -> f64 {
+        self.transfer_j
+    }
+
+    /// Static (leakage) energy over the run's makespan.
+    #[must_use]
+    pub fn leakage_j(&self) -> f64 {
+        self.leakage_j
+    }
+
+    /// Total energy.
+    #[must_use]
+    pub fn total_j(&self) -> f64 {
+        self.compute_j + self.transfer_j + self.leakage_j
+    }
+
+    /// Average power over a run of the given duration (watts).
+    ///
+    /// Returns 0 for a zero-length run.
+    #[must_use]
+    pub fn average_power_w(&self, makespan_s: f64) -> f64 {
+        if makespan_s > 0.0 {
+            self.total_j() / makespan_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Component-wise sum.
+    #[must_use]
+    pub fn plus(&self, other: &EnergyReport) -> EnergyReport {
+        EnergyReport::new(
+            self.compute_j + other.compute_j,
+            self.transfer_j + other.transfer_j,
+            self.leakage_j + other.leakage_j,
+        )
+    }
+}
+
+impl core::fmt::Display for EnergyReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "compute {:.3} mJ + transfer {:.3} mJ + leakage {:.3} mJ = {:.3} mJ",
+            self.compute_j * 1e3,
+            self.transfer_j * 1e3,
+            self.leakage_j * 1e3,
+            self.total_j() * 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_is_sum_of_parts() {
+        let e = EnergyReport::new(1e-3, 2e-3, 3e-3);
+        assert!((e.total_j() - 6e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn average_power() {
+        let e = EnergyReport::new(0.5, 0.25, 0.25);
+        assert!((e.average_power_w(2.0) - 0.5).abs() < 1e-12);
+        assert_eq!(e.average_power_w(0.0), 0.0);
+    }
+
+    #[test]
+    fn plus_adds_componentwise() {
+        let a = EnergyReport::new(1.0, 2.0, 3.0);
+        let b = EnergyReport::new(0.5, 0.5, 0.5);
+        let c = a.plus(&b);
+        assert_eq!(c.compute_j(), 1.5);
+        assert_eq!(c.transfer_j(), 2.5);
+        assert_eq!(c.leakage_j(), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_energy_panics() {
+        let _ = EnergyReport::new(-1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn display_reports_millijoules() {
+        let e = EnergyReport::new(1e-3, 0.0, 0.0);
+        assert!(e.to_string().contains("1.000 mJ"));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(EnergyReport::default().total_j(), 0.0);
+    }
+}

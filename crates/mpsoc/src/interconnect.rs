@@ -1,0 +1,396 @@
+//! On-chip interconnect models: shared bus and 2-D mesh NoC.
+//!
+//! The paper's MPSoCs are bus-based consumer chips, but the mapping
+//! experiment (E16) also needs the scaling alternative — a mesh
+//! network-on-chip — to show where a shared medium saturates.
+//!
+//! Both models answer one question for the scheduler: *given that `bytes`
+//! want to move from PE `src` to PE `dst` starting no earlier than `ready`,
+//! when does the transfer start and finish?* Contention is modelled by
+//! per-resource (bus or link) busy horizons: a resource serializes the
+//! transfers that use it.
+
+use crate::pe::PeId;
+
+/// A scheduled data movement returned by an interconnect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transfer {
+    /// When the transfer began occupying the interconnect (seconds).
+    pub start_s: f64,
+    /// When the data is fully available at the destination (seconds).
+    pub end_s: f64,
+    /// Energy spent moving the data (joules).
+    pub energy_j: f64,
+}
+
+impl Transfer {
+    /// An instantaneous, free transfer (used for same-PE communication).
+    #[must_use]
+    pub fn instant(at_s: f64) -> Self {
+        Self {
+            start_s: at_s,
+            end_s: at_s,
+            energy_j: 0.0,
+        }
+    }
+
+    /// Transfer duration in seconds.
+    #[must_use]
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+}
+
+/// Interconnect model used by the simulator.
+///
+/// Implementations are stateful within one simulation run: each call to
+/// [`Interconnect::schedule`] may advance internal busy horizons. Call
+/// [`Interconnect::reset`] between runs.
+pub trait Interconnect: core::fmt::Debug {
+    /// Schedules a `bytes`-byte transfer from `src` to `dst` that becomes
+    /// ready at `ready_s`. Returns when it starts/ends and its energy.
+    fn schedule(&mut self, src: PeId, dst: PeId, bytes: u64, ready_s: f64) -> Transfer;
+
+    /// Clears all busy state for a fresh simulation.
+    fn reset(&mut self);
+
+    /// Short human-readable description ("bus@100MB/s", "mesh2x2@…").
+    fn describe(&self) -> String;
+
+    /// Total bytes moved since the last reset.
+    fn bytes_moved(&self) -> u64;
+
+    /// Total time the interconnect spent busy since the last reset
+    /// (for utilization reporting; for the NoC this sums per-link busy
+    /// time).
+    fn busy_s(&self) -> f64;
+}
+
+/// A single shared bus: every inter-PE transfer serializes on it.
+///
+/// # Example
+///
+/// ```
+/// use mpsoc::interconnect::{Interconnect, SharedBus};
+/// use mpsoc::pe::PeId;
+///
+/// let mut bus = SharedBus::new(100e6, 1e-6, 0.1);
+/// let t1 = bus.schedule(PeId(0), PeId(1), 100_000, 0.0);
+/// let t2 = bus.schedule(PeId(2), PeId(3), 100_000, 0.0);
+/// assert!(t2.start_s >= t1.end_s); // second transfer waits for the bus
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedBus {
+    bandwidth_bytes_per_s: f64,
+    arbitration_s: f64,
+    energy_pj_per_byte: f64,
+    free_at_s: f64,
+    bytes_moved: u64,
+    busy_s: f64,
+}
+
+impl SharedBus {
+    /// Creates a bus with the given bandwidth (bytes/s), per-transfer
+    /// arbitration latency (s), and energy cost (pJ/byte).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_bytes_per_s` is not strictly positive or the
+    /// other parameters are negative.
+    #[must_use]
+    pub fn new(bandwidth_bytes_per_s: f64, arbitration_s: f64, energy_pj_per_byte: f64) -> Self {
+        assert!(
+            bandwidth_bytes_per_s > 0.0 && bandwidth_bytes_per_s.is_finite(),
+            "bandwidth must be positive"
+        );
+        assert!(arbitration_s >= 0.0 && energy_pj_per_byte >= 0.0, "costs must be non-negative");
+        Self {
+            bandwidth_bytes_per_s,
+            arbitration_s,
+            energy_pj_per_byte,
+            free_at_s: 0.0,
+            bytes_moved: 0,
+            busy_s: 0.0,
+        }
+    }
+
+    /// The configured bandwidth in bytes per second.
+    #[must_use]
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth_bytes_per_s
+    }
+}
+
+impl Interconnect for SharedBus {
+    fn schedule(&mut self, src: PeId, dst: PeId, bytes: u64, ready_s: f64) -> Transfer {
+        if src == dst || bytes == 0 {
+            return Transfer::instant(ready_s);
+        }
+        let start = ready_s.max(self.free_at_s);
+        let dur = self.arbitration_s + bytes as f64 / self.bandwidth_bytes_per_s;
+        let end = start + dur;
+        self.free_at_s = end;
+        self.bytes_moved += bytes;
+        self.busy_s += dur;
+        Transfer {
+            start_s: start,
+            end_s: end,
+            energy_j: bytes as f64 * self.energy_pj_per_byte * 1e-12,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.free_at_s = 0.0;
+        self.bytes_moved = 0;
+        self.busy_s = 0.0;
+    }
+
+    fn describe(&self) -> String {
+        format!("shared-bus@{:.0}MB/s", self.bandwidth_bytes_per_s / 1e6)
+    }
+
+    fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    fn busy_s(&self) -> f64 {
+        self.busy_s
+    }
+}
+
+/// A 2-D mesh network-on-chip with XY (dimension-ordered) routing.
+///
+/// PEs are laid out row-major on a `cols x rows` grid; `PeId(i)` sits at
+/// `(i % cols, i / cols)`. Each directed link serializes the transfers
+/// routed through it; a transfer occupies every link on its route for its
+/// serialization time (store-and-forward at transfer granularity — coarse,
+/// but it exposes the contention structure mapping cares about).
+#[derive(Debug, Clone)]
+pub struct MeshNoc {
+    cols: usize,
+    rows: usize,
+    link_bandwidth_bytes_per_s: f64,
+    hop_latency_s: f64,
+    energy_pj_per_byte_hop: f64,
+    /// Busy horizon per directed link, keyed by (from_node, to_node).
+    link_free_s: std::collections::HashMap<(usize, usize), f64>,
+    bytes_moved: u64,
+    busy_s: f64,
+}
+
+impl MeshNoc {
+    /// Creates a `cols x rows` mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is empty or the bandwidth is not positive.
+    #[must_use]
+    pub fn new(
+        cols: usize,
+        rows: usize,
+        link_bandwidth_bytes_per_s: f64,
+        hop_latency_s: f64,
+        energy_pj_per_byte_hop: f64,
+    ) -> Self {
+        assert!(cols > 0 && rows > 0, "mesh must be non-empty");
+        assert!(
+            link_bandwidth_bytes_per_s > 0.0 && link_bandwidth_bytes_per_s.is_finite(),
+            "bandwidth must be positive"
+        );
+        Self {
+            cols,
+            rows,
+            link_bandwidth_bytes_per_s,
+            hop_latency_s,
+            energy_pj_per_byte_hop,
+            link_free_s: std::collections::HashMap::new(),
+            bytes_moved: 0,
+            busy_s: 0.0,
+        }
+    }
+
+    /// Number of mesh nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    fn coords(&self, pe: PeId) -> (usize, usize) {
+        (pe.0 % self.cols, pe.0 / self.cols)
+    }
+
+    /// The XY route between two PEs as a list of node indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either PE is outside the grid.
+    #[must_use]
+    pub fn route(&self, src: PeId, dst: PeId) -> Vec<usize> {
+        assert!(src.0 < self.node_count() && dst.0 < self.node_count(), "PE outside mesh");
+        let (mut x, mut y) = self.coords(src);
+        let (dx, dy) = self.coords(dst);
+        let mut path = vec![y * self.cols + x];
+        while x != dx {
+            x = if dx > x { x + 1 } else { x - 1 };
+            path.push(y * self.cols + x);
+        }
+        while y != dy {
+            y = if dy > y { y + 1 } else { y - 1 };
+            path.push(y * self.cols + x);
+        }
+        path
+    }
+}
+
+impl Interconnect for MeshNoc {
+    fn schedule(&mut self, src: PeId, dst: PeId, bytes: u64, ready_s: f64) -> Transfer {
+        if src == dst || bytes == 0 {
+            return Transfer::instant(ready_s);
+        }
+        let path = self.route(src, dst);
+        let hops = path.len() - 1;
+        let serialize = bytes as f64 / self.link_bandwidth_bytes_per_s;
+        // The transfer cannot start before every link on the route is free.
+        let mut start = ready_s;
+        for w in path.windows(2) {
+            let key = (w[0], w[1]);
+            start = start.max(self.link_free_s.get(&key).copied().unwrap_or(0.0));
+        }
+        // Wormhole-ish approximation: total latency = hop latency per hop +
+        // one serialization of the payload; every link is then busy for the
+        // serialization time starting at `start`.
+        let end = start + hops as f64 * self.hop_latency_s + serialize;
+        for w in path.windows(2) {
+            self.link_free_s.insert((w[0], w[1]), start + serialize);
+        }
+        self.bytes_moved += bytes;
+        self.busy_s += serialize * hops as f64;
+        Transfer {
+            start_s: start,
+            end_s: end,
+            energy_j: bytes as f64 * hops as f64 * self.energy_pj_per_byte_hop * 1e-12,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.link_free_s.clear();
+        self.bytes_moved = 0;
+        self.busy_s = 0.0;
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "mesh{}x{}@{:.0}MB/s-link",
+            self.cols,
+            self.rows,
+            self.link_bandwidth_bytes_per_s / 1e6
+        )
+    }
+
+    fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    fn busy_s(&self) -> f64 {
+        self.busy_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bus_serializes_concurrent_transfers() {
+        let mut bus = SharedBus::new(1e6, 0.0, 1.0);
+        let a = bus.schedule(PeId(0), PeId(1), 1_000_000, 0.0);
+        let b = bus.schedule(PeId(2), PeId(3), 1_000_000, 0.0);
+        assert!((a.end_s - 1.0).abs() < 1e-9);
+        assert!((b.start_s - 1.0).abs() < 1e-9);
+        assert!((b.end_s - 2.0).abs() < 1e-9);
+        assert_eq!(bus.bytes_moved(), 2_000_000);
+    }
+
+    #[test]
+    fn bus_same_pe_transfer_is_free() {
+        let mut bus = SharedBus::new(1e6, 1.0, 1.0);
+        let t = bus.schedule(PeId(1), PeId(1), 1 << 20, 5.0);
+        assert_eq!(t.start_s, 5.0);
+        assert_eq!(t.end_s, 5.0);
+        assert_eq!(t.energy_j, 0.0);
+    }
+
+    #[test]
+    fn bus_arbitration_adds_latency() {
+        let mut bus = SharedBus::new(1e6, 0.5, 0.0);
+        let t = bus.schedule(PeId(0), PeId(1), 1_000_000, 0.0);
+        assert!((t.duration_s() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bus_reset_clears_horizon() {
+        let mut bus = SharedBus::new(1e6, 0.0, 0.0);
+        bus.schedule(PeId(0), PeId(1), 1_000_000, 0.0);
+        bus.reset();
+        let t = bus.schedule(PeId(0), PeId(1), 1, 0.0);
+        assert_eq!(t.start_s, 0.0);
+        assert_eq!(bus.bytes_moved(), 1);
+    }
+
+    #[test]
+    fn mesh_route_is_xy() {
+        let noc = MeshNoc::new(3, 3, 1e6, 0.0, 0.0);
+        // PE0 at (0,0) to PE8 at (2,2): x first (0->1->2), then y.
+        assert_eq!(noc.route(PeId(0), PeId(8)), vec![0, 1, 2, 5, 8]);
+        assert_eq!(noc.route(PeId(4), PeId(4)), vec![4]);
+    }
+
+    #[test]
+    fn mesh_disjoint_routes_run_in_parallel() {
+        let mut noc = MeshNoc::new(2, 2, 1e6, 0.0, 0.0);
+        // 0->1 (top edge) and 2->3 (bottom edge) share no link.
+        let a = noc.schedule(PeId(0), PeId(1), 1_000_000, 0.0);
+        let b = noc.schedule(PeId(2), PeId(3), 1_000_000, 0.0);
+        assert_eq!(a.start_s, 0.0);
+        assert_eq!(b.start_s, 0.0, "disjoint routes must not serialize");
+    }
+
+    #[test]
+    fn mesh_shared_link_serializes() {
+        let mut noc = MeshNoc::new(3, 1, 1e6, 0.0, 0.0);
+        // Both transfers traverse link 1->2.
+        let a = noc.schedule(PeId(0), PeId(2), 1_000_000, 0.0);
+        let b = noc.schedule(PeId(1), PeId(2), 1_000_000, 0.0);
+        assert!(b.start_s >= a.start_s + 1.0 - 1e-9, "link contention ignored");
+    }
+
+    #[test]
+    fn mesh_energy_scales_with_hops() {
+        let mut noc = MeshNoc::new(4, 1, 1e9, 0.0, 2.0);
+        let one_hop = noc.schedule(PeId(0), PeId(1), 1000, 0.0);
+        let three_hop = noc.schedule(PeId(0), PeId(3), 1000, 10.0);
+        assert!((three_hop.energy_j - 3.0 * one_hop.energy_j).abs() < 1e-18);
+    }
+
+    #[test]
+    fn mesh_hop_latency_counts() {
+        let mut noc = MeshNoc::new(4, 1, 1e9, 1e-6, 0.0);
+        let t = noc.schedule(PeId(0), PeId(3), 0, 0.0);
+        // Zero bytes: free and instant by contract.
+        assert_eq!(t.duration_s(), 0.0);
+        let t = noc.schedule(PeId(0), PeId(3), 1000, 0.0);
+        assert!(t.duration_s() >= 3e-6);
+    }
+
+    #[test]
+    fn describe_mentions_topology() {
+        assert!(SharedBus::new(1e6, 0.0, 0.0).describe().contains("bus"));
+        assert!(MeshNoc::new(2, 3, 1e6, 0.0, 0.0).describe().contains("mesh2x3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_mesh_panics() {
+        let _ = MeshNoc::new(0, 2, 1e6, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,384 @@
+//! Task-to-PE mappings and mapping heuristics.
+//!
+//! Choosing which stage of Figure 1/Figure 2 runs on which core is *the*
+//! MPSoC design decision the paper's platforms embody. This module provides
+//! the baseline heuristics experiment E16 compares: everything-on-one-PE,
+//! round-robin, load-balanced (LPT on estimated seconds), pipeline-affine
+//! (contiguous stage groups), plus a hill-climbing improver that uses the
+//! simulator itself as its cost function.
+
+use crate::pe::PeId;
+use crate::platform::Platform;
+use crate::task::{TaskGraph, TaskId};
+
+/// Errors constructing a mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MappingError {
+    /// The assignment vector length differs from the task count.
+    WrongLength {
+        /// Number of tasks in the graph.
+        tasks: usize,
+        /// Number of assignments supplied.
+        got: usize,
+    },
+    /// An assignment referenced a PE outside the platform.
+    UnknownPe(PeId),
+}
+
+impl core::fmt::Display for MappingError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MappingError::WrongLength { tasks, got } => {
+                write!(f, "mapping length {got} does not match task count {tasks}")
+            }
+            MappingError::UnknownPe(pe) => write!(f, "mapping references unknown {pe}"),
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+/// An assignment of every task in a graph to a PE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mapping {
+    assign: Vec<PeId>,
+}
+
+impl Mapping {
+    /// Builds a mapping from an explicit assignment vector (indexed by
+    /// `TaskId.0`), validated against a graph and PE count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MappingError`] when the vector length mismatches the task
+    /// count or references a PE `>= pe_count`.
+    pub fn from_vec(graph: &TaskGraph, pe_count: usize, assign: Vec<PeId>) -> Result<Self, MappingError> {
+        if assign.len() != graph.task_count() {
+            return Err(MappingError::WrongLength {
+                tasks: graph.task_count(),
+                got: assign.len(),
+            });
+        }
+        if let Some(&bad) = assign.iter().find(|pe| pe.0 >= pe_count) {
+            return Err(MappingError::UnknownPe(bad));
+        }
+        Ok(Self { assign })
+    }
+
+    /// Every task on PE 0 — the uniprocessor baseline.
+    #[must_use]
+    pub fn all_on_one(graph: &TaskGraph) -> Self {
+        Self {
+            assign: vec![PeId(0); graph.task_count()],
+        }
+    }
+
+    /// Task `i` on PE `i % pe_count`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe_count == 0`.
+    #[must_use]
+    pub fn round_robin(graph: &TaskGraph, pe_count: usize) -> Self {
+        assert!(pe_count > 0, "need at least one PE");
+        Self {
+            assign: (0..graph.task_count()).map(|i| PeId(i % pe_count)).collect(),
+        }
+    }
+
+    /// Longest-processing-time-first load balancing: tasks are sorted by
+    /// their estimated time on each platform PE kind and greedily assigned
+    /// to the PE whose queue finishes earliest (taking per-PE speed into
+    /// account, so a DSP absorbs more MAC-heavy stages).
+    #[must_use]
+    pub fn load_balanced(graph: &TaskGraph, platform: &Platform) -> Self {
+        let n = platform.pe_count();
+        let mut order: Vec<TaskId> = graph.task_ids().collect();
+        // Sort heaviest first by op total.
+        order.sort_by_key(|&t| core::cmp::Reverse(graph.task(t).ops.total()));
+        let mut pe_load = vec![0.0f64; n];
+        let mut assign = vec![PeId(0); graph.task_count()];
+        for t in order {
+            let ops = &graph.task(t).ops;
+            // Pick the PE minimizing its finish time if given this task.
+            let (best, _) = (0..n)
+                .map(|p| {
+                    let secs = platform.pe(PeId(p)).seconds_for(ops);
+                    (p, pe_load[p] + secs)
+                })
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("platform has at least one PE");
+            pe_load[best] += platform.pe(PeId(best)).seconds_for(ops);
+            assign[t.0] = PeId(best);
+        }
+        Self { assign }
+    }
+
+    /// Pipeline-affine mapping for (near-)linear graphs: splits the tasks,
+    /// in topological order, into `pe_count` contiguous groups with
+    /// approximately equal total estimated time, assigning group `k` to PE
+    /// `k`. Contiguity keeps producer→consumer traffic between neighbours
+    /// and preserves streaming pipelining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `platform` has no PEs (impossible by construction) or the
+    /// graph is cyclic.
+    #[must_use]
+    pub fn pipeline_affine(graph: &TaskGraph, platform: &Platform) -> Self {
+        let order = graph
+            .topological_order()
+            .expect("pipeline mapping requires an acyclic graph");
+        let n = platform.pe_count();
+        // Estimated seconds of each task on an "average" PE of the platform.
+        let avg_secs: Vec<f64> = order
+            .iter()
+            .map(|&t| {
+                let ops = &graph.task(t).ops;
+                platform
+                    .pes()
+                    .iter()
+                    .map(|pe| pe.seconds_for(ops))
+                    .sum::<f64>()
+                    / n as f64
+            })
+            .collect();
+        let total: f64 = avg_secs.iter().sum();
+        let target = total / n as f64;
+        let mut assign = vec![PeId(0); graph.task_count()];
+        let mut pe = 0usize;
+        let mut acc = 0.0;
+        for (k, &t) in order.iter().enumerate() {
+            // Move to the next PE when the current group is full — but never
+            // leave later PEs unused if tasks remain exactly fill groups.
+            if acc >= target && pe + 1 < n && (order.len() - k) as f64 > 0.0 {
+                pe += 1;
+                acc = 0.0;
+            }
+            assign[t.0] = PeId(pe);
+            acc += avg_secs[k];
+        }
+        Self { assign }
+    }
+
+    /// Uniformly random assignment (for baselines and the improver's
+    /// restarts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe_count == 0`.
+    #[must_use]
+    pub fn random(graph: &TaskGraph, pe_count: usize, seed: u64) -> Self {
+        assert!(pe_count > 0, "need at least one PE");
+        // Tiny inline LCG; mapping quality is irrelevant, determinism isn't.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let assign = (0..graph.task_count())
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                PeId(((state >> 33) % pe_count as u64) as usize)
+            })
+            .collect();
+        Self { assign }
+    }
+
+    /// The PE a task is mapped to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range for the mapped graph.
+    #[must_use]
+    pub fn pe_of(&self, task: TaskId) -> PeId {
+        self.assign[task.0]
+    }
+
+    /// The full assignment vector, indexed by `TaskId.0`.
+    #[must_use]
+    pub fn assignments(&self) -> &[PeId] {
+        &self.assign
+    }
+
+    /// Number of distinct PEs actually used.
+    #[must_use]
+    pub fn pes_used(&self) -> usize {
+        let mut seen: Vec<usize> = self.assign.iter().map(|p| p.0).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Hill-climbing improvement: repeatedly tries moving one task to a
+    /// different PE, keeping the move when the simulated streaming
+    /// makespan for `iterations` graph iterations improves. Deterministic
+    /// sweep order; stops after a full sweep with no improvement or
+    /// `max_sweeps` sweeps.
+    #[must_use]
+    pub fn improved(
+        mut self,
+        graph: &TaskGraph,
+        platform: &Platform,
+        iterations: usize,
+        max_sweeps: usize,
+    ) -> Self {
+        let sim = crate::sched::Simulator::new(platform);
+        let score = |m: &Mapping| -> f64 {
+            sim.run_stream(graph, m, iterations)
+                .map(|r| r.makespan_s())
+                .unwrap_or(f64::INFINITY)
+        };
+        let mut best = score(&self);
+        for _ in 0..max_sweeps {
+            let mut changed = false;
+            for t in 0..self.assign.len() {
+                let mut current = self.assign[t];
+                for pe in 0..platform.pe_count() {
+                    if PeId(pe) == current {
+                        continue;
+                    }
+                    self.assign[t] = PeId(pe);
+                    let s = score(&self);
+                    if s + 1e-12 < best {
+                        best = s;
+                        current = PeId(pe);
+                        changed = true;
+                    } else {
+                        self.assign[t] = current;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        self
+    }
+}
+
+impl core::fmt::Display for Mapping {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "[")?;
+        for (i, pe) in self.assign.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "t{i}->{pe}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::OpCounts;
+
+    fn chain(n: usize, ops_each: u64) -> TaskGraph {
+        let stages: Vec<(String, OpCounts, u64)> = (0..n)
+            .map(|i| (format!("s{i}"), OpCounts::new().with_int_alu(ops_each), 1024))
+            .collect();
+        let refs: Vec<(&str, OpCounts, u64)> = stages
+            .iter()
+            .map(|(s, o, b)| (s.as_str(), *o, *b))
+            .collect();
+        TaskGraph::linear_pipeline("chain", &refs)
+    }
+
+    #[test]
+    fn round_robin_cycles_pes() {
+        let g = chain(5, 10);
+        let m = Mapping::round_robin(&g, 2);
+        assert_eq!(m.pe_of(TaskId(0)), PeId(0));
+        assert_eq!(m.pe_of(TaskId(1)), PeId(1));
+        assert_eq!(m.pe_of(TaskId(2)), PeId(0));
+        assert_eq!(m.pes_used(), 2);
+    }
+
+    #[test]
+    fn all_on_one_uses_single_pe() {
+        let g = chain(4, 10);
+        let m = Mapping::all_on_one(&g);
+        assert_eq!(m.pes_used(), 1);
+    }
+
+    #[test]
+    fn from_vec_validates() {
+        let g = chain(3, 10);
+        assert!(Mapping::from_vec(&g, 2, vec![PeId(0), PeId(1), PeId(0)]).is_ok());
+        assert_eq!(
+            Mapping::from_vec(&g, 2, vec![PeId(0)]).unwrap_err(),
+            MappingError::WrongLength { tasks: 3, got: 1 }
+        );
+        assert_eq!(
+            Mapping::from_vec(&g, 2, vec![PeId(0), PeId(5), PeId(0)]).unwrap_err(),
+            MappingError::UnknownPe(PeId(5))
+        );
+    }
+
+    #[test]
+    fn load_balanced_spreads_heavy_tasks() {
+        let mut g = TaskGraph::new("heavy");
+        for i in 0..4 {
+            g.add_task(format!("t{i}"), OpCounts::new().with_int_alu(1000), 0);
+        }
+        let p = Platform::symmetric_bus("p", 2, 100e6);
+        let m = Mapping::load_balanced(&g, &p);
+        assert_eq!(m.pes_used(), 2, "equal tasks must be split across both PEs");
+        let on0 = m.assignments().iter().filter(|pe| pe.0 == 0).count();
+        assert_eq!(on0, 2);
+    }
+
+    #[test]
+    fn load_balanced_prefers_dsp_for_macs() {
+        let mut g = TaskGraph::new("mac-heavy");
+        g.add_task("filter", OpCounts::new().with_mac(1_000_000), 0);
+        let p = Platform::cell_phone(); // pe0 = RISC, pe1 = DSP
+        let m = Mapping::load_balanced(&g, &p);
+        assert_eq!(m.pe_of(TaskId(0)), PeId(1), "MAC work belongs on the DSP");
+    }
+
+    #[test]
+    fn pipeline_affine_is_contiguous_and_ordered() {
+        let g = chain(8, 100);
+        let p = Platform::symmetric_bus("p", 4, 100e6);
+        let m = Mapping::pipeline_affine(&g, &p);
+        // Assignments along the chain must be non-decreasing.
+        let pes: Vec<usize> = (0..8).map(|i| m.pe_of(TaskId(i)).0).collect();
+        assert!(pes.windows(2).all(|w| w[0] <= w[1]), "{pes:?}");
+        assert_eq!(m.pes_used(), 4);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let g = chain(6, 10);
+        assert_eq!(
+            Mapping::random(&g, 3, 42).assignments(),
+            Mapping::random(&g, 3, 42).assignments()
+        );
+        assert_ne!(
+            Mapping::random(&g, 3, 1).assignments(),
+            Mapping::random(&g, 3, 2).assignments(),
+            "different seeds should almost surely differ"
+        );
+    }
+
+    #[test]
+    fn improved_never_regresses() {
+        let g = chain(6, 10_000);
+        let p = Platform::symmetric_bus("p", 3, 100e6);
+        let sim = crate::sched::Simulator::new(&p);
+        let start = Mapping::all_on_one(&g);
+        let before = sim.run_stream(&g, &start, 8).unwrap().makespan_s();
+        let better = start.improved(&g, &p, 8, 4);
+        let after = sim.run_stream(&g, &better, 8).unwrap().makespan_s();
+        assert!(after <= before + 1e-12, "{after} vs {before}");
+        assert!(better.pes_used() > 1, "improver should exploit extra PEs");
+    }
+
+    #[test]
+    fn display_lists_assignments() {
+        let g = chain(2, 1);
+        let m = Mapping::round_robin(&g, 2);
+        assert_eq!(m.to_string(), "[t0->pe0 t1->pe1]");
+    }
+}

@@ -1,0 +1,331 @@
+//! Processing elements: the heterogeneous cores of the MPSoC.
+//!
+//! Paper §1–2: multimedia MPSoCs combine general-purpose control
+//! processors with DSPs and function accelerators to hit consumer
+//! cost/power points. Each [`ProcessingElement`] carries a
+//! cycles-per-operation table ([`CycleTable`]) over the workspace's
+//! operation classes and per-operation energy costs, so the same task graph
+//! costs differently on different core kinds.
+
+/// Classes of operations a task is composed of.
+///
+/// Tasks are profiled as counts per class (see
+/// [`OpCounts`](crate::task::OpCounts)); PEs price each class via their
+/// [`CycleTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Integer ALU operations (adds, compares, address arithmetic).
+    IntAlu,
+    /// Multiply–accumulate operations (filters, transforms, SAD cores).
+    Mac,
+    /// Memory accesses that miss the local scratchpad.
+    Mem,
+    /// Branchy control and table lookup (VLC, parsers).
+    Control,
+    /// Bit-serial packing/unpacking (bitstreams, framing).
+    Bit,
+}
+
+impl OpClass {
+    /// All operation classes, in a fixed order used by the tables.
+    pub const ALL: [OpClass; 5] = [
+        OpClass::IntAlu,
+        OpClass::Mac,
+        OpClass::Mem,
+        OpClass::Control,
+        OpClass::Bit,
+    ];
+
+    /// Stable index into per-class arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            OpClass::IntAlu => 0,
+            OpClass::Mac => 1,
+            OpClass::Mem => 2,
+            OpClass::Control => 3,
+            OpClass::Bit => 4,
+        }
+    }
+}
+
+impl core::fmt::Display for OpClass {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "int",
+            OpClass::Mac => "mac",
+            OpClass::Mem => "mem",
+            OpClass::Control => "ctl",
+            OpClass::Bit => "bit",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Cycles-per-operation for each [`OpClass`], in class-index order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleTable {
+    cycles: [f64; 5],
+}
+
+impl CycleTable {
+    /// Builds a table from per-class cycle costs
+    /// `[int, mac, mem, control, bit]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry is not strictly positive and finite.
+    #[must_use]
+    pub fn new(cycles: [f64; 5]) -> Self {
+        for &c in &cycles {
+            assert!(c.is_finite() && c > 0.0, "cycle costs must be positive");
+        }
+        Self { cycles }
+    }
+
+    /// Cycles for one operation of `class`.
+    #[must_use]
+    pub fn cycles_for(&self, class: OpClass) -> f64 {
+        self.cycles[class.index()]
+    }
+}
+
+/// The kind of core, which fixes its default cycle and energy tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PeKind {
+    /// In-order RISC control processor: fine at everything, great at
+    /// nothing.
+    RiscCpu,
+    /// DSP core: single-cycle (sub-cycle, via SIMD) MACs, weaker control.
+    Dsp,
+    /// Fixed-function accelerator: very fast MAC/bit engines, but pays a
+    /// heavy penalty on control-dominated code.
+    Accelerator,
+}
+
+impl PeKind {
+    /// Default cycles-per-op for this kind.
+    ///
+    /// Values are representative of mid-2000s embedded cores (relative, not
+    /// vendor-exact): RISC needs several cycles per MAC, a DSP does
+    /// fractional-cycle MACs via SIMD datapaths, an accelerator streams
+    /// MAC/bit work but emulates control slowly.
+    #[must_use]
+    pub fn default_cycles(self) -> CycleTable {
+        match self {
+            PeKind::RiscCpu => CycleTable::new([1.0, 4.0, 8.0, 1.5, 4.0]),
+            PeKind::Dsp => CycleTable::new([1.0, 0.5, 6.0, 3.0, 2.0]),
+            PeKind::Accelerator => CycleTable::new([0.5, 0.25, 4.0, 12.0, 0.5]),
+        }
+    }
+
+    /// Default energy per operation in picojoules, per class.
+    #[must_use]
+    pub fn default_energy_pj(self) -> [f64; 5] {
+        match self {
+            PeKind::RiscCpu => [12.0, 30.0, 60.0, 15.0, 20.0],
+            PeKind::Dsp => [10.0, 8.0, 55.0, 25.0, 12.0],
+            PeKind::Accelerator => [4.0, 3.0, 40.0, 80.0, 3.0],
+        }
+    }
+
+    /// Default leakage power in milliwatts while powered.
+    #[must_use]
+    pub fn default_leakage_mw(self) -> f64 {
+        match self {
+            PeKind::RiscCpu => 8.0,
+            PeKind::Dsp => 6.0,
+            PeKind::Accelerator => 3.0,
+        }
+    }
+}
+
+impl core::fmt::Display for PeKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            PeKind::RiscCpu => "risc",
+            PeKind::Dsp => "dsp",
+            PeKind::Accelerator => "accel",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Identifier of a processing element within a platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PeId(pub usize);
+
+impl core::fmt::Display for PeId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "pe{}", self.0)
+    }
+}
+
+/// One core of the platform.
+#[derive(Debug, Clone)]
+pub struct ProcessingElement {
+    name: String,
+    kind: PeKind,
+    clock_hz: f64,
+    cycles: CycleTable,
+    energy_pj: [f64; 5],
+    leakage_mw: f64,
+}
+
+impl ProcessingElement {
+    /// Creates a PE of the given kind with default tables at `clock_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock_hz` is not strictly positive and finite.
+    #[must_use]
+    pub fn new(name: impl Into<String>, kind: PeKind, clock_hz: f64) -> Self {
+        assert!(clock_hz.is_finite() && clock_hz > 0.0, "clock must be positive");
+        Self {
+            name: name.into(),
+            kind,
+            clock_hz,
+            cycles: kind.default_cycles(),
+            energy_pj: kind.default_energy_pj(),
+            leakage_mw: kind.default_leakage_mw(),
+        }
+    }
+
+    /// Overrides the cycle table (for calibration experiments).
+    #[must_use]
+    pub fn with_cycles(mut self, cycles: CycleTable) -> Self {
+        self.cycles = cycles;
+        self
+    }
+
+    /// Overrides the per-op energy table.
+    #[must_use]
+    pub fn with_energy_pj(mut self, energy_pj: [f64; 5]) -> Self {
+        self.energy_pj = energy_pj;
+        self
+    }
+
+    /// The PE's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The core kind.
+    #[must_use]
+    pub fn kind(&self) -> PeKind {
+        self.kind
+    }
+
+    /// Clock frequency in Hz.
+    #[must_use]
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_hz
+    }
+
+    /// Leakage power in mW.
+    #[must_use]
+    pub fn leakage_mw(&self) -> f64 {
+        self.leakage_mw
+    }
+
+    /// Cycles to execute the given op counts on this PE.
+    #[must_use]
+    pub fn cycles_for(&self, ops: &crate::task::OpCounts) -> f64 {
+        OpClass::ALL
+            .iter()
+            .map(|&c| ops.count(c) as f64 * self.cycles.cycles_for(c))
+            .sum()
+    }
+
+    /// Seconds to execute the given op counts on this PE.
+    #[must_use]
+    pub fn seconds_for(&self, ops: &crate::task::OpCounts) -> f64 {
+        self.cycles_for(ops) / self.clock_hz
+    }
+
+    /// Dynamic energy in joules to execute the given op counts.
+    #[must_use]
+    pub fn energy_j_for(&self, ops: &crate::task::OpCounts) -> f64 {
+        OpClass::ALL
+            .iter()
+            .map(|&c| ops.count(c) as f64 * self.energy_pj[c.index()] * 1e-12)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::OpCounts;
+
+    #[test]
+    fn dsp_beats_risc_on_mac_heavy_code() {
+        let risc = ProcessingElement::new("r", PeKind::RiscCpu, 200e6);
+        let dsp = ProcessingElement::new("d", PeKind::Dsp, 200e6);
+        let macs = OpCounts::new().with_mac(1_000_000);
+        assert!(dsp.seconds_for(&macs) < risc.seconds_for(&macs) / 4.0);
+    }
+
+    #[test]
+    fn risc_beats_accelerator_on_control_code() {
+        let risc = ProcessingElement::new("r", PeKind::RiscCpu, 200e6);
+        let acc = ProcessingElement::new("a", PeKind::Accelerator, 200e6);
+        let ctl = OpCounts::new().with_control(1_000_000);
+        assert!(risc.seconds_for(&ctl) < acc.seconds_for(&ctl));
+    }
+
+    #[test]
+    fn cycles_scale_linearly_with_ops() {
+        let pe = ProcessingElement::new("p", PeKind::RiscCpu, 100e6);
+        let one = OpCounts::new().with_int_alu(1000);
+        let two = OpCounts::new().with_int_alu(2000);
+        assert!((pe.cycles_for(&two) - 2.0 * pe.cycles_for(&one)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_clock_means_less_time_same_energy() {
+        let slow = ProcessingElement::new("s", PeKind::Dsp, 100e6);
+        let fast = ProcessingElement::new("f", PeKind::Dsp, 400e6);
+        let ops = OpCounts::new().with_mac(10_000);
+        assert!(fast.seconds_for(&ops) < slow.seconds_for(&ops));
+        assert!((fast.energy_j_for(&ops) - slow.energy_j_for(&ops)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn energy_hand_computed() {
+        let pe = ProcessingElement::new("p", PeKind::RiscCpu, 100e6);
+        let ops = OpCounts::new().with_int_alu(1000);
+        // 1000 ops * 12 pJ = 12 nJ.
+        assert!((pe.energy_j_for(&ops) - 12e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn op_class_indices_are_distinct() {
+        let mut seen = [false; 5];
+        for c in OpClass::ALL {
+            assert!(!seen[c.index()]);
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_clock_panics() {
+        let _ = ProcessingElement::new("bad", PeKind::RiscCpu, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_cycle_cost_panics() {
+        let _ = CycleTable::new([1.0, 0.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PeId(3).to_string(), "pe3");
+        assert_eq!(PeKind::Dsp.to_string(), "dsp");
+        assert_eq!(OpClass::Mac.to_string(), "mac");
+    }
+}

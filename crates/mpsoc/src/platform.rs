@@ -1,0 +1,394 @@
+//! Platform descriptions: sets of PEs plus an interconnect specification.
+//!
+//! Paper §2 lists the consumer device classes an MPSoC must serve —
+//! *multimedia cell phones, digital audio players, set-top boxes, digital
+//! video recorders, digital video cameras* — each at a different
+//! cost/performance/power point. The presets here encode those points as
+//! platform sizes and clock rates; experiment E17 runs the corresponding
+//! applications on them.
+
+use crate::interconnect::{Interconnect, MeshNoc, SharedBus};
+use crate::pe::{PeId, PeKind, ProcessingElement};
+
+/// Interconnect specification — instantiated fresh for each simulation run
+/// so runs never leak contention state into each other.
+#[derive(Debug, Clone)]
+pub enum InterconnectSpec {
+    /// Single shared bus.
+    Bus {
+        /// Bandwidth in bytes per second.
+        bandwidth_bytes_per_s: f64,
+        /// Arbitration latency per transfer, seconds.
+        arbitration_s: f64,
+        /// Transfer energy, picojoules per byte.
+        energy_pj_per_byte: f64,
+    },
+    /// 2-D mesh NoC with XY routing.
+    Mesh {
+        /// Grid columns.
+        cols: usize,
+        /// Grid rows.
+        rows: usize,
+        /// Per-link bandwidth in bytes per second.
+        link_bandwidth_bytes_per_s: f64,
+        /// Per-hop latency in seconds.
+        hop_latency_s: f64,
+        /// Energy in picojoules per byte per hop.
+        energy_pj_per_byte_hop: f64,
+    },
+}
+
+impl InterconnectSpec {
+    /// Builds a fresh, idle interconnect instance.
+    #[must_use]
+    pub fn instantiate(&self) -> Box<dyn Interconnect> {
+        match *self {
+            InterconnectSpec::Bus {
+                bandwidth_bytes_per_s,
+                arbitration_s,
+                energy_pj_per_byte,
+            } => Box::new(SharedBus::new(
+                bandwidth_bytes_per_s,
+                arbitration_s,
+                energy_pj_per_byte,
+            )),
+            InterconnectSpec::Mesh {
+                cols,
+                rows,
+                link_bandwidth_bytes_per_s,
+                hop_latency_s,
+                energy_pj_per_byte_hop,
+            } => Box::new(MeshNoc::new(
+                cols,
+                rows,
+                link_bandwidth_bytes_per_s,
+                hop_latency_s,
+                energy_pj_per_byte_hop,
+            )),
+        }
+    }
+}
+
+/// A complete MPSoC platform: named PEs plus interconnect.
+///
+/// # Example
+///
+/// ```
+/// use mpsoc::platform::Platform;
+///
+/// let p = Platform::symmetric_bus("quad", 4, 200e6);
+/// assert_eq!(p.pe_count(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Platform {
+    name: String,
+    pes: Vec<ProcessingElement>,
+    interconnect: InterconnectSpec,
+}
+
+impl Platform {
+    /// Creates a platform from explicit parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pes` is empty, or if a mesh spec does not cover the PE
+    /// count.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        pes: Vec<ProcessingElement>,
+        interconnect: InterconnectSpec,
+    ) -> Self {
+        assert!(!pes.is_empty(), "platform needs at least one PE");
+        if let InterconnectSpec::Mesh { cols, rows, .. } = interconnect {
+            assert!(
+                cols * rows >= pes.len(),
+                "mesh {}x{} too small for {} PEs",
+                cols,
+                rows,
+                pes.len()
+            );
+        }
+        Self {
+            name: name.into(),
+            pes,
+            interconnect,
+        }
+    }
+
+    /// `n` identical RISC cores on a default shared bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn symmetric_bus(name: impl Into<String>, n: usize, clock_hz: f64) -> Self {
+        let pes = (0..n)
+            .map(|i| ProcessingElement::new(format!("risc{i}"), PeKind::RiscCpu, clock_hz))
+            .collect();
+        Self::new(
+            name,
+            pes,
+            InterconnectSpec::Bus {
+                bandwidth_bytes_per_s: 400e6,
+                arbitration_s: 50e-9,
+                energy_pj_per_byte: 5.0,
+            },
+        )
+    }
+
+    /// `cols * rows` identical RISC cores on a mesh NoC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is empty.
+    #[must_use]
+    pub fn symmetric_mesh(name: impl Into<String>, cols: usize, rows: usize, clock_hz: f64) -> Self {
+        let pes = (0..cols * rows)
+            .map(|i| ProcessingElement::new(format!("risc{i}"), PeKind::RiscCpu, clock_hz))
+            .collect();
+        Self::new(
+            name,
+            pes,
+            InterconnectSpec::Mesh {
+                cols,
+                rows,
+                link_bandwidth_bytes_per_s: 200e6,
+                hop_latency_s: 20e-9,
+                energy_pj_per_byte_hop: 2.0,
+            },
+        )
+    }
+
+    /// Multimedia cell phone (§2): one control RISC plus one modest DSP,
+    /// tight power budget, low clock.
+    #[must_use]
+    pub fn cell_phone() -> Self {
+        Self::new(
+            "cell-phone",
+            vec![
+                ProcessingElement::new("arm", PeKind::RiscCpu, 104e6),
+                ProcessingElement::new("dsp", PeKind::Dsp, 104e6),
+            ],
+            InterconnectSpec::Bus {
+                bandwidth_bytes_per_s: 100e6,
+                arbitration_s: 100e-9,
+                energy_pj_per_byte: 4.0,
+            },
+        )
+    }
+
+    /// Digital audio player (§2): single low-power DSP with a small
+    /// control core.
+    #[must_use]
+    pub fn audio_player() -> Self {
+        Self::new(
+            "audio-player",
+            vec![
+                ProcessingElement::new("mcu", PeKind::RiscCpu, 75e6),
+                ProcessingElement::new("dsp", PeKind::Dsp, 150e6),
+            ],
+            InterconnectSpec::Bus {
+                bandwidth_bytes_per_s: 80e6,
+                arbitration_s: 120e-9,
+                energy_pj_per_byte: 3.5,
+            },
+        )
+    }
+
+    /// Digital set-top box (§2): decode-oriented — RISC host, DSP, and a
+    /// video accelerator; mains-powered so clocks are higher.
+    #[must_use]
+    pub fn set_top_box() -> Self {
+        Self::new(
+            "set-top-box",
+            vec![
+                ProcessingElement::new("host", PeKind::RiscCpu, 300e6),
+                ProcessingElement::new("dsp", PeKind::Dsp, 250e6),
+                ProcessingElement::new("vdec", PeKind::Accelerator, 200e6),
+            ],
+            InterconnectSpec::Bus {
+                bandwidth_bytes_per_s: 800e6,
+                arbitration_s: 40e-9,
+                energy_pj_per_byte: 6.0,
+            },
+        )
+    }
+
+    /// Digital video recorder (§2): must encode and decode concurrently
+    /// plus run content analysis — the largest preset.
+    #[must_use]
+    pub fn video_recorder() -> Self {
+        Self::new(
+            "video-recorder",
+            vec![
+                ProcessingElement::new("host", PeKind::RiscCpu, 300e6),
+                ProcessingElement::new("dsp0", PeKind::Dsp, 250e6),
+                ProcessingElement::new("dsp1", PeKind::Dsp, 250e6),
+                ProcessingElement::new("venc", PeKind::Accelerator, 250e6),
+                ProcessingElement::new("vdec", PeKind::Accelerator, 200e6),
+            ],
+            InterconnectSpec::Bus {
+                bandwidth_bytes_per_s: 1.2e9,
+                arbitration_s: 40e-9,
+                energy_pj_per_byte: 6.0,
+            },
+        )
+    }
+
+    /// Digital video camera (§2): encode-heavy, battery-powered.
+    #[must_use]
+    pub fn video_camera() -> Self {
+        Self::new(
+            "video-camera",
+            vec![
+                ProcessingElement::new("host", PeKind::RiscCpu, 200e6),
+                ProcessingElement::new("dsp", PeKind::Dsp, 216e6),
+                ProcessingElement::new("venc", PeKind::Accelerator, 216e6),
+            ],
+            InterconnectSpec::Bus {
+                bandwidth_bytes_per_s: 600e6,
+                arbitration_s: 60e-9,
+                energy_pj_per_byte: 4.5,
+            },
+        )
+    }
+
+    /// The platform's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of PEs.
+    #[must_use]
+    pub fn pe_count(&self) -> usize {
+        self.pes.len()
+    }
+
+    /// The PEs.
+    #[must_use]
+    pub fn pes(&self) -> &[ProcessingElement] {
+        &self.pes
+    }
+
+    /// The PE with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn pe(&self, id: PeId) -> &ProcessingElement {
+        &self.pes[id.0]
+    }
+
+    /// The interconnect specification.
+    #[must_use]
+    pub fn interconnect_spec(&self) -> &InterconnectSpec {
+        &self.interconnect
+    }
+
+    /// Replaces the interconnect specification (builder style).
+    #[must_use]
+    pub fn with_interconnect(mut self, spec: InterconnectSpec) -> Self {
+        if let InterconnectSpec::Mesh { cols, rows, .. } = spec {
+            assert!(cols * rows >= self.pes.len(), "mesh too small for PE count");
+        }
+        self.interconnect = spec;
+        self
+    }
+
+    /// Total leakage power of all PEs in watts.
+    #[must_use]
+    pub fn leakage_w(&self) -> f64 {
+        self.pes.iter().map(|p| p.leakage_mw() * 1e-3).sum()
+    }
+}
+
+impl core::fmt::Display for Platform {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} [{} PEs, {}]",
+            self.name,
+            self.pes.len(),
+            self.interconnect.instantiate().describe()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_sizes() {
+        assert_eq!(Platform::cell_phone().pe_count(), 2);
+        assert_eq!(Platform::audio_player().pe_count(), 2);
+        assert_eq!(Platform::set_top_box().pe_count(), 3);
+        assert_eq!(Platform::video_recorder().pe_count(), 5);
+        assert_eq!(Platform::video_camera().pe_count(), 3);
+    }
+
+    #[test]
+    fn phone_is_slowest_and_lowest_leakage_vs_dvr() {
+        let phone = Platform::cell_phone();
+        let dvr = Platform::video_recorder();
+        let max_clock = |p: &Platform| {
+            p.pes()
+                .iter()
+                .map(|pe| pe.clock_hz())
+                .fold(0.0f64, f64::max)
+        };
+        assert!(max_clock(&phone) < max_clock(&dvr));
+        assert!(phone.leakage_w() < dvr.leakage_w());
+    }
+
+    #[test]
+    fn symmetric_builders() {
+        let bus = Platform::symmetric_bus("b", 4, 100e6);
+        assert_eq!(bus.pe_count(), 4);
+        let mesh = Platform::symmetric_mesh("m", 2, 3, 100e6);
+        assert_eq!(mesh.pe_count(), 6);
+    }
+
+    #[test]
+    fn instantiate_gives_fresh_interconnect() {
+        let p = Platform::symmetric_bus("b", 2, 100e6);
+        let mut ic1 = p.interconnect_spec().instantiate();
+        ic1.schedule(PeId(0), PeId(1), 1_000_000, 0.0);
+        let ic2 = p.interconnect_spec().instantiate();
+        assert_eq!(ic2.bytes_moved(), 0, "new instance must be idle");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PE")]
+    fn empty_platform_panics() {
+        let _ = Platform::new("x", vec![], InterconnectSpec::Bus {
+            bandwidth_bytes_per_s: 1e6,
+            arbitration_s: 0.0,
+            energy_pj_per_byte: 0.0,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn undersized_mesh_panics() {
+        let pes = (0..5)
+            .map(|i| ProcessingElement::new(format!("p{i}"), PeKind::RiscCpu, 1e8))
+            .collect();
+        let _ = Platform::new("x", pes, InterconnectSpec::Mesh {
+            cols: 2,
+            rows: 2,
+            link_bandwidth_bytes_per_s: 1e6,
+            hop_latency_s: 0.0,
+            energy_pj_per_byte_hop: 0.0,
+        });
+    }
+
+    #[test]
+    fn display_mentions_name_and_size() {
+        let s = Platform::set_top_box().to_string();
+        assert!(s.contains("set-top-box") && s.contains("3 PEs"));
+    }
+}

@@ -1,0 +1,504 @@
+//! Task graphs: the workload representation.
+//!
+//! Multimedia applications in the paper are block diagrams (Figures 1 and
+//! 2): stages connected by data streams. A [`TaskGraph`] captures one
+//! iteration of such a diagram as a DAG of [`Task`]s whose edges carry the
+//! number of bytes exchanged per iteration; the scheduler replays the graph
+//! over many iterations to model streaming.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::pe::OpClass;
+
+/// Identifier of a task within a [`TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub usize);
+
+impl core::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Operation counts per class for one execution of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct OpCounts {
+    counts: [u64; 5],
+}
+
+impl OpCounts {
+    /// An empty profile (zero-cost task, e.g. a source node).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets integer-ALU operation count.
+    #[must_use]
+    pub fn with_int_alu(mut self, n: u64) -> Self {
+        self.counts[OpClass::IntAlu.index()] = n;
+        self
+    }
+
+    /// Sets multiply–accumulate count.
+    #[must_use]
+    pub fn with_mac(mut self, n: u64) -> Self {
+        self.counts[OpClass::Mac.index()] = n;
+        self
+    }
+
+    /// Sets non-local memory access count.
+    #[must_use]
+    pub fn with_mem(mut self, n: u64) -> Self {
+        self.counts[OpClass::Mem.index()] = n;
+        self
+    }
+
+    /// Sets control-flow operation count.
+    #[must_use]
+    pub fn with_control(mut self, n: u64) -> Self {
+        self.counts[OpClass::Control.index()] = n;
+        self
+    }
+
+    /// Sets bit-manipulation operation count.
+    #[must_use]
+    pub fn with_bit(mut self, n: u64) -> Self {
+        self.counts[OpClass::Bit.index()] = n;
+        self
+    }
+
+    /// Count for one class.
+    #[must_use]
+    pub fn count(&self, class: OpClass) -> u64 {
+        self.counts[class.index()]
+    }
+
+    /// Total operations across classes.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Element-wise sum of two profiles.
+    #[must_use]
+    pub fn plus(&self, other: &OpCounts) -> OpCounts {
+        let mut out = *self;
+        for i in 0..5 {
+            out.counts[i] += other.counts[i];
+        }
+        out
+    }
+
+    /// Scales every class count by `k` (saturating).
+    #[must_use]
+    pub fn scaled(&self, k: u64) -> OpCounts {
+        let mut out = *self;
+        for c in &mut out.counts {
+            *c = c.saturating_mul(k);
+        }
+        out
+    }
+}
+
+/// One node of the task graph.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Human-readable stage name ("dct", "quantizer", …).
+    pub name: String,
+    /// Computation profile for one iteration.
+    pub ops: OpCounts,
+    /// Bytes of private state the task keeps resident (scratchpad demand).
+    pub state_bytes: u64,
+}
+
+/// A directed edge carrying data between tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Producing task.
+    pub from: TaskId,
+    /// Consuming task.
+    pub to: TaskId,
+    /// Bytes transferred per graph iteration.
+    pub bytes: u64,
+}
+
+/// Errors constructing or validating a task graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge referenced a task id that does not exist.
+    UnknownTask(TaskId),
+    /// An edge would connect a task to itself.
+    SelfLoop(TaskId),
+    /// The graph contains a cycle (task ids on the cycle path witness it).
+    Cycle,
+    /// The same edge was added twice.
+    DuplicateEdge(TaskId, TaskId),
+}
+
+impl core::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GraphError::UnknownTask(t) => write!(f, "unknown task {t}"),
+            GraphError::SelfLoop(t) => write!(f, "self-loop on task {t}"),
+            GraphError::Cycle => f.write_str("task graph contains a cycle"),
+            GraphError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a} -> {b}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A directed acyclic graph of tasks with byte-weighted edges.
+///
+/// # Example
+///
+/// ```
+/// use mpsoc::task::{OpCounts, TaskGraph};
+///
+/// let mut g = TaskGraph::new("three-stage");
+/// let a = g.add_task("in", OpCounts::new(), 0);
+/// let b = g.add_task("work", OpCounts::new().with_mac(1_000), 0);
+/// let c = g.add_task("out", OpCounts::new(), 0);
+/// g.add_edge(a, b, 1024)?;
+/// g.add_edge(b, c, 1024)?;
+/// assert_eq!(g.topological_order()?.len(), 3);
+/// # Ok::<(), mpsoc::task::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TaskGraph {
+    name: String,
+    tasks: Vec<Task>,
+    edges: Vec<Edge>,
+    /// Adjacency: successors of each task.
+    succ: Vec<Vec<usize>>, // edge indices
+    /// Adjacency: predecessors of each task.
+    pred: Vec<Vec<usize>>, // edge indices
+}
+
+impl TaskGraph {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            tasks: Vec::new(),
+            edges: Vec::new(),
+            succ: Vec::new(),
+            pred: Vec::new(),
+        }
+    }
+
+    /// The graph's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a task, returning its id.
+    pub fn add_task(&mut self, name: impl Into<String>, ops: OpCounts, state_bytes: u64) -> TaskId {
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(Task {
+            name: name.into(),
+            ops,
+            state_bytes,
+        });
+        self.succ.push(Vec::new());
+        self.pred.push(Vec::new());
+        id
+    }
+
+    /// Adds a data edge carrying `bytes` per iteration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] for unknown endpoints, self-loops, duplicate
+    /// edges, or edges that would create a cycle.
+    pub fn add_edge(&mut self, from: TaskId, to: TaskId, bytes: u64) -> Result<(), GraphError> {
+        if from.0 >= self.tasks.len() {
+            return Err(GraphError::UnknownTask(from));
+        }
+        if to.0 >= self.tasks.len() {
+            return Err(GraphError::UnknownTask(to));
+        }
+        if from == to {
+            return Err(GraphError::SelfLoop(from));
+        }
+        if self
+            .edges
+            .iter()
+            .any(|e| e.from == from && e.to == to)
+        {
+            return Err(GraphError::DuplicateEdge(from, to));
+        }
+        let idx = self.edges.len();
+        self.edges.push(Edge { from, to, bytes });
+        self.succ[from.0].push(idx);
+        self.pred[to.0].push(idx);
+        if self.topological_order().is_err() {
+            // Roll back the offending edge.
+            self.edges.pop();
+            self.succ[from.0].pop();
+            self.pred[to.0].pop();
+            return Err(GraphError::Cycle);
+        }
+        Ok(())
+    }
+
+    /// Number of tasks.
+    #[must_use]
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The task with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.0]
+    }
+
+    /// All tasks, indexable by `TaskId.0`.
+    #[must_use]
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// All edges.
+    #[must_use]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Ids of all tasks in insertion order.
+    pub fn task_ids(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.tasks.len()).map(TaskId)
+    }
+
+    /// Incoming edges of `id`.
+    #[must_use]
+    pub fn predecessors(&self, id: TaskId) -> Vec<&Edge> {
+        self.pred[id.0].iter().map(|&i| &self.edges[i]).collect()
+    }
+
+    /// Outgoing edges of `id`.
+    #[must_use]
+    pub fn successors(&self, id: TaskId) -> Vec<&Edge> {
+        self.succ[id.0].iter().map(|&i| &self.edges[i]).collect()
+    }
+
+    /// Kahn topological sort.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Cycle`] if the graph is cyclic.
+    pub fn topological_order(&self) -> Result<Vec<TaskId>, GraphError> {
+        let n = self.tasks.len();
+        let mut indeg: Vec<usize> = (0..n).map(|i| self.pred[i].len()).collect();
+        let mut queue: VecDeque<usize> =
+            (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = queue.pop_front() {
+            order.push(TaskId(i));
+            for &e in &self.succ[i] {
+                let t = self.edges[e].to.0;
+                indeg[t] -= 1;
+                if indeg[t] == 0 {
+                    queue.push_back(t);
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            Err(GraphError::Cycle)
+        }
+    }
+
+    /// Total operation counts across all tasks.
+    #[must_use]
+    pub fn total_ops(&self) -> OpCounts {
+        self.tasks
+            .iter()
+            .fold(OpCounts::new(), |acc, t| acc.plus(&t.ops))
+    }
+
+    /// Total bytes moved per iteration across all edges.
+    #[must_use]
+    pub fn total_edge_bytes(&self) -> u64 {
+        self.edges.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Critical-path length in *operation counts* using a uniform
+    /// one-cycle-per-op weighting — a platform-independent lower bound used
+    /// by mapping heuristics.
+    #[must_use]
+    pub fn critical_path_ops(&self) -> u64 {
+        let order = match self.topological_order() {
+            Ok(o) => o,
+            Err(_) => return 0,
+        };
+        let mut dist: HashMap<TaskId, u64> = HashMap::new();
+        let mut best = 0;
+        for id in order {
+            let here = self
+                .predecessors(id)
+                .iter()
+                .map(|e| dist.get(&e.from).copied().unwrap_or(0))
+                .max()
+                .unwrap_or(0)
+                + self.task(id).ops.total();
+            best = best.max(here);
+            dist.insert(id, here);
+        }
+        best
+    }
+
+    /// Builds a linear pipeline from named stages — the shape of both
+    /// paper figures.
+    #[must_use]
+    pub fn linear_pipeline(name: &str, stages: &[(&str, OpCounts, u64)]) -> Self {
+        let mut g = TaskGraph::new(name);
+        let mut prev: Option<(TaskId, u64)> = None;
+        for &(stage, ops, out_bytes) in stages {
+            let id = g.add_task(stage, ops, 0);
+            if let Some((p, bytes)) = prev {
+                g.add_edge(p, id, bytes)
+                    .expect("linear pipeline cannot form a cycle");
+            }
+            prev = Some((id, out_bytes));
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> TaskGraph {
+        let mut g = TaskGraph::new("diamond");
+        let a = g.add_task("a", OpCounts::new().with_int_alu(10), 0);
+        let b = g.add_task("b", OpCounts::new().with_int_alu(20), 0);
+        let c = g.add_task("c", OpCounts::new().with_int_alu(30), 0);
+        let d = g.add_task("d", OpCounts::new().with_int_alu(40), 0);
+        g.add_edge(a, b, 100).unwrap();
+        g.add_edge(a, c, 100).unwrap();
+        g.add_edge(b, d, 100).unwrap();
+        g.add_edge(c, d, 100).unwrap();
+        g
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let g = diamond();
+        let order = g.topological_order().unwrap();
+        let pos: HashMap<TaskId, usize> =
+            order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        for e in g.edges() {
+            assert!(pos[&e.from] < pos[&e.to]);
+        }
+    }
+
+    #[test]
+    fn cycle_is_rejected_and_rolled_back() {
+        let mut g = TaskGraph::new("cyclic");
+        let a = g.add_task("a", OpCounts::new(), 0);
+        let b = g.add_task("b", OpCounts::new(), 0);
+        g.add_edge(a, b, 1).unwrap();
+        assert_eq!(g.add_edge(b, a, 1).unwrap_err(), GraphError::Cycle);
+        // The rejected edge must not linger.
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.topological_order().is_ok());
+    }
+
+    #[test]
+    fn self_loop_and_unknown_rejected() {
+        let mut g = TaskGraph::new("bad");
+        let a = g.add_task("a", OpCounts::new(), 0);
+        assert_eq!(g.add_edge(a, a, 1).unwrap_err(), GraphError::SelfLoop(a));
+        assert_eq!(
+            g.add_edge(a, TaskId(9), 1).unwrap_err(),
+            GraphError::UnknownTask(TaskId(9))
+        );
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let mut g = TaskGraph::new("dup");
+        let a = g.add_task("a", OpCounts::new(), 0);
+        let b = g.add_task("b", OpCounts::new(), 0);
+        g.add_edge(a, b, 1).unwrap();
+        assert_eq!(
+            g.add_edge(a, b, 2).unwrap_err(),
+            GraphError::DuplicateEdge(a, b)
+        );
+    }
+
+    #[test]
+    fn critical_path_of_diamond() {
+        let g = diamond();
+        // a(10) -> c(30) -> d(40) = 80.
+        assert_eq!(g.critical_path_ops(), 80);
+    }
+
+    #[test]
+    fn op_counts_builders_and_sums() {
+        let ops = OpCounts::new()
+            .with_int_alu(1)
+            .with_mac(2)
+            .with_mem(3)
+            .with_control(4)
+            .with_bit(5);
+        assert_eq!(ops.total(), 15);
+        assert_eq!(ops.count(OpClass::Mac), 2);
+        assert_eq!(ops.plus(&ops).total(), 30);
+        assert_eq!(ops.scaled(3).count(OpClass::Bit), 15);
+    }
+
+    #[test]
+    fn linear_pipeline_shape() {
+        let g = TaskGraph::linear_pipeline(
+            "p",
+            &[
+                ("s0", OpCounts::new().with_int_alu(1), 64),
+                ("s1", OpCounts::new().with_int_alu(1), 32),
+                ("s2", OpCounts::new().with_int_alu(1), 0),
+            ],
+        );
+        assert_eq!(g.task_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.edges()[0].bytes, 64);
+        assert_eq!(g.edges()[1].bytes, 32);
+    }
+
+    #[test]
+    fn predecessors_and_successors() {
+        let g = diamond();
+        assert_eq!(g.predecessors(TaskId(3)).len(), 2);
+        assert_eq!(g.successors(TaskId(0)).len(), 2);
+        assert!(g.predecessors(TaskId(0)).is_empty());
+    }
+
+    #[test]
+    fn totals() {
+        let g = diamond();
+        assert_eq!(g.total_ops().total(), 100);
+        assert_eq!(g.total_edge_bytes(), 400);
+    }
+
+    #[test]
+    fn graph_error_display() {
+        assert!(GraphError::Cycle.to_string().contains("cycle"));
+        assert!(GraphError::SelfLoop(TaskId(1)).to_string().contains("t1"));
+    }
+}

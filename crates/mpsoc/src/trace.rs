@@ -1,0 +1,184 @@
+//! Execution traces and a text Gantt renderer.
+//!
+//! Every simulation run records what ran where and when; the renderer
+//! draws a per-PE timeline so mapping decisions can be inspected by eye in
+//! example programs and experiment logs.
+
+use crate::pe::PeId;
+use crate::task::TaskId;
+
+/// What a trace event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A task instance executed.
+    Execute {
+        /// Which task.
+        task: TaskId,
+    },
+    /// Data moved between two tasks over the interconnect.
+    Transfer {
+        /// Producing task.
+        from: TaskId,
+        /// Consuming task.
+        to: TaskId,
+        /// Payload size.
+        bytes: u64,
+    },
+}
+
+/// One timed event of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Event payload.
+    pub kind: TraceKind,
+    /// The PE involved (executing PE, or source PE for transfers).
+    pub pe: PeId,
+    /// Graph iteration index.
+    pub iteration: usize,
+    /// Start time in seconds.
+    pub start_s: f64,
+    /// End time in seconds.
+    pub end_s: f64,
+}
+
+impl TraceEvent {
+    /// Event duration in seconds.
+    #[must_use]
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+}
+
+/// An ordered collection of trace events.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// All recorded events in insertion order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no events were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Latest end time, or 0 for an empty trace.
+    #[must_use]
+    pub fn horizon_s(&self) -> f64 {
+        self.events.iter().fold(0.0, |m, e| m.max(e.end_s))
+    }
+
+    /// Renders a text Gantt chart: one row per PE, `width` columns over
+    /// `[0, horizon]`. Execution is drawn with the last digit of the task
+    /// id, idle with `.`.
+    ///
+    /// Returns an empty string for an empty trace.
+    #[must_use]
+    pub fn render_gantt(&self, width: usize) -> String {
+        if self.events.is_empty() || width == 0 {
+            return String::new();
+        }
+        let horizon = self.horizon_s();
+        if horizon <= 0.0 {
+            return String::new();
+        }
+        let max_pe = self.events.iter().map(|e| e.pe.0).max().unwrap_or(0);
+        let mut rows: Vec<Vec<char>> = vec![vec!['.'; width]; max_pe + 1];
+        for e in &self.events {
+            if let TraceKind::Execute { task } = e.kind {
+                let c = char::from_digit((task.0 % 10) as u32, 10).unwrap_or('#');
+                let lo = ((e.start_s / horizon) * width as f64).floor() as usize;
+                let hi = (((e.end_s / horizon) * width as f64).ceil() as usize).min(width);
+                for cell in rows[e.pe.0].iter_mut().take(hi).skip(lo) {
+                    *cell = c;
+                }
+            }
+        }
+        let mut out = String::new();
+        for (i, row) in rows.iter().enumerate() {
+            out.push_str(&format!("pe{i} |"));
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!("      0 .. {horizon:.6}s\n"));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exec(task: usize, pe: usize, start: f64, end: f64) -> TraceEvent {
+        TraceEvent {
+            kind: TraceKind::Execute { task: TaskId(task) },
+            pe: PeId(pe),
+            iteration: 0,
+            start_s: start,
+            end_s: end,
+        }
+    }
+
+    #[test]
+    fn horizon_tracks_latest_event() {
+        let mut t = Trace::new();
+        assert_eq!(t.horizon_s(), 0.0);
+        t.push(exec(0, 0, 0.0, 1.0));
+        t.push(exec(1, 1, 0.5, 2.5));
+        assert_eq!(t.horizon_s(), 2.5);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn gantt_draws_rows_per_pe() {
+        let mut t = Trace::new();
+        t.push(exec(0, 0, 0.0, 1.0));
+        t.push(exec(1, 1, 1.0, 2.0));
+        let g = t.render_gantt(20);
+        let lines: Vec<&str> = g.lines().collect();
+        assert!(lines[0].starts_with("pe0 |"));
+        assert!(lines[1].starts_with("pe1 |"));
+        // Task 0 occupies the first half of row 0, task 1 the second half
+        // of row 1.
+        assert!(lines[0].contains('0'));
+        assert!(lines[1].contains('1'));
+        assert!(lines[0][5..15].contains('0'));
+        assert!(lines[1][5..15].contains('.'));
+    }
+
+    #[test]
+    fn gantt_empty_trace_is_empty_string() {
+        assert_eq!(Trace::new().render_gantt(40), "");
+        let mut t = Trace::new();
+        t.push(exec(0, 0, 0.0, 0.0));
+        assert_eq!(t.render_gantt(0), "");
+    }
+
+    #[test]
+    fn duration_is_end_minus_start() {
+        assert!((exec(0, 0, 1.0, 3.5).duration_s() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,201 @@
+//! Content fetch: a tiny request/response protocol over TCP-lite.
+//!
+//! Paper §7: *"Some use the Internet for limited purposes, such as
+//! content access or DRM."* This is that limited purpose, distilled: a
+//! named-object GET against an in-memory server, carried reliably over
+//! the lossy link. The DRM integration tests fetch sealed licenses
+//! through exactly this path.
+
+use std::collections::BTreeMap;
+
+use crate::link::LinkConfig;
+use crate::tcplite::{transfer, TcpConfig, TcpError};
+
+/// An in-memory content server.
+#[derive(Debug, Clone, Default)]
+pub struct ContentServer {
+    objects: BTreeMap<String, Vec<u8>>,
+}
+
+impl ContentServer {
+    /// An empty server.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes an object.
+    pub fn publish(&mut self, name: impl Into<String>, data: Vec<u8>) {
+        self.objects.insert(name.into(), data);
+    }
+
+    /// Number of published objects.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// `true` when nothing is published.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Serves a request line, producing the response body.
+    fn respond(&self, request: &str) -> Vec<u8> {
+        match request.strip_prefix("GET ") {
+            Some(name) => match self.objects.get(name.trim()) {
+                Some(data) => {
+                    let mut out = b"OK ".to_vec();
+                    out.extend_from_slice(&(data.len() as u32).to_be_bytes());
+                    out.extend_from_slice(data);
+                    out
+                }
+                None => b"ERR not-found".to_vec(),
+            },
+            None => b"ERR bad-request".to_vec(),
+        }
+    }
+}
+
+/// Errors from a fetch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FetchError {
+    /// Transport failure on the request or response leg.
+    Transport(TcpError),
+    /// Server refused the request.
+    Server(String),
+    /// Response framing was malformed.
+    BadResponse,
+}
+
+impl core::fmt::Display for FetchError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FetchError::Transport(e) => write!(f, "transport failure: {e}"),
+            FetchError::Server(msg) => write!(f, "server error: {msg}"),
+            FetchError::BadResponse => f.write_str("malformed response"),
+        }
+    }
+}
+
+impl std::error::Error for FetchError {}
+
+impl From<TcpError> for FetchError {
+    fn from(e: TcpError) -> Self {
+        FetchError::Transport(e)
+    }
+}
+
+/// Statistics for one fetch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FetchReport {
+    /// The object bytes.
+    pub data: Vec<u8>,
+    /// Total simulated ticks (request + response legs).
+    pub ticks: u64,
+    /// Total retransmissions across both legs.
+    pub retransmissions: u64,
+}
+
+/// Fetches `name` from `server` over the given link conditions.
+///
+/// # Errors
+///
+/// Returns [`FetchError`] on transport failure, missing objects, or
+/// malformed responses.
+pub fn fetch(
+    server: &ContentServer,
+    name: &str,
+    tcp: TcpConfig,
+    link: LinkConfig,
+    seed: u64,
+) -> Result<FetchReport, FetchError> {
+    // Request leg.
+    let request = format!("GET {name}");
+    let req_report = transfer(request.as_bytes(), tcp, link, seed)?;
+    let request_line = String::from_utf8_lossy(&req_report.data).to_string();
+    // Server handles the request, response leg carries the body.
+    let response = server.respond(&request_line);
+    let resp_report = transfer(&response, tcp, link, seed ^ 0x5A5A)?;
+    let body = resp_report.data;
+    if let Some(rest) = body.strip_prefix(b"OK ".as_slice()) {
+        if rest.len() < 4 {
+            return Err(FetchError::BadResponse);
+        }
+        let len = u32::from_be_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        if rest.len() < 4 + len {
+            return Err(FetchError::BadResponse);
+        }
+        Ok(FetchReport {
+            data: rest[4..4 + len].to_vec(),
+            ticks: req_report.ticks + resp_report.ticks,
+            retransmissions: req_report.retransmissions + resp_report.retransmissions,
+        })
+    } else if let Some(msg) = body.strip_prefix(b"ERR ".as_slice()) {
+        Err(FetchError::Server(
+            String::from_utf8_lossy(msg).to_string(),
+        ))
+    } else {
+        Err(FetchError::BadResponse)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> ContentServer {
+        let mut s = ContentServer::new();
+        s.publish("song.mp3", vec![7u8; 5000]);
+        s.publish("license.bin", vec![1, 2, 3, 4]);
+        s
+    }
+
+    #[test]
+    fn fetch_round_trips_content() {
+        let s = server();
+        let r = fetch(&s, "song.mp3", TcpConfig::default(), LinkConfig::default(), 1).unwrap();
+        assert_eq!(r.data, vec![7u8; 5000]);
+        assert!(r.ticks > 0);
+    }
+
+    #[test]
+    fn missing_object_is_a_server_error() {
+        let s = server();
+        let err = fetch(&s, "nope", TcpConfig::default(), LinkConfig::default(), 2).unwrap_err();
+        assert_eq!(err, FetchError::Server("not-found".to_string()));
+    }
+
+    #[test]
+    fn lossy_fetch_still_exact_but_costlier() {
+        let s = server();
+        let clean = fetch(&s, "song.mp3", TcpConfig::default(), LinkConfig::default(), 3).unwrap();
+        let lossy = fetch(
+            &s,
+            "song.mp3",
+            TcpConfig::default(),
+            LinkConfig::default().with_loss(0.2),
+            3,
+        )
+        .unwrap();
+        assert_eq!(clean.data, lossy.data);
+        assert!(lossy.ticks > clean.ticks);
+        assert!(lossy.retransmissions > 0);
+    }
+
+    #[test]
+    fn small_license_fetch_works() {
+        let s = server();
+        let r = fetch(&s, "license.bin", TcpConfig::default(), LinkConfig::default(), 4).unwrap();
+        assert_eq!(r.data, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn publish_and_len() {
+        let mut s = ContentServer::new();
+        assert!(s.is_empty());
+        s.publish("a", vec![1]);
+        assert_eq!(s.len(), 1);
+    }
+}

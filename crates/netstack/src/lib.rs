@@ -1,0 +1,39 @@
+//! # `netstack` — the small IP stack of Wolf's §7
+//!
+//! *"These devices can make use of the small IP stacks that have been
+//! developed over the past several years"* — for limited purposes such as
+//! content access or DRM. This crate is such a stack, simulated end to
+//! end:
+//!
+//! * [`link`] — deterministic lossy/latency point-to-point link.
+//! * [`packet`] — IP-style packets with checksums, fragmentation, and
+//!   reassembly.
+//! * [`udp`] — best-effort datagrams (the baseline of experiment E14).
+//! * [`tcplite`] — reliable streams: windowed, cumulative-ACK,
+//!   timeout-retransmitting.
+//! * [`fetch`] — named-object content access over TCP-lite (the DRM
+//!   license path of the integration tests).
+//!
+//! # Example
+//!
+//! ```
+//! use netstack::link::LinkConfig;
+//! use netstack::tcplite::{transfer, TcpConfig};
+//!
+//! let data = vec![9u8; 4096];
+//! let report = transfer(&data, TcpConfig::default(),
+//!                       LinkConfig::default().with_loss(0.1), 7)?;
+//! assert_eq!(report.data, data); // reliable despite loss
+//! # Ok::<(), netstack::tcplite::TcpError>(())
+//! ```
+
+pub mod fetch;
+pub mod link;
+pub mod packet;
+pub mod tcplite;
+pub mod udp;
+
+pub use fetch::{fetch, ContentServer, FetchError};
+pub use link::{Link, LinkConfig};
+pub use packet::{Addr, Packet, Protocol};
+pub use tcplite::{transfer, TcpConfig, TcpError, TransferReport};

@@ -1,0 +1,219 @@
+//! A simulated point-to-point link with loss, latency, and serialization
+//! delay.
+//!
+//! The workspace's substitute for a real access network (DESIGN.md §5):
+//! deterministic (seeded) loss so every experiment is reproducible, and
+//! discrete ticks so protocol behaviour (timeouts, retransmissions) is
+//! exactly replayable.
+
+use signal::rng::Xoroshiro128;
+
+/// Link configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// Probability a frame is dropped.
+    pub loss: f64,
+    /// Propagation delay in ticks.
+    pub latency_ticks: u64,
+    /// Serialization: ticks per byte (0 = infinite bandwidth).
+    pub ticks_per_byte: f64,
+}
+
+impl Default for LinkConfig {
+    /// Lossless, 5-tick latency, 100 bytes per tick.
+    fn default() -> Self {
+        Self {
+            loss: 0.0,
+            latency_ticks: 5,
+            ticks_per_byte: 0.01,
+        }
+    }
+}
+
+impl LinkConfig {
+    /// A lossy variant of this configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is outside `[0, 1)`.
+    #[must_use]
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        assert!((0.0..1.0).contains(&loss), "loss must be in [0, 1)");
+        self.loss = loss;
+        self
+    }
+}
+
+/// A frame in flight.
+#[derive(Debug, Clone)]
+struct InFlight {
+    deliver_at: u64,
+    payload: Vec<u8>,
+}
+
+/// One direction of a link.
+#[derive(Debug, Clone)]
+pub struct Link {
+    config: LinkConfig,
+    rng: Xoroshiro128,
+    queue: Vec<InFlight>,
+    /// When the transmitter finishes serializing its current frame.
+    tx_free_at: u64,
+    sent: u64,
+    dropped: u64,
+    delivered: u64,
+}
+
+impl Link {
+    /// Creates a link.
+    #[must_use]
+    pub fn new(config: LinkConfig, seed: u64) -> Self {
+        Self {
+            config,
+            rng: Xoroshiro128::new(seed),
+            queue: Vec::new(),
+            tx_free_at: 0,
+            sent: 0,
+            dropped: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Offers a frame for transmission at time `now`. Returns whether the
+    /// frame entered the link (dropped frames vanish silently, like real
+    /// ones).
+    pub fn send(&mut self, payload: Vec<u8>, now: u64) -> bool {
+        self.sent += 1;
+        let serialize = (payload.len() as f64 * self.config.ticks_per_byte).ceil() as u64;
+        let start = now.max(self.tx_free_at);
+        self.tx_free_at = start + serialize;
+        if self.rng.chance(self.config.loss) {
+            self.dropped += 1;
+            return false;
+        }
+        self.queue.push(InFlight {
+            deliver_at: self.tx_free_at + self.config.latency_ticks,
+            payload,
+        });
+        true
+    }
+
+    /// Removes and returns every frame that has arrived by `now`.
+    pub fn deliver(&mut self, now: u64) -> Vec<Vec<u8>> {
+        let mut arrived = Vec::new();
+        let mut rest = Vec::new();
+        for f in self.queue.drain(..) {
+            if f.deliver_at <= now {
+                arrived.push((f.deliver_at, f.payload));
+            } else {
+                rest.push(f);
+            }
+        }
+        self.queue = rest;
+        arrived.sort_by_key(|(t, _)| *t);
+        self.delivered += arrived.len() as u64;
+        arrived.into_iter().map(|(_, p)| p).collect()
+    }
+
+    /// The next delivery time, if any frame is in flight.
+    #[must_use]
+    pub fn next_arrival(&self) -> Option<u64> {
+        self.queue.iter().map(|f| f.deliver_at).min()
+    }
+
+    /// Frames offered.
+    #[must_use]
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Frames lost.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Frames handed to the receiver.
+    #[must_use]
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_link_delivers_everything_in_order() {
+        let mut link = Link::new(LinkConfig::default(), 1);
+        for i in 0..5u8 {
+            link.send(vec![i], i as u64);
+        }
+        let got = link.deliver(1_000);
+        assert_eq!(got.len(), 5);
+        for (i, frame) in got.iter().enumerate() {
+            assert_eq!(frame[0], i as u8);
+        }
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let mut link = Link::new(LinkConfig::default(), 2);
+        link.send(vec![1], 0);
+        assert!(link.deliver(3).is_empty(), "too early");
+        assert_eq!(link.deliver(100).len(), 1);
+    }
+
+    #[test]
+    fn serialization_delay_scales_with_size() {
+        let cfg = LinkConfig {
+            loss: 0.0,
+            latency_ticks: 0,
+            ticks_per_byte: 1.0,
+        };
+        let mut link = Link::new(cfg, 3);
+        link.send(vec![0u8; 100], 0);
+        assert!(link.deliver(50).is_empty());
+        assert_eq!(link.deliver(100).len(), 1);
+    }
+
+    #[test]
+    fn loss_rate_is_respected() {
+        let mut link = Link::new(LinkConfig::default().with_loss(0.3), 4);
+        for i in 0..10_000 {
+            link.send(vec![0], i);
+        }
+        let rate = link.dropped() as f64 / link.sent() as f64;
+        assert!((rate - 0.3).abs() < 0.02, "drop rate {rate}");
+    }
+
+    #[test]
+    fn back_to_back_sends_queue_on_the_transmitter() {
+        let cfg = LinkConfig {
+            loss: 0.0,
+            latency_ticks: 0,
+            ticks_per_byte: 1.0,
+        };
+        let mut link = Link::new(cfg, 5);
+        link.send(vec![0u8; 10], 0);
+        link.send(vec![0u8; 10], 0);
+        // Second frame serializes after the first: arrives at t=20.
+        assert_eq!(link.deliver(10).len(), 1);
+        assert_eq!(link.deliver(20).len(), 1);
+    }
+
+    #[test]
+    fn next_arrival_reports_earliest() {
+        let mut link = Link::new(LinkConfig::default(), 6);
+        assert_eq!(link.next_arrival(), None);
+        link.send(vec![1], 0);
+        assert!(link.next_arrival().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be")]
+    fn bad_loss_rejected() {
+        let _ = LinkConfig::default().with_loss(1.5);
+    }
+}

@@ -1,0 +1,394 @@
+//! IP-style packets: header, checksum, fragmentation and reassembly.
+//!
+//! Paper §7: limited-purpose devices "can make use of the small IP stacks
+//! that have been developed over the past several years". This is such a
+//! stack's network layer: a compact fixed header with a 16-bit ones'-
+//! complement checksum, MTU fragmentation, and in-memory reassembly.
+
+/// A 32-bit host address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Addr(pub u32);
+
+impl core::fmt::Display for Addr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let b = self.0.to_be_bytes();
+        write!(f, "{}.{}.{}.{}", b[0], b[1], b[2], b[3])
+    }
+}
+
+/// Transport protocol selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// Datagram service.
+    Udp,
+    /// Reliable-stream service (TCP-lite).
+    Tcp,
+}
+
+impl Protocol {
+    fn to_byte(self) -> u8 {
+        match self {
+            Protocol::Udp => 17,
+            Protocol::Tcp => 6,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            17 => Some(Protocol::Udp),
+            6 => Some(Protocol::Tcp),
+            _ => None,
+        }
+    }
+}
+
+/// Header length in bytes.
+pub const HEADER_LEN: usize = 20;
+
+/// An IP-style packet (possibly a fragment).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Source address.
+    pub src: Addr,
+    /// Destination address.
+    pub dst: Addr,
+    /// Transport protocol.
+    pub protocol: Protocol,
+    /// Datagram id (shared by all fragments of one datagram).
+    pub id: u16,
+    /// Byte offset of this fragment within the datagram.
+    pub frag_offset: u16,
+    /// More-fragments flag.
+    pub more_fragments: bool,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Errors decoding a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketError {
+    /// Fewer bytes than a header.
+    Truncated,
+    /// Checksum mismatch (corruption).
+    BadChecksum,
+    /// Unknown protocol number.
+    BadProtocol(u8),
+    /// Length field disagrees with the buffer.
+    BadLength,
+}
+
+impl core::fmt::Display for PacketError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PacketError::Truncated => f.write_str("packet truncated"),
+            PacketError::BadChecksum => f.write_str("checksum mismatch"),
+            PacketError::BadProtocol(p) => write!(f, "unknown protocol {p}"),
+            PacketError::BadLength => f.write_str("length field mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+/// RFC-1071-style 16-bit ones'-complement checksum.
+#[must_use]
+pub fn checksum(bytes: &[u8]) -> u16 {
+    let mut sum = 0u32;
+    for chunk in bytes.chunks(2) {
+        let word = if chunk.len() == 2 {
+            u16::from_be_bytes([chunk[0], chunk[1]])
+        } else {
+            u16::from_be_bytes([chunk[0], 0])
+        };
+        sum += word as u32;
+        while sum > 0xFFFF {
+            sum = (sum & 0xFFFF) + (sum >> 16);
+        }
+    }
+    !(sum as u16)
+}
+
+impl Packet {
+    /// Serializes to wire format (header with checksum, then payload).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let total = HEADER_LEN + self.payload.len();
+        let mut out = Vec::with_capacity(total);
+        out.extend_from_slice(&self.src.0.to_be_bytes());
+        out.extend_from_slice(&self.dst.0.to_be_bytes());
+        out.push(self.protocol.to_byte());
+        out.push(self.more_fragments as u8);
+        out.extend_from_slice(&self.id.to_be_bytes());
+        out.extend_from_slice(&self.frag_offset.to_be_bytes());
+        out.extend_from_slice(&(total as u16).to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(&[0, 0]); // reserved
+        debug_assert_eq!(out.len(), HEADER_LEN);
+        out.extend_from_slice(&self.payload);
+        let ck = checksum(&out);
+        out[16..18].copy_from_slice(&ck.to_be_bytes());
+        out
+    }
+
+    /// Parses and verifies wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacketError`] on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Self, PacketError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(PacketError::Truncated);
+        }
+        let total = u16::from_be_bytes([bytes[14], bytes[15]]) as usize;
+        if total != bytes.len() {
+            return Err(PacketError::BadLength);
+        }
+        // Verify checksum by zeroing the field.
+        let mut copy = bytes.to_vec();
+        copy[16] = 0;
+        copy[17] = 0;
+        let expect = u16::from_be_bytes([bytes[16], bytes[17]]);
+        if checksum(&copy) != expect {
+            return Err(PacketError::BadChecksum);
+        }
+        let protocol =
+            Protocol::from_byte(bytes[8]).ok_or(PacketError::BadProtocol(bytes[8]))?;
+        Ok(Self {
+            src: Addr(u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]])),
+            dst: Addr(u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]])),
+            protocol,
+            more_fragments: bytes[9] != 0,
+            id: u16::from_be_bytes([bytes[10], bytes[11]]),
+            frag_offset: u16::from_be_bytes([bytes[12], bytes[13]]),
+            payload: bytes[HEADER_LEN..].to_vec(),
+        })
+    }
+
+    /// Splits a datagram into MTU-sized fragments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mtu <= HEADER_LEN`.
+    #[must_use]
+    pub fn fragment(&self, mtu: usize) -> Vec<Packet> {
+        assert!(mtu > HEADER_LEN, "mtu must exceed the header");
+        let chunk = mtu - HEADER_LEN;
+        if self.payload.len() <= chunk {
+            let mut p = self.clone();
+            p.more_fragments = false;
+            p.frag_offset = 0;
+            return vec![p];
+        }
+        let mut out = Vec::new();
+        let mut off = 0usize;
+        while off < self.payload.len() {
+            let hi = (off + chunk).min(self.payload.len());
+            out.push(Packet {
+                src: self.src,
+                dst: self.dst,
+                protocol: self.protocol,
+                id: self.id,
+                frag_offset: off as u16,
+                more_fragments: hi < self.payload.len(),
+                payload: self.payload[off..hi].to_vec(),
+            });
+            off = hi;
+        }
+        out
+    }
+}
+
+/// Reassembles fragments back into datagrams, keyed by (src, id).
+#[derive(Debug, Clone, Default)]
+pub struct Reassembler {
+    partial: std::collections::HashMap<(Addr, u16), Vec<Packet>>,
+}
+
+impl Reassembler {
+    /// Creates an empty reassembler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accepts a fragment; returns the complete datagram payload when the
+    /// last missing piece arrives.
+    pub fn push(&mut self, fragment: Packet) -> Option<Packet> {
+        let key = (fragment.src, fragment.id);
+        let entry = self.partial.entry(key).or_default();
+        entry.push(fragment);
+        // Complete when a no-more-fragments piece exists and offsets tile
+        // contiguously from zero.
+        let mut frags = entry.clone();
+        frags.sort_by_key(|f| f.frag_offset);
+        let has_last = frags.iter().any(|f| !f.more_fragments);
+        if !has_last {
+            return None;
+        }
+        let mut expect = 0usize;
+        for f in &frags {
+            if f.frag_offset as usize != expect {
+                return None;
+            }
+            expect += f.payload.len();
+        }
+        // Tiled completely: assemble.
+        let mut payload = Vec::with_capacity(expect);
+        for f in &frags {
+            payload.extend_from_slice(&f.payload);
+        }
+        let first = frags.remove(0);
+        self.partial.remove(&key);
+        Some(Packet {
+            payload,
+            frag_offset: 0,
+            more_fragments: false,
+            ..first
+        })
+    }
+
+    /// Number of incomplete datagrams held.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.partial.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use signal::rng::Xoroshiro128;
+
+    fn sample(payload_len: usize) -> Packet {
+        Packet {
+            src: Addr(0x0A000001),
+            dst: Addr(0x0A000002),
+            protocol: Protocol::Udp,
+            id: 7,
+            frag_offset: 0,
+            more_fragments: false,
+            payload: (0..payload_len).map(|i| i as u8).collect(),
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let p = sample(100);
+        let wire = p.encode();
+        assert_eq!(Packet::decode(&wire).unwrap(), p);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut wire = sample(50).encode();
+        wire[25] ^= 0x40;
+        assert_eq!(Packet::decode(&wire).unwrap_err(), PacketError::BadChecksum);
+    }
+
+    #[test]
+    fn truncation_and_length_mismatch_detected() {
+        let wire = sample(50).encode();
+        assert_eq!(
+            Packet::decode(&wire[..10]).unwrap_err(),
+            PacketError::Truncated
+        );
+        assert_eq!(
+            Packet::decode(&wire[..30]).unwrap_err(),
+            PacketError::BadLength
+        );
+    }
+
+    #[test]
+    fn fragmentation_tiles_payload() {
+        let p = sample(1000);
+        let frags = p.fragment(256);
+        assert!(frags.len() > 1);
+        let mut total = 0;
+        for (i, f) in frags.iter().enumerate() {
+            assert_eq!(f.frag_offset as usize, total);
+            total += f.payload.len();
+            assert_eq!(f.more_fragments, i + 1 < frags.len());
+            assert!(f.encode().len() <= 256);
+        }
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn small_payload_is_single_fragment() {
+        let p = sample(10);
+        let frags = p.fragment(256);
+        assert_eq!(frags.len(), 1);
+        assert!(!frags[0].more_fragments);
+    }
+
+    #[test]
+    fn reassembly_in_order_and_shuffled() {
+        let p = sample(1200);
+        let mut rng = Xoroshiro128::new(91);
+        for shuffle in [false, true] {
+            let mut frags = p.fragment(200);
+            if shuffle {
+                rng.shuffle(&mut frags);
+            }
+            let mut r = Reassembler::new();
+            let mut done = None;
+            for f in frags {
+                if let Some(d) = r.push(f) {
+                    done = Some(d);
+                }
+            }
+            let d = done.expect("datagram should complete");
+            assert_eq!(d.payload, p.payload);
+            assert_eq!(r.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn missing_fragment_keeps_datagram_pending() {
+        let p = sample(600);
+        let mut frags = p.fragment(200);
+        frags.remove(1);
+        let mut r = Reassembler::new();
+        for f in frags {
+            assert!(r.push(f).is_none());
+        }
+        assert_eq!(r.pending(), 1);
+    }
+
+    #[test]
+    fn interleaved_datagrams_reassemble_independently() {
+        let mut a = sample(500);
+        a.id = 1;
+        let mut b = sample(500);
+        b.id = 2;
+        let fa = a.fragment(200);
+        let fb = b.fragment(200);
+        let mut r = Reassembler::new();
+        let mut complete = 0;
+        for (x, y) in fa.into_iter().zip(fb) {
+            if r.push(x).is_some() {
+                complete += 1;
+            }
+            if r.push(y).is_some() {
+                complete += 1;
+            }
+        }
+        assert_eq!(complete, 2);
+    }
+
+    #[test]
+    fn checksum_known_properties() {
+        assert_eq!(checksum(&[]), 0xFFFF);
+        // Appending the checksum makes the total sum ~0.
+        let data = vec![0x12, 0x34, 0x56, 0x78];
+        let ck = checksum(&data);
+        let mut with = data.clone();
+        with.extend_from_slice(&ck.to_be_bytes());
+        assert_eq!(checksum(&with), 0);
+    }
+
+    #[test]
+    fn addr_display() {
+        assert_eq!(Addr(0x0A000001).to_string(), "10.0.0.1");
+    }
+}

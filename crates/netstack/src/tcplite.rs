@@ -1,0 +1,323 @@
+//! TCP-lite: a reliable stream over the lossy link.
+//!
+//! Sequence-numbered segments, cumulative ACKs, a fixed sender window,
+//! and timeout retransmission — the minimum machinery that turns the
+//! lossy link into the reliable channel content download and DRM
+//! transactions (§7) require. Deliberately not TCP-conformant: no
+//! handshake, no congestion control beyond the fixed window (DESIGN.md
+//! §5).
+
+use crate::link::{Link, LinkConfig};
+use crate::packet::{Addr, Packet, Protocol};
+
+/// Transport configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TcpConfig {
+    /// Segment payload size in bytes.
+    pub mss: usize,
+    /// Sender window in segments.
+    pub window: usize,
+    /// Retransmission timeout in ticks.
+    pub rto_ticks: u64,
+    /// Give up after this many ticks.
+    pub deadline_ticks: u64,
+}
+
+impl Default for TcpConfig {
+    /// MSS 512, window 8, RTO 200 ticks, deadline 2,000,000 ticks.
+    fn default() -> Self {
+        Self {
+            mss: 512,
+            window: 8,
+            rto_ticks: 200,
+            deadline_ticks: 2_000_000,
+        }
+    }
+}
+
+/// Errors from a transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpError {
+    /// The deadline passed before every byte was acknowledged.
+    Timeout,
+    /// Empty input (nothing to transfer).
+    Empty,
+}
+
+impl core::fmt::Display for TcpError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            TcpError::Timeout => "transfer deadline exceeded",
+            TcpError::Empty => "nothing to transfer",
+        })
+    }
+}
+
+impl std::error::Error for TcpError {}
+
+/// Statistics from a completed transfer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferReport {
+    /// The received byte stream (equal to the input on success).
+    pub data: Vec<u8>,
+    /// Ticks from start to the final ACK.
+    pub ticks: u64,
+    /// Data segments transmitted (including retransmissions).
+    pub segments_sent: u64,
+    /// Retransmitted segments.
+    pub retransmissions: u64,
+    /// Goodput in bytes per tick.
+    pub goodput: f64,
+}
+
+/// Segment header layout inside the IP payload: seq (4), ack (4),
+/// is_ack (1), then data.
+fn encode_segment(seq: u32, ack: u32, is_ack: bool, data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9 + data.len());
+    out.extend_from_slice(&seq.to_be_bytes());
+    out.extend_from_slice(&ack.to_be_bytes());
+    out.push(is_ack as u8);
+    out.extend_from_slice(data);
+    out
+}
+
+fn decode_segment(bytes: &[u8]) -> Option<(u32, u32, bool, &[u8])> {
+    if bytes.len() < 9 {
+        return None;
+    }
+    let seq = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    let ack = u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    Some((seq, ack, bytes[8] != 0, &bytes[9..]))
+}
+
+/// Transfers `data` reliably over a pair of simulated links (data and ACK
+/// directions, independently lossy), returning the receive-side stream
+/// and statistics.
+///
+/// # Errors
+///
+/// Returns [`TcpError`] on empty input or deadline expiry.
+pub fn transfer(data: &[u8], config: TcpConfig, link_config: LinkConfig, seed: u64) -> Result<TransferReport, TcpError> {
+    if data.is_empty() {
+        return Err(TcpError::Empty);
+    }
+    let mut data_link = Link::new(link_config, seed);
+    let mut ack_link = Link::new(link_config, seed ^ 0xDEAD_BEEF);
+    let src = Addr(1);
+    let dst = Addr(2);
+
+    // Sender state.
+    let n_segments = data.len().div_ceil(config.mss);
+    let mut acked = 0usize; // segments fully acknowledged (cumulative)
+    let mut send_times: Vec<Option<u64>> = vec![None; n_segments];
+    let mut segments_sent = 0u64;
+    let mut retransmissions = 0u64;
+
+    // Receiver state.
+    let mut received: Vec<Option<Vec<u8>>> = vec![None; n_segments];
+    let mut next_expected = 0usize;
+
+    let mut now = 0u64;
+    let mut packet_id = 0u16;
+    while acked < n_segments {
+        if now > config.deadline_ticks {
+            return Err(TcpError::Timeout);
+        }
+        // Sender: (re)transmit anything in the window that is unsent or
+        // timed out.
+        for s in acked..(acked + config.window).min(n_segments) {
+            let due = match send_times[s] {
+                None => true,
+                Some(t) => now >= t + config.rto_ticks,
+            };
+            if due {
+                if send_times[s].is_some() {
+                    retransmissions += 1;
+                }
+                send_times[s] = Some(now);
+                segments_sent += 1;
+                let lo = s * config.mss;
+                let hi = (lo + config.mss).min(data.len());
+                let seg = encode_segment((s * config.mss) as u32, 0, false, &data[lo..hi]);
+                let packet = Packet {
+                    src,
+                    dst,
+                    protocol: Protocol::Tcp,
+                    id: packet_id,
+                    frag_offset: 0,
+                    more_fragments: false,
+                    payload: seg,
+                };
+                packet_id = packet_id.wrapping_add(1);
+                data_link.send(packet.encode(), now);
+            }
+        }
+        // Advance time to the next interesting moment.
+        now += 1;
+        // Receiver: take arrived data segments, ACK cumulatively.
+        for wire in data_link.deliver(now) {
+            let Ok(packet) = Packet::decode(&wire) else { continue };
+            let Some((seq, _, is_ack, payload)) = decode_segment(&packet.payload) else {
+                continue;
+            };
+            if is_ack {
+                continue;
+            }
+            let s = seq as usize / config.mss;
+            if s < n_segments && received[s].is_none() {
+                received[s] = Some(payload.to_vec());
+            }
+            while next_expected < n_segments && received[next_expected].is_some() {
+                next_expected += 1;
+            }
+            // Cumulative ACK: next expected byte.
+            let ack_seg = encode_segment(0, (next_expected * config.mss) as u32, true, &[]);
+            let ack_packet = Packet {
+                src: dst,
+                dst: src,
+                protocol: Protocol::Tcp,
+                id: packet_id,
+                frag_offset: 0,
+                more_fragments: false,
+                payload: ack_seg,
+            };
+            packet_id = packet_id.wrapping_add(1);
+            ack_link.send(ack_packet.encode(), now);
+        }
+        // Sender: process ACKs.
+        for wire in ack_link.deliver(now) {
+            let Ok(packet) = Packet::decode(&wire) else { continue };
+            let Some((_, ack, is_ack, _)) = decode_segment(&packet.payload) else {
+                continue;
+            };
+            if !is_ack {
+                continue;
+            }
+            let ack_segs = (ack as usize) / config.mss;
+            if ack_segs > acked {
+                acked = ack_segs;
+            }
+        }
+    }
+
+    let mut out = Vec::with_capacity(data.len());
+    for seg in received.into_iter().flatten() {
+        out.extend(seg);
+    }
+    out.truncate(data.len());
+    Ok(TransferReport {
+        goodput: data.len() as f64 / now.max(1) as f64,
+        data: out,
+        ticks: now,
+        segments_sent,
+        retransmissions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use signal::rng::Xoroshiro128;
+
+    fn payload(len: usize, seed: u64) -> Vec<u8> {
+        let mut rng = Xoroshiro128::new(seed);
+        (0..len).map(|_| rng.next_u32() as u8).collect()
+    }
+
+    #[test]
+    fn lossless_transfer_is_exact_with_no_retransmissions() {
+        let data = payload(10_000, 1);
+        let r = transfer(&data, TcpConfig::default(), LinkConfig::default(), 2).unwrap();
+        assert_eq!(r.data, data);
+        assert_eq!(r.retransmissions, 0);
+    }
+
+    #[test]
+    fn lossy_transfer_still_exact() {
+        let data = payload(20_000, 3);
+        let cfg = LinkConfig::default().with_loss(0.2);
+        let r = transfer(&data, TcpConfig::default(), cfg, 4).unwrap();
+        assert_eq!(r.data, data);
+        assert!(r.retransmissions > 0, "loss must force retransmissions");
+    }
+
+    #[test]
+    fn cost_grows_with_loss() {
+        let data = payload(20_000, 5);
+        let mut prev_ticks = 0u64;
+        for (i, loss) in [0.0, 0.1, 0.3].iter().enumerate() {
+            let cfg = LinkConfig::default().with_loss(*loss);
+            let r = transfer(&data, TcpConfig::default(), cfg, 6).unwrap();
+            assert_eq!(r.data, data, "loss {loss}");
+            if i > 0 {
+                assert!(
+                    r.ticks > prev_ticks,
+                    "higher loss should take longer: {} vs {prev_ticks}",
+                    r.ticks
+                );
+            }
+            prev_ticks = r.ticks;
+        }
+    }
+
+    #[test]
+    fn severe_loss_eventually_times_out() {
+        let data = payload(5_000, 7);
+        let tcp = TcpConfig {
+            deadline_ticks: 3_000,
+            ..Default::default()
+        };
+        let cfg = LinkConfig::default().with_loss(0.9);
+        assert_eq!(transfer(&data, tcp, cfg, 8).unwrap_err(), TcpError::Timeout);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(
+            transfer(&[], TcpConfig::default(), LinkConfig::default(), 9).unwrap_err(),
+            TcpError::Empty
+        );
+    }
+
+    #[test]
+    fn single_byte_transfer() {
+        let r = transfer(&[42], TcpConfig::default(), LinkConfig::default(), 10).unwrap();
+        assert_eq!(r.data, vec![42]);
+    }
+
+    #[test]
+    fn bigger_window_is_faster_on_clean_links() {
+        let data = payload(50_000, 11);
+        let slow = transfer(
+            &data,
+            TcpConfig { window: 1, ..Default::default() },
+            LinkConfig::default(),
+            12,
+        )
+        .unwrap();
+        let fast = transfer(
+            &data,
+            TcpConfig { window: 16, ..Default::default() },
+            LinkConfig::default(),
+            12,
+        )
+        .unwrap();
+        assert!(
+            fast.ticks * 2 < slow.ticks,
+            "window 16 ({}) should beat window 1 ({})",
+            fast.ticks,
+            slow.ticks
+        );
+        assert!(fast.goodput > slow.goodput);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = payload(8_000, 13);
+        let cfg = LinkConfig::default().with_loss(0.15);
+        let a = transfer(&data, TcpConfig::default(), cfg, 14).unwrap();
+        let b = transfer(&data, TcpConfig::default(), cfg, 14).unwrap();
+        assert_eq!(a.ticks, b.ticks);
+        assert_eq!(a.retransmissions, b.retransmissions);
+    }
+}

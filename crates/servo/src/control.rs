@@ -1,0 +1,205 @@
+//! Servo controllers: filtered PID and lead–lag compensation.
+//!
+//! These are the §7 "complex digital filters": a PID with a first-order
+//! low-pass on the derivative term (raw derivatives amplify surface
+//! noise), optionally cascaded with a lead–lag section built on the
+//! shared biquad primitive.
+
+use signal::filter::Biquad;
+
+/// A position controller: error in, actuator command out.
+pub trait Controller {
+    /// Processes one error sample.
+    fn step(&mut self, error: f64) -> f64;
+
+    /// Clears internal state.
+    fn reset(&mut self);
+}
+
+/// PID gains.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PidGains {
+    /// Proportional gain.
+    pub kp: f64,
+    /// Integral gain (per second).
+    pub ki: f64,
+    /// Derivative gain (seconds).
+    pub kd: f64,
+}
+
+/// A PID controller with filtered derivative and anti-windup clamping.
+#[derive(Debug, Clone)]
+pub struct Pid {
+    gains: PidGains,
+    dt: f64,
+    integral: f64,
+    integral_limit: f64,
+    prev_error: f64,
+    /// One-pole low-pass state for the derivative.
+    d_state: f64,
+    /// Derivative filter coefficient (0..1, higher = less filtering).
+    d_alpha: f64,
+}
+
+impl Pid {
+    /// Creates a PID at the given sample rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate_hz` is not positive.
+    #[must_use]
+    pub fn new(gains: PidGains, sample_rate_hz: f64) -> Self {
+        assert!(sample_rate_hz > 0.0, "sample rate must be positive");
+        Self {
+            gains,
+            dt: 1.0 / sample_rate_hz,
+            integral: 0.0,
+            integral_limit: 1e6,
+            prev_error: 0.0,
+            d_state: 0.0,
+            d_alpha: 0.2,
+        }
+    }
+
+    /// Sets the anti-windup clamp on the integral term.
+    #[must_use]
+    pub fn with_integral_limit(mut self, limit: f64) -> Self {
+        self.integral_limit = limit.abs();
+        self
+    }
+
+    /// The gains.
+    #[must_use]
+    pub fn gains(&self) -> PidGains {
+        self.gains
+    }
+}
+
+impl Controller for Pid {
+    fn step(&mut self, error: f64) -> f64 {
+        self.integral =
+            (self.integral + error * self.dt).clamp(-self.integral_limit, self.integral_limit);
+        let raw_d = (error - self.prev_error) / self.dt;
+        self.prev_error = error;
+        self.d_state += self.d_alpha * (raw_d - self.d_state);
+        self.gains.kp * error + self.gains.ki * self.integral + self.gains.kd * self.d_state
+    }
+
+    fn reset(&mut self) {
+        self.integral = 0.0;
+        self.prev_error = 0.0;
+        self.d_state = 0.0;
+    }
+}
+
+/// A lead–lag compensator cascaded after a PID — adds phase margin near
+/// the mechanism resonance.
+#[derive(Debug, Clone)]
+pub struct LeadLagPid {
+    pid: Pid,
+    shaper: Biquad,
+}
+
+impl LeadLagPid {
+    /// Creates the cascade: the biquad is a high-pass-ish lead section
+    /// centred at `lead_freq` (fraction of the sample rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lead_freq` is outside `(0, 0.5)`.
+    #[must_use]
+    pub fn new(gains: PidGains, sample_rate_hz: f64, lead_freq: f64) -> Self {
+        Self {
+            pid: Pid::new(gains, sample_rate_hz),
+            shaper: Biquad::highpass(lead_freq, 0.9),
+        }
+    }
+}
+
+impl Controller for LeadLagPid {
+    fn step(&mut self, error: f64) -> f64 {
+        let u = self.pid.step(error);
+        // Blend direct and lead-shaped paths.
+        u + 0.5 * self.shaper.step(u)
+    }
+
+    fn reset(&mut self) {
+        self.pid.reset();
+        self.shaper.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportional_only_scales_error() {
+        let mut pid = Pid::new(PidGains { kp: 3.0, ki: 0.0, kd: 0.0 }, 1000.0);
+        assert!((pid.step(2.0) - 6.0).abs() < 1e-12);
+        assert!((pid.step(-1.0) + 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integral_accumulates() {
+        let mut pid = Pid::new(PidGains { kp: 0.0, ki: 1.0, kd: 0.0 }, 100.0);
+        let mut out = 0.0;
+        for _ in 0..100 {
+            out = pid.step(1.0);
+        }
+        // 100 samples at dt=0.01 integrates 1.0.
+        assert!((out - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn anti_windup_clamps() {
+        let mut pid = Pid::new(PidGains { kp: 0.0, ki: 1.0, kd: 0.0 }, 100.0)
+            .with_integral_limit(0.5);
+        for _ in 0..1000 {
+            pid.step(10.0);
+        }
+        assert!(pid.step(0.0) <= 0.5 + 1e-12);
+    }
+
+    #[test]
+    fn derivative_responds_to_change_and_is_filtered() {
+        let mut pid = Pid::new(PidGains { kp: 0.0, ki: 0.0, kd: 1.0 }, 1000.0);
+        let first = pid.step(1.0); // step change
+        assert!(first > 0.0);
+        // Filtered derivative: first response is less than the raw slope.
+        assert!(first < 1000.0, "derivative unfiltered: {first}");
+        // Steady error: derivative decays toward zero.
+        let mut last = first;
+        for _ in 0..100 {
+            last = pid.step(1.0);
+        }
+        assert!(last.abs() < first / 10.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut pid = Pid::new(PidGains { kp: 1.0, ki: 10.0, kd: 1.0 }, 1000.0);
+        for _ in 0..100 {
+            pid.step(1.0);
+        }
+        pid.reset();
+        let mut fresh = Pid::new(PidGains { kp: 1.0, ki: 10.0, kd: 1.0 }, 1000.0);
+        assert!((pid.step(0.5) - fresh.step(0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leadlag_tracks_pid_at_dc() {
+        let gains = PidGains { kp: 2.0, ki: 0.0, kd: 0.0 };
+        let mut plain = Pid::new(gains, 10_000.0);
+        let mut lead = LeadLagPid::new(gains, 10_000.0, 0.05);
+        // Constant error: the lead section (a high-pass) contributes ~0 in
+        // steady state.
+        let mut p = 0.0;
+        let mut l = 0.0;
+        for _ in 0..10_000 {
+            p = plain.step(1.0);
+            l = lead.step(1.0);
+        }
+        assert!((p - l).abs() < 0.05 * p.abs(), "lead-lag DC mismatch {p} vs {l}");
+    }
+}

@@ -1,0 +1,36 @@
+//! # `servo` — drive servo control per Wolf's §7
+//!
+//! *"Unlike magnetic disk drives, who bundle their control with the
+//! drive, DVD recorders and players must control their drives using
+//! complex digital filters. The control requires real-time processing at
+//! high rates and the control laws are generally adapted to the
+//! particular mechanism being used."*
+//!
+//! * [`plant`] — the mechanism: a resonant mass–spring–damper pickup
+//!   with disc-runout disturbance.
+//! * [`control`] — the digital filters: filtered-derivative PID and a
+//!   lead–lag cascade.
+//! * [`loopctl`] — the 50 kHz closed loop, tracking metrics, and the
+//!   mechanism-adaptive tuner (experiment E15).
+//!
+//! # Example
+//!
+//! ```
+//! use servo::control::Pid;
+//! use servo::loopctl::{adapt_gains, run_loop};
+//! use servo::plant::Mechanism;
+//!
+//! let mech = Mechanism::loose(); // an off-nominal drive
+//! let gains = adapt_gains(mech, 50_000.0);
+//! let mut pid = Pid::new(gains, 50_000.0);
+//! let report = run_loop(mech, &mut pid, 50_000.0, 50_000, 1);
+//! assert!(report.attenuation() > 5.0);
+//! ```
+
+pub mod control;
+pub mod loopctl;
+pub mod plant;
+
+pub use control::{Controller, LeadLagPid, Pid, PidGains};
+pub use loopctl::{adapt_gains, run_loop, TrackingReport};
+pub use plant::{Mechanism, Plant, Runout};

@@ -1,0 +1,265 @@
+//! The drive mechanism: a second-order resonant plant with disc runout.
+//!
+//! Paper §7: *"DVD recorders and players must control their drives using
+//! complex digital filters. The control requires real-time processing at
+//! high rates and the control laws are generally adapted to the
+//! particular mechanism being used."* The pickup sled is modelled as a
+//! mass–spring–damper driven by the actuator force; the reference the
+//! servo must track is the disc's periodic runout (eccentricity) plus
+//! surface noise.
+
+use signal::rng::Xoroshiro128;
+
+/// Physical parameters of one mechanism (normalized units).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mechanism {
+    /// Moving mass.
+    pub mass: f64,
+    /// Suspension stiffness.
+    pub stiffness: f64,
+    /// Viscous damping.
+    pub damping: f64,
+    /// Actuator gain (force per unit command).
+    pub actuator_gain: f64,
+}
+
+impl Mechanism {
+    /// The nominal production mechanism.
+    #[must_use]
+    pub fn nominal() -> Self {
+        Self {
+            mass: 1.0,
+            stiffness: 4000.0,
+            damping: 3.0,
+            actuator_gain: 1.0,
+        }
+    }
+
+    /// A stiffer-suspension variant: resonance well above the runout
+    /// band, so the same actuator authority buys less displacement.
+    #[must_use]
+    pub fn stiff() -> Self {
+        Self {
+            stiffness: 60_000.0,
+            damping: 6.0,
+            ..Self::nominal()
+        }
+    }
+
+    /// A looser, heavier variant (lower resonance, weaker actuator).
+    #[must_use]
+    pub fn loose() -> Self {
+        Self {
+            mass: 2.0,
+            stiffness: 1000.0,
+            damping: 1.5,
+            actuator_gain: 0.6,
+            ..Self::nominal()
+        }
+    }
+
+    /// Natural (resonance) frequency in rad/s.
+    #[must_use]
+    pub fn natural_freq(&self) -> f64 {
+        (self.stiffness / self.mass).sqrt()
+    }
+
+    /// Damping ratio.
+    #[must_use]
+    pub fn damping_ratio(&self) -> f64 {
+        self.damping / (2.0 * (self.stiffness * self.mass).sqrt())
+    }
+}
+
+/// The simulated plant: mechanism state advanced by semi-implicit Euler.
+#[derive(Debug, Clone)]
+pub struct Plant {
+    mech: Mechanism,
+    dt: f64,
+    position: f64,
+    velocity: f64,
+}
+
+impl Plant {
+    /// Creates a plant at rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate_hz` is not positive.
+    #[must_use]
+    pub fn new(mech: Mechanism, sample_rate_hz: f64) -> Self {
+        assert!(sample_rate_hz > 0.0, "sample rate must be positive");
+        Self {
+            mech,
+            dt: 1.0 / sample_rate_hz,
+            position: 0.0,
+            velocity: 0.0,
+        }
+    }
+
+    /// The mechanism parameters.
+    #[must_use]
+    pub fn mechanism(&self) -> &Mechanism {
+        &self.mech
+    }
+
+    /// Current pickup position.
+    #[must_use]
+    pub fn position(&self) -> f64 {
+        self.position
+    }
+
+    /// Advances one sample under actuator command `u`, returning the new
+    /// position.
+    pub fn step(&mut self, u: f64) -> f64 {
+        let force = self.mech.actuator_gain * u
+            - self.mech.stiffness * self.position
+            - self.mech.damping * self.velocity;
+        let accel = force / self.mech.mass;
+        self.velocity += accel * self.dt;
+        self.position += self.velocity * self.dt;
+        self.position
+    }
+
+    /// Resets the state to rest.
+    pub fn reset(&mut self) {
+        self.position = 0.0;
+        self.velocity = 0.0;
+    }
+}
+
+/// Disc runout reference generator: eccentricity sinusoid at the spindle
+/// rate plus a second harmonic and surface noise.
+#[derive(Debug, Clone)]
+pub struct Runout {
+    /// Spindle rotation frequency in Hz.
+    pub spindle_hz: f64,
+    /// Eccentricity amplitude.
+    pub amplitude: f64,
+    /// Surface-noise standard deviation.
+    pub noise: f64,
+    rng: Xoroshiro128,
+    sample_rate_hz: f64,
+    t: u64,
+}
+
+impl Runout {
+    /// Creates a runout generator.
+    #[must_use]
+    pub fn new(spindle_hz: f64, amplitude: f64, noise: f64, sample_rate_hz: f64, seed: u64) -> Self {
+        Self {
+            spindle_hz,
+            amplitude,
+            noise,
+            rng: Xoroshiro128::new(seed),
+            sample_rate_hz,
+            t: 0,
+        }
+    }
+
+    /// The next reference position sample.
+    pub fn next_sample(&mut self) -> f64 {
+        let t = self.t as f64 / self.sample_rate_hz;
+        self.t += 1;
+        let w = core::f64::consts::TAU * self.spindle_hz * t;
+        self.amplitude * w.sin()
+            + 0.2 * self.amplitude * (2.0 * w + 0.7).sin()
+            + self.rng.normal_with(0.0, self.noise)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resonance_formulas() {
+        let m = Mechanism::nominal();
+        assert!((m.natural_freq() - 4000.0f64.sqrt()).abs() < 1e-9);
+        assert!(m.damping_ratio() > 0.0 && m.damping_ratio() < 1.0, "underdamped");
+        assert!(Mechanism::stiff().natural_freq() > m.natural_freq());
+        assert!(Mechanism::loose().natural_freq() < m.natural_freq());
+    }
+
+    #[test]
+    fn unforced_plant_stays_at_rest() {
+        let mut p = Plant::new(Mechanism::nominal(), 50_000.0);
+        for _ in 0..1000 {
+            assert_eq!(p.step(0.0), 0.0);
+        }
+    }
+
+    #[test]
+    fn constant_force_settles_at_spring_balance() {
+        let mech = Mechanism::nominal();
+        let mut p = Plant::new(mech, 50_000.0);
+        let u = 100.0;
+        for _ in 0..500_000 {
+            p.step(u);
+        }
+        // Steady state: k x = gain * u.
+        let expect = mech.actuator_gain * u / mech.stiffness;
+        assert!(
+            (p.position() - expect).abs() < 0.05 * expect,
+            "settled at {} vs {expect}",
+            p.position()
+        );
+    }
+
+    #[test]
+    fn impulse_rings_at_the_natural_frequency() {
+        let mech = Mechanism::nominal();
+        let fs = 50_000.0;
+        let mut p = Plant::new(mech, fs);
+        p.step(5_000.0); // kick
+        // Count zero crossings over one second.
+        let mut crossings = 0;
+        let mut prev = p.position();
+        for _ in 0..fs as usize {
+            let x = p.step(0.0);
+            if (prev >= 0.0) != (x >= 0.0) {
+                crossings += 1;
+            }
+            prev = x;
+        }
+        let measured_hz = crossings as f64 / 2.0;
+        let expect_hz = mech.natural_freq() / core::f64::consts::TAU;
+        assert!(
+            (measured_hz - expect_hz).abs() < 0.15 * expect_hz,
+            "rang at {measured_hz} Hz, expected {expect_hz} Hz"
+        );
+    }
+
+    #[test]
+    fn damping_decays_oscillation() {
+        let mut p = Plant::new(Mechanism::nominal(), 50_000.0);
+        p.step(5_000.0);
+        let early: f64 = (0..1000).map(|_| p.step(0.0).abs()).fold(0.0, f64::max);
+        for _ in 0..100_000 {
+            p.step(0.0);
+        }
+        let late: f64 = (0..1000).map(|_| p.step(0.0).abs()).fold(0.0, f64::max);
+        assert!(late < early / 10.0, "oscillation failed to decay: {early} -> {late}");
+    }
+
+    #[test]
+    fn runout_is_periodic_with_noise() {
+        let fs = 50_000.0;
+        let mut r = Runout::new(25.0, 1.0, 0.0, fs, 1);
+        let period = (fs / 25.0) as usize;
+        let a: Vec<f64> = (0..period).map(|_| r.next_sample()).collect();
+        let b: Vec<f64> = (0..period).map(|_| r.next_sample()).collect();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9, "noiseless runout must repeat");
+        }
+        assert!(a.iter().fold(0.0f64, |m, &v| m.max(v.abs())) > 0.9);
+    }
+
+    #[test]
+    fn reset_zeroes_state() {
+        let mut p = Plant::new(Mechanism::nominal(), 10_000.0);
+        p.step(100.0);
+        p.reset();
+        assert_eq!(p.position(), 0.0);
+    }
+}

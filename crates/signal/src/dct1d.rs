@@ -1,0 +1,227 @@
+//! One-dimensional discrete cosine transform (DCT-II / DCT-III).
+//!
+//! Paper §3: *"The discrete cosine transform (DCT) … is a frequency
+//! transform with the advantage that a 2-D DCT can be computed from two
+//! 1-D DCTs."* This module provides the 1-D building block; the `video`
+//! crate composes it row–column into the 8×8 2-D transform of Figure 1, and
+//! experiment **E4** quantifies the row–column advantage against a direct
+//! O(N⁴) 2-D evaluation.
+//!
+//! Both a matrix-based transform for arbitrary `N` and operation counting
+//! (so benches can report multiply–accumulate counts, not just wall time)
+//! are provided.
+
+/// A planned 1-D DCT of fixed size with precomputed basis matrix.
+///
+/// Uses the orthonormal DCT-II convention:
+/// `X[k] = c(k) * sum_n x[n] cos(pi (2n+1) k / 2N)`, with
+/// `c(0)=sqrt(1/N)`, `c(k)=sqrt(2/N)` — so the inverse is the transpose.
+///
+/// # Example
+///
+/// ```
+/// use signal::dct1d::Dct1d;
+///
+/// let dct = Dct1d::new(8);
+/// let x = [1.0, 2.0, 3.0, 4.0, 4.0, 3.0, 2.0, 1.0];
+/// let spec = dct.forward(&x);
+/// let back = dct.inverse(&spec);
+/// for (a, b) in x.iter().zip(&back) {
+///     assert!((a - b).abs() < 1e-10);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dct1d {
+    n: usize,
+    /// Row-major `n x n` forward basis: `basis[k*n + j] = c(k) cos(...)`.
+    basis: Vec<f64>,
+}
+
+impl Dct1d {
+    /// Plans a DCT of size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "DCT size must be positive");
+        let mut basis = vec![0.0; n * n];
+        let norm0 = (1.0 / n as f64).sqrt();
+        let norm = (2.0 / n as f64).sqrt();
+        for k in 0..n {
+            let c = if k == 0 { norm0 } else { norm };
+            for j in 0..n {
+                basis[k * n + j] =
+                    c * (core::f64::consts::PI * (2 * j + 1) as f64 * k as f64
+                        / (2 * n) as f64)
+                        .cos();
+            }
+        }
+        Self { n, basis }
+    }
+
+    /// The planned size.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the planned size is zero (never, by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Forward DCT-II.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.len()`.
+    #[must_use]
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n, "DCT input length mismatch");
+        let mut out = vec![0.0; self.n];
+        self.forward_into(x, &mut out);
+        out
+    }
+
+    /// Forward DCT-II into a caller-provided buffer (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ from the planned size.
+    pub fn forward_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "DCT input length mismatch");
+        assert_eq!(out.len(), self.n, "DCT output length mismatch");
+        for k in 0..self.n {
+            let row = &self.basis[k * self.n..(k + 1) * self.n];
+            out[k] = row.iter().zip(x).map(|(b, v)| b * v).sum();
+        }
+    }
+
+    /// Inverse (DCT-III, i.e. the transpose of the orthonormal forward).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.len()`.
+    #[must_use]
+    pub fn inverse(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n, "DCT input length mismatch");
+        let mut out = vec![0.0; self.n];
+        for j in 0..self.n {
+            let mut acc = 0.0;
+            for k in 0..self.n {
+                acc += self.basis[k * self.n + j] * x[k];
+            }
+            out[j] = acc;
+        }
+        out
+    }
+
+    /// Multiply–accumulate operations for one forward transform.
+    ///
+    /// Exposed so experiment E4 can report algorithmic cost independent of
+    /// machine speed.
+    #[must_use]
+    pub fn macs_per_transform(&self) -> u64 {
+        (self.n * self.n) as u64
+    }
+}
+
+/// MAC count for a direct (non-separable) 2-D DCT on an `n x n` block:
+/// every one of the `n^2` output coefficients sums over all `n^2` inputs.
+#[must_use]
+pub fn direct_2d_macs(n: usize) -> u64 {
+    let n = n as u64;
+    n * n * n * n
+}
+
+/// MAC count for a separable row–column 2-D DCT on an `n x n` block:
+/// `2n` one-dimensional transforms of size `n`.
+#[must_use]
+pub fn rowcol_2d_macs(n: usize) -> u64 {
+    let n = n as u64;
+    2 * n * n * n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoroshiro128;
+
+    #[test]
+    fn forward_of_constant_is_dc_only() {
+        let dct = Dct1d::new(8);
+        let x = [5.0; 8];
+        let spec = dct.forward(&x);
+        // Orthonormal DC coefficient = 5 * 8 / sqrt(8) = 5 * sqrt(8).
+        assert!((spec[0] - 5.0 * 8.0f64.sqrt()).abs() < 1e-10);
+        for &c in &spec[1..] {
+            assert!(c.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn round_trip_random_vectors() {
+        let mut rng = Xoroshiro128::new(4);
+        for &n in &[1usize, 2, 3, 8, 16, 31] {
+            let dct = Dct1d::new(n);
+            let x: Vec<f64> = (0..n).map(|_| rng.range_f64(-128.0, 128.0)).collect();
+            let back = dct.inverse(&dct.forward(&x));
+            for (a, b) in x.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-9, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn basis_is_orthonormal() {
+        let dct = Dct1d::new(8);
+        for k1 in 0..8 {
+            for k2 in 0..8 {
+                let dot: f64 = (0..8)
+                    .map(|j| dct.basis[k1 * 8 + j] * dct.basis[k2 * 8 + j])
+                    .sum();
+                let expect = if k1 == k2 { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-10, "rows {k1},{k2}");
+            }
+        }
+    }
+
+    #[test]
+    fn energy_is_preserved() {
+        let mut rng = Xoroshiro128::new(5);
+        let dct = Dct1d::new(16);
+        let x: Vec<f64> = (0..16).map(|_| rng.normal()).collect();
+        let spec = dct.forward(&x);
+        let ex: f64 = x.iter().map(|v| v * v).sum();
+        let es: f64 = spec.iter().map(|v| v * v).sum();
+        assert!((ex - es).abs() < 1e-9 * ex.max(1.0));
+    }
+
+    #[test]
+    fn mac_counts_follow_formulas() {
+        assert_eq!(Dct1d::new(8).macs_per_transform(), 64);
+        assert_eq!(direct_2d_macs(8), 4096);
+        assert_eq!(rowcol_2d_macs(8), 1024);
+        // The paper-claimed advantage of the separable form: 4x at n=8.
+        assert_eq!(direct_2d_macs(8) / rowcol_2d_macs(8), 4);
+    }
+
+    #[test]
+    fn forward_into_matches_forward() {
+        let dct = Dct1d::new(8);
+        let x: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let a = dct.forward(&x);
+        let mut b = vec![0.0; 8];
+        dct.forward_into(&x, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_size_panics() {
+        let _ = Dct1d::new(0);
+    }
+}

@@ -1,0 +1,312 @@
+//! Radix-2 fast Fourier transform.
+//!
+//! The psychoacoustic model of the audio encoder (paper §4, Figure 2) needs
+//! a spectral analysis of each input frame; content analysis (§5) needs
+//! spectral audio features. Both use this FFT.
+//!
+//! The implementation is an iterative, in-place, decimation-in-time radix-2
+//! transform with precomputed twiddle factors, planned once per size via
+//! [`Fft::new`] — the usual plan/execute split so per-frame work allocates
+//! nothing but the output buffer.
+
+use crate::Complex;
+
+/// Error returned when a transform is applied to a buffer whose length does
+/// not match the planned size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LengthMismatchError {
+    /// The planned transform size.
+    pub expected: usize,
+    /// The length supplied by the caller.
+    pub got: usize,
+}
+
+impl core::fmt::Display for LengthMismatchError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "buffer length {} does not match planned FFT size {}",
+            self.got, self.expected
+        )
+    }
+}
+
+impl std::error::Error for LengthMismatchError {}
+
+/// A planned radix-2 FFT of a fixed power-of-two size.
+///
+/// # Example
+///
+/// ```
+/// use signal::fft::Fft;
+/// use signal::Complex;
+///
+/// let fft = Fft::new(8);
+/// let x: Vec<Complex> = (0..8).map(|i| Complex::new(i as f64, 0.0)).collect();
+/// let spec = fft.forward(&x);
+/// let back = fft.inverse(&spec);
+/// for (a, b) in x.iter().zip(&back) {
+///     assert!((a.re - b.re).abs() < 1e-9);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fft {
+    n: usize,
+    /// Twiddles for each butterfly span, forward direction.
+    twiddles: Vec<Complex>,
+    /// Bit-reversal permutation.
+    rev: Vec<u32>,
+}
+
+impl Fft {
+    /// Plans a transform of size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or not a power of two.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n > 0, "FFT size must be a power of two");
+        let mut twiddles = Vec::with_capacity(n / 2);
+        for k in 0..n / 2 {
+            twiddles.push(Complex::from_polar_unit(
+                -2.0 * core::f64::consts::PI * k as f64 / n as f64,
+            ));
+        }
+        let bits = n.trailing_zeros();
+        let rev = (0..n as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits.max(1)))
+            .collect::<Vec<_>>();
+        // For n == 1 the shift above is bogus; fix up.
+        let rev = if n == 1 { vec![0] } else { rev };
+        Self { n, twiddles, rev }
+    }
+
+    /// The planned transform size.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the planned size is 1 (the identity transform).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 1
+    }
+
+    fn transform_in_place(&self, buf: &mut [Complex], invert: bool) {
+        let n = self.n;
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                buf.swap(i, j);
+            }
+        }
+        let mut span = 1;
+        while span < n {
+            let step = n / (span * 2);
+            for start in (0..n).step_by(span * 2) {
+                for k in 0..span {
+                    let mut w = self.twiddles[k * step];
+                    if invert {
+                        w = w.conj();
+                    }
+                    let a = buf[start + k];
+                    let b = buf[start + k + span] * w;
+                    buf[start + k] = a + b;
+                    buf[start + k + span] = a - b;
+                }
+            }
+            span *= 2;
+        }
+        if invert {
+            let scale = 1.0 / n as f64;
+            for v in buf.iter_mut() {
+                *v = v.scale(scale);
+            }
+        }
+    }
+
+    /// Forward DFT of a complex signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.len()`; use [`Fft::try_forward`] for a
+    /// fallible variant.
+    #[must_use]
+    pub fn forward(&self, input: &[Complex]) -> Vec<Complex> {
+        self.try_forward(input).expect("FFT input length mismatch")
+    }
+
+    /// Fallible forward DFT.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LengthMismatchError`] when the buffer length differs from
+    /// the planned size.
+    pub fn try_forward(&self, input: &[Complex]) -> Result<Vec<Complex>, LengthMismatchError> {
+        if input.len() != self.n {
+            return Err(LengthMismatchError {
+                expected: self.n,
+                got: input.len(),
+            });
+        }
+        let mut buf = input.to_vec();
+        self.transform_in_place(&mut buf, false);
+        Ok(buf)
+    }
+
+    /// Inverse DFT (normalized by `1/N`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.len()`.
+    #[must_use]
+    pub fn inverse(&self, input: &[Complex]) -> Vec<Complex> {
+        assert_eq!(input.len(), self.n, "FFT input length mismatch");
+        let mut buf = input.to_vec();
+        self.transform_in_place(&mut buf, true);
+        buf
+    }
+
+    /// Forward DFT of a real signal (imaginary parts taken as zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.len()`.
+    #[must_use]
+    pub fn forward_real(&self, input: &[f64]) -> Vec<Complex> {
+        assert_eq!(input.len(), self.n, "FFT input length mismatch");
+        let mut buf: Vec<Complex> = input.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        self.transform_in_place(&mut buf, false);
+        buf
+    }
+
+    /// Power spectrum `|X[k]|^2 / N` of a real signal, first `N/2 + 1` bins.
+    ///
+    /// This is the form the psychoacoustic model consumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.len()`.
+    #[must_use]
+    pub fn power_spectrum(&self, input: &[f64]) -> Vec<f64> {
+        let spec = self.forward_real(input);
+        let norm = 1.0 / self.n as f64;
+        spec.iter()
+            .take(self.n / 2 + 1)
+            .map(|c| c.norm_sqr() * norm)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoroshiro128;
+
+    /// Naive O(N^2) DFT as the oracle.
+    fn dft_naive(x: &[Complex]) -> Vec<Complex> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::default();
+                for (j, &v) in x.iter().enumerate() {
+                    let w = Complex::from_polar_unit(
+                        -2.0 * core::f64::consts::PI * (k * j) as f64 / n as f64,
+                    );
+                    acc = acc + v * w;
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let mut rng = Xoroshiro128::new(1);
+        for &n in &[1usize, 2, 4, 8, 64, 256] {
+            let x: Vec<Complex> = (0..n)
+                .map(|_| Complex::new(rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0)))
+                .collect();
+            let fast = Fft::new(n).forward(&x);
+            let slow = dft_naive(&x);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!((a.re - b.re).abs() < 1e-8 && (a.im - b.im).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let mut rng = Xoroshiro128::new(2);
+        let fft = Fft::new(128);
+        let x: Vec<Complex> = (0..128)
+            .map(|_| Complex::new(rng.normal(), rng.normal()))
+            .collect();
+        let back = fft.inverse(&fft.forward(&x));
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a.re - b.re).abs() < 1e-9 && (a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let fft = Fft::new(16);
+        let mut x = vec![Complex::default(); 16];
+        x[0] = Complex::new(1.0, 0.0);
+        for c in fft.forward(&x) {
+            assert!((c.re - 1.0).abs() < 1e-12 && c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sine_concentrates_in_one_bin() {
+        let n = 64;
+        let fft = Fft::new(n);
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * core::f64::consts::PI * 5.0 * i as f64 / n as f64).sin())
+            .collect();
+        let p = fft.power_spectrum(&x);
+        let peak = p
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(peak, 5);
+    }
+
+    #[test]
+    fn parseval_energy_is_conserved() {
+        let mut rng = Xoroshiro128::new(3);
+        let n = 256;
+        let fft = Fft::new(n);
+        let x: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let time_energy: f64 = x.iter().map(|v| v * v).sum();
+        let spec = fft.forward_real(&x);
+        let freq_energy: f64 = spec.iter().map(|c| c.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-6 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn try_forward_reports_length_mismatch() {
+        let fft = Fft::new(8);
+        let err = fft.try_forward(&[Complex::default(); 4]).unwrap_err();
+        assert_eq!(err, LengthMismatchError { expected: 8, got: 4 });
+        assert!(err.to_string().contains("8"));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_size_panics() {
+        let _ = Fft::new(12);
+    }
+
+    #[test]
+    fn size_one_is_identity() {
+        let fft = Fft::new(1);
+        let y = fft.forward(&[Complex::new(3.0, -1.0)]);
+        assert_eq!(y[0], Complex::new(3.0, -1.0));
+    }
+}

@@ -1,0 +1,361 @@
+//! Digital filter primitives: FIR and biquad (second-order IIR) sections.
+//!
+//! Paper §7: DVD players *"must control their drives using complex digital
+//! filters"*; the audio filterbank and the servo controllers are both built
+//! from these primitives.
+
+/// A direct-form FIR filter with arbitrary tap count.
+///
+/// # Example
+///
+/// ```
+/// use signal::filter::Fir;
+///
+/// // 3-tap moving average.
+/// let mut f = Fir::new(vec![1.0 / 3.0; 3]).unwrap();
+/// let y: Vec<f64> = [3.0, 3.0, 3.0, 3.0].iter().map(|&x| f.step(x)).collect();
+/// assert!((y[3] - 3.0).abs() < 1e-12); // settled to the input level
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fir {
+    taps: Vec<f64>,
+    /// Circular delay line, most recent sample at `pos`.
+    delay: Vec<f64>,
+    pos: usize,
+}
+
+/// Error constructing a filter from an empty coefficient list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmptyTapsError;
+
+impl core::fmt::Display for EmptyTapsError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("filter requires at least one coefficient")
+    }
+}
+
+impl std::error::Error for EmptyTapsError {}
+
+impl Fir {
+    /// Creates an FIR filter from its impulse response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmptyTapsError`] if `taps` is empty.
+    pub fn new(taps: Vec<f64>) -> Result<Self, EmptyTapsError> {
+        if taps.is_empty() {
+            return Err(EmptyTapsError);
+        }
+        let n = taps.len();
+        Ok(Self {
+            taps,
+            delay: vec![0.0; n],
+            pos: 0,
+        })
+    }
+
+    /// Windowed-sinc low-pass design with cutoff `fc` (fraction of the
+    /// sample rate, in `(0, 0.5)`) and `taps` coefficients (Hann window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fc` is outside `(0, 0.5)` or `taps == 0`.
+    #[must_use]
+    pub fn lowpass(fc: f64, taps: usize) -> Self {
+        assert!(fc > 0.0 && fc < 0.5, "cutoff must be in (0, 0.5)");
+        assert!(taps > 0, "need at least one tap");
+        let m = (taps - 1) as f64;
+        let mut h: Vec<f64> = (0..taps)
+            .map(|i| {
+                let x = i as f64 - m / 2.0;
+                let sinc = if x.abs() < 1e-12 {
+                    2.0 * fc
+                } else {
+                    (core::f64::consts::TAU * fc * x).sin() / (core::f64::consts::PI * x)
+                };
+                let win = 0.5 - 0.5 * (core::f64::consts::TAU * i as f64 / m.max(1.0)).cos();
+                sinc * win
+            })
+            .collect();
+        // Normalize DC gain to exactly 1.
+        let sum: f64 = h.iter().sum();
+        if sum.abs() > 1e-12 {
+            for v in &mut h {
+                *v /= sum;
+            }
+        }
+        Self::new(h).expect("taps checked non-empty")
+    }
+
+    /// Number of taps.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// `true` if the filter has no taps (never, by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.taps.is_empty()
+    }
+
+    /// The filter coefficients.
+    #[must_use]
+    pub fn taps(&self) -> &[f64] {
+        &self.taps
+    }
+
+    /// Processes one sample.
+    pub fn step(&mut self, x: f64) -> f64 {
+        self.pos = if self.pos == 0 {
+            self.delay.len() - 1
+        } else {
+            self.pos - 1
+        };
+        self.delay[self.pos] = x;
+        let n = self.delay.len();
+        let mut acc = 0.0;
+        for (i, t) in self.taps.iter().enumerate() {
+            acc += t * self.delay[(self.pos + i) % n];
+        }
+        acc
+    }
+
+    /// Processes a whole block, returning the filtered samples.
+    #[must_use]
+    pub fn process(&mut self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.step(x)).collect()
+    }
+
+    /// Clears the delay line.
+    pub fn reset(&mut self) {
+        self.delay.fill(0.0);
+        self.pos = 0;
+    }
+}
+
+/// A biquad (second-order IIR) section in direct form II transposed.
+///
+/// Transfer function `H(z) = (b0 + b1 z^-1 + b2 z^-2) / (1 + a1 z^-1 + a2 z^-2)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Biquad {
+    b0: f64,
+    b1: f64,
+    b2: f64,
+    a1: f64,
+    a2: f64,
+    z1: f64,
+    z2: f64,
+}
+
+impl Biquad {
+    /// Creates a biquad from its transfer-function coefficients (denominator
+    /// normalized, `a0 = 1`).
+    #[must_use]
+    pub fn new(b0: f64, b1: f64, b2: f64, a1: f64, a2: f64) -> Self {
+        Self {
+            b0,
+            b1,
+            b2,
+            a1,
+            a2,
+            z1: 0.0,
+            z2: 0.0,
+        }
+    }
+
+    /// RBJ-style low-pass design: cutoff `fc` as a fraction of the sample
+    /// rate, quality factor `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fc` is outside `(0, 0.5)` or `q <= 0`.
+    #[must_use]
+    pub fn lowpass(fc: f64, q: f64) -> Self {
+        assert!(fc > 0.0 && fc < 0.5, "cutoff must be in (0, 0.5)");
+        assert!(q > 0.0, "q must be positive");
+        let w0 = core::f64::consts::TAU * fc;
+        let alpha = w0.sin() / (2.0 * q);
+        let cw = w0.cos();
+        let a0 = 1.0 + alpha;
+        Self::new(
+            (1.0 - cw) / 2.0 / a0,
+            (1.0 - cw) / a0,
+            (1.0 - cw) / 2.0 / a0,
+            -2.0 * cw / a0,
+            (1.0 - alpha) / a0,
+        )
+    }
+
+    /// RBJ-style high-pass design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fc` is outside `(0, 0.5)` or `q <= 0`.
+    #[must_use]
+    pub fn highpass(fc: f64, q: f64) -> Self {
+        assert!(fc > 0.0 && fc < 0.5, "cutoff must be in (0, 0.5)");
+        assert!(q > 0.0, "q must be positive");
+        let w0 = core::f64::consts::TAU * fc;
+        let alpha = w0.sin() / (2.0 * q);
+        let cw = w0.cos();
+        let a0 = 1.0 + alpha;
+        Self::new(
+            (1.0 + cw) / 2.0 / a0,
+            -(1.0 + cw) / a0,
+            (1.0 + cw) / 2.0 / a0,
+            -2.0 * cw / a0,
+            (1.0 - alpha) / a0,
+        )
+    }
+
+    /// Band-pass design (constant peak gain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fc` is outside `(0, 0.5)` or `q <= 0`.
+    #[must_use]
+    pub fn bandpass(fc: f64, q: f64) -> Self {
+        assert!(fc > 0.0 && fc < 0.5, "cutoff must be in (0, 0.5)");
+        assert!(q > 0.0, "q must be positive");
+        let w0 = core::f64::consts::TAU * fc;
+        let alpha = w0.sin() / (2.0 * q);
+        let cw = w0.cos();
+        let a0 = 1.0 + alpha;
+        Self::new(alpha / a0, 0.0, -alpha / a0, -2.0 * cw / a0, (1.0 - alpha) / a0)
+    }
+
+    /// Processes one sample (direct form II transposed).
+    pub fn step(&mut self, x: f64) -> f64 {
+        let y = self.b0 * x + self.z1;
+        self.z1 = self.b1 * x - self.a1 * y + self.z2;
+        self.z2 = self.b2 * x - self.a2 * y;
+        y
+    }
+
+    /// Processes a whole block.
+    #[must_use]
+    pub fn process(&mut self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.step(x)).collect()
+    }
+
+    /// Clears the internal state.
+    pub fn reset(&mut self) {
+        self.z1 = 0.0;
+        self.z2 = 0.0;
+    }
+
+    /// Magnitude response at normalized frequency `f` (fraction of the
+    /// sample rate).
+    #[must_use]
+    pub fn magnitude_at(&self, f: f64) -> f64 {
+        use crate::Complex;
+        let w = core::f64::consts::TAU * f;
+        let z1 = Complex::from_polar_unit(-w);
+        let z2 = Complex::from_polar_unit(-2.0 * w);
+        let num = Complex::from(self.b0) + z1.scale(self.b1) + z2.scale(self.b2);
+        let den = Complex::from(1.0) + z1.scale(self.a1) + z2.scale(self.a2);
+        num.norm() / den.norm()
+    }
+
+    /// `true` if both poles are strictly inside the unit circle.
+    #[must_use]
+    pub fn is_stable(&self) -> bool {
+        // Jury criterion for z^2 + a1 z + a2.
+        self.a2.abs() < 1.0 && self.a1.abs() < 1.0 + self.a2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fir_moving_average_smooths_step() {
+        let mut f = Fir::new(vec![0.25; 4]).unwrap();
+        let y = f.process(&[0.0, 0.0, 4.0, 4.0, 4.0, 4.0, 4.0]);
+        assert!((y[6] - 4.0).abs() < 1e-12);
+        assert!(y[3] > 0.0 && y[3] < 4.0, "transition is gradual");
+    }
+
+    #[test]
+    fn fir_rejects_empty_taps() {
+        assert_eq!(Fir::new(vec![]).unwrap_err(), EmptyTapsError);
+    }
+
+    #[test]
+    fn fir_lowpass_passes_dc_and_rejects_nyquist() {
+        let mut f = Fir::new(Fir::lowpass(0.1, 63).taps().to_vec()).unwrap();
+        // DC gain.
+        let dc: f64 = f.taps().iter().sum();
+        assert!((dc - 1.0).abs() < 1e-9);
+        // Nyquist: alternating +1/-1 input should be strongly attenuated.
+        let y = f.process(
+            &(0..200)
+                .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+                .collect::<Vec<_>>(),
+        );
+        let tail_max = y[100..].iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        assert!(tail_max < 1e-3, "nyquist leakage {tail_max}");
+    }
+
+    #[test]
+    fn fir_reset_clears_state() {
+        let mut f = Fir::new(vec![0.5, 0.5]).unwrap();
+        f.step(10.0);
+        f.reset();
+        assert_eq!(f.step(0.0), 0.0);
+    }
+
+    #[test]
+    fn biquad_lowpass_dc_unity_gain() {
+        let bq = Biquad::lowpass(0.1, 0.707);
+        assert!((bq.magnitude_at(1e-6) - 1.0).abs() < 1e-3);
+        assert!(bq.magnitude_at(0.49) < 0.05, "nyquist should be attenuated");
+        assert!(bq.is_stable());
+    }
+
+    #[test]
+    fn biquad_highpass_mirrors_lowpass() {
+        let bq = Biquad::highpass(0.1, 0.707);
+        assert!(bq.magnitude_at(1e-6) < 1e-3);
+        assert!((bq.magnitude_at(0.45) - 1.0).abs() < 0.05);
+        assert!(bq.is_stable());
+    }
+
+    #[test]
+    fn biquad_bandpass_peaks_at_center() {
+        let bq = Biquad::bandpass(0.2, 2.0);
+        let at_center = bq.magnitude_at(0.2);
+        assert!(at_center > bq.magnitude_at(0.05));
+        assert!(at_center > bq.magnitude_at(0.4));
+    }
+
+    #[test]
+    fn biquad_step_matches_frequency_response() {
+        // Drive with a sine at the cutoff and compare steady-state amplitude
+        // with magnitude_at.
+        let fc = 0.05;
+        let mut bq = Biquad::lowpass(fc, 0.707);
+        let n = 4000;
+        let xs: Vec<f64> = (0..n)
+            .map(|i| (core::f64::consts::TAU * fc * i as f64).sin())
+            .collect();
+        let ys = bq.process(&xs);
+        let amp = ys[n / 2..].iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let expect = bq.magnitude_at(fc);
+        assert!((amp - expect).abs() < 0.02, "amp {amp} vs {expect}");
+    }
+
+    #[test]
+    fn unstable_biquad_detected() {
+        let bq = Biquad::new(1.0, 0.0, 0.0, 0.0, 1.5);
+        assert!(!bq.is_stable());
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff")]
+    fn bad_cutoff_panics() {
+        let _ = Biquad::lowpass(0.7, 1.0);
+    }
+}

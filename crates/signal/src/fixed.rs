@@ -1,0 +1,162 @@
+//! Q-format fixed-point arithmetic helpers.
+//!
+//! The consumer devices the paper targets (§2: "cost and power are
+//! critical") implement their DSP kernels in fixed point. The workspace's
+//! reference kernels are floating point; this module provides the Q-format
+//! conversions used by the codec quantizers and by tests that bound
+//! fixed-point error against the floating-point reference.
+
+/// A signed fixed-point value in Q`FRAC` format stored in an `i32`.
+///
+/// `FRAC` is the number of fractional bits; Q15 (`Q<15>`) is the classic
+/// 16-bit DSP format widened to 32-bit storage so intermediate sums do not
+/// overflow.
+///
+/// # Example
+///
+/// ```
+/// use signal::fixed::Q;
+///
+/// let a = Q::<15>::from_f64(0.5);
+/// let b = Q::<15>::from_f64(0.25);
+/// assert!((a.mul(b).to_f64() - 0.125).abs() < 1e-4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Q<const FRAC: u32>(i32);
+
+impl<const FRAC: u32> Q<FRAC> {
+    /// The scaling factor `2^FRAC`.
+    pub const SCALE: i64 = 1 << FRAC;
+
+    /// Zero.
+    pub const ZERO: Self = Self(0);
+
+    /// One, i.e. `2^FRAC` raw.
+    pub const ONE: Self = Self(1 << FRAC);
+
+    /// Creates a value from its raw integer representation.
+    #[must_use]
+    pub fn from_raw(raw: i32) -> Self {
+        Self(raw)
+    }
+
+    /// The raw integer representation.
+    #[must_use]
+    pub fn raw(self) -> i32 {
+        self.0
+    }
+
+    /// Converts from `f64`, saturating at the representable range.
+    #[must_use]
+    pub fn from_f64(x: f64) -> Self {
+        let scaled = (x * Self::SCALE as f64).round();
+        Self(scaled.clamp(i32::MIN as f64, i32::MAX as f64) as i32)
+    }
+
+    /// Converts to `f64`.
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / Self::SCALE as f64
+    }
+
+    /// Saturating addition.
+    #[must_use]
+    pub fn add(self, rhs: Self) -> Self {
+        Self(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub fn sub(self, rhs: Self) -> Self {
+        Self(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Fixed-point multiply with rounding, widened internally to `i64`.
+    #[must_use]
+    pub fn mul(self, rhs: Self) -> Self {
+        let wide = self.0 as i64 * rhs.0 as i64;
+        let rounded = (wide + (Self::SCALE >> 1)) >> FRAC;
+        Self(rounded.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+    }
+
+    /// Quantization step of this format (`2^-FRAC`).
+    #[must_use]
+    pub fn epsilon() -> f64 {
+        1.0 / Self::SCALE as f64
+    }
+}
+
+impl<const FRAC: u32> core::fmt::Display for Q<FRAC> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.6}q{}", self.to_f64(), FRAC)
+    }
+}
+
+/// Quantizes a floating-point slice to Q-format and back, returning the
+/// round-tripped values. Used to model fixed-point kernels in tests.
+#[must_use]
+pub fn quantize_slice<const FRAC: u32>(xs: &[f64]) -> Vec<f64> {
+    xs.iter().map(|&x| Q::<FRAC>::from_f64(x).to_f64()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoroshiro128;
+
+    #[test]
+    fn round_trip_error_bounded_by_half_epsilon() {
+        let mut rng = Xoroshiro128::new(6);
+        for _ in 0..1000 {
+            let x = rng.range_f64(-100.0, 100.0);
+            let q = Q::<15>::from_f64(x);
+            assert!((q.to_f64() - x).abs() <= Q::<15>::epsilon() / 2.0 + 1e-15);
+        }
+    }
+
+    #[test]
+    fn multiplication_close_to_float() {
+        let mut rng = Xoroshiro128::new(7);
+        for _ in 0..1000 {
+            let a = rng.range_f64(-1.0, 1.0);
+            let b = rng.range_f64(-1.0, 1.0);
+            let qa = Q::<15>::from_f64(a);
+            let qb = Q::<15>::from_f64(b);
+            assert!((qa.mul(qb).to_f64() - a * b).abs() < 3.0 * Q::<15>::epsilon());
+        }
+    }
+
+    #[test]
+    fn saturating_add_does_not_wrap() {
+        let big = Q::<15>::from_raw(i32::MAX);
+        assert_eq!(big.add(big).raw(), i32::MAX);
+        let small = Q::<15>::from_raw(i32::MIN);
+        assert_eq!(small.add(small).raw(), i32::MIN);
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(Q::<15>::ONE.to_f64(), 1.0);
+        assert_eq!(Q::<15>::ZERO.to_f64(), 0.0);
+        assert_eq!(Q::<15>::SCALE, 32768);
+    }
+
+    #[test]
+    fn quantize_slice_is_elementwise() {
+        let xs = [0.1, -0.2, 0.3];
+        let qs = quantize_slice::<8>(&xs);
+        for (x, q) in xs.iter().zip(&qs) {
+            assert!((x - q).abs() <= Q::<8>::epsilon());
+        }
+    }
+
+    #[test]
+    fn display_mentions_format() {
+        assert!(Q::<15>::ONE.to_string().contains("q15"));
+    }
+
+    #[test]
+    fn ordering_follows_value() {
+        assert!(Q::<12>::from_f64(0.5) > Q::<12>::from_f64(0.25));
+    }
+}

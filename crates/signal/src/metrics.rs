@@ -1,0 +1,202 @@
+//! Quality metrics: PSNR, SNR, MSE, SAD.
+//!
+//! Paper §3: *"each generation of transcoding reduces image quality"* —
+//! experiments E5/E6/E18 quantify quality with the metrics here. SAD is the
+//! motion-estimation matching cost of Figure 1's motion estimator.
+
+/// Error returned when two sequences being compared have different lengths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LengthMismatchError {
+    /// Length of the reference sequence.
+    pub reference: usize,
+    /// Length of the test sequence.
+    pub test: usize,
+}
+
+impl core::fmt::Display for LengthMismatchError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "sequence lengths differ: reference {} vs test {}",
+            self.reference, self.test
+        )
+    }
+}
+
+impl std::error::Error for LengthMismatchError {}
+
+fn check(a: usize, b: usize) -> Result<(), LengthMismatchError> {
+    if a == b && a > 0 {
+        Ok(())
+    } else {
+        Err(LengthMismatchError {
+            reference: a,
+            test: b,
+        })
+    }
+}
+
+/// Mean squared error between two equal-length sequences.
+///
+/// # Errors
+///
+/// Returns [`LengthMismatchError`] if lengths differ or are zero.
+pub fn mse(reference: &[f64], test: &[f64]) -> Result<f64, LengthMismatchError> {
+    check(reference.len(), test.len())?;
+    let sum: f64 = reference
+        .iter()
+        .zip(test)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum();
+    Ok(sum / reference.len() as f64)
+}
+
+/// Peak signal-to-noise ratio in dB for signals with the given peak value
+/// (255 for 8-bit imagery).
+///
+/// Returns `f64::INFINITY` for identical sequences.
+///
+/// # Errors
+///
+/// Returns [`LengthMismatchError`] if lengths differ or are zero.
+pub fn psnr(reference: &[f64], test: &[f64], peak: f64) -> Result<f64, LengthMismatchError> {
+    let m = mse(reference, test)?;
+    if m == 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    Ok(10.0 * (peak * peak / m).log10())
+}
+
+/// PSNR between two 8-bit pixel buffers (peak 255).
+///
+/// # Errors
+///
+/// Returns [`LengthMismatchError`] if lengths differ or are zero.
+pub fn psnr_u8(reference: &[u8], test: &[u8], ) -> Result<f64, LengthMismatchError> {
+    check(reference.len(), test.len())?;
+    let sum: f64 = reference
+        .iter()
+        .zip(test)
+        .map(|(&a, &b)| {
+            let d = a as f64 - b as f64;
+            d * d
+        })
+        .sum();
+    let m = sum / reference.len() as f64;
+    if m == 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    Ok(10.0 * (255.0 * 255.0 / m).log10())
+}
+
+/// Signal-to-noise ratio in dB: signal energy over error energy.
+///
+/// Returns `f64::INFINITY` for identical sequences and `-INFINITY` for a
+/// zero-energy reference with nonzero error.
+///
+/// # Errors
+///
+/// Returns [`LengthMismatchError`] if lengths differ or are zero.
+pub fn snr(reference: &[f64], test: &[f64]) -> Result<f64, LengthMismatchError> {
+    check(reference.len(), test.len())?;
+    let sig: f64 = reference.iter().map(|v| v * v).sum();
+    let err: f64 = reference
+        .iter()
+        .zip(test)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum();
+    if err == 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    if sig == 0.0 {
+        return Ok(f64::NEG_INFINITY);
+    }
+    Ok(10.0 * (sig / err).log10())
+}
+
+/// Sum of absolute differences between two 8-bit blocks — the matching cost
+/// used by every motion-estimation search in the `video` crate.
+///
+/// # Panics
+///
+/// Panics if lengths differ (hot path: callers guarantee equal-sized
+/// blocks, so this is a programming error rather than a recoverable one).
+#[must_use]
+pub fn sad_u8(a: &[u8], b: &[u8]) -> u64 {
+    assert_eq!(a.len(), b.len(), "SAD blocks must be the same size");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x as i32 - y as i32).unsigned_abs() as u64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_of_identical_is_zero() {
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(mse(&x, &x).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mse_hand_computed() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert!((mse(&a, &b).unwrap() - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn psnr_infinite_for_identical() {
+        let x = [10.0, 20.0];
+        assert!(psnr(&x, &x, 255.0).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn psnr_u8_known_value() {
+        // Uniform error of 1 LSB -> MSE 1 -> PSNR = 20 log10(255) ≈ 48.13 dB.
+        let a = vec![100u8; 64];
+        let b = vec![101u8; 64];
+        let p = psnr_u8(&a, &b).unwrap();
+        assert!((p - 48.1308).abs() < 1e-3, "psnr {p}");
+    }
+
+    #[test]
+    fn psnr_decreases_with_error() {
+        let reference = vec![128u8; 100];
+        let small: Vec<u8> = reference.iter().map(|&v| v + 1).collect();
+        let large: Vec<u8> = reference.iter().map(|&v| v + 10).collect();
+        assert!(psnr_u8(&reference, &small).unwrap() > psnr_u8(&reference, &large).unwrap());
+    }
+
+    #[test]
+    fn snr_matches_definition() {
+        let reference = [1.0, 1.0, 1.0, 1.0];
+        let test = [1.1, 0.9, 1.1, 0.9];
+        // signal energy 4, error energy 0.04 -> 20 dB.
+        assert!((snr(&reference, &test).unwrap() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snr_edge_cases() {
+        let z = [0.0, 0.0];
+        let x = [1.0, 1.0];
+        assert_eq!(snr(&z, &x).unwrap(), f64::NEG_INFINITY);
+        assert_eq!(snr(&x, &x).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn length_mismatch_is_reported() {
+        let err = mse(&[1.0], &[1.0, 2.0]).unwrap_err();
+        assert_eq!(err, LengthMismatchError { reference: 1, test: 2 });
+        assert!(err.to_string().contains("differ"));
+        assert!(mse(&[], &[]).is_err(), "empty sequences are rejected");
+    }
+
+    #[test]
+    fn sad_hand_computed() {
+        assert_eq!(sad_u8(&[0, 10, 255], &[5, 10, 250]), 10);
+        assert_eq!(sad_u8(&[7; 16], &[7; 16]), 0);
+    }
+}

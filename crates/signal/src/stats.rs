@@ -1,0 +1,237 @@
+//! Descriptive statistics used across experiment harnesses.
+
+/// Summary statistics for a sample of `f64` values.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Number of values.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics over `values`.
+    ///
+    /// Returns `None` for an empty sample.
+    #[must_use]
+    pub fn of(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        Some(Self {
+            count: values.len(),
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        })
+    }
+}
+
+impl core::fmt::Display for Summary {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} max={:.4}",
+            self.count, self.mean, self.std_dev, self.min, self.max
+        )
+    }
+}
+
+/// Arithmetic mean; 0.0 for an empty slice.
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Sample `p`-quantile (nearest-rank, `p` in `[0,1]`).
+///
+/// Returns `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+#[must_use]
+pub fn quantile(values: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&p), "quantile p must be in [0,1]");
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let idx = ((p * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
+    Some(sorted[idx])
+}
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// Returns `None` when lengths differ, the sample is shorter than 2, or
+/// either variance is zero.
+#[must_use]
+pub fn correlation(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let mx = mean(x);
+    let my = mean(y);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        sxy += (a - mx) * (b - my);
+        sxx += (a - mx) * (a - mx);
+        syy += (b - my) * (b - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Precision / recall / F1 for a detection task.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Detection {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Detection {
+    /// Creates a detection tally.
+    #[must_use]
+    pub fn new(tp: usize, fp: usize, fn_: usize) -> Self {
+        Self { tp, fp, fn_ }
+    }
+
+    /// Precision `tp / (tp + fp)`; 1.0 when nothing was predicted.
+    #[must_use]
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`; 1.0 when nothing was there to find.
+    #[must_use]
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall; 0.0 when both are zero.
+    #[must_use]
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+impl core::fmt::Display for Detection {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "P={:.3} R={:.3} F1={:.3} (tp={} fp={} fn={})",
+            self.precision(),
+            self.recall(),
+            self.f1(),
+            self.tp,
+            self.fp,
+            self.fn_
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_hand_computed() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std_dev - 1.25f64.sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn quantiles() {
+        let v = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 0.5), Some(3.0));
+        assert_eq!(quantile(&v, 1.0), Some(5.0));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn correlation_perfect_and_inverse() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [2.0, 4.0, 6.0];
+        let z = [3.0, 2.0, 1.0];
+        assert!((correlation(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        assert!((correlation(&x, &z).unwrap() + 1.0).abs() < 1e-12);
+        assert!(correlation(&x, &[1.0, 1.0, 1.0]).is_none(), "zero variance");
+        assert!(correlation(&x, &[1.0]).is_none(), "length mismatch");
+    }
+
+    #[test]
+    fn detection_scores() {
+        let d = Detection::new(8, 2, 2);
+        assert!((d.precision() - 0.8).abs() < 1e-12);
+        assert!((d.recall() - 0.8).abs() < 1e-12);
+        assert!((d.f1() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detection_degenerate_cases() {
+        let none_predicted = Detection::new(0, 0, 5);
+        assert_eq!(none_predicted.precision(), 1.0);
+        assert_eq!(none_predicted.recall(), 0.0);
+        assert_eq!(none_predicted.f1(), 0.0);
+        let nothing_there = Detection::new(0, 0, 0);
+        assert_eq!(nothing_there.f1(), 1.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!Detection::new(1, 1, 1).to_string().is_empty());
+        assert!(!Summary::of(&[1.0]).unwrap().to_string().is_empty());
+    }
+}

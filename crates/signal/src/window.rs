@@ -1,0 +1,197 @@
+//! Analysis window functions.
+//!
+//! The audio encoder's psychoacoustic model (paper §4) windows each frame
+//! before spectral analysis; the content-analysis features do the same.
+
+/// Supported window shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WindowKind {
+    /// Rectangular (no taper).
+    Rect,
+    /// Hann (raised cosine) — the default choice for spectral analysis.
+    #[default]
+    Hann,
+    /// Hamming.
+    Hamming,
+    /// Blackman.
+    Blackman,
+    /// Triangular (Bartlett).
+    Triangular,
+}
+
+impl core::fmt::Display for WindowKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let name = match self {
+            WindowKind::Rect => "rect",
+            WindowKind::Hann => "hann",
+            WindowKind::Hamming => "hamming",
+            WindowKind::Blackman => "blackman",
+            WindowKind::Triangular => "triangular",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A precomputed window of fixed length.
+///
+/// # Example
+///
+/// ```
+/// use signal::window::{Window, WindowKind};
+///
+/// let w = Window::new(WindowKind::Hann, 512);
+/// let mut frame = vec![1.0; 512];
+/// w.apply(&mut frame);
+/// assert!(frame[0] < 1e-6);          // tapered ends
+/// assert!((frame[256] - 1.0).abs() < 1e-3); // unity near the centre
+/// ```
+#[derive(Debug, Clone)]
+pub struct Window {
+    kind: WindowKind,
+    coeffs: Vec<f64>,
+}
+
+impl Window {
+    /// Builds a window of `len` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    #[must_use]
+    pub fn new(kind: WindowKind, len: usize) -> Self {
+        assert!(len > 0, "window length must be positive");
+        let coeffs = (0..len).map(|i| sample(kind, i, len)).collect();
+        Self { kind, coeffs }
+    }
+
+    /// The window shape.
+    #[must_use]
+    pub fn kind(&self) -> WindowKind {
+        self.kind
+    }
+
+    /// Window length in samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// `true` if the window has zero length (never, by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// The window coefficients.
+    #[must_use]
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Multiplies `frame` by the window in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame.len() != self.len()`.
+    pub fn apply(&self, frame: &mut [f64]) {
+        assert_eq!(frame.len(), self.coeffs.len(), "window length mismatch");
+        for (x, w) in frame.iter_mut().zip(&self.coeffs) {
+            *x *= w;
+        }
+    }
+
+    /// Returns a windowed copy of `frame`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame.len() != self.len()`.
+    #[must_use]
+    pub fn applied(&self, frame: &[f64]) -> Vec<f64> {
+        let mut out = frame.to_vec();
+        self.apply(&mut out);
+        out
+    }
+
+    /// Coherent gain: mean of the coefficients. Used to undo the window's
+    /// amplitude scaling when estimating tone levels.
+    #[must_use]
+    pub fn coherent_gain(&self) -> f64 {
+        self.coeffs.iter().sum::<f64>() / self.coeffs.len() as f64
+    }
+}
+
+fn sample(kind: WindowKind, i: usize, len: usize) -> f64 {
+    if len == 1 {
+        return 1.0;
+    }
+    let x = i as f64 / (len - 1) as f64;
+    let tau = core::f64::consts::TAU;
+    match kind {
+        WindowKind::Rect => 1.0,
+        WindowKind::Hann => 0.5 - 0.5 * (tau * x).cos(),
+        WindowKind::Hamming => 0.54 - 0.46 * (tau * x).cos(),
+        WindowKind::Blackman => 0.42 - 0.5 * (tau * x).cos() + 0.08 * (2.0 * tau * x).cos(),
+        WindowKind::Triangular => 1.0 - (2.0 * x - 1.0).abs(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_is_all_ones() {
+        let w = Window::new(WindowKind::Rect, 16);
+        assert!(w.coefficients().iter().all(|&c| c == 1.0));
+        assert!((w.coherent_gain() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hann_is_symmetric_and_tapered() {
+        let w = Window::new(WindowKind::Hann, 33);
+        let c = w.coefficients();
+        for i in 0..c.len() {
+            assert!((c[i] - c[c.len() - 1 - i]).abs() < 1e-12, "asymmetric at {i}");
+        }
+        assert!(c[0].abs() < 1e-12 && (c[16] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_kinds_bounded_in_unit_interval() {
+        for kind in [
+            WindowKind::Rect,
+            WindowKind::Hann,
+            WindowKind::Hamming,
+            WindowKind::Blackman,
+            WindowKind::Triangular,
+        ] {
+            let w = Window::new(kind, 64);
+            for &c in w.coefficients() {
+                assert!((-1e-12..=1.0 + 1e-12).contains(&c), "{kind} out of range: {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn apply_scales_samples() {
+        let w = Window::new(WindowKind::Triangular, 5);
+        let mut f = vec![2.0; 5];
+        w.apply(&mut f);
+        assert!((f[2] - 2.0).abs() < 1e-12);
+        assert!(f[0].abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_one_window_is_unity() {
+        for kind in [WindowKind::Hann, WindowKind::Blackman] {
+            let w = Window::new(kind, 1);
+            assert_eq!(w.coefficients(), &[1.0]);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(WindowKind::Hann.to_string(), "hann");
+        assert_eq!(WindowKind::Blackman.to_string(), "blackman");
+    }
+}

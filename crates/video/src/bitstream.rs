@@ -1,0 +1,98 @@
+//! Bit-level stream I/O plus JPEG-style amplitude coding.
+//!
+//! The writer/reader live in [`signal::bits`] (they are shared with the
+//! audio framer and the DRM serializer) and are re-exported here; this
+//! module adds the size-category amplitude coding used by the video
+//! entropy coder.
+
+pub use signal::bits::{BitReader, BitWriter, OutOfBitsError};
+
+/// Writes a signed value as a size-category amplitude, JPEG style: the
+/// magnitude category `size` must already be known to the reader. Negative
+/// values are stored one's-complement within `size` bits.
+pub fn write_amplitude(w: &mut BitWriter, value: i32, size: u32) {
+    if size == 0 {
+        return;
+    }
+    let bits = if value >= 0 {
+        value as u32
+    } else {
+        // One's complement representation in `size` bits.
+        (value - 1 + (1 << size)) as u32
+    };
+    w.write_bits(bits & ((1u32 << size) - 1), size);
+}
+
+/// Reads an amplitude written by [`write_amplitude`].
+///
+/// # Errors
+///
+/// Returns [`OutOfBitsError`] at end of stream.
+pub fn read_amplitude(r: &mut BitReader<'_>, size: u32) -> Result<i32, OutOfBitsError> {
+    if size == 0 {
+        return Ok(0);
+    }
+    let bits = r.read_bits(size)?;
+    let threshold = 1u32 << (size - 1);
+    Ok(if bits >= threshold {
+        bits as i32
+    } else {
+        bits as i32 - (1 << size) + 1
+    })
+}
+
+/// Magnitude category of a value: the number of bits needed for `|v|`
+/// (0 for 0), as used by JPEG-style entropy coding.
+#[must_use]
+pub fn size_category(v: i32) -> u32 {
+    let mag = v.unsigned_abs();
+    32 - mag.leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amplitude_round_trip_all_sizes() {
+        for v in [-2047, -1024, -255, -3, -1, 0, 1, 2, 100, 1023, 2047] {
+            let size = size_category(v);
+            let mut w = BitWriter::new();
+            write_amplitude(&mut w, v, size);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            assert_eq!(read_amplitude(&mut r, size).unwrap(), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn size_categories_match_jpeg_table() {
+        assert_eq!(size_category(0), 0);
+        assert_eq!(size_category(1), 1);
+        assert_eq!(size_category(-1), 1);
+        assert_eq!(size_category(2), 2);
+        assert_eq!(size_category(3), 2);
+        assert_eq!(size_category(-4), 3);
+        assert_eq!(size_category(255), 8);
+        assert_eq!(size_category(-256), 9);
+    }
+
+    #[test]
+    fn zero_size_amplitude_is_zero_bits() {
+        let mut w = BitWriter::new();
+        write_amplitude(&mut w, 0, 0);
+        assert_eq!(w.bit_len(), 0);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(read_amplitude(&mut r, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn reexports_are_usable() {
+        let mut w = BitWriter::new();
+        w.write_bits(0x3, 2);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(2).unwrap(), 3);
+    }
+}

@@ -1,0 +1,365 @@
+//! The video decoder: Figure 1 run in reverse.
+//!
+//! Variable-length decode → inverse quantizer → inverse DCT, plus the
+//! motion-compensated predictor fed by the decoded vectors. Because the
+//! encoder's reconstruction loop mirrors this code exactly, decoder output
+//! is bit-identical to the encoder's internal reference frames.
+
+use crate::bitstream::{read_amplitude, BitReader, OutOfBitsError};
+use crate::dct::{Dct2d, BLOCK};
+use crate::encoder::{FrameKind, MAGIC, MV_BITS};
+use crate::frame::Frame;
+use crate::huffman::{HuffmanCode, HuffmanError};
+use crate::me::{BlockMotion, MotionField, MotionVector};
+use crate::plane::Plane8;
+use crate::quant::{Quantizer, BASE_MATRIX, FLAT_MATRIX};
+use crate::rle::{self, RleEvent};
+use crate::zigzag;
+
+/// Errors decoding a bitstream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecodeError {
+    /// The stream does not start with the expected magic number.
+    BadMagic(u32),
+    /// The stream ended prematurely.
+    Truncated(OutOfBitsError),
+    /// Entropy decoding failed.
+    Huffman(HuffmanError),
+    /// A quality value outside 1..=100 appeared in a frame header.
+    BadQuality(u8),
+    /// Run-length data overflowed a block.
+    BadBlock,
+    /// Frame dimensions in the header are invalid.
+    BadDimensions,
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DecodeError::BadMagic(m) => write!(f, "bad magic {m:#x}"),
+            DecodeError::Truncated(e) => write!(f, "truncated stream: {e}"),
+            DecodeError::Huffman(e) => write!(f, "entropy decode failed: {e}"),
+            DecodeError::BadQuality(q) => write!(f, "invalid quality {q} in stream"),
+            DecodeError::BadBlock => f.write_str("run-length data overflows a block"),
+            DecodeError::BadDimensions => f.write_str("invalid dimensions in header"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<OutOfBitsError> for DecodeError {
+    fn from(e: OutOfBitsError) -> Self {
+        DecodeError::Truncated(e)
+    }
+}
+
+impl From<HuffmanError> for DecodeError {
+    fn from(e: HuffmanError) -> Self {
+        DecodeError::Huffman(e)
+    }
+}
+
+/// A decoded sequence with the per-frame kinds seen in the stream.
+#[derive(Debug, Clone)]
+pub struct DecodedSequence {
+    /// The reconstructed frames.
+    pub frames: Vec<Frame>,
+    /// Frame kinds in stream order.
+    pub kinds: Vec<FrameKind>,
+    /// Total operations spent in the inverse transform path (IDCT blocks),
+    /// the decoder-side cost proxy for experiment E3.
+    pub idct_blocks: u64,
+    /// Motion-compensated pixels produced.
+    pub mc_pixels: u64,
+}
+
+/// Decodes a bitstream produced by [`crate::encoder::Encoder`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on malformed input.
+///
+/// # Example
+///
+/// ```
+/// use video::decoder::decode;
+/// use video::encoder::{Encoder, EncoderConfig};
+/// use video::synth::SequenceGen;
+///
+/// let frames = SequenceGen::new(3).panning_sequence(32, 32, 4, 1, 0);
+/// let encoded = Encoder::new(EncoderConfig::default()).unwrap().encode(&frames).unwrap();
+/// let decoded = decode(&encoded.bytes)?;
+/// assert_eq!(decoded.frames.len(), 4);
+/// # Ok::<(), video::decoder::DecodeError>(())
+/// ```
+pub fn decode(bytes: &[u8]) -> Result<DecodedSequence, DecodeError> {
+    let mut r = BitReader::new(bytes);
+    let magic = r.read_bits(16)?;
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    let w = r.read_bits(8)? as usize * 16;
+    let h = r.read_bits(8)? as usize * 16;
+    if w == 0 || h == 0 {
+        return Err(DecodeError::BadDimensions);
+    }
+    let frame_count = r.read_bits(16)? as usize;
+    let dc_code = HuffmanCode::read_table(&mut r)?;
+    let ac_code = HuffmanCode::read_table(&mut r)?;
+
+    let dct = Dct2d::new();
+    let mut frames: Vec<Frame> = Vec::with_capacity(frame_count);
+    let mut kinds = Vec::with_capacity(frame_count);
+    let mut reference: Option<Frame> = None;
+    let mut idct_blocks = 0u64;
+    let mut mc_pixels = 0u64;
+
+    let mb_cols = w / 16;
+    let mb_rows = h / 16;
+
+    for _ in 0..frame_count {
+        let predicted = r.read_bit()?;
+        let quality = r.read_bits(7)? as u8;
+        if quality == 0 || quality > 100 {
+            return Err(DecodeError::BadQuality(quality));
+        }
+        let kind = if predicted {
+            FrameKind::Predicted
+        } else {
+            FrameKind::Intra
+        };
+        // Motion vectors.
+        let field = if predicted {
+            let mut blocks = Vec::with_capacity(mb_cols * mb_rows);
+            for _ in 0..mb_cols * mb_rows {
+                let dx = sign_extend_6(r.read_bits(MV_BITS)?);
+                let dy = sign_extend_6(r.read_bits(MV_BITS)?);
+                blocks.push(BlockMotion {
+                    mv: MotionVector::new(dx, dy),
+                    sad: 0,
+                    evaluations: 0,
+                });
+            }
+            Some(MotionField {
+                cols: mb_cols,
+                rows: mb_rows,
+                blocks,
+            })
+        } else {
+            None
+        };
+
+        let matrix = if predicted { &FLAT_MATRIX } else { &BASE_MATRIX };
+        let quant = Quantizer::from_quality_with_matrix(quality, matrix)
+            .map_err(|e| DecodeError::BadQuality(e.0))?;
+
+        let ref_planes = reference.as_ref().map(|f| {
+            [
+                Plane8::new(w, h, f.luma().to_vec()),
+                Plane8::new(w / 2, h / 2, f.cb().to_vec()),
+                Plane8::new(w / 2, h / 2, f.cr().to_vec()),
+            ]
+        });
+
+        let mut out_planes: Vec<Plane8> = Vec::with_capacity(3);
+        for pi in 0..3 {
+            let (pw, ph) = if pi == 0 { (w, h) } else { (w / 2, h / 2) };
+            let chroma = pi > 0;
+            let (cols, rows) = (pw / BLOCK, ph / BLOCK);
+            let mut plane = Plane8::filled(pw, ph, 128);
+            let mut prev_dc = 0i16;
+            for by in 0..rows {
+                for bx in 0..cols {
+                    // DC.
+                    let size = dc_code.decode(&mut r)? as u32;
+                    let diff = read_amplitude(&mut r, size)?;
+                    let dc = prev_dc + diff as i16;
+                    prev_dc = dc;
+                    // AC events until EOB or 63 coefficients.
+                    let mut events = Vec::new();
+                    let mut coeffs_seen = 0usize;
+                    loop {
+                        let sym = ac_code.decode(&mut r)?;
+                        let ev = if sym == 0x00 {
+                            RleEvent::EndOfBlock
+                        } else if sym == 0xF0 {
+                            RleEvent::ZeroRunLength
+                        } else {
+                            let size = (sym & 0x0F) as u32;
+                            let amp = read_amplitude(&mut r, size)?;
+                            rle::event_from_symbol(sym, amp)
+                        };
+                        match ev {
+                            RleEvent::EndOfBlock => {
+                                events.push(ev);
+                                break;
+                            }
+                            RleEvent::ZeroRunLength => {
+                                coeffs_seen += 16;
+                                events.push(ev);
+                            }
+                            RleEvent::Run { run, .. } => {
+                                coeffs_seen += run as usize + 1;
+                                events.push(ev);
+                            }
+                        }
+                        if coeffs_seen > 63 {
+                            return Err(DecodeError::BadBlock);
+                        }
+                        if coeffs_seen == 63 {
+                            break;
+                        }
+                    }
+                    let mut scanned = rle::decode_ac(&events).map_err(|_| DecodeError::BadBlock)?;
+                    scanned[0] = dc;
+                    let levels = zigzag::unscan(&scanned);
+                    let coeffs = quant.dequantize(&levels);
+                    idct_blocks += 1;
+                    if predicted {
+                        let rp = &ref_planes.as_ref().ok_or(DecodeError::BadBlock)?[pi];
+                        let f = field.as_ref().expect("field exists for P frames");
+                        let (mbx, mby) = if chroma { (bx, by) } else { (bx / 2, by / 2) };
+                        let mv = f.at(mbx.min(f.cols - 1), mby.min(f.rows - 1)).mv;
+                        let (dx, dy) = if chroma { (mv.dx / 2, mv.dy / 2) } else { (mv.dx, mv.dy) };
+                        let pred =
+                            rp.block_at((bx * BLOCK) as i32 + dx, (by * BLOCK) as i32 + dy, BLOCK);
+                        mc_pixels += (BLOCK * BLOCK) as u64;
+                        let res = dct.inverse(&coeffs);
+                        let rec: Vec<u8> = pred
+                            .iter()
+                            .zip(res.iter())
+                            .map(|(&p, &rv)| (p as f64 + rv).round().clamp(0.0, 255.0) as u8)
+                            .collect();
+                        plane.set_block(bx * BLOCK, by * BLOCK, BLOCK, &rec);
+                    } else {
+                        let rec = dct.inverse_to_pixels(&coeffs);
+                        plane.set_block(bx * BLOCK, by * BLOCK, BLOCK, &rec);
+                    }
+                }
+            }
+            out_planes.push(plane);
+        }
+        let cr = out_planes.pop().expect("three planes");
+        let cb = out_planes.pop().expect("three planes");
+        let y = out_planes.pop().expect("three planes");
+        let frame = Frame::from_planes(w, h, y.into_data(), cb.into_data(), cr.into_data())
+            .map_err(|_| DecodeError::BadDimensions)?;
+        reference = Some(frame.clone());
+        frames.push(frame);
+        kinds.push(kind);
+    }
+
+    Ok(DecodedSequence {
+        frames,
+        kinds,
+        idct_blocks,
+        mc_pixels,
+    })
+}
+
+fn sign_extend_6(v: u32) -> i32 {
+    let v = v as i32;
+    if v >= 32 {
+        v - 64
+    } else {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{Encoder, EncoderConfig};
+    use crate::synth::SequenceGen;
+    use signal::metrics::psnr_u8;
+
+    fn round_trip(config: EncoderConfig, n: usize) -> (Vec<Frame>, DecodedSequence, f64) {
+        let frames = SequenceGen::new(55).panning_sequence(64, 48, n, 2, 1);
+        let enc = Encoder::new(config).unwrap().encode(&frames).unwrap();
+        let dec = decode(&enc.bytes).unwrap();
+        let mean_psnr = enc.mean_psnr_db();
+        (frames, dec, mean_psnr)
+    }
+
+    #[test]
+    fn decoder_matches_encoder_reconstruction() {
+        let (frames, dec, enc_psnr) = round_trip(EncoderConfig::default(), 8);
+        assert_eq!(dec.frames.len(), frames.len());
+        // Decoder output PSNR vs source must equal the encoder's internal
+        // reconstruction PSNR (same loop, same arithmetic).
+        let mut psnrs = Vec::new();
+        for (src, out) in frames.iter().zip(&dec.frames) {
+            psnrs.push(psnr_u8(src.luma(), out.luma()).unwrap());
+        }
+        let dec_psnr = psnrs.iter().sum::<f64>() / psnrs.len() as f64;
+        assert!(
+            (dec_psnr - enc_psnr).abs() < 1e-9,
+            "decoder drifted from encoder loop: {dec_psnr} vs {enc_psnr}"
+        );
+    }
+
+    #[test]
+    fn kinds_survive_the_stream() {
+        let (_, dec, _) = round_trip(EncoderConfig { gop: 3, ..Default::default() }, 7);
+        for (i, k) in dec.kinds.iter().enumerate() {
+            let expect = if i % 3 == 0 { FrameKind::Intra } else { FrameKind::Predicted };
+            assert_eq!(*k, expect);
+        }
+    }
+
+    #[test]
+    fn all_intra_stream_decodes() {
+        let (frames, dec, _) = round_trip(EncoderConfig { gop: 1, ..Default::default() }, 4);
+        assert!(dec.kinds.iter().all(|k| *k == FrameKind::Intra));
+        for (src, out) in frames.iter().zip(&dec.frames) {
+            assert!(psnr_u8(src.luma(), out.luma()).unwrap() > 28.0);
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(decode(&[0, 0, 0, 0]), Err(DecodeError::BadMagic(0))));
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let frames = SequenceGen::new(1).panning_sequence(32, 32, 2, 1, 0);
+        let enc = Encoder::new(EncoderConfig::default())
+            .unwrap()
+            .encode(&frames)
+            .unwrap();
+        let cut = &enc.bytes[..enc.bytes.len() / 2];
+        assert!(matches!(
+            decode(cut),
+            Err(DecodeError::Truncated(_)) | Err(DecodeError::Huffman(_))
+        ));
+    }
+
+    #[test]
+    fn decoder_is_cheaper_than_encoder_for_broadcast_config() {
+        // E3's asymmetry claim, at the ops level: decoder does no motion
+        // search, so its MC+IDCT work is far below the encoder's ME work.
+        let frames = SequenceGen::new(8).panning_sequence(64, 48, 8, 2, 0);
+        let enc = Encoder::new(EncoderConfig::asymmetric_broadcast())
+            .unwrap()
+            .encode(&frames)
+            .unwrap();
+        let dec = decode(&enc.bytes).unwrap();
+        let decoder_ops = dec.idct_blocks * 2 * 512 + dec.mc_pixels;
+        assert!(
+            enc.tally.me_pixel_ops > 5 * decoder_ops,
+            "encoder ME {} should dwarf decoder {}",
+            enc.tally.me_pixel_ops,
+            decoder_ops
+        );
+    }
+
+    #[test]
+    fn sign_extension() {
+        assert_eq!(sign_extend_6(0), 0);
+        assert_eq!(sign_extend_6(31), 31);
+        assert_eq!(sign_extend_6(32), -32);
+        assert_eq!(sign_extend_6(63), -1);
+    }
+}

@@ -1,0 +1,752 @@
+//! The video encoder of the paper's Figure 1.
+//!
+//! Stage for stage: **DCT → quantizer → variable-length encode → buffer**,
+//! with the feedback loop **inverse DCT → motion-compensated predictor →
+//! motion estimator** reconstructing exactly what the decoder will see so
+//! prediction drift cannot accumulate. The optional rate controller closes
+//! the buffer→quantizer feedback arrow.
+//!
+//! The encoder is deliberately a *clean-room MPEG-shaped* codec, not a
+//! standard-conformant one (DESIGN.md §5): 16×16 macroblock motion, 8×8
+//! DCT, zig-zag + run-length + canonical Huffman entropy coding, I/P GOP
+//! structure, 4:2:0 chroma with halved motion vectors.
+
+use signal::metrics::psnr_u8;
+
+use crate::bitstream::{size_category, write_amplitude, BitWriter};
+use crate::dct::{Dct2d, BLOCK};
+use crate::frame::Frame;
+use crate::huffman::{HuffmanCode, HuffmanError};
+use crate::me::{MotionEstimator, MotionField, SearchKind, MB};
+use crate::plane::Plane8;
+use crate::quant::{BadQualityError, Quantizer, BASE_MATRIX, FLAT_MATRIX};
+use crate::rate::{RateConfig, RateController};
+use crate::rle;
+use crate::zigzag;
+
+/// Frame coding kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Intra-coded: no prediction.
+    Intra,
+    /// Predicted from the previous reconstructed frame.
+    Predicted,
+}
+
+impl core::fmt::Display for FrameKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            FrameKind::Intra => "I",
+            FrameKind::Predicted => "P",
+        })
+    }
+}
+
+/// Encoder configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EncoderConfig {
+    /// Base quality (1..=100) used when no rate control is active.
+    pub quality: u8,
+    /// GOP length: an I frame every `gop` frames (1 = all intra).
+    pub gop: usize,
+    /// Motion search strategy.
+    pub search: SearchKind,
+    /// Motion search range (±pixels, max 31).
+    pub search_range: i32,
+    /// Optional buffer-feedback rate control (Figure 1's dashed arrow).
+    pub rate: Option<RateConfig>,
+}
+
+impl Default for EncoderConfig {
+    /// Quality 75, GOP 12, full search ±15, no rate control.
+    fn default() -> Self {
+        Self {
+            quality: 75,
+            gop: 12,
+            search: SearchKind::Full,
+            search_range: 15,
+            rate: None,
+        }
+    }
+}
+
+impl EncoderConfig {
+    /// A broadcast-style asymmetric configuration: exhaustive motion
+    /// search, long GOP (expensive encoder, cheap decoder — §2).
+    #[must_use]
+    pub fn asymmetric_broadcast() -> Self {
+        Self {
+            search: SearchKind::Full,
+            search_range: 15,
+            gop: 15,
+            ..Self::default()
+        }
+    }
+
+    /// A videoconference-style symmetric configuration: cheap diamond
+    /// search, short GOP (§2: both ends must encode and decode).
+    #[must_use]
+    pub fn symmetric_conference() -> Self {
+        Self {
+            search: SearchKind::Diamond,
+            search_range: 7,
+            gop: 8,
+            ..Self::default()
+        }
+    }
+}
+
+/// Errors from encoding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EncoderError {
+    /// No frames supplied.
+    Empty,
+    /// Quality outside 1..=100.
+    BadQuality(BadQualityError),
+    /// GOP length of zero.
+    ZeroGop,
+    /// Search range outside 1..=31 (the bitstream stores 6-bit vectors).
+    BadSearchRange(i32),
+    /// Frames in the sequence have differing dimensions.
+    MixedDimensions,
+    /// Entropy coding failed (internal).
+    Huffman(HuffmanError),
+}
+
+impl core::fmt::Display for EncoderError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EncoderError::Empty => f.write_str("no frames to encode"),
+            EncoderError::BadQuality(e) => write!(f, "{e}"),
+            EncoderError::ZeroGop => f.write_str("gop length must be at least 1"),
+            EncoderError::BadSearchRange(r) => write!(f, "search range {r} outside 1..=31"),
+            EncoderError::MixedDimensions => f.write_str("frames have differing dimensions"),
+            EncoderError::Huffman(e) => write!(f, "entropy coding failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EncoderError {}
+
+impl From<BadQualityError> for EncoderError {
+    fn from(e: BadQualityError) -> Self {
+        EncoderError::BadQuality(e)
+    }
+}
+
+impl From<HuffmanError> for EncoderError {
+    fn from(e: HuffmanError) -> Self {
+        EncoderError::Huffman(e)
+    }
+}
+
+/// Per-stage operation tallies for one encode run — the calibration data
+/// the MPSoC deployment layer (and experiment E1) consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageTally {
+    /// SAD evaluations performed by the motion estimator.
+    pub me_sad_evaluations: u64,
+    /// Pixels compared per SAD (16×16) times evaluations.
+    pub me_pixel_ops: u64,
+    /// Forward 8×8 DCTs performed.
+    pub dct_blocks: u64,
+    /// Inverse 8×8 DCTs performed (reconstruction loop).
+    pub idct_blocks: u64,
+    /// Coefficients quantized.
+    pub quant_coeffs: u64,
+    /// Entropy symbols emitted (DC + AC + motion vectors).
+    pub vlc_symbols: u64,
+    /// Pixels produced by motion-compensated prediction.
+    pub mc_pixels: u64,
+}
+
+impl StageTally {
+    /// Multiply–accumulate operations implied by the transform stages
+    /// (row–column 2-D DCT = `2·8·8·8` MACs per block).
+    #[must_use]
+    pub fn dct_macs(&self) -> u64 {
+        (self.dct_blocks + self.idct_blocks) * 2 * 8 * 8 * 8
+    }
+}
+
+/// Statistics for one encoded frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameStats {
+    /// I or P.
+    pub kind: FrameKind,
+    /// Quality actually used.
+    pub quality: u8,
+    /// Exact bits this frame occupies in the stream.
+    pub bits: usize,
+    /// Luma PSNR of the reconstruction against the source, dB.
+    pub psnr_luma_db: f64,
+}
+
+/// A complete encoded sequence.
+#[derive(Debug, Clone)]
+pub struct EncodedSequence {
+    /// The bitstream.
+    pub bytes: Vec<u8>,
+    /// Per-frame statistics.
+    pub frames: Vec<FrameStats>,
+    /// Stage tallies for the whole run.
+    pub tally: StageTally,
+    /// Frame width.
+    pub width: usize,
+    /// Frame height.
+    pub height: usize,
+}
+
+impl EncodedSequence {
+    /// Total bits in the stream.
+    #[must_use]
+    pub fn total_bits(&self) -> usize {
+        self.bytes.len() * 8
+    }
+
+    /// Mean bits per frame.
+    #[must_use]
+    pub fn mean_bits_per_frame(&self) -> f64 {
+        if self.frames.is_empty() {
+            0.0
+        } else {
+            self.frames.iter().map(|f| f.bits as f64).sum::<f64>() / self.frames.len() as f64
+        }
+    }
+
+    /// Mean luma PSNR across frames, dB.
+    #[must_use]
+    pub fn mean_psnr_db(&self) -> f64 {
+        if self.frames.is_empty() {
+            0.0
+        } else {
+            self.frames
+                .iter()
+                .map(|f| f.psnr_luma_db)
+                .sum::<f64>()
+                / self.frames.len() as f64
+        }
+    }
+
+    /// Compression ratio against raw 4:2:0 8-bit video.
+    #[must_use]
+    pub fn compression_ratio(&self) -> f64 {
+        let raw_bits = self.frames.len() * self.width * self.height * 12; // 12 bpp for 4:2:0
+        raw_bits as f64 / self.total_bits().max(1) as f64
+    }
+}
+
+/// Magic number opening every sequence.
+pub(crate) const MAGIC: u32 = 0x5657; // "VW"
+pub(crate) const MV_BITS: u32 = 6;
+pub(crate) const DC_ALPHABET: usize = 16;
+pub(crate) const AC_ALPHABET: usize = 256;
+
+/// Analysis result for one plane of one frame: quantized levels per block.
+struct PlaneLevels {
+    /// One `[i16; 64]` zig-zag-scanned block after quantization, row-major.
+    blocks: Vec<[i16; BLOCK * BLOCK]>,
+    cols: usize,
+}
+
+/// Analysis result for one frame.
+struct FrameAnalysis {
+    kind: FrameKind,
+    quality: u8,
+    field: Option<MotionField>,
+    planes: Vec<PlaneLevels>, // y, cb, cr
+    psnr_luma_db: f64,
+}
+
+/// The encoder.
+///
+/// # Example
+///
+/// ```
+/// use video::encoder::{Encoder, EncoderConfig};
+/// use video::synth::SequenceGen;
+///
+/// let frames = SequenceGen::new(7).panning_sequence(64, 48, 6, 1, 0);
+/// let encoded = Encoder::new(EncoderConfig::default())?.encode(&frames)?;
+/// assert!(encoded.compression_ratio() > 4.0);
+/// # Ok::<(), video::encoder::EncoderError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    config: EncoderConfig,
+    dct: Dct2d,
+}
+
+impl Encoder {
+    /// Creates an encoder after validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncoderError`] for invalid quality, GOP, or search range.
+    pub fn new(config: EncoderConfig) -> Result<Self, EncoderError> {
+        Quantizer::from_quality(config.quality)?;
+        if config.gop == 0 {
+            return Err(EncoderError::ZeroGop);
+        }
+        if !(1..=31).contains(&config.search_range) {
+            return Err(EncoderError::BadSearchRange(config.search_range));
+        }
+        Ok(Self {
+            config,
+            dct: Dct2d::new(),
+        })
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &EncoderConfig {
+        &self.config
+    }
+
+    /// Encodes a sequence of equally-sized frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncoderError::Empty`] for an empty slice and
+    /// [`EncoderError::MixedDimensions`] if frame sizes differ.
+    pub fn encode(&self, frames: &[Frame]) -> Result<EncodedSequence, EncoderError> {
+        let first = frames.first().ok_or(EncoderError::Empty)?;
+        let (w, h) = (first.width(), first.height());
+        if frames.iter().any(|f| f.width() != w || f.height() != h) {
+            return Err(EncoderError::MixedDimensions);
+        }
+
+        let mut tally = StageTally::default();
+        let mut rate = self
+            .config
+            .rate
+            .map(|cfg| RateController::new(cfg, self.config.quality.clamp(cfg.min_quality, cfg.max_quality)));
+
+        // ---- Pass 1: analyse every frame, producing levels + stats and
+        // maintaining the reconstruction loop of Figure 1.
+        let mut analyses = Vec::with_capacity(frames.len());
+        let mut reference: Option<Frame> = None;
+        for (idx, frame) in frames.iter().enumerate() {
+            let quality = rate
+                .as_ref()
+                .map(|r| r.quality())
+                .unwrap_or(self.config.quality);
+            let forced_intra = idx % self.config.gop == 0 || reference.is_none();
+            let analysis = if forced_intra {
+                self.analyse_intra(frame, quality, &mut tally, &mut reference)?
+            } else {
+                let reference_frame = reference.take().expect("reference exists for P frames");
+                self.analyse_predicted(frame, &reference_frame, quality, &mut tally, &mut reference)?
+            };
+            if let Some(rc) = rate.as_mut() {
+                rc.frame_encoded(Self::estimate_bits(&analysis));
+            }
+            analyses.push(analysis);
+        }
+
+        // ---- Build entropy codes from global symbol statistics.
+        let mut dc_freq = vec![0u64; DC_ALPHABET];
+        let mut ac_freq = vec![0u64; AC_ALPHABET];
+        for a in &analyses {
+            for plane in &a.planes {
+                let mut prev_dc = 0i16;
+                for blk in &plane.blocks {
+                    let diff = blk[0] - prev_dc;
+                    prev_dc = blk[0];
+                    dc_freq[size_category(diff as i32) as usize] += 1;
+                    for ev in rle::encode_ac(blk) {
+                        ac_freq[rle::event_symbol(&ev) as usize] += 1;
+                    }
+                }
+            }
+        }
+        // Guarantee EOB exists so the tables are never empty.
+        ac_freq[0x00] = ac_freq[0x00].max(1);
+        dc_freq[0] = dc_freq[0].max(1);
+        let dc_code = HuffmanCode::from_frequencies(&dc_freq)?;
+        let ac_code = HuffmanCode::from_frequencies(&ac_freq)?;
+
+        // ---- Pass 2: emit the bitstream.
+        let mut writer = BitWriter::new();
+        writer.write_bits(MAGIC, 16);
+        writer.write_bits((w / 16) as u32, 8);
+        writer.write_bits((h / 16) as u32, 8);
+        writer.write_bits(frames.len() as u32, 16);
+        dc_code.write_table(&mut writer);
+        ac_code.write_table(&mut writer);
+
+        let mut stats = Vec::with_capacity(analyses.len());
+        for a in &analyses {
+            let start_bits = writer.bit_len();
+            writer.write_bit(a.kind == FrameKind::Predicted);
+            writer.write_bits(a.quality as u32, 7);
+            if let Some(field) = &a.field {
+                for b in &field.blocks {
+                    writer.write_bits((b.mv.dx & 0x3F) as u32, MV_BITS);
+                    writer.write_bits((b.mv.dy & 0x3F) as u32, MV_BITS);
+                    tally.vlc_symbols += 2;
+                }
+            }
+            for plane in &a.planes {
+                let mut prev_dc = 0i16;
+                for blk in &plane.blocks {
+                    let diff = (blk[0] - prev_dc) as i32;
+                    prev_dc = blk[0];
+                    let size = size_category(diff);
+                    dc_code.encode(&mut writer, size as u16)?;
+                    write_amplitude(&mut writer, diff, size);
+                    tally.vlc_symbols += 1;
+                    for ev in rle::encode_ac(blk) {
+                        ac_code.encode(&mut writer, rle::event_symbol(&ev))?;
+                        if let Some((v, s)) = rle::event_amplitude(&ev) {
+                            write_amplitude(&mut writer, v, s);
+                        }
+                        tally.vlc_symbols += 1;
+                    }
+                }
+            }
+            stats.push(FrameStats {
+                kind: a.kind,
+                quality: a.quality,
+                bits: writer.bit_len() - start_bits,
+                psnr_luma_db: a.psnr_luma_db,
+            });
+        }
+
+        Ok(EncodedSequence {
+            bytes: writer.into_bytes(),
+            frames: stats,
+            tally,
+            width: w,
+            height: h,
+        })
+    }
+
+    /// Rough bit estimate for rate control, available before entropy
+    /// coding: 5 bits per symbol plus amplitude bits plus vector bits.
+    fn estimate_bits(a: &FrameAnalysis) -> f64 {
+        let mut bits = 8.0;
+        if let Some(f) = &a.field {
+            bits += (f.blocks.len() * 12) as f64;
+        }
+        for plane in &a.planes {
+            let mut prev_dc = 0i16;
+            for blk in &plane.blocks {
+                let diff = blk[0] - prev_dc;
+                prev_dc = blk[0];
+                bits += 5.0 + size_category(diff as i32) as f64;
+                for ev in rle::encode_ac(blk) {
+                    bits += 5.0;
+                    if let Some((_, s)) = rle::event_amplitude(&ev) {
+                        bits += s as f64;
+                    }
+                }
+            }
+        }
+        bits
+    }
+
+    /// Splits a frame into its three planes.
+    fn planes_of(frame: &Frame) -> [Plane8; 3] {
+        [
+            Plane8::new(frame.width(), frame.height(), frame.luma().to_vec()),
+            Plane8::new(frame.width() / 2, frame.height() / 2, frame.cb().to_vec()),
+            Plane8::new(frame.width() / 2, frame.height() / 2, frame.cr().to_vec()),
+        ]
+    }
+
+    fn frame_from_planes(w: usize, h: usize, planes: [Plane8; 3]) -> Frame {
+        let [y, cb, cr] = planes;
+        Frame::from_planes(w, h, y.into_data(), cb.into_data(), cr.into_data())
+            .expect("plane sizes are consistent by construction")
+    }
+
+    /// Intra analysis: transform-code every plane directly.
+    fn analyse_intra(
+        &self,
+        frame: &Frame,
+        quality: u8,
+        tally: &mut StageTally,
+        reference: &mut Option<Frame>,
+    ) -> Result<FrameAnalysis, EncoderError> {
+        let quant = Quantizer::from_quality_with_matrix(quality, &BASE_MATRIX)?;
+        let mut planes = Vec::with_capacity(3);
+        let mut recon_planes = Vec::with_capacity(3);
+        for plane in Self::planes_of(frame) {
+            let (cols, rows) = plane.blocks(BLOCK);
+            let mut blocks = Vec::with_capacity(cols * rows);
+            let mut recon = Plane8::filled(plane.width(), plane.height(), 128);
+            for by in 0..rows {
+                for bx in 0..cols {
+                    let px = plane.block_at((bx * BLOCK) as i32, (by * BLOCK) as i32, BLOCK);
+                    let coeffs = self.dct.forward_pixels(&px);
+                    tally.dct_blocks += 1;
+                    let levels = quant.quantize(&coeffs);
+                    tally.quant_coeffs += 64;
+                    let scanned = zigzag::scan(&levels);
+                    blocks.push(scanned);
+                    // Reconstruction loop (decoder mirror).
+                    let rec = self.dct.inverse_to_pixels(&quant.dequantize(&levels));
+                    tally.idct_blocks += 1;
+                    recon.set_block(bx * BLOCK, by * BLOCK, BLOCK, &rec);
+                }
+            }
+            planes.push(PlaneLevels { blocks, cols });
+            recon_planes.push(recon);
+        }
+        let recon_frame = Self::frame_from_planes(
+            frame.width(),
+            frame.height(),
+            recon_planes
+                .try_into()
+                .expect("exactly three planes"),
+        );
+        let psnr = psnr_u8(frame.luma(), recon_frame.luma()).expect("same dimensions");
+        *reference = Some(recon_frame);
+        Ok(FrameAnalysis {
+            kind: FrameKind::Intra,
+            quality,
+            field: None,
+            planes,
+            psnr_luma_db: psnr,
+        })
+    }
+
+    /// Predicted-frame analysis: motion estimation against the
+    /// reconstructed reference, residual transform coding, reconstruction.
+    fn analyse_predicted(
+        &self,
+        frame: &Frame,
+        reference: &Frame,
+        quality: u8,
+        tally: &mut StageTally,
+        new_reference: &mut Option<Frame>,
+    ) -> Result<FrameAnalysis, EncoderError> {
+        let me = MotionEstimator::new(self.config.search, self.config.search_range);
+        let field = me.estimate(frame, reference);
+        tally.me_sad_evaluations += field.total_evaluations();
+        tally.me_pixel_ops += field.total_evaluations() * (MB * MB) as u64;
+
+        let quant = Quantizer::from_quality_with_matrix(quality, &FLAT_MATRIX)?;
+        let cur_planes = Self::planes_of(frame);
+        let ref_planes = Self::planes_of(reference);
+        let mut planes = Vec::with_capacity(3);
+        let mut recon_planes = Vec::with_capacity(3);
+
+        for (pi, (cur, rp)) in cur_planes.iter().zip(ref_planes.iter()).enumerate() {
+            let chroma = pi > 0;
+            let (cols, rows) = cur.blocks(BLOCK);
+            let mut blocks = Vec::with_capacity(cols * rows);
+            let mut recon = Plane8::filled(cur.width(), cur.height(), 128);
+            for by in 0..rows {
+                for bx in 0..cols {
+                    // The governing 16x16 luma macroblock for this 8x8 block.
+                    let (mbx, mby) = if chroma { (bx, by) } else { (bx / 2, by / 2) };
+                    let mv = field.at(mbx.min(field.cols - 1), mby.min(field.rows - 1)).mv;
+                    let (dx, dy) = if chroma { (mv.dx / 2, mv.dy / 2) } else { (mv.dx, mv.dy) };
+                    let pred = rp.block_at(
+                        (bx * BLOCK) as i32 + dx,
+                        (by * BLOCK) as i32 + dy,
+                        BLOCK,
+                    );
+                    tally.mc_pixels += (BLOCK * BLOCK) as u64;
+                    let cur_blk = cur.block_at((bx * BLOCK) as i32, (by * BLOCK) as i32, BLOCK);
+                    // Residual (no level shift: it is already signed).
+                    let residual: Vec<f64> = cur_blk
+                        .iter()
+                        .zip(&pred)
+                        .map(|(&c, &p)| c as f64 - p as f64)
+                        .collect();
+                    let coeffs = self.dct.forward(&residual);
+                    tally.dct_blocks += 1;
+                    let levels = quant.quantize(&coeffs);
+                    tally.quant_coeffs += 64;
+                    blocks.push(zigzag::scan(&levels));
+                    // Reconstruction.
+                    let rec_res = self.dct.inverse(&quant.dequantize(&levels));
+                    tally.idct_blocks += 1;
+                    let rec: Vec<u8> = pred
+                        .iter()
+                        .zip(rec_res.iter())
+                        .map(|(&p, &r)| (p as f64 + r).round().clamp(0.0, 255.0) as u8)
+                        .collect();
+                    recon.set_block(bx * BLOCK, by * BLOCK, BLOCK, &rec);
+                }
+            }
+            planes.push(PlaneLevels { blocks, cols });
+            recon_planes.push(recon);
+        }
+        let recon_frame = Self::frame_from_planes(
+            frame.width(),
+            frame.height(),
+            recon_planes.try_into().expect("exactly three planes"),
+        );
+        let psnr = psnr_u8(frame.luma(), recon_frame.luma()).expect("same dimensions");
+        *new_reference = Some(recon_frame);
+        Ok(FrameAnalysis {
+            kind: FrameKind::Predicted,
+            quality,
+            field: Some(field),
+            planes,
+            psnr_luma_db: psnr,
+        })
+    }
+}
+
+// `PlaneLevels.cols` is carried for debugging/pretty-printing; silence the
+// lint without removing the information.
+impl PlaneLevels {
+    #[allow(dead_code)]
+    fn cols(&self) -> usize {
+        self.cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SequenceGen;
+
+    fn test_frames(n: usize) -> Vec<Frame> {
+        SequenceGen::new(77).panning_sequence(64, 48, n, 2, 1)
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(Encoder::new(EncoderConfig::default()).is_ok());
+        assert!(matches!(
+            Encoder::new(EncoderConfig { quality: 0, ..Default::default() }),
+            Err(EncoderError::BadQuality(_))
+        ));
+        assert!(matches!(
+            Encoder::new(EncoderConfig { gop: 0, ..Default::default() }),
+            Err(EncoderError::ZeroGop)
+        ));
+        assert!(matches!(
+            Encoder::new(EncoderConfig { search_range: 32, ..Default::default() }),
+            Err(EncoderError::BadSearchRange(32))
+        ));
+    }
+
+    #[test]
+    fn empty_and_mixed_inputs_rejected() {
+        let enc = Encoder::new(EncoderConfig::default()).unwrap();
+        assert_eq!(enc.encode(&[]).unwrap_err(), EncoderError::Empty);
+        let mut frames = test_frames(2);
+        frames.push(Frame::grey(32, 32).unwrap());
+        assert_eq!(
+            enc.encode(&frames).unwrap_err(),
+            EncoderError::MixedDimensions
+        );
+    }
+
+    #[test]
+    fn gop_structure_is_respected() {
+        let enc = Encoder::new(EncoderConfig { gop: 4, ..Default::default() }).unwrap();
+        let seq = enc.encode(&test_frames(9)).unwrap();
+        let kinds: Vec<FrameKind> = seq.frames.iter().map(|f| f.kind).collect();
+        for (i, k) in kinds.iter().enumerate() {
+            let expect = if i % 4 == 0 { FrameKind::Intra } else { FrameKind::Predicted };
+            assert_eq!(*k, expect, "frame {i}");
+        }
+    }
+
+    #[test]
+    fn compresses_and_preserves_quality() {
+        let enc = Encoder::new(EncoderConfig::default()).unwrap();
+        let seq = enc.encode(&test_frames(8)).unwrap();
+        assert!(seq.compression_ratio() > 5.0, "ratio {}", seq.compression_ratio());
+        assert!(seq.mean_psnr_db() > 30.0, "psnr {}", seq.mean_psnr_db());
+    }
+
+    #[test]
+    fn p_frames_cost_fewer_bits_than_i_frames() {
+        let enc = Encoder::new(EncoderConfig { gop: 6, ..Default::default() }).unwrap();
+        let seq = enc.encode(&test_frames(12)).unwrap();
+        let i_bits: Vec<usize> = seq
+            .frames
+            .iter()
+            .filter(|f| f.kind == FrameKind::Intra)
+            .map(|f| f.bits)
+            .collect();
+        let p_bits: Vec<usize> = seq
+            .frames
+            .iter()
+            .filter(|f| f.kind == FrameKind::Predicted)
+            .map(|f| f.bits)
+            .collect();
+        let i_mean = i_bits.iter().sum::<usize>() as f64 / i_bits.len() as f64;
+        let p_mean = p_bits.iter().sum::<usize>() as f64 / p_bits.len() as f64;
+        assert!(
+            p_mean * 2.0 < i_mean,
+            "motion compensation should at least halve P-frame bits: I {i_mean} P {p_mean}"
+        );
+    }
+
+    #[test]
+    fn higher_quality_costs_more_bits_and_gains_psnr() {
+        let frames = test_frames(6);
+        let lo = Encoder::new(EncoderConfig { quality: 25, ..Default::default() })
+            .unwrap()
+            .encode(&frames)
+            .unwrap();
+        let hi = Encoder::new(EncoderConfig { quality: 90, ..Default::default() })
+            .unwrap()
+            .encode(&frames)
+            .unwrap();
+        assert!(hi.total_bits() > lo.total_bits());
+        assert!(hi.mean_psnr_db() > lo.mean_psnr_db());
+    }
+
+    #[test]
+    fn motion_estimation_dominates_tally() {
+        // The paper's central compute claim: ME is the expensive stage.
+        let enc = Encoder::new(EncoderConfig::default()).unwrap();
+        let seq = enc.encode(&test_frames(8)).unwrap();
+        assert!(
+            seq.tally.me_pixel_ops > seq.tally.dct_macs(),
+            "ME ops {} should exceed DCT MACs {}",
+            seq.tally.me_pixel_ops,
+            seq.tally.dct_macs()
+        );
+    }
+
+    #[test]
+    fn rate_control_holds_frame_sizes_near_target() {
+        let target = 20_000.0;
+        let cfg = EncoderConfig {
+            rate: Some(RateConfig::for_target(target)),
+            gop: 8,
+            ..Default::default()
+        };
+        let frames = test_frames(16);
+        let seq = Encoder::new(cfg).unwrap().encode(&frames).unwrap();
+        let mean = seq.mean_bits_per_frame();
+        assert!(
+            mean < 2.5 * target,
+            "rate control failed to bound mean frame size: {mean}"
+        );
+        // And the controller must actually have moved quality at least once.
+        let qualities: Vec<u8> = seq.frames.iter().map(|f| f.quality).collect();
+        assert!(qualities.iter().any(|&q| q != qualities[0]));
+    }
+
+    #[test]
+    fn symmetric_config_is_cheaper_than_asymmetric() {
+        let frames = test_frames(8);
+        let sym = Encoder::new(EncoderConfig::symmetric_conference())
+            .unwrap()
+            .encode(&frames)
+            .unwrap();
+        let asym = Encoder::new(EncoderConfig::asymmetric_broadcast())
+            .unwrap()
+            .encode(&frames)
+            .unwrap();
+        assert!(
+            sym.tally.me_sad_evaluations * 5 < asym.tally.me_sad_evaluations,
+            "diamond search should be >5x cheaper: {} vs {}",
+            sym.tally.me_sad_evaluations,
+            asym.tally.me_sad_evaluations
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! Motion compensation — Figure 1's "motion compensated predictor".
+//!
+//! Paper §3: *"Motion compensation at the receiver then applies that
+//! motion vector to reconstruct the frame."* Given a reference frame and a
+//! motion field, [`predict`] builds the predicted frame; [`residual`] and
+//! [`add_residual`] convert between frames and the residual signal the
+//! transform path actually codes.
+
+use crate::frame::Frame;
+use crate::me::{MotionField, MB};
+
+/// Builds the motion-compensated prediction of a frame from `reference`
+/// and a motion field (one vector per 16×16 macroblock).
+///
+/// # Panics
+///
+/// Panics if the field's macroblock grid does not match the reference
+/// dimensions.
+#[must_use]
+pub fn predict(reference: &Frame, field: &MotionField) -> Frame {
+    let (cols, rows) = reference.macroblocks();
+    assert!(
+        field.cols == cols && field.rows == rows,
+        "motion field grid mismatch"
+    );
+    let mut out = reference.clone();
+    for by in 0..rows {
+        for bx in 0..cols {
+            let mv = field.at(bx, by).mv;
+            let block =
+                reference.luma_block_at((bx * MB) as i32 + mv.dx, (by * MB) as i32 + mv.dy, MB);
+            out.set_luma_block(bx, by, MB, &block);
+        }
+    }
+    out
+}
+
+/// Per-pixel residual `current - predicted`, as `i16`.
+///
+/// # Panics
+///
+/// Panics if dimensions differ.
+#[must_use]
+pub fn residual(current: &Frame, predicted: &Frame) -> Vec<i16> {
+    assert!(
+        current.width() == predicted.width() && current.height() == predicted.height(),
+        "frame dimensions differ"
+    );
+    current
+        .luma()
+        .iter()
+        .zip(predicted.luma())
+        .map(|(&c, &p)| c as i16 - p as i16)
+        .collect()
+}
+
+/// Reconstructs a frame by adding a residual onto a prediction, clamping
+/// to 8 bits.
+///
+/// # Panics
+///
+/// Panics if the residual length does not match the frame.
+#[must_use]
+pub fn add_residual(predicted: &Frame, residual: &[i16]) -> Frame {
+    assert_eq!(
+        residual.len(),
+        predicted.luma().len(),
+        "residual length mismatch"
+    );
+    let mut out = predicted.clone();
+    for (o, (&p, &r)) in out
+        .luma_mut()
+        .iter_mut()
+        .zip(predicted.luma().iter().zip(residual))
+    {
+        let _ = p;
+        *o = (*o as i16 + r).clamp(0, 255) as u8;
+    }
+    out
+}
+
+/// Sum of absolute residual values — the "bits to spend" proxy used by
+/// experiment E5 to show motion estimation shrinking the signal.
+#[must_use]
+pub fn residual_energy(residual: &[i16]) -> u64 {
+    residual.iter().map(|&r| r.unsigned_abs() as u64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::me::{MotionEstimator, SearchKind};
+    use crate::synth::SequenceGen;
+
+    #[test]
+    fn perfect_prediction_for_pure_translation() {
+        let mut g = SequenceGen::new(41);
+        let reference = g.textured_frame(64, 64);
+        let current = g.shift_frame(&reference, 2, 1);
+        let field = MotionEstimator::new(SearchKind::Full, 4).estimate(&current, &reference);
+        let pred = predict(&reference, &field);
+        // Interior blocks match exactly; border blocks may clamp.
+        for by in 1..3 {
+            for bx in 1..3 {
+                assert_eq!(
+                    pred.luma_block(bx, by, 16),
+                    current.luma_block(bx, by, 16),
+                    "block {bx},{by}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn residual_add_round_trips() {
+        let mut g = SequenceGen::new(42);
+        let a = g.textured_frame(32, 32);
+        let b = g.textured_frame(32, 32);
+        let r = residual(&a, &b);
+        let back = add_residual(&b, &r);
+        assert_eq!(back.luma(), a.luma());
+    }
+
+    #[test]
+    fn motion_compensation_shrinks_residual() {
+        let mut g = SequenceGen::new(43);
+        let reference = g.textured_frame(64, 64);
+        let current = g.shift_frame(&reference, 3, 2);
+        // Without MC: residual vs the raw reference.
+        let no_mc = residual_energy(&residual(&current, &reference));
+        // With MC.
+        let field = MotionEstimator::new(SearchKind::Full, 7).estimate(&current, &reference);
+        let pred = predict(&reference, &field);
+        let with_mc = residual_energy(&residual(&current, &pred));
+        assert!(
+            with_mc * 2 < no_mc,
+            "MC should at least halve residual energy: {with_mc} vs {no_mc}"
+        );
+    }
+
+    #[test]
+    fn zero_field_prediction_is_reference() {
+        let mut g = SequenceGen::new(44);
+        let reference = g.textured_frame(32, 32);
+        let field = MotionEstimator::new(SearchKind::Full, 1).estimate(&reference, &reference);
+        let pred = predict(&reference, &field);
+        assert_eq!(pred.luma(), reference.luma());
+    }
+
+    #[test]
+    fn residual_energy_zero_for_identical() {
+        let mut g = SequenceGen::new(45);
+        let f = g.textured_frame(32, 32);
+        assert_eq!(residual_energy(&residual(&f, &f)), 0);
+    }
+
+    #[test]
+    fn add_residual_clamps() {
+        let bright = Frame::filled(16, 16, 250, 128, 128).unwrap();
+        let r = vec![100i16; 16 * 16];
+        let out = add_residual(&bright, &r);
+        assert!(out.luma().iter().all(|&v| v == 255));
+    }
+}

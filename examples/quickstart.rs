@@ -1,0 +1,54 @@
+//! Quickstart: encode video, encode audio, map the encoder onto an MPSoC.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mmsoc::deploy::{deploy, Strategy};
+use mmsoc::report::f;
+use mmsoc::{video_encoder_pipeline, VideoPipelineSpec};
+use mpsoc::platform::Platform;
+
+fn main() {
+    // 1. Compress a synthetic video sequence (Figure 1 pipeline).
+    let frames = video::synth::SequenceGen::new(1).panning_sequence(176, 144, 12, 2, 1);
+    let encoded = video::encoder::Encoder::new(video::encoder::EncoderConfig::default())
+        .expect("valid config")
+        .encode(&frames)
+        .expect("encode");
+    println!(
+        "video: {} QCIF frames -> {} KiB ({}:1, {} dB PSNR)",
+        frames.len(),
+        encoded.bytes.len() / 1024,
+        f(encoded.compression_ratio(), 1),
+        f(encoded.mean_psnr_db(), 1)
+    );
+    let decoded = video::decoder::decode(&encoded.bytes).expect("decode");
+    println!("video: decoder reconstructed {} frames", decoded.frames.len());
+
+    // 2. Compress audio (Figure 2 pipeline).
+    let pcm = signal::gen::SignalGen::new(2).music(440.0, 44_100.0, 4 * 1152);
+    let stream = audio::encoder::AudioEncoder::new(audio::encoder::AudioConfig::default())
+        .encode(&pcm)
+        .expect("encode");
+    println!(
+        "audio: {} samples -> {} bytes ({} kbit/s)",
+        pcm.len(),
+        stream.bytes.len(),
+        f(stream.bitrate_bps(44_100.0) / 1000.0, 0)
+    );
+
+    // 3. Map the video encoder onto a 4-PE MPSoC and compare mappings.
+    let pipeline = video_encoder_pipeline(&VideoPipelineSpec::default(), 3);
+    let platform = Platform::symmetric_bus("quad", 4, 300e6);
+    println!("\nmapping the CIF encoder onto {platform}:");
+    for strategy in [Strategy::SingleCore, Strategy::LoadBalanced] {
+        let d = deploy(&pipeline.graph, &platform, strategy, 16).expect("deploy");
+        println!(
+            "  {:<13} {:>6} fps   energy {}",
+            strategy.to_string(),
+            f(d.throughput_hz(), 2),
+            d.report.energy()
+        );
+    }
+}

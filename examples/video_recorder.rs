@@ -1,0 +1,72 @@
+//! Digital video recorder scenario (§2, §5, §7): record a broadcast,
+//! detect and skip the commercials, store the recording on the media
+//! file system, and check the whole workload fits the DVR platform.
+//!
+//! ```sh
+//! cargo run --release --example video_recorder
+//! ```
+
+use analysis::commercial::CommercialDetector;
+use mediafs::fs::{AllocPolicy, MediaFs};
+use mmsoc::deploy::deploy_device;
+use mmsoc::profile::DeviceClass;
+use mmsoc::report::f;
+use video::encoder::{Encoder, EncoderConfig};
+use video::me::SearchKind;
+use video::synth::SequenceGen;
+
+fn main() {
+    // 1. "Receive" a broadcast with two commercial breaks.
+    let mut gen = SequenceGen::new(7);
+    let (frames, labels) = gen.broadcast(176, 144, 150, 12, 2, 3, false, 2.0);
+    println!("broadcast: {} frames ({} labelled skippable)",
+        frames.len(),
+        labels.iter().filter(|l| l.is_skippable()).count());
+
+    // 2. Detect the commercial breaks (Replay's black-frame cue).
+    let detector = CommercialDetector::default();
+    let flags = detector.skip_flags(&frames);
+    let score = CommercialDetector::score(&flags, &labels);
+    println!("commercial detector: {score}");
+
+    // 3. Keep only program frames and encode them for storage.
+    let program: Vec<_> = frames
+        .iter()
+        .zip(&flags)
+        .filter(|(_, skip)| !**skip)
+        .map(|(frame, _)| frame.clone())
+        .collect();
+    let encoder = Encoder::new(EncoderConfig {
+        search: SearchKind::ThreeStep,
+        ..Default::default()
+    })
+    .expect("valid config");
+    let encoded = encoder.encode(&program).expect("encode");
+    println!(
+        "stored recording: {} program frames -> {} KiB ({}:1)",
+        program.len(),
+        encoded.bytes.len() / 1024,
+        f(encoded.compression_ratio(), 1)
+    );
+
+    // 4. Write it to the recorder's file system and read it back.
+    let mut fs = MediaFs::new(65_536, 2048, AllocPolicy::FirstFit);
+    fs.mkdir("/recordings").expect("mkdir");
+    fs.create("/recordings/show.mmv", &encoded.bytes).expect("create");
+    let back = fs.read("/recordings/show.mmv").expect("read");
+    assert_eq!(back, encoded.bytes, "file system corrupted the recording");
+    println!(
+        "file system: stored and verified {} KiB (fragmentation {})",
+        back.len() / 1024,
+        f(fs.fragmentation("/recordings/show.mmv").expect("frag"), 3)
+    );
+
+    // 5. Does the DVR workload fit its platform in real time?
+    let d = deploy_device(DeviceClass::VideoRecorder, 7, 12).expect("deploy");
+    println!(
+        "DVR platform: {} fps achieved vs 30 fps target ({}) using {}",
+        f(d.throughput_hz(), 1),
+        if d.meets(30.0) { "meets real time" } else { "MISSES real time" },
+        d.strategy
+    );
+}

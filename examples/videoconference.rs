@@ -1,0 +1,73 @@
+//! Videoconference scenario (§2): the symmetric compression case — both
+//! terminals encode *and* decode in real time on a cell-phone-class
+//! platform, with the encoded stream crossing a lossy network.
+//!
+//! ```sh
+//! cargo run --release --example videoconference
+//! ```
+
+use mmsoc::deploy::deploy_device;
+use mmsoc::profile::DeviceClass;
+use mmsoc::report::f;
+use netstack::link::LinkConfig;
+use netstack::tcplite::{transfer, TcpConfig};
+use signal::metrics::psnr_u8;
+use video::decoder::decode;
+use video::encoder::{Encoder, EncoderConfig};
+use video::synth::SequenceGen;
+
+fn main() {
+    // 1. Terminal A encodes its camera feed with the symmetric config.
+    let frames = SequenceGen::new(21).panning_sequence(176, 144, 10, 1, 1);
+    let config = EncoderConfig::symmetric_conference();
+    let encoded = Encoder::new(config).expect("valid").encode(&frames).expect("encode");
+    println!(
+        "terminal A: {} frames encoded with {} search -> {} KiB",
+        frames.len(),
+        config.search,
+        encoded.bytes.len() / 1024
+    );
+    println!(
+        "encoder cost: {} SAD evaluations ({}x cheaper than exhaustive would be)",
+        encoded.tally.me_sad_evaluations,
+        {
+            let full = Encoder::new(EncoderConfig::asymmetric_broadcast())
+                .expect("valid")
+                .encode(&frames)
+                .expect("encode");
+            f(full.tally.me_sad_evaluations as f64
+                / encoded.tally.me_sad_evaluations.max(1) as f64, 1)
+        }
+    );
+
+    // 2. The stream crosses a 5%-loss access link, reliably.
+    let link = LinkConfig::default().with_loss(0.05);
+    let xfer = transfer(&encoded.bytes, TcpConfig::default(), link, 22).expect("transfer");
+    println!(
+        "network: {} KiB delivered exactly in {} ticks ({} retransmissions)",
+        xfer.data.len() / 1024,
+        xfer.ticks,
+        xfer.retransmissions
+    );
+
+    // 3. Terminal B decodes and we check quality end to end.
+    let decoded = decode(&xfer.data).expect("decode");
+    let mut psnr = 0.0;
+    for (a, b) in frames.iter().zip(&decoded.frames) {
+        psnr += psnr_u8(a.luma(), b.luma()).expect("same dims");
+    }
+    println!(
+        "terminal B: decoded {} frames, mean PSNR {} dB",
+        decoded.frames.len(),
+        f(psnr / frames.len() as f64, 1)
+    );
+
+    // 4. Both directions must fit the phone platform simultaneously —
+    // the cell-phone profile is exactly encode + decode.
+    let d = deploy_device(DeviceClass::CellPhone, 21, 12).expect("deploy");
+    println!(
+        "cell-phone platform: {} fps vs 15 fps call target ({})",
+        f(d.throughput_hz(), 1),
+        if d.meets(15.0) { "symmetric call fits" } else { "DOES NOT fit" }
+    );
+}

@@ -1,0 +1,1 @@
+//! Shared helpers for the integration test suite live in the test files themselves.

@@ -1,0 +1,102 @@
+//! Integration: the DVR content-analysis chain over codec round trips.
+//!
+//! The §5 claim in full: analysis operates on *decoded* broadcast video —
+//! so the detectors must still work after the material has been through
+//! the lossy codec once (as it has in any real recorder).
+
+use analysis::commercial::CommercialDetector;
+use analysis::shots::ShotDetector;
+use video::decoder::decode;
+use video::encoder::{Encoder, EncoderConfig};
+use video::synth::SequenceGen;
+
+#[test]
+fn commercial_detection_survives_codec_round_trip() {
+    let mut gen = SequenceGen::new(200);
+    let (frames, labels) = gen.broadcast(64, 48, 140, 10, 2, 3, false, 1.5);
+    // Record: encode then decode (what the DVR actually stores/analyses).
+    let encoded = Encoder::new(EncoderConfig {
+        gop: 12,
+        search: video::me::SearchKind::ThreeStep,
+        ..Default::default()
+    })
+    .expect("config")
+    .encode(&frames)
+    .expect("encode");
+    let decoded = decode(&encoded.bytes).expect("decode");
+
+    let det = CommercialDetector::default();
+    let flags = det.skip_flags(&decoded.frames);
+    let score = CommercialDetector::score(&flags, &labels);
+    assert!(
+        score.f1() > 0.9,
+        "detection degraded through the codec: {score}"
+    );
+}
+
+#[test]
+fn shot_detection_survives_codec_round_trip() {
+    let mut gen = SequenceGen::new(201);
+    let (frames, truth) = gen.scene_sequence(64, 48, &[8, 9, 8, 7]);
+    let encoded = Encoder::new(EncoderConfig::default())
+        .expect("config")
+        .encode(&frames)
+        .expect("encode");
+    let decoded = decode(&encoded.bytes).expect("decode");
+    let cuts = ShotDetector::default().detect_cuts(&decoded.frames);
+    let score = ShotDetector::score(&cuts, &truth, 1);
+    assert!(score.f1() > 0.8, "shot detection degraded: {score}");
+}
+
+#[test]
+fn skipping_commercials_shrinks_the_stored_recording() {
+    let mut gen = SequenceGen::new(202);
+    let (frames, _) = gen.broadcast(64, 48, 130, 14, 2, 3, false, 1.0);
+    let det = CommercialDetector::default();
+    let flags = det.skip_flags(&frames);
+    let program: Vec<_> = frames
+        .iter()
+        .zip(&flags)
+        .filter(|(_, s)| !**s)
+        .map(|(f, _)| f.clone())
+        .collect();
+    assert!(!program.is_empty());
+    let enc = |fs: &[video::frame::Frame]| {
+        Encoder::new(EncoderConfig {
+            search: video::me::SearchKind::ThreeStep,
+            ..Default::default()
+        })
+        .expect("config")
+        .encode(fs)
+        .expect("encode")
+        .total_bits()
+    };
+    let full = enc(&frames);
+    let skipped = enc(&program);
+    assert!(
+        skipped < full,
+        "skipping content must shrink the recording: {skipped} vs {full}"
+    );
+}
+
+#[test]
+fn rate_controlled_recording_bounds_frame_sizes() {
+    // The DVR's channel buffer (Figure 1's feedback) must keep frames near
+    // target even across scene cuts.
+    let mut gen = SequenceGen::new(203);
+    let (frames, _) = gen.scene_sequence(64, 48, &[10, 10, 10]);
+    let target = 15_000.0;
+    let encoded = Encoder::new(EncoderConfig {
+        rate: Some(video::rate::RateConfig::for_target(target)),
+        gop: 10,
+        ..Default::default()
+    })
+    .expect("config")
+    .encode(&frames)
+    .expect("encode");
+    let mean = encoded.mean_bits_per_frame();
+    assert!(
+        mean < 3.0 * target,
+        "rate control failed: mean {mean} vs target {target}"
+    );
+}

@@ -1,0 +1,112 @@
+//! Integration: device classes deployed on their platforms, and mapping
+//! invariants on the MPSoC simulator.
+
+use mmsoc::deploy::{deploy, deploy_best, deploy_device, Strategy};
+use mmsoc::profile::DeviceClass;
+use mmsoc::{video_encoder_pipeline, VideoPipelineSpec};
+use mpsoc::platform::Platform;
+
+#[test]
+fn every_device_class_meets_its_realtime_target() {
+    for class in DeviceClass::ALL {
+        let d = deploy_device(class, 500, 10).expect("deploy");
+        let target = class.realtime_target_hz();
+        assert!(
+            d.meets(target),
+            "{class}: {:.1} fps < target {target}",
+            d.throughput_hz()
+        );
+    }
+}
+
+#[test]
+fn best_strategy_never_loses_to_single_core() {
+    let pipeline = video_encoder_pipeline(&VideoPipelineSpec::default(), 501);
+    for pes in [2usize, 4] {
+        let platform = Platform::symmetric_bus("p", pes, 300e6);
+        let single = deploy(&pipeline.graph, &platform, Strategy::SingleCore, 8).expect("deploy");
+        let (all, best) = deploy_best(&pipeline.graph, &platform, 8).expect("deploy");
+        assert!(
+            all[best].throughput_hz() >= single.throughput_hz() - 1e-9,
+            "{pes} PEs: best mapping lost to single-core"
+        );
+    }
+}
+
+#[test]
+fn throughput_is_monotone_in_pe_count_for_best_mapping() {
+    let pipeline = video_encoder_pipeline(&VideoPipelineSpec::default(), 502);
+    let mut prev = 0.0;
+    for pes in [1usize, 2, 4] {
+        let platform = Platform::symmetric_bus("p", pes, 300e6);
+        let (all, best) = deploy_best(&pipeline.graph, &platform, 8).expect("deploy");
+        let fps = all[best].throughput_hz();
+        assert!(
+            fps >= prev * 0.99,
+            "throughput regressed adding PEs: {prev} -> {fps}"
+        );
+        prev = fps;
+    }
+}
+
+#[test]
+fn energy_accounting_is_conserved_across_strategies() {
+    // Compute energy depends only on the work, not the mapping — the same
+    // graph must burn identical compute joules under every mapping on a
+    // homogeneous platform.
+    let pipeline = video_encoder_pipeline(&VideoPipelineSpec::default(), 503);
+    let platform = Platform::symmetric_bus("p", 4, 300e6);
+    let mut compute = Vec::new();
+    for s in Strategy::ALL {
+        let d = deploy(&pipeline.graph, &platform, s, 6).expect("deploy");
+        compute.push(d.report.energy().compute_j());
+    }
+    for w in compute.windows(2) {
+        assert!(
+            (w[0] - w[1]).abs() < 1e-12 * w[0].max(1e-12),
+            "compute energy varied with mapping: {compute:?}"
+        );
+    }
+}
+
+#[test]
+fn utilization_bounded_and_consistent_with_makespan() {
+    let pipeline = video_encoder_pipeline(&VideoPipelineSpec::default(), 504);
+    let platform = Platform::symmetric_bus("p", 4, 300e6);
+    let d = deploy(&pipeline.graph, &platform, Strategy::LoadBalanced, 10).expect("deploy");
+    for (i, u) in d.report.pe_utilization().iter().enumerate() {
+        assert!((0.0..=1.0 + 1e-9).contains(u), "pe{i} utilization {u}");
+    }
+    let busy_total: f64 = d.report.pe_busy_s().iter().sum();
+    assert!(busy_total <= d.report.makespan_s() * 4.0 + 1e-9);
+}
+
+#[test]
+fn heterogeneous_platform_prefers_dsp_for_mac_work() {
+    // The cell phone's DSP must absorb the MAC-heavy encoder stages under
+    // load-balanced mapping.
+    let phone = Platform::cell_phone();
+    let pipeline = video_encoder_pipeline(
+        &VideoPipelineSpec {
+            width: 176,
+            height: 144,
+            ..Default::default()
+        },
+        505,
+    );
+    let d = deploy(&pipeline.graph, &phone, Strategy::LoadBalanced, 6).expect("deploy");
+    // PE 1 is the DSP. Load balancing equalizes *time*, so the invariant
+    // is about work placement: the DSP must receive the majority of the
+    // MAC operations (it executes them 8x faster than the RISC).
+    let mut macs_by_pe = [0u64; 2];
+    for (tid, pe) in d.mapping.assignments().iter().enumerate() {
+        let ops = pipeline.graph.task(mpsoc::task::TaskId(tid)).ops;
+        macs_by_pe[pe.0] += ops.count(mpsoc::pe::OpClass::Mac);
+    }
+    assert!(
+        macs_by_pe[1] > macs_by_pe[0],
+        "DSP ({}) should receive more MAC work than the RISC ({})",
+        macs_by_pe[1],
+        macs_by_pe[0]
+    );
+}

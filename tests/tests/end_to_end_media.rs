@@ -1,0 +1,144 @@
+//! Integration: the full device data path, crossing every substrate.
+//!
+//! encode → DRM-encrypt → store on the media file system → fetch over the
+//! lossy network → decrypt on the playback device → decode → verify.
+
+use drm::license::{DeviceId, Right, TitleId};
+use drm::playback::{LicenseAuthority, OutputPolicy, PlaybackDevice, PlaybackOutput};
+use mediafs::fs::{AllocPolicy, MediaFs};
+use netstack::fetch::{fetch, ContentServer};
+use netstack::link::LinkConfig;
+use netstack::tcplite::TcpConfig;
+use signal::metrics::psnr_u8;
+use video::decoder::decode;
+use video::encoder::{Encoder, EncoderConfig};
+use video::synth::SequenceGen;
+
+#[test]
+fn protected_video_survives_the_whole_pipeline() {
+    // 1. Produce and encode content.
+    let frames = SequenceGen::new(100).panning_sequence(64, 48, 8, 2, 1);
+    let encoded = Encoder::new(EncoderConfig::default())
+        .expect("config")
+        .encode(&frames)
+        .expect("encode");
+
+    // 2. Protect it.
+    let mut authority = LicenseAuthority::new(b"integration-secret".to_vec());
+    let title = TitleId(9001);
+    authority.register_title(title);
+    let protected = authority.encrypt_content(title, &encoded.bytes, 77);
+
+    // 3. Store the protected stream on a DVR file system (scattered
+    // allocation — worst case) and read it back.
+    let mut fs = MediaFs::new(16_384, 512, AllocPolicy::Scatter(3));
+    fs.mkdir("/titles").expect("mkdir");
+    fs.create("/titles/t9001.enc", &protected).expect("create");
+    let from_disk = fs.read("/titles/t9001.enc").expect("read");
+    assert_eq!(from_disk, protected, "file system corrupted the stream");
+
+    // 4. Ship the license over a 20%-loss link.
+    let mut server = ContentServer::new();
+    server.publish(
+        "t9001-license",
+        authority.issue(title, vec![Right::PlayCount(2)]),
+    );
+    let fetched = fetch(
+        &server,
+        "t9001-license",
+        TcpConfig::default(),
+        LinkConfig::default().with_loss(0.2),
+        55,
+    )
+    .expect("license fetch");
+
+    // 5. Install, authorize, decrypt on the device.
+    let mut device = PlaybackDevice::new(DeviceId(4), OutputPolicy::DigitalAllowed);
+    device
+        .store_mut()
+        .install(&fetched.data, authority.verification_key())
+        .expect("install");
+    let output = device.play(title, &from_disk, 77, 0).expect("authorized");
+    let PlaybackOutput::Digital(bitstream) = output else {
+        panic!("digital policy must return digital bytes")
+    };
+    assert_eq!(bitstream, encoded.bytes, "decryption mismatch");
+
+    // 6. Decode and check quality against the original frames.
+    let decoded = decode(&bitstream).expect("decode");
+    assert_eq!(decoded.frames.len(), frames.len());
+    for (src, out) in frames.iter().zip(&decoded.frames) {
+        let p = psnr_u8(src.luma(), out.luma()).expect("dims");
+        assert!(p > 28.0, "end-to-end quality collapsed: {p} dB");
+    }
+
+    // 7. The play counter ticked: one more play allowed, then refusal.
+    assert!(device.play(title, &from_disk, 77, 0).is_ok());
+    assert!(device.play(title, &from_disk, 77, 0).is_err());
+}
+
+#[test]
+fn protected_audio_round_trip_via_filesystem() {
+    use audio::encoder::{decode as adecode, AudioConfig, AudioEncoder};
+
+    let pcm = signal::gen::SignalGen::new(101).music(261.0, 44_100.0, 4 * 1152);
+    let stream = AudioEncoder::new(AudioConfig::default())
+        .encode(&pcm)
+        .expect("encode");
+
+    let mut authority = LicenseAuthority::new(b"music-secret".to_vec());
+    let title = TitleId(42);
+    authority.register_title(title);
+    let protected = authority.encrypt_content(title, &stream.bytes, 3);
+
+    let mut fs = MediaFs::new(8_192, 256, AllocPolicy::FirstFit);
+    fs.create("/track.enc", &protected).expect("create");
+    let loaded = fs.read("/track.enc").expect("read");
+
+    let mut player = PlaybackDevice::new(DeviceId(1), OutputPolicy::DigitalAllowed);
+    let sealed = authority.issue(title, vec![Right::Play]);
+    player
+        .store_mut()
+        .install(&sealed, authority.verification_key())
+        .expect("install");
+    let PlaybackOutput::Digital(bytes) = player.play(title, &loaded, 3, 0).expect("play") else {
+        panic!("expected digital output")
+    };
+    let out = adecode(&bytes).expect("audio decode");
+    assert_eq!(out.samples.len(), pcm.len());
+    let snr = signal::metrics::snr(&pcm, &out.samples).expect("snr");
+    assert!(snr > 10.0, "audio quality collapsed: {snr} dB");
+}
+
+#[test]
+fn tampered_content_on_disk_still_decodes_to_garbage_not_panic() {
+    // Corruption below the DRM layer must surface as decode errors or
+    // wrong-but-bounded output — never a panic.
+    let frames = SequenceGen::new(102).panning_sequence(32, 32, 3, 1, 0);
+    let encoded = Encoder::new(EncoderConfig::default())
+        .expect("config")
+        .encode(&frames)
+        .expect("encode");
+    let mut authority = LicenseAuthority::new(b"k".to_vec());
+    let title = TitleId(1);
+    authority.register_title(title);
+    let mut protected = authority.encrypt_content(title, &encoded.bytes, 1);
+    // Flip bits mid-payload.
+    let mid = protected.len() / 2;
+    protected[mid] ^= 0xFF;
+
+    let mut device = PlaybackDevice::new(DeviceId(1), OutputPolicy::DigitalAllowed);
+    let sealed = authority.issue(title, vec![Right::Play]);
+    device
+        .store_mut()
+        .install(&sealed, authority.verification_key())
+        .expect("install");
+    let PlaybackOutput::Digital(bytes) = device.play(title, &protected, 1, 0).expect("play") else {
+        panic!("expected digital output")
+    };
+    // Either a clean decode error or a decoded-but-different stream.
+    match decode(&bytes) {
+        Ok(d) => assert_eq!(d.frames.first().map(video::frame::Frame::width), Some(32)),
+        Err(_) => {} // graceful rejection is fine
+    }
+}

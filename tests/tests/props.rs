@@ -1,0 +1,147 @@
+//! Property-based integration tests: round-trip and conservation
+//! invariants that must hold for arbitrary inputs, across crates.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bit streams round-trip arbitrary (value, width) sequences.
+    #[test]
+    fn bitstream_round_trip(values in prop::collection::vec((0u32..=u32::MAX, 1u32..=32), 1..100)) {
+        let mut w = signal::bits::BitWriter::new();
+        for &(v, n) in &values {
+            w.write_bits(v & ((1u64 << n) - 1) as u32, n);
+        }
+        let bytes = w.into_bytes();
+        let mut r = signal::bits::BitReader::new(&bytes);
+        for &(v, n) in &values {
+            prop_assert_eq!(r.read_bits(n).unwrap(), v & ((1u64 << n) - 1) as u32);
+        }
+    }
+
+    /// Huffman coding round-trips arbitrary symbol streams drawn from the
+    /// frequency table that built the code.
+    #[test]
+    fn huffman_round_trip(freqs in prop::collection::vec(1u64..1000, 2..40), msg_seed in 0u64..1000) {
+        let code = video::huffman::HuffmanCode::from_frequencies(&freqs).unwrap();
+        let mut rng = signal::rng::Xoroshiro128::new(msg_seed);
+        let msg: Vec<u16> = (0..200).map(|_| rng.below(freqs.len() as u64) as u16).collect();
+        let mut w = signal::bits::BitWriter::new();
+        for &s in &msg {
+            code.encode(&mut w, s).unwrap();
+        }
+        let bytes = w.into_bytes();
+        let mut r = signal::bits::BitReader::new(&bytes);
+        for &s in &msg {
+            prop_assert_eq!(code.decode(&mut r).unwrap(), s);
+        }
+    }
+
+    /// XTEA-CTR is an involution for any key, nonce, and payload.
+    #[test]
+    fn cipher_involution(key in prop::array::uniform16(0u8..), nonce in 0u32.., data in prop::collection::vec(any::<u8>(), 0..500)) {
+        let ctr = drm::cipher::XteaCtr::new(&key, nonce);
+        prop_assert_eq!(ctr.applied(&ctr.applied(&data)), data);
+    }
+
+    /// Sealed licenses round-trip and any single-byte corruption is caught.
+    #[test]
+    fn license_seal_detects_corruption(title in 0u64.., plays in 1u32..100, flip in 0usize..100) {
+        let license = drm::license::License {
+            title: drm::license::TitleId(title),
+            rights: vec![drm::license::Right::PlayCount(plays)],
+            content_key: [7u8; 16],
+        };
+        let sealed = license.seal(b"prop-secret");
+        prop_assert_eq!(drm::license::License::unseal(&sealed, b"prop-secret").unwrap(), license);
+        let mut bad = sealed.clone();
+        let idx = flip % bad.len();
+        bad[idx] ^= 0x01;
+        prop_assert!(drm::license::License::unseal(&bad, b"prop-secret").is_err());
+    }
+
+    /// IP fragmentation reassembles to the original payload for any MTU.
+    #[test]
+    fn packet_fragmentation_round_trip(payload in prop::collection::vec(any::<u8>(), 1..3000), mtu in 21usize..600) {
+        let p = netstack::packet::Packet {
+            src: netstack::packet::Addr(1),
+            dst: netstack::packet::Addr(2),
+            protocol: netstack::packet::Protocol::Udp,
+            id: 5,
+            frag_offset: 0,
+            more_fragments: false,
+            payload: payload.clone(),
+        };
+        let mut r = netstack::packet::Reassembler::new();
+        let mut done = None;
+        for frag in p.fragment(mtu) {
+            // Wire round-trip of each fragment too.
+            let decoded = netstack::packet::Packet::decode(&frag.encode()).unwrap();
+            if let Some(d) = r.push(decoded) {
+                done = Some(d);
+            }
+        }
+        prop_assert_eq!(done.unwrap().payload, payload);
+    }
+
+    /// Files of any size read back exactly under both allocation
+    /// policies.
+    #[test]
+    fn filesystem_read_back(data in prop::collection::vec(any::<u8>(), 0..5000), scatter in any::<bool>()) {
+        let policy = if scatter {
+            mediafs::fs::AllocPolicy::Scatter(9)
+        } else {
+            mediafs::fs::AllocPolicy::FirstFit
+        };
+        let mut fs = mediafs::fs::MediaFs::new(256, 64, policy);
+        fs.create("/f", &data).unwrap();
+        prop_assert_eq!(fs.read("/f").unwrap(), data);
+    }
+
+    /// The 2-D DCT round-trips any block within numerical tolerance, and
+    /// preserves energy (orthonormality).
+    #[test]
+    fn dct_round_trip_and_energy(block in prop::collection::vec(-255.0f64..255.0, 64)) {
+        let dct = video::dct::Dct2d::new();
+        let coeffs = dct.forward(&block);
+        let back = dct.inverse(&coeffs);
+        for (a, b) in block.iter().zip(back.iter()) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+        let e_in: f64 = block.iter().map(|v| v * v).sum();
+        let e_out: f64 = coeffs.iter().map(|v| v * v).sum();
+        prop_assert!((e_in - e_out).abs() < 1e-6 * e_in.max(1.0));
+    }
+
+    /// The 5/3 wavelet is exactly invertible on any even-length signal.
+    #[test]
+    fn wavelet_exact_inverse(x in prop::collection::vec(-1000i32..1000, 2..200)) {
+        let x = if x.len() % 2 == 0 { x } else { x[..x.len() - 1].to_vec() };
+        let t = video::wavelet::forward_1d(&x);
+        prop_assert_eq!(video::wavelet::inverse_1d(&t), x);
+    }
+
+    /// TCP-lite delivers any payload exactly at any loss rate below 0.4.
+    #[test]
+    fn tcplite_reliable(len in 1usize..5000, loss in 0.0f64..0.4, seed in 0u64..50) {
+        let data: Vec<u8> = (0..len).map(|i| (i * 31) as u8).collect();
+        let report = netstack::tcplite::transfer(
+            &data,
+            netstack::tcplite::TcpConfig::default(),
+            netstack::link::LinkConfig::default().with_loss(loss),
+            seed,
+        ).unwrap();
+        prop_assert_eq!(report.data, data);
+    }
+
+    /// Audio subband quantization error is bounded by the step size for
+    /// any sample within the scalefactor range.
+    #[test]
+    fn audio_quantizer_bounded(x in -1.0f64..1.0, bits in 1u8..=15) {
+        let sf = 1.0;
+        let step = 2.0 * sf / ((1u32 << bits) - 1) as f64;
+        let y = audio::quantizer::dequantize(audio::quantizer::quantize(x, sf, bits), sf, bits);
+        prop_assert!((x - y).abs() <= step / 2.0 + 1e-12);
+    }
+}
