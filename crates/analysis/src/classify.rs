@@ -65,10 +65,7 @@ impl Classifier {
     /// # Errors
     ///
     /// Returns [`TrainError`] if any class contributes no full window.
-    pub fn train(
-        window_len: usize,
-        data: &[(AudioClass, &[f64])],
-    ) -> Result<Self, TrainError> {
+    pub fn train(window_len: usize, data: &[(AudioClass, &[f64])]) -> Result<Self, TrainError> {
         if data.is_empty() {
             return Err(TrainError::NoData);
         }
@@ -98,8 +95,7 @@ impl Classifier {
         for d in 0..5 {
             let vals: Vec<f64> = all_features.iter().map(|f| f[d]).collect();
             let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-                / vals.len() as f64;
+            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
             scale[d] = var.sqrt().max(1e-9);
         }
         Ok(Self {

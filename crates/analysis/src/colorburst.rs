@@ -74,7 +74,10 @@ mod tests {
     fn monochrome_vs_color() {
         let mut g = SequenceGen::new(36);
         let det = ColorBurstDetector::default();
-        assert_eq!(det.classify(&g.monochrome_frame(32, 32)), ColorClass::Monochrome);
+        assert_eq!(
+            det.classify(&g.monochrome_frame(32, 32)),
+            ColorClass::Monochrome
+        );
         assert_eq!(det.classify(&g.commercial_frame(32, 32)), ColorClass::Color);
     }
 
@@ -88,9 +91,7 @@ mod tests {
         let mut correct = 0;
         for (flag, label) in flags.iter().zip(&bw_labels) {
             let is_commercial = matches!(label, video::synth::BroadcastLabel::Commercial { .. });
-            if *flag == is_commercial
-                || matches!(label, video::synth::BroadcastLabel::Black)
-            {
+            if *flag == is_commercial || matches!(label, video::synth::BroadcastLabel::Black) {
                 correct += 1;
             }
         }

@@ -116,7 +116,11 @@ impl CommercialDetector {
     pub fn skip_flags(&self, frames: &[Frame]) -> Vec<bool> {
         let mut flags = vec![false; frames.len()];
         for iv in self.detect(frames) {
-            for f in flags.iter_mut().take(iv.end.min(frames.len())).skip(iv.start) {
+            for f in flags
+                .iter_mut()
+                .take(iv.end.min(frames.len()))
+                .skip(iv.start)
+            {
                 *f = true;
             }
         }
@@ -195,7 +199,10 @@ mod tests {
         let det = CommercialDetector::default();
         let intervals = det.detect(&frames);
         for w in intervals.windows(2) {
-            assert!(w[0].end <= w[1].start, "intervals must not overlap after merge");
+            assert!(
+                w[0].end <= w[1].start,
+                "intervals must not overlap after merge"
+            );
         }
     }
 

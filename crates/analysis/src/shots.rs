@@ -127,9 +127,10 @@ impl ShotDetector {
         let mut used = vec![false; detected.len()];
         let mut tp = 0usize;
         for &t in truth {
-            let hit = detected.iter().enumerate().find(|(i, &d)| {
-                !used[*i] && d.abs_diff(t) <= tolerance
-            });
+            let hit = detected
+                .iter()
+                .enumerate()
+                .find(|(i, &d)| !used[*i] && d.abs_diff(t) <= tolerance);
             if let Some((i, _)) = hit {
                 used[i] = true;
                 tp += 1;

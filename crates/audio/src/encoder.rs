@@ -78,7 +78,10 @@ impl core::fmt::Display for AudioError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             AudioError::BadLength(n) => {
-                write!(f, "input length {n} is not a positive multiple of {FRAME_SAMPLES}")
+                write!(
+                    f,
+                    "input length {n} is not a positive multiple of {FRAME_SAMPLES}"
+                )
             }
             AudioError::BadMagic(m) => write!(f, "bad magic {m:#x}"),
             AudioError::Truncated(e) => write!(f, "truncated stream: {e}"),
@@ -237,10 +240,7 @@ impl AudioEncoder {
             // Scalefactors per band.
             let mut sf_idx = [0u8; BANDS];
             for b in 0..BANDS {
-                let max_abs = granules
-                    .iter()
-                    .map(|g| g[b].abs())
-                    .fold(0.0f64, f64::max);
+                let max_abs = granules.iter().map(|g| g[b].abs()).fold(0.0f64, f64::max);
                 sf_idx[b] = quantizer::scalefactor_for(max_abs);
             }
 
@@ -250,8 +250,8 @@ impl AudioEncoder {
             for b in 0..BANDS {
                 w.write_bits(allocation.bits[b] as u32, 4);
             }
-            for b in 0..BANDS {
-                w.write_bits(sf_idx[b] as u32, 6);
+            for &sf in &sf_idx {
+                w.write_bits(sf as u32, 6);
             }
             for b in 0..BANDS {
                 let bits = allocation.bits[b];
@@ -391,7 +391,9 @@ mod tests {
             44_100.0,
             2 * FRAME_SAMPLES,
         );
-        let psy = AudioEncoder::new(AudioConfig::default()).encode(&pcm).unwrap();
+        let psy = AudioEncoder::new(AudioConfig::default())
+            .encode(&pcm)
+            .unwrap();
         let flat = AudioEncoder::new(AudioConfig {
             mode: AllocationMode::Flat,
             ..Default::default()
@@ -486,7 +488,10 @@ mod tests {
             decode(&stream.bytes[..4]),
             Err(AudioError::Truncated(_))
         ));
-        assert!(matches!(decode(&[0, 0, 0, 0]), Err(AudioError::BadMagic(0))));
+        assert!(matches!(
+            decode(&[0, 0, 0, 0]),
+            Err(AudioError::BadMagic(0))
+        ));
     }
 
     #[test]

@@ -58,9 +58,7 @@ impl Filterbank {
         for k in 0..BANDS {
             let mut row = [0.0; WINDOW];
             for (n, b) in row.iter_mut().enumerate() {
-                *b = (core::f64::consts::PI / m
-                    * (n as f64 + 0.5 + m / 2.0)
-                    * (k as f64 + 0.5))
+                *b = (core::f64::consts::PI / m * (n as f64 + 0.5 + m / 2.0) * (k as f64 + 0.5))
                     .cos();
             }
             basis.push(row);

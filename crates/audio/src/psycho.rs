@@ -49,9 +49,8 @@ impl PsychoAnalysis {
     #[must_use]
     pub fn smr_db(&self) -> [f64; BANDS] {
         let mut out = [0.0; BANDS];
-        for b in 0..BANDS {
-            out[b] = 10.0
-                * (self.band_power[b].max(1e-30) / self.threshold[b].max(1e-30)).log10();
+        for ((o, p), t) in out.iter_mut().zip(&self.band_power).zip(&self.threshold) {
+            *o = 10.0 * (p.max(1e-30) / t.max(1e-30)).log10();
         }
         out
     }
@@ -126,21 +125,20 @@ impl PsychoModel {
         // [b*(N/64), (b+1)*(N/64)).
         let bins_per_band = FFT_SIZE / (2 * BANDS);
         let mut band_power = [0.0f64; BANDS];
-        for b in 0..BANDS {
+        for (b, bp) in band_power.iter_mut().enumerate() {
             let lo = b * bins_per_band;
             let hi = ((b + 1) * bins_per_band).min(power.len());
-            band_power[b] = power[lo..hi].iter().sum();
+            *bp = power[lo..hi].iter().sum();
         }
 
         // Spread masking from every band to every other.
         let mut threshold = [ABSOLUTE_THRESHOLD; BANDS];
-        for masker in 0..BANDS {
-            let p = band_power[masker];
+        for (masker, &p) in band_power.iter().enumerate() {
             if p <= 0.0 {
                 continue;
             }
             let p_db = 10.0 * p.log10();
-            for maskee in 0..BANDS {
+            for (maskee, th) in threshold.iter_mut().enumerate() {
                 let dist = maskee as f64 - masker as f64;
                 let drop = if dist >= 0.0 {
                     SLOPE_UP_DB * dist
@@ -149,8 +147,8 @@ impl PsychoModel {
                 };
                 let t_db = p_db - MASK_OFFSET_DB - drop;
                 let t = 10f64.powf(t_db / 10.0);
-                if t > threshold[maskee] {
-                    threshold[maskee] = t;
+                if t > *th {
+                    *th = t;
                 }
             }
         }

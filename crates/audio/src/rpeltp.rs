@@ -127,13 +127,7 @@ pub fn levinson_durbin(autocorr: &[f64], order: usize) -> Vec<f64> {
 #[must_use]
 pub fn autocorrelation(x: &[f64], max_lag: usize) -> Vec<f64> {
     (0..=max_lag)
-        .map(|lag| {
-            x[lag..]
-                .iter()
-                .zip(x)
-                .map(|(a, b)| a * b)
-                .sum::<f64>()
-        })
+        .map(|lag| x[lag..].iter().zip(x).map(|(a, b)| a * b).sum::<f64>())
         .collect()
 }
 
@@ -224,7 +218,7 @@ impl RpeLtp {
         // have), padded with zeros initially.
         let mut residual_history = vec![0.0f64; MAX_LAG];
         // Short-term filter memory across frames.
-        let mut st_memory = vec![0.0f64; LPC_ORDER];
+        let mut st_memory = [0.0f64; LPC_ORDER];
 
         for frame in pcm.chunks_exact(FRAME) {
             let start_bits = w.bit_len();
@@ -298,9 +292,7 @@ impl RpeLtp {
                 *lag_slot = best_lag;
 
                 // LTP residual = subframe - gain * history.
-                let ltp_res: Vec<f64> = (0..SUBFRAME)
-                    .map(|n| sub[n] - gain_dq * pred[n])
-                    .collect();
+                let ltp_res: Vec<f64> = (0..SUBFRAME).map(|n| sub[n] - gain_dq * pred[n]).collect();
 
                 // RPE: best of 3 phases, samples every 3rd position.
                 let mut best_phase = 0usize;
@@ -383,7 +375,7 @@ impl RpeLtp {
         let n_frames = r.read_bits(16)? as usize;
         let mut out = Vec::with_capacity(n_frames * FRAME);
         let mut residual_history = vec![0.0f64; MAX_LAG];
-        let mut st_memory = vec![0.0f64; LPC_ORDER];
+        let mut st_memory = [0.0f64; LPC_ORDER];
 
         for _ in 0..n_frames {
             let mut lpc_dq = vec![0.0f64; LPC_ORDER];
@@ -411,9 +403,7 @@ impl RpeLtp {
                     }
                 }
                 let recon_sub: Vec<f64> = (0..SUBFRAME)
-                    .map(|n| {
-                        gain * residual_history[hist_len - lag + n % lag] + excitation[n]
-                    })
+                    .map(|n| gain * residual_history[hist_len - lag + n % lag] + excitation[n])
                     .collect();
                 residual_history.extend_from_slice(&recon_sub);
                 if residual_history.len() > 4 * MAX_LAG {
@@ -474,18 +464,17 @@ mod tests {
     #[test]
     fn voiced_frames_show_higher_ltp_gain_than_unvoiced() {
         let mut g = SignalGen::new(22);
-        let (voiced, _) = g.speech(&[(SpeechSegment::Voiced { pitch_hz: 100.0 }, 8 * FRAME)], 8000.0);
+        let (voiced, _) = g.speech(
+            &[(SpeechSegment::Voiced { pitch_hz: 100.0 }, 8 * FRAME)],
+            8000.0,
+        );
         let (unvoiced, _) = g.speech(&[(SpeechSegment::Unvoiced, 8 * FRAME)], 8000.0);
         let codec = RpeLtp::new();
         let ev = codec.encode(&voiced).unwrap();
         let eu = codec.encode(&unvoiced).unwrap();
         // Skip the first frames (history warm-up).
         let gain = |e: &EncodedSpeech| {
-            e.frames[2..]
-                .iter()
-                .map(|f| f.mean_ltp_gain)
-                .sum::<f64>()
-                / (e.frames.len() - 2) as f64
+            e.frames[2..].iter().map(|f| f.mean_ltp_gain).sum::<f64>() / (e.frames.len() - 2) as f64
         };
         let gv = gain(&ev);
         let gu = gain(&eu);
@@ -499,7 +488,10 @@ mod tests {
     fn voiced_lag_tracks_pitch_period() {
         let mut g = SignalGen::new(23);
         // 100 Hz pitch at 8 kHz = 80-sample period.
-        let (voiced, _) = g.speech(&[(SpeechSegment::Voiced { pitch_hz: 100.0 }, 8 * FRAME)], 8000.0);
+        let (voiced, _) = g.speech(
+            &[(SpeechSegment::Voiced { pitch_hz: 100.0 }, 8 * FRAME)],
+            8000.0,
+        );
         let enc = RpeLtp::new().encode(&voiced).unwrap();
         let lags: Vec<usize> = enc.frames[3..].iter().flat_map(|f| f.lags).collect();
         let near_pitch = lags

@@ -13,7 +13,12 @@ fn bench_me(c: &mut Criterion) {
     for kind in [SearchKind::Full, SearchKind::ThreeStep, SearchKind::Diamond] {
         group.bench_function(kind.to_string(), |b| {
             let me = MotionEstimator::new(kind, 15);
-            b.iter(|| me.estimate(std::hint::black_box(&current), std::hint::black_box(&reference)));
+            b.iter(|| {
+                me.estimate(
+                    std::hint::black_box(&current),
+                    std::hint::black_box(&reference),
+                )
+            });
         });
     }
     group.finish();

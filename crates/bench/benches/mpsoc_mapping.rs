@@ -11,9 +11,15 @@ fn bench_mapping(c: &mut Criterion) {
     let platform = Platform::symmetric_bus("quad", 4, 300e6);
     let mut group = c.benchmark_group("deploy_strategies");
     group.sample_size(10);
-    for s in [Strategy::RoundRobin, Strategy::LoadBalanced, Strategy::PipelineAffine] {
+    for s in [
+        Strategy::RoundRobin,
+        Strategy::LoadBalanced,
+        Strategy::PipelineAffine,
+    ] {
         group.bench_function(s.to_string(), |b| {
-            b.iter(|| deploy(std::hint::black_box(&pipeline.graph), &platform, s, 16).expect("deploy"));
+            b.iter(|| {
+                deploy(std::hint::black_box(&pipeline.graph), &platform, s, 16).expect("deploy")
+            });
         });
     }
     group.finish();

@@ -10,9 +10,21 @@ fn bench_encoder(c: &mut Criterion) {
     let mut group = c.benchmark_group("video_encoder_qcif6");
     group.sample_size(10);
     for (name, config) in [
-        ("symmetric_conference", EncoderConfig::symmetric_conference()),
-        ("asymmetric_broadcast", EncoderConfig::asymmetric_broadcast()),
-        ("all_intra", EncoderConfig { gop: 1, ..Default::default() }),
+        (
+            "symmetric_conference",
+            EncoderConfig::symmetric_conference(),
+        ),
+        (
+            "asymmetric_broadcast",
+            EncoderConfig::asymmetric_broadcast(),
+        ),
+        (
+            "all_intra",
+            EncoderConfig {
+                gop: 1,
+                ..Default::default()
+            },
+        ),
     ] {
         group.bench_function(name, |b| {
             let enc = Encoder::new(config).expect("valid");

@@ -15,7 +15,14 @@ fn main() {
          skip to the next part of the program",
     );
 
-    let mut table = Table::new(vec!["noise sigma", "cuts (truth)", "cuts found", "P", "R", "F1"]);
+    let mut table = Table::new(vec![
+        "noise sigma",
+        "cuts (truth)",
+        "cuts found",
+        "P",
+        "R",
+        "F1",
+    ]);
     for noise in [0.0, 3.0, 6.0, 10.0, 15.0] {
         let mut g = SequenceGen::new(11);
         let (mut frames, truth) = g.scene_sequence(64, 48, &[9, 8, 10, 7, 9, 8]);
@@ -42,7 +49,12 @@ fn main() {
     let shots = ShotDetector::default().segment(&frames);
     println!("example segmentation (truth cuts at {truth:?}):");
     for (i, s) in shots.iter().enumerate() {
-        println!("  segment {i}: frames {}..{} ({} frames)", s.start, s.end, s.len());
+        println!(
+            "  segment {i}: frames {}..{} ({} frames)",
+            s.start,
+            s.end,
+            s.len()
+        );
     }
     println!("\nexpected shape: near-perfect on clean cuts, graceful degradation with noise.");
 }

@@ -45,8 +45,14 @@ fn main() {
     for seed in 200..230 {
         for (truth, clip) in corpus(seed, 8192) {
             let predicted = clf.classify(&clip).expect("clip long enough");
-            let ti = classes.iter().position(|c| *c == truth).expect("known class");
-            let pi = classes.iter().position(|c| *c == predicted).expect("known class");
+            let ti = classes
+                .iter()
+                .position(|c| *c == truth)
+                .expect("known class");
+            let pi = classes
+                .iter()
+                .position(|c| *c == predicted)
+                .expect("known class");
             confusion[ti][pi] += 1;
             total += 1;
             if ti == pi {
@@ -70,6 +76,10 @@ fn main() {
         "accuracy over {} held-out clips: {} (chance = 0.333) — {}",
         total,
         f(acc, 3),
-        if acc > 0.7 { "well above chance (matches §5)" } else { "too weak (UNEXPECTED)" }
+        if acc > 0.7 {
+            "well above chance (matches §5)"
+        } else {
+            "too weak (UNEXPECTED)"
+        }
     );
 }

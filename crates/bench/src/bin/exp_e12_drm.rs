@@ -29,49 +29,95 @@ fn main() {
     {
         let mut dev = PlaybackDevice::new(DeviceId(1), OutputPolicy::DigitalAllowed);
         let sealed = authority.issue(title, vec![Right::Play]);
-        dev.store_mut().install(&sealed, authority.verification_key()).expect("install");
+        dev.store_mut()
+            .install(&sealed, authority.verification_key())
+            .expect("install");
         let ok = protected_play(&mut dev, &authority, title, &content, 1, 0).is_ok();
-        table.row(vec!["play title".into(), "licensed device plays".to_string(),
-                       if ok { "GRANTED".into() } else { "refused (UNEXPECTED)".to_string() }]);
+        table.row(vec![
+            "play title".into(),
+            "licensed device plays".to_string(),
+            if ok {
+                "GRANTED".into()
+            } else {
+                "refused (UNEXPECTED)".to_string()
+            },
+        ]);
     }
     // 2. Play count.
     {
         let mut dev = PlaybackDevice::new(DeviceId(1), OutputPolicy::DigitalAllowed);
         let sealed = authority.issue(title, vec![Right::PlayCount(2)]);
-        dev.store_mut().install(&sealed, authority.verification_key()).expect("install");
+        dev.store_mut()
+            .install(&sealed, authority.verification_key())
+            .expect("install");
         let mut plays = 0;
         while protected_play(&mut dev, &authority, title, &content, 1, 0).is_ok() {
             plays += 1;
             assert!(plays < 10, "runaway");
         }
-        table.row(vec!["play count (2)".into(), format!("plays granted before refusal: {plays}"),
-                       if plays == 2 { "ENFORCED".into() } else { "wrong count (UNEXPECTED)".to_string() }]);
+        table.row(vec![
+            "play count (2)".into(),
+            format!("plays granted before refusal: {plays}"),
+            if plays == 2 {
+                "ENFORCED".into()
+            } else {
+                "wrong count (UNEXPECTED)".to_string()
+            },
+        ]);
     }
     // 3. Device binding.
     {
         let sealed = authority.issue(title, vec![Right::Play, Right::Devices(vec![DeviceId(42)])]);
         let mut wrong = PlaybackDevice::new(DeviceId(1), OutputPolicy::DigitalAllowed);
-        wrong.store_mut().install(&sealed, authority.verification_key()).expect("install");
+        wrong
+            .store_mut()
+            .install(&sealed, authority.verification_key())
+            .expect("install");
         let refused = protected_play(&mut wrong, &authority, title, &content, 1, 0).is_err();
         let mut right_dev = PlaybackDevice::new(DeviceId(42), OutputPolicy::DigitalAllowed);
-        right_dev.store_mut().install(&sealed, authority.verification_key()).expect("install");
+        right_dev
+            .store_mut()
+            .install(&sealed, authority.verification_key())
+            .expect("install");
         let granted = protected_play(&mut right_dev, &authority, title, &content, 1, 0).is_ok();
-        table.row(vec!["device set".into(), "wrong device refused, licensed device plays".to_string(),
-                       if refused && granted { "ENFORCED".into() } else { "broken (UNEXPECTED)".to_string() }]);
+        table.row(vec![
+            "device set".into(),
+            "wrong device refused, licensed device plays".to_string(),
+            if refused && granted {
+                "ENFORCED".into()
+            } else {
+                "broken (UNEXPECTED)".to_string()
+            },
+        ]);
     }
     // 4. Time window.
     {
         let sealed = authority.issue(
             title,
-            vec![Right::Play, Right::TimeWindow { not_before: 100, not_after: 200 }],
+            vec![
+                Right::Play,
+                Right::TimeWindow {
+                    not_before: 100,
+                    not_after: 200,
+                },
+            ],
         );
         let mut dev = PlaybackDevice::new(DeviceId(1), OutputPolicy::DigitalAllowed);
-        dev.store_mut().install(&sealed, authority.verification_key()).expect("install");
+        dev.store_mut()
+            .install(&sealed, authority.verification_key())
+            .expect("install");
         let before = protected_play(&mut dev, &authority, title, &content, 1, 50).is_err();
         let inside = protected_play(&mut dev, &authority, title, &content, 1, 150).is_ok();
         let after = protected_play(&mut dev, &authority, title, &content, 1, 250).is_err();
-        table.row(vec!["time window".into(), "before/inside/after the window".to_string(),
-                       if before && inside && after { "ENFORCED".into() } else { "broken (UNEXPECTED)".to_string() }]);
+        table.row(vec![
+            "time window".into(),
+            "before/inside/after the window".to_string(),
+            if before && inside && after {
+                "ENFORCED".into()
+            } else {
+                "broken (UNEXPECTED)".to_string()
+            },
+        ]);
     }
     println!("{table}");
 
@@ -80,23 +126,35 @@ fn main() {
     let mut tampered = sealed.clone();
     tampered[10] ^= 0x04; // try to inflate the count
     let detected = License::unseal(&tampered, authority.verification_key()).is_err();
-    println!("license tampering detected: {}", if detected { "yes" } else { "NO (UNEXPECTED)" });
+    println!(
+        "license tampering detected: {}",
+        if detected { "yes" } else { "NO (UNEXPECTED)" }
+    );
 
     // Analog-only output.
     let mut analog = PlaybackDevice::new(DeviceId(1), OutputPolicy::AnalogOnly);
-    analog.store_mut().install(&sealed, authority.verification_key()).expect("install");
+    analog
+        .store_mut()
+        .install(&sealed, authority.verification_key())
+        .expect("install");
     let out = protected_play(&mut analog, &authority, title, &content, 1, 0).expect("play");
     let leaked = matches!(out, drm::playback::PlaybackOutput::Digital(_));
     println!(
         "analog-only device leaks digital bytes: {}",
-        if leaked { "YES (UNEXPECTED)" } else { "no (protected path holds)" }
+        if leaked {
+            "YES (UNEXPECTED)"
+        } else {
+            "no (protected path holds)"
+        }
     );
 
     // Decryption overhead.
     let encrypted = authority.encrypt_content(title, &content, 1);
     let mut dev = PlaybackDevice::new(DeviceId(7), OutputPolicy::DigitalAllowed);
     let sealed = authority.issue(title, vec![Right::PlayCount(1000)]);
-    dev.store_mut().install(&sealed, authority.verification_key()).expect("install");
+    dev.store_mut()
+        .install(&sealed, authority.verification_key())
+        .expect("install");
     let t0 = Instant::now();
     let reps = 50;
     for i in 0..reps {

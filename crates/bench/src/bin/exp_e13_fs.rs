@@ -69,7 +69,12 @@ fn main() {
     println!("{table}");
 
     // (b) Foreign trees.
-    let mut table = Table::new(vec!["authoring style", "tracks written", "tracks found", "complete?"]);
+    let mut table = Table::new(vec![
+        "authoring style",
+        "tracks written",
+        "tracks found",
+        "complete?",
+    ]);
     for style in [
         TreeStyle::Dos83,
         TreeStyle::LongNames,
@@ -83,7 +88,11 @@ fn main() {
             style.to_string(),
             written.len().to_string(),
             found.len().to_string(),
-            if found.len() == written.len() { "yes".to_string() } else { "NO (UNEXPECTED)".into() },
+            if found.len() == written.len() {
+                "yes".to_string()
+            } else {
+                "NO (UNEXPECTED)".into()
+            },
         ]);
     }
     println!("{table}");

@@ -33,7 +33,11 @@ fn main() {
         let udp = send_datagrams(&datagrams, link, 600, 16);
         table.row(vec![
             f(loss, 2),
-            if r.data == content { "yes".to_string() } else { "NO".into() },
+            if r.data == content {
+                "yes".to_string()
+            } else {
+                "NO".into()
+            },
             count(r.ticks),
             count(r.retransmissions),
             f(udp.delivery_ratio(), 3),
@@ -44,7 +48,12 @@ fn main() {
     // License fetch (the DRM leg).
     let mut server = ContentServer::new();
     server.publish("license.bin", vec![0x42; 300]);
-    let mut table = Table::new(vec!["link loss", "license fetched?", "total ticks", "retransmissions"]);
+    let mut table = Table::new(vec![
+        "link loss",
+        "license fetched?",
+        "total ticks",
+        "retransmissions",
+    ]);
     for loss in [0.0, 0.15, 0.3] {
         let link = LinkConfig::default().with_loss(loss);
         match fetch(&server, "license.bin", TcpConfig::default(), link, 17) {
@@ -57,7 +66,12 @@ fn main() {
                 ]);
             }
             Err(e) => {
-                table.row(vec![f(loss, 2), format!("failed: {e}"), String::new(), String::new()]);
+                table.row(vec![
+                    f(loss, 2),
+                    format!("failed: {e}"),
+                    String::new(),
+                    String::new(),
+                ]);
             }
         }
     }

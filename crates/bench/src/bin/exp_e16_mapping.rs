@@ -68,7 +68,12 @@ fn main() {
 
     // Strategy comparison at 4 PEs on the bus.
     let platform = Platform::symmetric_bus("quad", 4, 300e6);
-    let mut table = Table::new(vec!["strategy", "fps", "PE utilization (mean)", "bus utilization"]);
+    let mut table = Table::new(vec![
+        "strategy",
+        "fps",
+        "PE utilization (mean)",
+        "bus utilization",
+    ]);
     for s in Strategy::ALL {
         let d = deploy(&pipeline.graph, &platform, s, iterations).expect("deploy");
         let mean_util: f64 =
@@ -87,11 +92,12 @@ fn main() {
     use mpsoc::platform::InterconnectSpec;
     let mut table = Table::new(vec!["bus bandwidth MB/s", "fps", "bus utilization"]);
     for bw in [400.0, 40.0, 10.0, 2.5] {
-        let p = Platform::symmetric_bus("quad", 4, 300e6).with_interconnect(InterconnectSpec::Bus {
-            bandwidth_bytes_per_s: bw * 1e6,
-            arbitration_s: 50e-9,
-            energy_pj_per_byte: 5.0,
-        });
+        let p =
+            Platform::symmetric_bus("quad", 4, 300e6).with_interconnect(InterconnectSpec::Bus {
+                bandwidth_bytes_per_s: bw * 1e6,
+                arbitration_s: 50e-9,
+                energy_pj_per_byte: 5.0,
+            });
         let d = deploy(&pipeline.graph, &p, Strategy::LoadBalanced, iterations).expect("deploy");
         table.row(vec![
             f(bw, 1),

@@ -33,17 +33,18 @@ fn main() {
         let d = deploy_device(class, 17, 12).expect("deploy");
         let target = class.realtime_target_hz();
         let energy_per_frame = d.report.energy().total_j() / d.report.iterations() as f64;
-        let power = d
-            .report
-            .energy()
-            .average_power_w(d.report.makespan_s());
+        let power = d.report.energy().average_power_w(d.report.makespan_s());
         table.row(vec![
             class.to_string(),
             class.platform().pe_count().to_string(),
             count(graph_ops),
             f(d.throughput_hz(), 1),
             f(target, 1),
-            if d.meets(target) { "yes".to_string() } else { "no".into() },
+            if d.meets(target) {
+                "yes".to_string()
+            } else {
+                "no".into()
+            },
             f(energy_per_frame * 1e3, 3),
             f(power * 1e3, 1),
         ]);

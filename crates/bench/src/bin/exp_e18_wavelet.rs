@@ -92,7 +92,9 @@ fn boundary_error(orig: &[i32], coded: &[i32]) -> f64 {
     let mut n = 0usize;
     for y in 0..SIZE {
         for x in 0..SIZE {
-            let on_boundary = x % BLOCK == 0 || x % BLOCK == BLOCK - 1 || y % BLOCK == 0
+            let on_boundary = x % BLOCK == 0
+                || x % BLOCK == BLOCK - 1
+                || y % BLOCK == 0
                 || y % BLOCK == BLOCK - 1;
             if on_boundary {
                 sum += (orig[y * SIZE + x] - coded[y * SIZE + x]).abs() as f64;

@@ -13,8 +13,15 @@ use mmsoc::report::{count, f, Table};
 use video::decoder::decode;
 use video::encoder::{Encoder, EncoderConfig};
 
-fn ops(kind: &str, config: EncoderConfig, frames: &[video::frame::Frame]) -> (String, u64, u64, f64) {
-    let encoded = Encoder::new(config).expect("valid").encode(frames).expect("encode");
+fn ops(
+    kind: &str,
+    config: EncoderConfig,
+    frames: &[video::frame::Frame],
+) -> (String, u64, u64, f64) {
+    let encoded = Encoder::new(config)
+        .expect("valid")
+        .encode(frames)
+        .expect("encode");
     let decoded = decode(&encoded.bytes).expect("decode");
     // Encoder ops: ME pixel ops + transform MACs + quant + VLC.
     let enc_ops = encoded.tally.me_pixel_ops
@@ -22,9 +29,8 @@ fn ops(kind: &str, config: EncoderConfig, frames: &[video::frame::Frame]) -> (St
         + encoded.tally.quant_coeffs
         + encoded.tally.vlc_symbols * 8;
     // Decoder ops: inverse transforms + motion compensation + parse.
-    let dec_ops = decoded.idct_blocks * 2 * 8 * 8 * 8
-        + decoded.mc_pixels
-        + encoded.tally.vlc_symbols * 8;
+    let dec_ops =
+        decoded.idct_blocks * 2 * 8 * 8 * 8 + decoded.mc_pixels + encoded.tally.vlc_symbols * 8;
     (kind.to_string(), enc_ops, dec_ops, encoded.mean_psnr_db())
 }
 
@@ -37,11 +43,25 @@ fn main() {
 
     let frames = test_video(176, 144, 16);
     let rows = [
-        ops("symmetric (videoconference)", EncoderConfig::symmetric_conference(), &frames),
-        ops("asymmetric (broadcast)", EncoderConfig::asymmetric_broadcast(), &frames),
+        ops(
+            "symmetric (videoconference)",
+            EncoderConfig::symmetric_conference(),
+            &frames,
+        ),
+        ops(
+            "asymmetric (broadcast)",
+            EncoderConfig::asymmetric_broadcast(),
+            &frames,
+        ),
     ];
 
-    let mut table = Table::new(vec!["configuration", "encoder ops", "decoder ops", "ratio enc:dec", "PSNR dB"]);
+    let mut table = Table::new(vec![
+        "configuration",
+        "encoder ops",
+        "decoder ops",
+        "ratio enc:dec",
+        "PSNR dB",
+    ]);
     for (name, enc, dec, psnr) in &rows {
         table.row(vec![
             name.clone(),

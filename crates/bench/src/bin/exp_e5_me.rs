@@ -50,7 +50,10 @@ fn main() {
             kind.to_string(),
             count(fld.total_evaluations()),
             count(fld.total_sad()),
-            format!("{}x fewer", f(full_evals as f64 / fld.total_evaluations() as f64, 1)),
+            format!(
+                "{}x fewer",
+                f(full_evals as f64 / fld.total_evaluations() as f64, 1)
+            ),
         ]);
     }
     println!("{table}");

@@ -17,8 +17,16 @@ fn main() {
     );
 
     let frames = test_video(176, 144, 8);
-    let device_a = EncoderConfig { quality: 60, gop: 8, ..Default::default() };
-    let device_b = EncoderConfig { quality: 45, gop: 8, ..Default::default() };
+    let device_a = EncoderConfig {
+        quality: 60,
+        gop: 8,
+        ..Default::default()
+    };
+    let device_b = EncoderConfig {
+        quality: 45,
+        gop: 8,
+        ..Default::default()
+    };
     let stats = generations(&frames, device_a, device_b, 5).expect("transcode chain");
 
     let mut table = Table::new(vec!["generation", "PSNR vs original (dB)", "stream kbits"]);

@@ -35,8 +35,8 @@ fn audible_band_snr(original: &[f64], decoded: &[f64]) -> f64 {
             .collect();
         let e_spec = fft.power_spectrum(&e);
         let bins_per_band = 1024 / 64;
-        for b in 0..32 {
-            if smr[b] > 0.0 {
+        for (b, &band_smr) in smr.iter().enumerate() {
+            if band_smr > 0.0 {
                 let lo = b * bins_per_band;
                 let hi = (b + 1) * bins_per_band;
                 sig += o_spec[lo..hi].iter().sum::<f64>();
@@ -58,11 +58,22 @@ fn main() {
     let fs = 32_000.0;
     let band_freq = |b: usize| (b as f64 + 0.5) / 64.0 * fs;
     let model = PsychoModel::new();
-    let mut table = Table::new(vec!["probe", "band 8 SMR dB", "band 9 SMR dB", "band 9 audible?"]);
-    for (name, amp9) in [("weak neighbour (-40 dB)", 0.01), ("strong neighbour (-12 dB)", 0.25)] {
+    let mut table = Table::new(vec![
+        "probe",
+        "band 8 SMR dB",
+        "band 9 SMR dB",
+        "band 9 audible?",
+    ]);
+    for (name, amp9) in [
+        ("weak neighbour (-40 dB)", 0.01),
+        ("strong neighbour (-12 dB)", 0.25),
+    ] {
         let mut g = SignalGen::new(7);
         let x = g.tones(
-            &[ToneSpec::new(band_freq(8), 1.0), ToneSpec::new(band_freq(9), amp9)],
+            &[
+                ToneSpec::new(band_freq(8), 1.0),
+                ToneSpec::new(band_freq(9), amp9),
+            ],
             fs,
             2048,
         );
@@ -72,7 +83,11 @@ fn main() {
             name.to_string(),
             f(smr[8], 1),
             f(smr[9], 1),
-            if smr[9] > 0.0 { "yes".into() } else { "no (masked -> 0 bits)".to_string() },
+            if smr[9] > 0.0 {
+                "yes".into()
+            } else {
+                "no (masked -> 0 bits)".to_string()
+            },
         ]);
     }
     println!("{table}");
@@ -104,8 +119,7 @@ fn main() {
                 ..Default::default()
             };
             let stream = AudioEncoder::new(cfg).encode(&pcm).expect("encode");
-            let bits = stream.frames.iter().map(|fr| fr.bits).sum::<usize>()
-                / stream.frames.len();
+            let bits = stream.frames.iter().map(|fr| fr.bits).sum::<usize>() / stream.frames.len();
             let out = decode(&stream.bytes).expect("decode");
             (audible_band_snr(&pcm, &out.samples), bits)
         };

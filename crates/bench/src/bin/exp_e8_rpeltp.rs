@@ -48,7 +48,10 @@ fn main() {
     println!("{table}");
 
     // Pitch tracking.
-    let (speech, _) = g.speech(&[(SpeechSegment::Voiced { pitch_hz: 100.0 }, 10 * FRAME)], 8000.0);
+    let (speech, _) = g.speech(
+        &[(SpeechSegment::Voiced { pitch_hz: 100.0 }, 10 * FRAME)],
+        8000.0,
+    );
     let enc = codec.encode(&speech).expect("encode");
     let lags: Vec<usize> = enc.frames[3..].iter().flat_map(|fr| fr.lags).collect();
     let near = lags

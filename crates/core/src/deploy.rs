@@ -140,7 +140,11 @@ pub fn deploy_best(
 /// # Errors
 ///
 /// Returns [`SimError`] if simulation fails.
-pub fn deploy_device(class: DeviceClass, seed: u64, iterations: usize) -> Result<Deployment, SimError> {
+pub fn deploy_device(
+    class: DeviceClass,
+    seed: u64,
+    iterations: usize,
+) -> Result<Deployment, SimError> {
     let graph = class.application(seed);
     let platform = class.platform();
     let (mut all, best) = deploy_best(&graph, &platform, iterations)?;

@@ -61,7 +61,9 @@ pub fn video_encoder_pipeline(spec: &VideoPipelineSpec, seed: u64) -> Calibrated
     let (cw, ch, frames) = (64usize, 48usize, 6usize);
     let cal_frames = SequenceGen::new(seed).panning_sequence(cw, ch, frames, 2, 1);
     let encoder = Encoder::new(spec.config).expect("invalid encoder configuration");
-    let encoded = encoder.encode(&cal_frames).expect("calibration encode failed");
+    let encoded = encoder
+        .encode(&cal_frames)
+        .expect("calibration encode failed");
     let t = encoded.tally;
     // Scale measured ops from calibration pixels to target pixels.
     let scale = (spec.width * spec.height) as f64 / (cw * ch) as f64 / frames as f64;
@@ -115,9 +117,12 @@ pub fn video_encoder_pipeline(spec: &VideoPipelineSpec, seed: u64) -> Calibrated
         OpCounts::new().with_mac(idct_macs).with_int_alu(mc_ops),
         0,
     );
-    g.add_edge(quant, vlc, coeff_bytes).expect("acyclic by construction");
-    g.add_edge(vlc, buffer, frame_bytes / 8).expect("acyclic by construction");
-    g.add_edge(quant, recon, coeff_bytes).expect("acyclic by construction");
+    g.add_edge(quant, vlc, coeff_bytes)
+        .expect("acyclic by construction");
+    g.add_edge(vlc, buffer, frame_bytes / 8)
+        .expect("acyclic by construction");
+    g.add_edge(quant, recon, coeff_bytes)
+        .expect("acyclic by construction");
 
     CalibratedPipeline {
         stage_ops: vec![
@@ -161,7 +166,9 @@ pub fn video_decoder_pipeline(spec: &VideoPipelineSpec, seed: u64) -> Calibrated
     let idct_t = g.add_task("inverse-dct", OpCounts::new().with_mac(idct), 0);
     let mc = g.add_task(
         "motion-compensator",
-        OpCounts::new().with_int_alu(frame_bytes).with_mem(frame_bytes / 4),
+        OpCounts::new()
+            .with_int_alu(frame_bytes)
+            .with_mem(frame_bytes / 4),
         0,
     );
     let out = g.add_task("display", OpCounts::new().with_mem(frame_bytes / 8), 0);
@@ -188,8 +195,11 @@ pub fn video_decoder_pipeline(spec: &VideoPipelineSpec, seed: u64) -> Calibrated
 pub fn audio_encoder_pipeline(seed: u64) -> CalibratedPipeline {
     use audio::encoder::{AudioConfig, AudioEncoder};
     let frames = 4usize;
-    let pcm = signal::gen::SignalGen::new(seed)
-        .music(440.0, 44_100.0, frames * audio::encoder::FRAME_SAMPLES);
+    let pcm = signal::gen::SignalGen::new(seed).music(
+        440.0,
+        44_100.0,
+        frames * audio::encoder::FRAME_SAMPLES,
+    );
     let stream = AudioEncoder::new(AudioConfig::default())
         .encode(&pcm)
         .expect("calibration encode failed");
@@ -225,7 +235,8 @@ pub fn audio_encoder_pipeline(seed: u64) -> CalibratedPipeline {
     g.add_edge(src, psycho, 1152 * 8).expect("acyclic");
     g.add_edge(mapper, quant, granule_bytes).expect("acyclic");
     g.add_edge(psycho, quant, 32 * 8).expect("acyclic");
-    g.add_edge(quant, packer, granule_bytes / 2).expect("acyclic");
+    g.add_edge(quant, packer, granule_bytes / 2)
+        .expect("acyclic");
 
     CalibratedPipeline {
         stage_ops: vec![
@@ -285,7 +296,11 @@ pub fn analysis_pipeline(width: usize, height: usize) -> CalibratedPipeline {
     let pixels = (width * height) as u64;
     let mut g = TaskGraph::new("content-analysis");
     let luma = g.add_task("luma-stats", OpCounts::new().with_int_alu(pixels), 0);
-    let hist = g.add_task("histogram", OpCounts::new().with_int_alu(pixels).with_mem(64), 0);
+    let hist = g.add_task(
+        "histogram",
+        OpCounts::new().with_int_alu(pixels).with_mem(64),
+        0,
+    );
     let detect = g.add_task(
         "break-detector",
         OpCounts::new().with_control(256).with_int_alu(128),
@@ -328,7 +343,12 @@ mod tests {
     #[test]
     fn motion_estimation_dominates_encoder_ops() {
         let p = video_encoder_pipeline(&VideoPipelineSpec::default(), 2);
-        let me = p.stage_ops.iter().find(|(n, _)| n == "motion-estimator").unwrap().1;
+        let me = p
+            .stage_ops
+            .iter()
+            .find(|(n, _)| n == "motion-estimator")
+            .unwrap()
+            .1;
         for (name, ops) in &p.stage_ops {
             if name != "motion-estimator" {
                 assert!(me > *ops, "{name} ({ops}) out-weighs ME ({me})");
@@ -393,7 +413,12 @@ mod tests {
     fn audio_graph_matches_figure_2_shape() {
         let p = audio_encoder_pipeline(6);
         let names: Vec<&str> = p.graph.tasks().iter().map(|t| t.name.as_str()).collect();
-        for stage in ["mapper", "psychoacoustic-model", "quantizer-coder", "frame-packer"] {
+        for stage in [
+            "mapper",
+            "psychoacoustic-model",
+            "quantizer-coder",
+            "frame-packer",
+        ] {
             assert!(names.contains(&stage), "missing stage {stage}");
         }
         // Mapper + psycho dominate (the paper's compute story for audio).

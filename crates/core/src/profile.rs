@@ -185,7 +185,10 @@ mod tests {
 
     #[test]
     fn recorder_workload_is_heaviest() {
-        let dvr = DeviceClass::VideoRecorder.application(2).total_ops().total();
+        let dvr = DeviceClass::VideoRecorder
+            .application(2)
+            .total_ops()
+            .total();
         for class in [DeviceClass::CellPhone, DeviceClass::AudioPlayer] {
             let other = class.application(2).total_ops().total();
             assert!(dvr > other, "{class} should be lighter than the DVR");

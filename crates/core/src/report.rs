@@ -138,7 +138,7 @@ mod tests {
 
     #[test]
     fn float_helper() {
-        assert_eq!(f(3.14159, 2), "3.14");
+        assert_eq!(f(1.23456, 2), "1.23");
     }
 
     #[test]

@@ -133,11 +133,7 @@ mod tests {
         let mut flipped = b"a protected title's license body".to_vec();
         flipped[3] ^= 1;
         let b = hash(&flipped);
-        let differing: u32 = a
-            .iter()
-            .zip(&b)
-            .map(|(x, y)| (x ^ y).count_ones())
-            .sum();
+        let differing: u32 = a.iter().zip(&b).map(|(x, y)| (x ^ y).count_ones()).sum();
         assert!(differing > 80, "only {differing}/256 bits changed");
     }
 
@@ -159,7 +155,7 @@ mod tests {
     fn long_keys_are_hashed_down() {
         let long_key = vec![7u8; 200];
         let m = mac(&long_key, b"x");
-        assert_ne!(m, mac(&vec![7u8; 199], b"x"));
+        assert_ne!(m, mac(&[7u8; 199], b"x"));
     }
 
     #[test]

@@ -312,7 +312,10 @@ mod tests {
         );
         assert_eq!(l.authorize(DeviceId(9), 150, 0), Err(Refusal::WrongDevice));
         assert_eq!(l.authorize(DeviceId(1), 99, 0), Err(Refusal::OutsideWindow));
-        assert_eq!(l.authorize(DeviceId(2), 201, 0), Err(Refusal::OutsideWindow));
+        assert_eq!(
+            l.authorize(DeviceId(2), 201, 0),
+            Err(Refusal::OutsideWindow)
+        );
     }
 
     #[test]

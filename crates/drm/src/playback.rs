@@ -123,10 +123,7 @@ impl PlaybackDevice {
             OutputPolicy::AnalogOnly => PlaybackOutput::Analog(
                 // "Analog at the pins": drop the 3 LSBs — enough signal to
                 // listen to, not enough to reconstruct the digital stream.
-                clear
-                    .iter()
-                    .map(|&b| (b & 0xF8) as f64 / 255.0)
-                    .collect(),
+                clear.iter().map(|&b| (b & 0xF8) as f64 / 255.0).collect(),
             ),
         })
     }
@@ -277,10 +274,7 @@ mod tests {
     #[test]
     fn device_binding_enforced_through_device() {
         let (authority, _, title) = setup();
-        let sealed = authority.issue(
-            title,
-            vec![Right::Play, Right::Devices(vec![DeviceId(42)])],
-        );
+        let sealed = authority.issue(title, vec![Right::Play, Right::Devices(vec![DeviceId(42)])]);
         let mut wrong_device = PlaybackDevice::new(DeviceId(1), OutputPolicy::DigitalAllowed);
         wrong_device
             .store_mut()

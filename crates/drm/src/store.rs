@@ -55,7 +55,11 @@ impl LicenseStore {
     /// # Errors
     ///
     /// Returns [`LicenseParseError`] when verification fails.
-    pub fn install(&mut self, sealed: &[u8], signing_key: &[u8]) -> Result<TitleId, LicenseParseError> {
+    pub fn install(
+        &mut self,
+        sealed: &[u8],
+        signing_key: &[u8],
+    ) -> Result<TitleId, LicenseParseError> {
         let license = License::unseal(sealed, signing_key)?;
         let title = license.title;
         self.licenses.insert(title, license);

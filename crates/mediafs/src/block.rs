@@ -57,7 +57,10 @@ impl core::fmt::Display for BlockError {
                 write!(f, "block {index} out of range (capacity {capacity})")
             }
             BlockError::WrongSize { got, expected } => {
-                write!(f, "write of {got} bytes does not match block size {expected}")
+                write!(
+                    f,
+                    "write of {got} bytes does not match block size {expected}"
+                )
             }
         }
     }
@@ -93,7 +96,10 @@ impl BlockDevice {
     /// Panics if either dimension is zero.
     #[must_use]
     pub fn new(block_count: u32, block_size: usize) -> Self {
-        assert!(block_count > 0 && block_size > 0, "device must be non-empty");
+        assert!(
+            block_count > 0 && block_size > 0,
+            "device must be non-empty"
+        );
         Self {
             block_size,
             blocks: vec![vec![0u8; block_size]; block_count as usize],
@@ -184,7 +190,7 @@ mod tests {
     #[test]
     fn read_write_round_trip() {
         let mut dev = BlockDevice::new(8, 64);
-        dev.write(2, &vec![0xAB; 64]).unwrap();
+        dev.write(2, &[0xAB; 64]).unwrap();
         assert!(dev.read(2).unwrap().iter().all(|&b| b == 0xAB));
     }
 
@@ -193,7 +199,7 @@ mod tests {
         let mut dev = BlockDevice::new(4, 16);
         assert!(matches!(dev.read(4), Err(BlockError::OutOfRange { .. })));
         assert!(matches!(
-            dev.write(9, &vec![0; 16]),
+            dev.write(9, &[0; 16]),
             Err(BlockError::OutOfRange { .. })
         ));
     }
@@ -203,7 +209,10 @@ mod tests {
         let mut dev = BlockDevice::new(4, 16);
         assert!(matches!(
             dev.write(0, &[1, 2, 3]),
-            Err(BlockError::WrongSize { got: 3, expected: 16 })
+            Err(BlockError::WrongSize {
+                got: 3,
+                expected: 16
+            })
         ));
     }
 
@@ -248,7 +257,7 @@ mod tests {
     #[test]
     fn reset_stats_keeps_data() {
         let mut dev = BlockDevice::new(4, 8);
-        dev.write(1, &vec![5; 8]).unwrap();
+        dev.write(1, &[5; 8]).unwrap();
         dev.reset_stats();
         assert_eq!(dev.stats(), IoStats::default());
         assert_eq!(dev.read(1).unwrap()[0], 5);

@@ -182,7 +182,11 @@ mod tests {
         let mut f = fs();
         generate_tree(&mut f, TreeStyle::LongNames, 3, 4).unwrap();
         let found = scan_tracks(&f, "/").unwrap();
-        assert!(found.iter().any(|p| p.contains('Ö') || p.contains('ö') || p.contains('É') || p.contains('º')),
-            "unicode names lost: {found:?}");
+        assert!(
+            found
+                .iter()
+                .any(|p| p.contains('Ö') || p.contains('ö') || p.contains('É') || p.contains('º')),
+            "unicode names lost: {found:?}"
+        );
     }
 }

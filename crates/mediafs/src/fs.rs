@@ -172,7 +172,10 @@ impl MediaFs {
         Ok(comps)
     }
 
-    fn dir_of<'a>(root: &'a mut Node, comps: &[&str]) -> Result<&'a mut BTreeMap<String, Node>, FsError> {
+    fn dir_of<'a>(
+        root: &'a mut Node,
+        comps: &[&str],
+    ) -> Result<&'a mut BTreeMap<String, Node>, FsError> {
         let mut cur = root;
         for &c in comps {
             let Node::Dir(map) = cur else {
@@ -273,7 +276,9 @@ impl MediaFs {
             let Node::Dir(map) = cur else {
                 return Err(FsError::NotADirectory(c.to_string()));
             };
-            cur = map.get(c).ok_or_else(|| FsError::NotFound(path.to_string()))?;
+            cur = map
+                .get(c)
+                .ok_or_else(|| FsError::NotFound(path.to_string()))?;
         }
         Ok(cur)
     }
@@ -453,7 +458,10 @@ mod tests {
     fn duplicate_rejected() {
         let mut f = fs();
         f.create("/x", b"1").unwrap();
-        assert!(matches!(f.create("/x", b"2"), Err(FsError::AlreadyExists(_))));
+        assert!(matches!(
+            f.create("/x", b"2"),
+            Err(FsError::AlreadyExists(_))
+        ));
         f.mkdir("/d").unwrap();
         assert!(matches!(f.mkdir("/d"), Err(FsError::AlreadyExists(_))));
     }
@@ -557,7 +565,10 @@ mod tests {
     #[test]
     fn bad_paths_rejected() {
         let mut f = fs();
-        assert!(matches!(f.create("relative", b"x"), Err(FsError::BadPath(_))));
+        assert!(matches!(
+            f.create("relative", b"x"),
+            Err(FsError::BadPath(_))
+        ));
         assert!(matches!(f.mkdir("/"), Err(FsError::BadPath(_))));
         assert!(matches!(f.read("/"), Err(FsError::NotADirectory(_))));
     }

@@ -103,7 +103,10 @@ impl SharedBus {
             bandwidth_bytes_per_s > 0.0 && bandwidth_bytes_per_s.is_finite(),
             "bandwidth must be positive"
         );
-        assert!(arbitration_s >= 0.0 && energy_pj_per_byte >= 0.0, "costs must be non-negative");
+        assert!(
+            arbitration_s >= 0.0 && energy_pj_per_byte >= 0.0,
+            "costs must be non-negative"
+        );
         Self {
             bandwidth_bytes_per_s,
             arbitration_s,
@@ -226,7 +229,10 @@ impl MeshNoc {
     /// Panics if either PE is outside the grid.
     #[must_use]
     pub fn route(&self, src: PeId, dst: PeId) -> Vec<usize> {
-        assert!(src.0 < self.node_count() && dst.0 < self.node_count(), "PE outside mesh");
+        assert!(
+            src.0 < self.node_count() && dst.0 < self.node_count(),
+            "PE outside mesh"
+        );
         let (mut x, mut y) = self.coords(src);
         let (dx, dy) = self.coords(dst);
         let mut path = vec![y * self.cols + x];
@@ -361,7 +367,10 @@ mod tests {
         // Both transfers traverse link 1->2.
         let a = noc.schedule(PeId(0), PeId(2), 1_000_000, 0.0);
         let b = noc.schedule(PeId(1), PeId(2), 1_000_000, 0.0);
-        assert!(b.start_s >= a.start_s + 1.0 - 1e-9, "link contention ignored");
+        assert!(
+            b.start_s >= a.start_s + 1.0 - 1e-9,
+            "link contention ignored"
+        );
     }
 
     #[test]
@@ -385,7 +394,9 @@ mod tests {
     #[test]
     fn describe_mentions_topology() {
         assert!(SharedBus::new(1e6, 0.0, 0.0).describe().contains("bus"));
-        assert!(MeshNoc::new(2, 3, 1e6, 0.0, 0.0).describe().contains("mesh2x3"));
+        assert!(MeshNoc::new(2, 3, 1e6, 0.0, 0.0)
+            .describe()
+            .contains("mesh2x3"));
     }
 
     #[test]

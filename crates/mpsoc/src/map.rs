@@ -52,7 +52,11 @@ impl Mapping {
     ///
     /// Returns [`MappingError`] when the vector length mismatches the task
     /// count or references a PE `>= pe_count`.
-    pub fn from_vec(graph: &TaskGraph, pe_count: usize, assign: Vec<PeId>) -> Result<Self, MappingError> {
+    pub fn from_vec(
+        graph: &TaskGraph,
+        pe_count: usize,
+        assign: Vec<PeId>,
+    ) -> Result<Self, MappingError> {
         if assign.len() != graph.task_count() {
             return Err(MappingError::WrongLength {
                 tasks: graph.task_count(),
@@ -82,7 +86,9 @@ impl Mapping {
     pub fn round_robin(graph: &TaskGraph, pe_count: usize) -> Self {
         assert!(pe_count > 0, "need at least one PE");
         Self {
-            assign: (0..graph.task_count()).map(|i| PeId(i % pe_count)).collect(),
+            assign: (0..graph.task_count())
+                .map(|i| PeId(i % pe_count))
+                .collect(),
         }
     }
 
@@ -275,7 +281,13 @@ mod tests {
 
     fn chain(n: usize, ops_each: u64) -> TaskGraph {
         let stages: Vec<(String, OpCounts, u64)> = (0..n)
-            .map(|i| (format!("s{i}"), OpCounts::new().with_int_alu(ops_each), 1024))
+            .map(|i| {
+                (
+                    format!("s{i}"),
+                    OpCounts::new().with_int_alu(ops_each),
+                    1024,
+                )
+            })
             .collect();
         let refs: Vec<(&str, OpCounts, u64)> = stages
             .iter()

@@ -180,7 +180,10 @@ impl ProcessingElement {
     /// Panics if `clock_hz` is not strictly positive and finite.
     #[must_use]
     pub fn new(name: impl Into<String>, kind: PeKind, clock_hz: f64) -> Self {
-        assert!(clock_hz.is_finite() && clock_hz > 0.0, "clock must be positive");
+        assert!(
+            clock_hz.is_finite() && clock_hz > 0.0,
+            "clock must be positive"
+        );
         Self {
             name: name.into(),
             kind,

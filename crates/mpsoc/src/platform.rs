@@ -143,7 +143,12 @@ impl Platform {
     ///
     /// Panics if the grid is empty.
     #[must_use]
-    pub fn symmetric_mesh(name: impl Into<String>, cols: usize, rows: usize, clock_hz: f64) -> Self {
+    pub fn symmetric_mesh(
+        name: impl Into<String>,
+        cols: usize,
+        rows: usize,
+        clock_hz: f64,
+    ) -> Self {
         let pes = (0..cols * rows)
             .map(|i| ProcessingElement::new(format!("risc{i}"), PeKind::RiscCpu, clock_hz))
             .collect();
@@ -364,11 +369,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one PE")]
     fn empty_platform_panics() {
-        let _ = Platform::new("x", vec![], InterconnectSpec::Bus {
-            bandwidth_bytes_per_s: 1e6,
-            arbitration_s: 0.0,
-            energy_pj_per_byte: 0.0,
-        });
+        let _ = Platform::new(
+            "x",
+            vec![],
+            InterconnectSpec::Bus {
+                bandwidth_bytes_per_s: 1e6,
+                arbitration_s: 0.0,
+                energy_pj_per_byte: 0.0,
+            },
+        );
     }
 
     #[test]
@@ -377,13 +386,17 @@ mod tests {
         let pes = (0..5)
             .map(|i| ProcessingElement::new(format!("p{i}"), PeKind::RiscCpu, 1e8))
             .collect();
-        let _ = Platform::new("x", pes, InterconnectSpec::Mesh {
-            cols: 2,
-            rows: 2,
-            link_bandwidth_bytes_per_s: 1e6,
-            hop_latency_s: 0.0,
-            energy_pj_per_byte_hop: 0.0,
-        });
+        let _ = Platform::new(
+            "x",
+            pes,
+            InterconnectSpec::Mesh {
+                cols: 2,
+                rows: 2,
+                link_bandwidth_bytes_per_s: 1e6,
+                hop_latency_s: 0.0,
+                energy_pj_per_byte_hop: 0.0,
+            },
+        );
     }
 
     #[test]

@@ -101,7 +101,13 @@ impl RunReport {
     pub fn pe_utilization(&self) -> Vec<f64> {
         self.pe_busy_s
             .iter()
-            .map(|&b| if self.makespan_s > 0.0 { b / self.makespan_s } else { 0.0 })
+            .map(|&b| {
+                if self.makespan_s > 0.0 {
+                    b / self.makespan_s
+                } else {
+                    0.0
+                }
+            })
             .collect()
     }
 
@@ -316,9 +322,7 @@ mod tests {
         let p = Platform::symmetric_bus("p", 2, 100e6);
         let sim = Simulator::new(&p);
         let iters = 16;
-        let serial = sim
-            .run_stream(&g, &Mapping::all_on_one(&g), iters)
-            .unwrap();
+        let serial = sim.run_stream(&g, &Mapping::all_on_one(&g), iters).unwrap();
         let pipelined = sim
             .run_stream(&g, &Mapping::round_robin(&g, 2), iters)
             .unwrap();
@@ -395,7 +399,11 @@ mod tests {
         let m = Mapping::from_vec(&g, 3, vec![PeId(0), PeId(1), PeId(2)]).unwrap();
         let r = Simulator::new(&p).run(&g, &m).unwrap();
         // Each transfer takes 10 ms on the bus; serialized ≈ 20 ms.
-        assert!(r.makespan_s() > 0.019, "makespan {} too small", r.makespan_s());
+        assert!(
+            r.makespan_s() > 0.019,
+            "makespan {} too small",
+            r.makespan_s()
+        );
     }
 
     #[test]

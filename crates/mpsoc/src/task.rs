@@ -224,11 +224,7 @@ impl TaskGraph {
         if from == to {
             return Err(GraphError::SelfLoop(from));
         }
-        if self
-            .edges
-            .iter()
-            .any(|e| e.from == from && e.to == to)
-        {
+        if self.edges.iter().any(|e| e.from == from && e.to == to) {
             return Err(GraphError::DuplicateEdge(from, to));
         }
         let idx = self.edges.len();
@@ -304,8 +300,7 @@ impl TaskGraph {
     pub fn topological_order(&self) -> Result<Vec<TaskId>, GraphError> {
         let n = self.tasks.len();
         let mut indeg: Vec<usize> = (0..n).map(|i| self.pred[i].len()).collect();
-        let mut queue: VecDeque<usize> =
-            (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut queue: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(i) = queue.pop_front() {
             order.push(TaskId(i));
@@ -402,8 +397,7 @@ mod tests {
     fn topological_order_respects_edges() {
         let g = diamond();
         let order = g.topological_order().unwrap();
-        let pos: HashMap<TaskId, usize> =
-            order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        let pos: HashMap<TaskId, usize> = order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
         for e in g.edges() {
             assert!(pos[&e.from] < pos[&e.to]);
         }

@@ -133,9 +133,7 @@ pub fn fetch(
             retransmissions: req_report.retransmissions + resp_report.retransmissions,
         })
     } else if let Some(msg) = body.strip_prefix(b"ERR ".as_slice()) {
-        Err(FetchError::Server(
-            String::from_utf8_lossy(msg).to_string(),
-        ))
+        Err(FetchError::Server(String::from_utf8_lossy(msg).to_string()))
     } else {
         Err(FetchError::BadResponse)
     }
@@ -155,7 +153,14 @@ mod tests {
     #[test]
     fn fetch_round_trips_content() {
         let s = server();
-        let r = fetch(&s, "song.mp3", TcpConfig::default(), LinkConfig::default(), 1).unwrap();
+        let r = fetch(
+            &s,
+            "song.mp3",
+            TcpConfig::default(),
+            LinkConfig::default(),
+            1,
+        )
+        .unwrap();
         assert_eq!(r.data, vec![7u8; 5000]);
         assert!(r.ticks > 0);
     }
@@ -170,7 +175,14 @@ mod tests {
     #[test]
     fn lossy_fetch_still_exact_but_costlier() {
         let s = server();
-        let clean = fetch(&s, "song.mp3", TcpConfig::default(), LinkConfig::default(), 3).unwrap();
+        let clean = fetch(
+            &s,
+            "song.mp3",
+            TcpConfig::default(),
+            LinkConfig::default(),
+            3,
+        )
+        .unwrap();
         let lossy = fetch(
             &s,
             "song.mp3",
@@ -187,7 +199,14 @@ mod tests {
     #[test]
     fn small_license_fetch_works() {
         let s = server();
-        let r = fetch(&s, "license.bin", TcpConfig::default(), LinkConfig::default(), 4).unwrap();
+        let r = fetch(
+            &s,
+            "license.bin",
+            TcpConfig::default(),
+            LinkConfig::default(),
+            4,
+        )
+        .unwrap();
         assert_eq!(r.data, vec![1, 2, 3, 4]);
     }
 

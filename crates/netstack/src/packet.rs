@@ -151,8 +151,7 @@ impl Packet {
         if checksum(&copy) != expect {
             return Err(PacketError::BadChecksum);
         }
-        let protocol =
-            Protocol::from_byte(bytes[8]).ok_or(PacketError::BadProtocol(bytes[8]))?;
+        let protocol = Protocol::from_byte(bytes[8]).ok_or(PacketError::BadProtocol(bytes[8]))?;
         Ok(Self {
             src: Addr(u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]])),
             dst: Addr(u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]])),

@@ -97,7 +97,12 @@ fn decode_segment(bytes: &[u8]) -> Option<(u32, u32, bool, &[u8])> {
 /// # Errors
 ///
 /// Returns [`TcpError`] on empty input or deadline expiry.
-pub fn transfer(data: &[u8], config: TcpConfig, link_config: LinkConfig, seed: u64) -> Result<TransferReport, TcpError> {
+pub fn transfer(
+    data: &[u8],
+    config: TcpConfig,
+    link_config: LinkConfig,
+    seed: u64,
+) -> Result<TransferReport, TcpError> {
     if data.is_empty() {
         return Err(TcpError::Empty);
     }
@@ -125,16 +130,22 @@ pub fn transfer(data: &[u8], config: TcpConfig, link_config: LinkConfig, seed: u
         }
         // Sender: (re)transmit anything in the window that is unsent or
         // timed out.
-        for s in acked..(acked + config.window).min(n_segments) {
-            let due = match send_times[s] {
+        let window_end = (acked + config.window).min(n_segments);
+        for (s, slot) in send_times
+            .iter_mut()
+            .enumerate()
+            .take(window_end)
+            .skip(acked)
+        {
+            let due = match *slot {
                 None => true,
                 Some(t) => now >= t + config.rto_ticks,
             };
             if due {
-                if send_times[s].is_some() {
+                if slot.is_some() {
                     retransmissions += 1;
                 }
-                send_times[s] = Some(now);
+                *slot = Some(now);
                 segments_sent += 1;
                 let lo = s * config.mss;
                 let hi = (lo + config.mss).min(data.len());
@@ -156,7 +167,9 @@ pub fn transfer(data: &[u8], config: TcpConfig, link_config: LinkConfig, seed: u
         now += 1;
         // Receiver: take arrived data segments, ACK cumulatively.
         for wire in data_link.deliver(now) {
-            let Ok(packet) = Packet::decode(&wire) else { continue };
+            let Ok(packet) = Packet::decode(&wire) else {
+                continue;
+            };
             let Some((seq, _, is_ack, payload)) = decode_segment(&packet.payload) else {
                 continue;
             };
@@ -186,7 +199,9 @@ pub fn transfer(data: &[u8], config: TcpConfig, link_config: LinkConfig, seed: u
         }
         // Sender: process ACKs.
         for wire in ack_link.deliver(now) {
-            let Ok(packet) = Packet::decode(&wire) else { continue };
+            let Ok(packet) = Packet::decode(&wire) else {
+                continue;
+            };
             let Some((_, ack, is_ack, _)) = decode_segment(&packet.payload) else {
                 continue;
             };
@@ -290,14 +305,20 @@ mod tests {
         let data = payload(50_000, 11);
         let slow = transfer(
             &data,
-            TcpConfig { window: 1, ..Default::default() },
+            TcpConfig {
+                window: 1,
+                ..Default::default()
+            },
             LinkConfig::default(),
             12,
         )
         .unwrap();
         let fast = transfer(
             &data,
-            TcpConfig { window: 16, ..Default::default() },
+            TcpConfig {
+                window: 16,
+                ..Default::default()
+            },
             LinkConfig::default(),
             12,
         )

@@ -135,14 +135,28 @@ mod tests {
 
     #[test]
     fn proportional_only_scales_error() {
-        let mut pid = Pid::new(PidGains { kp: 3.0, ki: 0.0, kd: 0.0 }, 1000.0);
+        let mut pid = Pid::new(
+            PidGains {
+                kp: 3.0,
+                ki: 0.0,
+                kd: 0.0,
+            },
+            1000.0,
+        );
         assert!((pid.step(2.0) - 6.0).abs() < 1e-12);
         assert!((pid.step(-1.0) + 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn integral_accumulates() {
-        let mut pid = Pid::new(PidGains { kp: 0.0, ki: 1.0, kd: 0.0 }, 100.0);
+        let mut pid = Pid::new(
+            PidGains {
+                kp: 0.0,
+                ki: 1.0,
+                kd: 0.0,
+            },
+            100.0,
+        );
         let mut out = 0.0;
         for _ in 0..100 {
             out = pid.step(1.0);
@@ -153,8 +167,15 @@ mod tests {
 
     #[test]
     fn anti_windup_clamps() {
-        let mut pid = Pid::new(PidGains { kp: 0.0, ki: 1.0, kd: 0.0 }, 100.0)
-            .with_integral_limit(0.5);
+        let mut pid = Pid::new(
+            PidGains {
+                kp: 0.0,
+                ki: 1.0,
+                kd: 0.0,
+            },
+            100.0,
+        )
+        .with_integral_limit(0.5);
         for _ in 0..1000 {
             pid.step(10.0);
         }
@@ -163,7 +184,14 @@ mod tests {
 
     #[test]
     fn derivative_responds_to_change_and_is_filtered() {
-        let mut pid = Pid::new(PidGains { kp: 0.0, ki: 0.0, kd: 1.0 }, 1000.0);
+        let mut pid = Pid::new(
+            PidGains {
+                kp: 0.0,
+                ki: 0.0,
+                kd: 1.0,
+            },
+            1000.0,
+        );
         let first = pid.step(1.0); // step change
         assert!(first > 0.0);
         // Filtered derivative: first response is less than the raw slope.
@@ -178,18 +206,36 @@ mod tests {
 
     #[test]
     fn reset_clears_state() {
-        let mut pid = Pid::new(PidGains { kp: 1.0, ki: 10.0, kd: 1.0 }, 1000.0);
+        let mut pid = Pid::new(
+            PidGains {
+                kp: 1.0,
+                ki: 10.0,
+                kd: 1.0,
+            },
+            1000.0,
+        );
         for _ in 0..100 {
             pid.step(1.0);
         }
         pid.reset();
-        let mut fresh = Pid::new(PidGains { kp: 1.0, ki: 10.0, kd: 1.0 }, 1000.0);
+        let mut fresh = Pid::new(
+            PidGains {
+                kp: 1.0,
+                ki: 10.0,
+                kd: 1.0,
+            },
+            1000.0,
+        );
         assert!((pid.step(0.5) - fresh.step(0.5)).abs() < 1e-12);
     }
 
     #[test]
     fn leadlag_tracks_pid_at_dc() {
-        let gains = PidGains { kp: 2.0, ki: 0.0, kd: 0.0 };
+        let gains = PidGains {
+            kp: 2.0,
+            ki: 0.0,
+            kd: 0.0,
+        };
         let mut plain = Pid::new(gains, 10_000.0);
         let mut lead = LeadLagPid::new(gains, 10_000.0, 0.05);
         // Constant error: the lead section (a high-pass) contributes ~0 in
@@ -200,6 +246,9 @@ mod tests {
             p = plain.step(1.0);
             l = lead.step(1.0);
         }
-        assert!((p - l).abs() < 0.05 * p.abs(), "lead-lag DC mismatch {p} vs {l}");
+        assert!(
+            (p - l).abs() < 0.05 * p.abs(),
+            "lead-lag DC mismatch {p} vs {l}"
+        );
     }
 }

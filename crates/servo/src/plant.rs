@@ -54,7 +54,6 @@ impl Mechanism {
             stiffness: 1000.0,
             damping: 1.5,
             actuator_gain: 0.6,
-            ..Self::nominal()
         }
     }
 
@@ -146,7 +145,13 @@ pub struct Runout {
 impl Runout {
     /// Creates a runout generator.
     #[must_use]
-    pub fn new(spindle_hz: f64, amplitude: f64, noise: f64, sample_rate_hz: f64, seed: u64) -> Self {
+    pub fn new(
+        spindle_hz: f64,
+        amplitude: f64,
+        noise: f64,
+        sample_rate_hz: f64,
+        seed: u64,
+    ) -> Self {
         Self {
             spindle_hz,
             amplitude,
@@ -176,7 +181,10 @@ mod tests {
     fn resonance_formulas() {
         let m = Mechanism::nominal();
         assert!((m.natural_freq() - 4000.0f64.sqrt()).abs() < 1e-9);
-        assert!(m.damping_ratio() > 0.0 && m.damping_ratio() < 1.0, "underdamped");
+        assert!(
+            m.damping_ratio() > 0.0 && m.damping_ratio() < 1.0,
+            "underdamped"
+        );
         assert!(Mechanism::stiff().natural_freq() > m.natural_freq());
         assert!(Mechanism::loose().natural_freq() < m.natural_freq());
     }
@@ -212,7 +220,7 @@ mod tests {
         let fs = 50_000.0;
         let mut p = Plant::new(mech, fs);
         p.step(5_000.0); // kick
-        // Count zero crossings over one second.
+                         // Count zero crossings over one second.
         let mut crossings = 0;
         let mut prev = p.position();
         for _ in 0..fs as usize {
@@ -239,7 +247,10 @@ mod tests {
             p.step(0.0);
         }
         let late: f64 = (0..1000).map(|_| p.step(0.0).abs()).fold(0.0, f64::max);
-        assert!(late < early / 10.0, "oscillation failed to decay: {early} -> {late}");
+        assert!(
+            late < early / 10.0,
+            "oscillation failed to decay: {early} -> {late}"
+        );
     }
 
     #[test]

@@ -202,7 +202,13 @@ mod tests {
         let mut r = BitReader::new(&bytes);
         r.read_bits(6).unwrap();
         let err = r.read_bits(4).unwrap_err();
-        assert_eq!(err, OutOfBitsError { requested: 4, remaining: 2 });
+        assert_eq!(
+            err,
+            OutOfBitsError {
+                requested: 4,
+                remaining: 2
+            }
+        );
     }
 
     #[test]

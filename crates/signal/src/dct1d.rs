@@ -52,9 +52,8 @@ impl Dct1d {
         for k in 0..n {
             let c = if k == 0 { norm0 } else { norm };
             for j in 0..n {
-                basis[k * n + j] =
-                    c * (core::f64::consts::PI * (2 * j + 1) as f64 * k as f64
-                        / (2 * n) as f64)
+                basis[k * n + j] = c
+                    * (core::f64::consts::PI * (2 * j + 1) as f64 * k as f64 / (2 * n) as f64)
                         .cos();
             }
         }
@@ -94,9 +93,9 @@ impl Dct1d {
     pub fn forward_into(&self, x: &[f64], out: &mut [f64]) {
         assert_eq!(x.len(), self.n, "DCT input length mismatch");
         assert_eq!(out.len(), self.n, "DCT output length mismatch");
-        for k in 0..self.n {
+        for (k, o) in out.iter_mut().enumerate() {
             let row = &self.basis[k * self.n..(k + 1) * self.n];
-            out[k] = row.iter().zip(x).map(|(b, v)| b * v).sum();
+            *o = row.iter().zip(x).map(|(b, v)| b * v).sum();
         }
     }
 
@@ -109,12 +108,12 @@ impl Dct1d {
     pub fn inverse(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n, "DCT input length mismatch");
         let mut out = vec![0.0; self.n];
-        for j in 0..self.n {
-            let mut acc = 0.0;
-            for k in 0..self.n {
-                acc += self.basis[k * self.n + j] * x[k];
-            }
-            out[j] = acc;
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = x
+                .iter()
+                .enumerate()
+                .map(|(k, v)| self.basis[k * self.n + j] * v)
+                .sum();
         }
         out
     }

@@ -66,7 +66,10 @@ impl Fft {
     /// Panics if `n` is zero or not a power of two.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two() && n > 0, "FFT size must be a power of two");
+        assert!(
+            n.is_power_of_two() && n > 0,
+            "FFT size must be a power of two"
+        );
         let mut twiddles = Vec::with_capacity(n / 2);
         for k in 0..n / 2 {
             twiddles.push(Complex::from_polar_unit(
@@ -293,7 +296,13 @@ mod tests {
     fn try_forward_reports_length_mismatch() {
         let fft = Fft::new(8);
         let err = fft.try_forward(&[Complex::default(); 4]).unwrap_err();
-        assert_eq!(err, LengthMismatchError { expected: 8, got: 4 });
+        assert_eq!(
+            err,
+            LengthMismatchError {
+                expected: 8,
+                got: 4
+            }
+        );
         assert!(err.to_string().contains("8"));
     }
 

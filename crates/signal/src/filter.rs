@@ -222,7 +222,13 @@ impl Biquad {
         let alpha = w0.sin() / (2.0 * q);
         let cw = w0.cos();
         let a0 = 1.0 + alpha;
-        Self::new(alpha / a0, 0.0, -alpha / a0, -2.0 * cw / a0, (1.0 - alpha) / a0)
+        Self::new(
+            alpha / a0,
+            0.0,
+            -alpha / a0,
+            -2.0 * cw / a0,
+            (1.0 - alpha) / a0,
+        )
     }
 
     /// Processes one sample (direct form II transposed).

@@ -19,7 +19,7 @@
 ///
 /// let a = Q::<15>::from_f64(0.5);
 /// let b = Q::<15>::from_f64(0.25);
-/// assert!((a.mul(b).to_f64() - 0.125).abs() < 1e-4);
+/// assert!((a.saturating_mul(b).to_f64() - 0.125).abs() < 1e-4);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Q<const FRAC: u32>(i32);
@@ -61,19 +61,20 @@ impl<const FRAC: u32> Q<FRAC> {
 
     /// Saturating addition.
     #[must_use]
-    pub fn add(self, rhs: Self) -> Self {
+    pub fn saturating_add(self, rhs: Self) -> Self {
         Self(self.0.saturating_add(rhs.0))
     }
 
     /// Saturating subtraction.
     #[must_use]
-    pub fn sub(self, rhs: Self) -> Self {
+    pub fn saturating_sub(self, rhs: Self) -> Self {
         Self(self.0.saturating_sub(rhs.0))
     }
 
-    /// Fixed-point multiply with rounding, widened internally to `i64`.
+    /// Fixed-point multiply with rounding, widened internally to `i64`
+    /// and saturating at the representable range.
     #[must_use]
-    pub fn mul(self, rhs: Self) -> Self {
+    pub fn saturating_mul(self, rhs: Self) -> Self {
         let wide = self.0 as i64 * rhs.0 as i64;
         let rounded = (wide + (Self::SCALE >> 1)) >> FRAC;
         Self(rounded.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
@@ -96,7 +97,9 @@ impl<const FRAC: u32> core::fmt::Display for Q<FRAC> {
 /// round-tripped values. Used to model fixed-point kernels in tests.
 #[must_use]
 pub fn quantize_slice<const FRAC: u32>(xs: &[f64]) -> Vec<f64> {
-    xs.iter().map(|&x| Q::<FRAC>::from_f64(x).to_f64()).collect()
+    xs.iter()
+        .map(|&x| Q::<FRAC>::from_f64(x).to_f64())
+        .collect()
 }
 
 #[cfg(test)]
@@ -122,16 +125,16 @@ mod tests {
             let b = rng.range_f64(-1.0, 1.0);
             let qa = Q::<15>::from_f64(a);
             let qb = Q::<15>::from_f64(b);
-            assert!((qa.mul(qb).to_f64() - a * b).abs() < 3.0 * Q::<15>::epsilon());
+            assert!((qa.saturating_mul(qb).to_f64() - a * b).abs() < 3.0 * Q::<15>::epsilon());
         }
     }
 
     #[test]
     fn saturating_add_does_not_wrap() {
         let big = Q::<15>::from_raw(i32::MAX);
-        assert_eq!(big.add(big).raw(), i32::MAX);
+        assert_eq!(big.saturating_add(big).raw(), i32::MAX);
         let small = Q::<15>::from_raw(i32::MIN);
-        assert_eq!(small.add(small).raw(), i32::MIN);
+        assert_eq!(small.saturating_add(small).raw(), i32::MIN);
     }
 
     #[test]

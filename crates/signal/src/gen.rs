@@ -124,7 +124,14 @@ impl SignalGen {
 
     /// Linear chirp from `f0` to `f1` Hz over the buffer.
     #[must_use]
-    pub fn chirp(&mut self, f0: f64, f1: f64, amplitude: f64, sample_rate: f64, len: usize) -> Vec<f64> {
+    pub fn chirp(
+        &mut self,
+        f0: f64,
+        f1: f64,
+        amplitude: f64,
+        sample_rate: f64,
+        len: usize,
+    ) -> Vec<f64> {
         let n = len.max(1) as f64;
         (0..len)
             .map(|i| {
@@ -195,15 +202,27 @@ impl SignalGen {
     /// A stock "sentence": voiced/unvoiced/silence alternation of realistic
     /// proportions, `len` samples long.
     #[must_use]
-    pub fn speech_sentence(&mut self, sample_rate: f64, len: usize) -> (Vec<f64>, Vec<SpeechSegment>) {
+    pub fn speech_sentence(
+        &mut self,
+        sample_rate: f64,
+        len: usize,
+    ) -> (Vec<f64>, Vec<SpeechSegment>) {
         let mut plan = Vec::new();
         let mut remaining = len;
         while remaining > 0 {
             let pitch = self.rng.range_f64(90.0, 220.0);
             for seg in [
-                (SpeechSegment::Voiced { pitch_hz: pitch }, (0.12 * sample_rate) as usize),
+                (
+                    SpeechSegment::Voiced { pitch_hz: pitch },
+                    (0.12 * sample_rate) as usize,
+                ),
                 (SpeechSegment::Unvoiced, (0.05 * sample_rate) as usize),
-                (SpeechSegment::Voiced { pitch_hz: pitch * 1.1 }, (0.10 * sample_rate) as usize),
+                (
+                    SpeechSegment::Voiced {
+                        pitch_hz: pitch * 1.1,
+                    },
+                    (0.10 * sample_rate) as usize,
+                ),
                 (SpeechSegment::Silence, (0.04 * sample_rate) as usize),
             ] {
                 let n = seg.1.min(remaining);
@@ -325,12 +344,22 @@ mod tests {
         // Normalized autocorrelation at the 80-sample pitch lag.
         let ac = |x: &[f64], lag: usize| {
             let e: f64 = x.iter().map(|v| v * v).sum();
-            let c: f64 = x[..x.len() - lag].iter().zip(&x[lag..]).map(|(a, b)| a * b).sum();
+            let c: f64 = x[..x.len() - lag]
+                .iter()
+                .zip(&x[lag..])
+                .map(|(a, b)| a * b)
+                .sum();
             c / e.max(1e-12)
         };
         let lag = (fs / 100.0) as usize;
-        assert!(ac(&voiced[500..], lag) > 0.4, "voiced autocorrelation too low");
-        assert!(ac(&unvoiced[500..], lag) < 0.3, "unvoiced autocorrelation too high");
+        assert!(
+            ac(&voiced[500..], lag) > 0.4,
+            "voiced autocorrelation too low"
+        );
+        assert!(
+            ac(&unvoiced[500..], lag) < 0.3,
+            "unvoiced autocorrelation too high"
+        );
     }
 
     #[test]
@@ -339,7 +368,9 @@ mod tests {
         let (s, labels) = g.speech_sentence(8000.0, 12_345);
         assert_eq!(s.len(), 12_345);
         assert_eq!(labels.len(), 12_345);
-        assert!(labels.iter().any(|l| matches!(l, SpeechSegment::Voiced { .. })));
+        assert!(labels
+            .iter()
+            .any(|l| matches!(l, SpeechSegment::Voiced { .. })));
         assert!(labels.iter().any(|l| matches!(l, SpeechSegment::Unvoiced)));
     }
 
@@ -370,10 +401,13 @@ mod tests {
         let mut g = SignalGen::new(9);
         let fs = 8000.0;
         let s = g.chirp(200.0, 3000.0, 1.0, fs, 8192);
-        let early = dominant_bin(&s[..1024].to_vec());
+        let early = dominant_bin(&s[..1024]);
         let late_slice = &s[7168..8192];
         let late = dominant_bin(late_slice);
-        assert!(late > early, "chirp frequency should increase: {early} -> {late}");
+        assert!(
+            late > early,
+            "chirp frequency should increase: {early} -> {late}"
+        );
     }
 
     #[test]

@@ -72,7 +72,7 @@ pub fn psnr(reference: &[f64], test: &[f64], peak: f64) -> Result<f64, LengthMis
 /// # Errors
 ///
 /// Returns [`LengthMismatchError`] if lengths differ or are zero.
-pub fn psnr_u8(reference: &[u8], test: &[u8], ) -> Result<f64, LengthMismatchError> {
+pub fn psnr_u8(reference: &[u8], test: &[u8]) -> Result<f64, LengthMismatchError> {
     check(reference.len(), test.len())?;
     let sum: f64 = reference
         .iter()
@@ -189,7 +189,13 @@ mod tests {
     #[test]
     fn length_mismatch_is_reported() {
         let err = mse(&[1.0], &[1.0, 2.0]).unwrap_err();
-        assert_eq!(err, LengthMismatchError { reference: 1, test: 2 });
+        assert_eq!(
+            err,
+            LengthMismatchError {
+                reference: 1,
+                test: 2
+            }
+        );
         assert!(err.to_string().contains("differ"));
         assert!(mse(&[], &[]).is_err(), "empty sequences are rejected");
     }

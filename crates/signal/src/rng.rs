@@ -53,10 +53,7 @@ impl Xoroshiro128 {
     /// Returns the next 64 random bits.
     pub fn next_u64(&mut self) -> u64 {
         let (s0, mut s1) = (self.s0, self.s1);
-        let result = s0
-            .wrapping_add(s1)
-            .rotate_left(17)
-            .wrapping_add(s0);
+        let result = s0.wrapping_add(s1).rotate_left(17).wrapping_add(s0);
         s1 ^= s0;
         self.s0 = s0.rotate_left(49) ^ s1 ^ (s1 << 21);
         self.s1 = s1.rotate_left(28);
@@ -234,7 +231,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input unchanged");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle left input unchanged"
+        );
     }
 
     #[test]

@@ -151,7 +151,10 @@ mod tests {
         let w = Window::new(WindowKind::Hann, 33);
         let c = w.coefficients();
         for i in 0..c.len() {
-            assert!((c[i] - c[c.len() - 1 - i]).abs() < 1e-12, "asymmetric at {i}");
+            assert!(
+                (c[i] - c[c.len() - 1 - i]).abs() < 1e-12,
+                "asymmetric at {i}"
+            );
         }
         assert!(c[0].abs() < 1e-12 && (c[16] - 1.0).abs() < 1e-12);
     }
@@ -167,7 +170,10 @@ mod tests {
         ] {
             let w = Window::new(kind, 64);
             for &c in w.coefficients() {
-                assert!((-1e-12..=1.0 + 1e-12).contains(&c), "{kind} out of range: {c}");
+                assert!(
+                    (-1e-12..=1.0 + 1e-12).contains(&c),
+                    "{kind} out of range: {c}"
+                );
             }
         }
     }

@@ -148,17 +148,23 @@ pub fn forward_direct(block: &[f64]) -> [f64; BLOCK * BLOCK] {
     let mut out = [0.0; BLOCK * BLOCK];
     for u in 0..n {
         for v in 0..n {
-            let cu = if u == 0 { (1.0 / n as f64).sqrt() } else { (2.0 / n as f64).sqrt() };
-            let cv = if v == 0 { (1.0 / n as f64).sqrt() } else { (2.0 / n as f64).sqrt() };
+            let cu = if u == 0 {
+                (1.0 / n as f64).sqrt()
+            } else {
+                (2.0 / n as f64).sqrt()
+            };
+            let cv = if v == 0 {
+                (1.0 / n as f64).sqrt()
+            } else {
+                (2.0 / n as f64).sqrt()
+            };
             let mut acc = 0.0;
             for x in 0..n {
                 for y in 0..n {
                     acc += block[x * n + y]
-                        * (core::f64::consts::PI * (2 * x + 1) as f64 * u as f64
-                            / (2 * n) as f64)
+                        * (core::f64::consts::PI * (2 * x + 1) as f64 * u as f64 / (2 * n) as f64)
                             .cos()
-                        * (core::f64::consts::PI * (2 * y + 1) as f64 * v as f64
-                            / (2 * n) as f64)
+                        * (core::f64::consts::PI * (2 * y + 1) as f64 * v as f64 / (2 * n) as f64)
                             .cos();
                 }
             }

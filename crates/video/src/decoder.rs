@@ -150,7 +150,11 @@ pub fn decode(bytes: &[u8]) -> Result<DecodedSequence, DecodeError> {
             None
         };
 
-        let matrix = if predicted { &FLAT_MATRIX } else { &BASE_MATRIX };
+        let matrix = if predicted {
+            &FLAT_MATRIX
+        } else {
+            &BASE_MATRIX
+        };
         let quant = Quantizer::from_quality_with_matrix(quality, matrix)
             .map_err(|e| DecodeError::BadQuality(e.0))?;
 
@@ -221,7 +225,11 @@ pub fn decode(bytes: &[u8]) -> Result<DecodedSequence, DecodeError> {
                         let f = field.as_ref().expect("field exists for P frames");
                         let (mbx, mby) = if chroma { (bx, by) } else { (bx / 2, by / 2) };
                         let mv = f.at(mbx.min(f.cols - 1), mby.min(f.rows - 1)).mv;
-                        let (dx, dy) = if chroma { (mv.dx / 2, mv.dy / 2) } else { (mv.dx, mv.dy) };
+                        let (dx, dy) = if chroma {
+                            (mv.dx / 2, mv.dy / 2)
+                        } else {
+                            (mv.dx, mv.dy)
+                        };
                         let pred =
                             rp.block_at((bx * BLOCK) as i32 + dx, (by * BLOCK) as i32 + dy, BLOCK);
                         mc_pixels += (BLOCK * BLOCK) as u64;
@@ -301,16 +309,32 @@ mod tests {
 
     #[test]
     fn kinds_survive_the_stream() {
-        let (_, dec, _) = round_trip(EncoderConfig { gop: 3, ..Default::default() }, 7);
+        let (_, dec, _) = round_trip(
+            EncoderConfig {
+                gop: 3,
+                ..Default::default()
+            },
+            7,
+        );
         for (i, k) in dec.kinds.iter().enumerate() {
-            let expect = if i % 3 == 0 { FrameKind::Intra } else { FrameKind::Predicted };
+            let expect = if i % 3 == 0 {
+                FrameKind::Intra
+            } else {
+                FrameKind::Predicted
+            };
             assert_eq!(*k, expect);
         }
     }
 
     #[test]
     fn all_intra_stream_decodes() {
-        let (frames, dec, _) = round_trip(EncoderConfig { gop: 1, ..Default::default() }, 4);
+        let (frames, dec, _) = round_trip(
+            EncoderConfig {
+                gop: 1,
+                ..Default::default()
+            },
+            4,
+        );
         assert!(dec.kinds.iter().all(|k| *k == FrameKind::Intra));
         for (src, out) in frames.iter().zip(&dec.frames) {
             assert!(psnr_u8(src.luma(), out.luma()).unwrap() > 28.0);
@@ -319,7 +343,10 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        assert!(matches!(decode(&[0, 0, 0, 0]), Err(DecodeError::BadMagic(0))));
+        assert!(matches!(
+            decode(&[0, 0, 0, 0]),
+            Err(DecodeError::BadMagic(0))
+        ));
     }
 
     #[test]

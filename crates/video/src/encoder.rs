@@ -220,11 +220,7 @@ impl EncodedSequence {
         if self.frames.is_empty() {
             0.0
         } else {
-            self.frames
-                .iter()
-                .map(|f| f.psnr_luma_db)
-                .sum::<f64>()
-                / self.frames.len() as f64
+            self.frames.iter().map(|f| f.psnr_luma_db).sum::<f64>() / self.frames.len() as f64
         }
     }
 
@@ -317,10 +313,12 @@ impl Encoder {
         }
 
         let mut tally = StageTally::default();
-        let mut rate = self
-            .config
-            .rate
-            .map(|cfg| RateController::new(cfg, self.config.quality.clamp(cfg.min_quality, cfg.max_quality)));
+        let mut rate = self.config.rate.map(|cfg| {
+            RateController::new(
+                cfg,
+                self.config.quality.clamp(cfg.min_quality, cfg.max_quality),
+            )
+        });
 
         // ---- Pass 1: analyse every frame, producing levels + stats and
         // maintaining the reconstruction loop of Figure 1.
@@ -336,7 +334,13 @@ impl Encoder {
                 self.analyse_intra(frame, quality, &mut tally, &mut reference)?
             } else {
                 let reference_frame = reference.take().expect("reference exists for P frames");
-                self.analyse_predicted(frame, &reference_frame, quality, &mut tally, &mut reference)?
+                self.analyse_predicted(
+                    frame,
+                    &reference_frame,
+                    quality,
+                    &mut tally,
+                    &mut reference,
+                )?
             };
             if let Some(rc) = rate.as_mut() {
                 rc.frame_encoded(Self::estimate_bits(&analysis));
@@ -497,9 +501,7 @@ impl Encoder {
         let recon_frame = Self::frame_from_planes(
             frame.width(),
             frame.height(),
-            recon_planes
-                .try_into()
-                .expect("exactly three planes"),
+            recon_planes.try_into().expect("exactly three planes"),
         );
         let psnr = psnr_u8(frame.luma(), recon_frame.luma()).expect("same dimensions");
         *reference = Some(recon_frame);
@@ -542,13 +544,16 @@ impl Encoder {
                 for bx in 0..cols {
                     // The governing 16x16 luma macroblock for this 8x8 block.
                     let (mbx, mby) = if chroma { (bx, by) } else { (bx / 2, by / 2) };
-                    let mv = field.at(mbx.min(field.cols - 1), mby.min(field.rows - 1)).mv;
-                    let (dx, dy) = if chroma { (mv.dx / 2, mv.dy / 2) } else { (mv.dx, mv.dy) };
-                    let pred = rp.block_at(
-                        (bx * BLOCK) as i32 + dx,
-                        (by * BLOCK) as i32 + dy,
-                        BLOCK,
-                    );
+                    let mv = field
+                        .at(mbx.min(field.cols - 1), mby.min(field.rows - 1))
+                        .mv;
+                    let (dx, dy) = if chroma {
+                        (mv.dx / 2, mv.dy / 2)
+                    } else {
+                        (mv.dx, mv.dy)
+                    };
+                    let pred =
+                        rp.block_at((bx * BLOCK) as i32 + dx, (by * BLOCK) as i32 + dy, BLOCK);
                     tally.mc_pixels += (BLOCK * BLOCK) as u64;
                     let cur_blk = cur.block_at((bx * BLOCK) as i32, (by * BLOCK) as i32, BLOCK);
                     // Residual (no level shift: it is already signed).
@@ -615,15 +620,24 @@ mod tests {
     fn config_validation() {
         assert!(Encoder::new(EncoderConfig::default()).is_ok());
         assert!(matches!(
-            Encoder::new(EncoderConfig { quality: 0, ..Default::default() }),
+            Encoder::new(EncoderConfig {
+                quality: 0,
+                ..Default::default()
+            }),
             Err(EncoderError::BadQuality(_))
         ));
         assert!(matches!(
-            Encoder::new(EncoderConfig { gop: 0, ..Default::default() }),
+            Encoder::new(EncoderConfig {
+                gop: 0,
+                ..Default::default()
+            }),
             Err(EncoderError::ZeroGop)
         ));
         assert!(matches!(
-            Encoder::new(EncoderConfig { search_range: 32, ..Default::default() }),
+            Encoder::new(EncoderConfig {
+                search_range: 32,
+                ..Default::default()
+            }),
             Err(EncoderError::BadSearchRange(32))
         ));
     }
@@ -642,11 +656,19 @@ mod tests {
 
     #[test]
     fn gop_structure_is_respected() {
-        let enc = Encoder::new(EncoderConfig { gop: 4, ..Default::default() }).unwrap();
+        let enc = Encoder::new(EncoderConfig {
+            gop: 4,
+            ..Default::default()
+        })
+        .unwrap();
         let seq = enc.encode(&test_frames(9)).unwrap();
         let kinds: Vec<FrameKind> = seq.frames.iter().map(|f| f.kind).collect();
         for (i, k) in kinds.iter().enumerate() {
-            let expect = if i % 4 == 0 { FrameKind::Intra } else { FrameKind::Predicted };
+            let expect = if i % 4 == 0 {
+                FrameKind::Intra
+            } else {
+                FrameKind::Predicted
+            };
             assert_eq!(*k, expect, "frame {i}");
         }
     }
@@ -655,13 +677,21 @@ mod tests {
     fn compresses_and_preserves_quality() {
         let enc = Encoder::new(EncoderConfig::default()).unwrap();
         let seq = enc.encode(&test_frames(8)).unwrap();
-        assert!(seq.compression_ratio() > 5.0, "ratio {}", seq.compression_ratio());
+        assert!(
+            seq.compression_ratio() > 5.0,
+            "ratio {}",
+            seq.compression_ratio()
+        );
         assert!(seq.mean_psnr_db() > 30.0, "psnr {}", seq.mean_psnr_db());
     }
 
     #[test]
     fn p_frames_cost_fewer_bits_than_i_frames() {
-        let enc = Encoder::new(EncoderConfig { gop: 6, ..Default::default() }).unwrap();
+        let enc = Encoder::new(EncoderConfig {
+            gop: 6,
+            ..Default::default()
+        })
+        .unwrap();
         let seq = enc.encode(&test_frames(12)).unwrap();
         let i_bits: Vec<usize> = seq
             .frames
@@ -686,14 +716,20 @@ mod tests {
     #[test]
     fn higher_quality_costs_more_bits_and_gains_psnr() {
         let frames = test_frames(6);
-        let lo = Encoder::new(EncoderConfig { quality: 25, ..Default::default() })
-            .unwrap()
-            .encode(&frames)
-            .unwrap();
-        let hi = Encoder::new(EncoderConfig { quality: 90, ..Default::default() })
-            .unwrap()
-            .encode(&frames)
-            .unwrap();
+        let lo = Encoder::new(EncoderConfig {
+            quality: 25,
+            ..Default::default()
+        })
+        .unwrap()
+        .encode(&frames)
+        .unwrap();
+        let hi = Encoder::new(EncoderConfig {
+            quality: 90,
+            ..Default::default()
+        })
+        .unwrap()
+        .encode(&frames)
+        .unwrap();
         assert!(hi.total_bits() > lo.total_bits());
         assert!(hi.mean_psnr_db() > lo.mean_psnr_db());
     }

@@ -289,7 +289,10 @@ mod tests {
         assert!(Frame::grey(64, 48).is_ok());
         assert_eq!(
             Frame::grey(65, 48).unwrap_err(),
-            BadDimensionsError { width: 65, height: 48 }
+            BadDimensionsError {
+                width: 65,
+                height: 48
+            }
         );
         assert!(Frame::grey(0, 16).is_err());
     }

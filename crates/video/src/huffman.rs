@@ -160,7 +160,10 @@ impl HuffmanCode {
         }
         // Enforce the length cap (rarely triggered).
         if lengths.iter().any(|&l| l as u32 > MAX_LEN) {
-            let scaled: Vec<u64> = freqs.iter().map(|&f| if f > 0 { (f >> 4).max(1) } else { 0 }).collect();
+            let scaled: Vec<u64> = freqs
+                .iter()
+                .map(|&f| if f > 0 { (f >> 4).max(1) } else { 0 })
+                .collect();
             return Self::from_frequencies(&scaled);
         }
         Self::from_lengths(lengths)

@@ -334,12 +334,9 @@ mod tests {
     #[test]
     fn fast_searches_use_far_fewer_evaluations() {
         let (current, reference) = shifted_pair(2, 1);
-        let full = MotionEstimator::new(SearchKind::Full, 15)
-            .estimate(&current, &reference);
-        let tss = MotionEstimator::new(SearchKind::ThreeStep, 15)
-            .estimate(&current, &reference);
-        let dia = MotionEstimator::new(SearchKind::Diamond, 15)
-            .estimate(&current, &reference);
+        let full = MotionEstimator::new(SearchKind::Full, 15).estimate(&current, &reference);
+        let tss = MotionEstimator::new(SearchKind::ThreeStep, 15).estimate(&current, &reference);
+        let dia = MotionEstimator::new(SearchKind::Diamond, 15).estimate(&current, &reference);
         assert!(tss.total_evaluations() * 10 < full.total_evaluations());
         assert!(dia.total_evaluations() * 10 < full.total_evaluations());
     }

@@ -53,7 +53,11 @@ impl std::error::Error for RleError {}
 /// Panics if `scanned.len() != 64`.
 #[must_use]
 pub fn encode_ac(scanned: &[i16]) -> Vec<RleEvent> {
-    assert_eq!(scanned.len(), BLOCK * BLOCK, "expected an 8x8 scanned block");
+    assert_eq!(
+        scanned.len(),
+        BLOCK * BLOCK,
+        "expected an 8x8 scanned block"
+    );
     let ac = &scanned[1..];
     let mut events = Vec::new();
     let mut run = 0u8;
@@ -239,7 +243,10 @@ mod tests {
 
     #[test]
     fn symbols_stay_in_byte_range() {
-        let ev = RleEvent::Run { run: 15, level: 2047 };
+        let ev = RleEvent::Run {
+            run: 15,
+            level: 2047,
+        };
         let sym = event_symbol(&ev);
         assert!(sym <= 0xFF, "symbol {sym:#x} exceeds the byte alphabet");
     }

@@ -71,14 +71,14 @@ impl SequenceGen {
     pub fn textured_frame(&mut self, width: usize, height: usize) -> Frame {
         let px = self.rng.range_f64(0.01, 0.05);
         let py = self.rng.range_f64(0.01, 0.05);
-        let ph1 = self.rng.range_f64(0.0, 6.28);
-        let ph2 = self.rng.range_f64(0.0, 6.28);
+        let ph1 = self.rng.range_f64(0.0, std::f64::consts::TAU);
+        let ph2 = self.rng.range_f64(0.0, std::f64::consts::TAU);
         let mut f = Frame::grey(width, height).expect("dimensions validated by caller");
         for y in 0..height {
             for x in 0..width {
                 let v = 128.0
-                    + 50.0 * (px * x as f64 * 6.28 + ph1).sin()
-                    + 40.0 * (py * y as f64 * 6.28 + ph2).cos()
+                    + 50.0 * (px * x as f64 * std::f64::consts::TAU + ph1).sin()
+                    + 40.0 * (py * y as f64 * std::f64::consts::TAU + ph2).cos()
                     + 15.0 * ((x / 4 + y / 4) % 2) as f64
                     + self.rng.normal_with(0.0, 2.0);
                 f.set_luma(x, y, v.clamp(0.0, 255.0) as u8);
@@ -162,7 +162,10 @@ impl SequenceGen {
             for v in base.luma_mut() {
                 *v = (*v as i64 + offset).clamp(0, 255) as u8;
             }
-            let (dx, dy) = (self.rng.range_i64(-2, 2) as i32, self.rng.range_i64(-1, 1) as i32);
+            let (dx, dy) = (
+                self.rng.range_i64(-2, 2) as i32,
+                self.rng.range_i64(-1, 1) as i32,
+            );
             for i in 0..len {
                 let mut f = self.shift_frame(&base, dx * i as i32, dy * i as i32);
                 self.add_noise(&mut f, 1.5);
@@ -307,7 +310,10 @@ mod tests {
         assert_eq!(frames.len(), labels.len());
         // 3 programs x10 + 2 breaks x (2 black + 6 comm + 2 black) = 30+20.
         assert_eq!(frames.len(), 50);
-        let blacks = labels.iter().filter(|l| **l == BroadcastLabel::Black).count();
+        let blacks = labels
+            .iter()
+            .filter(|l| **l == BroadcastLabel::Black)
+            .count();
         assert_eq!(blacks, 8);
         // Black frames really are black.
         for (f, l) in frames.iter().zip(&labels) {

@@ -96,8 +96,16 @@ mod tests {
     #[test]
     fn psnr_never_increases_across_generations() {
         let frames = SequenceGen::new(81).panning_sequence(48, 48, 4, 1, 0);
-        let a = EncoderConfig { quality: 60, gop: 4, ..Default::default() };
-        let b = EncoderConfig { quality: 45, gop: 4, ..Default::default() };
+        let a = EncoderConfig {
+            quality: 60,
+            gop: 4,
+            ..Default::default()
+        };
+        let b = EncoderConfig {
+            quality: 45,
+            gop: 4,
+            ..Default::default()
+        };
         let stats = generations(&frames, a, b, 4).unwrap();
         assert_eq!(stats.len(), 4);
         // Re-quantization noise can produce sub-dB wiggle between adjacent
@@ -122,7 +130,11 @@ mod tests {
     #[test]
     fn first_generation_hurts_most() {
         let frames = SequenceGen::new(82).panning_sequence(48, 48, 3, 1, 0);
-        let cfg = EncoderConfig { quality: 50, gop: 3, ..Default::default() };
+        let cfg = EncoderConfig {
+            quality: 50,
+            gop: 3,
+            ..Default::default()
+        };
         let stats = generations(&frames, cfg, cfg, 3).unwrap();
         let drop1 = 100.0 - stats[0].psnr_vs_original_db; // vs lossless
         let drop2 = stats[0].psnr_vs_original_db - stats[1].psnr_vs_original_db;
@@ -137,9 +149,16 @@ mod tests {
         // Re-encoding with the identical quantizer tends to re-hit the same
         // lattice points: later generations lose much less than the first.
         let frames = SequenceGen::new(83).panning_sequence(48, 48, 3, 0, 0);
-        let cfg = EncoderConfig { quality: 50, gop: 1, ..Default::default() };
+        let cfg = EncoderConfig {
+            quality: 50,
+            gop: 1,
+            ..Default::default()
+        };
         let stats = generations(&frames, cfg, cfg, 4).unwrap();
         let late_loss = stats[2].psnr_vs_original_db - stats[3].psnr_vs_original_db;
-        assert!(late_loss < 0.5, "late generations should stabilize, lost {late_loss}");
+        assert!(
+            late_loss < 0.5,
+            "late generations should stabilize, lost {late_loss}"
+        );
     }
 }

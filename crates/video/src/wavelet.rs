@@ -18,14 +18,21 @@
 /// Panics if `x.len()` is odd or zero.
 #[must_use]
 pub fn forward_1d(x: &[i32]) -> Vec<i32> {
-    assert!(!x.is_empty() && x.len() % 2 == 0, "length must be even and nonzero");
+    assert!(
+        !x.is_empty() && x.len() % 2 == 0,
+        "length must be even and nonzero"
+    );
     let n = x.len();
     let half = n / 2;
     let at = |i: i64| -> i32 {
         // Whole-sample symmetric (mirror) extension, as in JPEG2000: the
         // sample one past the end reflects back to index n-2, which keeps
         // the lifting exactly invertible.
-        let idx = if i >= n as i64 { 2 * (n as i64 - 1) - i } else { i.max(0) } as usize;
+        let idx = if i >= n as i64 {
+            2 * (n as i64 - 1) - i
+        } else {
+            i.max(0)
+        } as usize;
         x[idx]
     };
     let mut detail = vec![0i32; half];
@@ -53,7 +60,10 @@ pub fn forward_1d(x: &[i32]) -> Vec<i32> {
 /// Panics if `x.len()` is odd or zero.
 #[must_use]
 pub fn inverse_1d(x: &[i32]) -> Vec<i32> {
-    assert!(!x.is_empty() && x.len() % 2 == 0, "length must be even and nonzero");
+    assert!(
+        !x.is_empty() && x.len() % 2 == 0,
+        "length must be even and nonzero"
+    );
     let n = x.len();
     let half = n / 2;
     let approx = &x[..half];
@@ -69,7 +79,11 @@ pub fn inverse_1d(x: &[i32]) -> Vec<i32> {
     }
     for i in 0..half {
         let left = out[2 * i];
-        let right = if i + 1 < half { out[2 * i + 2] } else { out[2 * i] };
+        let right = if i + 1 < half {
+            out[2 * i + 2]
+        } else {
+            out[2 * i]
+        };
         out[2 * i + 1] = detail[i] + ((left + right) >> 1);
     }
     out
@@ -231,7 +245,8 @@ mod tests {
         let img: Vec<i32> = (0..size * size)
             .map(|i| {
                 let (x, y) = (i % size, i / size);
-                (128.0 + 60.0 * ((x as f64 / 9.0).sin() + (y as f64 / 7.0).cos())
+                (128.0
+                    + 60.0 * ((x as f64 / 9.0).sin() + (y as f64 / 7.0).cos())
                     + rng.normal_with(0.0, 1.0)) as i32
             })
             .collect();

@@ -9,14 +9,9 @@ use crate::dct::BLOCK;
 /// The classic 8×8 zig-zag order: `ZIGZAG[k]` is the row-major index of
 /// the `k`-th scanned coefficient.
 pub const ZIGZAG: [usize; BLOCK * BLOCK] = [
-    0, 1, 8, 16, 9, 2, 3, 10,
-    17, 24, 32, 25, 18, 11, 4, 5,
-    12, 19, 26, 33, 40, 48, 41, 34,
-    27, 20, 13, 6, 7, 14, 21, 28,
-    35, 42, 49, 56, 57, 50, 43, 36,
-    29, 22, 15, 23, 30, 37, 44, 51,
-    58, 59, 52, 45, 38, 31, 39, 46,
-    53, 60, 61, 54, 47, 55, 62, 63,
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
 ];
 
 /// Scans a row-major block into zig-zag order.
@@ -97,7 +92,10 @@ mod tests {
         let mut prev_diag = 0usize;
         for &idx in &ZIGZAG {
             let diag = idx / 8 + idx % 8;
-            assert!(diag + 1 >= prev_diag, "scan jumped backwards by >1 diagonal");
+            assert!(
+                diag + 1 >= prev_diag,
+                "scan jumped backwards by >1 diagonal"
+            );
             prev_diag = prev_diag.max(diag);
         }
     }

@@ -48,7 +48,10 @@ fn main() {
     let mut server = ContentServer::new();
     server.publish(
         "license-77",
-        authority.issue(title, vec![Right::PlayCount(3), Right::Devices(vec![DeviceId(9)])]),
+        authority.issue(
+            title,
+            vec![Right::PlayCount(3), Right::Devices(vec![DeviceId(9)])],
+        ),
     );
     let report = fetch(
         &server,
@@ -71,14 +74,17 @@ fn main() {
         .store_mut()
         .install(&report.data, authority.verification_key())
         .expect("install license");
-    match player.play(title, &protected, 5, 1000).expect("authorized play") {
+    match player
+        .play(title, &protected, 5, 1000)
+        .expect("authorized play")
+    {
         PlaybackOutput::Analog(levels) => {
-            println!("playback: analog output, {} samples (digital bytes never leave the chip)", levels.len());
+            println!(
+                "playback: analog output, {} samples (digital bytes never leave the chip)",
+                levels.len()
+            );
         }
         PlaybackOutput::Digital(_) => unreachable!("analog-only device must not emit digital"),
     }
-    println!(
-        "plays remaining: {}",
-        3 - player.store().plays_used(title)
-    );
+    println!("plays remaining: {}", 3 - player.store().plays_used(title));
 }

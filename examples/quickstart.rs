@@ -24,7 +24,10 @@ fn main() {
         f(encoded.mean_psnr_db(), 1)
     );
     let decoded = video::decoder::decode(&encoded.bytes).expect("decode");
-    println!("video: decoder reconstructed {} frames", decoded.frames.len());
+    println!(
+        "video: decoder reconstructed {} frames",
+        decoded.frames.len()
+    );
 
     // 2. Compress audio (Figure 2 pipeline).
     let pcm = signal::gen::SignalGen::new(2).music(440.0, 44_100.0, 4 * 1152);

@@ -38,12 +38,25 @@ fn main() {
     let protected = authority.encrypt_content(title, &encoded.bytes, 9);
     let sealed = authority.issue(
         title,
-        vec![Right::Play, Right::TimeWindow { not_before: 1_000, not_after: 2_000 }],
+        vec![
+            Right::Play,
+            Right::TimeWindow {
+                not_before: 1_000,
+                not_after: 2_000,
+            },
+        ],
     );
     let mut stb = PlaybackDevice::new(DeviceId(3), OutputPolicy::DigitalAllowed);
-    stb.store_mut().install(&sealed, authority.verification_key()).expect("install");
-    assert!(stb.play(title, &protected, 9, 500).is_err(), "too early must refuse");
-    let output = stb.play(title, &protected, 9, 1_500).expect("inside window");
+    stb.store_mut()
+        .install(&sealed, authority.verification_key())
+        .expect("install");
+    assert!(
+        stb.play(title, &protected, 9, 500).is_err(),
+        "too early must refuse"
+    );
+    let output = stb
+        .play(title, &protected, 9, 1_500)
+        .expect("inside window");
     let PlaybackOutput::Digital(bitstream) = output else {
         unreachable!("digital path configured")
     };
@@ -51,7 +64,10 @@ fn main() {
 
     // 3. Decode on the box (cheap side of the asymmetry).
     let decoded = decode(&bitstream).expect("decode");
-    println!("decode: {} frames reconstructed from the protected stream", decoded.frames.len());
+    println!(
+        "decode: {} frames reconstructed from the protected stream",
+        decoded.frames.len()
+    );
 
     // 4. The disc drive servo, adapted to this box's mechanism.
     let mech = Mechanism::stiff();
@@ -69,6 +85,10 @@ fn main() {
     println!(
         "set-top-box platform: {} fps vs 30 fps target ({})",
         f(d.throughput_hz(), 1),
-        if d.meets(30.0) { "fits comfortably" } else { "DOES NOT fit" }
+        if d.meets(30.0) {
+            "fits comfortably"
+        } else {
+            "DOES NOT fit"
+        }
     );
 }

@@ -19,9 +19,11 @@ fn main() {
     // 1. "Receive" a broadcast with two commercial breaks.
     let mut gen = SequenceGen::new(7);
     let (frames, labels) = gen.broadcast(176, 144, 150, 12, 2, 3, false, 2.0);
-    println!("broadcast: {} frames ({} labelled skippable)",
+    println!(
+        "broadcast: {} frames ({} labelled skippable)",
         frames.len(),
-        labels.iter().filter(|l| l.is_skippable()).count());
+        labels.iter().filter(|l| l.is_skippable()).count()
+    );
 
     // 2. Detect the commercial breaks (Replay's black-frame cue).
     let detector = CommercialDetector::default();
@@ -52,7 +54,8 @@ fn main() {
     // 4. Write it to the recorder's file system and read it back.
     let mut fs = MediaFs::new(65_536, 2048, AllocPolicy::FirstFit);
     fs.mkdir("/recordings").expect("mkdir");
-    fs.create("/recordings/show.mmv", &encoded.bytes).expect("create");
+    fs.create("/recordings/show.mmv", &encoded.bytes)
+        .expect("create");
     let back = fs.read("/recordings/show.mmv").expect("read");
     assert_eq!(back, encoded.bytes, "file system corrupted the recording");
     println!(
@@ -66,7 +69,11 @@ fn main() {
     println!(
         "DVR platform: {} fps achieved vs 30 fps target ({}) using {}",
         f(d.throughput_hz(), 1),
-        if d.meets(30.0) { "meets real time" } else { "MISSES real time" },
+        if d.meets(30.0) {
+            "meets real time"
+        } else {
+            "MISSES real time"
+        },
         d.strategy
     );
 }

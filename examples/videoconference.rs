@@ -20,7 +20,10 @@ fn main() {
     // 1. Terminal A encodes its camera feed with the symmetric config.
     let frames = SequenceGen::new(21).panning_sequence(176, 144, 10, 1, 1);
     let config = EncoderConfig::symmetric_conference();
-    let encoded = Encoder::new(config).expect("valid").encode(&frames).expect("encode");
+    let encoded = Encoder::new(config)
+        .expect("valid")
+        .encode(&frames)
+        .expect("encode");
     println!(
         "terminal A: {} frames encoded with {} search -> {} KiB",
         frames.len(),
@@ -35,8 +38,11 @@ fn main() {
                 .expect("valid")
                 .encode(&frames)
                 .expect("encode");
-            f(full.tally.me_sad_evaluations as f64
-                / encoded.tally.me_sad_evaluations.max(1) as f64, 1)
+            f(
+                full.tally.me_sad_evaluations as f64
+                    / encoded.tally.me_sad_evaluations.max(1) as f64,
+                1,
+            )
         }
     );
 
@@ -68,6 +74,10 @@ fn main() {
     println!(
         "cell-phone platform: {} fps vs 15 fps call target ({})",
         f(d.throughput_hz(), 1),
-        if d.meets(15.0) { "symmetric call fits" } else { "DOES NOT fit" }
+        if d.meets(15.0) {
+            "symmetric call fits"
+        } else {
+            "DOES NOT fit"
+        }
     );
 }

@@ -1,0 +1,52 @@
+//! Workspace smoke test: all five `examples/` targets build, and the
+//! `quickstart` example runs to successful exit.
+//!
+//! Driven through the same `cargo` that is running the test suite, in
+//! the same target directory, so on a warm tree this only links the
+//! example binaries.
+
+use std::path::Path;
+use std::process::Command;
+
+/// The workspace root (this package lives in `<root>/tests`).
+fn workspace_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/.."))
+}
+
+fn cargo(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO"))
+        .args(args)
+        .current_dir(workspace_root())
+        .output()
+        .expect("spawn cargo")
+}
+
+#[test]
+fn examples_build_and_quickstart_runs() {
+    let build = cargo(&["build", "--package", "mm-examples", "--examples"]);
+    assert!(
+        build.status.success(),
+        "`cargo build --examples` failed:\n{}",
+        String::from_utf8_lossy(&build.stderr)
+    );
+
+    let run = cargo(&[
+        "run",
+        "--quiet",
+        "--package",
+        "mm-examples",
+        "--example",
+        "quickstart",
+    ]);
+    assert!(
+        run.status.success(),
+        "quickstart exited with {:?}:\n{}",
+        run.status.code(),
+        String::from_utf8_lossy(&run.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&run.stdout);
+    assert!(
+        stdout.contains("fps"),
+        "quickstart produced no deployment report:\n{stdout}"
+    );
+}

@@ -5,7 +5,9 @@
 //! If an implementation change breaks one of the paper's qualitative
 //! claims, this file fails before EXPERIMENTS.md goes stale.
 
-use mmsoc::{audio_encoder_pipeline, video_decoder_pipeline, video_encoder_pipeline, VideoPipelineSpec};
+use mmsoc::{
+    audio_encoder_pipeline, video_decoder_pipeline, video_encoder_pipeline, VideoPipelineSpec,
+};
 use video::encoder::{Encoder, EncoderConfig};
 use video::synth::SequenceGen;
 
@@ -46,7 +48,10 @@ fn e2_front_end_dominates_audio_encoder() {
 fn e3_asymmetry_ratio() {
     let frames = qcif(8, 902);
     let ratio = |cfg: EncoderConfig| {
-        let enc = Encoder::new(cfg).expect("cfg").encode(&frames).expect("encode");
+        let enc = Encoder::new(cfg)
+            .expect("cfg")
+            .encode(&frames)
+            .expect("encode");
         let dec = video::decoder::decode(&enc.bytes).expect("decode");
         let enc_ops = enc.tally.me_pixel_ops + enc.tally.dct_macs();
         let dec_ops = dec.idct_blocks * 1024 + dec.mc_pixels;
@@ -70,7 +75,10 @@ fn e3_decoder_cost_is_flat() {
     );
     let ta = a.graph.total_ops().total() as f64;
     let tb = b.graph.total_ops().total() as f64;
-    assert!((ta / tb - 1.0).abs() < 0.35, "decoder cost varied: {ta} vs {tb}");
+    assert!(
+        (ta / tb - 1.0).abs() < 0.35,
+        "decoder cost varied: {ta} vs {tb}"
+    );
 }
 
 /// E5: fast searches use >=10x fewer evaluations than full search.
@@ -80,7 +88,11 @@ fn e5_search_cost_ordering() {
     let mut g = SequenceGen::new(904);
     let r = g.textured_frame(64, 64);
     let c = g.shift_frame(&r, 3, 2);
-    let evals = |k| MotionEstimator::new(k, 15).estimate(&c, &r).total_evaluations();
+    let evals = |k| {
+        MotionEstimator::new(k, 15)
+            .estimate(&c, &r)
+            .total_evaluations()
+    };
     let full = evals(SearchKind::Full);
     assert!(full > 10 * evals(SearchKind::ThreeStep));
     assert!(full > 10 * evals(SearchKind::Diamond));
@@ -90,7 +102,11 @@ fn e5_search_cost_ordering() {
 #[test]
 fn e6_no_quality_recovery() {
     let frames = qcif(4, 905);
-    let cfg = EncoderConfig { quality: 55, gop: 4, ..Default::default() };
+    let cfg = EncoderConfig {
+        quality: 55,
+        gop: 4,
+        ..Default::default()
+    };
     let stats = video::transcode::generations(&frames, cfg, cfg, 3).expect("chain");
     assert!(
         stats.last().expect("nonempty").psnr_vs_original_db
@@ -148,7 +164,10 @@ fn e16_bus_saturation() {
     };
     let wide = fps_at(400e6);
     let narrow = fps_at(2.5e6);
-    assert!(narrow < 0.7 * wide, "bus starvation had no effect: {narrow} vs {wide}");
+    assert!(
+        narrow < 0.7 * wide,
+        "bus starvation had no effect: {narrow} vs {wide}"
+    );
 }
 
 /// E17: workload ordering across device classes matches §2.
@@ -170,7 +189,13 @@ fn e18_wavelet_less_blocking() {
     const SIZE: usize = 32;
     // Sharp edge image.
     let img: Vec<i32> = (0..SIZE * SIZE)
-        .map(|i| if (i % SIZE) > 10 && (i / SIZE) > 10 { 200 } else { 30 })
+        .map(|i| {
+            if (i % SIZE) > 10 && (i / SIZE) > 10 {
+                200
+            } else {
+                30
+            }
+        })
         .collect();
     // DCT: keep 4 per block.
     let dct = Dct2d::new();
@@ -218,5 +243,8 @@ fn e18_wavelet_less_blocking() {
     };
     let d = boundary_err(&dct_out);
     let wv = boundary_err(&wav_out);
-    assert!(wv < d, "wavelet boundary error {wv:.2} not below DCT {d:.2}");
+    assert!(
+        wv < d,
+        "wavelet boundary error {wv:.2} not below DCT {d:.2}"
+    );
 }

@@ -1,0 +1,184 @@
+//! Minimal, dependency-free stand-in for the [criterion] benchmark
+//! harness, vendored because this build environment has no registry
+//! access.
+//!
+//! It implements exactly the API surface the workspace benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`criterion_group!`], [`criterion_main!`] — with a
+//! simple wall-clock measurement loop: per benchmark it warms up briefly,
+//! picks an iteration count targeting a fixed measurement window, runs
+//! `sample_size` samples, and prints the median/min/max time per
+//! iteration. Swap the `path` dependency in the workspace root for the
+//! registry crate to get the real statistical harness; the bench sources
+//! compile unchanged against either.
+//!
+//! [criterion]: https://docs.rs/criterion
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers compile; benches should
+/// prefer `std::hint::black_box` directly.
+pub use std::hint::black_box;
+
+/// Target wall-clock time for one measurement sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+/// Upper bound on warmup spent sizing the iteration count.
+const WARMUP_TARGET: Duration = Duration::from_millis(50);
+
+/// Timing loop handed to the closure of [`Criterion::bench_function`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` invocations of `routine`, keeping results opaque to
+    /// the optimizer.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark driver; one per bench binary.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Accepted for CLI compatibility with the real harness; the cargo
+    /// `--bench` flag and filter arguments are ignored.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Benchmark a single routine and print its per-iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        run_one(&id.into(), self.sample_size, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measurement samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmark a routine under `group_name/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into()), self.sample_size, f);
+        self
+    }
+
+    /// Finish the group (report flushing is a no-op here).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    // Warmup: find an iteration count whose sample lands near the target
+    // window, doubling from 1 while a sample finishes too quickly.
+    let mut iters: u64 = 1;
+    let warmup_start = Instant::now();
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= SAMPLE_TARGET || warmup_start.elapsed() >= WARMUP_TARGET {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+
+    let mut per_iter: Vec<f64> = (0..sample_size)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_secs_f64() / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter[per_iter.len() / 2];
+    let min = per_iter[0];
+    let max = per_iter[per_iter.len() - 1];
+    println!(
+        "{id:<40} time: [{} {} {}]  ({iters} iters x {sample_size} samples)",
+        fmt_time(min),
+        fmt_time(median),
+        fmt_time(max),
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declare a function that runs each listed benchmark against one
+/// [`Criterion`] instance.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,34 @@
+//! Fixed-size array strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `[S::Value; N]` drawing every element from `S`.
+#[derive(Debug, Clone)]
+pub struct UniformArrayStrategy<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+    type Value = [S::Value; N];
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|_| self.element.generate(rng))
+    }
+}
+
+macro_rules! uniform_fns {
+    ($($name:ident => $n:literal),+ $(,)?) => {$(
+        /// Generate arrays of the given length from one element strategy.
+        pub fn $name<S: Strategy>(element: S) -> UniformArrayStrategy<S, $n> {
+            UniformArrayStrategy { element }
+        }
+    )+};
+}
+
+uniform_fns!(
+    uniform4 => 4,
+    uniform8 => 8,
+    uniform16 => 16,
+    uniform32 => 32,
+);

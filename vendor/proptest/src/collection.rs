@@ -1,0 +1,67 @@
+//! Collection strategies: `vec` and the [`SizeRange`] bounds type.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Inclusive bounds on a generated collection's length.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        Self {
+            min: exact,
+            max: exact,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        Self {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with length drawn from a [`SizeRange`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.size.max - self.size.min) as u128 + 1;
+        let len = self.size.min + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generate vectors of `element` values with length in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}

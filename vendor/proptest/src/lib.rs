@@ -1,0 +1,105 @@
+//! Minimal, dependency-free stand-in for the [proptest] property-testing
+//! framework, vendored because this build environment has no registry
+//! access.
+//!
+//! It implements the API surface the workspace's property suite uses:
+//! the [`proptest!`] macro (including `#![proptest_config(..)]`),
+//! [`prop_assert!`]/[`prop_assert_eq!`], range and tuple strategies,
+//! [`collection::vec`], [`array::uniform16`], and [`arbitrary::any`].
+//! Generation is fully deterministic — every case seed derives from the
+//! test's module path, name, and case index — so `cargo test` gives the
+//! same verdict on every run and machine. Unlike the real crate there is
+//! no shrinking: a failing case reports the generated inputs verbatim.
+//! Swap the `path` dependency in the workspace root for the registry
+//! crate to get shrinking and the full strategy library; the test
+//! sources compile unchanged against either.
+//!
+//! [proptest]: https://docs.rs/proptest
+
+pub mod arbitrary;
+pub mod array;
+pub mod collection;
+pub mod num;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Fail the current property case; takes the same forms as [`assert!`].
+///
+/// Without shrinking support, this panics immediately and the harness in
+/// [`proptest!`] reports the generated inputs for the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Fail the current property case unless the two values are equal; takes
+/// the same forms as [`assert_eq!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Fail the current property case if the two values are equal; takes the
+/// same forms as [`assert_ne!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declare property tests: each `fn name(arg in strategy, ..) { body }`
+/// item becomes a `#[test]` that draws `config.cases` deterministic
+/// inputs from the strategies and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $(
+        $(#[$meta:meta])*
+        fn $test_name:ident($($parm:ident in $strategy:expr),+ $(,)?) $body:block
+     )*) => {
+        $(
+            $crate::proptest!(@one ($config) $(#[$meta])* fn $test_name($($parm in $strategy),+) $body);
+        )*
+    };
+
+    ($(
+        $(#[$meta:meta])*
+        fn $test_name:ident($($parm:ident in $strategy:expr),+ $(,)?) $body:block
+     )*) => {
+        $(
+            $crate::proptest!(@one ($crate::test_runner::ProptestConfig::default())
+                $(#[$meta])* fn $test_name($($parm in $strategy),+) $body);
+        )*
+    };
+
+    (@one ($config:expr)
+     $(#[$meta:meta])*
+     fn $test_name:ident($($parm:ident in $strategy:expr),+ $(,)?) $body:block) => {
+        $(#[$meta])*
+        fn $test_name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($test_name)),
+                    u64::from(case),
+                );
+                $(let $parm = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                let described = format!(
+                    concat!($(stringify!($parm), " = {:?}; ",)+),
+                    $(&$parm),+
+                );
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(move || $body));
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest case {}/{} of {} failed with inputs: {}",
+                        case + 1,
+                        config.cases,
+                        stringify!($test_name),
+                        described,
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    };
+}

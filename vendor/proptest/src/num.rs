@@ -1,0 +1,72 @@
+//! Range strategies over the primitive numeric types.
+//!
+//! `lo..hi`, `lo..=hi`, and `lo..` range expressions are themselves the
+//! strategies, exactly as in the real crate.
+
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+macro_rules! int_ranges {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer range strategy");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + rng.below(width) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty integer range strategy");
+                let width = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + rng.below(width) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let width = (<$t>::MAX as i128 - self.start as i128) as u128 + 1;
+                (self.start as i128 + rng.below(width) as i128) as $t
+            }
+        }
+    )+};
+}
+
+int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_ranges {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty float range strategy");
+                let x = self.start + (self.end - self.start) * rng.unit_f64() as $t;
+                // Guard against rounding up onto the excluded endpoint.
+                if x < self.end { x } else { self.start }
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty float range strategy");
+                lo + (hi - lo) * rng.unit_f64() as $t
+            }
+        }
+    )+};
+}
+
+float_ranges!(f32, f64);

@@ -1,0 +1,12 @@
+//! One-stop imports for property tests: `use proptest::prelude::*;`.
+
+pub use crate::arbitrary::{any, Arbitrary};
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+/// Namespace mirror of the real crate's `prelude::prop`, so strategies
+/// are reachable as `prop::collection::vec` etc.
+pub mod prop {
+    pub use crate::{array, collection, num, strategy};
+}

@@ -1,0 +1,69 @@
+//! Deterministic case runner state: configuration and the per-case RNG.
+
+/// Subset of proptest's run configuration honoured by the stand-in.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate's default; properties that need a tighter test
+        // budget set an explicit `with_cases` in `proptest_config`.
+        Self { cases: 256 }
+    }
+}
+
+/// SplitMix64 generator seeded from the test identity and case index, so
+/// every run of the suite draws identical inputs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for case `case` of the test uniquely named by `test_id`.
+    #[must_use]
+    pub fn deterministic(test_id: &str, case: u64) -> Self {
+        // FNV-1a over the identity, then mix in the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_id.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self {
+            state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u128) -> u128 {
+        debug_assert!(bound > 0);
+        let raw = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+        raw % bound
+    }
+
+    /// Uniform draw from the unit interval `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
