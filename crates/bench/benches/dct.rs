@@ -1,6 +1,14 @@
-//! Criterion bench for E4: separable vs direct 8x8 DCT.
+//! Criterion bench for E4/E19: 8x8 DCT implementations.
+//!
+//! Three tiers: the O(N⁴) direct evaluation (oracle/baseline), the seed's
+//! generic matrix row–column composition, and the fixed-8 butterfly the
+//! codec now runs on — so the speedup of each specialisation step stays
+//! visible in `cargo bench` output.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use mmbench::perf::matrix_dct2d_forward;
+use signal::dct1d::Dct1d;
+use signal::dct8::fdct8;
 use signal::rng::Xoroshiro128;
 use video::dct::{forward_direct, Dct2d};
 
@@ -8,15 +16,24 @@ fn bench_dct(c: &mut Criterion) {
     let mut rng = Xoroshiro128::new(4);
     let block: Vec<f64> = (0..64).map(|_| rng.range_f64(-128.0, 127.0)).collect();
     let dct = Dct2d::new();
-    c.bench_function("dct8x8_rowcol", |b| {
+    let dct1d = Dct1d::new(8);
+    c.bench_function("dct8x8_butterfly", |b| {
         b.iter(|| dct.forward(std::hint::black_box(&block)));
+    });
+    c.bench_function("dct8x8_matrix_rowcol", |b| {
+        b.iter(|| matrix_dct2d_forward(&dct1d, std::hint::black_box(&block)));
     });
     c.bench_function("dct8x8_direct", |b| {
         b.iter(|| forward_direct(std::hint::black_box(&block)));
     });
     let coeffs = dct.forward(&block);
-    c.bench_function("idct8x8_rowcol", |b| {
+    c.bench_function("idct8x8_butterfly", |b| {
         b.iter(|| dct.inverse(std::hint::black_box(&coeffs)));
+    });
+    let mut line = [0.0f64; 8];
+    line.copy_from_slice(&block[..8]);
+    c.bench_function("fdct8_1d", |b| {
+        b.iter(|| fdct8(std::hint::black_box(&line)));
     });
 }
 

@@ -1,7 +1,15 @@
-//! Criterion bench for E5: motion-estimation search strategies.
+//! Criterion bench for E5/E19: motion-estimation search strategies and
+//! the SAD candidate-evaluation kernels underneath them.
+//!
+//! `sad_16x16/*` compares the seed's alloc-copy candidate evaluation
+//! (`luma_block_at -> Vec` + contiguous `sad_u8`) against the
+//! zero-allocation strided kernel and its bounded early-exit variant, so
+//! the per-candidate win of the hot-path rewrite stays visible in
+//! `cargo bench` output.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use video::me::{MotionEstimator, SearchKind};
+use signal::metrics::{sad_u8, sad_u8_bounded, sad_u8_strided};
+use video::me::{MotionEstimator, SearchKind, MB};
 use video::synth::SequenceGen;
 
 fn bench_me(c: &mut Criterion) {
@@ -24,5 +32,60 @@ fn bench_me(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_me);
+fn bench_sad_kernels(c: &mut Criterion) {
+    let mut gen = SequenceGen::new(5);
+    let reference = gen.textured_frame(176, 144);
+    let mut current = gen.shift_frame(&reference, 4, -2);
+    gen.add_noise(&mut current, 3.0);
+    // One interior candidate comparison, the way each implementation
+    // evaluates it inside the search loop.
+    let mut target = [0u8; MB * MB];
+    current.luma_block_into(3, 3, MB, &mut target);
+    let (cx, cy) = ((3 * MB) as i32 + 5, (3 * MB) as i32 - 4);
+    let stride = reference.width();
+    let (cand, cand_stride) = reference
+        .luma_view(cx, cy, MB)
+        .interior()
+        .expect("candidate is interior");
+    // A realistic mid-search cutoff: half the candidate's true SAD, so
+    // the bounded kernel actually abandons.
+    let cutoff = sad_u8_strided(&target, MB, cand, cand_stride, MB, MB) / 2;
+
+    let mut group = c.benchmark_group("sad_16x16");
+    group.sample_size(10);
+    group.bench_function("alloc_copy_seed_path", |b| {
+        b.iter(|| {
+            let cand = reference.luma_block_at(std::hint::black_box(cx), cy, MB);
+            sad_u8(std::hint::black_box(&target), &cand)
+        });
+    });
+    group.bench_function("strided", |b| {
+        b.iter(|| {
+            sad_u8_strided(
+                std::hint::black_box(&target),
+                MB,
+                std::hint::black_box(cand),
+                stride,
+                MB,
+                MB,
+            )
+        });
+    });
+    group.bench_function("bounded_early_exit", |b| {
+        b.iter(|| {
+            sad_u8_bounded(
+                std::hint::black_box(&target),
+                MB,
+                std::hint::black_box(cand),
+                stride,
+                MB,
+                MB,
+                std::hint::black_box(cutoff),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_me, bench_sad_kernels);
 criterion_main!(benches);

@@ -10,6 +10,8 @@ use video::encoder::EncoderConfig;
 use video::frame::Frame;
 use video::synth::SequenceGen;
 
+pub mod perf;
+
 /// The canonical seed for every experiment workload.
 pub const SEED: u64 = 2005; // the paper's year
 

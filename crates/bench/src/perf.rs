@@ -1,0 +1,254 @@
+//! Machine-readable perf reporting for the experiment harness.
+//!
+//! Every perf-focused PR is judged against the repo's bench trajectory
+//! (`BENCH_*.json` at the workspace root). This module is the writer: a
+//! tiny dependency-free JSON emitter ([`PerfReport`]) plus a wall-clock
+//! measurement loop ([`median_ns_per_iter`]) shared by the `exp_e19_perf`
+//! binary and any future perf regenerators. The format is deliberately
+//! flat — one named entry per kernel, each a map of metric name to
+//! number — so CI can smoke-parse it and humans can diff it.
+
+use signal::dct1d::Dct1d;
+use std::time::{Duration, Instant};
+
+/// The seed `Dct2d`: generic matrix 1-D transforms composed row–column.
+/// Kept here (not in `video`, which now runs the fixed-8 butterfly) as
+/// the single copy of the baseline that `exp_e19_perf` and the `dct`
+/// bench both measure against.
+///
+/// # Panics
+///
+/// Panics if `block.len() != 64` or `dct` was not planned for size 8.
+#[must_use]
+pub fn matrix_dct2d_forward(dct: &Dct1d, block: &[f64]) -> [f64; 64] {
+    assert_eq!(block.len(), 64, "expected an 8x8 block");
+    assert_eq!(dct.len(), 8, "expected an 8-point 1-D DCT");
+    let mut tmp = [0.0; 64];
+    let mut line = [0.0; 8];
+    for r in 0..8 {
+        dct.forward_into(&block[r * 8..(r + 1) * 8], &mut line);
+        tmp[r * 8..(r + 1) * 8].copy_from_slice(&line);
+    }
+    let mut out = [0.0; 64];
+    let mut col = [0.0; 8];
+    for c in 0..8 {
+        for r in 0..8 {
+            col[r] = tmp[r * 8 + c];
+        }
+        dct.forward_into(&col, &mut line);
+        for r in 0..8 {
+            out[r * 8 + c] = line[r];
+        }
+    }
+    out
+}
+
+/// One measured kernel: a name plus ordered `metric -> value` pairs.
+#[derive(Debug, Clone)]
+pub struct PerfEntry {
+    /// Kernel/scenario name, e.g. `"me_full_qcif"`.
+    pub name: String,
+    /// Ordered metrics, e.g. `("wall_ns_per_block", 812.4)`.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl PerfEntry {
+    /// Creates an empty entry.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Appends a metric (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite values — NaN/inf have no JSON encoding and
+    /// always indicate a harness bug.
+    #[must_use]
+    pub fn metric(mut self, name: &str, value: f64) -> Self {
+        assert!(value.is_finite(), "metric {name} is not finite: {value}");
+        self.metrics.push((name.to_string(), value));
+        self
+    }
+}
+
+/// A set of [`PerfEntry`]s serialisable as a JSON document.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Report name, e.g. `"video_hot_path"`.
+    pub name: String,
+    /// The binary that generated it, e.g. `"exp_e19_perf"`.
+    pub generated_by: String,
+    /// Measured kernels, in insertion order.
+    pub entries: Vec<PerfEntry>,
+}
+
+impl PerfReport {
+    /// Creates an empty report.
+    #[must_use]
+    pub fn new(name: &str, generated_by: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            generated_by: generated_by.to_string(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Adds an entry.
+    pub fn push(&mut self, entry: PerfEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Serialises the report as pretty-printed JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"report\": {},\n", json_string(&self.name)));
+        out.push_str(&format!(
+            "  \"generated_by\": {},\n",
+            json_string(&self.generated_by)
+        ));
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"name\": {},\n", json_string(&e.name)));
+            out.push_str("      \"metrics\": {");
+            for (j, (k, v)) in e.metrics.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n        {}: {}",
+                    json_string(k),
+                    json_number(*v)
+                ));
+            }
+            out.push_str("\n      }\n");
+            out.push_str(if i + 1 < self.entries.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON document to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_number(v: f64) -> String {
+    assert!(v.is_finite(), "JSON cannot encode {v}");
+    // Round-trippable but diff-friendly: 3 decimal places is ample for ns.
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Median wall-clock nanoseconds of one invocation of `f`, using the
+/// same sizing strategy as the vendored criterion harness: double the
+/// iteration count until a sample lasts ~10 ms, then take the median of
+/// 7 samples.
+pub fn median_ns_per_iter<F: FnMut()>(mut f: F) -> f64 {
+    const SAMPLE_TARGET: Duration = Duration::from_millis(10);
+    const WARMUP_TARGET: Duration = Duration::from_millis(40);
+    const SAMPLES: usize = 7;
+    let mut iters: u64 = 1;
+    let warmup = Instant::now();
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        if t.elapsed() >= SAMPLE_TARGET || warmup.elapsed() >= WARMUP_TARGET {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    let mut per_iter: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t.elapsed().as_secs_f64() * 1e9 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    per_iter[SAMPLES / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_parseable_by_inspection() {
+        let mut r = PerfReport::new("video_hot_path", "exp_e19_perf");
+        r.push(
+            PerfEntry::new("me_full")
+                .metric("wall_ns_per_block", 812.375)
+                .metric("sad_evaluations", 225.0),
+        );
+        r.push(PerfEntry::new("dct8x8").metric("wall_ns_per_block", 96.0));
+        let j = r.to_json();
+        // Structural sanity: balanced braces/brackets, both entries, and
+        // metric keys present.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(j.contains("\"me_full\"") && j.contains("\"dct8x8\""));
+        assert!(j.contains("\"wall_ns_per_block\": 812.375"));
+        assert!(j.contains("\"sad_evaluations\": 225"));
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let r = PerfReport::new("a\"b\\c\nd", "t");
+        let j = r.to_json();
+        assert!(j.contains("a\\\"b\\\\c\\nd"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not finite")]
+    fn non_finite_metric_panics() {
+        let _ = PerfEntry::new("x").metric("bad", f64::NAN);
+    }
+
+    #[test]
+    fn timer_returns_positive_duration() {
+        let mut acc = 0u64;
+        let ns = median_ns_per_iter(|| {
+            acc = acc.wrapping_add(std::hint::black_box(1));
+        });
+        assert!(ns > 0.0);
+    }
+}

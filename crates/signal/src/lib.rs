@@ -3,8 +3,10 @@
 //! Shared signal-processing building blocks used by every functional
 //! subsystem of the reproduction of Wolf, *Multimedia Applications of
 //! Multiprocessor Systems-on-Chips* (DATE 2005): transforms ([`fft`],
-//! [`dct1d`]), [`window`] functions, digital [`filter`] primitives, quality
-//! [`metrics`] (PSNR/SNR), a deterministic [`rng`], descriptive [`stats`],
+//! [`dct1d`], the fast fixed-size [`dct8`] butterfly), [`window`]
+//! functions, digital [`filter`] primitives, quality
+//! [`metrics`] (PSNR/SNR, strided/bounded SAD), a deterministic [`rng`],
+//! descriptive [`stats`],
 //! fixed-point helpers ([`fixed`]) and parametric signal [`gen`]erators
 //! (tones, noise, the voiced/unvoiced speech model of the paper's §4, and
 //! harmonic "music").
@@ -34,6 +36,7 @@
 
 pub mod bits;
 pub mod dct1d;
+pub mod dct8;
 pub mod fft;
 pub mod filter;
 pub mod fixed;

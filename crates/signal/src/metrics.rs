@@ -130,6 +130,108 @@ pub fn sad_u8(a: &[u8], b: &[u8]) -> u64 {
         .sum()
 }
 
+fn check_strided(len: usize, stride: usize, w: usize, h: usize) {
+    assert!(w > 0 && h > 0, "SAD block must be non-empty");
+    assert!(stride >= w, "stride shorter than row width");
+    assert!(
+        len >= (h - 1) * stride + w,
+        "buffer too short for {h} rows at stride {stride}"
+    );
+}
+
+/// Stride-aware SAD over a `w x h` window of two row-major buffers.
+///
+/// Unlike [`sad_u8`], the operands may live *inside* larger planes: `a`
+/// and `b` start at each window's top-left sample and rows are `a_stride`
+/// / `b_stride` apart. This is the motion-search matching cost evaluated
+/// directly against the reference plane, with no block copy.
+///
+/// # Panics
+///
+/// Panics if a stride is shorter than `w` or a buffer cannot hold `h`
+/// rows at its stride.
+#[must_use]
+pub fn sad_u8_strided(
+    a: &[u8],
+    a_stride: usize,
+    b: &[u8],
+    b_stride: usize,
+    w: usize,
+    h: usize,
+) -> u64 {
+    sad_u8_bounded(a, a_stride, b, b_stride, w, h, u64::MAX)
+}
+
+/// [`sad_u8_strided`] with a row-wise early exit: once the running sum
+/// exceeds `cutoff`, the remaining rows are skipped and the partial sum
+/// (already `> cutoff`) is returned.
+///
+/// Motion search passes its current best SAD as the cutoff, so losing
+/// candidates are abandoned after a few rows. The contract preserves
+/// exactness where it matters: whenever the true SAD is `<= cutoff`, the
+/// exact value is returned (a candidate is only abandoned once it is
+/// strictly worse than the cutoff), so search results are identical to an
+/// unbounded evaluation. With `cutoff = u64::MAX` this *is*
+/// [`sad_u8_strided`].
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`sad_u8_strided`].
+#[must_use]
+pub fn sad_u8_bounded(
+    a: &[u8],
+    a_stride: usize,
+    b: &[u8],
+    b_stride: usize,
+    w: usize,
+    h: usize,
+    cutoff: u64,
+) -> u64 {
+    sad_u8_bounded_ops(a, a_stride, b, b_stride, w, h, cutoff).0
+}
+
+/// Instrumented [`sad_u8_bounded`]: also returns the number of pixel
+/// comparisons actually performed, so the perf harness can report the
+/// *effective* arithmetic saved by early exit (not just wall time).
+///
+/// This is the single copy of the row-wise kernel — [`sad_u8_bounded`]
+/// delegates here and drops the op count (inlining lets the counter
+/// fold away on the hot path).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`sad_u8_strided`].
+#[must_use]
+#[inline]
+pub fn sad_u8_bounded_ops(
+    a: &[u8],
+    a_stride: usize,
+    b: &[u8],
+    b_stride: usize,
+    w: usize,
+    h: usize,
+    cutoff: u64,
+) -> (u64, u64) {
+    check_strided(a.len(), a_stride, w, h);
+    check_strided(b.len(), b_stride, w, h);
+    let mut total = 0u64;
+    let mut rows = 0u64;
+    for r in 0..h {
+        let ra = &a[r * a_stride..r * a_stride + w];
+        let rb = &b[r * b_stride..r * b_stride + w];
+        total += ra
+            .iter()
+            .zip(rb)
+            .map(|(&x, &y)| (x as i32 - y as i32).unsigned_abs() as u64)
+            .sum::<u64>();
+        rows += 1;
+        if total > cutoff {
+            break;
+        }
+    }
+    (total, rows * w as u64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,5 +306,41 @@ mod tests {
     fn sad_hand_computed() {
         assert_eq!(sad_u8(&[0, 10, 255], &[5, 10, 250]), 10);
         assert_eq!(sad_u8(&[7; 16], &[7; 16]), 0);
+    }
+
+    #[test]
+    fn strided_sad_matches_contiguous() {
+        // 2x2 window in a 4-wide plane vs a contiguous 2-wide buffer.
+        let plane = [1u8, 2, 9, 9, 3, 4, 9, 9];
+        let block = [0u8, 0, 0, 0];
+        let expect = sad_u8(&[1, 2, 3, 4], &block);
+        assert_eq!(sad_u8_strided(&plane, 4, &block, 2, 2, 2), expect);
+    }
+
+    #[test]
+    fn bounded_sad_is_exact_at_or_below_cutoff() {
+        let a = [10u8; 16];
+        let b = [0u8; 16];
+        // True SAD = 160; cutoffs >= 160 must return the exact value.
+        assert_eq!(sad_u8_bounded(&a, 4, &b, 4, 4, 4, 160), 160);
+        assert_eq!(sad_u8_bounded(&a, 4, &b, 4, 4, 4, u64::MAX), 160);
+    }
+
+    #[test]
+    fn bounded_sad_abandons_losing_candidates() {
+        let a = [100u8; 64];
+        let b = [0u8; 64];
+        // Row SAD = 800; with cutoff 0 the first row already exceeds it.
+        let (sad, ops) = sad_u8_bounded_ops(&a, 8, &b, 8, 8, 8, 0);
+        assert_eq!(ops, 8, "only one row should be evaluated");
+        assert!(sad > 0 && sad < 6400, "partial sum returned on abandon");
+        let early = sad_u8_bounded(&a, 8, &b, 8, 8, 8, 0);
+        assert!(early > 0, "abandoned candidates report a sum above cutoff");
+    }
+
+    #[test]
+    #[should_panic(expected = "stride shorter")]
+    fn bad_stride_panics() {
+        let _ = sad_u8_strided(&[0; 16], 2, &[0; 16], 4, 4, 4);
     }
 }

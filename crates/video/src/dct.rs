@@ -1,17 +1,23 @@
-//! 8×8 two-dimensional DCT, both separable (row–column) and direct.
+//! 8×8 two-dimensional DCT: fast separable butterfly, plus a direct
+//! oracle.
 //!
 //! Paper §3: the DCT *"is a frequency transform with the advantage that a
 //! 2-D DCT can be computed from two 1-D DCTs"*. [`Dct2d::forward`] is that
-//! row–column composition; [`forward_direct`] is the naive O(N⁴)
-//! evaluation kept as the correctness oracle and as the baseline of
-//! experiment E4.
+//! row–column composition, specialised to the fixed-size 8-point
+//! butterfly of [`signal::dct8`] (29 multiplies per 1-D transform instead
+//! of the 64 of the generic matrix [`signal::dct1d::Dct1d`]); everything
+//! runs on stack scratch, with no heap allocation per block.
+//! [`forward_direct`] is the naive O(N⁴) evaluation kept as the
+//! correctness oracle and as the baseline of experiment E4; the matrix
+//! `Dct1d` remains in `signal` as the 1-D oracle the property suite pins
+//! the butterfly against.
 
-use signal::dct1d::Dct1d;
+use signal::dct8::{fdct8, idct8};
 
 /// Block size used throughout the video codec.
 pub const BLOCK: usize = 8;
 
-/// A planned 8×8 2-D DCT (separable row–column implementation).
+/// The 8×8 2-D DCT (separable row–column butterfly implementation).
 ///
 /// # Example
 ///
@@ -24,27 +30,19 @@ pub const BLOCK: usize = 8;
 /// assert!((coeffs[0] - 1024.0).abs() < 1e-9); // DC = 8 * mean
 /// assert!(coeffs[1..].iter().all(|c| c.abs() < 1e-9));
 /// ```
-#[derive(Debug, Clone)]
-pub struct Dct2d {
-    dct: Dct1d,
-}
-
-impl Default for Dct2d {
-    fn default() -> Self {
-        Self::new()
-    }
-}
+#[derive(Debug, Clone, Default)]
+pub struct Dct2d;
 
 impl Dct2d {
-    /// Plans the transform.
+    /// Creates the transform (stateless — the 8-point butterfly needs no
+    /// planning).
     #[must_use]
     pub fn new() -> Self {
-        Self {
-            dct: Dct1d::new(BLOCK),
-        }
+        Self
     }
 
-    /// Forward 2-D DCT via rows then columns.
+    /// Forward 2-D DCT via rows then columns of the fast 8-point
+    /// butterfly.
     ///
     /// # Panics
     ///
@@ -53,29 +51,27 @@ impl Dct2d {
     pub fn forward(&self, block: &[f64]) -> [f64; BLOCK * BLOCK] {
         assert_eq!(block.len(), BLOCK * BLOCK, "expected an 8x8 block");
         let mut tmp = [0.0; BLOCK * BLOCK];
-        let mut row_out = [0.0; BLOCK];
+        let mut line = [0.0; BLOCK];
         // Rows.
         for r in 0..BLOCK {
-            self.dct
-                .forward_into(&block[r * BLOCK..(r + 1) * BLOCK], &mut row_out);
-            tmp[r * BLOCK..(r + 1) * BLOCK].copy_from_slice(&row_out);
+            line.copy_from_slice(&block[r * BLOCK..(r + 1) * BLOCK]);
+            tmp[r * BLOCK..(r + 1) * BLOCK].copy_from_slice(&fdct8(&line));
         }
         // Columns.
         let mut out = [0.0; BLOCK * BLOCK];
-        let mut col_in = [0.0; BLOCK];
         for c in 0..BLOCK {
             for r in 0..BLOCK {
-                col_in[r] = tmp[r * BLOCK + c];
+                line[r] = tmp[r * BLOCK + c];
             }
-            self.dct.forward_into(&col_in, &mut row_out);
+            let t = fdct8(&line);
             for r in 0..BLOCK {
-                out[r * BLOCK + c] = row_out[r];
+                out[r * BLOCK + c] = t[r];
             }
         }
         out
     }
 
-    /// Inverse 2-D DCT (row–column).
+    /// Inverse 2-D DCT (row–column butterfly).
     ///
     /// # Panics
     ///
@@ -84,21 +80,21 @@ impl Dct2d {
     pub fn inverse(&self, coeffs: &[f64]) -> [f64; BLOCK * BLOCK] {
         assert_eq!(coeffs.len(), BLOCK * BLOCK, "expected an 8x8 block");
         let mut tmp = [0.0; BLOCK * BLOCK];
+        let mut line = [0.0; BLOCK];
         // Columns first (order is irrelevant for separable transforms).
-        let mut col_in = [0.0; BLOCK];
         for c in 0..BLOCK {
             for r in 0..BLOCK {
-                col_in[r] = coeffs[r * BLOCK + c];
+                line[r] = coeffs[r * BLOCK + c];
             }
-            let col_out = self.dct.inverse(&col_in);
+            let t = idct8(&line);
             for r in 0..BLOCK {
-                tmp[r * BLOCK + c] = col_out[r];
+                tmp[r * BLOCK + c] = t[r];
             }
         }
         let mut out = [0.0; BLOCK * BLOCK];
         for r in 0..BLOCK {
-            let row = self.dct.inverse(&tmp[r * BLOCK..(r + 1) * BLOCK]);
-            out[r * BLOCK..(r + 1) * BLOCK].copy_from_slice(&row);
+            line.copy_from_slice(&tmp[r * BLOCK..(r + 1) * BLOCK]);
+            out[r * BLOCK..(r + 1) * BLOCK].copy_from_slice(&idct8(&line));
         }
         out
     }

@@ -158,15 +158,14 @@ pub fn decode(bytes: &[u8]) -> Result<DecodedSequence, DecodeError> {
         let quant = Quantizer::from_quality_with_matrix(quality, matrix)
             .map_err(|e| DecodeError::BadQuality(e.0))?;
 
-        let ref_planes = reference.as_ref().map(|f| {
-            [
-                Plane8::new(w, h, f.luma().to_vec()),
-                Plane8::new(w / 2, h / 2, f.cb().to_vec()),
-                Plane8::new(w / 2, h / 2, f.cr().to_vec()),
-            ]
-        });
+        // Borrowed views of the reference frame's planes (no copies).
+        let ref_planes = reference
+            .as_ref()
+            .map(|f| [f.luma_plane(), f.cb_plane(), f.cr_plane()]);
 
         let mut out_planes: Vec<Plane8> = Vec::with_capacity(3);
+        let mut pred = [0u8; BLOCK * BLOCK];
+        let mut rec = [0u8; BLOCK * BLOCK];
         for pi in 0..3 {
             let (pw, ph) = if pi == 0 { (w, h) } else { (w / 2, h / 2) };
             let chroma = pi > 0;
@@ -230,15 +229,17 @@ pub fn decode(bytes: &[u8]) -> Result<DecodedSequence, DecodeError> {
                         } else {
                             (mv.dx, mv.dy)
                         };
-                        let pred =
-                            rp.block_at((bx * BLOCK) as i32 + dx, (by * BLOCK) as i32 + dy, BLOCK);
+                        rp.block_into(
+                            (bx * BLOCK) as i32 + dx,
+                            (by * BLOCK) as i32 + dy,
+                            BLOCK,
+                            &mut pred,
+                        );
                         mc_pixels += (BLOCK * BLOCK) as u64;
                         let res = dct.inverse(&coeffs);
-                        let rec: Vec<u8> = pred
-                            .iter()
-                            .zip(res.iter())
-                            .map(|(&p, &rv)| (p as f64 + rv).round().clamp(0.0, 255.0) as u8)
-                            .collect();
+                        for (o, (&p, &rv)) in rec.iter_mut().zip(pred.iter().zip(res.iter())) {
+                            *o = (p as f64 + rv).round().clamp(0.0, 255.0) as u8;
+                        }
                         plane.set_block(bx * BLOCK, by * BLOCK, BLOCK, &rec);
                     } else {
                         let rec = dct.inverse_to_pixels(&coeffs);

@@ -18,7 +18,7 @@ use crate::dct::{Dct2d, BLOCK};
 use crate::frame::Frame;
 use crate::huffman::{HuffmanCode, HuffmanError};
 use crate::me::{MotionEstimator, MotionField, SearchKind, MB};
-use crate::plane::Plane8;
+use crate::plane::{Plane8, PlaneRef};
 use crate::quant::{BadQualityError, Quantizer, BASE_MATRIX, FLAT_MATRIX};
 use crate::rate::{RateConfig, RateController};
 use crate::rle;
@@ -450,13 +450,10 @@ impl Encoder {
         bits
     }
 
-    /// Splits a frame into its three planes.
-    fn planes_of(frame: &Frame) -> [Plane8; 3] {
-        [
-            Plane8::new(frame.width(), frame.height(), frame.luma().to_vec()),
-            Plane8::new(frame.width() / 2, frame.height() / 2, frame.cb().to_vec()),
-            Plane8::new(frame.width() / 2, frame.height() / 2, frame.cr().to_vec()),
-        ]
+    /// The frame's three planes, borrowed (no copies — the analysis loops
+    /// read source and reference samples in place).
+    fn planes_of(frame: &Frame) -> [PlaneRef<'_>; 3] {
+        [frame.luma_plane(), frame.cb_plane(), frame.cr_plane()]
     }
 
     fn frame_from_planes(w: usize, h: usize, planes: [Plane8; 3]) -> Frame {
@@ -476,13 +473,15 @@ impl Encoder {
         let quant = Quantizer::from_quality_with_matrix(quality, &BASE_MATRIX)?;
         let mut planes = Vec::with_capacity(3);
         let mut recon_planes = Vec::with_capacity(3);
+        // Per-block scratch, reused across every macroblock of the frame.
+        let mut px = [0u8; BLOCK * BLOCK];
         for plane in Self::planes_of(frame) {
             let (cols, rows) = plane.blocks(BLOCK);
             let mut blocks = Vec::with_capacity(cols * rows);
             let mut recon = Plane8::filled(plane.width(), plane.height(), 128);
             for by in 0..rows {
                 for bx in 0..cols {
-                    let px = plane.block_at((bx * BLOCK) as i32, (by * BLOCK) as i32, BLOCK);
+                    plane.block_into((bx * BLOCK) as i32, (by * BLOCK) as i32, BLOCK, &mut px);
                     let coeffs = self.dct.forward_pixels(&px);
                     tally.dct_blocks += 1;
                     let levels = quant.quantize(&coeffs);
@@ -534,6 +533,12 @@ impl Encoder {
         let ref_planes = Self::planes_of(reference);
         let mut planes = Vec::with_capacity(3);
         let mut recon_planes = Vec::with_capacity(3);
+        // Per-block scratch, reused across every macroblock of the frame —
+        // the analysis loop heap-allocates only the per-plane outputs.
+        let mut pred = [0u8; BLOCK * BLOCK];
+        let mut cur_blk = [0u8; BLOCK * BLOCK];
+        let mut residual = [0.0f64; BLOCK * BLOCK];
+        let mut rec = [0u8; BLOCK * BLOCK];
 
         for (pi, (cur, rp)) in cur_planes.iter().zip(ref_planes.iter()).enumerate() {
             let chroma = pi > 0;
@@ -552,16 +557,23 @@ impl Encoder {
                     } else {
                         (mv.dx, mv.dy)
                     };
-                    let pred =
-                        rp.block_at((bx * BLOCK) as i32 + dx, (by * BLOCK) as i32 + dy, BLOCK);
+                    rp.block_into(
+                        (bx * BLOCK) as i32 + dx,
+                        (by * BLOCK) as i32 + dy,
+                        BLOCK,
+                        &mut pred,
+                    );
                     tally.mc_pixels += (BLOCK * BLOCK) as u64;
-                    let cur_blk = cur.block_at((bx * BLOCK) as i32, (by * BLOCK) as i32, BLOCK);
+                    cur.block_into(
+                        (bx * BLOCK) as i32,
+                        (by * BLOCK) as i32,
+                        BLOCK,
+                        &mut cur_blk,
+                    );
                     // Residual (no level shift: it is already signed).
-                    let residual: Vec<f64> = cur_blk
-                        .iter()
-                        .zip(&pred)
-                        .map(|(&c, &p)| c as f64 - p as f64)
-                        .collect();
+                    for (r, (&c, &p)) in residual.iter_mut().zip(cur_blk.iter().zip(&pred)) {
+                        *r = c as f64 - p as f64;
+                    }
                     let coeffs = self.dct.forward(&residual);
                     tally.dct_blocks += 1;
                     let levels = quant.quantize(&coeffs);
@@ -570,11 +582,9 @@ impl Encoder {
                     // Reconstruction.
                     let rec_res = self.dct.inverse(&quant.dequantize(&levels));
                     tally.idct_blocks += 1;
-                    let rec: Vec<u8> = pred
-                        .iter()
-                        .zip(rec_res.iter())
-                        .map(|(&p, &r)| (p as f64 + r).round().clamp(0.0, 255.0) as u8)
-                        .collect();
+                    for (o, (&p, &r)) in rec.iter_mut().zip(pred.iter().zip(rec_res.iter())) {
+                        *o = (p as f64 + r).round().clamp(0.0, 255.0) as u8;
+                    }
                     recon.set_block(bx * BLOCK, by * BLOCK, BLOCK, &rec);
                 }
             }

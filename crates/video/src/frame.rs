@@ -3,6 +3,14 @@
 //! Dimensions are constrained to multiples of 16 (one macroblock) so every
 //! pipeline stage can walk whole blocks without edge special-casing — the
 //! same constraint real consumer encoders of the paper's era imposed.
+//!
+//! Hot paths read frames through the borrowed views of
+//! [`crate::plane`] — [`Frame::luma_plane`] / [`Frame::luma_view`] /
+//! [`Frame::luma_block_into`] — which resolve stride and edge replication
+//! without copying; the allocating accessors ([`Frame::luma_block`],
+//! [`Frame::luma_block_at`]) remain for convenience and tests.
+
+use crate::plane::{BlockView, PlaneRef};
 
 /// Error constructing a frame with invalid dimensions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -258,6 +266,53 @@ impl Frame {
         out
     }
 
+    /// The luma plane as a borrowed [`PlaneRef`] (no copy).
+    #[must_use]
+    pub fn luma_plane(&self) -> PlaneRef<'_> {
+        PlaneRef::new(&self.y, self.width, self.height)
+    }
+
+    /// The Cb plane as a borrowed [`PlaneRef`] (half resolution, no copy).
+    #[must_use]
+    pub fn cb_plane(&self) -> PlaneRef<'_> {
+        PlaneRef::new(&self.cb, self.width / 2, self.height / 2)
+    }
+
+    /// The Cr plane as a borrowed [`PlaneRef`] (half resolution, no copy).
+    #[must_use]
+    pub fn cr_plane(&self) -> PlaneRef<'_> {
+        PlaneRef::new(&self.cr, self.width / 2, self.height / 2)
+    }
+
+    /// A borrowed, clamping `bs x bs` luma window at pixel `(x, y)` — the
+    /// zero-copy counterpart of [`Frame::luma_block_at`] used by the
+    /// motion-search hot path.
+    #[must_use]
+    pub fn luma_view(&self, x: i32, y: i32, bs: usize) -> BlockView<'_> {
+        BlockView::new(&self.y, self.width, self.height, x, y, bs)
+    }
+
+    /// Copies the `bs x bs` luma block at block coordinates `(bx, by)`
+    /// into `out` — the zero-allocation counterpart of
+    /// [`Frame::luma_block`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block lies outside the frame or `out` is shorter
+    /// than `bs * bs`.
+    pub fn luma_block_into(&self, bx: usize, by: usize, bs: usize, out: &mut [u8]) {
+        let (x0, y0) = (bx * bs, by * bs);
+        assert!(
+            x0 + bs <= self.width && y0 + bs <= self.height,
+            "block outside frame"
+        );
+        assert!(out.len() >= bs * bs, "block buffer too short");
+        for row in 0..bs {
+            let start = (y0 + row) * self.width + x0;
+            out[row * bs..(row + 1) * bs].copy_from_slice(&self.y[start..start + bs]);
+        }
+    }
+
     /// 64-bin luma histogram (4 levels per bin), normalized to sum 1 —
     /// the shot-boundary feature of §5.
     #[must_use]
@@ -354,6 +409,28 @@ mod tests {
         let h = f.luma_histogram();
         assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         assert!((h[25] - 1.0).abs() < 1e-12, "all mass in bin 100/4");
+    }
+
+    #[test]
+    fn borrowed_views_match_allocating_accessors() {
+        let mut f = Frame::grey(32, 32).unwrap();
+        for i in 0..32 * 32 {
+            f.luma_mut()[i] = (i * 7) as u8;
+        }
+        // Aligned copy.
+        let mut buf = [0u8; 64];
+        f.luma_block_into(1, 2, 8, &mut buf);
+        assert_eq!(buf.to_vec(), f.luma_block(1, 2, 8));
+        // Clamped view, interior and edge.
+        for (x, y) in [(3, 5), (-4, -4), (30, 30)] {
+            let mut got = [0u8; 64];
+            f.luma_view(x, y, 8).gather_into(&mut got);
+            assert_eq!(got.to_vec(), f.luma_block_at(x, y, 8), "({x},{y})");
+        }
+        // Plane refs share geometry with the frame.
+        assert_eq!(f.luma_plane().data(), f.luma());
+        assert_eq!(f.cb_plane().width(), 16);
+        assert_eq!(f.cr_plane().height(), 16);
     }
 
     #[test]

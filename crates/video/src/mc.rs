@@ -24,11 +24,13 @@ pub fn predict(reference: &Frame, field: &MotionField) -> Frame {
         "motion field grid mismatch"
     );
     let mut out = reference.clone();
+    let mut block = [0u8; MB * MB];
     for by in 0..rows {
         for bx in 0..cols {
             let mv = field.at(bx, by).mv;
-            let block =
-                reference.luma_block_at((bx * MB) as i32 + mv.dx, (by * MB) as i32 + mv.dy, MB);
+            reference
+                .luma_view((bx * MB) as i32 + mv.dx, (by * MB) as i32 + mv.dy, MB)
+                .gather_into(&mut block);
             out.set_luma_block(bx, by, MB, &block);
         }
     }
@@ -37,21 +39,41 @@ pub fn predict(reference: &Frame, field: &MotionField) -> Frame {
 
 /// Per-pixel residual `current - predicted`, as `i16`.
 ///
+/// Allocates a fresh buffer per call; hot paths should reuse one via
+/// [`residual_into`].
+///
 /// # Panics
 ///
 /// Panics if dimensions differ.
 #[must_use]
 pub fn residual(current: &Frame, predicted: &Frame) -> Vec<i16> {
+    let mut out = vec![0i16; current.luma().len()];
+    residual_into(current, predicted, &mut out);
+    out
+}
+
+/// Writes the per-pixel residual `current - predicted` into a
+/// caller-provided buffer (no allocation).
+///
+/// # Panics
+///
+/// Panics if the frames' dimensions differ or `out` is shorter than the
+/// luma plane.
+pub fn residual_into(current: &Frame, predicted: &Frame, out: &mut [i16]) {
     assert!(
         current.width() == predicted.width() && current.height() == predicted.height(),
         "frame dimensions differ"
     );
-    current
-        .luma()
-        .iter()
-        .zip(predicted.luma())
-        .map(|(&c, &p)| c as i16 - p as i16)
-        .collect()
+    assert!(
+        out.len() >= current.luma().len(),
+        "residual buffer too short"
+    );
+    for (o, (&c, &p)) in out
+        .iter_mut()
+        .zip(current.luma().iter().zip(predicted.luma()))
+    {
+        *o = c as i16 - p as i16;
+    }
 }
 
 /// Reconstructs a frame by adding a residual onto a prediction, clamping
@@ -119,6 +141,27 @@ mod tests {
         let r = residual(&a, &b);
         let back = add_residual(&b, &r);
         assert_eq!(back.luma(), a.luma());
+    }
+
+    #[test]
+    fn residual_into_reuses_buffer() {
+        let mut g = SequenceGen::new(46);
+        let a = g.textured_frame(32, 32);
+        let b = g.textured_frame(32, 32);
+        let mut buf = vec![99i16; 32 * 32];
+        residual_into(&a, &b, &mut buf);
+        assert_eq!(buf, residual(&a, &b));
+        // Reuse for the reverse direction without reallocating.
+        residual_into(&b, &a, &mut buf);
+        assert!(buf.iter().zip(residual(&a, &b)).all(|(&x, y)| x == -y));
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer too short")]
+    fn residual_into_short_buffer_panics() {
+        let f = Frame::grey(16, 16).unwrap();
+        let mut buf = vec![0i16; 10];
+        residual_into(&f, &f, &mut buf);
     }
 
     #[test]

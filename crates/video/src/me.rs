@@ -9,12 +9,46 @@
 //! * [`SearchKind::ThreeStep`] — logarithmic coarse-to-fine probing.
 //! * [`SearchKind::Diamond`] — large/small diamond pattern descent.
 //!
-//! Every searcher counts its SAD evaluations so benches report algorithmic
-//! cost, not just wall time.
+//! # Hot-path design
+//!
+//! The inner loop performs **no heap allocation per candidate**: the
+//! target macroblock is gathered once per block into a `[u8; 256]`
+//! scratch, and every candidate is compared *in place* against the
+//! reference plane through a borrowed [`crate::plane::BlockView`] —
+//! interior candidates as a strided slice straight into the reference
+//! luma, edge candidates via a second stack scratch. Candidate evaluation
+//! uses [`signal::metrics::sad_u8_bounded`] with the current best SAD as
+//! cutoff, abandoning losers row-wise; because a candidate is only
+//! abandoned once it is *strictly worse* than the best, the chosen
+//! vectors (including tie-breaks) are bit-identical to an unbounded
+//! evaluation — [`SearchKind::Full`] fields match the naive
+//! implementation exactly.
+//!
+//! The fast searches additionally exploit inter-block coherence when run
+//! over a whole frame via [`MotionEstimator::estimate`]: the search is
+//! seeded from the component-wise **median of the left / top / top-right
+//! neighbour vectors** (H.263-style, absent neighbours count as zero),
+//! and a block whose zero-motion SAD is at or below
+//! [`ZERO_MV_EXIT_SAD`] terminates immediately with the zero vector.
+//! [`MotionEstimator::estimate_block`] evaluates one block with no
+//! neighbour context (zero predictor) but applies the same zero-motion
+//! early exit, so a near-static block may now return the zero vector
+//! where the seed implementation refined further.
+//!
+//! Every searcher counts its SAD evaluations ([`BlockMotion::evaluations`]
+//! is exact — one count per candidate, whether or not the bounded SAD
+//! exited early) so benches report algorithmic cost, not just wall time.
 
-use signal::metrics::sad_u8;
+use signal::metrics::sad_u8_bounded;
 
 use crate::frame::Frame;
+
+/// Zero-motion early-termination threshold for the fast searches
+/// ([`SearchKind::ThreeStep`], [`SearchKind::Diamond`]): if the SAD at
+/// `(0, 0)` is at or below this (0.5 per pixel over a 16×16 block), the
+/// block is declared static and the search stops after one evaluation.
+/// [`SearchKind::Full`] never early-terminates — its field is exact.
+pub const ZERO_MV_EXIT_SAD: u64 = (MB * MB) as u64 / 2;
 
 /// A motion vector in integer pixels (reference = current + vector).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
@@ -152,6 +186,11 @@ impl MotionEstimator {
     /// Estimates motion for every macroblock of `current` against
     /// `reference`.
     ///
+    /// Fast searches ([`SearchKind::ThreeStep`], [`SearchKind::Diamond`])
+    /// are seeded from the median of the already-decided left, top, and
+    /// top-right neighbour vectors; [`SearchKind::Full`] ignores the
+    /// predictor and produces the exact exhaustive-search field.
+    ///
     /// # Panics
     ///
     /// Panics if the frames have different dimensions.
@@ -162,16 +201,21 @@ impl MotionEstimator {
             "frame dimensions differ"
         );
         let (cols, rows) = current.macroblocks();
-        let mut blocks = Vec::with_capacity(cols * rows);
+        let mut blocks: Vec<BlockMotion> = Vec::with_capacity(cols * rows);
+        let mut target = [0u8; MB * MB];
         for by in 0..rows {
             for bx in 0..cols {
-                blocks.push(self.estimate_block(current, reference, bx, by));
+                let predictor = self.predict_mv(&blocks, cols, bx, by);
+                blocks.push(self.search_block(current, reference, bx, by, predictor, &mut target));
             }
         }
         MotionField { cols, rows, blocks }
     }
 
-    /// Estimates motion for one macroblock.
+    /// Estimates motion for one macroblock in isolation (zero predictor —
+    /// no neighbour context is available through this entry point; the
+    /// fast searches still zero-motion-early-exit at
+    /// [`ZERO_MV_EXIT_SAD`]).
     ///
     /// # Panics
     ///
@@ -184,116 +228,229 @@ impl MotionEstimator {
         bx: usize,
         by: usize,
     ) -> BlockMotion {
-        let target = current.luma_block(bx, by, MB);
+        let mut target = [0u8; MB * MB];
+        self.search_block(
+            current,
+            reference,
+            bx,
+            by,
+            MotionVector::default(),
+            &mut target,
+        )
+    }
+
+    /// H.263-style motion-vector predictor: the component-wise median of
+    /// the left, top, and top-right neighbours already decided this frame
+    /// (absent neighbours count as zero), clamped to the search range.
+    fn predict_mv(
+        &self,
+        blocks: &[BlockMotion],
+        cols: usize,
+        bx: usize,
+        by: usize,
+    ) -> MotionVector {
+        let neighbour = |dx: isize, dy: isize| -> MotionVector {
+            let (nx, ny) = (bx as isize + dx, by as isize + dy);
+            if nx < 0 || ny < 0 || nx as usize >= cols {
+                MotionVector::default()
+            } else {
+                blocks[ny as usize * cols + nx as usize].mv
+            }
+        };
+        fn median3(a: i32, b: i32, c: i32) -> i32 {
+            a.max(b).min(a.min(b).max(c))
+        }
+        let left = neighbour(-1, 0);
+        let top = neighbour(0, -1);
+        let top_right = neighbour(1, -1);
+        MotionVector::new(
+            median3(left.dx, top.dx, top_right.dx).clamp(-self.range, self.range),
+            median3(left.dy, top.dy, top_right.dy).clamp(-self.range, self.range),
+        )
+    }
+
+    /// The per-block search over the zero-allocation candidate evaluator.
+    fn search_block(
+        &self,
+        current: &Frame,
+        reference: &Frame,
+        bx: usize,
+        by: usize,
+        predictor: MotionVector,
+        target: &mut [u8; MB * MB],
+    ) -> BlockMotion {
+        current.luma_block_into(bx, by, MB, target);
         let x0 = (bx * MB) as i32;
         let y0 = (by * MB) as i32;
+        let mut scratch = [0u8; MB * MB];
         let mut evals = 0u64;
-        let mut cost = |mv: MotionVector| -> u64 {
+        // Candidate cost: strided SAD straight out of the reference plane
+        // when the candidate is interior (the common case), a stack gather
+        // when it needs edge clamping. `cutoff` is the caller's current
+        // best; once the running sum exceeds it the candidate is abandoned
+        // row-wise and any value > cutoff comes back.
+        let mut cost = |mv: MotionVector, cutoff: u64| -> u64 {
             evals += 1;
-            let cand = reference.luma_block_at(x0 + mv.dx, y0 + mv.dy, MB);
-            sad_u8(&target, &cand)
+            let view = reference.luma_view(x0 + mv.dx, y0 + mv.dy, MB);
+            match view.interior() {
+                Some((cand, stride)) => {
+                    sad_u8_bounded(&target[..], MB, cand, stride, MB, MB, cutoff)
+                }
+                None => {
+                    view.gather_into(&mut scratch);
+                    sad_u8_bounded(&target[..], MB, &scratch, MB, MB, MB, cutoff)
+                }
+            }
         };
         let (mv, sad) = match self.kind {
-            SearchKind::Full => {
-                let mut best = (MotionVector::default(), u64::MAX);
-                for dy in -self.range..=self.range {
-                    for dx in -self.range..=self.range {
-                        let mv = MotionVector::new(dx, dy);
-                        let s = cost(mv);
-                        // Prefer smaller vectors on ties for a regular field.
-                        if s < best.1 || (s == best.1 && mv.magnitude_sq() < best.0.magnitude_sq())
-                        {
-                            best = (mv, s);
-                        }
-                    }
-                }
-                best
-            }
-            SearchKind::ThreeStep => {
-                let mut center = MotionVector::default();
-                let mut best_sad = cost(center);
-                let mut step = (self.range / 2).max(1);
-                while step >= 1 {
-                    let mut improved = None;
-                    for dy in [-step, 0, step] {
-                        for dx in [-step, 0, step] {
-                            if dx == 0 && dy == 0 {
-                                continue;
-                            }
-                            let mv = MotionVector::new(
-                                (center.dx + dx).clamp(-self.range, self.range),
-                                (center.dy + dy).clamp(-self.range, self.range),
-                            );
-                            let s = cost(mv);
-                            if s < best_sad {
-                                best_sad = s;
-                                improved = Some(mv);
-                            }
-                        }
-                    }
-                    if let Some(mv) = improved {
-                        center = mv;
-                    }
-                    step /= 2;
-                }
-                (center, best_sad)
-            }
-            SearchKind::Diamond => {
-                const LARGE: [(i32, i32); 8] = [
-                    (0, -2),
-                    (1, -1),
-                    (2, 0),
-                    (1, 1),
-                    (0, 2),
-                    (-1, 1),
-                    (-2, 0),
-                    (-1, -1),
-                ];
-                const SMALL: [(i32, i32); 4] = [(0, -1), (1, 0), (0, 1), (-1, 0)];
-                let mut center = MotionVector::default();
-                let mut best_sad = cost(center);
-                // Large diamond until the centre wins (bounded iterations).
-                for _ in 0..(2 * self.range) {
-                    let mut best_move = None;
-                    for &(dx, dy) in &LARGE {
-                        let mv = MotionVector::new(
-                            (center.dx + dx).clamp(-self.range, self.range),
-                            (center.dy + dy).clamp(-self.range, self.range),
-                        );
-                        if mv == center {
-                            continue;
-                        }
-                        let s = cost(mv);
-                        if s < best_sad {
-                            best_sad = s;
-                            best_move = Some(mv);
-                        }
-                    }
-                    match best_move {
-                        Some(mv) => center = mv,
-                        None => break,
-                    }
-                }
-                // Small diamond refinement.
-                for &(dx, dy) in &SMALL {
-                    let mv = MotionVector::new(
-                        (center.dx + dx).clamp(-self.range, self.range),
-                        (center.dy + dy).clamp(-self.range, self.range),
-                    );
-                    let s = cost(mv);
-                    if s < best_sad {
-                        best_sad = s;
-                        center = mv;
-                    }
-                }
-                (center, best_sad)
-            }
+            SearchKind::Full => self.full_search(&mut cost),
+            SearchKind::ThreeStep => self.three_step_search(&mut cost, predictor),
+            SearchKind::Diamond => self.diamond_search(&mut cost, predictor),
         };
         BlockMotion {
             mv,
             sad,
             evaluations: evals,
         }
+    }
+
+    /// Exhaustive window scan. The cutoff tightens as better candidates
+    /// are found, but the scan order and tie-breaks match the naive
+    /// implementation exactly (bounded SAD is exact at or below the
+    /// cutoff), so the resulting field is bit-identical.
+    fn full_search(&self, cost: &mut impl FnMut(MotionVector, u64) -> u64) -> (MotionVector, u64) {
+        let mut best = (MotionVector::default(), u64::MAX);
+        for dy in -self.range..=self.range {
+            for dx in -self.range..=self.range {
+                let mv = MotionVector::new(dx, dy);
+                let s = cost(mv, best.1);
+                // Prefer smaller vectors on ties for a regular field.
+                if s < best.1 || (s == best.1 && mv.magnitude_sq() < best.0.magnitude_sq()) {
+                    best = (mv, s);
+                }
+            }
+        }
+        best
+    }
+
+    /// Shared fast-search seeding: evaluate zero motion (early-exiting
+    /// static blocks), then let the neighbour predictor compete for the
+    /// starting centre. Returns `(centre, best_sad, done)`.
+    fn seed_center(
+        &self,
+        cost: &mut impl FnMut(MotionVector, u64) -> u64,
+        predictor: MotionVector,
+    ) -> (MotionVector, u64, bool) {
+        let zero = MotionVector::default();
+        let mut best_sad = cost(zero, u64::MAX);
+        if best_sad <= ZERO_MV_EXIT_SAD {
+            return (zero, best_sad, true);
+        }
+        let mut center = zero;
+        if predictor != zero {
+            let s = cost(predictor, best_sad);
+            if s < best_sad {
+                best_sad = s;
+                center = predictor;
+            }
+        }
+        (center, best_sad, false)
+    }
+
+    /// Three-step (logarithmic) search from the seeded centre.
+    fn three_step_search(
+        &self,
+        cost: &mut impl FnMut(MotionVector, u64) -> u64,
+        predictor: MotionVector,
+    ) -> (MotionVector, u64) {
+        let (mut center, mut best_sad, done) = self.seed_center(cost, predictor);
+        if done {
+            return (center, best_sad);
+        }
+        let mut step = (self.range / 2).max(1);
+        while step >= 1 {
+            let mut improved = None;
+            for dy in [-step, 0, step] {
+                for dx in [-step, 0, step] {
+                    if dx == 0 && dy == 0 {
+                        continue;
+                    }
+                    let mv = MotionVector::new(
+                        (center.dx + dx).clamp(-self.range, self.range),
+                        (center.dy + dy).clamp(-self.range, self.range),
+                    );
+                    let s = cost(mv, best_sad);
+                    if s < best_sad {
+                        best_sad = s;
+                        improved = Some(mv);
+                    }
+                }
+            }
+            if let Some(mv) = improved {
+                center = mv;
+            }
+            step /= 2;
+        }
+        (center, best_sad)
+    }
+
+    /// Diamond search (large diamond descent, small diamond refinement)
+    /// from the seeded centre.
+    fn diamond_search(
+        &self,
+        cost: &mut impl FnMut(MotionVector, u64) -> u64,
+        predictor: MotionVector,
+    ) -> (MotionVector, u64) {
+        const LARGE: [(i32, i32); 8] = [
+            (0, -2),
+            (1, -1),
+            (2, 0),
+            (1, 1),
+            (0, 2),
+            (-1, 1),
+            (-2, 0),
+            (-1, -1),
+        ];
+        const SMALL: [(i32, i32); 4] = [(0, -1), (1, 0), (0, 1), (-1, 0)];
+        let (mut center, mut best_sad, done) = self.seed_center(cost, predictor);
+        if done {
+            return (center, best_sad);
+        }
+        // Large diamond until the centre wins (bounded iterations).
+        for _ in 0..(2 * self.range) {
+            let mut best_move = None;
+            for &(dx, dy) in &LARGE {
+                let mv = MotionVector::new(
+                    (center.dx + dx).clamp(-self.range, self.range),
+                    (center.dy + dy).clamp(-self.range, self.range),
+                );
+                if mv == center {
+                    continue;
+                }
+                let s = cost(mv, best_sad);
+                if s < best_sad {
+                    best_sad = s;
+                    best_move = Some(mv);
+                }
+            }
+            match best_move {
+                Some(mv) => center = mv,
+                None => break,
+            }
+        }
+        // Small diamond refinement.
+        for &(dx, dy) in &SMALL {
+            let mv = MotionVector::new(
+                (center.dx + dx).clamp(-self.range, self.range),
+                (center.dy + dy).clamp(-self.range, self.range),
+            );
+            let s = cost(mv, best_sad);
+            if s < best_sad {
+                best_sad = s;
+                center = mv;
+            }
+        }
+        (center, best_sad)
     }
 }
 
@@ -400,5 +557,80 @@ mod tests {
         let a = Frame::grey(32, 32).unwrap();
         let b = Frame::grey(64, 32).unwrap();
         let _ = MotionEstimator::new(SearchKind::Full, 4).estimate(&a, &b);
+    }
+
+    /// The naive full search the seed implementation performed: one
+    /// allocating copy per candidate, unbounded SAD, same scan order.
+    fn naive_full_search(current: &Frame, reference: &Frame, range: i32) -> Vec<MotionVector> {
+        use signal::metrics::sad_u8;
+        let (cols, rows) = current.macroblocks();
+        let mut out = Vec::new();
+        for by in 0..rows {
+            for bx in 0..cols {
+                let target = current.luma_block(bx, by, MB);
+                let (x0, y0) = ((bx * MB) as i32, (by * MB) as i32);
+                let mut best = (MotionVector::default(), u64::MAX);
+                for dy in -range..=range {
+                    for dx in -range..=range {
+                        let mv = MotionVector::new(dx, dy);
+                        let cand = reference.luma_block_at(x0 + mv.dx, y0 + mv.dy, MB);
+                        let s = sad_u8(&target, &cand);
+                        if s < best.1 || (s == best.1 && mv.magnitude_sq() < best.0.magnitude_sq())
+                        {
+                            best = (mv, s);
+                        }
+                    }
+                }
+                out.push(best.0);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn full_search_is_bit_identical_to_naive_implementation() {
+        let mut gen = SequenceGen::new(2005);
+        let reference = gen.textured_frame(64, 48);
+        let mut current = gen.shift_frame(&reference, 3, -1);
+        gen.add_noise(&mut current, 6.0);
+        let field = MotionEstimator::new(SearchKind::Full, 7).estimate(&current, &reference);
+        let naive = naive_full_search(&current, &reference, 7);
+        let got: Vec<MotionVector> = field.blocks.iter().map(|b| b.mv).collect();
+        assert_eq!(got, naive, "early-exit SAD must not change the field");
+    }
+
+    #[test]
+    fn fast_searches_early_exit_on_static_blocks() {
+        let mut gen = SequenceGen::new(21);
+        let f = gen.textured_frame(48, 48);
+        for kind in [SearchKind::ThreeStep, SearchKind::Diamond] {
+            let field = MotionEstimator::new(kind, 15).estimate(&f, &f);
+            for b in &field.blocks {
+                assert_eq!(
+                    b.evaluations, 1,
+                    "{kind}: static block stops after zero-MV probe"
+                );
+                assert_eq!(b.mv, MotionVector::default());
+            }
+        }
+    }
+
+    #[test]
+    fn predictor_seeding_does_not_hurt_fast_search_quality() {
+        // A large pan: with predictor seeding, interior blocks should all
+        // lock onto the global translation.
+        let mut gen = SequenceGen::new(30);
+        let reference = gen.textured_frame(96, 96);
+        let current = gen.shift_frame(&reference, 5, 4);
+        let field = MotionEstimator::new(SearchKind::Diamond, 15).estimate(&current, &reference);
+        let mut exact = 0;
+        for by in 1..5 {
+            for bx in 1..5 {
+                if field.at(bx, by).mv == MotionVector::new(-5, -4) {
+                    exact += 1;
+                }
+            }
+        }
+        assert!(exact >= 12, "only {exact}/16 interior blocks locked on");
     }
 }

@@ -3,6 +3,21 @@
 //! The encoder treats luma and both chroma planes uniformly through this
 //! type: block extraction/insertion and clamped access for
 //! motion-compensated prediction at arbitrary offsets.
+//!
+//! Three views of a plane, allocation-cheapest first:
+//!
+//! * [`BlockView`] — a borrowed `bs x bs` window at an *arbitrary* pixel
+//!   position, with stride and edge replication resolved without copying.
+//!   When the window lies fully inside the plane it exposes a strided
+//!   slice directly into the samples ([`BlockView::interior`]); otherwise
+//!   [`BlockView::gather_into`] fills a caller-provided scratch buffer.
+//!   This is what the motion-search and prediction hot paths use — no
+//!   heap allocation per candidate.
+//! * [`PlaneRef`] — a borrowed `(data, width, height)` triple, so the
+//!   encoder can walk a [`crate::frame::Frame`]'s planes without copying
+//!   them into owned [`Plane8`]s first.
+//! * [`Plane8`] — the owned plane, still used wherever a plane is built
+//!   up (reconstruction, decoding).
 
 /// An 8-bit sample plane of arbitrary (positive) dimensions.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -108,6 +123,194 @@ impl Plane8 {
     pub fn blocks(&self, bs: usize) -> (usize, usize) {
         (self.width / bs, self.height / bs)
     }
+
+    /// A borrowed view of this plane (no copy).
+    #[must_use]
+    pub fn borrowed(&self) -> PlaneRef<'_> {
+        PlaneRef::new(&self.data, self.width, self.height)
+    }
+
+    /// A borrowed, clamping `bs x bs` window at pixel `(x, y)`.
+    #[must_use]
+    pub fn view(&self, x: i32, y: i32, bs: usize) -> BlockView<'_> {
+        BlockView::new(&self.data, self.width, self.height, x, y, bs)
+    }
+
+    /// Zero-allocation [`Plane8::block_at`]: writes the edge-replicated
+    /// `bs x bs` block into `out` instead of allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() < bs * bs`.
+    pub fn block_into(&self, x: i32, y: i32, bs: usize, out: &mut [u8]) {
+        self.view(x, y, bs).gather_into(out);
+    }
+}
+
+/// A borrowed 8-bit plane: the same geometry as [`Plane8`] over samples
+/// owned elsewhere (typically a [`crate::frame::Frame`]'s planes).
+#[derive(Debug, Clone, Copy)]
+pub struct PlaneRef<'a> {
+    data: &'a [u8],
+    width: usize,
+    height: usize,
+}
+
+impl<'a> PlaneRef<'a> {
+    /// Wraps raw row-major samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height` or either dimension is 0.
+    #[must_use]
+    pub fn new(data: &'a [u8], width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "plane must be non-empty");
+        assert_eq!(data.len(), width * height, "plane size mismatch");
+        Self {
+            data,
+            width,
+            height,
+        }
+    }
+
+    /// Plane width.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Plane height.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The samples, row-major.
+    #[must_use]
+    pub fn data(&self) -> &'a [u8] {
+        self.data
+    }
+
+    /// Number of `bs x bs` blocks horizontally and vertically.
+    #[must_use]
+    pub fn blocks(&self, bs: usize) -> (usize, usize) {
+        (self.width / bs, self.height / bs)
+    }
+
+    /// A borrowed, clamping `bs x bs` window at pixel `(x, y)`.
+    #[must_use]
+    pub fn view(&self, x: i32, y: i32, bs: usize) -> BlockView<'a> {
+        BlockView::new(self.data, self.width, self.height, x, y, bs)
+    }
+
+    /// Writes the edge-replicated `bs x bs` block at `(x, y)` into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() < bs * bs`.
+    pub fn block_into(&self, x: i32, y: i32, bs: usize, out: &mut [u8]) {
+        self.view(x, y, bs).gather_into(out);
+    }
+}
+
+/// A borrowed `bs x bs` window of a plane at an arbitrary (possibly
+/// partially outside) pixel position.
+///
+/// The motion-search hot path resolves every candidate through this type:
+/// interior candidates — the overwhelming majority — are compared straight
+/// out of the plane via [`BlockView::interior`]'s strided slice, and only
+/// edge-clamped candidates fall back to an explicit gather into a
+/// caller-provided scratch buffer. Neither path heap-allocates.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockView<'a> {
+    data: &'a [u8],
+    plane_w: usize,
+    plane_h: usize,
+    x: i32,
+    y: i32,
+    bs: usize,
+}
+
+impl<'a> BlockView<'a> {
+    /// A `bs x bs` window of the `plane_w x plane_h` row-major samples in
+    /// `data`, with its top-left at pixel `(x, y)`. Out-of-range
+    /// coordinates replicate the nearest edge sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != plane_w * plane_h` or any dimension is 0.
+    #[must_use]
+    pub fn new(data: &'a [u8], plane_w: usize, plane_h: usize, x: i32, y: i32, bs: usize) -> Self {
+        assert!(plane_w > 0 && plane_h > 0, "plane must be non-empty");
+        assert!(bs > 0, "block size must be positive");
+        assert_eq!(data.len(), plane_w * plane_h, "plane size mismatch");
+        Self {
+            data,
+            plane_w,
+            plane_h,
+            x,
+            y,
+            bs,
+        }
+    }
+
+    /// The block size.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.bs
+    }
+
+    /// When the window lies fully inside the plane, the strided slice
+    /// starting at its top-left sample, paired with the plane's row
+    /// stride. `None` when any part of the window needs edge clamping.
+    #[must_use]
+    pub fn interior(&self) -> Option<(&'a [u8], usize)> {
+        let bs = self.bs as i32;
+        if self.x >= 0
+            && self.y >= 0
+            && self.x + bs <= self.plane_w as i32
+            && self.y + bs <= self.plane_h as i32
+        {
+            let start = self.y as usize * self.plane_w + self.x as usize;
+            let end = (self.y as usize + self.bs - 1) * self.plane_w + self.x as usize + self.bs;
+            Some((&self.data[start..end], self.plane_w))
+        } else {
+            None
+        }
+    }
+
+    /// Sample at block-relative `(row, col)`, edge-clamped.
+    #[must_use]
+    pub fn at(&self, row: usize, col: usize) -> u8 {
+        let px = (self.x + col as i32).clamp(0, self.plane_w as i32 - 1) as usize;
+        let py = (self.y + row as i32).clamp(0, self.plane_h as i32 - 1) as usize;
+        self.data[py * self.plane_w + px]
+    }
+
+    /// Writes the window, edge-replicated, into the first `bs * bs` bytes
+    /// of `out` (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() < bs * bs`.
+    pub fn gather_into(&self, out: &mut [u8]) {
+        assert!(out.len() >= self.bs * self.bs, "scratch buffer too short");
+        if let Some((src, stride)) = self.interior() {
+            for r in 0..self.bs {
+                out[r * self.bs..(r + 1) * self.bs]
+                    .copy_from_slice(&src[r * stride..r * stride + self.bs]);
+            }
+            return;
+        }
+        for r in 0..self.bs {
+            let py = (self.y + r as i32).clamp(0, self.plane_h as i32 - 1) as usize;
+            let src = &self.data[py * self.plane_w..(py + 1) * self.plane_w];
+            for (c, d) in out[r * self.bs..(r + 1) * self.bs].iter_mut().enumerate() {
+                let px = (self.x + c as i32).clamp(0, self.plane_w as i32 - 1) as usize;
+                *d = src[px];
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -147,5 +350,64 @@ mod tests {
     #[should_panic(expected = "size mismatch")]
     fn wrong_data_length_panics() {
         let _ = Plane8::new(3, 3, vec![0; 8]);
+    }
+
+    #[test]
+    fn view_interior_exposes_strided_slice() {
+        let data: Vec<u8> = (0..64).collect();
+        let p = Plane8::new(8, 8, data);
+        let v = p.view(2, 3, 4);
+        let (slice, stride) = v.interior().expect("fully inside");
+        assert_eq!(stride, 8);
+        assert_eq!(slice[0], 3 * 8 + 2);
+        assert_eq!(v.at(0, 0), 3 * 8 + 2);
+        assert_eq!(v.at(3, 3), 6 * 8 + 5);
+    }
+
+    #[test]
+    fn view_outside_has_no_interior_and_gathers_clamped() {
+        let p = Plane8::new(4, 4, (0..16).collect());
+        for (x, y) in [(-1, 0), (0, -1), (2, 0), (0, 2), (5, 5)] {
+            let v = p.view(x, y, 3);
+            assert!(v.interior().is_none(), "({x},{y}) needs clamping");
+            let mut got = [0u8; 9];
+            v.gather_into(&mut got);
+            assert_eq!(got.to_vec(), p.block_at(x, y, 3), "view at ({x},{y})");
+        }
+        assert!(p.view(1, 1, 3).interior().is_some(), "(1,1) is interior");
+    }
+
+    #[test]
+    fn gather_matches_block_at_everywhere() {
+        let p = Plane8::new(5, 4, (0..20).collect());
+        let mut scratch = [0u8; 4];
+        for y in -3..6 {
+            for x in -3..7 {
+                p.block_into(x, y, 2, &mut scratch);
+                assert_eq!(scratch.to_vec(), p.block_at(x, y, 2), "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn plane_ref_mirrors_plane() {
+        let p = Plane8::new(8, 8, (0..64).collect());
+        let r = p.borrowed();
+        assert_eq!((r.width(), r.height()), (8, 8));
+        assert_eq!(r.blocks(4), (2, 2));
+        let mut a = [0u8; 16];
+        let mut b = [0u8; 16];
+        p.block_into(-2, 5, 4, &mut a);
+        r.block_into(-2, 5, 4, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(r.data(), p.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch buffer too short")]
+    fn short_scratch_panics() {
+        let p = Plane8::filled(4, 4, 0);
+        let mut out = [0u8; 3];
+        p.block_into(0, 0, 2, &mut out);
     }
 }

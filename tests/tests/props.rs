@@ -144,4 +144,81 @@ proptest! {
         let y = audio::quantizer::dequantize(audio::quantizer::quantize(x, sf, bits), sf, bits);
         prop_assert!((x - y).abs() <= step / 2.0 + 1e-12);
     }
+
+    /// The fast fixed-8 butterfly DCT matches the matrix `Dct1d` oracle
+    /// within 1e-9 on arbitrary inputs, forward and inverse, and
+    /// round-trips to identity.
+    #[test]
+    fn dct8_butterfly_matches_matrix_oracle(x in prop::array::uniform8(-255.0f64..255.0)) {
+        let oracle = signal::dct1d::Dct1d::new(8);
+        let fast = signal::dct8::fdct8(&x);
+        let slow = oracle.forward(&x);
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((a - b).abs() < 1e-9, "forward {a} vs {b}");
+        }
+        let fast_inv = signal::dct8::idct8(&x);
+        let slow_inv = oracle.inverse(&x);
+        for (a, b) in fast_inv.iter().zip(&slow_inv) {
+            prop_assert!((a - b).abs() < 1e-9, "inverse {a} vs {b}");
+        }
+        let back = signal::dct8::idct8(&signal::dct8::fdct8(&x));
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-9, "round trip {a} vs {b}");
+        }
+    }
+
+    /// `sad_u8_bounded` with `cutoff = u64::MAX` equals `sad_u8` for any
+    /// window size and strides, and any finite cutoff either returns the
+    /// exact SAD (when it is <= cutoff) or a partial sum above the
+    /// cutoff.
+    #[test]
+    fn bounded_sad_equals_plain_sad(
+        w in 1usize..=16,
+        h in 1usize..=16,
+        extra_a in 0usize..8,
+        extra_b in 0usize..8,
+        seed in any::<u64>(),
+        cutoff in 0u64..20_000,
+    ) {
+        let a_stride = w + extra_a;
+        let b_stride = w + extra_b;
+        let mut rng = signal::rng::Xoroshiro128::new(seed);
+        let a: Vec<u8> = (0..(h - 1) * a_stride + w).map(|_| rng.below(256) as u8).collect();
+        let b: Vec<u8> = (0..(h - 1) * b_stride + w).map(|_| rng.below(256) as u8).collect();
+        // Reference: gather both windows contiguously, then plain SAD.
+        let ac: Vec<u8> = (0..h).flat_map(|r| a[r * a_stride..r * a_stride + w].to_vec()).collect();
+        let bc: Vec<u8> = (0..h).flat_map(|r| b[r * b_stride..r * b_stride + w].to_vec()).collect();
+        let expect = signal::metrics::sad_u8(&ac, &bc);
+        prop_assert_eq!(signal::metrics::sad_u8_strided(&a, a_stride, &b, b_stride, w, h), expect);
+        prop_assert_eq!(
+            signal::metrics::sad_u8_bounded(&a, a_stride, &b, b_stride, w, h, u64::MAX),
+            expect
+        );
+        let bounded = signal::metrics::sad_u8_bounded(&a, a_stride, &b, b_stride, w, h, cutoff);
+        if expect <= cutoff {
+            prop_assert_eq!(bounded, expect, "exact at or below cutoff");
+        } else {
+            prop_assert!(bounded > cutoff, "abandoned candidates report > cutoff");
+        }
+    }
+
+    /// Borrowed `BlockView` gathers (interior and edge-clamped) agree
+    /// with the allocating `block_at` everywhere, so the zero-copy motion
+    /// search sees exactly the same candidate pixels.
+    #[test]
+    fn block_view_matches_block_at(
+        pw in 1usize..24,
+        ph in 1usize..24,
+        x in -20i32..40,
+        y in -20i32..40,
+        bs in 1usize..=16,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = signal::rng::Xoroshiro128::new(seed);
+        let data: Vec<u8> = (0..pw * ph).map(|_| rng.below(256) as u8).collect();
+        let plane = video::plane::Plane8::new(pw, ph, data);
+        let mut got = vec![0u8; bs * bs];
+        plane.block_into(x, y, bs, &mut got);
+        prop_assert_eq!(got, plane.block_at(x, y, bs));
+    }
 }
