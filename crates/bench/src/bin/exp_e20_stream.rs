@@ -1,0 +1,206 @@
+//! E20 — the streaming delivery perf harness.
+//!
+//! Measures the `mmstream` subsystem and writes the machine-readable
+//! `BENCH_stream.json` that extends the repo's perf trajectory:
+//!
+//! * **Mux/demux throughput**: MB/s packetizing an A/V segment into
+//!   188-byte transport packets (with per-packet CRC-32) and
+//!   reassembling it bit-identically.
+//! * **Ladder encode**: wall time to produce a 3-rung ABR ladder.
+//! * **Load simulator rate**: simulated sessions per wall second.
+//! * **Capacity curve**: sessions vs per-session delivered bitrate,
+//!   rebuffer fraction, and mean rung for 50..4000 concurrent sessions
+//!   against one server, plus the detected capacity knee. The simulated
+//!   numbers are seed-deterministic (asserted by re-running one level).
+
+use mmbench::banner;
+use mmbench::perf::{median_ns_per_iter, PerfEntry, PerfReport};
+use mmstream::ladder::{encode_ladder, LadderConfig};
+use mmstream::segment::{demux_segment, mux_segment_wire};
+use mmstream::serve::{capacity_curve, capacity_knee, simulate_load, LoadConfig, ServerConfig};
+use video::encoder::{Encoder, EncoderConfig};
+use video::synth::SequenceGen;
+
+fn main() {
+    banner(
+        "E20: streaming delivery perf (BENCH_stream.json)",
+        "the transport mux moves segments at memory-bound rates and one \
+         simulated segment server feeds >=1000 concurrent ABR sessions \
+         up to a measurable capacity knee",
+    );
+
+    let mut report = PerfReport::new("stream_delivery", "exp_e20_stream");
+
+    // ---- Workload: a QCIF-ish sequence, one GOP muxed as a segment.
+    let frames = SequenceGen::new(11).panning_sequence(176, 144, 8, 2, 1);
+    let seq = Encoder::new(EncoderConfig {
+        gop: 8,
+        ..Default::default()
+    })
+    .expect("valid config")
+    .encode(&frames)
+    .expect("encode succeeds");
+    let audio: Vec<u8> = (0..seq.bytes.len() / 8).map(|i| (i * 31) as u8).collect();
+
+    // ---- Mux + demux throughput.
+    let wire = mux_segment_wire(&seq, Some(&audio));
+    let seg = demux_segment(&wire);
+    assert!(!seg.report.loss_detected());
+    assert_eq!(seg.video_es.as_deref(), Some(seq.bytes.as_slice()));
+    assert_eq!(seg.audio_es.as_deref(), Some(audio.as_slice()));
+
+    let payload_bytes = (seq.bytes.len() + audio.len()) as f64;
+    let mux_ns = median_ns_per_iter(|| {
+        std::hint::black_box(mux_segment_wire(
+            std::hint::black_box(&seq),
+            Some(std::hint::black_box(&audio)),
+        ));
+    });
+    let demux_ns = median_ns_per_iter(|| {
+        std::hint::black_box(demux_segment(std::hint::black_box(&wire)));
+    });
+    let mux_mb_s = payload_bytes / (mux_ns / 1e9) / 1e6;
+    let demux_mb_s = wire.len() as f64 / (demux_ns / 1e9) / 1e6;
+    println!(
+        "mux {:.0} KB payload -> {} packets: {mux_mb_s:>8.1} MB/s mux, {demux_mb_s:>8.1} MB/s demux",
+        payload_bytes / 1e3,
+        wire.len() / 188,
+    );
+    report.push(
+        PerfEntry::new("ts_mux_demux_segment")
+            .metric("payload_bytes", payload_bytes)
+            .metric("wire_packets", (wire.len() / 188) as f64)
+            .metric("mux_wall_ns", mux_ns)
+            .metric("mux_mb_per_s", mux_mb_s)
+            .metric("demux_wall_ns", demux_ns)
+            .metric("demux_mb_per_s", demux_mb_s),
+    );
+
+    // ---- Ladder encode (the head-end cost of one title). 32 frames at
+    // GOP 4 give 8 segments per rung, so sessions spend most of their
+    // life in steady-state fetch-while-playing — the regime where the
+    // capacity knee is visible.
+    let source = SequenceGen::new(12).panning_sequence(64, 48, 32, 1, 1);
+    let cfg = LadderConfig {
+        targets_bits_per_frame: vec![2_000.0, 6_000.0, 18_000.0],
+        gop: 4,
+        ..Default::default()
+    };
+    let ladder = encode_ladder("bench", &source, &cfg).expect("ladder encodes");
+    let ladder_ns = median_ns_per_iter(|| {
+        std::hint::black_box(
+            encode_ladder(
+                "bench",
+                std::hint::black_box(&source),
+                std::hint::black_box(&cfg),
+            )
+            .unwrap(),
+        );
+    });
+    println!(
+        "ladder: 3 rungs x {} segments, {} wire bytes, {:.1} ms to encode",
+        ladder.manifest.segment_count(),
+        ladder.total_bytes(),
+        ladder_ns / 1e6
+    );
+    report.push(
+        PerfEntry::new("ladder_encode_64x48x32")
+            .metric("rungs", ladder.manifest.rungs.len() as f64)
+            .metric("segments_per_rung", ladder.manifest.segment_count() as f64)
+            .metric("total_wire_bytes", ladder.total_bytes() as f64)
+            .metric("wall_ns", ladder_ns)
+            .metric("wall_ms", ladder_ns / 1e6),
+    );
+
+    // ---- Many-session load: capacity curve and knee.
+    let manifest = &ladder.manifest;
+    let server = ServerConfig::default();
+    let base = LoadConfig::default();
+    let counts = [50usize, 200, 500, 1_000, 2_000, 4_000];
+    let curve = capacity_curve(manifest, &server, &counts, &base);
+
+    // Determinism gate: an identical re-run of one level must agree
+    // exactly before any number is published.
+    let replay = simulate_load(
+        manifest,
+        &server,
+        &LoadConfig {
+            sessions: 1_000,
+            ..base
+        },
+    );
+    assert_eq!(
+        replay, curve[3],
+        "load simulation must be deterministic for identical seeds"
+    );
+
+    let lowest_rate = manifest.rungs[0].required_bits_per_tick(0, manifest.ticks_per_frame);
+    println!(
+        "\ncapacity curve (uplink {} B/tick, lowest rung needs {:.1} bits/tick):",
+        server.capacity_bytes_per_tick, lowest_rate
+    );
+    println!(
+        "  {:>8} {:>12} {:>12} {:>10} {:>9} {:>9}",
+        "sessions", "bits/tick", "goodput", "rebuffer%", "meanrung", "startup"
+    );
+    for r in &curve {
+        println!(
+            "  {:>8} {:>12.1} {:>12.0} {:>9.1}% {:>9.2} {:>9.0}",
+            r.sessions,
+            r.mean_session_bits_per_tick,
+            r.total_goodput_bits_per_tick,
+            100.0 * r.rebuffer_fraction,
+            r.mean_rung,
+            r.mean_startup_ticks
+        );
+        report.push(
+            PerfEntry::new(&format!("load_{}_sessions", r.sessions))
+                .metric("sessions", r.sessions as f64)
+                .metric("completed", r.completed as f64)
+                .metric("sim_ticks", r.ticks as f64)
+                .metric("mean_session_bits_per_tick", r.mean_session_bits_per_tick)
+                .metric("total_goodput_bits_per_tick", r.total_goodput_bits_per_tick)
+                .metric("rebuffer_fraction", r.rebuffer_fraction)
+                .metric("mean_rung", r.mean_rung)
+                .metric("mean_startup_ticks", r.mean_startup_ticks)
+                .metric("rung_switches", r.rung_switches as f64),
+        );
+    }
+    let knee = capacity_knee(&curve, 0.05);
+    println!(
+        "capacity knee (<=5% sessions rebuffering): {}",
+        knee.map_or("none".to_string(), |k| k.to_string())
+    );
+
+    // ---- Simulator wall rate: sessions per second at the 1000 level.
+    let sim_ns = median_ns_per_iter(|| {
+        std::hint::black_box(simulate_load(
+            std::hint::black_box(manifest),
+            &server,
+            &LoadConfig {
+                sessions: 1_000,
+                ..base
+            },
+        ));
+    });
+    let sessions_per_s = 1_000.0 / (sim_ns / 1e9);
+    println!(
+        "simulator: 1000-session run in {:.1} ms ({sessions_per_s:.0} sessions/s)",
+        sim_ns / 1e6
+    );
+    report.push(
+        PerfEntry::new("simulator_rate")
+            .metric("sessions", 1_000.0)
+            .metric("wall_ns_per_run", sim_ns)
+            .metric("sessions_per_second", sessions_per_s)
+            .metric("knee_sessions", knee.unwrap_or(0) as f64),
+    );
+
+    report
+        .write("BENCH_stream.json")
+        .expect("write BENCH_stream.json");
+    println!(
+        "\nwrote BENCH_stream.json ({} entries)",
+        report.entries.len()
+    );
+}

@@ -41,6 +41,38 @@ impl ContentServer {
         self.objects.is_empty()
     }
 
+    /// Names of every published object, in sorted order — the discovery
+    /// API streaming sessions use to enumerate a title's segments.
+    ///
+    /// # Example
+    ///
+    /// Enumerate and fetch everything over a 10%-loss link; every object
+    /// still arrives exactly.
+    ///
+    /// ```
+    /// use netstack::fetch::{fetch, ContentServer};
+    /// use netstack::link::LinkConfig;
+    /// use netstack::tcplite::TcpConfig;
+    ///
+    /// let mut s = ContentServer::new();
+    /// s.publish("title/seg0", vec![0xA0; 700]);
+    /// s.publish("title/seg1", vec![0xA1; 700]);
+    /// s.publish("title/manifest", b"two segments".to_vec());
+    /// assert_eq!(
+    ///     s.names(),
+    ///     vec!["title/manifest", "title/seg0", "title/seg1"]
+    /// );
+    /// let lossy = LinkConfig::default().with_loss(0.1);
+    /// for (i, name) in s.names().iter().enumerate() {
+    ///     let r = fetch(&s, name, TcpConfig::default(), lossy, 40 + i as u64).unwrap();
+    ///     assert!(!r.data.is_empty());
+    /// }
+    /// ```
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        self.objects.keys().cloned().collect()
+    }
+
     /// Serves a request line, producing the response body.
     fn respond(&self, request: &str) -> Vec<u8> {
         match request.strip_prefix("GET ") {
@@ -214,7 +246,10 @@ mod tests {
     fn publish_and_len() {
         let mut s = ContentServer::new();
         assert!(s.is_empty());
-        s.publish("a", vec![1]);
-        assert_eq!(s.len(), 1);
+        assert!(s.names().is_empty());
+        s.publish("b", vec![1]);
+        s.publish("a", vec![2]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.names(), vec!["a".to_string(), "b".to_string()]);
     }
 }

@@ -1,0 +1,636 @@
+//! ABR ladder encoding and the delivery manifest.
+//!
+//! A *ladder* is the same source sequence encoded at several target
+//! bitrates (rungs), each cut into independently decodable GOP-aligned
+//! segments — the encoder is driven through `video::rate`'s
+//! buffer-feedback controller at each rung's budget, and each segment is
+//! a closed GOP so a session can join or switch rungs at any segment
+//! boundary. The [`Manifest`] describes rungs and segments; it travels
+//! over the same content server as the segments themselves.
+//!
+//! Sealing ([`seal_ladder`]) wraps every segment in XTEA-CTR under the
+//! title's content key (Wolf §6: encryption as a *tool* inside the
+//! delivery architecture); the license carrying that key is fetched by
+//! the session at start.
+
+use drm::playback::LicenseAuthority;
+use drm::TitleId;
+use mediafs::fs::{FsError, MediaFs};
+use netstack::fetch::ContentServer;
+use video::encoder::{Encoder, EncoderConfig, EncoderError};
+use video::rate::RateConfig;
+use video::{Frame, SearchKind};
+
+use crate::segment::mux_segment_wire;
+
+/// Ladder configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LadderConfig {
+    /// Per-rung target bits per frame, strictly ascending (rung 0 is the
+    /// lowest/safest).
+    pub targets_bits_per_frame: Vec<f64>,
+    /// Frames per GOP = frames per segment.
+    pub gop: usize,
+    /// Playout duration of one frame, in simulated ticks.
+    pub ticks_per_frame: u64,
+    /// Motion search used for every rung.
+    pub search: SearchKind,
+    /// Motion search range.
+    pub search_range: i32,
+}
+
+impl Default for LadderConfig {
+    /// Three rungs (4k/12k/36k bits per frame), GOP 8, 100 ticks per
+    /// frame, diamond search ±7 (a streaming head-end encodes many rungs;
+    /// the cheap search keeps that affordable).
+    fn default() -> Self {
+        Self {
+            targets_bits_per_frame: vec![4_000.0, 12_000.0, 36_000.0],
+            gop: 8,
+            ticks_per_frame: 100,
+            search: SearchKind::Diamond,
+            search_range: 7,
+        }
+    }
+}
+
+/// Errors building or parsing ladders and manifests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LadderError {
+    /// Targets empty, non-positive, or not strictly ascending.
+    BadTargets,
+    /// Title empty or containing whitespace (it becomes an object-name
+    /// prefix and a manifest token).
+    BadTitle,
+    /// A zero `ticks_per_frame` (it divides every playout and ABR rate).
+    ZeroTicksPerFrame,
+    /// The underlying video encoder refused.
+    Encoder(EncoderError),
+    /// A filesystem operation failed.
+    Fs(FsError),
+    /// Manifest bytes did not parse.
+    Manifest(&'static str),
+}
+
+impl core::fmt::Display for LadderError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LadderError::BadTargets => {
+                f.write_str("rung targets must be positive and strictly ascending")
+            }
+            LadderError::BadTitle => f.write_str("title must be non-empty without whitespace"),
+            LadderError::ZeroTicksPerFrame => f.write_str("ticks_per_frame must be positive"),
+            LadderError::Encoder(e) => write!(f, "rung encode failed: {e}"),
+            LadderError::Fs(e) => write!(f, "segment store failed: {e:?}"),
+            LadderError::Manifest(what) => write!(f, "malformed manifest: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LadderError {}
+
+impl From<EncoderError> for LadderError {
+    fn from(e: EncoderError) -> Self {
+        LadderError::Encoder(e)
+    }
+}
+
+impl From<FsError> for LadderError {
+    fn from(e: FsError) -> Self {
+        LadderError::Fs(e)
+    }
+}
+
+/// One segment's manifest entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentEntry {
+    /// Object name relative to the title, e.g. `r0_s3.ts`.
+    pub name: String,
+    /// Wire bytes (sealed and clear sizes are identical under CTR).
+    pub bytes: usize,
+    /// Source frames in the segment.
+    pub frames: usize,
+    /// CTR nonce used when the ladder is sealed.
+    pub nonce: u32,
+}
+
+/// One rung: a target bitrate and its segment list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RungInfo {
+    /// The rate-controller budget this rung was encoded at.
+    pub target_bits_per_frame: f64,
+    /// Segments in playout order.
+    pub segments: Vec<SegmentEntry>,
+}
+
+impl RungInfo {
+    /// Bits per tick a session must sustain to fetch segment `seg` no
+    /// slower than it plays.
+    #[must_use]
+    pub fn required_bits_per_tick(&self, seg: usize, ticks_per_frame: u64) -> f64 {
+        let e = &self.segments[seg];
+        (e.bytes * 8) as f64 / (e.frames as f64 * ticks_per_frame as f64).max(1.0)
+    }
+}
+
+/// The delivery manifest: what a session fetches first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// The title (object-name prefix).
+    pub title: String,
+    /// Playout ticks per frame.
+    pub ticks_per_frame: u64,
+    /// Whether segments are XTEA-CTR sealed (license required).
+    pub sealed: bool,
+    /// Rungs in ascending bitrate order.
+    pub rungs: Vec<RungInfo>,
+}
+
+impl Manifest {
+    /// Segments per rung (identical across rungs by construction).
+    #[must_use]
+    pub fn segment_count(&self) -> usize {
+        self.rungs.first().map_or(0, |r| r.segments.len())
+    }
+
+    /// The manifest's object name for a title.
+    #[must_use]
+    pub fn manifest_object(title: &str) -> String {
+        format!("{title}/manifest")
+    }
+
+    /// The license's object name for a title.
+    #[must_use]
+    pub fn license_object(title: &str) -> String {
+        format!("{title}/license")
+    }
+
+    /// The full object name of one segment.
+    #[must_use]
+    pub fn segment_object(&self, rung: usize, seg: usize) -> String {
+        format!("{}/{}", self.title, self.rungs[rung].segments[seg].name)
+    }
+
+    /// Serialises the manifest (line-oriented text; one token may not
+    /// contain whitespace, which [`encode_ladder`] enforces for titles).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = String::from("MMSTREAM 1\n");
+        out.push_str(&format!("title {}\n", self.title));
+        out.push_str(&format!("ticks_per_frame {}\n", self.ticks_per_frame));
+        out.push_str(&format!("sealed {}\n", u8::from(self.sealed)));
+        for r in &self.rungs {
+            out.push_str(&format!("rung {}\n", r.target_bits_per_frame));
+            for s in &r.segments {
+                out.push_str(&format!(
+                    "seg {} {} {} {}\n",
+                    s.name, s.bytes, s.frames, s.nonce
+                ));
+            }
+        }
+        out.into_bytes()
+    }
+
+    /// Parses manifest bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LadderError::Manifest`] on any framing or field error.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, LadderError> {
+        let text = core::str::from_utf8(bytes).map_err(|_| LadderError::Manifest("not utf-8"))?;
+        let mut lines = text.lines();
+        if lines.next() != Some("MMSTREAM 1") {
+            return Err(LadderError::Manifest("bad magic line"));
+        }
+        let mut title = None;
+        let mut ticks_per_frame = None;
+        let mut sealed = None;
+        let mut rungs: Vec<RungInfo> = Vec::new();
+        for line in lines {
+            let mut words = line.split_whitespace();
+            match words.next() {
+                Some("title") => title = Some(words.next().unwrap_or("").to_string()),
+                Some("ticks_per_frame") => {
+                    ticks_per_frame = words
+                        .next()
+                        .and_then(|w| w.parse::<u64>().ok())
+                        .filter(|&t| t > 0);
+                    if ticks_per_frame.is_none() {
+                        return Err(LadderError::Manifest("bad ticks_per_frame"));
+                    }
+                }
+                Some("sealed") => {
+                    sealed = match words.next() {
+                        Some("0") => Some(false),
+                        Some("1") => Some(true),
+                        _ => return Err(LadderError::Manifest("bad sealed flag")),
+                    }
+                }
+                Some("rung") => {
+                    let target = words
+                        .next()
+                        .and_then(|w| w.parse::<f64>().ok())
+                        .filter(|t| t.is_finite() && *t > 0.0)
+                        .ok_or(LadderError::Manifest("bad rung target"))?;
+                    rungs.push(RungInfo {
+                        target_bits_per_frame: target,
+                        segments: Vec::new(),
+                    });
+                }
+                Some("seg") => {
+                    let rung = rungs
+                        .last_mut()
+                        .ok_or(LadderError::Manifest("seg before rung"))?;
+                    let name = words
+                        .next()
+                        .ok_or(LadderError::Manifest("seg missing name"))?
+                        .to_string();
+                    let mut num = |what| {
+                        words
+                            .next()
+                            .and_then(|w| w.parse::<u64>().ok())
+                            .ok_or(LadderError::Manifest(what))
+                    };
+                    let bytes = num("seg missing bytes")? as usize;
+                    let frames = num("seg missing frames")? as usize;
+                    let nonce = num("seg missing nonce")? as u32;
+                    if bytes == 0 || frames == 0 {
+                        return Err(LadderError::Manifest("empty segment"));
+                    }
+                    rung.segments.push(SegmentEntry {
+                        name,
+                        bytes,
+                        frames,
+                        nonce,
+                    });
+                }
+                Some(_) => return Err(LadderError::Manifest("unknown directive")),
+                None => {}
+            }
+        }
+        let title = title
+            .filter(|t| !t.is_empty())
+            .ok_or(LadderError::Manifest("missing title"))?;
+        let ticks_per_frame = ticks_per_frame.ok_or(LadderError::Manifest("missing tpf"))?;
+        let sealed = sealed.ok_or(LadderError::Manifest("missing sealed flag"))?;
+        if rungs.is_empty() {
+            return Err(LadderError::Manifest("no rungs"));
+        }
+        let n = rungs[0].segments.len();
+        if n == 0 || rungs.iter().any(|r| r.segments.len() != n) {
+            return Err(LadderError::Manifest("rung segment counts differ"));
+        }
+        Ok(Self {
+            title,
+            ticks_per_frame,
+            sealed,
+            rungs,
+        })
+    }
+}
+
+/// A built ladder: the manifest plus every segment's wire bytes,
+/// `segments[rung][seg]` parallel to the manifest.
+#[derive(Debug, Clone)]
+pub struct Ladder {
+    /// The manifest.
+    pub manifest: Manifest,
+    /// Muxed (possibly sealed) segment bytes per rung.
+    pub segments: Vec<Vec<Vec<u8>>>,
+}
+
+impl Ladder {
+    /// Total wire bytes across every rung and segment.
+    #[must_use]
+    pub fn total_bytes(&self) -> usize {
+        self.segments
+            .iter()
+            .flat_map(|r| r.iter().map(Vec::len))
+            .sum()
+    }
+}
+
+/// Encodes `frames` at every rung of `config`, cutting closed-GOP
+/// segments and muxing each to wire packets.
+///
+/// # Errors
+///
+/// Returns [`LadderError`] for bad targets/titles or encoder failures.
+pub fn encode_ladder(
+    title: &str,
+    frames: &[Frame],
+    config: &LadderConfig,
+) -> Result<Ladder, LadderError> {
+    if title.is_empty() || title.split_whitespace().count() != 1 || title.contains('/') {
+        return Err(LadderError::BadTitle);
+    }
+    let targets = &config.targets_bits_per_frame;
+    if targets.is_empty()
+        || targets.iter().any(|t| !t.is_finite() || *t <= 0.0)
+        || targets.windows(2).any(|w| w[0] >= w[1])
+    {
+        return Err(LadderError::BadTargets);
+    }
+    if config.ticks_per_frame == 0 {
+        return Err(LadderError::ZeroTicksPerFrame);
+    }
+    if frames.is_empty() {
+        return Err(LadderError::Encoder(EncoderError::Empty));
+    }
+
+    let mut rungs = Vec::with_capacity(targets.len());
+    let mut segments = Vec::with_capacity(targets.len());
+    for (ri, &target) in targets.iter().enumerate() {
+        // Rate control alone cannot separate rungs on easy content (every
+        // rung would drift to max quality), so each rung also gets a
+        // quality band — the capped-quality + rate-target combination
+        // real ladder encoders use. The controller may still drop to
+        // quality 5 to hold the bit budget on hard content.
+        let quality = if targets.len() == 1 {
+            75u8
+        } else {
+            (35 + ri * 55 / (targets.len() - 1)) as u8
+        };
+        let encoder = Encoder::new(EncoderConfig {
+            quality,
+            gop: config.gop,
+            search: config.search,
+            search_range: config.search_range,
+            rate: Some(RateConfig {
+                max_quality: (quality + 8).min(95),
+                ..RateConfig::for_target(target)
+            }),
+        })?;
+        let mut entries = Vec::new();
+        let mut wires = Vec::new();
+        for (si, chunk) in frames.chunks(config.gop).enumerate() {
+            let seq = encoder.encode(chunk)?;
+            // Closed GOP by construction: the chunk is at most one GOP
+            // long, so the encoder's boundary metadata must report
+            // exactly one I-frame-led range.
+            debug_assert_eq!(seq.gop_frame_ranges(), vec![0..chunk.len()]);
+            let wire = mux_segment_wire(&seq, None);
+            entries.push(SegmentEntry {
+                name: format!("r{ri}_s{si}.ts"),
+                bytes: wire.len(),
+                frames: chunk.len(),
+                nonce: ((ri as u32) << 16) | si as u32,
+            });
+            wires.push(wire);
+        }
+        rungs.push(RungInfo {
+            target_bits_per_frame: target,
+            segments: entries,
+        });
+        segments.push(wires);
+    }
+    Ok(Ladder {
+        manifest: Manifest {
+            title: title.to_string(),
+            ticks_per_frame: config.ticks_per_frame,
+            sealed: false,
+            rungs,
+        },
+        segments,
+    })
+}
+
+/// Seals every segment under the title's content key (XTEA-CTR, one
+/// nonce per segment from the manifest). The manifest itself stays
+/// clear — it names objects, the *content* is what §6 protects.
+///
+/// # Panics
+///
+/// Panics if `title_id` was not registered with the authority.
+pub fn seal_ladder(ladder: &mut Ladder, authority: &LicenseAuthority, title_id: TitleId) {
+    for (ri, rung) in ladder.segments.iter_mut().enumerate() {
+        for (si, wire) in rung.iter_mut().enumerate() {
+            let nonce = ladder.manifest.rungs[ri].segments[si].nonce;
+            *wire = authority.encrypt_content(title_id, wire, nonce);
+        }
+    }
+    ladder.manifest.sealed = true;
+}
+
+/// Publishes the manifest and every segment on a content server.
+pub fn publish_ladder(server: &mut ContentServer, ladder: &Ladder) {
+    let m = &ladder.manifest;
+    server.publish(Manifest::manifest_object(&m.title), m.to_bytes());
+    for (ri, rung) in ladder.segments.iter().enumerate() {
+        for (si, wire) in rung.iter().enumerate() {
+            server.publish(m.segment_object(ri, si), wire.clone());
+        }
+    }
+}
+
+/// Writes the ladder into a media filesystem (`/<title>/...`) — the
+/// segment store backing a long-lived server.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (e.g. out of space).
+pub fn store_ladder(fs: &mut MediaFs, ladder: &Ladder) -> Result<(), LadderError> {
+    let m = &ladder.manifest;
+    fs.mkdir(&format!("/{}", m.title))?;
+    fs.create(
+        &format!("/{}", Manifest::manifest_object(&m.title)),
+        &m.to_bytes(),
+    )?;
+    for (ri, rung) in ladder.segments.iter().enumerate() {
+        for (si, wire) in rung.iter().enumerate() {
+            fs.create(&format!("/{}", m.segment_object(ri, si)), wire)?;
+        }
+    }
+    Ok(())
+}
+
+/// Loads a stored title from the filesystem and publishes it on the
+/// server — the boot path of a segment server restarting over its store.
+///
+/// # Errors
+///
+/// Returns [`LadderError`] if the manifest is missing/malformed or a
+/// segment read fails.
+pub fn publish_from_fs(
+    fs: &mut MediaFs,
+    server: &mut ContentServer,
+    title: &str,
+) -> Result<Manifest, LadderError> {
+    let manifest_path = format!("/{}", Manifest::manifest_object(title));
+    let bytes = fs.read(&manifest_path)?;
+    let manifest = Manifest::from_bytes(&bytes)?;
+    server.publish(Manifest::manifest_object(title), bytes);
+    for (ri, rung) in manifest.rungs.iter().enumerate() {
+        for si in 0..rung.segments.len() {
+            let object = manifest.segment_object(ri, si);
+            server.publish(object.clone(), fs.read(&format!("/{object}"))?);
+        }
+    }
+    Ok(manifest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::demux_segment;
+    use drm::license::License;
+    use drm::Right;
+    use video::synth::SequenceGen;
+
+    fn source(n: usize) -> Vec<Frame> {
+        SequenceGen::new(33).panning_sequence(48, 32, n, 1, 1)
+    }
+
+    fn small_config() -> LadderConfig {
+        LadderConfig {
+            targets_bits_per_frame: vec![2_000.0, 6_000.0, 18_000.0],
+            gop: 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn ladder_shape_and_rates_are_ordered() {
+        let ladder = encode_ladder("movie", &source(10), &small_config()).unwrap();
+        let m = &ladder.manifest;
+        assert_eq!(m.rungs.len(), 3);
+        assert_eq!(m.segment_count(), 3); // 4 + 4 + 2 frames
+        assert_eq!(m.rungs[0].segments[2].frames, 2);
+        // Higher rungs cost at least as many wire bytes segment by
+        // segment (tiny segments can tie: wire size quantizes to whole
+        // 188-byte packets) and strictly more in total.
+        for s in 0..m.segment_count() {
+            let sizes: Vec<usize> = m.rungs.iter().map(|r| r.segments[s].bytes).collect();
+            assert!(
+                sizes.windows(2).all(|w| w[0] <= w[1]),
+                "rung sizes descend at segment {s}: {sizes:?}"
+            );
+        }
+        let totals: Vec<usize> = m
+            .rungs
+            .iter()
+            .map(|r| r.segments.iter().map(|s| s.bytes).sum())
+            .collect();
+        assert!(
+            totals.windows(2).all(|w| w[0] < w[1]),
+            "rung totals not ascending: {totals:?}"
+        );
+    }
+
+    #[test]
+    fn every_segment_decodes_standalone() {
+        let ladder = encode_ladder("movie", &source(8), &small_config()).unwrap();
+        for rung in &ladder.segments {
+            for wire in rung {
+                let seg = demux_segment(wire);
+                assert!(!seg.report.loss_detected());
+                let dec = video::decode(&seg.video_es.unwrap()).unwrap();
+                assert!(!dec.frames.is_empty());
+                assert_eq!(dec.kinds[0], video::FrameKind::Intra);
+            }
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let ladder = encode_ladder("movie", &source(9), &small_config()).unwrap();
+        let bytes = ladder.manifest.to_bytes();
+        let back = Manifest::from_bytes(&bytes).unwrap();
+        assert_eq!(back, ladder.manifest);
+    }
+
+    #[test]
+    fn malformed_manifests_rejected() {
+        assert!(Manifest::from_bytes(b"").is_err());
+        assert!(Manifest::from_bytes(b"MMSTREAM 2\n").is_err());
+        assert!(Manifest::from_bytes(b"MMSTREAM 1\ntitle t\n").is_err());
+        assert!(
+            Manifest::from_bytes(b"MMSTREAM 1\ntitle t\nticks_per_frame 10\nsealed 0\n").is_err()
+        );
+        assert!(Manifest::from_bytes(
+            b"MMSTREAM 1\ntitle t\nticks_per_frame 10\nsealed 0\nseg a 1 1 0\n"
+        )
+        .is_err());
+        assert_eq!(
+            Manifest::from_bytes(
+                b"MMSTREAM 1\ntitle t\nticks_per_frame 0\nsealed 0\nrung 100\nseg a 1 1 0\n"
+            )
+            .unwrap_err(),
+            LadderError::Manifest("bad ticks_per_frame")
+        );
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let frames = source(4);
+        let mut cfg = small_config();
+        cfg.targets_bits_per_frame = vec![5_000.0, 5_000.0];
+        assert_eq!(
+            encode_ladder("t", &frames, &cfg).unwrap_err(),
+            LadderError::BadTargets
+        );
+        assert_eq!(
+            encode_ladder("two words", &frames, &small_config()).unwrap_err(),
+            LadderError::BadTitle
+        );
+        assert_eq!(
+            encode_ladder("a/b", &frames, &small_config()).unwrap_err(),
+            LadderError::BadTitle
+        );
+        let zero_tpf = LadderConfig {
+            ticks_per_frame: 0,
+            ..small_config()
+        };
+        assert_eq!(
+            encode_ladder("t", &frames, &zero_tpf).unwrap_err(),
+            LadderError::ZeroTicksPerFrame
+        );
+    }
+
+    #[test]
+    fn sealing_is_reversible_with_the_license_key() {
+        let mut authority = LicenseAuthority::new(b"studio".to_vec());
+        let title_id = TitleId(9);
+        authority.register_title(title_id);
+        let mut ladder = encode_ladder("movie", &source(8), &small_config()).unwrap();
+        let clear = ladder.segments[0][0].clone();
+        seal_ladder(&mut ladder, &authority, title_id);
+        assert!(ladder.manifest.sealed);
+        assert_ne!(ladder.segments[0][0], clear);
+        assert_eq!(ladder.segments[0][0].len(), clear.len());
+        // A session unseals via the license's content key.
+        let sealed_license = authority.issue(title_id, vec![Right::Play]);
+        let license = License::unseal(&sealed_license, authority.verification_key()).unwrap();
+        let nonce = ladder.manifest.rungs[0].segments[0].nonce;
+        let back =
+            drm::cipher::XteaCtr::new(&license.content_key, nonce).applied(&ladder.segments[0][0]);
+        assert_eq!(back, clear);
+    }
+
+    #[test]
+    fn store_and_republish_from_mediafs() {
+        let ladder = encode_ladder("movie", &source(8), &small_config()).unwrap();
+        let mut fs = MediaFs::new(4096, 512, mediafs::fs::AllocPolicy::FirstFit);
+        store_ladder(&mut fs, &ladder).unwrap();
+        let mut server = ContentServer::new();
+        let manifest = publish_from_fs(&mut fs, &mut server, "movie").unwrap();
+        assert_eq!(manifest, ladder.manifest);
+        assert_eq!(
+            server.len(),
+            1 + manifest.rungs.len() * manifest.segment_count()
+        );
+        // Segment bytes survive the store -> publish path exactly.
+        let names = server.names();
+        assert!(names.contains(&"movie/manifest".to_string()));
+        assert!(names.contains(&"movie/r2_s1.ts".to_string()));
+    }
+
+    #[test]
+    fn required_rate_reflects_segment_size() {
+        let ladder = encode_ladder("movie", &source(8), &small_config()).unwrap();
+        let m = &ladder.manifest;
+        let low = m.rungs[0].required_bits_per_tick(0, m.ticks_per_frame);
+        let high = m.rungs[2].required_bits_per_tick(0, m.ticks_per_frame);
+        assert!(low > 0.0 && high > low);
+    }
+}

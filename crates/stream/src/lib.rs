@@ -1,0 +1,60 @@
+//! # `mmstream` — transport mux + ABR segment delivery
+//!
+//! The delivery layer between the codecs and the netstack, motivated by
+//! Wolf §7's networked consumer devices ("content access" over small IP
+//! stacks) and the ROADMAP's per-server scale goal:
+//!
+//! * [`ts`] — fixed-188-byte TS-style packets with PIDs, continuity
+//!   counters, and per-packet CRC-32; bit-identical demux on a clean
+//!   link, gap detection and damaged-unit discard on a lossy one.
+//! * [`segment`] — one GOP-aligned segment as a transport stream: frame
+//!   index (from the encoder's per-frame kind/offset metadata), video
+//!   ES, optional interleaved audio ES.
+//! * [`ladder`] — the ABR ladder: one source encoded at several rate
+//!   targets via `video::rate`, closed-GOP segments, a plain-text
+//!   [`ladder::Manifest`], optional XTEA-CTR sealing (§6), a `mediafs`
+//!   segment store, and content-server publishing.
+//! * [`session`] — a viewer: manifest/license fetch, segment fetches
+//!   over `netstack::fetch`/`tcplite` across lossy links, a playout
+//!   buffer, and a throughput-driven ABR controller; reports startup
+//!   delay, rebuffer events, and rung switches.
+//! * [`serve`] — a deterministic fluid simulator interleaving thousands
+//!   of concurrent sessions against one segment server, measuring the
+//!   capacity knee where per-session quality starts to collapse.
+//!
+//! # Example
+//!
+//! ```
+//! use mmstream::ladder::{encode_ladder, publish_ladder, LadderConfig};
+//! use mmstream::session::{run_session, SessionConfig};
+//! use netstack::fetch::ContentServer;
+//! use video::synth::SequenceGen;
+//!
+//! let frames = SequenceGen::new(2).panning_sequence(48, 32, 8, 1, 0);
+//! let cfg = LadderConfig {
+//!     targets_bits_per_frame: vec![2_000.0, 6_000.0, 18_000.0],
+//!     gop: 4,
+//!     ..Default::default()
+//! };
+//! let ladder = encode_ladder("demo", &frames, &cfg)?;
+//! let mut server = ContentServer::new();
+//! publish_ladder(&mut server, &ladder);
+//! let report = run_session(&server, "demo", &SessionConfig::default()).unwrap();
+//! assert_eq!(report.segments.len(), 2);
+//! assert_eq!(report.rebuffer_events, 0);
+//! # Ok::<(), mmstream::ladder::LadderError>(())
+//! ```
+
+pub mod ladder;
+pub mod segment;
+pub mod serve;
+pub mod session;
+pub mod ts;
+
+pub use ladder::{encode_ladder, publish_ladder, seal_ladder, Ladder, LadderConfig, Manifest};
+pub use segment::{demux_segment, mux_segment, mux_segment_wire, Segment};
+pub use serve::{
+    capacity_curve, capacity_knee, simulate_load, LoadConfig, LoadReport, ServerConfig,
+};
+pub use session::{run_session, AbrController, SessionConfig, SessionReport};
+pub use ts::{TsDemux, TsMux, TsPacket, TS_PACKET_LEN};

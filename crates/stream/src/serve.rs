@@ -1,0 +1,425 @@
+//! A deterministic many-session load simulator for one segment server.
+//!
+//! The ROADMAP's north star is per-server scale: how many concurrent
+//! viewers can one uplink feed before quality collapses? Echoing the
+//! group-size-threshold result in *Group Size Effect on the Success of
+//! Wolves Hunting* (PAPERS.md), per-session returns are flat up to a
+//! capacity knee and fall off beyond it — this module measures that
+//! knee. Thousands of sessions are interleaved in a single-threaded
+//! fluid event loop (no OS threads, no wall clock, every number derived
+//! from seeds), sharing the server uplink max-min-equally while each
+//! session runs the same [`AbrController`] and playout-buffer model as
+//! the transport-level single session.
+
+use signal::rng::Xoroshiro128;
+
+use crate::ladder::Manifest;
+use crate::session::AbrController;
+
+/// Segment-server capacity model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerConfig {
+    /// Shared uplink, bytes per tick.
+    pub capacity_bytes_per_tick: f64,
+    /// Each viewer's access-link ceiling, bytes per tick (matches the
+    /// default `LinkConfig` serialization rate of 100 bytes/tick).
+    pub per_session_bytes_per_tick: f64,
+}
+
+impl Default for ServerConfig {
+    /// A 4,000 byte/tick uplink feeding 100 byte/tick access links.
+    fn default() -> Self {
+        Self {
+            capacity_bytes_per_tick: 4_000.0,
+            per_session_bytes_per_tick: 100.0,
+        }
+    }
+}
+
+/// Load-generation configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadConfig {
+    /// Concurrent viewer sessions.
+    pub sessions: usize,
+    /// Session arrivals are spread uniformly over this many ticks.
+    pub stagger_ticks: u64,
+    /// Seed for arrival times.
+    pub seed: u64,
+    /// Segments buffered before playback starts.
+    pub startup_segments: usize,
+    /// ABR headroom.
+    pub safety: f64,
+    /// ABR throughput smoothing.
+    pub ewma_alpha: f64,
+    /// Simulation step, ticks (larger = faster, coarser).
+    pub tick_quantum: u64,
+    /// Hard stop.
+    pub max_ticks: u64,
+}
+
+impl Default for LoadConfig {
+    /// 100 sessions arriving over 1,000 ticks, 2-segment startup buffer,
+    /// quantum 4, 10M-tick ceiling.
+    fn default() -> Self {
+        Self {
+            sessions: 100,
+            stagger_ticks: 1_000,
+            seed: 7,
+            startup_segments: 2,
+            safety: 0.7,
+            ewma_alpha: 0.4,
+            tick_quantum: 4,
+            max_ticks: 10_000_000,
+        }
+    }
+}
+
+/// One simulated viewer.
+#[derive(Debug, Clone)]
+struct SimSession {
+    start_tick: u64,
+    abr: AbrController,
+    seg: usize,
+    rung: usize,
+    remaining_bytes: f64,
+    fetch_start: u64,
+    buffer_ticks: f64,
+    fetched: usize,
+    playing: bool,
+    in_rebuffer: bool,
+    startup_ticks: u64,
+    rebuffer_events: u32,
+    rung_switches: u32,
+    rung_sum: u64,
+    delivered_bits: u64,
+    done_at: Option<u64>,
+}
+
+/// Aggregate result of one load level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Sessions simulated.
+    pub sessions: usize,
+    /// Sessions that fetched every segment before `max_ticks`.
+    pub completed: usize,
+    /// Ticks until the last session finished (or the ceiling).
+    pub ticks: u64,
+    /// Server-side goodput, bits per tick, over the busy period.
+    pub total_goodput_bits_per_tick: f64,
+    /// Mean per-session delivered bits per tick of session lifetime.
+    pub mean_session_bits_per_tick: f64,
+    /// Mean startup delay across sessions that started playing.
+    pub mean_startup_ticks: f64,
+    /// Sessions that stalled at least once after startup.
+    pub rebuffer_sessions: usize,
+    /// `rebuffer_sessions / sessions`.
+    pub rebuffer_fraction: f64,
+    /// Mean rung index across every fetched segment.
+    pub mean_rung: f64,
+    /// Total rung switches across sessions.
+    pub rung_switches: u64,
+}
+
+/// Runs `load.sessions` concurrent viewers against one server.
+///
+/// Entirely deterministic: identical inputs give an identical report.
+///
+/// # Panics
+///
+/// Panics on a zero-session or zero-quantum load, or an empty manifest.
+#[must_use]
+pub fn simulate_load(manifest: &Manifest, server: &ServerConfig, load: &LoadConfig) -> LoadReport {
+    assert!(load.sessions > 0, "need at least one session");
+    assert!(load.tick_quantum > 0, "quantum must be positive");
+    let n_segments = manifest.segment_count();
+    assert!(n_segments > 0, "manifest has no segments");
+
+    let mut rng = Xoroshiro128::new(load.seed);
+    let mut sessions: Vec<SimSession> = (0..load.sessions)
+        .map(|_| SimSession {
+            start_tick: rng.below(load.stagger_ticks + 1),
+            abr: AbrController::new(load.ewma_alpha, load.safety),
+            seg: 0,
+            rung: 0,
+            remaining_bytes: manifest.rungs[0].segments[0].bytes as f64,
+            fetch_start: 0,
+            buffer_ticks: 0.0,
+            fetched: 0,
+            playing: false,
+            in_rebuffer: false,
+            startup_ticks: 0,
+            rebuffer_events: 0,
+            rung_switches: 0,
+            rung_sum: 0,
+            delivered_bits: 0,
+            done_at: None,
+        })
+        .collect();
+    for s in &mut sessions {
+        s.fetch_start = s.start_tick;
+    }
+    let startup_after = load.startup_segments.clamp(1, n_segments);
+
+    let q = load.tick_quantum;
+    let mut now = 0u64;
+    let mut live = load.sessions;
+    while live > 0 && now < load.max_ticks {
+        let active = sessions
+            .iter()
+            .filter(|s| s.done_at.is_none() && s.start_tick <= now)
+            .count();
+        if active == 0 {
+            now += q;
+            continue;
+        }
+        // Max-min fair share of the uplink, capped by the access link.
+        let rate =
+            (server.capacity_bytes_per_tick / active as f64).min(server.per_session_bytes_per_tick);
+        let step = q as f64;
+        for s in sessions.iter_mut() {
+            if s.done_at.is_some() || s.start_tick > now {
+                continue;
+            }
+            // Playout drains while the next segment downloads.
+            if s.playing {
+                s.buffer_ticks -= step;
+                if s.buffer_ticks < 0.0 {
+                    if !s.in_rebuffer {
+                        s.in_rebuffer = true;
+                        s.rebuffer_events += 1;
+                    }
+                    s.buffer_ticks = 0.0;
+                }
+            }
+            s.remaining_bytes -= rate * step;
+            if s.remaining_bytes > 0.0 {
+                continue;
+            }
+            // Segment complete at the end of this quantum.
+            let end = now + q;
+            let entry = &manifest.rungs[s.rung].segments[s.seg];
+            let elapsed = end.saturating_sub(s.fetch_start).max(1);
+            s.abr.observe((entry.bytes * 8) as f64, elapsed as f64);
+            s.delivered_bits += (entry.bytes * 8) as u64;
+            s.rung_sum += s.rung as u64;
+            s.buffer_ticks += (entry.frames as u64 * manifest.ticks_per_frame) as f64;
+            s.in_rebuffer = false;
+            s.fetched += 1;
+            if !s.playing && s.fetched >= startup_after {
+                s.playing = true;
+                s.startup_ticks = end - s.start_tick;
+            }
+            s.seg += 1;
+            if s.seg == n_segments {
+                s.done_at = Some(end);
+                live -= 1;
+                continue;
+            }
+            let next_rung = s.abr.pick(manifest, s.seg, None);
+            if next_rung != s.rung {
+                s.rung_switches += 1;
+            }
+            s.rung = next_rung;
+            s.remaining_bytes += manifest.rungs[s.rung].segments[s.seg].bytes as f64;
+            s.fetch_start = end;
+        }
+        now += q;
+    }
+
+    let end_tick = sessions
+        .iter()
+        .filter_map(|s| s.done_at)
+        .max()
+        .unwrap_or(now)
+        .max(1);
+    let completed = sessions.iter().filter(|s| s.done_at.is_some()).count();
+    let total_bits: u64 = sessions.iter().map(|s| s.delivered_bits).sum();
+    let mean_session_rate = sessions
+        .iter()
+        .map(|s| {
+            let end = s.done_at.unwrap_or(now).max(s.start_tick + 1);
+            s.delivered_bits as f64 / (end - s.start_tick) as f64
+        })
+        .sum::<f64>()
+        / load.sessions as f64;
+    let started: Vec<&SimSession> = sessions.iter().filter(|s| s.playing).collect();
+    let mean_startup = if started.is_empty() {
+        0.0
+    } else {
+        started.iter().map(|s| s.startup_ticks as f64).sum::<f64>() / started.len() as f64
+    };
+    let rebuffer_sessions = sessions.iter().filter(|s| s.rebuffer_events > 0).count();
+    let fetched_total: u64 = sessions.iter().map(|s| s.fetched as u64).sum();
+    let rung_sum: u64 = sessions.iter().map(|s| s.rung_sum).sum();
+    LoadReport {
+        sessions: load.sessions,
+        completed,
+        ticks: end_tick,
+        total_goodput_bits_per_tick: total_bits as f64 / end_tick as f64,
+        mean_session_bits_per_tick: mean_session_rate,
+        mean_startup_ticks: mean_startup,
+        rebuffer_sessions,
+        rebuffer_fraction: rebuffer_sessions as f64 / load.sessions as f64,
+        mean_rung: rung_sum as f64 / fetched_total.max(1) as f64,
+        rung_switches: sessions.iter().map(|s| u64::from(s.rung_switches)).sum(),
+    }
+}
+
+/// Sweeps session counts and reports one [`LoadReport`] per level.
+#[must_use]
+pub fn capacity_curve(
+    manifest: &Manifest,
+    server: &ServerConfig,
+    counts: &[usize],
+    base: &LoadConfig,
+) -> Vec<LoadReport> {
+    counts
+        .iter()
+        .map(|&sessions| simulate_load(manifest, server, &LoadConfig { sessions, ..*base }))
+        .collect()
+}
+
+/// The capacity knee: the largest swept session count at which at most
+/// `stall_tolerance` of sessions rebuffered. `None` when even the
+/// smallest level stalls more than that.
+#[must_use]
+pub fn capacity_knee(curve: &[LoadReport], stall_tolerance: f64) -> Option<usize> {
+    curve
+        .iter()
+        .filter(|r| r.rebuffer_fraction <= stall_tolerance)
+        .map(|r| r.sessions)
+        .max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ladder::{encode_ladder, LadderConfig};
+    use video::synth::SequenceGen;
+
+    fn manifest() -> Manifest {
+        let frames = SequenceGen::new(44).panning_sequence(48, 32, 16, 1, 0);
+        let cfg = LadderConfig {
+            targets_bits_per_frame: vec![2_000.0, 6_000.0, 18_000.0],
+            gop: 4,
+            ..Default::default()
+        };
+        encode_ladder("movie", &frames, &cfg).unwrap().manifest
+    }
+
+    #[test]
+    fn a_lone_session_reaches_the_top_rung() {
+        let m = manifest();
+        let r = simulate_load(
+            &m,
+            &ServerConfig::default(),
+            &LoadConfig {
+                sessions: 1,
+                stagger_ticks: 0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.completed, 1);
+        assert_eq!(r.rebuffer_sessions, 0);
+        assert!(r.mean_rung > 0.5, "mean rung {}", r.mean_rung);
+    }
+
+    #[test]
+    fn oversubscription_degrades_quality_then_stability() {
+        let m = manifest();
+        let server = ServerConfig::default();
+        let base = LoadConfig::default();
+        let light = simulate_load(
+            &m,
+            &server,
+            &LoadConfig {
+                sessions: 8,
+                ..base
+            },
+        );
+        let heavy = simulate_load(
+            &m,
+            &server,
+            &LoadConfig {
+                sessions: 2_000,
+                ..base
+            },
+        );
+        assert_eq!(light.completed, 8);
+        assert!(light.rebuffer_fraction <= 0.05);
+        assert!(
+            heavy.mean_rung < light.mean_rung,
+            "overload must push sessions down the ladder: {} vs {}",
+            heavy.mean_rung,
+            light.mean_rung
+        );
+        assert!(
+            heavy.mean_session_bits_per_tick < light.mean_session_bits_per_tick,
+            "per-session delivered rate must fall past the knee"
+        );
+        assert!(heavy.rebuffer_fraction > light.rebuffer_fraction);
+    }
+
+    #[test]
+    fn thousands_of_sessions_complete_and_knee_is_found() {
+        let m = manifest();
+        let server = ServerConfig::default();
+        let base = LoadConfig::default();
+        let counts = [50, 200, 1_000, 3_000];
+        let curve = capacity_curve(&m, &server, &counts, &base);
+        assert_eq!(curve.len(), 4);
+        assert!(curve.iter().all(|r| r.completed == r.sessions));
+        let knee = capacity_knee(&curve, 0.05);
+        assert!(knee.is_some(), "some level must be sustainable");
+        assert!(knee.unwrap() >= 50);
+        // Server goodput saturates: the biggest level cannot beat the
+        // uplink.
+        let cap_bits = server.capacity_bytes_per_tick * 8.0;
+        assert!(curve
+            .iter()
+            .all(|r| r.total_goodput_bits_per_tick <= cap_bits * 1.01));
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let m = manifest();
+        let server = ServerConfig::default();
+        let load = LoadConfig {
+            sessions: 500,
+            ..Default::default()
+        };
+        let a = simulate_load(&m, &server, &load);
+        let b = simulate_load(&m, &server, &load);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stagger_spreads_startup_contention() {
+        let m = manifest();
+        let server = ServerConfig::default();
+        let burst = simulate_load(
+            &m,
+            &server,
+            &LoadConfig {
+                sessions: 400,
+                stagger_ticks: 0,
+                ..Default::default()
+            },
+        );
+        let spread = simulate_load(
+            &m,
+            &server,
+            &LoadConfig {
+                sessions: 400,
+                stagger_ticks: 200_000,
+                ..Default::default()
+            },
+        );
+        assert!(
+            spread.mean_startup_ticks <= burst.mean_startup_ticks,
+            "arrival spreading should not worsen startup: {} vs {}",
+            spread.mean_startup_ticks,
+            burst.mean_startup_ticks
+        );
+    }
+}

@@ -1,0 +1,474 @@
+//! A viewer session: fetch → jitter/playout buffer → ABR control.
+//!
+//! The session fetches the manifest (and, for sealed titles, the
+//! license) over `netstack::fetch`, then pulls segments through the
+//! reliable TCP-lite transport across a lossy link. A playout buffer
+//! drains in real (simulated-tick) time while the next segment
+//! downloads; the throughput-driven [`AbrController`] picks the highest
+//! rung the measured bandwidth sustains. The report records exactly the
+//! quality-of-experience trio streaming systems are judged on: startup
+//! delay, rebuffer events, and rung switches.
+
+use drm::cipher::XteaCtr;
+use drm::license::{License, LicenseParseError};
+use netstack::fetch::{fetch, ContentServer, FetchError};
+use netstack::link::LinkConfig;
+use netstack::tcplite::TcpConfig;
+
+use crate::ladder::{LadderError, Manifest};
+use crate::segment::{demux_segment, Segment};
+
+/// Throughput-driven rung selection, shared by the single-session path
+/// and the many-session load simulator.
+#[derive(Debug, Clone)]
+pub struct AbrController {
+    /// EWMA smoothing factor for throughput samples (0..=1].
+    pub alpha: f64,
+    /// Headroom: a rung is sustainable when its required rate is below
+    /// `safety * estimate`.
+    pub safety: f64,
+    estimate_bits_per_tick: Option<f64>,
+}
+
+impl AbrController {
+    /// A controller with no throughput history.
+    #[must_use]
+    pub fn new(alpha: f64, safety: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha) && alpha > 0.0, "bad alpha");
+        assert!(safety > 0.0, "bad safety");
+        Self {
+            alpha,
+            safety,
+            estimate_bits_per_tick: None,
+        }
+    }
+
+    /// The current bandwidth estimate, if any sample arrived yet.
+    #[must_use]
+    pub fn estimate(&self) -> Option<f64> {
+        self.estimate_bits_per_tick
+    }
+
+    /// Feeds one download sample.
+    pub fn observe(&mut self, bits: f64, ticks: f64) {
+        if ticks <= 0.0 {
+            return;
+        }
+        let sample = bits / ticks;
+        self.estimate_bits_per_tick = Some(match self.estimate_bits_per_tick {
+            None => sample,
+            Some(e) => self.alpha * sample + (1.0 - self.alpha) * e,
+        });
+    }
+
+    /// Picks the highest sustainable rung for segment `seg` (rung 0 when
+    /// no throughput has been observed yet — start safe, switch up).
+    #[must_use]
+    pub fn pick(&self, manifest: &Manifest, seg: usize, max_rung: Option<usize>) -> usize {
+        let ceiling = max_rung
+            .unwrap_or(manifest.rungs.len() - 1)
+            .min(manifest.rungs.len() - 1);
+        let Some(est) = self.estimate_bits_per_tick else {
+            return 0;
+        };
+        let budget = est * self.safety;
+        (0..=ceiling)
+            .rev()
+            .find(|&r| {
+                manifest.rungs[r].required_bits_per_tick(seg, manifest.ticks_per_frame) <= budget
+            })
+            .unwrap_or(0)
+    }
+}
+
+/// Session configuration.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Transport configuration.
+    pub tcp: TcpConfig,
+    /// Access-link conditions.
+    pub link: LinkConfig,
+    /// Seed for the link's loss process.
+    pub seed: u64,
+    /// Segments buffered before playback starts (the jitter buffer).
+    pub startup_segments: usize,
+    /// ABR headroom.
+    pub safety: f64,
+    /// ABR throughput smoothing.
+    pub ewma_alpha: f64,
+    /// Cap (or pin, with `Some(0)`) the reachable rung.
+    pub max_rung: Option<usize>,
+    /// License verification key for sealed titles.
+    pub verification_key: Option<Vec<u8>>,
+}
+
+impl Default for SessionConfig {
+    /// Default transport and link, 2-segment jitter buffer, 0.7 safety,
+    /// 0.4 EWMA, free rung choice, no DRM.
+    fn default() -> Self {
+        Self {
+            tcp: TcpConfig::default(),
+            link: LinkConfig::default(),
+            seed: 1,
+            startup_segments: 2,
+            safety: 0.7,
+            ewma_alpha: 0.4,
+            max_rung: None,
+            verification_key: None,
+        }
+    }
+}
+
+/// Errors running a session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// A fetch failed at the transport or server level.
+    Fetch(FetchError),
+    /// The manifest did not parse.
+    Manifest(&'static str),
+    /// The title is sealed but no verification key was configured.
+    SealedWithoutKey,
+    /// The license failed verification.
+    License(LicenseParseError),
+    /// A segment arrived damaged (impossible over the reliable
+    /// transport; kept for lossy/datagram delivery paths).
+    DamagedSegment(usize),
+}
+
+impl core::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SessionError::Fetch(e) => write!(f, "fetch failed: {e}"),
+            SessionError::Manifest(what) => write!(f, "bad manifest: {what}"),
+            SessionError::SealedWithoutKey => {
+                f.write_str("title is sealed and no verification key is configured")
+            }
+            SessionError::License(e) => write!(f, "license rejected: {e:?}"),
+            SessionError::DamagedSegment(i) => write!(f, "segment {i} arrived damaged"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<FetchError> for SessionError {
+    fn from(e: FetchError) -> Self {
+        SessionError::Fetch(e)
+    }
+}
+
+/// One fetched segment's record.
+#[derive(Debug, Clone)]
+pub struct SegmentRecord {
+    /// Rung the controller chose.
+    pub rung: usize,
+    /// Ticks the fetch took.
+    pub ticks: u64,
+    /// Wire bits delivered.
+    pub bits: u64,
+    /// Source frames carried.
+    pub frames: usize,
+    /// The demuxed (and unsealed) segment.
+    pub segment: Segment,
+}
+
+/// What one session experienced.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// Ticks from session start to first rendered frame.
+    pub startup_delay_ticks: u64,
+    /// Post-startup playback stalls.
+    pub rebuffer_events: u32,
+    /// Total stalled ticks.
+    pub rebuffer_ticks: u64,
+    /// Rung changes after the first segment.
+    pub rung_switches: u32,
+    /// Per-segment records, in playout order.
+    pub segments: Vec<SegmentRecord>,
+    /// Total simulated ticks (manifest + license + every segment fetch).
+    pub total_ticks: u64,
+    /// Total wire bits delivered.
+    pub delivered_bits: u64,
+}
+
+impl SessionReport {
+    /// Mean rung index across fetched segments.
+    #[must_use]
+    pub fn mean_rung(&self) -> f64 {
+        if self.segments.is_empty() {
+            0.0
+        } else {
+            self.segments.iter().map(|s| s.rung as f64).sum::<f64>() / self.segments.len() as f64
+        }
+    }
+
+    /// Delivered bits per tick over the whole session.
+    #[must_use]
+    pub fn goodput_bits_per_tick(&self) -> f64 {
+        self.delivered_bits as f64 / self.total_ticks.max(1) as f64
+    }
+}
+
+/// Runs one viewer session against a published title.
+///
+/// # Errors
+///
+/// Returns [`SessionError`] on transport failure, manifest/license
+/// problems, or a damaged segment.
+pub fn run_session(
+    server: &ContentServer,
+    title: &str,
+    config: &SessionConfig,
+) -> Result<SessionReport, SessionError> {
+    let mut clock = 0u64;
+    let mut delivered_bits = 0u64;
+    let fetch_object = |name: &str, leg: u64| -> Result<(Vec<u8>, u64), SessionError> {
+        let r = fetch(
+            server,
+            name,
+            config.tcp,
+            config.link,
+            config.seed.wrapping_add(leg),
+        )?;
+        Ok((r.data, r.ticks))
+    };
+
+    // 1. Manifest.
+    let (bytes, ticks) = fetch_object(&Manifest::manifest_object(title), 0)?;
+    clock += ticks;
+    delivered_bits += (bytes.len() * 8) as u64;
+    let manifest = Manifest::from_bytes(&bytes).map_err(|e| match e {
+        LadderError::Manifest(what) => SessionError::Manifest(what),
+        _ => SessionError::Manifest("unparseable"),
+    })?;
+
+    // 2. License, when the title is sealed.
+    let content_key = if manifest.sealed {
+        let key = config
+            .verification_key
+            .as_deref()
+            .ok_or(SessionError::SealedWithoutKey)?;
+        let (bytes, ticks) = fetch_object(&Manifest::license_object(title), 1)?;
+        clock += ticks;
+        delivered_bits += (bytes.len() * 8) as u64;
+        let license = License::unseal(&bytes, key).map_err(SessionError::License)?;
+        Some(license.content_key)
+    } else {
+        None
+    };
+
+    // 3. Segments, ABR-controlled, through the playout buffer model.
+    let mut abr = AbrController::new(config.ewma_alpha, config.safety);
+    let n = manifest.segment_count();
+    let startup_after = config.startup_segments.clamp(1, n.max(1));
+    let mut records: Vec<SegmentRecord> = Vec::with_capacity(n);
+    let mut buffer_ticks = 0i64;
+    let mut playing = false;
+    let mut startup_delay = 0u64;
+    let mut rebuffer_events = 0u32;
+    let mut rebuffer_ticks = 0u64;
+    let mut rung_switches = 0u32;
+
+    for seg in 0..n {
+        let rung = abr.pick(&manifest, seg, config.max_rung);
+        if let Some(prev) = records.last() {
+            if prev.rung != rung {
+                rung_switches += 1;
+            }
+        }
+        let entry = &manifest.rungs[rung].segments[seg];
+        let (mut bytes, ticks) = fetch_object(&manifest.segment_object(rung, seg), 2 + seg as u64)?;
+        clock += ticks;
+        delivered_bits += (bytes.len() * 8) as u64;
+        abr.observe((bytes.len() * 8) as f64, ticks as f64);
+
+        // Playout drains while the fetch was in flight.
+        if playing {
+            buffer_ticks -= ticks as i64;
+            if buffer_ticks < 0 {
+                rebuffer_events += 1;
+                rebuffer_ticks += (-buffer_ticks) as u64;
+                buffer_ticks = 0;
+            }
+        }
+
+        if let Some(key) = content_key.as_ref() {
+            XteaCtr::new(key, entry.nonce).apply(&mut bytes);
+        }
+        let segment = demux_segment(&bytes);
+        if segment.video_es.is_none() {
+            return Err(SessionError::DamagedSegment(seg));
+        }
+        buffer_ticks += (entry.frames as u64 * manifest.ticks_per_frame) as i64;
+        records.push(SegmentRecord {
+            rung,
+            ticks,
+            bits: (bytes.len() * 8) as u64,
+            frames: entry.frames,
+            segment,
+        });
+        if !playing && records.len() >= startup_after {
+            playing = true;
+            startup_delay = clock;
+        }
+    }
+
+    Ok(SessionReport {
+        startup_delay_ticks: startup_delay,
+        rebuffer_events,
+        rebuffer_ticks,
+        rung_switches,
+        segments: records,
+        total_ticks: clock,
+        delivered_bits,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ladder::{encode_ladder, publish_ladder, seal_ladder, LadderConfig};
+    use drm::playback::LicenseAuthority;
+    use drm::{Right, TitleId};
+    use video::synth::SequenceGen;
+
+    fn published(seal: bool) -> (ContentServer, LicenseAuthority) {
+        let frames = SequenceGen::new(12).panning_sequence(48, 32, 12, 1, 0);
+        let cfg = LadderConfig {
+            targets_bits_per_frame: vec![2_000.0, 6_000.0, 18_000.0],
+            gop: 4,
+            ..Default::default()
+        };
+        let mut ladder = encode_ladder("movie", &frames, &cfg).unwrap();
+        let mut authority = LicenseAuthority::new(b"studio".to_vec());
+        let title_id = TitleId(1);
+        authority.register_title(title_id);
+        let mut server = ContentServer::new();
+        if seal {
+            seal_ladder(&mut ladder, &authority, title_id);
+            server.publish(
+                Manifest::license_object("movie"),
+                authority.issue(title_id, vec![Right::Play]),
+            );
+        }
+        publish_ladder(&mut server, &ladder);
+        (server, authority)
+    }
+
+    #[test]
+    fn clear_session_plays_every_segment() {
+        let (server, _) = published(false);
+        let report = run_session(&server, "movie", &SessionConfig::default()).unwrap();
+        assert_eq!(report.segments.len(), 3);
+        assert!(report.startup_delay_ticks > 0);
+        assert_eq!(report.rebuffer_events, 0, "clean fast link must not stall");
+        // Every fetched segment decodes.
+        for rec in &report.segments {
+            let dec = video::decode(rec.segment.video_es.as_ref().unwrap()).unwrap();
+            assert_eq!(dec.frames.len(), rec.frames);
+        }
+    }
+
+    #[test]
+    fn abr_climbs_on_a_fast_link() {
+        let (server, _) = published(false);
+        let report = run_session(&server, "movie", &SessionConfig::default()).unwrap();
+        assert_eq!(
+            report.segments[0].rung, 0,
+            "sessions start on the safe rung"
+        );
+        assert!(
+            report.segments.last().unwrap().rung > 0,
+            "fast link should let the controller switch up"
+        );
+        assert!(report.rung_switches >= 1);
+    }
+
+    #[test]
+    fn pinned_rung_never_switches() {
+        let (server, _) = published(false);
+        let cfg = SessionConfig {
+            max_rung: Some(0),
+            ..Default::default()
+        };
+        let report = run_session(&server, "movie", &cfg).unwrap();
+        assert!(report.segments.iter().all(|s| s.rung == 0));
+        assert_eq!(report.rung_switches, 0);
+    }
+
+    #[test]
+    fn sealed_title_requires_key_and_then_plays() {
+        let (server, authority) = published(true);
+        let err = run_session(&server, "movie", &SessionConfig::default()).unwrap_err();
+        assert_eq!(err, SessionError::SealedWithoutKey);
+        let cfg = SessionConfig {
+            verification_key: Some(authority.verification_key().to_vec()),
+            ..Default::default()
+        };
+        let report = run_session(&server, "movie", &cfg).unwrap();
+        for rec in &report.segments {
+            let dec = video::decode(rec.segment.video_es.as_ref().unwrap()).unwrap();
+            assert_eq!(dec.frames.len(), rec.frames);
+        }
+    }
+
+    #[test]
+    fn wrong_verification_key_is_refused() {
+        let (server, _) = published(true);
+        let cfg = SessionConfig {
+            verification_key: Some(b"impostor".to_vec()),
+            ..Default::default()
+        };
+        assert!(matches!(
+            run_session(&server, "movie", &cfg).unwrap_err(),
+            SessionError::License(_)
+        ));
+    }
+
+    #[test]
+    fn missing_title_is_a_fetch_error() {
+        let (server, _) = published(false);
+        assert!(matches!(
+            run_session(&server, "nope", &SessionConfig::default()).unwrap_err(),
+            SessionError::Fetch(FetchError::Server(_))
+        ));
+    }
+
+    #[test]
+    fn lossy_link_still_plays_and_is_deterministic() {
+        let (server, _) = published(false);
+        let cfg = SessionConfig {
+            link: LinkConfig::default().with_loss(0.1),
+            max_rung: Some(0),
+            ..Default::default()
+        };
+        let a = run_session(&server, "movie", &cfg).unwrap();
+        let b = run_session(&server, "movie", &cfg).unwrap();
+        assert_eq!(a.total_ticks, b.total_ticks);
+        assert_eq!(a.startup_delay_ticks, b.startup_delay_ticks);
+        assert_eq!(a.segments.len(), 3);
+    }
+
+    #[test]
+    fn abr_controller_picks_by_budget() {
+        let (server, _) = published(false);
+        let bytes = fetch(
+            &server,
+            "movie/manifest",
+            TcpConfig::default(),
+            LinkConfig::default(),
+            9,
+        )
+        .unwrap()
+        .data;
+        let manifest = Manifest::from_bytes(&bytes).unwrap();
+        let mut abr = AbrController::new(0.5, 1.0);
+        assert_eq!(abr.pick(&manifest, 0, None), 0, "no history -> lowest");
+        abr.observe(1e9, 1.0); // absurdly fast
+        assert_eq!(abr.pick(&manifest, 0, None), manifest.rungs.len() - 1);
+        assert_eq!(abr.pick(&manifest, 0, Some(1)), 1, "cap respected");
+        let mut slow = AbrController::new(0.5, 1.0);
+        slow.observe(1.0, 1e9); // glacial
+        assert_eq!(slow.pick(&manifest, 0, None), 0);
+    }
+}

@@ -195,6 +195,9 @@ pub struct EncodedSequence {
     pub width: usize,
     /// Frame height.
     pub height: usize,
+    /// Bits occupied by the sequence header (magic, dimensions, frame
+    /// count, Huffman tables) before the first frame payload.
+    pub header_bits: usize,
 }
 
 impl EncodedSequence {
@@ -229,6 +232,53 @@ impl EncodedSequence {
     pub fn compression_ratio(&self) -> f64 {
         let raw_bits = self.frames.len() * self.width * self.height * 12; // 12 bpp for 4:2:0
         raw_bits as f64 / self.total_bits().max(1) as f64
+    }
+
+    /// Per-frame `(bit_offset, bit_length)` spans within the stream, in
+    /// frame order. Frame payloads are contiguous after the header, so
+    /// span `i` starts where span `i - 1` ends; the first starts at
+    /// [`EncodedSequence::header_bits`]. This is the metadata a
+    /// packetizer/segmenter needs to index access units without parsing
+    /// the entropy-coded payload.
+    #[must_use]
+    pub fn frame_bit_spans(&self) -> Vec<(usize, usize)> {
+        let mut offset = self.header_bits;
+        self.frames
+            .iter()
+            .map(|f| {
+                let span = (offset, f.bits);
+                offset += f.bits;
+                span
+            })
+            .collect()
+    }
+
+    /// Indices of the intra (I) frames — the GOP entry points at which a
+    /// stream may be cut or a decoder may join.
+    #[must_use]
+    pub fn gop_starts(&self) -> Vec<usize> {
+        self.frames
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.kind == FrameKind::Intra)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Frame-index ranges of each GOP: every range starts at an I frame
+    /// and runs up to (not including) the next one. Segment boundaries
+    /// for delivery fall exactly on these ranges.
+    #[must_use]
+    pub fn gop_frame_ranges(&self) -> Vec<core::ops::Range<usize>> {
+        let starts = self.gop_starts();
+        starts
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                let end = starts.get(i + 1).copied().unwrap_or(self.frames.len());
+                s..end
+            })
+            .collect()
     }
 }
 
@@ -378,6 +428,7 @@ impl Encoder {
         writer.write_bits(frames.len() as u32, 16);
         dc_code.write_table(&mut writer);
         ac_code.write_table(&mut writer);
+        let header_bits = writer.bit_len();
 
         let mut stats = Vec::with_capacity(analyses.len());
         for a in &analyses {
@@ -423,6 +474,7 @@ impl Encoder {
             tally,
             width: w,
             height: h,
+            header_bits,
         })
     }
 
@@ -775,6 +827,44 @@ mod tests {
         // And the controller must actually have moved quality at least once.
         let qualities: Vec<u8> = seq.frames.iter().map(|f| f.quality).collect();
         assert!(qualities.iter().any(|&q| q != qualities[0]));
+    }
+
+    #[test]
+    fn frame_spans_are_contiguous_and_cover_the_stream() {
+        let enc = Encoder::new(EncoderConfig::default()).unwrap();
+        let seq = enc.encode(&test_frames(6)).unwrap();
+        let spans = seq.frame_bit_spans();
+        assert_eq!(spans.len(), 6);
+        assert!(seq.header_bits > 0);
+        let mut expect = seq.header_bits;
+        for (i, &(off, len)) in spans.iter().enumerate() {
+            assert_eq!(off, expect, "frame {i} span not contiguous");
+            assert_eq!(len, seq.frames[i].bits);
+            expect = off + len;
+        }
+        // Everything after the header is frame payload (modulo the final
+        // byte-alignment padding).
+        assert!(expect <= seq.total_bits());
+        assert!(seq.total_bits() - expect < 8, "only padding may remain");
+    }
+
+    #[test]
+    fn gop_ranges_tile_the_sequence_at_i_frames() {
+        let enc = Encoder::new(EncoderConfig {
+            gop: 4,
+            ..Default::default()
+        })
+        .unwrap();
+        let seq = enc.encode(&test_frames(10)).unwrap();
+        assert_eq!(seq.gop_starts(), vec![0, 4, 8]);
+        let ranges = seq.gop_frame_ranges();
+        assert_eq!(ranges, vec![0..4, 4..8, 8..10]);
+        for r in &ranges {
+            assert_eq!(seq.frames[r.start].kind, FrameKind::Intra);
+            for i in r.start + 1..r.end {
+                assert_eq!(seq.frames[i].kind, FrameKind::Predicted);
+            }
+        }
     }
 
     #[test]

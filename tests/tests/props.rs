@@ -202,6 +202,65 @@ proptest! {
         }
     }
 
+    /// Transport mux -> demux round-trips arbitrary payloads
+    /// bit-identically on a lossless link: every unit on every PID comes
+    /// back exactly, with no loss indicators raised.
+    #[test]
+    fn ts_mux_demux_round_trip(
+        video_unit in prop::collection::vec(any::<u8>(), 1..4000),
+        audio_len in 0usize..1200,
+        audio_seed in any::<u64>(),
+    ) {
+        // audio_len 0 doubles as "no audio track".
+        let audio_unit: Vec<u8> = {
+            let mut rng = signal::rng::Xoroshiro128::new(audio_seed);
+            (0..audio_len).map(|_| rng.below(256) as u8).collect()
+        };
+        let mut mux = mmstream::TsMux::new();
+        let mut packets = mux.packetize(mmstream::ts::VIDEO_PID, &video_unit);
+        if !audio_unit.is_empty() {
+            packets.extend(mux.packetize(mmstream::ts::AUDIO_PID, &audio_unit));
+        }
+        let report = mmstream::ts::demux_wire(&mmstream::ts::to_wire(&packets));
+        prop_assert!(!report.loss_detected());
+        prop_assert_eq!(report.continuity_gaps, 0);
+        prop_assert_eq!(report.units_on(mmstream::ts::VIDEO_PID), &[video_unit]);
+        if audio_unit.is_empty() {
+            prop_assert!(report.units_on(mmstream::ts::AUDIO_PID).is_empty());
+        } else {
+            prop_assert_eq!(report.units_on(mmstream::ts::AUDIO_PID), &[audio_unit]);
+        }
+    }
+
+    /// Continuity/loss detection fires iff packets were dropped: intact
+    /// streams report nothing, and removing any one packet raises a
+    /// continuity gap, a damaged unit, or a stray-continuation count
+    /// (when the dropped packet was the unit's PUSI packet).
+    #[test]
+    fn ts_gap_detection_iff_dropped(
+        unit in prop::collection::vec(any::<u8>(), 400..4000),
+        drop_sel in any::<u64>(),
+    ) {
+        let mut mux = mmstream::TsMux::new();
+        let mut packets = mux.packetize(mmstream::ts::VIDEO_PID, &unit);
+        prop_assert!(packets.len() >= 2, "payload floor guarantees >= 2 packets");
+        // Low bit: whether to drop at all; remaining bits: which packet.
+        let dropped = drop_sel & 1 == 1;
+        if dropped {
+            let idx = (drop_sel >> 1) as usize % packets.len();
+            packets.remove(idx);
+        }
+        let report = mmstream::ts::demux_wire(&mmstream::ts::to_wire(&packets));
+        let noticed = report.loss_detected() || report.stray_packets > 0;
+        prop_assert_eq!(noticed, dropped, "loss indicators must track actual drops");
+        if dropped {
+            prop_assert!(report.units_on(mmstream::ts::VIDEO_PID).is_empty(),
+                "a unit missing a packet must not be delivered");
+        } else {
+            prop_assert_eq!(report.units_on(mmstream::ts::VIDEO_PID), &[unit]);
+        }
+    }
+
     /// Borrowed `BlockView` gathers (interior and edge-clamped) agree
     /// with the allocating `block_at` everywhere, so the zero-copy motion
     /// search sees exactly the same candidate pixels.
