@@ -29,6 +29,18 @@ impl ContentServer {
         self.objects.insert(name.into(), data);
     }
 
+    /// Removes an object, returning its bytes if it was published. Edge
+    /// caches use this to evict without rebuilding the server.
+    pub fn remove(&mut self, name: &str) -> Option<Vec<u8>> {
+        self.objects.remove(name)
+    }
+
+    /// The bytes of one published object, if present (no transport).
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&[u8]> {
+        self.objects.get(name).map(Vec::as_slice)
+    }
+
     /// Number of published objects.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -251,5 +263,25 @@ mod tests {
         s.publish("a", vec![2]);
         assert_eq!(s.len(), 2);
         assert_eq!(s.names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn get_and_remove() {
+        let mut s = server();
+        assert_eq!(s.get("license.bin"), Some([1u8, 2, 3, 4].as_slice()));
+        assert_eq!(s.get("nope"), None);
+        assert_eq!(s.remove("license.bin"), Some(vec![1, 2, 3, 4]));
+        assert_eq!(s.remove("license.bin"), None);
+        assert_eq!(s.get("license.bin"), None);
+        // A removed object is no longer fetchable.
+        let err = fetch(
+            &s,
+            "license.bin",
+            TcpConfig::default(),
+            LinkConfig::default(),
+            5,
+        )
+        .unwrap_err();
+        assert_eq!(err, FetchError::Server("not-found".to_string()));
     }
 }

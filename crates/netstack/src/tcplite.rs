@@ -123,6 +123,11 @@ pub fn transfer(
     let mut next_expected = 0usize;
 
     let mut now = 0u64;
+    // The IP-layer datagram id is a 16-bit counter that wraps every
+    // 65,536 packets, so on long transfers distinct segments alias the
+    // same id. It is diagnostic only: reliability is keyed entirely on
+    // the byte `seq`/`ack` fields inside the segment header, never on
+    // `Packet::id` (pinned by `transfer_crosses_the_packet_id_boundary`).
     let mut packet_id = 0u16;
     while acked < n_segments {
         if now > config.deadline_ticks {
@@ -165,7 +170,9 @@ pub fn transfer(
         }
         // Advance time to the next interesting moment.
         now += 1;
-        // Receiver: take arrived data segments, ACK cumulatively.
+        // Receiver: take arrived data segments, ACK cumulatively. Only
+        // the byte `seq` identifies a segment — the packet's wrapped
+        // 16-bit id is never consulted.
         for wire in data_link.deliver(now) {
             let Ok(packet) = Packet::decode(&wire) else {
                 continue;
@@ -330,6 +337,28 @@ mod tests {
             slow.ticks
         );
         assert!(fast.goodput > slow.goodput);
+    }
+
+    #[test]
+    fn transfer_crosses_the_packet_id_boundary() {
+        // More than 65,536 data packets, so the u16 IP datagram id wraps
+        // and distinct segments alias the same id. The transfer must
+        // still be byte-exact because the receive side keys purely on
+        // the byte `seq`/`ack` fields, never on the packet id.
+        const N: usize = 70_000;
+        let data = payload(N, 20);
+        let tcp = TcpConfig {
+            mss: 1, // one byte per packet -> one packet per segment
+            window: 64,
+            ..Default::default()
+        };
+        let r = transfer(&data, tcp, LinkConfig::default(), 21).unwrap();
+        assert_eq!(r.data, data, "aliased packet ids must not corrupt data");
+        assert_eq!(
+            r.segments_sent, N as u64,
+            "every byte is its own segment, sent exactly once on a clean link"
+        );
+        assert_eq!(r.retransmissions, 0);
     }
 
     #[test]

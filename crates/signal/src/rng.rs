@@ -27,23 +27,27 @@ pub struct Xoroshiro128 {
     s1: u64,
 }
 
+/// One SplitMix64 step: advances `x` by the golden-ratio increment and
+/// avalanches it. The seed expander for [`Xoroshiro128::new`], and a
+/// stateless mixing hash in its own right (consistent sharding uses it
+/// to spread consecutive indices).
+#[must_use]
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 impl Xoroshiro128 {
     /// Creates a generator from a 64-bit seed.
     ///
-    /// The seed is expanded with SplitMix64 so that nearby seeds (0, 1, 2…)
-    /// yield unrelated streams.
+    /// The seed is expanded with [`splitmix64`] so that nearby seeds
+    /// (0, 1, 2…) yield unrelated streams.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        let mut sm = seed;
-        let mut split = || {
-            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            let mut z = sm;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            z ^ (z >> 31)
-        };
-        let s0 = split();
-        let mut s1 = split();
+        let s0 = splitmix64(seed);
+        let mut s1 = splitmix64(seed.wrapping_add(0x9E37_79B9_7F4A_7C15));
         if s0 == 0 && s1 == 0 {
             s1 = 1; // the all-zero state is the one forbidden state
         }

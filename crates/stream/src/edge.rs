@@ -1,0 +1,649 @@
+//! The edge-cache delivery tier: CDN-style caches in front of the
+//! origin.
+//!
+//! PR 3's delivery path pulled every segment from one origin over one
+//! uplink, so capacity collapsed past ~1000 sessions. This module adds
+//! the layer real streaming systems use to move that knee: N edge
+//! caches, each with a bounded LRU segment cache, request coalescing
+//! (concurrent misses for the same object trigger one origin fill), and
+//! cache-fill over the edge's own — possibly lossy — origin link.
+//!
+//! Two consumers share these types:
+//!
+//! * [`EdgeCache`] is the *live* path: a viewer session fetches through
+//!   it transparently ([`crate::session::run_session_via_edge`]); hits
+//!   are served from the edge's local store over the access link alone,
+//!   misses add a full origin fetch over the edge's origin link.
+//! * [`EdgeTierConfig`] parameterises the *fluid* many-session
+//!   simulator ([`crate::serve::simulate_edge_load`]), which shards
+//!   thousands of sessions across edges and measures how the capacity
+//!   knee scales with edge count.
+
+use std::collections::BTreeMap;
+
+use netstack::fetch::{fetch, ContentServer, FetchError};
+use netstack::link::LinkConfig;
+use netstack::tcplite::TcpConfig;
+
+/// A bounded, byte-budgeted LRU index. The cache tracks sizes and
+/// recency; the bytes themselves live wherever the owner keeps them
+/// (an internal [`ContentServer`] for the live edge, the manifest for
+/// the fluid simulator).
+#[derive(Debug, Clone, Default)]
+pub struct Lru<K: Ord + Clone> {
+    capacity_bytes: usize,
+    held_bytes: usize,
+    seq: u64,
+    entries: BTreeMap<K, (usize, u64)>,
+    evictions: u64,
+}
+
+impl<K: Ord + Clone> Lru<K> {
+    /// An empty cache holding at most `capacity_bytes`.
+    #[must_use]
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self {
+            capacity_bytes,
+            held_bytes: 0,
+            seq: 0,
+            entries: BTreeMap::new(),
+            evictions: 0,
+        }
+    }
+
+    /// An effectively unbounded cache (the single-origin degenerate
+    /// case: the "edge" *is* the origin and holds everything).
+    #[must_use]
+    pub fn unbounded() -> Self {
+        Self::new(usize::MAX)
+    }
+
+    /// Whether `key` is cached, without touching recency.
+    #[must_use]
+    pub fn contains(&self, key: &K) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Marks `key` most-recently-used; `false` if it is not cached.
+    pub fn touch(&mut self, key: &K) -> bool {
+        self.seq += 1;
+        match self.entries.get_mut(key) {
+            Some(e) => {
+                e.1 = self.seq;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts `key`, evicting least-recently-used entries until it
+    /// fits. Returns the evicted keys. An object larger than the whole
+    /// cache is not inserted (the caller should pass it through) — and
+    /// any stale entry under the same key is dropped and reported
+    /// evicted, so the cache never keeps serving an outdated version it
+    /// just refused to replace.
+    pub fn insert(&mut self, key: K, bytes: usize) -> Vec<K> {
+        if bytes > self.capacity_bytes {
+            let mut evicted = Vec::new();
+            if let Some((sz, _)) = self.entries.remove(&key) {
+                self.held_bytes -= sz;
+                self.evictions += 1;
+                evicted.push(key);
+            }
+            return evicted;
+        }
+        self.seq += 1;
+        if let Some(old) = self.entries.insert(key, (bytes, self.seq)) {
+            self.held_bytes -= old.0;
+        }
+        self.held_bytes += bytes;
+        let mut evicted = Vec::new();
+        while self.held_bytes > self.capacity_bytes {
+            // Deterministic: seq values are unique, so the LRU victim is
+            // unambiguous.
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k.clone())
+                .expect("over capacity implies non-empty");
+            let (sz, _) = self.entries.remove(&victim).expect("victim exists");
+            self.held_bytes -= sz;
+            self.evictions += 1;
+            evicted.push(victim);
+        }
+        evicted
+    }
+
+    /// Bytes currently held.
+    #[must_use]
+    pub fn held_bytes(&self) -> usize {
+        self.held_bytes
+    }
+
+    /// Cached objects.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Evictions performed so far.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+/// What one edge observed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdgeStats {
+    /// Requests served from cache.
+    pub hits: u64,
+    /// Requests that started an origin fill.
+    pub misses: u64,
+    /// Requests that joined an in-flight fill instead of starting a
+    /// second one (fluid simulator only — the live path is serial).
+    pub coalesced: u64,
+    /// Cache evictions.
+    pub evictions: u64,
+    /// Bytes pulled from the origin.
+    pub origin_bytes: u64,
+    /// Bytes served to viewers.
+    pub served_bytes: u64,
+}
+
+impl EdgeStats {
+    /// Fraction of requests answered without a new origin fill
+    /// (coalesced waiters count as offloaded: one fill fed them all).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.coalesced;
+        if total == 0 {
+            0.0
+        } else {
+            (self.hits + self.coalesced) as f64 / total as f64
+        }
+    }
+
+    /// Fraction of served bytes that never crossed the origin link —
+    /// the offload a CDN tier exists to provide.
+    #[must_use]
+    pub fn origin_offload(&self) -> f64 {
+        if self.served_bytes == 0 {
+            0.0
+        } else {
+            1.0 - self.origin_bytes as f64 / self.served_bytes as f64
+        }
+    }
+
+    /// Element-wise sum, for tier-level aggregates.
+    #[must_use]
+    pub fn merged(&self, other: &EdgeStats) -> EdgeStats {
+        EdgeStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            coalesced: self.coalesced + other.coalesced,
+            evictions: self.evictions + other.evictions,
+            origin_bytes: self.origin_bytes + other.origin_bytes,
+            served_bytes: self.served_bytes + other.served_bytes,
+        }
+    }
+}
+
+/// Configuration of one live edge cache.
+#[derive(Debug, Clone)]
+pub struct EdgeConfig {
+    /// Segment-cache budget in bytes.
+    pub cache_capacity_bytes: usize,
+    /// Transport used on the edge→origin fill path.
+    pub origin_tcp: TcpConfig,
+    /// The edge's own origin link (typically better than an access
+    /// link, but still lossy).
+    pub origin_link: LinkConfig,
+    /// Seed for the origin link's loss process (advanced per fill so
+    /// repeated fills see fresh loss draws, deterministically).
+    pub origin_seed: u64,
+}
+
+impl Default for EdgeConfig {
+    /// 1 MiB cache over a clean default link.
+    fn default() -> Self {
+        Self {
+            cache_capacity_bytes: 1 << 20,
+            origin_tcp: TcpConfig::default(),
+            origin_link: LinkConfig::default(),
+            origin_seed: 0xED6E,
+        }
+    }
+}
+
+/// One live edge cache: a bounded LRU of named objects, filled from the
+/// origin on demand and serving viewers from its local store.
+#[derive(Debug, Clone)]
+pub struct EdgeCache {
+    config: EdgeConfig,
+    lru: Lru<String>,
+    store: ContentServer,
+    origin_up: bool,
+    fills: u64,
+    stats: EdgeStats,
+}
+
+impl EdgeCache {
+    /// An empty (cold) edge.
+    #[must_use]
+    pub fn new(config: EdgeConfig) -> Self {
+        Self {
+            lru: Lru::new(config.cache_capacity_bytes),
+            config,
+            store: ContentServer::new(),
+            origin_up: true,
+            fills: 0,
+            stats: EdgeStats::default(),
+        }
+    }
+
+    /// Simulates an origin outage (or recovery): while down, misses
+    /// fail, but warm objects keep serving.
+    pub fn set_origin_up(&mut self, up: bool) {
+        self.origin_up = up;
+    }
+
+    /// What this edge has observed so far.
+    #[must_use]
+    pub fn stats(&self) -> &EdgeStats {
+        &self.stats
+    }
+
+    /// Objects currently cached.
+    #[must_use]
+    pub fn cached_objects(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// Bytes currently cached.
+    #[must_use]
+    pub fn cached_bytes(&self) -> usize {
+        self.lru.held_bytes()
+    }
+
+    /// Copies `names` from the origin into the cache instantly (content
+    /// pre-positioning, the CDN's push model). Objects missing from the
+    /// origin are skipped; objects larger than the cache are skipped.
+    pub fn prewarm(&mut self, origin: &ContentServer, names: &[String]) {
+        for name in names {
+            if let Some(data) = origin.get(name) {
+                self.admit(name.clone(), data.to_vec());
+            }
+        }
+    }
+
+    /// Inserts one object, evicting as needed (both the LRU index and
+    /// the local store stay consistent). An object larger than the
+    /// whole cache is not stored — and any stale cached version of it
+    /// is dropped rather than left to serve as a phantom hit.
+    fn admit(&mut self, name: String, data: Vec<u8>) {
+        let len = data.len();
+        let cacheable = len <= self.config.cache_capacity_bytes;
+        for victim in self.lru.insert(name.clone(), len) {
+            self.store.remove(&victim);
+        }
+        self.stats.evictions = self.lru.evictions();
+        if cacheable {
+            self.store.publish(name, data);
+        }
+    }
+
+    /// Fetches `name` through this edge: a hit is served from the local
+    /// store over the viewer's access link alone; a miss first fills
+    /// from `origin` over the edge's origin link, caches the object,
+    /// then serves it. Returns the bytes and the total simulated ticks
+    /// (fill + access leg).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FetchError`] when the viewer leg fails, when a miss
+    /// cannot be filled (transport failure or missing object), or when
+    /// the origin is down and the object is not cached.
+    pub fn fetch_through(
+        &mut self,
+        origin: &ContentServer,
+        name: &str,
+        viewer_tcp: TcpConfig,
+        viewer_link: LinkConfig,
+        viewer_seed: u64,
+    ) -> Result<(Vec<u8>, u64), FetchError> {
+        let key = name.to_string();
+        let mut fill_ticks = 0u64;
+        let mut passthrough: Option<ContentServer> = None;
+        if self.lru.touch(&key) {
+            self.stats.hits += 1;
+        } else {
+            if !self.origin_up {
+                return Err(FetchError::Server("origin-unreachable".to_string()));
+            }
+            // The attempt counter advances even when the fill fails, so
+            // a retry after a transport timeout sees fresh (still
+            // deterministic) loss draws instead of replaying the exact
+            // failure forever.
+            let fill_seed = self.config.origin_seed.wrapping_add(self.fills);
+            self.fills += 1;
+            let fill = fetch(
+                origin,
+                name,
+                self.config.origin_tcp,
+                self.config.origin_link,
+                fill_seed,
+            )?;
+            self.stats.misses += 1;
+            self.stats.origin_bytes += fill.data.len() as u64;
+            fill_ticks = fill.ticks;
+            if fill.data.len() <= self.config.cache_capacity_bytes {
+                self.admit(key, fill.data);
+            } else {
+                // Serve-through without caching.
+                let mut tmp = ContentServer::new();
+                tmp.publish(name, fill.data);
+                passthrough = Some(tmp);
+            }
+        }
+        let source = passthrough.as_ref().unwrap_or(&self.store);
+        let r = fetch(source, name, viewer_tcp, viewer_link, viewer_seed)?;
+        self.stats.served_bytes += r.data.len() as u64;
+        Ok((r.data, fill_ticks + r.ticks))
+    }
+}
+
+/// How the fluid simulator assigns sessions to edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sharding {
+    /// Session `i` goes to edge `i % edges` (perfect balance).
+    RoundRobin,
+    /// Session `i` goes to `splitmix64(seed ^ i) % edges` (the
+    /// imperfect balance a consistent-hash front end would give).
+    Hash,
+}
+
+/// The edge tier the fluid simulator routes sessions through.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeTierConfig {
+    /// Edge caches in the tier.
+    pub edges: usize,
+    /// Per-edge segment-cache budget, bytes.
+    pub cache_capacity_bytes: usize,
+    /// Each edge's downlink to its viewers, bytes per tick (the PR 3
+    /// single-origin uplink, now multiplied by `edges`).
+    pub edge_capacity_bytes_per_tick: f64,
+    /// Each viewer's access-link ceiling, bytes per tick.
+    pub per_session_bytes_per_tick: f64,
+    /// The origin uplink every cache fill shares, bytes per tick.
+    pub origin_capacity_bytes_per_tick: f64,
+    /// Session→edge assignment.
+    pub sharding: Sharding,
+    /// Pre-position every segment on every edge before sessions start
+    /// (as far as each cache's capacity allows).
+    pub prewarm: bool,
+    /// Simulated origin outage: fills stop progressing at this tick.
+    pub origin_down_after: Option<u64>,
+}
+
+impl Default for EdgeTierConfig {
+    /// Four warm edges, each with the PR 3 single-origin uplink
+    /// (4,000 bytes/tick) and an effectively unbounded cache, filled
+    /// over a 4,000 byte/tick origin uplink.
+    fn default() -> Self {
+        Self {
+            edges: 4,
+            cache_capacity_bytes: usize::MAX,
+            edge_capacity_bytes_per_tick: 4_000.0,
+            per_session_bytes_per_tick: 100.0,
+            origin_capacity_bytes_per_tick: 4_000.0,
+            sharding: Sharding::RoundRobin,
+            prewarm: true,
+            origin_down_after: None,
+        }
+    }
+}
+
+/// The edge-assignment hash for [`Sharding::Hash`] — `signal`'s
+/// SplitMix64 mixer, re-exported so delivery code has one canonical
+/// spreading function.
+pub use signal::rng::splitmix64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recently_used_within_budget() {
+        let mut lru: Lru<&'static str> = Lru::new(100);
+        assert!(lru.is_empty());
+        assert!(lru.insert("a", 40).is_empty());
+        assert!(lru.insert("b", 40).is_empty());
+        assert!(lru.touch(&"a")); // b is now the LRU entry
+        let evicted = lru.insert("c", 40);
+        assert_eq!(evicted, vec!["b"]);
+        assert!(lru.contains(&"a") && lru.contains(&"c") && !lru.contains(&"b"));
+        assert_eq!(lru.held_bytes(), 80);
+        assert_eq!(lru.evictions(), 1);
+    }
+
+    #[test]
+    fn lru_rejects_objects_larger_than_itself() {
+        let mut lru: Lru<u32> = Lru::new(10);
+        assert!(lru.insert(1, 11).is_empty());
+        assert!(!lru.contains(&1));
+        assert_eq!(lru.held_bytes(), 0);
+        // Growing a cached object past the budget drops the stale
+        // entry instead of leaving it to serve phantom hits.
+        assert!(lru.insert(1, 5).is_empty());
+        assert_eq!(lru.insert(1, 11), vec![1]);
+        assert!(!lru.contains(&1));
+        assert_eq!(lru.held_bytes(), 0);
+    }
+
+    #[test]
+    fn lru_reinsert_updates_size_without_leak() {
+        let mut lru: Lru<u32> = Lru::new(100);
+        lru.insert(1, 60);
+        lru.insert(1, 30);
+        assert_eq!(lru.held_bytes(), 30);
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn edge_cache_hits_after_first_fetch() {
+        let mut origin = ContentServer::new();
+        origin.publish("t/seg0", vec![7u8; 800]);
+        let mut edge = EdgeCache::new(EdgeConfig::default());
+        let (a, cold_ticks) = edge
+            .fetch_through(
+                &origin,
+                "t/seg0",
+                TcpConfig::default(),
+                LinkConfig::default(),
+                1,
+            )
+            .unwrap();
+        let (b, warm_ticks) = edge
+            .fetch_through(
+                &origin,
+                "t/seg0",
+                TcpConfig::default(),
+                LinkConfig::default(),
+                2,
+            )
+            .unwrap();
+        assert_eq!(a, vec![7u8; 800]);
+        assert_eq!(a, b);
+        assert!(
+            warm_ticks < cold_ticks,
+            "hit ({warm_ticks}) must beat miss ({cold_ticks}): no origin leg"
+        );
+        let s = edge.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.origin_bytes, 800);
+        assert_eq!(s.served_bytes, 1600);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        assert!((s.origin_offload() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warm_edge_survives_origin_outage() {
+        let mut origin = ContentServer::new();
+        origin.publish("t/seg0", vec![1u8; 300]);
+        origin.publish("t/seg1", vec![2u8; 300]);
+        let mut edge = EdgeCache::new(EdgeConfig::default());
+        edge.prewarm(&origin, &["t/seg0".to_string()]);
+        edge.set_origin_up(false);
+        // Cached object still serves.
+        let (data, _) = edge
+            .fetch_through(
+                &origin,
+                "t/seg0",
+                TcpConfig::default(),
+                LinkConfig::default(),
+                3,
+            )
+            .unwrap();
+        assert_eq!(data, vec![1u8; 300]);
+        // Uncached object fails cleanly.
+        let err = edge
+            .fetch_through(
+                &origin,
+                "t/seg1",
+                TcpConfig::default(),
+                LinkConfig::default(),
+                4,
+            )
+            .unwrap_err();
+        assert_eq!(err, FetchError::Server("origin-unreachable".to_string()));
+    }
+
+    #[test]
+    fn bounded_edge_evicts_and_refills() {
+        let mut origin = ContentServer::new();
+        origin.publish("a", vec![1u8; 600]);
+        origin.publish("b", vec![2u8; 600]);
+        let mut edge = EdgeCache::new(EdgeConfig {
+            cache_capacity_bytes: 1_000,
+            ..Default::default()
+        });
+        let tcp = TcpConfig::default();
+        let link = LinkConfig::default();
+        edge.fetch_through(&origin, "a", tcp, link, 1).unwrap();
+        edge.fetch_through(&origin, "b", tcp, link, 2).unwrap(); // evicts a
+        assert_eq!(edge.cached_objects(), 1);
+        assert_eq!(edge.stats().evictions, 1);
+        edge.fetch_through(&origin, "a", tcp, link, 3).unwrap(); // refill
+        assert_eq!(edge.stats().misses, 3);
+        assert_eq!(edge.stats().hits, 0);
+    }
+
+    #[test]
+    fn oversized_object_passes_through_uncached() {
+        let mut origin = ContentServer::new();
+        origin.publish("big", vec![9u8; 5_000]);
+        let mut edge = EdgeCache::new(EdgeConfig {
+            cache_capacity_bytes: 1_000,
+            ..Default::default()
+        });
+        let (data, _) = edge
+            .fetch_through(
+                &origin,
+                "big",
+                TcpConfig::default(),
+                LinkConfig::default(),
+                1,
+            )
+            .unwrap();
+        assert_eq!(data.len(), 5_000);
+        assert_eq!(edge.cached_objects(), 0, "oversized objects are not cached");
+    }
+
+    #[test]
+    fn failed_fills_retry_with_fresh_seeds() {
+        // 65% loss and a tight transport deadline: the first two fill
+        // attempts (seeds 3 and 4) deterministically time out, the
+        // third (seed 5) succeeds. Before the attempt counter advanced
+        // on failure, every retry replayed seed 3's timeout forever.
+        let mut origin = ContentServer::new();
+        origin.publish("x", vec![7u8; 1500]);
+        let mut edge = EdgeCache::new(EdgeConfig {
+            origin_tcp: TcpConfig {
+                deadline_ticks: 1_200,
+                ..Default::default()
+            },
+            origin_link: LinkConfig::default().with_loss(0.65),
+            origin_seed: 3,
+            ..Default::default()
+        });
+        let viewer_tcp = TcpConfig::default();
+        let viewer_link = LinkConfig::default();
+        let mut attempts = 0;
+        let data = loop {
+            attempts += 1;
+            assert!(attempts <= 5, "retries must see fresh loss draws");
+            match edge.fetch_through(&origin, "x", viewer_tcp, viewer_link, 1) {
+                Ok((data, _)) => break data,
+                Err(FetchError::Transport(_)) => continue,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        };
+        assert_eq!(data, vec![7u8; 1500]);
+        assert_eq!(attempts, 3, "seeds 3 and 4 fail, 5 succeeds");
+        // The successful fill cached the object.
+        assert_eq!(edge.stats().hits, 0);
+        edge.fetch_through(&origin, "x", viewer_tcp, viewer_link, 2)
+            .unwrap();
+        assert_eq!(edge.stats().hits, 1);
+    }
+
+    #[test]
+    fn lossy_origin_link_still_fills_exactly() {
+        let mut origin = ContentServer::new();
+        origin.publish("x", (0..2000u32).map(|i| i as u8).collect());
+        let mut edge = EdgeCache::new(EdgeConfig {
+            origin_link: LinkConfig::default().with_loss(0.15),
+            ..Default::default()
+        });
+        let (data, _) = edge
+            .fetch_through(&origin, "x", TcpConfig::default(), LinkConfig::default(), 1)
+            .unwrap();
+        assert_eq!(data, (0..2000u32).map(|i| i as u8).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn stats_merge_and_rates_are_guarded() {
+        let zero = EdgeStats::default();
+        assert_eq!(zero.hit_rate(), 0.0);
+        assert_eq!(zero.origin_offload(), 0.0);
+        let a = EdgeStats {
+            hits: 3,
+            misses: 1,
+            coalesced: 2,
+            ..Default::default()
+        };
+        let m = a.merged(&a);
+        assert_eq!(m.hits, 6);
+        assert!((a.hit_rate() - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn splitmix_spreads_consecutive_indices() {
+        let mut buckets = [0u32; 4];
+        for i in 0..1000u64 {
+            buckets[(splitmix64(42 ^ i) % 4) as usize] += 1;
+        }
+        assert!(
+            buckets.iter().all(|&b| b > 150),
+            "hash sharding should not starve an edge: {buckets:?}"
+        );
+    }
+}

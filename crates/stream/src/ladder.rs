@@ -193,33 +193,63 @@ impl Manifest {
 
     /// Parses manifest bytes.
     ///
+    /// Manifests arrive over the network, so this is a full validator:
+    /// truncated, mutated, or adversarial bytes must return `Err`, never
+    /// panic, and never produce a manifest whose numbers later underflow
+    /// or overflow playout arithmetic. Beyond framing, it enforces the
+    /// same invariants [`encode_ladder`] guarantees: exactly one of each
+    /// header directive, strictly ascending rung targets, equal segment
+    /// counts, and field magnitudes bounded so `frames * ticks_per_frame`
+    /// cannot overflow.
+    ///
     /// # Errors
     ///
     /// Returns [`LadderError::Manifest`] on any framing or field error.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, LadderError> {
+        /// Playout math multiplies `frames * ticks_per_frame`; these caps
+        /// keep every product comfortably inside `u64`.
+        const MAX_TICKS_PER_FRAME: u64 = 1 << 30;
+        const MAX_FRAMES: u64 = 1 << 20;
+        const MAX_BYTES: u64 = 1 << 40;
+
         let text = core::str::from_utf8(bytes).map_err(|_| LadderError::Manifest("not utf-8"))?;
         let mut lines = text.lines();
         if lines.next() != Some("MMSTREAM 1") {
             return Err(LadderError::Manifest("bad magic line"));
         }
-        let mut title = None;
-        let mut ticks_per_frame = None;
-        let mut sealed = None;
+        let mut title: Option<String> = None;
+        let mut ticks_per_frame: Option<u64> = None;
+        let mut sealed: Option<bool> = None;
         let mut rungs: Vec<RungInfo> = Vec::new();
         for line in lines {
             let mut words = line.split_whitespace();
             match words.next() {
-                Some("title") => title = Some(words.next().unwrap_or("").to_string()),
-                Some("ticks_per_frame") => {
-                    ticks_per_frame = words
-                        .next()
-                        .and_then(|w| w.parse::<u64>().ok())
-                        .filter(|&t| t > 0);
-                    if ticks_per_frame.is_none() {
-                        return Err(LadderError::Manifest("bad ticks_per_frame"));
+                Some("title") => {
+                    if title.is_some() {
+                        return Err(LadderError::Manifest("duplicate title"));
                     }
+                    let t = words.next().ok_or(LadderError::Manifest("missing title"))?;
+                    if t.contains('/') {
+                        return Err(LadderError::Manifest("title contains '/'"));
+                    }
+                    title = Some(t.to_string());
+                }
+                Some("ticks_per_frame") => {
+                    if ticks_per_frame.is_some() {
+                        return Err(LadderError::Manifest("duplicate ticks_per_frame"));
+                    }
+                    ticks_per_frame = Some(
+                        words
+                            .next()
+                            .and_then(|w| w.parse::<u64>().ok())
+                            .filter(|&t| t > 0 && t <= MAX_TICKS_PER_FRAME)
+                            .ok_or(LadderError::Manifest("bad ticks_per_frame"))?,
+                    );
                 }
                 Some("sealed") => {
+                    if sealed.is_some() {
+                        return Err(LadderError::Manifest("duplicate sealed flag"));
+                    }
                     sealed = match words.next() {
                         Some("0") => Some(false),
                         Some("1") => Some(true),
@@ -232,6 +262,12 @@ impl Manifest {
                         .and_then(|w| w.parse::<f64>().ok())
                         .filter(|t| t.is_finite() && *t > 0.0)
                         .ok_or(LadderError::Manifest("bad rung target"))?;
+                    if rungs
+                        .last()
+                        .is_some_and(|prev| prev.target_bits_per_frame >= target)
+                    {
+                        return Err(LadderError::Manifest("rung targets not ascending"));
+                    }
                     rungs.push(RungInfo {
                         target_bits_per_frame: target,
                         segments: Vec::new(),
@@ -245,18 +281,20 @@ impl Manifest {
                         .next()
                         .ok_or(LadderError::Manifest("seg missing name"))?
                         .to_string();
-                    let mut num = |what| {
+                    let mut num = |what, max: u64| {
                         words
                             .next()
                             .and_then(|w| w.parse::<u64>().ok())
+                            .filter(|&v| v >= 1 && v <= max)
                             .ok_or(LadderError::Manifest(what))
                     };
-                    let bytes = num("seg missing bytes")? as usize;
-                    let frames = num("seg missing frames")? as usize;
-                    let nonce = num("seg missing nonce")? as u32;
-                    if bytes == 0 || frames == 0 {
-                        return Err(LadderError::Manifest("empty segment"));
-                    }
+                    let bytes = num("bad seg bytes", MAX_BYTES)? as usize;
+                    let frames = num("bad seg frames", MAX_FRAMES)? as usize;
+                    let nonce = words
+                        .next()
+                        .and_then(|w| w.parse::<u64>().ok())
+                        .and_then(|v| u32::try_from(v).ok())
+                        .ok_or(LadderError::Manifest("bad seg nonce"))?;
                     rung.segments.push(SegmentEntry {
                         name,
                         bytes,
@@ -265,7 +303,10 @@ impl Manifest {
                     });
                 }
                 Some(_) => return Err(LadderError::Manifest("unknown directive")),
-                None => {}
+                None => {} // blank line
+            }
+            if words.next().is_some() {
+                return Err(LadderError::Manifest("trailing tokens"));
             }
         }
         let title = title
@@ -558,6 +599,56 @@ mod tests {
             .unwrap_err(),
             LadderError::Manifest("bad ticks_per_frame")
         );
+    }
+
+    #[test]
+    fn hardened_manifest_parser_rejects_hostile_bytes() {
+        let ok = b"MMSTREAM 1\ntitle t\nticks_per_frame 10\nsealed 0\nrung 100\nseg a 1 1 0\n";
+        assert!(Manifest::from_bytes(ok).is_ok());
+        let cases: &[(&[u8], &str)] = &[
+            (
+                b"MMSTREAM 1\ntitle t\ntitle u\nticks_per_frame 10\nsealed 0\nrung 100\nseg a 1 1 0\n",
+                "duplicate title",
+            ),
+            (
+                b"MMSTREAM 1\ntitle a/b\nticks_per_frame 10\nsealed 0\nrung 100\nseg a 1 1 0\n",
+                "title contains '/'",
+            ),
+            (
+                b"MMSTREAM 1\ntitle t\nticks_per_frame 10\nsealed 0 junk\nrung 100\nseg a 1 1 0\n",
+                "trailing tokens",
+            ),
+            (
+                b"MMSTREAM 1\ntitle t\nticks_per_frame 10\nsealed 0\nrung 100\nrung 50\nseg a 1 1 0\nseg b 1 1 0\n",
+                "rung targets not ascending",
+            ),
+            (
+                b"MMSTREAM 1\ntitle t\nticks_per_frame 10\nsealed 0\nrung 100\nseg a 1 1 4294967296\n",
+                "nonce overflowing u32",
+            ),
+            (
+                b"MMSTREAM 1\ntitle t\nticks_per_frame 10\nsealed 0\nrung 100\nseg a 1 18446744073709551615 0\n",
+                "frames that would overflow playout math",
+            ),
+            (
+                b"MMSTREAM 1\ntitle t\nticks_per_frame 18446744073709551615\nsealed 0\nrung 100\nseg a 1 1 0\n",
+                "oversized ticks_per_frame",
+            ),
+            (
+                b"MMSTREAM 1\ntitle t\nticks_per_frame 10\nsealed 0\nrung 100\nseg a 0 1 0\n",
+                "zero-byte segment",
+            ),
+        ];
+        for (bytes, what) in cases {
+            assert!(
+                Manifest::from_bytes(bytes).is_err(),
+                "parser accepted {what}"
+            );
+        }
+        // Truncation at every byte boundary errors cleanly, never panics.
+        for cut in 0..ok.len() {
+            let _ = Manifest::from_bytes(&ok[..cut]);
+        }
     }
 
     #[test]

@@ -21,6 +21,12 @@
 //! * [`serve`] — a deterministic fluid simulator interleaving thousands
 //!   of concurrent sessions against one segment server, measuring the
 //!   capacity knee where per-session quality starts to collapse.
+//! * [`edge`] — the CDN-style edge-cache tier: N edges with bounded LRU
+//!   segment caches and request coalescing in front of the origin, so
+//!   serving capacity (and the knee) scales with edge count instead of
+//!   being pinned to one uplink; live sessions fetch through an edge
+//!   transparently, and the fluid simulator shards load across the
+//!   tier.
 //!
 //! # Example
 //!
@@ -45,16 +51,19 @@
 //! # Ok::<(), mmstream::ladder::LadderError>(())
 //! ```
 
+pub mod edge;
 pub mod ladder;
 pub mod segment;
 pub mod serve;
 pub mod session;
 pub mod ts;
 
+pub use edge::{EdgeCache, EdgeConfig, EdgeStats, EdgeTierConfig, Lru, Sharding};
 pub use ladder::{encode_ladder, publish_ladder, seal_ladder, Ladder, LadderConfig, Manifest};
 pub use segment::{demux_segment, mux_segment, mux_segment_wire, Segment};
 pub use serve::{
-    capacity_curve, capacity_knee, simulate_load, LoadConfig, LoadReport, ServerConfig,
+    capacity_curve, capacity_knee, edge_capacity_curve, edge_capacity_knee, simulate_edge_load,
+    simulate_load, EdgeLoadReport, LoadConfig, LoadReport, ServerConfig,
 };
-pub use session::{run_session, AbrController, SessionConfig, SessionReport};
+pub use session::{run_session, run_session_via_edge, AbrController, SessionConfig, SessionReport};
 pub use ts::{TsDemux, TsMux, TsPacket, TS_PACKET_LEN};

@@ -1,18 +1,27 @@
-//! A deterministic many-session load simulator for one segment server.
+//! Deterministic many-session load simulators: one origin uplink, or an
+//! edge-cache tier in front of it.
 //!
 //! The ROADMAP's north star is per-server scale: how many concurrent
-//! viewers can one uplink feed before quality collapses? Echoing the
-//! group-size-threshold result in *Group Size Effect on the Success of
-//! Wolves Hunting* (PAPERS.md), per-session returns are flat up to a
+//! viewers can the delivery tier feed before quality collapses? Echoing
+//! the group-size-threshold result in *Group Size Effect on the Success
+//! of Wolves Hunting* (PAPERS.md), per-session returns are flat up to a
 //! capacity knee and fall off beyond it — this module measures that
 //! knee. Thousands of sessions are interleaved in a single-threaded
 //! fluid event loop (no OS threads, no wall clock, every number derived
-//! from seeds), sharing the server uplink max-min-equally while each
-//! session runs the same [`AbrController`] and playout-buffer model as
-//! the transport-level single session.
+//! from seeds), each running the same [`AbrController`] and
+//! playout-buffer model as the transport-level single session.
+//!
+//! [`simulate_load`] is PR 3's single-origin model: every session shares
+//! one uplink max-min-equally. [`simulate_edge_load`] routes the same
+//! sessions through an [`EdgeTierConfig`] instead — N edge caches, each
+//! with a bounded LRU and its own downlink, misses coalesced into
+//! shared-origin fills — which is how the knee moves past the
+//! single-uplink ceiling. Both are the same engine; the single origin is
+//! literally the one-edge, everything-cached special case.
 
 use signal::rng::Xoroshiro128;
 
+use crate::edge::{splitmix64, EdgeStats, EdgeTierConfig, Lru, Sharding};
 use crate::ladder::Manifest;
 use crate::session::AbrController;
 
@@ -43,7 +52,7 @@ pub struct LoadConfig {
     pub sessions: usize,
     /// Session arrivals are spread uniformly over this many ticks.
     pub stagger_ticks: u64,
-    /// Seed for arrival times.
+    /// Seed for arrival times (and hash sharding).
     pub seed: u64,
     /// Segments buffered before playback starts.
     pub startup_segments: usize,
@@ -51,7 +60,8 @@ pub struct LoadConfig {
     pub safety: f64,
     /// ABR throughput smoothing.
     pub ewma_alpha: f64,
-    /// Simulation step, ticks (larger = faster, coarser).
+    /// Simulation step, ticks (larger = faster, coarser; 0 is treated
+    /// as 1).
     pub tick_quantum: u64,
     /// Hard stop.
     pub max_ticks: u64,
@@ -78,6 +88,7 @@ impl Default for LoadConfig {
 #[derive(Debug, Clone)]
 struct SimSession {
     start_tick: u64,
+    edge: usize,
     abr: AbrController,
     seg: usize,
     rung: usize,
@@ -85,6 +96,8 @@ struct SimSession {
     fetch_start: u64,
     buffer_ticks: f64,
     fetched: usize,
+    started: bool,
+    waiting: bool,
     playing: bool,
     in_rebuffer: bool,
     startup_ticks: u64,
@@ -120,67 +133,277 @@ pub struct LoadReport {
     pub rung_switches: u64,
 }
 
-/// Runs `load.sessions` concurrent viewers against one server.
-///
-/// Entirely deterministic: identical inputs give an identical report.
-///
-/// # Panics
-///
-/// Panics on a zero-session or zero-quantum load, or an empty manifest.
-#[must_use]
-pub fn simulate_load(manifest: &Manifest, server: &ServerConfig, load: &LoadConfig) -> LoadReport {
-    assert!(load.sessions > 0, "need at least one session");
-    assert!(load.tick_quantum > 0, "quantum must be positive");
+impl LoadReport {
+    /// The well-defined zero report for degenerate inputs (no sessions,
+    /// empty manifest, or a tier that cannot move a single byte).
+    fn degenerate(sessions: usize) -> Self {
+        Self {
+            sessions,
+            completed: 0,
+            ticks: 0,
+            total_goodput_bits_per_tick: 0.0,
+            mean_session_bits_per_tick: 0.0,
+            mean_startup_ticks: 0.0,
+            rebuffer_sessions: 0,
+            rebuffer_fraction: 0.0,
+            mean_rung: 0.0,
+            rung_switches: 0,
+        }
+    }
+}
+
+/// Per-edge entry in an [`EdgeLoadReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeReportEntry {
+    /// Sessions sharded onto this edge.
+    pub sessions: usize,
+    /// What the edge observed.
+    pub stats: EdgeStats,
+}
+
+/// Result of one load level routed through an edge tier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeLoadReport {
+    /// The session-side aggregate (same metrics as the single-origin
+    /// report, so curves are directly comparable).
+    pub load: LoadReport,
+    /// Per-edge cache behaviour.
+    pub per_edge: Vec<EdgeReportEntry>,
+    /// Tier-wide merged stats.
+    pub tier: EdgeStats,
+    /// Tier-wide hit rate (coalesced waiters count as offloaded).
+    pub hit_rate: f64,
+    /// Fraction of served bytes that never crossed the origin link.
+    pub origin_offload: f64,
+}
+
+/// Internal engine parameters: the single origin is the 1-edge,
+/// everything-prewarmed, nothing-to-fill special case.
+struct TierParams {
+    edges: usize,
+    cache_capacity_bytes: usize,
+    edge_capacity: f64,
+    per_session: f64,
+    origin_capacity: f64,
+    sharding: Sharding,
+    prewarm: bool,
+    origin_down_after: Option<u64>,
+}
+
+impl TierParams {
+    fn single_origin(server: &ServerConfig) -> Self {
+        Self {
+            edges: 1,
+            cache_capacity_bytes: usize::MAX,
+            edge_capacity: server.capacity_bytes_per_tick,
+            per_session: server.per_session_bytes_per_tick,
+            origin_capacity: 0.0,
+            sharding: Sharding::RoundRobin,
+            prewarm: true,
+            origin_down_after: None,
+        }
+    }
+
+    fn tier(t: &EdgeTierConfig) -> Self {
+        Self {
+            edges: t.edges,
+            cache_capacity_bytes: t.cache_capacity_bytes,
+            edge_capacity: t.edge_capacity_bytes_per_tick,
+            per_session: t.per_session_bytes_per_tick,
+            origin_capacity: t.origin_capacity_bytes_per_tick,
+            sharding: t.sharding,
+            prewarm: t.prewarm,
+            origin_down_after: t.origin_down_after,
+        }
+    }
+
+    /// `true` when no session could ever make progress.
+    fn degenerate(&self, manifest: &Manifest, load: &LoadConfig) -> bool {
+        load.sessions == 0
+            || manifest.segment_count() == 0
+            || self.edges == 0
+            || self.edge_capacity.is_nan()
+            || self.edge_capacity <= 0.0
+            || self.per_session.is_nan()
+            || self.per_session <= 0.0
+    }
+}
+
+/// One simulated edge: an LRU over `(rung, seg)` keys plus the set of
+/// in-flight origin fills (keyed so concurrent misses coalesce).
+struct SimEdge {
+    lru: Lru<(usize, usize)>,
+    fills: std::collections::BTreeMap<(usize, usize), f64>,
+    stats: EdgeStats,
+    assigned: usize,
+}
+
+enum Req {
+    Hit,
+    /// Waiting on a fill; `true` when this request started it (a state
+    /// change the engine's stasis detector must count as progress).
+    Wait(bool),
+}
+
+impl SimEdge {
+    /// A session asks for one segment: cached → hit; fill in flight →
+    /// coalesce onto it; otherwise start a fill.
+    fn request(&mut self, key: (usize, usize), bytes: f64) -> Req {
+        if self.lru.touch(&key) {
+            self.stats.hits += 1;
+            Req::Hit
+        } else if self.fills.contains_key(&key) {
+            self.stats.coalesced += 1;
+            Req::Wait(false)
+        } else {
+            self.stats.misses += 1;
+            self.fills.insert(key, bytes);
+            Req::Wait(true)
+        }
+    }
+}
+
+/// The shared fluid engine. Returns the sessions, the edges, and the
+/// final simulation tick.
+fn run_fluid(
+    manifest: &Manifest,
+    load: &LoadConfig,
+    p: &TierParams,
+) -> (Vec<SimSession>, Vec<SimEdge>, u64) {
     let n_segments = manifest.segment_count();
-    assert!(n_segments > 0, "manifest has no segments");
+    let q = load.tick_quantum.max(1);
+
+    let mut edges: Vec<SimEdge> = (0..p.edges)
+        .map(|_| SimEdge {
+            lru: Lru::new(p.cache_capacity_bytes),
+            fills: std::collections::BTreeMap::new(),
+            stats: EdgeStats::default(),
+            assigned: 0,
+        })
+        .collect();
+    if p.prewarm {
+        for e in &mut edges {
+            for (ri, rung) in manifest.rungs.iter().enumerate() {
+                for (si, seg) in rung.segments.iter().enumerate() {
+                    e.lru.insert((ri, si), seg.bytes);
+                }
+            }
+            e.stats.evictions = e.lru.evictions();
+        }
+    }
 
     let mut rng = Xoroshiro128::new(load.seed);
     let mut sessions: Vec<SimSession> = (0..load.sessions)
-        .map(|_| SimSession {
-            start_tick: rng.below(load.stagger_ticks + 1),
-            abr: AbrController::new(load.ewma_alpha, load.safety),
-            seg: 0,
-            rung: 0,
-            remaining_bytes: manifest.rungs[0].segments[0].bytes as f64,
-            fetch_start: 0,
-            buffer_ticks: 0.0,
-            fetched: 0,
-            playing: false,
-            in_rebuffer: false,
-            startup_ticks: 0,
-            rebuffer_events: 0,
-            rung_switches: 0,
-            rung_sum: 0,
-            delivered_bits: 0,
-            done_at: None,
+        .map(|i| {
+            let edge = match p.sharding {
+                Sharding::RoundRobin => i % p.edges,
+                Sharding::Hash => (splitmix64(load.seed ^ i as u64) % p.edges as u64) as usize,
+            };
+            let start_tick = rng.below(load.stagger_ticks + 1);
+            SimSession {
+                start_tick,
+                edge,
+                abr: AbrController::new(load.ewma_alpha, load.safety),
+                seg: 0,
+                rung: 0,
+                remaining_bytes: 0.0,
+                fetch_start: start_tick,
+                buffer_ticks: 0.0,
+                fetched: 0,
+                started: false,
+                waiting: false,
+                playing: false,
+                in_rebuffer: false,
+                startup_ticks: 0,
+                rebuffer_events: 0,
+                rung_switches: 0,
+                rung_sum: 0,
+                delivered_bits: 0,
+                done_at: None,
+            }
         })
         .collect();
-    for s in &mut sessions {
-        s.fetch_start = s.start_tick;
+    for s in &sessions {
+        edges[s.edge].assigned += 1;
     }
     let startup_after = load.startup_segments.clamp(1, n_segments);
+    let all_arrived_by = sessions.iter().map(|s| s.start_tick).max().unwrap_or(0);
 
-    let q = load.tick_quantum;
     let mut now = 0u64;
     let mut live = load.sessions;
+    let mut downloading = vec![0usize; p.edges];
     while live > 0 && now < load.max_ticks {
-        let active = sessions
+        let arrived = sessions
             .iter()
             .filter(|s| s.done_at.is_none() && s.start_tick <= now)
             .count();
-        if active == 0 {
+        if arrived == 0 {
             now += q;
             continue;
         }
-        // Max-min fair share of the uplink, capped by the access link.
-        let rate =
-            (server.capacity_bytes_per_tick / active as f64).min(server.per_session_bytes_per_tick);
         let step = q as f64;
+        let mut progressed = false;
+
+        // Origin fills: every in-flight fill shares the origin uplink
+        // max-min-equally; an outage freezes them all. Fills land
+        // *before* the downlink shares are computed, so waiters waking
+        // this quantum count toward their edge's split.
+        let origin_down = p.origin_down_after.is_some_and(|t| now >= t);
+        let total_fills: usize = edges.iter().map(|e| e.fills.len()).sum();
+        if total_fills > 0 && !origin_down && p.origin_capacity > 0.0 {
+            let fill_rate = p.origin_capacity / total_fills as f64;
+            for e in &mut edges {
+                let done: Vec<(usize, usize)> = e
+                    .fills
+                    .iter_mut()
+                    .filter_map(|(k, rem)| {
+                        *rem -= fill_rate * step;
+                        (*rem <= 0.0).then_some(*k)
+                    })
+                    .collect();
+                for k in done {
+                    e.fills.remove(&k);
+                    let bytes = manifest.rungs[k.0].segments[k.1].bytes;
+                    e.stats.origin_bytes += bytes as u64;
+                    e.lru.insert(k, bytes);
+                    e.stats.evictions = e.lru.evictions();
+                }
+            }
+            progressed = true;
+        }
+
+        // Per-edge downlink shares: a waiter whose object just landed
+        // will download this quantum, so it counts — otherwise a burst
+        // of waking waiters would each claim a full share and
+        // oversubscribe the edge link.
+        downloading.iter_mut().for_each(|d| *d = 0);
+        for s in &sessions {
+            if s.done_at.is_none()
+                && s.start_tick <= now
+                && (!s.waiting || edges[s.edge].lru.contains(&(s.rung, s.seg)))
+            {
+                downloading[s.edge] += 1;
+            }
+        }
+
         for s in sessions.iter_mut() {
             if s.done_at.is_some() || s.start_tick > now {
                 continue;
             }
-            // Playout drains while the next segment downloads.
+            let e = &mut edges[s.edge];
+            if !s.started {
+                s.started = true;
+                let bytes = manifest.rungs[0].segments[0].bytes as f64;
+                match e.request((0, 0), bytes) {
+                    Req::Hit => s.remaining_bytes += bytes,
+                    Req::Wait(new_fill) => {
+                        s.waiting = true;
+                        progressed |= new_fill;
+                    }
+                }
+            }
+            // Playout drains while the next segment downloads (or while
+            // the session waits on a fill).
             if s.playing {
                 s.buffer_ticks -= step;
                 if s.buffer_ticks < 0.0 {
@@ -191,7 +414,30 @@ pub fn simulate_load(manifest: &Manifest, server: &ServerConfig, load: &LoadConf
                     s.buffer_ticks = 0.0;
                 }
             }
+            if s.waiting {
+                let key = (s.rung, s.seg);
+                let bytes = manifest.rungs[s.rung].segments[s.seg].bytes as f64;
+                if e.lru.touch(&key) {
+                    // The fill landed: start the edge-leg download, with
+                    // `fetch_start` still at request time so the ABR
+                    // sees the full wait. The fall-through download
+                    // decrement below marks the progress.
+                    s.waiting = false;
+                    s.remaining_bytes += bytes;
+                } else {
+                    if !e.fills.contains_key(&key) {
+                        // The filled object was evicted before this
+                        // session could download it: re-request.
+                        e.stats.misses += 1;
+                        e.fills.insert(key, bytes);
+                        progressed = true;
+                    }
+                    continue;
+                }
+            }
+            let rate = (p.edge_capacity / downloading[s.edge].max(1) as f64).min(p.per_session);
             s.remaining_bytes -= rate * step;
+            progressed = true;
             if s.remaining_bytes > 0.0 {
                 continue;
             }
@@ -205,6 +451,7 @@ pub fn simulate_load(manifest: &Manifest, server: &ServerConfig, load: &LoadConf
             s.buffer_ticks += (entry.frames as u64 * manifest.ticks_per_frame) as f64;
             s.in_rebuffer = false;
             s.fetched += 1;
+            e.stats.served_bytes += entry.bytes as u64;
             if !s.playing && s.fetched >= startup_after {
                 s.playing = true;
                 s.startup_ticks = end - s.start_tick;
@@ -220,12 +467,32 @@ pub fn simulate_load(manifest: &Manifest, server: &ServerConfig, load: &LoadConf
                 s.rung_switches += 1;
             }
             s.rung = next_rung;
-            s.remaining_bytes += manifest.rungs[s.rung].segments[s.seg].bytes as f64;
+            let bytes = manifest.rungs[s.rung].segments[s.seg].bytes as f64;
+            match e.request((s.rung, s.seg), bytes) {
+                // A hit carries this quantum's download overshoot into
+                // the next segment, exactly like the single-origin path.
+                Req::Hit => s.remaining_bytes += bytes,
+                Req::Wait(new_fill) => {
+                    s.waiting = true;
+                    s.remaining_bytes = 0.0;
+                    progressed |= new_fill;
+                }
+            }
             s.fetch_start = end;
         }
         now += q;
+        // Stasis: every arrival has happened and a whole quantum passed
+        // with no byte moved anywhere (e.g. an origin outage with cold
+        // caches) — the state can never change again.
+        if !progressed && now > all_arrived_by {
+            break;
+        }
     }
+    (sessions, edges, now)
+}
 
+/// Folds finished sessions into the aggregate report.
+fn finish(sessions: &[SimSession], n_sessions: usize, now: u64) -> LoadReport {
     let end_tick = sessions
         .iter()
         .filter_map(|s| s.done_at)
@@ -241,7 +508,7 @@ pub fn simulate_load(manifest: &Manifest, server: &ServerConfig, load: &LoadConf
             s.delivered_bits as f64 / (end - s.start_tick) as f64
         })
         .sum::<f64>()
-        / load.sessions as f64;
+        / n_sessions.max(1) as f64;
     let started: Vec<&SimSession> = sessions.iter().filter(|s| s.playing).collect();
     let mean_startup = if started.is_empty() {
         0.0
@@ -252,16 +519,74 @@ pub fn simulate_load(manifest: &Manifest, server: &ServerConfig, load: &LoadConf
     let fetched_total: u64 = sessions.iter().map(|s| s.fetched as u64).sum();
     let rung_sum: u64 = sessions.iter().map(|s| s.rung_sum).sum();
     LoadReport {
-        sessions: load.sessions,
+        sessions: n_sessions,
         completed,
         ticks: end_tick,
         total_goodput_bits_per_tick: total_bits as f64 / end_tick as f64,
         mean_session_bits_per_tick: mean_session_rate,
         mean_startup_ticks: mean_startup,
         rebuffer_sessions,
-        rebuffer_fraction: rebuffer_sessions as f64 / load.sessions as f64,
+        rebuffer_fraction: rebuffer_sessions as f64 / n_sessions.max(1) as f64,
         mean_rung: rung_sum as f64 / fetched_total.max(1) as f64,
         rung_switches: sessions.iter().map(|s| u64::from(s.rung_switches)).sum(),
+    }
+}
+
+/// Runs `load.sessions` concurrent viewers against one origin server.
+///
+/// Entirely deterministic: identical inputs give an identical report.
+/// Degenerate inputs (zero sessions, an empty manifest, a zero- or
+/// NaN-capacity uplink) return a well-defined all-zero report instead
+/// of panicking or spinning to `max_ticks`.
+#[must_use]
+pub fn simulate_load(manifest: &Manifest, server: &ServerConfig, load: &LoadConfig) -> LoadReport {
+    let p = TierParams::single_origin(server);
+    if p.degenerate(manifest, load) {
+        return LoadReport::degenerate(load.sessions);
+    }
+    let (sessions, _, now) = run_fluid(manifest, load, &p);
+    finish(&sessions, load.sessions, now)
+}
+
+/// Runs `load.sessions` concurrent viewers sharded across an edge tier.
+///
+/// Misses coalesce into shared origin fills; hits are served from each
+/// edge's own downlink, so tier capacity scales with edge count instead
+/// of being pinned to one uplink. Deterministic, with the same
+/// degenerate-input guarantees as [`simulate_load`].
+#[must_use]
+pub fn simulate_edge_load(
+    manifest: &Manifest,
+    tier: &EdgeTierConfig,
+    load: &LoadConfig,
+) -> EdgeLoadReport {
+    let p = TierParams::tier(tier);
+    if p.degenerate(manifest, load) {
+        return EdgeLoadReport {
+            load: LoadReport::degenerate(load.sessions),
+            per_edge: Vec::new(),
+            tier: EdgeStats::default(),
+            hit_rate: 0.0,
+            origin_offload: 0.0,
+        };
+    }
+    let (sessions, edges, now) = run_fluid(manifest, load, &p);
+    let per_edge: Vec<EdgeReportEntry> = edges
+        .iter()
+        .map(|e| EdgeReportEntry {
+            sessions: e.assigned,
+            stats: e.stats,
+        })
+        .collect();
+    let tier_stats = per_edge
+        .iter()
+        .fold(EdgeStats::default(), |acc, e| acc.merged(&e.stats));
+    EdgeLoadReport {
+        load: finish(&sessions, load.sessions, now),
+        per_edge,
+        hit_rate: tier_stats.hit_rate(),
+        origin_offload: tier_stats.origin_offload(),
+        tier: tier_stats,
     }
 }
 
@@ -279,15 +604,39 @@ pub fn capacity_curve(
         .collect()
 }
 
+/// Sweeps session counts through an edge tier.
+#[must_use]
+pub fn edge_capacity_curve(
+    manifest: &Manifest,
+    tier: &EdgeTierConfig,
+    counts: &[usize],
+    base: &LoadConfig,
+) -> Vec<EdgeLoadReport> {
+    counts
+        .iter()
+        .map(|&sessions| simulate_edge_load(manifest, tier, &LoadConfig { sessions, ..*base }))
+        .collect()
+}
+
 /// The capacity knee: the largest swept session count at which at most
-/// `stall_tolerance` of sessions rebuffered. `None` when even the
-/// smallest level stalls more than that.
+/// `stall_tolerance` of sessions rebuffered. `None` on an empty curve
+/// or when even the smallest level stalls more than that.
 #[must_use]
 pub fn capacity_knee(curve: &[LoadReport], stall_tolerance: f64) -> Option<usize> {
     curve
         .iter()
         .filter(|r| r.rebuffer_fraction <= stall_tolerance)
         .map(|r| r.sessions)
+        .max()
+}
+
+/// [`capacity_knee`] over an edge-tier curve.
+#[must_use]
+pub fn edge_capacity_knee(curve: &[EdgeLoadReport], stall_tolerance: f64) -> Option<usize> {
+    curve
+        .iter()
+        .filter(|r| r.load.rebuffer_fraction <= stall_tolerance)
+        .map(|r| r.load.sessions)
         .max()
 }
 
@@ -305,6 +654,13 @@ mod tests {
             ..Default::default()
         };
         encode_ladder("movie", &frames, &cfg).unwrap().manifest
+    }
+
+    fn title_bytes(m: &Manifest) -> usize {
+        m.rungs
+            .iter()
+            .flat_map(|r| r.segments.iter().map(|s| s.bytes))
+            .sum()
     }
 
     #[test]
@@ -421,5 +777,296 @@ mod tests {
             spread.mean_startup_ticks,
             burst.mean_startup_ticks
         );
+    }
+
+    #[test]
+    fn degenerate_loads_return_well_defined_reports() {
+        let m = manifest();
+        // Empty session list.
+        let r = simulate_load(
+            &m,
+            &ServerConfig::default(),
+            &LoadConfig {
+                sessions: 0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(r, LoadReport::degenerate(0));
+        assert_eq!(r.rebuffer_fraction, 0.0, "no NaN from 0/0");
+        // Zero-capacity uplink: returns immediately, nothing delivered.
+        let r = simulate_load(
+            &m,
+            &ServerConfig {
+                capacity_bytes_per_tick: 0.0,
+                per_session_bytes_per_tick: 100.0,
+            },
+            &LoadConfig::default(),
+        );
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.total_goodput_bits_per_tick, 0.0);
+        // NaN capacity is degenerate, not a hang.
+        let r = simulate_load(
+            &m,
+            &ServerConfig {
+                capacity_bytes_per_tick: f64::NAN,
+                per_session_bytes_per_tick: 100.0,
+            },
+            &LoadConfig::default(),
+        );
+        assert_eq!(r.completed, 0);
+        // Knee over an empty curve.
+        assert_eq!(capacity_knee(&[], 0.05), None);
+        // Zero quantum is treated as 1, not a panic or an infinite loop.
+        let r = simulate_load(
+            &m,
+            &ServerConfig::default(),
+            &LoadConfig {
+                sessions: 2,
+                tick_quantum: 0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.completed, 2);
+    }
+
+    #[test]
+    fn warm_edges_multiply_the_knee() {
+        let m = manifest();
+        let base = LoadConfig::default();
+        let counts = [200usize, 1_000, 2_000, 4_000];
+        let single = capacity_curve(&m, &ServerConfig::default(), &counts, &base);
+        let single_knee = capacity_knee(&single, 0.05).expect("single origin has a knee");
+        let tier = EdgeTierConfig {
+            edges: 4,
+            cache_capacity_bytes: usize::MAX,
+            prewarm: true,
+            ..Default::default()
+        };
+        let edge = edge_capacity_curve(&m, &tier, &counts, &base);
+        let edge_knee = edge_capacity_knee(&edge, 0.05).expect("edge tier has a knee");
+        assert!(
+            edge_knee >= 2 * single_knee,
+            "4 warm edges must at least double the knee: {edge_knee} vs {single_knee}"
+        );
+        // Warm edges never touch the origin.
+        assert!(edge.iter().all(|r| r.tier.origin_bytes == 0));
+        assert!(edge.iter().all(|r| (r.hit_rate - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn one_warm_edge_matches_the_single_origin_exactly() {
+        // The single-origin simulator is the 1-edge special case of the
+        // same engine; the session-side numbers must agree bit-exactly.
+        let m = manifest();
+        let load = LoadConfig {
+            sessions: 700,
+            ..Default::default()
+        };
+        let single = simulate_load(&m, &ServerConfig::default(), &load);
+        let tier = EdgeTierConfig {
+            edges: 1,
+            cache_capacity_bytes: usize::MAX,
+            edge_capacity_bytes_per_tick: 4_000.0,
+            per_session_bytes_per_tick: 100.0,
+            prewarm: true,
+            ..Default::default()
+        };
+        let edge = simulate_edge_load(&m, &tier, &load);
+        assert_eq!(edge.load, single);
+    }
+
+    #[test]
+    fn cold_edges_fill_once_and_then_offload() {
+        let m = manifest();
+        let tier = EdgeTierConfig {
+            edges: 2,
+            cache_capacity_bytes: usize::MAX,
+            prewarm: false,
+            ..Default::default()
+        };
+        let load = LoadConfig {
+            sessions: 300,
+            ..Default::default()
+        };
+        let r = simulate_edge_load(&m, &tier, &load);
+        assert_eq!(r.load.completed, 300);
+        assert!(r.tier.misses > 0, "cold caches must miss");
+        assert!(
+            r.tier.hits > r.tier.misses,
+            "reuse must dominate: {} hits vs {} misses",
+            r.tier.hits,
+            r.tier.misses
+        );
+        // Every distinct object crosses the origin link at most a
+        // handful of times (refills after eviction are impossible with
+        // unbounded caches, so it is exactly once per edge per object).
+        let objects = (m.rungs.len() * m.segment_count()) as u64;
+        assert!(r.tier.misses <= objects * tier.edges as u64);
+        assert!(r.origin_offload > 0.5, "offload {}", r.origin_offload);
+        assert_eq!(
+            r.per_edge.iter().map(|e| e.sessions).sum::<usize>(),
+            load.sessions
+        );
+    }
+
+    #[test]
+    fn coalescing_collapses_concurrent_misses() {
+        let m = manifest();
+        let tier = EdgeTierConfig {
+            edges: 1,
+            prewarm: false,
+            ..Default::default()
+        };
+        // A burst of simultaneous arrivals all wanting segment (0, 0).
+        let load = LoadConfig {
+            sessions: 200,
+            stagger_ticks: 0,
+            ..Default::default()
+        };
+        let r = simulate_edge_load(&m, &tier, &load);
+        assert!(
+            r.tier.coalesced >= 199,
+            "the burst must coalesce onto one fill: {}",
+            r.tier.coalesced
+        );
+        assert_eq!(r.load.completed, 200);
+    }
+
+    #[test]
+    fn tiny_caches_thrash_but_still_serve() {
+        let m = manifest();
+        let small = title_bytes(&m) / 8;
+        let tier = EdgeTierConfig {
+            edges: 2,
+            cache_capacity_bytes: small,
+            prewarm: false,
+            ..Default::default()
+        };
+        let load = LoadConfig {
+            sessions: 150,
+            ..Default::default()
+        };
+        let r = simulate_edge_load(&m, &tier, &load);
+        assert_eq!(r.load.completed, 150, "thrashing must not wedge sessions");
+        assert!(r.tier.evictions > 0, "a small cache must evict");
+        let big = simulate_edge_load(
+            &m,
+            &EdgeTierConfig {
+                cache_capacity_bytes: usize::MAX,
+                ..tier
+            },
+            &load,
+        );
+        assert!(
+            big.hit_rate >= r.hit_rate,
+            "more cache cannot hit less: {} vs {}",
+            big.hit_rate,
+            r.hit_rate
+        );
+    }
+
+    #[test]
+    fn origin_outage_with_cold_caches_terminates_cleanly() {
+        let m = manifest();
+        let tier = EdgeTierConfig {
+            edges: 2,
+            prewarm: false,
+            origin_down_after: Some(0),
+            ..Default::default()
+        };
+        let load = LoadConfig {
+            sessions: 50,
+            ..Default::default()
+        };
+        // Nothing can ever be served; the engine must detect stasis and
+        // return instead of spinning to max_ticks.
+        let r = simulate_edge_load(&m, &tier, &load);
+        assert_eq!(r.load.completed, 0);
+        assert!(r.load.ticks < load.max_ticks);
+    }
+
+    #[test]
+    fn origin_outage_with_warm_caches_is_invisible() {
+        let m = manifest();
+        let load = LoadConfig {
+            sessions: 400,
+            ..Default::default()
+        };
+        let up = simulate_edge_load(
+            &m,
+            &EdgeTierConfig {
+                prewarm: true,
+                origin_down_after: None,
+                ..Default::default()
+            },
+            &load,
+        );
+        let down = simulate_edge_load(
+            &m,
+            &EdgeTierConfig {
+                prewarm: true,
+                origin_down_after: Some(0),
+                ..Default::default()
+            },
+            &load,
+        );
+        assert_eq!(up, down, "warm edges never need the origin");
+        assert_eq!(down.load.completed, 400);
+    }
+
+    #[test]
+    fn hash_sharding_completes_and_spreads() {
+        let m = manifest();
+        let tier = EdgeTierConfig {
+            edges: 4,
+            sharding: Sharding::Hash,
+            ..Default::default()
+        };
+        let load = LoadConfig {
+            sessions: 800,
+            ..Default::default()
+        };
+        let r = simulate_edge_load(&m, &tier, &load);
+        assert_eq!(r.load.completed, 800);
+        assert!(
+            r.per_edge.iter().all(|e| e.sessions > 100),
+            "hash sharding should not starve an edge: {:?}",
+            r.per_edge.iter().map(|e| e.sessions).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn edge_simulation_is_deterministic() {
+        let m = manifest();
+        let tier = EdgeTierConfig {
+            edges: 3,
+            prewarm: false,
+            cache_capacity_bytes: title_bytes(&m) / 2,
+            ..Default::default()
+        };
+        let load = LoadConfig {
+            sessions: 500,
+            ..Default::default()
+        };
+        let a = simulate_edge_load(&m, &tier, &load);
+        let b = simulate_edge_load(&m, &tier, &load);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_edge_tiers_return_well_defined_reports() {
+        let m = manifest();
+        let load = LoadConfig::default();
+        let zero_edges = simulate_edge_load(
+            &m,
+            &EdgeTierConfig {
+                edges: 0,
+                ..Default::default()
+            },
+            &load,
+        );
+        assert_eq!(zero_edges.load, LoadReport::degenerate(load.sessions));
+        assert!(zero_edges.per_edge.is_empty());
+        assert_eq!(edge_capacity_knee(&[], 0.05), None);
     }
 }

@@ -15,6 +15,7 @@ use netstack::fetch::{fetch, ContentServer, FetchError};
 use netstack::link::LinkConfig;
 use netstack::tcplite::TcpConfig;
 
+use crate::edge::EdgeCache;
 use crate::ladder::{LadderError, Manifest};
 use crate::segment::{demux_segment, Segment};
 
@@ -62,9 +63,13 @@ impl AbrController {
     }
 
     /// Picks the highest sustainable rung for segment `seg` (rung 0 when
-    /// no throughput has been observed yet — start safe, switch up).
+    /// no throughput has been observed yet — start safe, switch up; also
+    /// rung 0 for a manifest with no rungs, rather than underflowing).
     #[must_use]
     pub fn pick(&self, manifest: &Manifest, seg: usize, max_rung: Option<usize>) -> usize {
+        if manifest.rungs.is_empty() {
+            return 0;
+        }
         let ceiling = max_rung
             .unwrap_or(manifest.rungs.len() - 1)
             .min(manifest.rungs.len() - 1);
@@ -220,17 +225,66 @@ pub fn run_session(
     title: &str,
     config: &SessionConfig,
 ) -> Result<SessionReport, SessionError> {
+    run_session_with(
+        |name, leg| {
+            let r = fetch(
+                server,
+                name,
+                config.tcp,
+                config.link,
+                config.seed.wrapping_add(leg),
+            )?;
+            Ok((r.data, r.ticks))
+        },
+        title,
+        config,
+    )
+}
+
+/// Runs one viewer session through an edge cache: every object —
+/// manifest, license, segments — is fetched from the edge, which fills
+/// from `origin` on miss. The session code is identical to the direct
+/// path; only the fetch route changes, which is the point: the edge
+/// tier is transparent to viewers.
+///
+/// # Errors
+///
+/// Returns [`SessionError`] on transport failure (either leg),
+/// manifest/license problems, an unreachable origin on a cold object,
+/// or a damaged segment.
+pub fn run_session_via_edge(
+    origin: &ContentServer,
+    edge: &mut EdgeCache,
+    title: &str,
+    config: &SessionConfig,
+) -> Result<SessionReport, SessionError> {
+    run_session_with(
+        |name, leg| {
+            edge.fetch_through(
+                origin,
+                name,
+                config.tcp,
+                config.link,
+                config.seed.wrapping_add(leg),
+            )
+        },
+        title,
+        config,
+    )
+}
+
+/// The session engine, generic over how objects are fetched. `leg`
+/// numbers each fetch (manifest 0, license 1, segment `i` at `2 + i`)
+/// so routes can derive per-leg seeds.
+fn run_session_with(
+    mut fetch_object: impl FnMut(&str, u64) -> Result<(Vec<u8>, u64), FetchError>,
+    title: &str,
+    config: &SessionConfig,
+) -> Result<SessionReport, SessionError> {
     let mut clock = 0u64;
     let mut delivered_bits = 0u64;
-    let fetch_object = |name: &str, leg: u64| -> Result<(Vec<u8>, u64), SessionError> {
-        let r = fetch(
-            server,
-            name,
-            config.tcp,
-            config.link,
-            config.seed.wrapping_add(leg),
-        )?;
-        Ok((r.data, r.ticks))
+    let mut fetch_object = |name: &str, leg: u64| -> Result<(Vec<u8>, u64), SessionError> {
+        Ok(fetch_object(name, leg)?)
     };
 
     // 1. Manifest.
@@ -447,6 +501,60 @@ mod tests {
         assert_eq!(a.total_ticks, b.total_ticks);
         assert_eq!(a.startup_delay_ticks, b.startup_delay_ticks);
         assert_eq!(a.segments.len(), 3);
+    }
+
+    #[test]
+    fn session_via_edge_plays_and_warms_the_cache() {
+        use crate::edge::{EdgeCache, EdgeConfig};
+
+        let (origin, authority) = published(true);
+        let mut edge = EdgeCache::new(EdgeConfig::default());
+        let cfg = SessionConfig {
+            verification_key: Some(authority.verification_key().to_vec()),
+            ..Default::default()
+        };
+        let cold = run_session_via_edge(&origin, &mut edge, "movie", &cfg).unwrap();
+        assert_eq!(cold.segments.len(), 3);
+        assert!(edge.stats().misses > 0);
+        for rec in &cold.segments {
+            let dec = video::decode(rec.segment.video_es.as_ref().unwrap()).unwrap();
+            assert_eq!(dec.frames.len(), rec.frames);
+        }
+        // A second viewer pinned to the same rungs rides the warm cache:
+        // no new origin bytes, and a faster session.
+        let pinned = SessionConfig {
+            max_rung: Some(0),
+            ..cfg.clone()
+        };
+        let first_origin_bytes = edge.stats().origin_bytes;
+        let a = run_session_via_edge(&origin, &mut edge, "movie", &pinned).unwrap();
+        let again_origin = edge.stats().origin_bytes;
+        let b = run_session_via_edge(&origin, &mut edge, "movie", &pinned).unwrap();
+        assert_eq!(edge.stats().origin_bytes, again_origin);
+        assert!(a.total_ticks >= b.total_ticks || again_origin == first_origin_bytes);
+        assert!(b.total_ticks < cold.total_ticks);
+    }
+
+    #[test]
+    fn warm_edge_serves_through_origin_outage() {
+        use crate::edge::{EdgeCache, EdgeConfig};
+
+        let (origin, _) = published(false);
+        let mut edge = EdgeCache::new(EdgeConfig::default());
+        let cfg = SessionConfig {
+            max_rung: Some(0),
+            ..Default::default()
+        };
+        run_session_via_edge(&origin, &mut edge, "movie", &cfg).unwrap();
+        edge.set_origin_up(false);
+        let report = run_session_via_edge(&origin, &mut edge, "movie", &cfg).unwrap();
+        assert_eq!(report.segments.len(), 3);
+        assert_eq!(report.rebuffer_events, 0);
+        // A cold title during the outage fails cleanly.
+        assert!(matches!(
+            run_session_via_edge(&origin, &mut edge, "nope", &cfg).unwrap_err(),
+            SessionError::Fetch(FetchError::Server(_))
+        ));
     }
 
     #[test]

@@ -27,6 +27,11 @@ pub const TS_HEADER_LEN: usize = 9;
 pub const TS_PAYLOAD_MAX: usize = TS_PACKET_LEN - TS_HEADER_LEN;
 /// Highest valid PID (13 bits).
 pub const PID_MAX: u16 = 0x1FFF;
+/// The null/stuffing PID (like ISO 13818-1's 0x1FFF): packets on this
+/// PID pad the stream to constant bitrate and carry no payload units.
+/// Their continuity counters are meaningless and the demux ignores them
+/// entirely — dropping or reordering stuffing never reports a gap.
+pub const STUFFING_PID: u16 = PID_MAX;
 
 /// PID carrying the per-segment frame index unit.
 pub const META_PID: u16 = 0x0020;
@@ -119,15 +124,48 @@ impl TsMux {
         self.packets_emitted
     }
 
+    /// Starts `pid`'s continuity counter at an arbitrary value — a mux
+    /// joining a stream mid-flight (splice, failover) does not begin at
+    /// zero. The demux must accept any initial counter without reporting
+    /// a gap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` exceeds 13 bits or `cc` exceeds 4 bits.
+    pub fn set_continuity(&mut self, pid: u16, cc: u8) {
+        assert!(pid <= PID_MAX, "pid {pid:#x} exceeds 13 bits");
+        assert!(cc <= 0x0F, "continuity counter {cc} exceeds 4 bits");
+        self.counters.insert(pid, cc);
+    }
+
+    /// Emits one null packet on [`STUFFING_PID`]: constant-bitrate
+    /// padding carrying no payload. Stuffing does not advance any
+    /// continuity counter, so inserting or dropping it anywhere in a
+    /// stream is invisible to gap detection.
+    pub fn stuffing_packet(&mut self) -> TsPacket {
+        let mut bytes = [0xFFu8; TS_PACKET_LEN];
+        bytes[0] = TS_SYNC;
+        bytes[1] = (STUFFING_PID >> 8) as u8 & 0x1F;
+        bytes[2] = (STUFFING_PID & 0xFF) as u8;
+        bytes[3] = 0;
+        bytes[4] = 0;
+        let crc = !crc32_update(!0, &bytes[1..5]);
+        bytes[5..9].copy_from_slice(&crc.to_be_bytes());
+        self.packets_emitted += 1;
+        TsPacket { bytes }
+    }
+
     /// Packetizes one unit onto `pid`, appending to `out`. The first
     /// packet has PUSI set and its payload begins with the 4-byte
     /// big-endian unit length.
     ///
     /// # Panics
     ///
-    /// Panics if `pid` exceeds 13 bits or `unit` is empty.
+    /// Panics if `pid` exceeds 13 bits, `pid` is the stuffing PID, or
+    /// `unit` is empty.
     pub fn packetize_into(&mut self, pid: u16, unit: &[u8], out: &mut Vec<TsPacket>) {
         assert!(pid <= PID_MAX, "pid {pid:#x} exceeds 13 bits");
+        assert!(pid != STUFFING_PID, "the stuffing pid carries no units");
         assert!(!unit.is_empty(), "cannot packetize an empty unit");
         let mut framed = Vec::with_capacity(4 + unit.len());
         framed.extend_from_slice(&(unit.len() as u32).to_be_bytes());
@@ -204,6 +242,8 @@ pub struct DemuxReport {
     /// Continuation packets with no unit in progress (their PUSI packet
     /// was lost).
     pub stray_packets: u64,
+    /// Null packets on [`STUFFING_PID`] (pure padding, skipped).
+    pub stuffing_packets: u64,
 }
 
 impl DemuxReport {
@@ -244,6 +284,13 @@ impl TsDemux {
         }
         let pusi = wire[1] & 0x80 != 0;
         let pid = (u16::from(wire[1] & 0x1F) << 8) | u16::from(wire[2]);
+        if pid == STUFFING_PID {
+            // Pure padding: no payload, no continuity state. Counting it
+            // as anything else would turn dropped or inserted stuffing
+            // into false loss reports.
+            self.report.stuffing_packets += 1;
+            return;
+        }
         let cc = wire[3] >> 4;
         let len = wire[4] as usize;
         if len == 0 || len > TS_PAYLOAD_MAX {
@@ -458,6 +505,56 @@ mod tests {
         let report = demux_wire(&to_wire(&packets));
         assert_eq!(report.units_on(VIDEO_PID), &[u0]);
         assert!(report.loss_detected() || report.stray_packets > 0);
+    }
+
+    #[test]
+    fn stuffing_is_invisible_to_gap_detection() {
+        let mut mux = TsMux::new();
+        let unit = payload(1500, 12);
+        let data = mux.packetize(VIDEO_PID, &unit);
+        // Interleave a null packet after every data packet.
+        let mut packets = Vec::new();
+        for p in &data {
+            packets.push(*p);
+            packets.push(mux.stuffing_packet());
+        }
+        let report = demux_wire(&to_wire(&packets));
+        assert!(!report.loss_detected());
+        assert_eq!(report.stuffing_packets, data.len() as u64);
+        assert_eq!(report.units_on(VIDEO_PID), std::slice::from_ref(&unit));
+        // Dropping every other stuffing packet is equally invisible.
+        let thinned: Vec<TsPacket> = packets
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| p.pid() != STUFFING_PID || i % 4 == 1)
+            .map(|(_, p)| *p)
+            .collect();
+        let report = demux_wire(&to_wire(&thinned));
+        assert!(!report.loss_detected());
+        assert_eq!(report.units_on(VIDEO_PID), &[unit]);
+    }
+
+    #[test]
+    fn arbitrary_initial_continuity_is_not_a_gap() {
+        for start in [1u8, 7, 15] {
+            let mut mux = TsMux::new();
+            mux.set_continuity(VIDEO_PID, start);
+            let unit = payload(900, u64::from(start));
+            let packets = mux.packetize(VIDEO_PID, &unit);
+            assert_eq!(packets[0].continuity(), start);
+            let report = demux_wire(&to_wire(&packets));
+            assert!(
+                !report.loss_detected(),
+                "initial counter {start} must not look like a gap"
+            );
+            assert_eq!(report.units_on(VIDEO_PID), &[unit]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "carries no units")]
+    fn stuffing_pid_rejected_for_units() {
+        let _ = TsMux::new().packetize(STUFFING_PID, &[1]);
     }
 
     #[test]

@@ -261,6 +261,129 @@ proptest! {
         }
     }
 
+    /// A continuity gap is reported **iff** a payload packet was
+    /// dropped: arbitrary initial continuity counters and stuffing-only
+    /// packets — inserted anywhere, dropped anywhere — never raise loss
+    /// indicators on their own.
+    #[test]
+    fn ts_stuffing_and_initial_cc_never_fake_a_gap(
+        unit in prop::collection::vec(any::<u8>(), 400..3000),
+        initial_cc in 0u8..16,
+        stuffing_sel in any::<u64>(),
+        drop_sel in any::<u64>(),
+    ) {
+        let mut mux = mmstream::TsMux::new();
+        mux.set_continuity(mmstream::ts::VIDEO_PID, initial_cc);
+        let payload_packets = mux.packetize(mmstream::ts::VIDEO_PID, &unit);
+        // Interleave stuffing after payload packets selected by bitmask,
+        // then optionally drop ONE packet (payload or stuffing).
+        let mut packets = Vec::new();
+        for (i, p) in payload_packets.iter().enumerate() {
+            packets.push(*p);
+            if stuffing_sel >> (i % 64) & 1 == 1 {
+                packets.push(mux.stuffing_packet());
+            }
+        }
+        let dropped_idx = (drop_sel & 1 == 1).then_some((drop_sel >> 1) as usize % packets.len());
+        let dropped_payload = dropped_idx
+            .is_some_and(|i| packets[i].pid() == mmstream::ts::VIDEO_PID);
+        if let Some(i) = dropped_idx {
+            packets.remove(i);
+        }
+        let report = mmstream::ts::demux_wire(&mmstream::ts::to_wire(&packets));
+        let noticed = report.loss_detected() || report.stray_packets > 0;
+        prop_assert_eq!(
+            noticed, dropped_payload,
+            "gap iff a payload packet was dropped (initial cc {}, dropped {:?})",
+            initial_cc, dropped_idx
+        );
+        if dropped_payload {
+            prop_assert!(report.units_on(mmstream::ts::VIDEO_PID).is_empty());
+        } else {
+            prop_assert_eq!(report.units_on(mmstream::ts::VIDEO_PID), &[unit]);
+        }
+    }
+
+    /// Manifest parsing never panics on mutated bytes: any truncation or
+    /// byte flip of a valid manifest either parses or errors cleanly,
+    /// and whatever parses re-serialises to a fixed point.
+    #[test]
+    fn manifest_mutations_never_panic(
+        n_rungs in 1usize..4,
+        n_segs in 1usize..5,
+        tpf in 1u64..1000,
+        cut in 0usize..400,
+        flip_at in any::<usize>(),
+        flip_bits in 1u8..=255,
+    ) {
+        let rungs = (0..n_rungs)
+            .map(|r| mmstream::ladder::RungInfo {
+                target_bits_per_frame: 1000.0 * (r + 1) as f64,
+                segments: (0..n_segs)
+                    .map(|s| mmstream::ladder::SegmentEntry {
+                        name: format!("r{r}_s{s}.ts"),
+                        bytes: 100 + r * 37 + s,
+                        frames: 4,
+                        nonce: ((r as u32) << 16) | s as u32,
+                    })
+                    .collect(),
+            })
+            .collect();
+        let manifest = mmstream::Manifest {
+            title: "prop".to_string(),
+            ticks_per_frame: tpf,
+            sealed: false,
+            rungs,
+        };
+        let bytes = manifest.to_bytes();
+        prop_assert_eq!(&mmstream::Manifest::from_bytes(&bytes).unwrap(), &manifest);
+        // Truncation at an arbitrary point: must not panic.
+        let cut = cut.min(bytes.len());
+        let _ = mmstream::Manifest::from_bytes(&bytes[..cut]);
+        // Single-byte corruption: must not panic; a successful parse
+        // must re-serialise to a fixed point (parse . to_bytes . parse
+        // is identity).
+        let mut mutated = bytes.clone();
+        let idx = flip_at % mutated.len();
+        mutated[idx] ^= flip_bits;
+        if let Ok(parsed) = mmstream::Manifest::from_bytes(&mutated) {
+            let re = parsed.to_bytes();
+            prop_assert_eq!(mmstream::Manifest::from_bytes(&re).unwrap(), parsed);
+        }
+    }
+
+    /// The edge LRU never exceeds its byte budget, never loses track of
+    /// held bytes, and evicts strictly least-recently-used keys.
+    #[test]
+    fn edge_lru_respects_budget_and_recency(
+        capacity in 1usize..2000,
+        ops in prop::collection::vec((0u32..64, 1usize..600, any::<bool>()), 1..80),
+    ) {
+        let mut lru = mmstream::Lru::new(capacity);
+        let mut live: std::collections::BTreeSet<u32> = Default::default();
+        for (key, bytes, touch) in ops {
+            if touch {
+                prop_assert_eq!(lru.touch(&key), live.contains(&key));
+            } else if bytes <= capacity {
+                for victim in lru.insert(key, bytes) {
+                    prop_assert!(victim != key, "the inserted key must survive");
+                    live.remove(&victim);
+                }
+                live.insert(key);
+            } else {
+                // Oversized: not admitted, and any stale entry under
+                // the same key is dropped rather than left behind.
+                let evicted = lru.insert(key, bytes);
+                prop_assert!(evicted.iter().all(|v| *v == key));
+                live.remove(&key);
+                prop_assert!(!lru.contains(&key));
+            }
+            prop_assert!(lru.held_bytes() <= capacity,
+                "budget violated: {} > {}", lru.held_bytes(), capacity);
+            prop_assert_eq!(lru.len(), live.len());
+        }
+    }
+
     /// Borrowed `BlockView` gathers (interior and edge-clamped) agree
     /// with the allocating `block_at` everywhere, so the zero-copy motion
     /// search sees exactly the same candidate pixels.
