@@ -115,6 +115,15 @@ impl<K: Ord + Clone> Lru<K> {
         evicted
     }
 
+    /// Removes `key` outright (cache invalidation, not capacity
+    /// pressure — the eviction counter is untouched). Returns the freed
+    /// bytes, or `None` if it was not cached.
+    pub fn remove(&mut self, key: &K) -> Option<usize> {
+        let (bytes, _) = self.entries.remove(key)?;
+        self.held_bytes -= bytes;
+        Some(bytes)
+    }
+
     /// Bytes currently held.
     #[must_use]
     pub fn held_bytes(&self) -> usize {
@@ -140,6 +149,113 @@ impl<K: Ord + Clone> Lru<K> {
     }
 }
 
+/// In-flight origin fills, keyed by `(key, generation)`. Concurrent
+/// misses for the same generation of the same object coalesce onto one
+/// fill — the thundering-herd defence for a just-published live-edge
+/// segment — and a *failed* fill clears its slot, so the next request
+/// starts exactly one fresh fill instead of piling a second origin
+/// round trip onto a doomed one (or replaying its failure forever).
+///
+/// The generation distinguishes versions of a *mutable* object (the
+/// live manifest): waiters never coalesce onto a fill of a stale
+/// generation. Immutable objects use generation 0.
+///
+/// `V` is whatever the owner needs to track per fill (the fluid
+/// simulator stores remaining bytes; `()` works for pure coalescing).
+#[derive(Debug, Clone, Default)]
+pub struct FillTable<K: Ord + Clone, V> {
+    inflight: BTreeMap<(K, u64), V>,
+    started: u64,
+    joined: u64,
+    failed: u64,
+}
+
+impl<K: Ord + Clone, V> FillTable<K, V> {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            inflight: BTreeMap::new(),
+            started: 0,
+            joined: 0,
+            failed: 0,
+        }
+    }
+
+    /// One requester asks for `(key, generation)`: returns `true` when
+    /// this request *started* the fill (the payload is built lazily),
+    /// `false` when it joined one already in flight.
+    pub fn request(&mut self, key: K, generation: u64, payload: impl FnOnce() -> V) -> bool {
+        match self.inflight.entry((key, generation)) {
+            std::collections::btree_map::Entry::Occupied(_) => {
+                self.joined += 1;
+                false
+            }
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(payload());
+                self.started += 1;
+                true
+            }
+        }
+    }
+
+    /// Whether a fill for `(key, generation)` is in flight.
+    #[must_use]
+    pub fn contains(&self, key: &K, generation: u64) -> bool {
+        self.inflight.contains_key(&(key.clone(), generation))
+    }
+
+    /// The fill landed: clears the slot, returning its payload.
+    pub fn complete(&mut self, key: &K, generation: u64) -> Option<V> {
+        self.inflight.remove(&(key.clone(), generation))
+    }
+
+    /// The fill failed: clears the slot so a retry starts fresh.
+    pub fn fail(&mut self, key: &K, generation: u64) -> Option<V> {
+        let gone = self.inflight.remove(&(key.clone(), generation));
+        if gone.is_some() {
+            self.failed += 1;
+        }
+        gone
+    }
+
+    /// Mutable walk over in-flight fills (the fluid engine drains
+    /// remaining bytes this way).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&(K, u64), &mut V)> {
+        self.inflight.iter_mut()
+    }
+
+    /// Fills currently in flight.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// `true` when nothing is in flight.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inflight.is_empty()
+    }
+
+    /// Fills ever started (each one origin round trip).
+    #[must_use]
+    pub fn started(&self) -> u64 {
+        self.started
+    }
+
+    /// Requests that coalesced onto an in-flight fill.
+    #[must_use]
+    pub fn joined(&self) -> u64 {
+        self.joined
+    }
+
+    /// Fills that failed (and freed their slot).
+    #[must_use]
+    pub fn failed(&self) -> u64 {
+        self.failed
+    }
+}
+
 /// What one edge observed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EdgeStats {
@@ -152,6 +268,12 @@ pub struct EdgeStats {
     pub coalesced: u64,
     /// Cache evictions.
     pub evictions: u64,
+    /// Stale mutable objects re-fetched from the origin (a subset of
+    /// `misses`: the object was cached but its TTL had lapsed).
+    pub revalidations: u64,
+    /// Objects dropped by explicit invalidation (live DVR-window
+    /// expiry), not by capacity pressure.
+    pub invalidations: u64,
     /// Bytes pulled from the origin.
     pub origin_bytes: u64,
     /// Bytes served to viewers.
@@ -190,6 +312,8 @@ impl EdgeStats {
             misses: self.misses + other.misses,
             coalesced: self.coalesced + other.coalesced,
             evictions: self.evictions + other.evictions,
+            revalidations: self.revalidations + other.revalidations,
+            invalidations: self.invalidations + other.invalidations,
             origin_bytes: self.origin_bytes + other.origin_bytes,
             served_bytes: self.served_bytes + other.served_bytes,
         }
@@ -209,16 +333,23 @@ pub struct EdgeConfig {
     /// Seed for the origin link's loss process (advanced per fill so
     /// repeated fills see fresh loss draws, deterministically).
     pub origin_seed: u64,
+    /// How long a *mutable* object (the live manifest) stays fresh
+    /// after a fill, in ticks. `0` — the safe default — revalidates on
+    /// every request; VOD objects fetched via
+    /// [`EdgeCache::fetch_through`] are immutable and ignore this.
+    pub mutable_ttl_ticks: u64,
 }
 
 impl Default for EdgeConfig {
-    /// 1 MiB cache over a clean default link.
+    /// 1 MiB cache over a clean default link; mutable objects
+    /// revalidate on every request.
     fn default() -> Self {
         Self {
             cache_capacity_bytes: 1 << 20,
             origin_tcp: TcpConfig::default(),
             origin_link: LinkConfig::default(),
             origin_seed: 0xED6E,
+            mutable_ttl_ticks: 0,
         }
     }
 }
@@ -230,6 +361,9 @@ pub struct EdgeCache {
     config: EdgeConfig,
     lru: Lru<String>,
     store: ContentServer,
+    /// `name -> tick of last fill` for objects fetched as mutable;
+    /// drives TTL freshness in [`Self::fetch_mutable_through`].
+    fetched_at: BTreeMap<String, u64>,
     origin_up: bool,
     fills: u64,
     stats: EdgeStats,
@@ -243,6 +377,7 @@ impl EdgeCache {
             lru: Lru::new(config.cache_capacity_bytes),
             config,
             store: ContentServer::new(),
+            fetched_at: BTreeMap::new(),
             origin_up: true,
             fills: 0,
             stats: EdgeStats::default(),
@@ -328,31 +463,137 @@ impl EdgeCache {
             if !self.origin_up {
                 return Err(FetchError::Server("origin-unreachable".to_string()));
             }
-            // The attempt counter advances even when the fill fails, so
-            // a retry after a transport timeout sees fresh (still
-            // deterministic) loss draws instead of replaying the exact
-            // failure forever.
-            let fill_seed = self.config.origin_seed.wrapping_add(self.fills);
-            self.fills += 1;
-            let fill = fetch(
-                origin,
-                name,
-                self.config.origin_tcp,
-                self.config.origin_link,
-                fill_seed,
-            )?;
-            self.stats.misses += 1;
-            self.stats.origin_bytes += fill.data.len() as u64;
-            fill_ticks = fill.ticks;
-            if fill.data.len() <= self.config.cache_capacity_bytes {
-                self.admit(key, fill.data);
-            } else {
-                // Serve-through without caching.
-                let mut tmp = ContentServer::new();
-                tmp.publish(name, fill.data);
-                passthrough = Some(tmp);
-            }
+            let (ticks, through) = self.fill_from_origin(origin, name)?;
+            fill_ticks = ticks;
+            passthrough = through;
         }
+        self.serve_local(
+            name,
+            passthrough,
+            viewer_tcp,
+            viewer_link,
+            viewer_seed,
+            fill_ticks,
+        )
+    }
+
+    /// Fetches a *mutable* object (the live manifest) through this
+    /// edge. A cached copy younger than `mutable_ttl_ticks` is served
+    /// as a hit; a stale copy is revalidated — re-fetched from the
+    /// origin and replaced (counted under both `misses` and
+    /// `revalidations`). When the origin is down a stale copy is still
+    /// served (stale-if-error: a slightly old manifest beats a dead
+    /// channel), and only a wholly uncached object fails.
+    ///
+    /// `now` is the caller's simulated clock; freshness is measured
+    /// against the `now` of the fill that cached the object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FetchError`] when a leg fails or the object is
+    /// uncached with the origin unreachable.
+    pub fn fetch_mutable_through(
+        &mut self,
+        origin: &ContentServer,
+        name: &str,
+        viewer_tcp: TcpConfig,
+        viewer_link: LinkConfig,
+        viewer_seed: u64,
+        now: u64,
+    ) -> Result<(Vec<u8>, u64), FetchError> {
+        let key = name.to_string();
+        let cached = self.lru.touch(&key);
+        let fresh = cached
+            && self
+                .fetched_at
+                .get(name)
+                .is_some_and(|&at| now < at.saturating_add(self.config.mutable_ttl_ticks));
+        let mut fill_ticks = 0u64;
+        let mut passthrough: Option<ContentServer> = None;
+        if fresh || (cached && !self.origin_up) {
+            self.stats.hits += 1;
+        } else {
+            if !self.origin_up {
+                return Err(FetchError::Server("origin-unreachable".to_string()));
+            }
+            if cached {
+                self.stats.revalidations += 1;
+            }
+            let (ticks, through) = self.fill_from_origin(origin, name)?;
+            fill_ticks = ticks;
+            if through.is_none() {
+                self.fetched_at.insert(key, now);
+            }
+            passthrough = through;
+        }
+        self.serve_local(
+            name,
+            passthrough,
+            viewer_tcp,
+            viewer_link,
+            viewer_seed,
+            fill_ticks,
+        )
+    }
+
+    /// Drops one object outright — the origin told us it expired (live
+    /// DVR-window invalidation). Returns whether it was cached. Not an
+    /// eviction: capacity stats are untouched, `invalidations` counts
+    /// it instead.
+    pub fn invalidate(&mut self, name: &str) -> bool {
+        let dropped = self.lru.remove(&name.to_string()).is_some();
+        if dropped {
+            self.store.remove(name);
+            self.stats.invalidations += 1;
+        }
+        self.fetched_at.remove(name);
+        dropped
+    }
+
+    /// One origin fill: fetch over the edge's origin link, admit into
+    /// the cache (or hand back a pass-through server for oversized
+    /// objects). The attempt counter advances even when the fill
+    /// fails, so a retry after a transport timeout sees fresh (still
+    /// deterministic) loss draws instead of replaying the exact
+    /// failure forever.
+    fn fill_from_origin(
+        &mut self,
+        origin: &ContentServer,
+        name: &str,
+    ) -> Result<(u64, Option<ContentServer>), FetchError> {
+        let fill_seed = self.config.origin_seed.wrapping_add(self.fills);
+        self.fills += 1;
+        let fill = fetch(
+            origin,
+            name,
+            self.config.origin_tcp,
+            self.config.origin_link,
+            fill_seed,
+        )?;
+        self.stats.misses += 1;
+        self.stats.origin_bytes += fill.data.len() as u64;
+        let ticks = fill.ticks;
+        if fill.data.len() <= self.config.cache_capacity_bytes {
+            self.admit(name.to_string(), fill.data);
+            Ok((ticks, None))
+        } else {
+            // Serve-through without caching.
+            let mut tmp = ContentServer::new();
+            tmp.publish(name, fill.data);
+            Ok((ticks, Some(tmp)))
+        }
+    }
+
+    /// The viewer leg: serve from the local store (or a pass-through).
+    fn serve_local(
+        &mut self,
+        name: &str,
+        passthrough: Option<ContentServer>,
+        viewer_tcp: TcpConfig,
+        viewer_link: LinkConfig,
+        viewer_seed: u64,
+        fill_ticks: u64,
+    ) -> Result<(Vec<u8>, u64), FetchError> {
         let source = passthrough.as_ref().unwrap_or(&self.store);
         let r = fetch(source, name, viewer_tcp, viewer_link, viewer_seed)?;
         self.stats.served_bytes += r.data.len() as u64;
@@ -620,19 +861,212 @@ mod tests {
     }
 
     #[test]
-    fn stats_merge_and_rates_are_guarded() {
+    fn stats_merged_sums_every_field() {
+        let a = EdgeStats {
+            hits: 1,
+            misses: 2,
+            coalesced: 3,
+            evictions: 4,
+            revalidations: 5,
+            invalidations: 6,
+            origin_bytes: 7,
+            served_bytes: 8,
+        };
+        let b = EdgeStats {
+            hits: 10,
+            misses: 20,
+            coalesced: 30,
+            evictions: 40,
+            revalidations: 50,
+            invalidations: 60,
+            origin_bytes: 70,
+            served_bytes: 80,
+        };
+        let m = a.merged(&b);
+        assert_eq!(
+            m,
+            EdgeStats {
+                hits: 11,
+                misses: 22,
+                coalesced: 33,
+                evictions: 44,
+                revalidations: 55,
+                invalidations: 66,
+                origin_bytes: 77,
+                served_bytes: 88,
+            }
+        );
+        // Merging is commutative and the zero stats are the identity.
+        assert_eq!(m, b.merged(&a));
+        assert_eq!(a.merged(&EdgeStats::default()), a);
+    }
+
+    #[test]
+    fn stats_rates_cover_zero_request_and_all_miss_edges() {
+        // Zero requests: both rates are defined (no 0/0 NaN).
         let zero = EdgeStats::default();
         assert_eq!(zero.hit_rate(), 0.0);
         assert_eq!(zero.origin_offload(), 0.0);
+        // All-miss: every request crossed the origin.
+        let all_miss = EdgeStats {
+            misses: 9,
+            origin_bytes: 900,
+            served_bytes: 900,
+            ..Default::default()
+        };
+        assert_eq!(all_miss.hit_rate(), 0.0);
+        assert_eq!(all_miss.origin_offload(), 0.0);
+        // All-hit: nothing crossed the origin.
+        let all_hit = EdgeStats {
+            hits: 9,
+            served_bytes: 900,
+            ..Default::default()
+        };
+        assert_eq!(all_hit.hit_rate(), 1.0);
+        assert_eq!(all_hit.origin_offload(), 1.0);
+        // Coalesced waiters count as offloaded requests.
         let a = EdgeStats {
             hits: 3,
             misses: 1,
             coalesced: 2,
             ..Default::default()
         };
-        let m = a.merged(&a);
-        assert_eq!(m.hits, 6);
         assert!((a.hit_rate() - 5.0 / 6.0).abs() < 1e-12);
+        // Served without any requests recorded (prewarmed edge): still
+        // well-defined.
+        let prewarmed = EdgeStats {
+            served_bytes: 500,
+            ..Default::default()
+        };
+        assert_eq!(prewarmed.hit_rate(), 0.0);
+        assert_eq!(prewarmed.origin_offload(), 1.0);
+    }
+
+    #[test]
+    fn fill_table_coalesces_and_retries_after_failure() {
+        let mut fills: FillTable<&'static str, u64> = FillTable::new();
+        assert!(fills.is_empty());
+        // First request starts the fill; the burst joins it.
+        assert!(fills.request("seg9", 0, || 100));
+        for _ in 0..5 {
+            assert!(!fills.request("seg9", 0, || unreachable!("must coalesce")));
+        }
+        assert_eq!((fills.started(), fills.joined()), (1, 5));
+        assert_eq!(fills.len(), 1);
+        // A different generation of the same key is a different fill.
+        assert!(fills.request("seg9", 1, || 100));
+        assert_eq!(fills.started(), 2);
+        // Failure clears the slot; the retry starts exactly one fresh
+        // fill.
+        assert_eq!(fills.fail(&"seg9", 0), Some(100));
+        assert_eq!(fills.fail(&"seg9", 0), None, "already cleared");
+        assert!(fills.request("seg9", 0, || 42));
+        assert_eq!(fills.complete(&"seg9", 0), Some(42));
+        assert!(!fills.contains(&"seg9", 0));
+        assert!(fills.contains(&"seg9", 1));
+        assert_eq!((fills.started(), fills.joined(), fills.failed()), (3, 5, 1));
+    }
+
+    #[test]
+    fn lru_remove_frees_bytes_without_counting_an_eviction() {
+        let mut lru: Lru<u32> = Lru::new(100);
+        lru.insert(1, 60);
+        assert_eq!(lru.remove(&1), Some(60));
+        assert_eq!(lru.remove(&1), None);
+        assert_eq!(lru.held_bytes(), 0);
+        assert_eq!(lru.evictions(), 0, "invalidation is not eviction");
+    }
+
+    #[test]
+    fn mutable_fetch_revalidates_on_ttl_expiry() {
+        let mut origin = ContentServer::new();
+        origin.publish("t/manifest", vec![1u8; 200]);
+        let mut edge = EdgeCache::new(EdgeConfig {
+            mutable_ttl_ticks: 100,
+            ..Default::default()
+        });
+        let tcp = TcpConfig::default();
+        let link = LinkConfig::default();
+        // Cold fetch at tick 0: a plain miss, no revalidation.
+        edge.fetch_mutable_through(&origin, "t/manifest", tcp, link, 1, 0)
+            .unwrap();
+        assert_eq!(edge.stats().misses, 1);
+        assert_eq!(edge.stats().revalidations, 0);
+        // Within TTL: a hit, even though the origin object changed.
+        origin.publish("t/manifest", vec![2u8; 200]);
+        let (stale, _) = edge
+            .fetch_mutable_through(&origin, "t/manifest", tcp, link, 2, 99)
+            .unwrap();
+        assert_eq!(stale, vec![1u8; 200], "fresh-by-TTL serves the cached copy");
+        assert_eq!(edge.stats().hits, 1);
+        // Past TTL: revalidated — the new bytes replace the stale copy.
+        let (new, _) = edge
+            .fetch_mutable_through(&origin, "t/manifest", tcp, link, 3, 100)
+            .unwrap();
+        assert_eq!(new, vec![2u8; 200]);
+        assert_eq!(edge.stats().revalidations, 1);
+        assert_eq!(edge.stats().misses, 2);
+    }
+
+    #[test]
+    fn mutable_fetch_with_zero_ttl_always_revalidates() {
+        let mut origin = ContentServer::new();
+        origin.publish("t/manifest", vec![1u8; 100]);
+        let mut edge = EdgeCache::new(EdgeConfig::default());
+        let tcp = TcpConfig::default();
+        let link = LinkConfig::default();
+        for leg in 0..3 {
+            edge.fetch_mutable_through(&origin, "t/manifest", tcp, link, leg, leg)
+                .unwrap();
+        }
+        assert_eq!(edge.stats().misses, 3);
+        assert_eq!(edge.stats().revalidations, 2);
+        assert_eq!(edge.stats().hits, 0);
+    }
+
+    #[test]
+    fn stale_manifest_serves_through_an_origin_outage() {
+        let mut origin = ContentServer::new();
+        origin.publish("t/manifest", vec![1u8; 100]);
+        let mut edge = EdgeCache::new(EdgeConfig::default()); // TTL 0
+        let tcp = TcpConfig::default();
+        let link = LinkConfig::default();
+        edge.fetch_mutable_through(&origin, "t/manifest", tcp, link, 1, 0)
+            .unwrap();
+        edge.set_origin_up(false);
+        // Stale-if-error: the cached copy serves rather than failing.
+        let (data, _) = edge
+            .fetch_mutable_through(&origin, "t/manifest", tcp, link, 2, 500)
+            .unwrap();
+        assert_eq!(data, vec![1u8; 100]);
+        // An uncached mutable object still fails cleanly.
+        assert_eq!(
+            edge.fetch_mutable_through(&origin, "t/other", tcp, link, 3, 500)
+                .unwrap_err(),
+            FetchError::Server("origin-unreachable".to_string())
+        );
+    }
+
+    #[test]
+    fn invalidation_drops_the_object_and_counts_separately() {
+        let mut origin = ContentServer::new();
+        origin.publish("t/seg0", vec![1u8; 300]);
+        let mut edge = EdgeCache::new(EdgeConfig::default());
+        let tcp = TcpConfig::default();
+        let link = LinkConfig::default();
+        edge.fetch_through(&origin, "t/seg0", tcp, link, 1).unwrap();
+        assert_eq!(edge.cached_objects(), 1);
+        assert!(edge.invalidate("t/seg0"));
+        assert!(!edge.invalidate("t/seg0"), "already gone");
+        assert!(!edge.invalidate("t/never-cached"));
+        assert_eq!(edge.cached_objects(), 0);
+        assert_eq!(edge.cached_bytes(), 0);
+        assert_eq!(edge.stats().invalidations, 1);
+        assert_eq!(edge.stats().evictions, 0);
+        // The next fetch is a fresh miss, not a phantom hit.
+        edge.fetch_through(&origin, "t/seg0", tcp, link, 2).unwrap();
+        assert_eq!(edge.stats().misses, 2);
+        assert_eq!(edge.stats().hits, 0);
     }
 
     #[test]

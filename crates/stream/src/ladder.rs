@@ -12,6 +12,16 @@
 //! title's content key (Wolf §6: encryption as a *tool* inside the
 //! delivery architecture); the license carrying that key is fetched by
 //! the session at start.
+//!
+//! Beyond VOD, this module also hosts the *live/linear* origin:
+//! [`LiveOrigin`] publishes a pre-encoded ladder (the content "wheel")
+//! one segment at a time on a tick clock, keeps a rolling DVR window of
+//! at most `dvr_window_segments` published segments per rung, and
+//! republishes a *versioned* live [`Manifest`] (its [`LiveWindow`]
+//! carries a generation counter plus `[first_seq, live_seq]`) after
+//! every window change. Segments that fall out of the window are
+//! unpublished from the origin server; the delta of published/expired
+//! object names is returned so edge caches can invalidate.
 
 use drm::playback::LicenseAuthority;
 use drm::TitleId;
@@ -64,6 +74,9 @@ pub enum LadderError {
     BadTitle,
     /// A zero `ticks_per_frame` (it divides every playout and ABR rate).
     ZeroTicksPerFrame,
+    /// A live-origin configuration that cannot publish (zero DVR window
+    /// or zero ticks per segment).
+    BadLiveConfig(&'static str),
     /// The underlying video encoder refused.
     Encoder(EncoderError),
     /// A filesystem operation failed.
@@ -80,6 +93,7 @@ impl core::fmt::Display for LadderError {
             }
             LadderError::BadTitle => f.write_str("title must be non-empty without whitespace"),
             LadderError::ZeroTicksPerFrame => f.write_str("ticks_per_frame must be positive"),
+            LadderError::BadLiveConfig(what) => write!(f, "bad live origin config: {what}"),
             LadderError::Encoder(e) => write!(f, "rung encode failed: {e}"),
             LadderError::Fs(e) => write!(f, "segment store failed: {e:?}"),
             LadderError::Manifest(what) => write!(f, "malformed manifest: {what}"),
@@ -133,7 +147,54 @@ impl RungInfo {
     }
 }
 
+/// The live window a linear manifest advertises: rung segment lists
+/// cover exactly the sequence numbers `first_seq..=live_seq`, and the
+/// generation counter increments every time the origin republishes the
+/// manifest (the version an edge cache revalidates against).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveWindow {
+    /// Manifest version; strictly increasing at the origin.
+    pub generation: u64,
+    /// Oldest sequence number still published (DVR window start).
+    pub first_seq: u64,
+    /// Newest published sequence number (the live edge).
+    pub live_seq: u64,
+}
+
+/// The oldest sequence a DVR window of `dvr_window` segments keeps
+/// when the live edge is at `live_seq` — the one window-start rule
+/// shared by [`LiveOrigin`] and the fluid simulator's live gates.
+#[must_use]
+pub fn dvr_window_start(live_seq: u64, dvr_window: u64) -> u64 {
+    live_seq + 1 - dvr_window.min(live_seq + 1)
+}
+
+impl LiveWindow {
+    /// Segments currently in the window.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.live_seq - self.first_seq + 1
+    }
+
+    /// A window always holds at least the live-edge segment.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `seq` is currently fetchable.
+    #[must_use]
+    pub fn contains(&self, seq: u64) -> bool {
+        (self.first_seq..=self.live_seq).contains(&seq)
+    }
+}
+
 /// The delivery manifest: what a session fetches first.
+///
+/// A VOD manifest (`live == None`) lists an immutable title in full; a
+/// live manifest (`live == Some`) is a rolling snapshot whose rung
+/// segment lists cover exactly `[first_seq, live_seq]` — entry `i` of
+/// every rung is sequence number `first_seq + i`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Manifest {
     /// The title (object-name prefix).
@@ -142,6 +203,8 @@ pub struct Manifest {
     pub ticks_per_frame: u64,
     /// Whether segments are XTEA-CTR sealed (license required).
     pub sealed: bool,
+    /// The live window, for linear titles; `None` for VOD.
+    pub live: Option<LiveWindow>,
     /// Rungs in ascending bitrate order.
     pub rungs: Vec<RungInfo>,
 }
@@ -151,6 +214,20 @@ impl Manifest {
     #[must_use]
     pub fn segment_count(&self) -> usize {
         self.rungs.first().map_or(0, |r| r.segments.len())
+    }
+
+    /// The title's natural live publish pace: first-segment frames ×
+    /// ticks-per-frame, i.e. segments go live exactly as fast as their
+    /// content plays out. Zero only for an empty manifest. The single
+    /// source of this rule for both [`LiveOrigin`] and the fluid
+    /// simulator's live gates.
+    #[must_use]
+    pub fn natural_ticks_per_segment(&self) -> u64 {
+        self.rungs
+            .first()
+            .and_then(|r| r.segments.first())
+            .map_or(0, |s| s.frames as u64)
+            .saturating_mul(self.ticks_per_frame)
     }
 
     /// The manifest's object name for a title.
@@ -179,6 +256,12 @@ impl Manifest {
         out.push_str(&format!("title {}\n", self.title));
         out.push_str(&format!("ticks_per_frame {}\n", self.ticks_per_frame));
         out.push_str(&format!("sealed {}\n", u8::from(self.sealed)));
+        if let Some(lw) = &self.live {
+            out.push_str(&format!(
+                "live {} {} {}\n",
+                lw.generation, lw.first_seq, lw.live_seq
+            ));
+        }
         for r in &self.rungs {
             out.push_str(&format!("rung {}\n", r.target_bits_per_frame));
             for s in &r.segments {
@@ -211,6 +294,10 @@ impl Manifest {
         const MAX_TICKS_PER_FRAME: u64 = 1 << 30;
         const MAX_FRAMES: u64 = 1 << 20;
         const MAX_BYTES: u64 = 1 << 40;
+        /// Live sequence numbers multiply into publish-tick arithmetic
+        /// (`seq * frames * ticks_per_frame`); this cap keeps the
+        /// product inside `u64` even against the other two caps.
+        const MAX_SEQ: u64 = 1 << 40;
 
         let text = core::str::from_utf8(bytes).map_err(|_| LadderError::Manifest("not utf-8"))?;
         let mut lines = text.lines();
@@ -220,6 +307,7 @@ impl Manifest {
         let mut title: Option<String> = None;
         let mut ticks_per_frame: Option<u64> = None;
         let mut sealed: Option<bool> = None;
+        let mut live: Option<LiveWindow> = None;
         let mut rungs: Vec<RungInfo> = Vec::new();
         for line in lines {
             let mut words = line.split_whitespace();
@@ -255,6 +343,29 @@ impl Manifest {
                         Some("1") => Some(true),
                         _ => return Err(LadderError::Manifest("bad sealed flag")),
                     }
+                }
+                Some("live") => {
+                    if live.is_some() {
+                        return Err(LadderError::Manifest("duplicate live window"));
+                    }
+                    let mut num = |what| {
+                        words
+                            .next()
+                            .and_then(|w| w.parse::<u64>().ok())
+                            .filter(|&v| v <= MAX_SEQ)
+                            .ok_or(LadderError::Manifest(what))
+                    };
+                    let generation = num("bad live generation")?;
+                    let first_seq = num("bad live first_seq")?;
+                    let live_seq = num("bad live live_seq")?;
+                    if first_seq > live_seq {
+                        return Err(LadderError::Manifest("live window inverted"));
+                    }
+                    live = Some(LiveWindow {
+                        generation,
+                        first_seq,
+                        live_seq,
+                    });
                 }
                 Some("rung") => {
                     let target = words
@@ -321,10 +432,18 @@ impl Manifest {
         if n == 0 || rungs.iter().any(|r| r.segments.len() != n) {
             return Err(LadderError::Manifest("rung segment counts differ"));
         }
+        if let Some(lw) = &live {
+            // Entry i of every rung is sequence first_seq + i, so the
+            // advertised window must match the listed segment count.
+            if lw.len() != n as u64 {
+                return Err(LadderError::Manifest("live window/segment mismatch"));
+            }
+        }
         Ok(Self {
             title,
             ticks_per_frame,
             sealed,
+            live,
             rungs,
         })
     }
@@ -430,6 +549,7 @@ pub fn encode_ladder(
             title: title.to_string(),
             ticks_per_frame: config.ticks_per_frame,
             sealed: false,
+            live: None,
             rungs,
         },
         segments,
@@ -508,6 +628,232 @@ pub fn publish_from_fs(
         }
     }
     Ok(manifest)
+}
+
+/// Live-origin configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveOriginConfig {
+    /// Most segments kept published per rung (`u64::MAX` = infinite
+    /// DVR: nothing ever expires).
+    pub dvr_window_segments: u64,
+    /// Ticks between segment publishes. `0` derives the natural pace
+    /// from the wheel: first-segment frames × `ticks_per_frame` (i.e.
+    /// real time — a segment becomes available exactly when its content
+    /// has played out at the head end).
+    pub ticks_per_segment: u64,
+}
+
+impl Default for LiveOriginConfig {
+    /// An 8-segment DVR window publishing at the wheel's natural pace.
+    fn default() -> Self {
+        Self {
+            dvr_window_segments: 8,
+            ticks_per_segment: 0,
+        }
+    }
+}
+
+/// What one [`LiveOrigin::advance_to`] call changed on the server.
+///
+/// Edge caches subscribe to this: `published` names are the fresh
+/// live-edge objects (the thundering-herd case), `expired` names fell
+/// out of the DVR window and must be invalidated, and
+/// `manifest_updated` says the (mutable) manifest object was rewritten.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PublishDelta {
+    /// Segment objects newly published, oldest first.
+    pub published: Vec<String>,
+    /// Segment objects unpublished (DVR-window expiry), oldest first.
+    pub expired: Vec<String>,
+    /// Whether the manifest object changed (a new generation).
+    pub manifest_updated: bool,
+}
+
+/// A live/linear channel head end: publishes a pre-encoded ladder (the
+/// content *wheel* — linear channels loop their material) one segment
+/// per `ticks_per_segment` onto a [`ContentServer`], holding a rolling
+/// DVR window per rung and republishing a versioned live [`Manifest`]
+/// on every change.
+///
+/// Sequence number `seq` goes live at tick `seq * ticks_per_segment`
+/// and serves wheel segment `seq % wheel_len` on every rung, so a
+/// sealed wheel stays sealed (manifest entries carry the wheel nonce).
+/// The object lifecycle is the inverse of VOD: segments are immutable
+/// but *transient* (published once, expired once), while the manifest
+/// is a long-lived *mutable* object.
+#[derive(Debug, Clone)]
+pub struct LiveOrigin {
+    wheel: Ladder,
+    dvr: u64,
+    tps: u64,
+    /// Latest published sequence; `None` before the first advance.
+    live_seq: Option<u64>,
+    generation: u64,
+}
+
+impl LiveOrigin {
+    /// Wraps an encoded ladder as a live channel. Nothing is published
+    /// until the first [`Self::advance_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LadderError::BadLiveConfig`] for a zero DVR window or
+    /// a wheel whose derived publish pace would be zero ticks.
+    pub fn new(wheel: Ladder, config: LiveOriginConfig) -> Result<Self, LadderError> {
+        if config.dvr_window_segments == 0 {
+            return Err(LadderError::BadLiveConfig("zero DVR window"));
+        }
+        let tps = if config.ticks_per_segment > 0 {
+            config.ticks_per_segment
+        } else {
+            wheel.manifest.natural_ticks_per_segment()
+        };
+        if tps == 0 {
+            return Err(LadderError::BadLiveConfig("zero ticks per segment"));
+        }
+        Ok(Self {
+            wheel,
+            dvr: config.dvr_window_segments,
+            tps,
+            live_seq: None,
+            generation: 0,
+        })
+    }
+
+    /// Ticks between publishes (resolved, never zero).
+    #[must_use]
+    pub fn ticks_per_segment(&self) -> u64 {
+        self.tps
+    }
+
+    /// The tick at which sequence `seq` goes live.
+    #[must_use]
+    pub fn publish_tick(&self, seq: u64) -> u64 {
+        seq.saturating_mul(self.tps)
+    }
+
+    /// Latest published sequence number, if anything is live yet.
+    #[must_use]
+    pub fn live_seq(&self) -> Option<u64> {
+        self.live_seq
+    }
+
+    /// Oldest still-published sequence number.
+    #[must_use]
+    pub fn first_seq(&self) -> Option<u64> {
+        self.live_seq.map(|live| dvr_window_start(live, self.dvr))
+    }
+
+    /// Current manifest generation (bumps on every republish).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The wheel being looped.
+    #[must_use]
+    pub fn wheel(&self) -> &Ladder {
+        &self.wheel
+    }
+
+    fn segment_name(title: &str, rung: usize, seq: u64) -> String {
+        format!("{title}/r{rung}_s{seq}.ts")
+    }
+
+    /// The current windowed live manifest; `None` before the first
+    /// advance (an unstarted channel has no window to advertise).
+    #[must_use]
+    pub fn manifest(&self) -> Option<Manifest> {
+        let live = self.live_seq?;
+        let first = self.first_seq().expect("live implies first");
+        let m = &self.wheel.manifest;
+        let wheel_len = m.segment_count() as u64;
+        let rungs = m
+            .rungs
+            .iter()
+            .enumerate()
+            .map(|(ri, rung)| RungInfo {
+                target_bits_per_frame: rung.target_bits_per_frame,
+                segments: (first..=live)
+                    .map(|seq| {
+                        let src = &rung.segments[(seq % wheel_len) as usize];
+                        SegmentEntry {
+                            name: format!("r{ri}_s{seq}.ts"),
+                            bytes: src.bytes,
+                            frames: src.frames,
+                            nonce: src.nonce,
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+        Some(Manifest {
+            title: m.title.clone(),
+            ticks_per_frame: m.ticks_per_frame,
+            sealed: m.sealed,
+            live: Some(LiveWindow {
+                generation: self.generation,
+                first_seq: first,
+                live_seq: live,
+            }),
+            rungs,
+        })
+    }
+
+    /// Publishes everything due by `now_tick` onto `server`, expires
+    /// everything that left the DVR window, and republishes the
+    /// manifest when either happened. Idempotent for a given tick and
+    /// monotone across calls (a `now_tick` earlier than a previous call
+    /// publishes nothing — the channel never rewinds).
+    ///
+    /// Skip-ahead is O(window), not O(elapsed): on a large time jump
+    /// (a viewer tuning into a long-running channel) only the
+    /// sequences inside the final DVR window are materialised — the
+    /// ones in between would be born expired and are never published.
+    ///
+    /// Always call it with the *same* server: the origin assumes it is
+    /// the only writer of its objects.
+    pub fn advance_to(&mut self, server: &mut ContentServer, now_tick: u64) -> PublishDelta {
+        let due = now_tick / self.tps;
+        let mut delta = PublishDelta::default();
+        let title = self.wheel.manifest.title.clone();
+        let wheel_len = self.wheel.manifest.segment_count() as u64;
+        let old_window = self
+            .live_seq
+            .map(|live| (self.first_seq().expect("live"), live));
+        let next = self.live_seq.map_or(0, |l| l + 1);
+        if due >= next {
+            // Born-expired sequences (before the window at `due`) are
+            // skipped, not published-then-removed.
+            let start = next.max(dvr_window_start(due, self.dvr));
+            for seq in start..=due {
+                for (ri, rung) in self.wheel.segments.iter().enumerate() {
+                    let name = Self::segment_name(&title, ri, seq);
+                    server.publish(name.clone(), rung[(seq % wheel_len) as usize].clone());
+                    delta.published.push(name);
+                }
+            }
+            self.live_seq = Some(due);
+        }
+        if let (Some((old_first, old_live)), Some(new_first)) = (old_window, self.first_seq()) {
+            // Only sequences that were actually published can expire.
+            for seq in old_first..new_first.min(old_live + 1) {
+                for ri in 0..self.wheel.segments.len() {
+                    let name = Self::segment_name(&title, ri, seq);
+                    if server.remove(&name).is_some() {
+                        delta.expired.push(name);
+                    }
+                }
+            }
+        }
+        if !delta.published.is_empty() || !delta.expired.is_empty() {
+            self.generation += 1;
+            let manifest = self.manifest().expect("published implies a window");
+            server.publish(Manifest::manifest_object(&title), manifest.to_bytes());
+            delta.manifest_updated = true;
+        }
+        delta
+    }
 }
 
 #[cfg(test)]
@@ -714,6 +1060,203 @@ mod tests {
         let names = server.names();
         assert!(names.contains(&"movie/manifest".to_string()));
         assert!(names.contains(&"movie/r2_s1.ts".to_string()));
+    }
+
+    #[test]
+    fn live_origin_publishes_on_the_tick_clock() {
+        let ladder = encode_ladder("chan", &source(12), &small_config()).unwrap();
+        let n_rungs = ladder.manifest.rungs.len();
+        let mut live = LiveOrigin::new(
+            ladder,
+            LiveOriginConfig {
+                dvr_window_segments: 2,
+                ticks_per_segment: 100,
+            },
+        )
+        .unwrap();
+        assert_eq!(live.ticks_per_segment(), 100);
+        assert!(live.manifest().is_none(), "unstarted channel has no window");
+
+        let mut server = ContentServer::new();
+        // Tick 0: sequence 0 goes live, manifest appears.
+        let d0 = live.advance_to(&mut server, 0);
+        assert_eq!(d0.published.len(), n_rungs);
+        assert!(d0.expired.is_empty());
+        assert!(d0.manifest_updated);
+        assert_eq!(live.live_seq(), Some(0));
+        let m0 = Manifest::from_bytes(server.get("chan/manifest").unwrap()).unwrap();
+        assert_eq!(m0, live.manifest().unwrap());
+        let w0 = m0.live.unwrap();
+        assert_eq!((w0.first_seq, w0.live_seq), (0, 0));
+
+        // Nothing due yet: advancing within the same segment is a no-op.
+        let d_none = live.advance_to(&mut server, 99);
+        assert_eq!(d_none, PublishDelta::default());
+
+        // Tick 250: sequences 1 and 2 are due; the 2-deep DVR window
+        // expires sequence 0 on every rung.
+        let d2 = live.advance_to(&mut server, 250);
+        assert_eq!(d2.published.len(), 2 * n_rungs);
+        assert_eq!(d2.expired.len(), n_rungs);
+        assert!(d2.expired.iter().all(|n| n.contains("_s0.ts")));
+        let m2 = Manifest::from_bytes(server.get("chan/manifest").unwrap()).unwrap();
+        let w2 = m2.live.unwrap();
+        assert_eq!((w2.first_seq, w2.live_seq), (1, 2));
+        assert!(w2.generation > w0.generation, "republish bumps the version");
+        assert!(
+            server.get("chan/r0_s0.ts").is_none(),
+            "expired is unpublished"
+        );
+        assert!(server.get("chan/r0_s2.ts").is_some());
+        // Every listed segment is fetchable with the advertised size.
+        for (ri, rung) in m2.rungs.iter().enumerate() {
+            for (i, e) in rung.segments.iter().enumerate() {
+                let seq = w2.first_seq + i as u64;
+                assert_eq!(e.name, format!("r{ri}_s{seq}.ts"));
+                let obj = server.get(&m2.segment_object(ri, i)).expect("fetchable");
+                assert_eq!(obj.len(), e.bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn live_origin_loops_the_wheel_and_serves_sealed_content() {
+        let mut authority = LicenseAuthority::new(b"studio".to_vec());
+        let title_id = TitleId(5);
+        authority.register_title(title_id);
+        let mut ladder = encode_ladder("chan", &source(8), &small_config()).unwrap();
+        seal_ladder(&mut ladder, &authority, title_id);
+        let wheel_len = ladder.manifest.segment_count() as u64;
+        let wheel_bytes = ladder.segments[0][0].clone();
+        let wheel_nonce = ladder.manifest.rungs[0].segments[0].nonce;
+
+        let mut live = LiveOrigin::new(
+            ladder,
+            LiveOriginConfig {
+                dvr_window_segments: 3,
+                ticks_per_segment: 10,
+            },
+        )
+        .unwrap();
+        let mut server = ContentServer::new();
+        // Advance one full lap past the wheel: seq == wheel_len replays
+        // wheel segment 0 — same sealed bytes, same nonce in the
+        // manifest, so a license holder can still unseal it.
+        live.advance_to(&mut server, wheel_len * 10);
+        let m = live.manifest().unwrap();
+        let w = m.live.unwrap();
+        assert_eq!(w.live_seq, wheel_len);
+        assert!(m.sealed);
+        let idx = (wheel_len - w.first_seq) as usize;
+        assert_eq!(
+            m.rungs[0].segments[idx].nonce, wheel_nonce,
+            "looped entries carry the wheel nonce"
+        );
+        assert_eq!(
+            server.get(&m.segment_object(0, idx)).unwrap(),
+            &wheel_bytes[..]
+        );
+    }
+
+    #[test]
+    fn live_origin_skips_ahead_in_window_time_not_elapsed_time() {
+        let ladder = encode_ladder("chan", &source(12), &small_config()).unwrap();
+        let n_rungs = ladder.manifest.rungs.len();
+        let mut live = LiveOrigin::new(
+            ladder,
+            LiveOriginConfig {
+                dvr_window_segments: 3,
+                ticks_per_segment: 10,
+            },
+        )
+        .unwrap();
+        let mut server = ContentServer::new();
+        live.advance_to(&mut server, 0); // seq 0 live
+                                         // A viewer tunes in 10M ticks later: only the 3-segment window
+                                         // is materialised (not a million intermediate sequences), and
+                                         // the previously published sequence 0 expires.
+        let d = live.advance_to(&mut server, 10_000_000);
+        assert_eq!(live.live_seq(), Some(1_000_000));
+        assert_eq!(
+            d.published.len(),
+            3 * n_rungs,
+            "window only, not O(elapsed)"
+        );
+        assert_eq!(d.expired.len(), n_rungs, "only the really-published seq 0");
+        assert!(d.expired.iter().all(|n| n.contains("_s0.ts")));
+        // Server holds exactly the window plus the manifest.
+        assert_eq!(server.len(), 3 * n_rungs + 1);
+        let m = live.manifest().unwrap();
+        let w = m.live.unwrap();
+        assert_eq!((w.first_seq, w.live_seq), (999_998, 1_000_000));
+    }
+
+    #[test]
+    fn live_origin_rejects_degenerate_configs() {
+        let ladder = encode_ladder("chan", &source(8), &small_config()).unwrap();
+        assert_eq!(
+            LiveOrigin::new(
+                ladder.clone(),
+                LiveOriginConfig {
+                    dvr_window_segments: 0,
+                    ticks_per_segment: 10,
+                },
+            )
+            .unwrap_err(),
+            LadderError::BadLiveConfig("zero DVR window")
+        );
+        // Default pace derives from the wheel: gop 4 frames x 100 tpf.
+        let live = LiveOrigin::new(ladder, LiveOriginConfig::default()).unwrap();
+        assert_eq!(live.ticks_per_segment(), 400);
+    }
+
+    #[test]
+    fn live_manifest_round_trips_and_is_validated() {
+        let ladder = encode_ladder("chan", &source(12), &small_config()).unwrap();
+        let mut live = LiveOrigin::new(
+            ladder,
+            LiveOriginConfig {
+                dvr_window_segments: 2,
+                ticks_per_segment: 50,
+            },
+        )
+        .unwrap();
+        let mut server = ContentServer::new();
+        live.advance_to(&mut server, 120);
+        let m = live.manifest().unwrap();
+        let back = Manifest::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(back, m);
+
+        // An inverted window is rejected.
+        let mut bad = m.clone();
+        bad.live = Some(LiveWindow {
+            generation: 1,
+            first_seq: 9,
+            live_seq: 3,
+        });
+        assert_eq!(
+            Manifest::from_bytes(&bad.to_bytes()).unwrap_err(),
+            LadderError::Manifest("live window inverted")
+        );
+        // A window that disagrees with the listed segment count is
+        // rejected (entry i must be sequence first_seq + i).
+        let mut wide = m.clone();
+        wide.live = Some(LiveWindow {
+            generation: 1,
+            first_seq: 0,
+            live_seq: 40,
+        });
+        assert_eq!(
+            Manifest::from_bytes(&wide.to_bytes()).unwrap_err(),
+            LadderError::Manifest("live window/segment mismatch")
+        );
+        // Duplicate live directives are rejected.
+        let mut text = String::from_utf8(m.to_bytes()).unwrap();
+        text.push_str("live 7 1 2\n");
+        assert_eq!(
+            Manifest::from_bytes(text.as_bytes()).unwrap_err(),
+            LadderError::Manifest("duplicate live window")
+        );
     }
 
     #[test]

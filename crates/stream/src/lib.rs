@@ -13,20 +13,52 @@
 //! * [`ladder`] — the ABR ladder: one source encoded at several rate
 //!   targets via `video::rate`, closed-GOP segments, a plain-text
 //!   [`ladder::Manifest`], optional XTEA-CTR sealing (§6), a `mediafs`
-//!   segment store, and content-server publishing.
+//!   segment store, content-server publishing — and the live/linear
+//!   head end, [`ladder::LiveOrigin`], which publishes a pre-encoded
+//!   wheel one segment per tick interval under a rolling DVR window
+//!   and a versioned live manifest.
 //! * [`session`] — a viewer: manifest/license fetch, segment fetches
 //!   over `netstack::fetch`/`tcplite` across lossy links, a playout
 //!   buffer, and a throughput-driven ABR controller; reports startup
-//!   delay, rebuffer events, and rung switches.
+//!   delay, rebuffer events, and rung switches. Live viewers
+//!   ([`session::run_live_session`]) additionally refresh the manifest,
+//!   stall on staleness, and skip content lost to DVR expiry.
 //! * [`serve`] — a deterministic fluid simulator interleaving thousands
 //!   of concurrent sessions against one segment server, measuring the
-//!   capacity knee where per-session quality starts to collapse.
+//!   capacity knee where per-session quality starts to collapse. Load
+//!   is a *process*: Poisson-style arrivals/departures and flash-crowd
+//!   ramps ([`serve::ChurnConfig`]), plus live publish/expiry gates
+//!   ([`serve::LiveConfig`]), with the static VOD population as the
+//!   exact zero-churn special case.
 //! * [`edge`] — the CDN-style edge-cache tier: N edges with bounded LRU
 //!   segment caches and request coalescing in front of the origin, so
 //!   serving capacity (and the knee) scales with edge count instead of
 //!   being pinned to one uplink; live sessions fetch through an edge
 //!   transparently, and the fluid simulator shards load across the
 //!   tier.
+//!
+//! # VOD vs live object lifecycles
+//!
+//! The two workload classes stress opposite ends of the cache:
+//!
+//! * **VOD**: every object (manifest, license, segment) is *immutable
+//!   and permanent*. The whole ladder is published before the first
+//!   viewer arrives; an edge may cache anything forever, so hit rate is
+//!   bounded only by cache capacity ([`EdgeConfig`]'s
+//!   `cache_capacity_bytes` is the knob that matters) and prewarming
+//!   ([`EdgeTierConfig::prewarm`]) trivially yields total origin
+//!   offload.
+//! * **Live**: segments are *immutable but transient* — published once
+//!   at the live edge (where every viewer wants them at the same
+//!   instant, the thundering-herd case [`edge::FillTable`] coalesces),
+//!   then expired when they leave the DVR window (the origin's purge,
+//!   surfaced to caches as invalidations) — while the manifest is a
+//!   long-lived *mutable* object that must be re-validated on a TTL
+//!   (`EdgeConfig::mutable_ttl_ticks`, served stale-if-error through
+//!   origin outages). Prewarming is mostly meaningless for live; what
+//!   matters is coalescing one fill per newly published segment and a
+//!   TTL long enough to absorb manifest polling but short enough to
+//!   keep viewers near the live edge.
 //!
 //! # Example
 //!
@@ -58,12 +90,20 @@ pub mod serve;
 pub mod session;
 pub mod ts;
 
-pub use edge::{EdgeCache, EdgeConfig, EdgeStats, EdgeTierConfig, Lru, Sharding};
-pub use ladder::{encode_ladder, publish_ladder, seal_ladder, Ladder, LadderConfig, Manifest};
+pub use edge::{EdgeCache, EdgeConfig, EdgeStats, EdgeTierConfig, FillTable, Lru, Sharding};
+pub use ladder::{
+    encode_ladder, publish_ladder, seal_ladder, Ladder, LadderConfig, LiveOrigin, LiveOriginConfig,
+    LiveWindow, Manifest, PublishDelta,
+};
 pub use segment::{demux_segment, mux_segment, mux_segment_wire, Segment};
 pub use serve::{
-    capacity_curve, capacity_knee, edge_capacity_curve, edge_capacity_knee, simulate_edge_load,
-    simulate_load, EdgeLoadReport, LoadConfig, LoadReport, ServerConfig,
+    capacity_curve, capacity_knee, edge_capacity_curve, edge_capacity_knee,
+    live_edge_capacity_curve, live_edge_capacity_knee, simulate_edge_load, simulate_live_edge_load,
+    simulate_live_load, simulate_load, ChurnConfig, EdgeLoadReport, LiveConfig, LiveEdgeLoadReport,
+    LiveLoadReport, LiveStats, LoadConfig, LoadReport, ServerConfig,
 };
-pub use session::{run_session, run_session_via_edge, AbrController, SessionConfig, SessionReport};
+pub use session::{
+    run_live_session, run_live_session_via_edge, run_session, run_session_via_edge, AbrController,
+    JoinMode, LiveSessionConfig, LiveSessionReport, SessionConfig, SessionReport,
+};
 pub use ts::{TsDemux, TsMux, TsPacket, TS_PACKET_LEN};

@@ -21,9 +21,9 @@
 
 use signal::rng::Xoroshiro128;
 
-use crate::edge::{splitmix64, EdgeStats, EdgeTierConfig, Lru, Sharding};
+use crate::edge::{splitmix64, EdgeStats, EdgeTierConfig, FillTable, Lru, Sharding};
 use crate::ladder::Manifest;
-use crate::session::AbrController;
+use crate::session::{AbrController, JoinMode};
 
 /// Segment-server capacity model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,6 +41,87 @@ impl Default for ServerConfig {
         Self {
             capacity_bytes_per_tick: 4_000.0,
             per_session_bytes_per_tick: 100.0,
+        }
+    }
+}
+
+/// Session churn: load as a *process* rather than a constant
+/// population. On top of the base `LoadConfig::sessions` (which still
+/// arrive uniformly over the stagger window), churn adds
+/// Poisson-style extra arrivals — exponential inter-arrival gaps drawn
+/// from the load seed — each optionally departing after an exponential
+/// watch time, plus a flash-crowd ramp: a burst of extra viewers
+/// arriving over a short window (the 10x spike the edge tier exists to
+/// absorb). All draws are seed-deterministic, and the all-zero default
+/// is *exactly* the static population: zero churn draws nothing from
+/// the RNG, so the VOD reports are bit-identical to the pre-churn
+/// engine (equality-pinned in the tests).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnConfig {
+    /// Extra sessions arriving as a Poisson-style process (0 disables).
+    pub churn_sessions: usize,
+    /// Mean ticks between churn arrivals.
+    pub mean_interarrival_ticks: f64,
+    /// Mean ticks a churn viewer watches before leaving (0 = watches
+    /// to the end like everyone else).
+    pub mean_watch_ticks: f64,
+    /// Flash crowd: this many extra sessions... (0 disables)
+    pub flash_sessions: usize,
+    /// ...arrive starting at this tick...
+    pub flash_at_tick: u64,
+    /// ...spread uniformly over this ramp (0 = all at once).
+    pub flash_ramp_ticks: u64,
+}
+
+impl Default for ChurnConfig {
+    /// No churn: the static population, bit-identical to the
+    /// pre-churn engine.
+    fn default() -> Self {
+        Self {
+            churn_sessions: 0,
+            mean_interarrival_ticks: 0.0,
+            mean_watch_ticks: 0.0,
+            flash_sessions: 0,
+            flash_at_tick: 0,
+            flash_ramp_ticks: 0,
+        }
+    }
+}
+
+/// Live/linear parameters for the fluid simulator. The simulated event
+/// is the manifest's segment list published one sequence per
+/// `ticks_per_segment`: sequence `s` goes live at tick
+/// `(s - head_start) * ticks_per_segment` (sequences at or below
+/// `head_start_segments` are live at tick 0 — the channel has already
+/// been running), and at most `dvr_window_segments` sequences stay
+/// fetchable. Sessions join at the live edge or the DVR start and a
+/// too-slow viewer whose next segment expired skips forward.
+///
+/// The VOD simulators are the degenerate case: a head start covering
+/// the whole manifest plus an infinite window makes every gate
+/// vacuous, which the tests pin as *exact* report equality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LiveConfig {
+    /// Ticks between sequence publishes (0 derives the natural pace:
+    /// first-segment frames × `ticks_per_frame`).
+    pub ticks_per_segment: u64,
+    /// DVR depth in segments (`u64::MAX` = infinite).
+    pub dvr_window_segments: u64,
+    /// Sequences already live at tick 0.
+    pub head_start_segments: u64,
+    /// Where sessions enter the stream.
+    pub join: JoinMode,
+}
+
+impl Default for LiveConfig {
+    /// Natural pace, 8-segment DVR, a fresh channel (only sequence 0
+    /// live at tick 0), sessions joining at the live edge.
+    fn default() -> Self {
+        Self {
+            ticks_per_segment: 0,
+            dvr_window_segments: 8,
+            head_start_segments: 0,
+            join: JoinMode::LiveEdge,
         }
     }
 }
@@ -65,11 +146,22 @@ pub struct LoadConfig {
     pub tick_quantum: u64,
     /// Hard stop.
     pub max_ticks: u64,
+    /// Session churn on top of the base population.
+    pub churn: ChurnConfig,
+}
+
+impl LoadConfig {
+    /// Total sessions this load creates: the base population plus
+    /// every churn and flash-crowd extra. Reports denominate on this.
+    #[must_use]
+    pub fn population(&self) -> usize {
+        self.sessions + self.churn.churn_sessions + self.churn.flash_sessions
+    }
 }
 
 impl Default for LoadConfig {
     /// 100 sessions arriving over 1,000 ticks, 2-segment startup buffer,
-    /// quantum 4, 10M-tick ceiling.
+    /// quantum 4, 10M-tick ceiling, no churn.
     fn default() -> Self {
         Self {
             sessions: 100,
@@ -80,6 +172,7 @@ impl Default for LoadConfig {
             ewma_alpha: 0.4,
             tick_quantum: 4,
             max_ticks: 10_000_000,
+            churn: ChurnConfig::default(),
         }
     }
 }
@@ -88,6 +181,8 @@ impl Default for LoadConfig {
 #[derive(Debug, Clone)]
 struct SimSession {
     start_tick: u64,
+    /// Early departure (churn), if scheduled.
+    depart_at: Option<u64>,
     edge: usize,
     abr: AbrController,
     seg: usize,
@@ -97,7 +192,13 @@ struct SimSession {
     buffer_ticks: f64,
     fetched: usize,
     started: bool,
+    /// Segments to buffer before this session starts playing (the
+    /// global knob clamped to what remains after its join point).
+    startup_after: usize,
     waiting: bool,
+    /// Next segment chosen but not yet requested (live: not published
+    /// yet). Never set in VOD mode.
+    pending_request: bool,
     playing: bool,
     in_rebuffer: bool,
     startup_ticks: u64,
@@ -105,7 +206,13 @@ struct SimSession {
     rung_switches: u32,
     rung_sum: u64,
     delivered_bits: u64,
+    /// Sum/count/max of per-segment live latency (completion tick
+    /// minus publish tick); all zero in VOD mode.
+    latency_sum: u64,
+    latency_max: u64,
     done_at: Option<u64>,
+    /// Reached the end of the title/event (as opposed to departing).
+    completed: bool,
 }
 
 /// Aggregate result of one load level.
@@ -131,6 +238,9 @@ pub struct LoadReport {
     pub mean_rung: f64,
     /// Total rung switches across sessions.
     pub rung_switches: u64,
+    /// Sessions that left early (churn departures) instead of playing
+    /// to the end.
+    pub departed: usize,
 }
 
 impl LoadReport {
@@ -148,8 +258,45 @@ impl LoadReport {
             rebuffer_fraction: 0.0,
             mean_rung: 0.0,
             rung_switches: 0,
+            departed: 0,
         }
     }
+}
+
+/// What the live gates observed during one fluid run (all zero for a
+/// VOD run).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LiveStats {
+    /// Mean live latency over every segment completion: completion
+    /// tick minus the segment's publish tick (how far behind the live
+    /// edge delivery ran).
+    pub mean_latency_ticks: f64,
+    /// Worst single-segment live latency.
+    pub max_latency_ticks: u64,
+    /// Ticks sessions spent blocked on a not-yet-published segment
+    /// (live-edge pacing), summed across sessions.
+    pub publish_wait_ticks: u64,
+    /// Segments skipped because they fell out of the DVR window before
+    /// a (too slow) session could fetch them.
+    pub window_skips: u64,
+}
+
+/// Result of one live load level against a single origin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveLoadReport {
+    /// The session-side aggregate, directly comparable to VOD curves.
+    pub load: LoadReport,
+    /// Live-specific aggregates.
+    pub live: LiveStats,
+}
+
+/// Result of one live load level routed through an edge tier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveEdgeLoadReport {
+    /// The edge-tier report (session aggregate + per-edge stats).
+    pub edge: EdgeLoadReport,
+    /// Live-specific aggregates.
+    pub live: LiveStats,
 }
 
 /// Per-edge entry in an [`EdgeLoadReport`].
@@ -177,8 +324,51 @@ pub struct EdgeLoadReport {
     pub origin_offload: f64,
 }
 
+/// Resolved live gates for the fluid engine.
+#[derive(Debug, Clone, Copy)]
+struct LiveSim {
+    tps: u64,
+    dvr: u64,
+    head_start: u64,
+    join: JoinMode,
+}
+
+impl LiveSim {
+    fn resolve(live: &LiveConfig, manifest: &Manifest) -> Self {
+        let tps = if live.ticks_per_segment > 0 {
+            live.ticks_per_segment
+        } else {
+            // The same pace rule LiveOrigin resolves, so the fluid
+            // gates and the transport-level live session agree.
+            manifest.natural_ticks_per_segment()
+        };
+        Self {
+            tps,
+            dvr: live.dvr_window_segments,
+            head_start: live.head_start_segments,
+            join: live.join,
+        }
+    }
+
+    /// Newest sequence live at `now` (capped at the event's last).
+    fn live_seq(&self, now: u64, n_segments: usize) -> u64 {
+        (self.head_start.saturating_add(now / self.tps)).min(n_segments as u64 - 1)
+    }
+
+    /// Oldest sequence still in the DVR window at `now`.
+    fn first_seq(&self, now: u64, n_segments: usize) -> u64 {
+        crate::ladder::dvr_window_start(self.live_seq(now, n_segments), self.dvr)
+    }
+
+    /// The tick sequence `seq` went (or will go) live.
+    fn publish_tick(&self, seq: u64) -> u64 {
+        seq.saturating_sub(self.head_start).saturating_mul(self.tps)
+    }
+}
+
 /// Internal engine parameters: the single origin is the 1-edge,
-/// everything-prewarmed, nothing-to-fill special case.
+/// everything-prewarmed, nothing-to-fill special case, and VOD is the
+/// no-live-gates special case.
 struct TierParams {
     edges: usize,
     cache_capacity_bytes: usize,
@@ -188,6 +378,7 @@ struct TierParams {
     sharding: Sharding,
     prewarm: bool,
     origin_down_after: Option<u64>,
+    live: Option<LiveSim>,
 }
 
 impl TierParams {
@@ -201,6 +392,7 @@ impl TierParams {
             sharding: Sharding::RoundRobin,
             prewarm: true,
             origin_down_after: None,
+            live: None,
         }
     }
 
@@ -214,26 +406,34 @@ impl TierParams {
             sharding: t.sharding,
             prewarm: t.prewarm,
             origin_down_after: t.origin_down_after,
+            live: None,
         }
+    }
+
+    fn with_live(mut self, live: &LiveConfig, manifest: &Manifest) -> Self {
+        self.live = Some(LiveSim::resolve(live, manifest));
+        self
     }
 
     /// `true` when no session could ever make progress.
     fn degenerate(&self, manifest: &Manifest, load: &LoadConfig) -> bool {
-        load.sessions == 0
+        load.population() == 0
             || manifest.segment_count() == 0
             || self.edges == 0
             || self.edge_capacity.is_nan()
             || self.edge_capacity <= 0.0
             || self.per_session.is_nan()
             || self.per_session <= 0.0
+            || self.live.is_some_and(|l| l.tps == 0 || l.dvr == 0)
     }
 }
 
-/// One simulated edge: an LRU over `(rung, seg)` keys plus the set of
-/// in-flight origin fills (keyed so concurrent misses coalesce).
+/// One simulated edge: an LRU over `(rung, seq)` keys plus the
+/// coalescing table of in-flight origin fills (fluid segments are
+/// immutable once published, so every fill is generation 0).
 struct SimEdge {
     lru: Lru<(usize, usize)>,
-    fills: std::collections::BTreeMap<(usize, usize), f64>,
+    fills: FillTable<(usize, usize), f64>,
     stats: EdgeStats,
     assigned: usize,
 }
@@ -252,31 +452,39 @@ impl SimEdge {
         if self.lru.touch(&key) {
             self.stats.hits += 1;
             Req::Hit
-        } else if self.fills.contains_key(&key) {
+        } else if self.fills.request(key, 0, || bytes) {
+            self.stats.misses += 1;
+            Req::Wait(true)
+        } else {
             self.stats.coalesced += 1;
             Req::Wait(false)
-        } else {
-            self.stats.misses += 1;
-            self.fills.insert(key, bytes);
-            Req::Wait(true)
         }
     }
 }
 
-/// The shared fluid engine. Returns the sessions, the edges, and the
-/// final simulation tick.
+/// One exponential(mean) draw in ticks (0 for a disabled mean).
+fn exp_ticks(rng: &mut Xoroshiro128, mean: f64) -> u64 {
+    if !mean.is_finite() || mean <= 0.0 {
+        return 0;
+    }
+    // 1 - u is in (0, 1], so the log is finite and non-positive.
+    (-mean * (1.0 - rng.next_f64()).ln()).round() as u64
+}
+
+/// The shared fluid engine. Returns the sessions, the edges, the final
+/// simulation tick, and the live-gate aggregates (zero for VOD).
 fn run_fluid(
     manifest: &Manifest,
     load: &LoadConfig,
     p: &TierParams,
-) -> (Vec<SimSession>, Vec<SimEdge>, u64) {
+) -> (Vec<SimSession>, Vec<SimEdge>, u64, LiveStats) {
     let n_segments = manifest.segment_count();
     let q = load.tick_quantum.max(1);
 
     let mut edges: Vec<SimEdge> = (0..p.edges)
         .map(|_| SimEdge {
             lru: Lru::new(p.cache_capacity_bytes),
-            fills: std::collections::BTreeMap::new(),
+            fills: FillTable::new(),
             stats: EdgeStats::default(),
             assigned: 0,
         })
@@ -292,26 +500,53 @@ fn run_fluid(
         }
     }
 
+    // Arrival/departure schedule. The base population draws exactly as
+    // the pre-churn engine did (zero churn therefore reproduces it
+    // bit-identically); churn and flash arrivals draw afterwards.
     let mut rng = Xoroshiro128::new(load.seed);
-    let mut sessions: Vec<SimSession> = (0..load.sessions)
-        .map(|i| {
+    let c = load.churn;
+    let mut schedule: Vec<(u64, Option<u64>)> = (0..load.sessions)
+        .map(|_| (rng.below(load.stagger_ticks + 1), None))
+        .collect();
+    let mut churn_clock = 0u64;
+    for _ in 0..c.churn_sessions {
+        churn_clock = churn_clock.saturating_add(exp_ticks(&mut rng, c.mean_interarrival_ticks));
+        let depart = (c.mean_watch_ticks > 0.0)
+            .then(|| churn_clock + exp_ticks(&mut rng, c.mean_watch_ticks).max(1));
+        schedule.push((churn_clock, depart));
+    }
+    for _ in 0..c.flash_sessions {
+        let at = c.flash_at_tick + rng.below(c.flash_ramp_ticks + 1);
+        schedule.push((at, None));
+    }
+
+    let mut sessions: Vec<SimSession> = schedule
+        .into_iter()
+        .enumerate()
+        .map(|(i, (start_tick, depart_at))| {
             let edge = match p.sharding {
                 Sharding::RoundRobin => i % p.edges,
                 Sharding::Hash => (splitmix64(load.seed ^ i as u64) % p.edges as u64) as usize,
             };
-            let start_tick = rng.below(load.stagger_ticks + 1);
+            let join_seq = p.live.map_or(0, |l| match l.join {
+                JoinMode::LiveEdge => l.live_seq(start_tick, n_segments),
+                JoinMode::DvrStart => l.first_seq(start_tick, n_segments),
+            }) as usize;
             SimSession {
                 start_tick,
+                depart_at,
                 edge,
                 abr: AbrController::new(load.ewma_alpha, load.safety),
-                seg: 0,
+                seg: join_seq,
                 rung: 0,
                 remaining_bytes: 0.0,
                 fetch_start: start_tick,
                 buffer_ticks: 0.0,
                 fetched: 0,
                 started: false,
+                startup_after: load.startup_segments.clamp(1, n_segments - join_seq),
                 waiting: false,
+                pending_request: false,
                 playing: false,
                 in_rebuffer: false,
                 startup_ticks: 0,
@@ -319,20 +554,32 @@ fn run_fluid(
                 rung_switches: 0,
                 rung_sum: 0,
                 delivered_bits: 0,
+                latency_sum: 0,
+                latency_max: 0,
                 done_at: None,
+                completed: false,
             }
         })
         .collect();
     for s in &sessions {
         edges[s.edge].assigned += 1;
     }
-    let startup_after = load.startup_segments.clamp(1, n_segments);
     let all_arrived_by = sessions.iter().map(|s| s.start_tick).max().unwrap_or(0);
 
     let mut now = 0u64;
-    let mut live = load.sessions;
+    let mut alive = sessions.len();
     let mut downloading = vec![0usize; p.edges];
-    while live > 0 && now < load.max_ticks {
+    let mut last_first_seq = 0u64;
+    let mut publish_wait_ticks = 0u64;
+    let mut window_skips = 0u64;
+    while alive > 0 && now < load.max_ticks {
+        // Churn departures happen on the quantum they fall due.
+        for s in sessions.iter_mut() {
+            if s.done_at.is_none() && s.depart_at.is_some_and(|d| d <= now) {
+                s.done_at = Some(now);
+                alive -= 1;
+            }
+        }
         let arrived = sessions
             .iter()
             .filter(|s| s.done_at.is_none() && s.start_tick <= now)
@@ -343,6 +590,23 @@ fn run_fluid(
         }
         let step = q as f64;
         let mut progressed = false;
+
+        // Live DVR-window maintenance: segments that left the window
+        // are invalidated from every edge cache (the origin's purge,
+        // not capacity pressure — eviction counters are untouched).
+        if let Some(l) = p.live {
+            let first = l.first_seq(now, n_segments);
+            for seq in last_first_seq..first {
+                for ri in 0..manifest.rungs.len() {
+                    for e in edges.iter_mut() {
+                        if e.lru.remove(&(ri, seq as usize)).is_some() {
+                            e.stats.invalidations += 1;
+                        }
+                    }
+                }
+            }
+            last_first_seq = last_first_seq.max(first);
+        }
 
         // Origin fills: every in-flight fill shares the origin uplink
         // max-min-equally; an outage freezes them all. Fills land
@@ -358,11 +622,11 @@ fn run_fluid(
                     .iter_mut()
                     .filter_map(|(k, rem)| {
                         *rem -= fill_rate * step;
-                        (*rem <= 0.0).then_some(*k)
+                        (*rem <= 0.0).then_some(k.0)
                     })
                     .collect();
                 for k in done {
-                    e.fills.remove(&k);
+                    e.fills.complete(&k, 0);
                     let bytes = manifest.rungs[k.0].segments[k.1].bytes;
                     e.stats.origin_bytes += bytes as u64;
                     e.lru.insert(k, bytes);
@@ -375,13 +639,29 @@ fn run_fluid(
         // Per-edge downlink shares: a waiter whose object just landed
         // will download this quantum, so it counts — otherwise a burst
         // of waking waiters would each claim a full share and
-        // oversubscribe the edge link.
+        // oversubscribe the edge link. A publish-gated session counts
+        // only if its segment is now live *and* already cached (it
+        // will request and hit below).
         downloading.iter_mut().for_each(|d| *d = 0);
         for s in &sessions {
-            if s.done_at.is_none()
-                && s.start_tick <= now
-                && (!s.waiting || edges[s.edge].lru.contains(&(s.rung, s.seg)))
-            {
+            if s.done_at.is_some() || s.start_tick > now {
+                continue;
+            }
+            let will_download = if s.pending_request {
+                let l = p.live.expect("pending only in live mode");
+                let rung = if s.fetched == 0 {
+                    0
+                } else {
+                    s.abr.pick(manifest, s.seg, None)
+                };
+                s.seg as u64 <= l.live_seq(now, n_segments)
+                    && edges[s.edge].lru.contains(&(rung, s.seg))
+            } else if s.waiting {
+                edges[s.edge].lru.contains(&(s.rung, s.seg))
+            } else {
+                true
+            };
+            if will_download {
                 downloading[s.edge] += 1;
             }
         }
@@ -393,17 +673,24 @@ fn run_fluid(
             let e = &mut edges[s.edge];
             if !s.started {
                 s.started = true;
-                let bytes = manifest.rungs[0].segments[0].bytes as f64;
-                match e.request((0, 0), bytes) {
-                    Req::Hit => s.remaining_bytes += bytes,
-                    Req::Wait(new_fill) => {
-                        s.waiting = true;
-                        progressed |= new_fill;
+                let live_now = p
+                    .live
+                    .map_or(true, |l| s.seg as u64 <= l.live_seq(now, n_segments));
+                if live_now {
+                    let bytes = manifest.rungs[0].segments[s.seg].bytes as f64;
+                    match e.request((0, s.seg), bytes) {
+                        Req::Hit => s.remaining_bytes += bytes,
+                        Req::Wait(new_fill) => {
+                            s.waiting = true;
+                            progressed |= new_fill;
+                        }
                     }
+                } else {
+                    s.pending_request = true;
                 }
             }
             // Playout drains while the next segment downloads (or while
-            // the session waits on a fill).
+            // the session waits on a fill or the live edge).
             if s.playing {
                 s.buffer_ticks -= step;
                 if s.buffer_ticks < 0.0 {
@@ -412,6 +699,42 @@ fn run_fluid(
                         s.rebuffer_events += 1;
                     }
                     s.buffer_ticks = 0.0;
+                }
+            }
+            // A segment chosen but not yet requested: the live edge
+            // had not published it. Re-check the window now.
+            if s.pending_request {
+                let l = p.live.expect("pending only in live mode");
+                let first = l.first_seq(now, n_segments) as usize;
+                if s.seg < first {
+                    // Too slow: the segment expired out of the DVR
+                    // window before we ever asked. Skip forward.
+                    window_skips += (first - s.seg) as u64;
+                    s.seg = first;
+                }
+                if s.seg as u64 <= l.live_seq(now, n_segments) {
+                    s.pending_request = false;
+                    let rung = if s.fetched == 0 {
+                        0
+                    } else {
+                        s.abr.pick(manifest, s.seg, None)
+                    };
+                    if s.fetched > 0 && rung != s.rung {
+                        s.rung_switches += 1;
+                    }
+                    s.rung = rung;
+                    s.fetch_start = now;
+                    let bytes = manifest.rungs[rung].segments[s.seg].bytes as f64;
+                    match e.request((rung, s.seg), bytes) {
+                        Req::Hit => s.remaining_bytes += bytes,
+                        Req::Wait(new_fill) => {
+                            s.waiting = true;
+                            progressed |= new_fill;
+                        }
+                    }
+                } else {
+                    publish_wait_ticks += q;
+                    continue;
                 }
             }
             if s.waiting {
@@ -425,11 +748,11 @@ fn run_fluid(
                     s.waiting = false;
                     s.remaining_bytes += bytes;
                 } else {
-                    if !e.fills.contains_key(&key) {
+                    if !e.fills.contains(&key, 0) {
                         // The filled object was evicted before this
                         // session could download it: re-request.
                         e.stats.misses += 1;
-                        e.fills.insert(key, bytes);
+                        e.fills.request(key, 0, || bytes);
                         progressed = true;
                     }
                     continue;
@@ -452,15 +775,38 @@ fn run_fluid(
             s.in_rebuffer = false;
             s.fetched += 1;
             e.stats.served_bytes += entry.bytes as u64;
-            if !s.playing && s.fetched >= startup_after {
+            if let Some(l) = p.live {
+                let lat = end.saturating_sub(l.publish_tick(s.seg as u64));
+                s.latency_sum += lat;
+                s.latency_max = s.latency_max.max(lat);
+            }
+            if !s.playing && s.fetched >= s.startup_after {
                 s.playing = true;
                 s.startup_ticks = end - s.start_tick;
             }
             s.seg += 1;
             if s.seg == n_segments {
                 s.done_at = Some(end);
-                live -= 1;
+                s.completed = true;
+                alive -= 1;
                 continue;
+            }
+            // Live gates for the next segment, evaluated at the
+            // completion tick (the same tick the next quantum sees).
+            if let Some(l) = p.live {
+                let first = l.first_seq(end, n_segments) as usize;
+                if s.seg < first {
+                    window_skips += (first - s.seg) as u64;
+                    s.seg = first;
+                }
+                if s.seg as u64 > l.live_seq(end, n_segments) {
+                    // Caught up with the live edge: wait for the next
+                    // publish, discarding the download overshoot (the
+                    // link idles — pacing, not congestion).
+                    s.pending_request = true;
+                    s.remaining_bytes = 0.0;
+                    continue;
+                }
             }
             let next_rung = s.abr.pick(manifest, s.seg, None);
             if next_rung != s.rung {
@@ -483,12 +829,36 @@ fn run_fluid(
         now += q;
         // Stasis: every arrival has happened and a whole quantum passed
         // with no byte moved anywhere (e.g. an origin outage with cold
-        // caches) — the state can never change again.
+        // caches) — and no publish or departure is still due, so the
+        // state can never change again.
         if !progressed && now > all_arrived_by {
-            break;
+            let publishes_due = p
+                .live
+                .is_some_and(|l| l.live_seq(now, n_segments) < n_segments as u64 - 1);
+            // A pending session will request (and progress) once its
+            // segment publishes — including the final one, which may
+            // have gone live this very quantum without being consumed
+            // yet.
+            let waiters_due = sessions
+                .iter()
+                .any(|s| s.done_at.is_none() && s.start_tick <= now && s.pending_request);
+            let departures_due = sessions
+                .iter()
+                .any(|s| s.done_at.is_none() && s.depart_at.is_some_and(|d| d > now));
+            if !publishes_due && !waiters_due && !departures_due {
+                break;
+            }
         }
     }
-    (sessions, edges, now)
+    let fetched_total: u64 = sessions.iter().map(|s| s.fetched as u64).sum();
+    let latency_sum: u64 = sessions.iter().map(|s| s.latency_sum).sum();
+    let live_stats = LiveStats {
+        mean_latency_ticks: latency_sum as f64 / fetched_total.max(1) as f64,
+        max_latency_ticks: sessions.iter().map(|s| s.latency_max).max().unwrap_or(0),
+        publish_wait_ticks,
+        window_skips,
+    };
+    (sessions, edges, now, live_stats)
 }
 
 /// Folds finished sessions into the aggregate report.
@@ -499,7 +869,11 @@ fn finish(sessions: &[SimSession], n_sessions: usize, now: u64) -> LoadReport {
         .max()
         .unwrap_or(now)
         .max(1);
-    let completed = sessions.iter().filter(|s| s.done_at.is_some()).count();
+    let completed = sessions.iter().filter(|s| s.completed).count();
+    let departed = sessions
+        .iter()
+        .filter(|s| s.done_at.is_some() && !s.completed)
+        .count();
     let total_bits: u64 = sessions.iter().map(|s| s.delivered_bits).sum();
     let mean_session_rate = sessions
         .iter()
@@ -529,6 +903,7 @@ fn finish(sessions: &[SimSession], n_sessions: usize, now: u64) -> LoadReport {
         rebuffer_fraction: rebuffer_sessions as f64 / n_sessions.max(1) as f64,
         mean_rung: rung_sum as f64 / fetched_total.max(1) as f64,
         rung_switches: sessions.iter().map(|s| u64::from(s.rung_switches)).sum(),
+        departed,
     }
 }
 
@@ -542,10 +917,11 @@ fn finish(sessions: &[SimSession], n_sessions: usize, now: u64) -> LoadReport {
 pub fn simulate_load(manifest: &Manifest, server: &ServerConfig, load: &LoadConfig) -> LoadReport {
     let p = TierParams::single_origin(server);
     if p.degenerate(manifest, load) {
-        return LoadReport::degenerate(load.sessions);
+        return LoadReport::degenerate(load.population());
     }
-    let (sessions, _, now) = run_fluid(manifest, load, &p);
-    finish(&sessions, load.sessions, now)
+    let (sessions, _, now, _) = run_fluid(manifest, load, &p);
+    let n = sessions.len();
+    finish(&sessions, n, now)
 }
 
 /// Runs `load.sessions` concurrent viewers sharded across an edge tier.
@@ -560,17 +936,75 @@ pub fn simulate_edge_load(
     tier: &EdgeTierConfig,
     load: &LoadConfig,
 ) -> EdgeLoadReport {
-    let p = TierParams::tier(tier);
+    run_edge(manifest, load, TierParams::tier(tier)).0
+}
+
+/// Runs `load` as a *live* audience against one origin server: the
+/// manifest's segments publish one per `live.ticks_per_segment`,
+/// sessions join at the live edge or the DVR start, and a rolling
+/// window bounds what is fetchable. With an infinite window, a head
+/// start covering the whole title, and `JoinMode::DvrStart`, the
+/// session-side report equals [`simulate_load`]'s *exactly* (the live
+/// gates all become vacuous — equality-pinned in the tests).
+#[must_use]
+pub fn simulate_live_load(
+    manifest: &Manifest,
+    server: &ServerConfig,
+    live: &LiveConfig,
+    load: &LoadConfig,
+) -> LiveLoadReport {
+    let p = TierParams::single_origin(server).with_live(live, manifest);
     if p.degenerate(manifest, load) {
-        return EdgeLoadReport {
-            load: LoadReport::degenerate(load.sessions),
-            per_edge: Vec::new(),
-            tier: EdgeStats::default(),
-            hit_rate: 0.0,
-            origin_offload: 0.0,
+        return LiveLoadReport {
+            load: LoadReport::degenerate(load.population()),
+            live: LiveStats::default(),
         };
     }
-    let (sessions, edges, now) = run_fluid(manifest, load, &p);
+    let (sessions, _, now, live_stats) = run_fluid(manifest, load, &p);
+    let n = sessions.len();
+    LiveLoadReport {
+        load: finish(&sessions, n, now),
+        live: live_stats,
+    }
+}
+
+/// [`simulate_live_load`] through an edge tier: the hard case an edge
+/// tier exists for — every viewer wants the same just-published
+/// live-edge segment, which is cached *nowhere* until exactly one
+/// coalesced fill per edge lands it.
+#[must_use]
+pub fn simulate_live_edge_load(
+    manifest: &Manifest,
+    tier: &EdgeTierConfig,
+    live: &LiveConfig,
+    load: &LoadConfig,
+) -> LiveEdgeLoadReport {
+    let (edge, live_stats) = run_edge(
+        manifest,
+        load,
+        TierParams::tier(tier).with_live(live, manifest),
+    );
+    LiveEdgeLoadReport {
+        edge,
+        live: live_stats,
+    }
+}
+
+/// The shared edge-report assembly.
+fn run_edge(manifest: &Manifest, load: &LoadConfig, p: TierParams) -> (EdgeLoadReport, LiveStats) {
+    if p.degenerate(manifest, load) {
+        return (
+            EdgeLoadReport {
+                load: LoadReport::degenerate(load.population()),
+                per_edge: Vec::new(),
+                tier: EdgeStats::default(),
+                hit_rate: 0.0,
+                origin_offload: 0.0,
+            },
+            LiveStats::default(),
+        );
+    }
+    let (sessions, edges, now, live_stats) = run_fluid(manifest, load, &p);
     let per_edge: Vec<EdgeReportEntry> = edges
         .iter()
         .map(|e| EdgeReportEntry {
@@ -581,13 +1015,17 @@ pub fn simulate_edge_load(
     let tier_stats = per_edge
         .iter()
         .fold(EdgeStats::default(), |acc, e| acc.merged(&e.stats));
-    EdgeLoadReport {
-        load: finish(&sessions, load.sessions, now),
-        per_edge,
-        hit_rate: tier_stats.hit_rate(),
-        origin_offload: tier_stats.origin_offload(),
-        tier: tier_stats,
-    }
+    let n = sessions.len();
+    (
+        EdgeLoadReport {
+            load: finish(&sessions, n, now),
+            per_edge,
+            hit_rate: tier_stats.hit_rate(),
+            origin_offload: tier_stats.origin_offload(),
+            tier: tier_stats,
+        },
+        live_stats,
+    )
 }
 
 /// Sweeps session counts and reports one [`LoadReport`] per level.
@@ -637,6 +1075,36 @@ pub fn edge_capacity_knee(curve: &[EdgeLoadReport], stall_tolerance: f64) -> Opt
         .iter()
         .filter(|r| r.load.rebuffer_fraction <= stall_tolerance)
         .map(|r| r.load.sessions)
+        .max()
+}
+
+/// Sweeps live session counts through an edge tier.
+#[must_use]
+pub fn live_edge_capacity_curve(
+    manifest: &Manifest,
+    tier: &EdgeTierConfig,
+    live: &LiveConfig,
+    counts: &[usize],
+    base: &LoadConfig,
+) -> Vec<LiveEdgeLoadReport> {
+    counts
+        .iter()
+        .map(|&sessions| {
+            simulate_live_edge_load(manifest, tier, live, &LoadConfig { sessions, ..*base })
+        })
+        .collect()
+}
+
+/// [`capacity_knee`] over a live edge-tier curve.
+#[must_use]
+pub fn live_edge_capacity_knee(
+    curve: &[LiveEdgeLoadReport],
+    stall_tolerance: f64,
+) -> Option<usize> {
+    curve
+        .iter()
+        .filter(|r| r.edge.load.rebuffer_fraction <= stall_tolerance)
+        .map(|r| r.edge.load.sessions)
         .max()
 }
 
@@ -1054,6 +1522,336 @@ mod tests {
     }
 
     #[test]
+    fn zero_churn_infinite_dvr_live_equals_vod_exactly() {
+        // The acceptance pin: with an infinite DVR window, a head start
+        // covering the whole title, DvrStart joins, and zero churn,
+        // every live gate is vacuous and the live simulator must
+        // reproduce the VOD report *bit-identically*.
+        let m = manifest();
+        let server = ServerConfig::default();
+        let load = LoadConfig {
+            sessions: 700,
+            ..Default::default()
+        };
+        let live = LiveConfig {
+            ticks_per_segment: 0, // natural pace (irrelevant here)
+            dvr_window_segments: u64::MAX,
+            head_start_segments: m.segment_count() as u64 - 1,
+            join: JoinMode::DvrStart,
+        };
+        let vod = simulate_load(&m, &server, &load);
+        let live_run = simulate_live_load(&m, &server, &live, &load);
+        assert_eq!(
+            live_run.load, vod,
+            "vacuous live gates must not perturb VOD"
+        );
+        assert_eq!(live_run.live.publish_wait_ticks, 0);
+        assert_eq!(live_run.live.window_skips, 0);
+    }
+
+    #[test]
+    fn neutral_churn_knobs_are_the_static_population() {
+        // Non-zero means with zero churn/flash sessions draw nothing
+        // from the RNG: the static population, bit-identical.
+        let m = manifest();
+        let tier = EdgeTierConfig::default();
+        let base = LoadConfig {
+            sessions: 400,
+            ..Default::default()
+        };
+        let with_knobs = LoadConfig {
+            churn: ChurnConfig {
+                churn_sessions: 0,
+                mean_interarrival_ticks: 123.0,
+                mean_watch_ticks: 55.0,
+                flash_sessions: 0,
+                flash_at_tick: 9,
+                flash_ramp_ticks: 7,
+            },
+            ..base
+        };
+        assert_eq!(
+            simulate_edge_load(&m, &tier, &base),
+            simulate_edge_load(&m, &tier, &with_knobs)
+        );
+    }
+
+    #[test]
+    fn churn_arrivals_and_departures_are_deterministic() {
+        let m = manifest();
+        let tier = EdgeTierConfig {
+            edges: 3,
+            prewarm: false,
+            cache_capacity_bytes: title_bytes(&m) / 2,
+            ..Default::default()
+        };
+        let load = LoadConfig {
+            sessions: 200,
+            churn: ChurnConfig {
+                churn_sessions: 150,
+                mean_interarrival_ticks: 300.0,
+                mean_watch_ticks: 4_000.0,
+                flash_sessions: 100,
+                flash_at_tick: 20_000,
+                flash_ramp_ticks: 5_000,
+            },
+            ..Default::default()
+        };
+        let a = simulate_edge_load(&m, &tier, &load);
+        let b = simulate_edge_load(&m, &tier, &load);
+        assert_eq!(a, b, "churn must be seed-deterministic");
+        // The population is the base plus every churn and flash extra.
+        assert_eq!(a.load.sessions, 200 + 150 + 100);
+        // Short watch times force early departures.
+        assert!(a.load.departed > 0, "some churn viewers must leave early");
+        assert_eq!(
+            a.load.completed + a.load.departed,
+            a.load.sessions,
+            "every session either finishes or departs (none wedge)"
+        );
+        // A different seed produces a different process.
+        let other = simulate_edge_load(&m, &tier, &LoadConfig { seed: 99, ..load });
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn flash_crowd_pushes_a_single_origin_past_its_knee() {
+        let m = manifest();
+        let server = ServerConfig::default();
+        let calm = LoadConfig {
+            sessions: 300,
+            stagger_ticks: 10_000,
+            ..Default::default()
+        };
+        let flashed = LoadConfig {
+            churn: ChurnConfig {
+                flash_sessions: 3_000,
+                flash_at_tick: 20_000,
+                flash_ramp_ticks: 1_000,
+                ..Default::default()
+            },
+            ..calm
+        };
+        let before = simulate_load(&m, &server, &calm);
+        let after = simulate_load(&m, &server, &flashed);
+        assert!(before.rebuffer_fraction <= 0.05, "baseline is comfortable");
+        assert!(
+            after.rebuffer_fraction > 0.05,
+            "a 10x flash crowd must drive one origin past its knee: {}",
+            after.rebuffer_fraction
+        );
+    }
+
+    #[test]
+    fn live_edge_sessions_pace_with_the_publish_clock() {
+        let m = manifest();
+        let live = LiveConfig {
+            dvr_window_segments: u64::MAX,
+            ..Default::default() // LiveEdge join, fresh channel
+        };
+        let load = LoadConfig {
+            sessions: 20,
+            stagger_ticks: 200,
+            ..Default::default()
+        };
+        let r = simulate_live_load(&m, &ServerConfig::default(), &live, &load);
+        assert_eq!(r.load.completed, 20, "every live viewer reaches the end");
+        assert!(
+            r.live.publish_wait_ticks > 0,
+            "live-edge viewers must block on unpublished segments"
+        );
+        // Fetch-after-publish keeps latency within a couple of segment
+        // durations (tps = 4 frames x 100 ticks = 400 here).
+        assert!(
+            r.live.mean_latency_ticks < 800.0,
+            "live latency ran away: {}",
+            r.live.mean_latency_ticks
+        );
+        assert!(
+            r.live.window_skips == 0,
+            "nothing expires with infinite DVR"
+        );
+    }
+
+    #[test]
+    fn shallow_dvr_window_skips_slow_live_sessions_forward() {
+        let m = manifest();
+        // Viewers slower than the publish pace: segments expire under
+        // them and they must skip forward instead of wedging.
+        let live = LiveConfig {
+            ticks_per_segment: 8,
+            dvr_window_segments: 1,
+            head_start_segments: 0,
+            join: JoinMode::DvrStart,
+        };
+        let load = LoadConfig {
+            sessions: 30,
+            stagger_ticks: 0,
+            ..Default::default()
+        };
+        let r = simulate_live_load(&m, &ServerConfig::default(), &live, &load);
+        assert!(
+            r.live.window_skips > 0,
+            "a 1-deep window at a hot pace must expire segments"
+        );
+        assert_eq!(
+            r.load.completed, 30,
+            "skipping forward must still reach the live end"
+        );
+        assert!(r.load.ticks < load.max_ticks);
+    }
+
+    #[test]
+    fn live_edge_miss_storm_coalesces_into_one_fill_per_segment() {
+        let m = manifest();
+        let tier = EdgeTierConfig {
+            edges: 1,
+            prewarm: false,
+            ..Default::default()
+        };
+        let live = LiveConfig {
+            dvr_window_segments: u64::MAX,
+            ..Default::default()
+        };
+        // A burst of simultaneous live-edge joins: every new publish is
+        // a miss for everyone at once — the thundering-herd case.
+        let load = LoadConfig {
+            sessions: 300,
+            stagger_ticks: 0,
+            ..Default::default()
+        };
+        let r = simulate_live_edge_load(&m, &tier, &live, &load);
+        assert_eq!(r.edge.load.completed, 300);
+        assert!(
+            r.edge.tier.misses <= (m.rungs.len() * m.segment_count()) as u64,
+            "each (rung, segment) fills at most once: {} misses",
+            r.edge.tier.misses
+        );
+        assert!(
+            r.edge.tier.coalesced > 0,
+            "the storm must coalesce onto in-flight fills"
+        );
+    }
+
+    #[test]
+    fn live_dvr_expiry_invalidates_edge_caches() {
+        let m = manifest();
+        let tier = EdgeTierConfig {
+            edges: 2,
+            prewarm: false,
+            ..Default::default()
+        };
+        let live = LiveConfig {
+            ticks_per_segment: 400,
+            dvr_window_segments: 1,
+            head_start_segments: 0,
+            join: JoinMode::DvrStart,
+        };
+        let load = LoadConfig {
+            sessions: 60,
+            stagger_ticks: 0,
+            ..Default::default()
+        };
+        let r = simulate_live_edge_load(&m, &tier, &live, &load);
+        assert!(
+            r.edge.tier.invalidations > 0,
+            "window expiry must purge cached segments"
+        );
+        assert_eq!(
+            r.edge.tier.evictions, 0,
+            "purges are not capacity evictions"
+        );
+    }
+
+    #[test]
+    fn live_simulation_is_deterministic() {
+        let m = manifest();
+        let tier = EdgeTierConfig {
+            edges: 2,
+            prewarm: false,
+            ..Default::default()
+        };
+        let live = LiveConfig::default();
+        let load = LoadConfig {
+            sessions: 250,
+            churn: ChurnConfig {
+                churn_sessions: 50,
+                mean_interarrival_ticks: 200.0,
+                mean_watch_ticks: 3_000.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let a = simulate_live_edge_load(&m, &tier, &live, &load);
+        let b = simulate_live_edge_load(&m, &tier, &live, &load);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn knee_is_invariant_under_curve_permutation() {
+        // The knee is a max over a filtered set: the order sessions
+        // (and their reports) arrive in must not matter.
+        let m = manifest();
+        let tier = EdgeTierConfig::default();
+        let counts = [50usize, 400, 1_200, 2_400];
+        let base = LoadConfig::default();
+        let mut curve = edge_capacity_curve(&m, &tier, &counts, &base);
+        let knee = edge_capacity_knee(&curve, 0.05);
+        assert!(knee.is_some());
+        curve.reverse();
+        assert_eq!(edge_capacity_knee(&curve, 0.05), knee);
+        curve.rotate_left(1);
+        assert_eq!(edge_capacity_knee(&curve, 0.05), knee);
+    }
+
+    #[test]
+    fn degenerate_live_configs_return_well_defined_reports() {
+        let m = manifest();
+        let load = LoadConfig::default();
+        // A zero DVR window can never publish anything fetchable.
+        let r = simulate_live_load(
+            &m,
+            &ServerConfig::default(),
+            &LiveConfig {
+                dvr_window_segments: 0,
+                ..Default::default()
+            },
+            &load,
+        );
+        assert_eq!(r.load, LoadReport::degenerate(load.population()));
+        assert_eq!(r.live, LiveStats::default());
+        assert_eq!(live_edge_capacity_knee(&[], 0.05), None);
+    }
+
+    #[test]
+    fn degenerate_reports_denominate_on_the_whole_population() {
+        // A degenerate run must report the same population a healthy
+        // run would have created (base + churn + flash), so capacity
+        // curves stay comparable level to level.
+        let m = manifest();
+        let load = LoadConfig {
+            sessions: 3,
+            churn: ChurnConfig {
+                churn_sessions: 5,
+                flash_sessions: 7,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let r = simulate_live_load(
+            &m,
+            &ServerConfig {
+                capacity_bytes_per_tick: f64::NAN,
+                per_session_bytes_per_tick: 100.0,
+            },
+            &LiveConfig::default(),
+            &load,
+        );
+        assert_eq!(r.load.sessions, 15, "3 base + 5 churn + 7 flash");
+        assert_eq!(r.load.completed, 0);
+    }
+
+    #[test]
     fn degenerate_edge_tiers_return_well_defined_reports() {
         let m = manifest();
         let load = LoadConfig::default();
@@ -1065,7 +1863,7 @@ mod tests {
             },
             &load,
         );
-        assert_eq!(zero_edges.load, LoadReport::degenerate(load.sessions));
+        assert_eq!(zero_edges.load, LoadReport::degenerate(load.population()));
         assert!(zero_edges.per_edge.is_empty());
         assert_eq!(edge_capacity_knee(&[], 0.05), None);
     }

@@ -8,6 +8,14 @@
 //! rung the measured bandwidth sustains. The report records exactly the
 //! quality-of-experience trio streaming systems are judged on: startup
 //! delay, rebuffer events, and rung switches.
+//!
+//! Live viewers ([`run_live_session`]) run the same machinery against a
+//! [`LiveOrigin`]'s moving window: they join at the live edge or the
+//! DVR start, re-fetch the (mutable, versioned) manifest when it goes
+//! stale, wait out unpublished segments on a poll clock, and skip
+//! forward over content the rolling window expired — adding the live
+//! QoE trio (manifest refreshes, stale-manifest stall ticks, window
+//! skips) and per-segment live latency to the report.
 
 use drm::cipher::XteaCtr;
 use drm::license::{License, LicenseParseError};
@@ -16,7 +24,7 @@ use netstack::link::LinkConfig;
 use netstack::tcplite::TcpConfig;
 
 use crate::edge::EdgeCache;
-use crate::ladder::{LadderError, Manifest};
+use crate::ladder::{LadderError, LiveOrigin, Manifest};
 use crate::segment::{demux_segment, Segment};
 
 /// Throughput-driven rung selection, shared by the single-session path
@@ -86,6 +94,18 @@ impl AbrController {
     }
 }
 
+/// Where a live session enters the stream, shared by the
+/// transport-level live session and the fluid live simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinMode {
+    /// Join at the newest published segment (lowest latency, no
+    /// run-up buffer beyond what pacing allows).
+    LiveEdge,
+    /// Join at the DVR window start (highest latency, the whole window
+    /// available to buffer ahead).
+    DvrStart,
+}
+
 /// Session configuration.
 #[derive(Debug, Clone)]
 pub struct SessionConfig {
@@ -133,6 +153,12 @@ pub enum SessionError {
     Manifest(&'static str),
     /// The title is sealed but no verification key was configured.
     SealedWithoutKey,
+    /// A live session was pointed at a VOD manifest (no live window).
+    NotLive,
+    /// The live manifest stopped advancing: `max_stale_refreshes`
+    /// consecutive refreshes brought no new live edge (e.g. an edge
+    /// serving stale-if-error through an endless origin outage).
+    LiveStalled,
     /// The license failed verification.
     License(LicenseParseError),
     /// A segment arrived damaged (impossible over the reliable
@@ -147,6 +173,10 @@ impl core::fmt::Display for SessionError {
             SessionError::Manifest(what) => write!(f, "bad manifest: {what}"),
             SessionError::SealedWithoutKey => {
                 f.write_str("title is sealed and no verification key is configured")
+            }
+            SessionError::NotLive => f.write_str("manifest has no live window"),
+            SessionError::LiveStalled => {
+                f.write_str("live manifest stopped advancing (stale past the refresh budget)")
             }
             SessionError::License(e) => write!(f, "license rejected: {e:?}"),
             SessionError::DamagedSegment(i) => write!(f, "segment {i} arrived damaged"),
@@ -273,6 +303,15 @@ pub fn run_session_via_edge(
     )
 }
 
+/// Parses manifest bytes, folding every ladder error into the
+/// session-level manifest error.
+fn parse_manifest(bytes: &[u8]) -> Result<Manifest, SessionError> {
+    Manifest::from_bytes(bytes).map_err(|e| match e {
+        LadderError::Manifest(what) => SessionError::Manifest(what),
+        _ => SessionError::Manifest("unparseable"),
+    })
+}
+
 /// The session engine, generic over how objects are fetched. `leg`
 /// numbers each fetch (manifest 0, license 1, segment `i` at `2 + i`)
 /// so routes can derive per-leg seeds.
@@ -291,10 +330,7 @@ fn run_session_with(
     let (bytes, ticks) = fetch_object(&Manifest::manifest_object(title), 0)?;
     clock += ticks;
     delivered_bits += (bytes.len() * 8) as u64;
-    let manifest = Manifest::from_bytes(&bytes).map_err(|e| match e {
-        LadderError::Manifest(what) => SessionError::Manifest(what),
-        _ => SessionError::Manifest("unparseable"),
-    })?;
+    let manifest = parse_manifest(&bytes)?;
 
     // 2. License, when the title is sealed.
     let content_key = if manifest.sealed {
@@ -374,6 +410,460 @@ fn run_session_with(
         rung_switches,
         segments: records,
         total_ticks: clock,
+        delivered_bits,
+    })
+}
+
+/// Live-session configuration: the base session knobs plus where to
+/// join and how long to stay (a linear channel has no natural end).
+#[derive(Debug, Clone)]
+pub struct LiveSessionConfig {
+    /// Transport/link/buffer/ABR knobs shared with VOD sessions.
+    pub base: SessionConfig,
+    /// Join at the live edge or the DVR window start.
+    pub join: JoinMode,
+    /// Segments to play before leaving.
+    pub segments_to_play: usize,
+    /// Wait granularity while the manifest is stale (the live edge has
+    /// not published the next segment yet); clamped to at least 1.
+    pub poll_ticks: u64,
+    /// When this viewer tunes in, on the channel's global timeline (a
+    /// later viewer of the same [`LiveOrigin`] must start at or after
+    /// the origin's current tick — the channel never rewinds).
+    pub start_tick: u64,
+    /// Give-up bar: consecutive manifest refreshes that make no
+    /// forward progress (the advertised live edge does not advance)
+    /// before the session errors with [`SessionError::LiveStalled`].
+    /// Bounds the session when an edge can only serve a stale manifest
+    /// forever — e.g. stale-if-error through an endless origin outage.
+    pub max_stale_refreshes: u32,
+}
+
+impl Default for LiveSessionConfig {
+    /// Default session knobs, live-edge join, 8 segments, 50-tick
+    /// stale-manifest polls, tuning in at channel start, giving up
+    /// after 64 progress-free refreshes.
+    fn default() -> Self {
+        Self {
+            base: SessionConfig::default(),
+            join: JoinMode::LiveEdge,
+            segments_to_play: 8,
+            poll_ticks: 50,
+            start_tick: 0,
+            max_stale_refreshes: 64,
+        }
+    }
+}
+
+/// One fetched live segment's record.
+#[derive(Debug, Clone)]
+pub struct LiveSegmentRecord {
+    /// Sequence number in the channel's timeline.
+    pub seq: u64,
+    /// Rung the controller chose.
+    pub rung: usize,
+    /// Ticks the fetch took.
+    pub ticks: u64,
+    /// Wire bits delivered.
+    pub bits: u64,
+    /// Source frames carried.
+    pub frames: usize,
+    /// Live latency at completion: session clock minus the segment's
+    /// publish tick.
+    pub latency_ticks: u64,
+    /// The demuxed (and unsealed) segment.
+    pub segment: Segment,
+}
+
+/// What one live session experienced: the VOD QoE trio plus the live
+/// trio — manifest refreshes, stale-manifest stall time, and window
+/// skips (content lost to DVR expiry).
+#[derive(Debug, Clone)]
+pub struct LiveSessionReport {
+    /// Ticks from session start to first rendered frame.
+    pub startup_delay_ticks: u64,
+    /// Post-startup playback stalls.
+    pub rebuffer_events: u32,
+    /// Total stalled ticks.
+    pub rebuffer_ticks: u64,
+    /// Rung changes after the first segment.
+    pub rung_switches: u32,
+    /// Manifest re-fetches (the live window moved past our copy).
+    pub manifest_refreshes: u32,
+    /// Ticks spent waiting on a manifest that did not reach the wanted
+    /// sequence yet (live-edge pacing stalls).
+    pub stale_manifest_ticks: u64,
+    /// Segments lost to DVR-window expiry (skipped forward).
+    pub window_skips: u64,
+    /// Per-segment records, in playout order.
+    pub segments: Vec<LiveSegmentRecord>,
+    /// Total simulated ticks.
+    pub total_ticks: u64,
+    /// Total wire bits delivered.
+    pub delivered_bits: u64,
+}
+
+impl LiveSessionReport {
+    /// Mean rung index across fetched segments.
+    #[must_use]
+    pub fn mean_rung(&self) -> f64 {
+        if self.segments.is_empty() {
+            0.0
+        } else {
+            self.segments.iter().map(|s| s.rung as f64).sum::<f64>() / self.segments.len() as f64
+        }
+    }
+
+    /// Mean live latency across fetched segments.
+    #[must_use]
+    pub fn mean_live_latency_ticks(&self) -> f64 {
+        if self.segments.is_empty() {
+            0.0
+        } else {
+            self.segments
+                .iter()
+                .map(|s| s.latency_ticks as f64)
+                .sum::<f64>()
+                / self.segments.len() as f64
+        }
+    }
+
+    /// Worst single-segment live latency.
+    #[must_use]
+    pub fn max_live_latency_ticks(&self) -> u64 {
+        self.segments
+            .iter()
+            .map(|s| s.latency_ticks)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The playout-buffer model shared by the live loop's several drain
+/// points (fetches, polls, refreshes all consume wall time).
+struct Playout {
+    buffer_ticks: i64,
+    playing: bool,
+    rebuffer_events: u32,
+    rebuffer_ticks: u64,
+}
+
+impl Playout {
+    fn drain(&mut self, ticks: u64) {
+        if !self.playing {
+            return;
+        }
+        self.buffer_ticks -= ticks as i64;
+        if self.buffer_ticks < 0 {
+            self.rebuffer_events += 1;
+            self.rebuffer_ticks += (-self.buffer_ticks) as u64;
+            self.buffer_ticks = 0;
+        }
+    }
+}
+
+/// How live fetches reach the origin server: directly, or through an
+/// edge cache (which treats the manifest as a mutable TTL'd object and
+/// honours the origin's expiry purges).
+trait LiveRoute {
+    fn fetch(
+        &mut self,
+        server: &ContentServer,
+        name: &str,
+        leg: u64,
+        now: u64,
+        mutable: bool,
+    ) -> Result<(Vec<u8>, u64), FetchError>;
+
+    /// The origin unpublished these objects (DVR-window expiry).
+    fn expire(&mut self, _names: &[String]) {}
+}
+
+struct DirectRoute<'a> {
+    config: &'a SessionConfig,
+}
+
+impl LiveRoute for DirectRoute<'_> {
+    fn fetch(
+        &mut self,
+        server: &ContentServer,
+        name: &str,
+        leg: u64,
+        _now: u64,
+        _mutable: bool,
+    ) -> Result<(Vec<u8>, u64), FetchError> {
+        let r = fetch(
+            server,
+            name,
+            self.config.tcp,
+            self.config.link,
+            self.config.seed.wrapping_add(leg),
+        )?;
+        Ok((r.data, r.ticks))
+    }
+}
+
+struct EdgeRoute<'a> {
+    edge: &'a mut EdgeCache,
+    config: &'a SessionConfig,
+}
+
+impl LiveRoute for EdgeRoute<'_> {
+    fn fetch(
+        &mut self,
+        server: &ContentServer,
+        name: &str,
+        leg: u64,
+        now: u64,
+        mutable: bool,
+    ) -> Result<(Vec<u8>, u64), FetchError> {
+        let seed = self.config.seed.wrapping_add(leg);
+        if mutable {
+            self.edge.fetch_mutable_through(
+                server,
+                name,
+                self.config.tcp,
+                self.config.link,
+                seed,
+                now,
+            )
+        } else {
+            self.edge
+                .fetch_through(server, name, self.config.tcp, self.config.link, seed)
+        }
+    }
+
+    fn expire(&mut self, names: &[String]) {
+        for name in names {
+            self.edge.invalidate(name);
+        }
+    }
+}
+
+/// Runs one live viewer against a [`LiveOrigin`] publishing into
+/// `server`. The session's simulated clock *drives* the origin: before
+/// every fetch (and during stale-manifest polls) the origin advances
+/// to the current tick, so publishes, window expiry, and the viewer's
+/// downloads share one timeline.
+///
+/// # Errors
+///
+/// Returns [`SessionError`] on transport failure, a manifest without a
+/// live window, license problems, or a damaged segment.
+pub fn run_live_session(
+    server: &mut ContentServer,
+    origin: &mut LiveOrigin,
+    title: &str,
+    config: &LiveSessionConfig,
+) -> Result<LiveSessionReport, SessionError> {
+    let base = config.base.clone();
+    run_live_core(
+        server,
+        origin,
+        &mut DirectRoute { config: &base },
+        title,
+        config,
+    )
+}
+
+/// [`run_live_session`] through an edge cache: segments ride the cache
+/// as immutable (but expirable) objects, the manifest as a mutable
+/// TTL'd one, and the origin's window-expiry purges invalidate the
+/// edge — the full live object lifecycle on the delivery path.
+///
+/// # Errors
+///
+/// As [`run_live_session`], plus an unreachable origin on cold
+/// objects.
+pub fn run_live_session_via_edge(
+    server: &mut ContentServer,
+    origin: &mut LiveOrigin,
+    edge: &mut EdgeCache,
+    title: &str,
+    config: &LiveSessionConfig,
+) -> Result<LiveSessionReport, SessionError> {
+    let base = config.base.clone();
+    run_live_core(
+        server,
+        origin,
+        &mut EdgeRoute {
+            edge,
+            config: &base,
+        },
+        title,
+        config,
+    )
+}
+
+fn run_live_core(
+    server: &mut ContentServer,
+    origin: &mut LiveOrigin,
+    route: &mut impl LiveRoute,
+    title: &str,
+    config: &LiveSessionConfig,
+) -> Result<LiveSessionReport, SessionError> {
+    let poll = config.poll_ticks.max(1);
+    let mut clock = config.start_tick;
+    let mut leg = 0u64;
+    let mut delivered_bits = 0u64;
+
+    // 1. First manifest (the mutable object).
+    let delta = origin.advance_to(server, clock);
+    route.expire(&delta.expired);
+    let manifest_object = Manifest::manifest_object(title);
+    let (bytes, ticks) = route.fetch(server, &manifest_object, leg, clock, true)?;
+    leg += 1;
+    clock += ticks;
+    delivered_bits += (bytes.len() * 8) as u64;
+    let mut manifest = parse_manifest(&bytes)?;
+    let mut window = manifest.live.ok_or(SessionError::NotLive)?;
+
+    // 2. License, when the channel is sealed.
+    let content_key = if manifest.sealed {
+        let key = config
+            .base
+            .verification_key
+            .as_deref()
+            .ok_or(SessionError::SealedWithoutKey)?;
+        let (bytes, ticks) =
+            route.fetch(server, &Manifest::license_object(title), leg, clock, false)?;
+        leg += 1;
+        clock += ticks;
+        delivered_bits += (bytes.len() * 8) as u64;
+        let license = License::unseal(&bytes, key).map_err(SessionError::License)?;
+        Some(license.content_key)
+    } else {
+        None
+    };
+
+    // 3. Segments: refresh-gated, ABR-controlled, through the playout
+    // buffer.
+    let mut abr = AbrController::new(config.base.ewma_alpha, config.base.safety);
+    let startup_after = config
+        .base
+        .startup_segments
+        .clamp(1, config.segments_to_play.max(1));
+    let mut next_seq = match config.join {
+        JoinMode::LiveEdge => window.live_seq,
+        JoinMode::DvrStart => window.first_seq,
+    };
+    let mut playout = Playout {
+        buffer_ticks: 0,
+        playing: false,
+        rebuffer_events: 0,
+        rebuffer_ticks: 0,
+    };
+    let mut startup_delay = 0u64;
+    let mut rung_switches = 0u32;
+    let mut manifest_refreshes = 0u32;
+    let mut stale_manifest_ticks = 0u64;
+    let mut window_skips = 0u64;
+    let mut last_rung: Option<usize> = None;
+    let mut records: Vec<LiveSegmentRecord> = Vec::with_capacity(config.segments_to_play);
+
+    for _ in 0..config.segments_to_play {
+        // Bring the manifest window up to (or past) the wanted
+        // sequence: skip forward over expired content, refresh when
+        // the copy is stale, and poll while the origin itself has not
+        // published it yet. Bounded: `max_stale_refreshes` consecutive
+        // refreshes with no live-edge progress (an edge that can only
+        // serve stale-if-error through an endless outage) error out
+        // instead of polling forever.
+        let mut stale_refreshes = 0u32;
+        loop {
+            if next_seq < window.first_seq {
+                // Too slow: the segment expired before we asked.
+                window_skips += window.first_seq - next_seq;
+                next_seq = window.first_seq;
+            }
+            if next_seq <= window.live_seq {
+                break;
+            }
+            let delta = origin.advance_to(server, clock);
+            route.expire(&delta.expired);
+            let (bytes, ticks) = route.fetch(server, &manifest_object, leg, clock, true)?;
+            leg += 1;
+            clock += ticks;
+            delivered_bits += (bytes.len() * 8) as u64;
+            playout.drain(ticks);
+            manifest_refreshes += 1;
+            manifest = parse_manifest(&bytes)?;
+            let fresh = manifest.live.ok_or(SessionError::NotLive)?;
+            let progressed = fresh.live_seq > window.live_seq;
+            let stalled = fresh.live_seq < next_seq;
+            window = fresh;
+            if stalled {
+                stale_refreshes = if progressed { 0 } else { stale_refreshes + 1 };
+                if stale_refreshes > config.max_stale_refreshes {
+                    return Err(SessionError::LiveStalled);
+                }
+                // Not published yet (or an edge served a within-TTL
+                // stale copy): wait before asking again.
+                clock += poll;
+                stale_manifest_ticks += poll;
+                playout.drain(poll);
+            }
+        }
+
+        let idx = (next_seq - window.first_seq) as usize;
+        let rung = abr.pick(&manifest, idx, config.base.max_rung);
+        if last_rung.is_some_and(|prev| prev != rung) {
+            rung_switches += 1;
+        }
+        last_rung = Some(rung);
+        let entry = manifest.rungs[rung].segments[idx].clone();
+
+        // The origin advances only at manifest-refresh points (lazy
+        // expiry): everything the manifest in hand lists is still on
+        // the server, so a validated sequence can never race its own
+        // expiry into a failed fetch.
+        let (mut bytes, ticks) = route.fetch(
+            server,
+            &manifest.segment_object(rung, idx),
+            leg,
+            clock,
+            false,
+        )?;
+        leg += 1;
+        clock += ticks;
+        delivered_bits += (bytes.len() * 8) as u64;
+        abr.observe((bytes.len() * 8) as f64, ticks as f64);
+        playout.drain(ticks);
+
+        if let Some(key) = content_key.as_ref() {
+            XteaCtr::new(key, entry.nonce).apply(&mut bytes);
+        }
+        let segment = demux_segment(&bytes);
+        if segment.video_es.is_none() {
+            return Err(SessionError::DamagedSegment(records.len()));
+        }
+        playout.buffer_ticks += (entry.frames as u64 * manifest.ticks_per_frame) as i64;
+        records.push(LiveSegmentRecord {
+            seq: next_seq,
+            rung,
+            ticks,
+            bits: (bytes.len() * 8) as u64,
+            frames: entry.frames,
+            latency_ticks: clock.saturating_sub(origin.publish_tick(next_seq)),
+            segment,
+        });
+        if !playout.playing && records.len() >= startup_after {
+            playout.playing = true;
+            startup_delay = clock - config.start_tick;
+        }
+        next_seq += 1;
+    }
+
+    Ok(LiveSessionReport {
+        startup_delay_ticks: startup_delay,
+        rebuffer_events: playout.rebuffer_events,
+        rebuffer_ticks: playout.rebuffer_ticks,
+        rung_switches,
+        manifest_refreshes,
+        stale_manifest_ticks,
+        window_skips,
+        segments: records,
+        total_ticks: clock - config.start_tick,
         delivered_bits,
     })
 }
@@ -555,6 +1045,266 @@ mod tests {
             run_session_via_edge(&origin, &mut edge, "nope", &cfg).unwrap_err(),
             SessionError::Fetch(FetchError::Server(_))
         ));
+    }
+
+    /// A live channel: 3-segment wheel, 100-tick publish pace, 4-deep
+    /// DVR window, optionally sealed.
+    fn live_channel(seal: bool) -> (ContentServer, crate::ladder::LiveOrigin, LicenseAuthority) {
+        use crate::ladder::{LiveOrigin, LiveOriginConfig};
+
+        let frames = SequenceGen::new(21).panning_sequence(48, 32, 12, 1, 0);
+        let cfg = LadderConfig {
+            targets_bits_per_frame: vec![2_000.0, 6_000.0, 18_000.0],
+            gop: 4,
+            ..Default::default()
+        };
+        let mut ladder = encode_ladder("chan", &frames, &cfg).unwrap();
+        let mut authority = LicenseAuthority::new(b"studio".to_vec());
+        let title_id = TitleId(3);
+        authority.register_title(title_id);
+        let mut server = ContentServer::new();
+        if seal {
+            seal_ladder(&mut ladder, &authority, title_id);
+            server.publish(
+                Manifest::license_object("chan"),
+                authority.issue(title_id, vec![Right::Play]),
+            );
+        }
+        let origin = LiveOrigin::new(
+            ladder,
+            LiveOriginConfig {
+                dvr_window_segments: 4,
+                ticks_per_segment: 100,
+            },
+        )
+        .unwrap();
+        (server, origin, authority)
+    }
+
+    #[test]
+    fn live_session_plays_sealed_segments_at_the_edge_of_live() {
+        let (mut server, mut origin, authority) = live_channel(true);
+        let cfg = LiveSessionConfig {
+            base: SessionConfig {
+                verification_key: Some(authority.verification_key().to_vec()),
+                ..Default::default()
+            },
+            segments_to_play: 6,
+            poll_ticks: 20,
+            ..Default::default()
+        };
+        let r = run_live_session(&mut server, &mut origin, "chan", &cfg).unwrap();
+        assert_eq!(r.segments.len(), 6);
+        // Consecutive sequences from the join point, every one decodes.
+        for (i, rec) in r.segments.iter().enumerate() {
+            assert_eq!(rec.seq, r.segments[0].seq + i as u64);
+            let dec = video::decode(rec.segment.video_es.as_ref().unwrap()).unwrap();
+            assert_eq!(dec.frames.len(), rec.frames);
+            assert_eq!(dec.kinds[0], video::FrameKind::Intra, "closed GOP entry");
+        }
+        // The viewer outpaces the 100-tick publish clock, so it must
+        // refresh the manifest and spend time stalled on staleness.
+        assert!(r.manifest_refreshes > 0, "live playback must refresh");
+        assert!(r.stale_manifest_ticks > 0, "live-edge pacing must stall");
+        assert_eq!(r.window_skips, 0, "keeping up means losing nothing");
+        // Fetch-after-publish keeps latency within a couple of segment
+        // durations.
+        assert!(
+            r.max_live_latency_ticks() < 300,
+            "latency ran away: {}",
+            r.max_live_latency_ticks()
+        );
+        // Determinism: an identical fresh setup replays identically.
+        let (mut server2, mut origin2, _) = live_channel(true);
+        let r2 = run_live_session(&mut server2, &mut origin2, "chan", &cfg).unwrap();
+        assert_eq!(r.total_ticks, r2.total_ticks);
+        assert_eq!(r.stale_manifest_ticks, r2.stale_manifest_ticks);
+    }
+
+    #[test]
+    fn dvr_start_join_trades_latency_for_runway() {
+        // Let the channel run before anyone joins: the DVR window is
+        // full, so DvrStart has content in hand while LiveEdge waits
+        // for fresh publishes.
+        let join = |mode| {
+            let (mut server, mut origin, _) = live_channel(false);
+            origin.advance_to(&mut server, 500); // window [2, 5] of 4
+            let cfg = LiveSessionConfig {
+                join: mode,
+                segments_to_play: 4,
+                poll_ticks: 20,
+                start_tick: 500,
+                ..Default::default()
+            };
+            run_live_session(&mut server, &mut origin, "chan", &cfg).unwrap()
+        };
+        let dvr = join(JoinMode::DvrStart);
+        let edge = join(JoinMode::LiveEdge);
+        assert!(
+            dvr.segments[0].seq < edge.segments[0].seq,
+            "DvrStart enters earlier in the timeline: {} vs {}",
+            dvr.segments[0].seq,
+            edge.segments[0].seq
+        );
+        assert!(
+            dvr.stale_manifest_ticks <= edge.stale_manifest_ticks,
+            "runway means less waiting on the live edge"
+        );
+    }
+
+    #[test]
+    fn slow_live_viewer_skips_expired_content_and_keeps_playing() {
+        use crate::ladder::{LiveOrigin, LiveOriginConfig};
+
+        let frames = SequenceGen::new(22).panning_sequence(48, 32, 12, 1, 0);
+        let cfg = LadderConfig {
+            targets_bits_per_frame: vec![2_000.0, 6_000.0, 18_000.0],
+            gop: 4,
+            ..Default::default()
+        };
+        let ladder = encode_ladder("chan", &frames, &cfg).unwrap();
+        let mut server = ContentServer::new();
+        // A hot pace (10 ticks/segment) with a 1-deep window: any
+        // viewer slower than the pace keeps losing its next segment.
+        let mut origin = LiveOrigin::new(
+            ladder,
+            LiveOriginConfig {
+                dvr_window_segments: 1,
+                ticks_per_segment: 10,
+            },
+        )
+        .unwrap();
+        let session = LiveSessionConfig {
+            base: SessionConfig {
+                max_rung: Some(0),
+                ..Default::default()
+            },
+            join: JoinMode::DvrStart,
+            segments_to_play: 5,
+            poll_ticks: 5,
+            start_tick: 0,
+            max_stale_refreshes: 64,
+        };
+        let r = run_live_session(&mut server, &mut origin, "chan", &session).unwrap();
+        assert_eq!(r.segments.len(), 5, "skipping forward must keep playing");
+        assert!(
+            r.window_skips > 0,
+            "a too-slow viewer must lose content to expiry"
+        );
+        // Sequences still strictly increase (never replayed, never
+        // rewound) even across skips.
+        for w in r.segments.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+    }
+
+    #[test]
+    fn live_session_via_edge_rides_the_cache_and_honours_expiry() {
+        use crate::edge::{EdgeCache, EdgeConfig};
+
+        let (mut server, mut origin, _) = live_channel(false);
+        let mut edge = EdgeCache::new(EdgeConfig {
+            mutable_ttl_ticks: 50,
+            ..Default::default()
+        });
+        let cfg = LiveSessionConfig {
+            segments_to_play: 6,
+            poll_ticks: 20,
+            ..Default::default()
+        };
+        let a =
+            run_live_session_via_edge(&mut server, &mut origin, &mut edge, "chan", &cfg).unwrap();
+        assert_eq!(a.segments.len(), 6);
+        let after_a = *edge.stats();
+        assert!(after_a.misses > 0, "cold edge fills from the origin");
+        assert!(
+            after_a.revalidations > 0,
+            "manifest refreshes past the TTL must revalidate"
+        );
+        assert!(
+            after_a.invalidations > 0,
+            "window expiry must purge cached segments"
+        );
+        // A second viewer tunes in where the channel now is and wants
+        // the DVR window the first viewer's fills already cached.
+        let tune_in = origin.publish_tick(origin.live_seq().unwrap());
+        let b = run_live_session_via_edge(
+            &mut server,
+            &mut origin,
+            &mut edge,
+            "chan",
+            &LiveSessionConfig {
+                join: JoinMode::DvrStart,
+                start_tick: tune_in,
+                ..cfg
+            },
+        )
+        .unwrap();
+        assert_eq!(b.segments.len(), 6);
+        assert!(
+            edge.stats().hits > after_a.hits,
+            "the cache must be doing work"
+        );
+    }
+
+    #[test]
+    fn endless_origin_outage_stalls_out_instead_of_polling_forever() {
+        use crate::edge::{EdgeCache, EdgeConfig};
+
+        let (mut server, mut origin, _) = live_channel(false);
+        let mut edge = EdgeCache::new(EdgeConfig {
+            mutable_ttl_ticks: 50,
+            ..Default::default()
+        });
+        // Both viewers pinned to rung 0 so the second finds the
+        // first's cached objects and reaches the manifest stall (not a
+        // cold-segment miss).
+        let cfg = LiveSessionConfig {
+            base: SessionConfig {
+                max_rung: Some(0),
+                ..Default::default()
+            },
+            segments_to_play: 4,
+            poll_ticks: 20,
+            ..Default::default()
+        };
+        run_live_session_via_edge(&mut server, &mut origin, &mut edge, "chan", &cfg)
+            .expect("first viewer warms the edge");
+        // The edge loses its origin: the cached manifest serves
+        // stale-if-error forever and can never advance. A later viewer
+        // must hit the refresh budget and error out, not spin.
+        edge.set_origin_up(false);
+        let tune_in = origin.publish_tick(origin.live_seq().unwrap());
+        let err = run_live_session_via_edge(
+            &mut server,
+            &mut origin,
+            &mut edge,
+            "chan",
+            &LiveSessionConfig {
+                start_tick: tune_in,
+                max_stale_refreshes: 8,
+                ..cfg
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, SessionError::LiveStalled);
+    }
+
+    #[test]
+    fn live_session_against_a_vod_manifest_is_refused() {
+        let (server, _) = published(false);
+        let (_, mut origin, _) = live_channel(false);
+        let mut server = server;
+        assert_eq!(
+            run_live_session(
+                &mut server,
+                &mut origin,
+                "movie",
+                &LiveSessionConfig::default()
+            )
+            .unwrap_err(),
+            SessionError::NotLive
+        );
     }
 
     #[test]

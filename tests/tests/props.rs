@@ -333,6 +333,7 @@ proptest! {
             title: "prop".to_string(),
             ticks_per_frame: tpf,
             sealed: false,
+            live: None,
             rungs,
         };
         let bytes = manifest.to_bytes();
@@ -382,6 +383,186 @@ proptest! {
                 "budget violated: {} > {}", lru.held_bytes(), capacity);
             prop_assert_eq!(lru.len(), live.len());
         }
+    }
+
+    /// Live manifest refresh is monotone for any wheel shape, DVR depth,
+    /// publish pace, and advance schedule: successive `LiveOrigin`
+    /// manifests have non-decreasing `live_seq` and generation, a window
+    /// never wider than the DVR depth, every listed segment is fetchable
+    /// from the origin server at its advertised size, and every manifest
+    /// parse→serialise round-trips.
+    #[test]
+    fn live_manifest_refresh_is_monotone_and_fetchable(
+        n_rungs in 1usize..3,
+        wheel_len in 1usize..5,
+        dvr in 1u64..6,
+        tps in 1u64..200,
+        advances in prop::collection::vec(0u64..2000, 1..12),
+    ) {
+        // A hand-built wheel (no encoder in the loop): entry sizes vary
+        // per (rung, segment) so fetch-size checks are meaningful.
+        let rungs: Vec<mmstream::ladder::RungInfo> = (0..n_rungs)
+            .map(|r| mmstream::ladder::RungInfo {
+                target_bits_per_frame: 1000.0 * (r + 1) as f64,
+                segments: (0..wheel_len)
+                    .map(|s| mmstream::ladder::SegmentEntry {
+                        name: format!("r{r}_s{s}.ts"),
+                        bytes: 50 + r * 37 + s * 11,
+                        frames: 4,
+                        nonce: ((r as u32) << 16) | s as u32,
+                    })
+                    .collect(),
+            })
+            .collect();
+        let segments: Vec<Vec<Vec<u8>>> = rungs
+            .iter()
+            .map(|r| r.segments.iter().map(|s| vec![0xA5u8; s.bytes]).collect())
+            .collect();
+        let wheel = mmstream::Ladder {
+            manifest: mmstream::Manifest {
+                title: "prop".to_string(),
+                ticks_per_frame: 10,
+                sealed: false,
+                live: None,
+                rungs,
+            },
+            segments,
+        };
+        let mut origin = mmstream::LiveOrigin::new(
+            wheel,
+            mmstream::LiveOriginConfig { dvr_window_segments: dvr, ticks_per_segment: tps },
+        )
+        .unwrap();
+        let mut server = netstack::fetch::ContentServer::new();
+        let mut now = 0u64;
+        let mut prev: Option<mmstream::LiveWindow> = None;
+        for step in advances {
+            now += step;
+            origin.advance_to(&mut server, now);
+            let manifest = origin.manifest().expect("advanced origins have a window");
+            let w = manifest.live.expect("live manifests carry a window");
+            if let Some(p) = prev {
+                prop_assert!(w.live_seq >= p.live_seq, "live edge rewound");
+                prop_assert!(w.first_seq >= p.first_seq, "window start rewound");
+                prop_assert!(w.generation >= p.generation, "version rewound");
+            }
+            prop_assert!(w.len() <= dvr, "window {} wider than DVR {}", w.len(), dvr);
+            prop_assert_eq!(w.live_seq, now / tps, "publish clock drifted");
+            // Every listed segment fetchable at its advertised size.
+            for (ri, rung) in manifest.rungs.iter().enumerate() {
+                for (i, entry) in rung.segments.iter().enumerate() {
+                    let obj = server
+                        .get(&manifest.segment_object(ri, i))
+                        .expect("listed implies published");
+                    prop_assert_eq!(obj.len(), entry.bytes);
+                }
+            }
+            // The published manifest object matches, and round-trips.
+            let published = mmstream::Manifest::from_bytes(
+                server.get("prop/manifest").expect("manifest published"),
+            )
+            .unwrap();
+            prop_assert_eq!(&published, &manifest);
+            prop_assert_eq!(
+                &mmstream::Manifest::from_bytes(&manifest.to_bytes()).unwrap(),
+                &manifest
+            );
+            prev = Some(w);
+        }
+    }
+
+    /// Request coalescing under concurrent misses: for any interleaving
+    /// of requests, failures, and completions across keys and
+    /// generations, exactly one fill is started per in-flight period of
+    /// each `(key, generation)` — a waiter can never start a second
+    /// origin round trip, and only a failure (or completion) re-arms the
+    /// slot so a retry starts exactly one fresh fill.
+    #[test]
+    fn fill_table_starts_exactly_one_fill_per_generation(
+        ops in prop::collection::vec((0u8..6, 0u64..3, 0u8..8), 1..120),
+    ) {
+        let mut fills: mmstream::FillTable<u8, ()> = mmstream::FillTable::new();
+        let mut inflight = std::collections::BTreeSet::new();
+        let (mut started, mut joined, mut failed) = (0u64, 0u64, 0u64);
+        for (key, generation, op) in ops {
+            match op {
+                // Most ops are requests (waiter bursts); the rest
+                // resolve the fill one way or the other.
+                0..=4 => {
+                    let fresh = fills.request(key, generation, || ());
+                    prop_assert_eq!(
+                        fresh,
+                        !inflight.contains(&(key, generation)),
+                        "a fill must start iff none is in flight"
+                    );
+                    if fresh {
+                        started += 1;
+                        inflight.insert((key, generation));
+                    } else {
+                        joined += 1;
+                    }
+                }
+                5 => {
+                    let had = fills.fail(&key, generation).is_some();
+                    prop_assert_eq!(had, inflight.remove(&(key, generation)));
+                    if had {
+                        failed += 1;
+                    }
+                }
+                _ => {
+                    let had = fills.complete(&key, generation).is_some();
+                    prop_assert_eq!(had, inflight.remove(&(key, generation)));
+                }
+            }
+            prop_assert_eq!(fills.len(), inflight.len());
+            prop_assert_eq!(
+                (fills.started(), fills.joined(), fills.failed()),
+                (started, joined, failed)
+            );
+        }
+        // After a failure, a retry starts exactly one fresh fill.
+        fills.fail(&0, 0);
+        let before = fills.started();
+        prop_assert!(fills.request(0, 0, || ()) || inflight.contains(&(0, 0)));
+        prop_assert!(fills.started() <= before + 1);
+    }
+
+    /// The capacity knee is a max over a filtered set: permuting the
+    /// curve (the order load levels were measured in) never changes it.
+    #[test]
+    fn edge_capacity_knee_is_permutation_invariant(
+        levels in prop::collection::vec((1usize..10_000, 0.0f64..0.2), 1..12),
+        rotate in 0usize..12,
+    ) {
+        let curve: Vec<mmstream::EdgeLoadReport> = levels
+            .iter()
+            .map(|&(sessions, rebuffer_fraction)| mmstream::EdgeLoadReport {
+                load: mmstream::LoadReport {
+                    sessions,
+                    completed: sessions,
+                    ticks: 1,
+                    total_goodput_bits_per_tick: 0.0,
+                    mean_session_bits_per_tick: 0.0,
+                    mean_startup_ticks: 0.0,
+                    rebuffer_sessions: (sessions as f64 * rebuffer_fraction) as usize,
+                    rebuffer_fraction,
+                    mean_rung: 0.0,
+                    rung_switches: 0,
+                    departed: 0,
+                },
+                per_edge: Vec::new(),
+                tier: mmstream::EdgeStats::default(),
+                hit_rate: 0.0,
+                origin_offload: 0.0,
+            })
+            .collect();
+        let knee = mmstream::edge_capacity_knee(&curve, 0.05);
+        let mut permuted = curve.clone();
+        permuted.reverse();
+        prop_assert_eq!(mmstream::edge_capacity_knee(&permuted, 0.05), knee);
+        let n = permuted.len().max(1);
+        permuted.rotate_left(rotate % n);
+        prop_assert_eq!(mmstream::edge_capacity_knee(&permuted, 0.05), knee);
     }
 
     /// Borrowed `BlockView` gathers (interior and edge-clamped) agree
