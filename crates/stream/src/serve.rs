@@ -19,6 +19,9 @@
 //! single-uplink ceiling. Both are the same engine; the single origin is
 //! literally the one-edge, everything-cached special case.
 
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
+
 use signal::rng::Xoroshiro128;
 
 use crate::edge::{splitmix64, EdgeStats, EdgeTierConfig, FillTable, Lru, Sharding};
@@ -472,12 +475,14 @@ fn exp_ticks(rng: &mut Xoroshiro128, mean: f64) -> u64 {
 }
 
 /// The shared fluid engine. Returns the sessions, the edges, the final
-/// simulation tick, and the live-gate aggregates (zero for VOD).
+/// simulation tick, the live-gate aggregates (zero for VOD), and the
+/// count of phantom sessions (arrivals a saturated churn clock could
+/// never schedule — they denominate the report but never simulate).
 fn run_fluid(
     manifest: &Manifest,
     load: &LoadConfig,
     p: &TierParams,
-) -> (Vec<SimSession>, Vec<SimEdge>, u64, LiveStats) {
+) -> (Vec<SimSession>, Vec<SimEdge>, u64, LiveStats, usize) {
     let n_segments = manifest.segment_count();
     let q = load.tick_quantum.max(1);
 
@@ -508,16 +513,35 @@ fn run_fluid(
     let mut schedule: Vec<(u64, Option<u64>)> = (0..load.sessions)
         .map(|_| (rng.below(load.stagger_ticks + 1), None))
         .collect();
+    // An exhausted churn schedule terminates the arrival stream
+    // *explicitly*: once the clock saturates, no further arrival can
+    // ever fall due, so the remaining churn sessions are accounted as
+    // phantoms (they count in the report denominator but never enter
+    // the simulation) instead of freezing `alive` above zero and
+    // spinning the engine to `max_ticks`.
     let mut churn_clock = 0u64;
-    for _ in 0..c.churn_sessions {
-        churn_clock = churn_clock.saturating_add(exp_ticks(&mut rng, c.mean_interarrival_ticks));
+    let mut phantoms = 0usize;
+    for drawn in 0..c.churn_sessions {
+        match churn_clock.checked_add(exp_ticks(&mut rng, c.mean_interarrival_ticks)) {
+            Some(t) if t < u64::MAX => churn_clock = t,
+            _ => {
+                phantoms = c.churn_sessions - drawn;
+                break;
+            }
+        }
         let depart = (c.mean_watch_ticks > 0.0)
-            .then(|| churn_clock + exp_ticks(&mut rng, c.mean_watch_ticks).max(1));
+            .then(|| churn_clock.saturating_add(exp_ticks(&mut rng, c.mean_watch_ticks).max(1)));
         schedule.push((churn_clock, depart));
     }
     for _ in 0..c.flash_sessions {
-        let at = c.flash_at_tick + rng.below(c.flash_ramp_ticks + 1);
-        schedule.push((at, None));
+        let at = c
+            .flash_at_tick
+            .saturating_add(rng.below(c.flash_ramp_ticks.saturating_add(1)));
+        if at == u64::MAX {
+            phantoms += 1;
+        } else {
+            schedule.push((at, None));
+        }
     }
 
     let mut sessions: Vec<SimSession> = schedule
@@ -566,6 +590,23 @@ fn run_fluid(
     }
     let all_arrived_by = sessions.iter().map(|s| s.start_tick).max().unwrap_or(0);
 
+    // Alive-set bookkeeping: a quantum touches only sessions that have
+    // arrived and not yet finished. Arrivals pop off a start-tick-sorted
+    // cursor, departures off a min-heap, and the per-quantum departure
+    // sweep / `arrived` recount over the whole population are gone —
+    // the reports are bit-identical to the full-scan engine (golden-
+    // pinned in the tests).
+    let mut arrival_order: Vec<u32> = (0..sessions.len() as u32).collect();
+    arrival_order.sort_by_key(|&i| sessions[i as usize].start_tick);
+    let mut next_arrival = 0usize;
+    let mut departures: BinaryHeap<Reverse<(u64, u32)>> = sessions
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.depart_at.map(|d| Reverse((d, i as u32))))
+        .collect();
+    let mut active: BTreeSet<u32> = BTreeSet::new();
+    let mut scratch: Vec<u32> = Vec::with_capacity(sessions.len());
+
     let mut now = 0u64;
     let mut alive = sessions.len();
     let mut downloading = vec![0usize; p.edges];
@@ -573,17 +614,29 @@ fn run_fluid(
     let mut publish_wait_ticks = 0u64;
     let mut window_skips = 0u64;
     while alive > 0 && now < load.max_ticks {
-        // Churn departures happen on the quantum they fall due.
-        for s in sessions.iter_mut() {
-            if s.done_at.is_none() && s.depart_at.is_some_and(|d| d <= now) {
+        // Arrivals due this quantum activate...
+        while next_arrival < arrival_order.len() {
+            let i = arrival_order[next_arrival];
+            if sessions[i as usize].start_tick > now {
+                break;
+            }
+            active.insert(i);
+            next_arrival += 1;
+        }
+        // ...and churn departures happen on the quantum they fall due.
+        while let Some(&Reverse((d, i))) = departures.peek() {
+            if d > now {
+                break;
+            }
+            departures.pop();
+            let s = &mut sessions[i as usize];
+            if s.done_at.is_none() {
                 s.done_at = Some(now);
                 alive -= 1;
+                active.remove(&i);
             }
         }
-        let arrived = sessions
-            .iter()
-            .filter(|s| s.done_at.is_none() && s.start_tick <= now)
-            .count();
+        let arrived = active.len();
         if arrived == 0 {
             now += q;
             continue;
@@ -643,10 +696,10 @@ fn run_fluid(
         // only if its segment is now live *and* already cached (it
         // will request and hit below).
         downloading.iter_mut().for_each(|d| *d = 0);
-        for s in &sessions {
-            if s.done_at.is_some() || s.start_tick > now {
-                continue;
-            }
+        scratch.clear();
+        scratch.extend(active.iter().copied());
+        for &i in &scratch {
+            let s = &sessions[i as usize];
             let will_download = if s.pending_request {
                 let l = p.live.expect("pending only in live mode");
                 let rung = if s.fetched == 0 {
@@ -666,10 +719,8 @@ fn run_fluid(
             }
         }
 
-        for s in sessions.iter_mut() {
-            if s.done_at.is_some() || s.start_tick > now {
-                continue;
-            }
+        for &i in &scratch {
+            let s = &mut sessions[i as usize];
             let e = &mut edges[s.edge];
             if !s.started {
                 s.started = true;
@@ -826,6 +877,7 @@ fn run_fluid(
             }
             s.fetch_start = end;
         }
+        active.retain(|&i| sessions[i as usize].done_at.is_none());
         now += q;
         // Stasis: every arrival has happened and a whole quantum passed
         // with no byte moved anywhere (e.g. an origin outage with cold
@@ -839,12 +891,12 @@ fn run_fluid(
             // segment publishes — including the final one, which may
             // have gone live this very quantum without being consumed
             // yet.
-            let waiters_due = sessions
+            let waiters_due = active.iter().any(|&i| sessions[i as usize].pending_request);
+            // Entries due at or before `now` were popped at the loop
+            // top, so anything left in the heap is a future departure.
+            let departures_due = departures
                 .iter()
-                .any(|s| s.done_at.is_none() && s.start_tick <= now && s.pending_request);
-            let departures_due = sessions
-                .iter()
-                .any(|s| s.done_at.is_none() && s.depart_at.is_some_and(|d| d > now));
+                .any(|&Reverse((_, i))| sessions[i as usize].done_at.is_none());
             if !publishes_due && !waiters_due && !departures_due {
                 break;
             }
@@ -858,7 +910,7 @@ fn run_fluid(
         publish_wait_ticks,
         window_skips,
     };
-    (sessions, edges, now, live_stats)
+    (sessions, edges, now, live_stats, phantoms)
 }
 
 /// Folds finished sessions into the aggregate report.
@@ -919,8 +971,8 @@ pub fn simulate_load(manifest: &Manifest, server: &ServerConfig, load: &LoadConf
     if p.degenerate(manifest, load) {
         return LoadReport::degenerate(load.population());
     }
-    let (sessions, _, now, _) = run_fluid(manifest, load, &p);
-    let n = sessions.len();
+    let (sessions, _, now, _, phantoms) = run_fluid(manifest, load, &p);
+    let n = sessions.len() + phantoms;
     finish(&sessions, n, now)
 }
 
@@ -960,8 +1012,8 @@ pub fn simulate_live_load(
             live: LiveStats::default(),
         };
     }
-    let (sessions, _, now, live_stats) = run_fluid(manifest, load, &p);
-    let n = sessions.len();
+    let (sessions, _, now, live_stats, phantoms) = run_fluid(manifest, load, &p);
+    let n = sessions.len() + phantoms;
     LiveLoadReport {
         load: finish(&sessions, n, now),
         live: live_stats,
@@ -1004,7 +1056,7 @@ fn run_edge(manifest: &Manifest, load: &LoadConfig, p: TierParams) -> (EdgeLoadR
             LiveStats::default(),
         );
     }
-    let (sessions, edges, now, live_stats) = run_fluid(manifest, load, &p);
+    let (sessions, edges, now, live_stats, phantoms) = run_fluid(manifest, load, &p);
     let per_edge: Vec<EdgeReportEntry> = edges
         .iter()
         .map(|e| EdgeReportEntry {
@@ -1015,7 +1067,7 @@ fn run_edge(manifest: &Manifest, load: &LoadConfig, p: TierParams) -> (EdgeLoadR
     let tier_stats = per_edge
         .iter()
         .fold(EdgeStats::default(), |acc, e| acc.merged(&e.stats));
-    let n = sessions.len();
+    let n = sessions.len() + phantoms;
     (
         EdgeLoadReport {
             load: finish(&sessions, n, now),
@@ -1129,6 +1181,217 @@ mod tests {
             .iter()
             .flat_map(|r| r.segments.iter().map(|s| s.bytes))
             .sum()
+    }
+
+    /// Relative f64 closeness for report fields whose only permitted
+    /// divergence is floating-point summation order.
+    fn rel_close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * b.abs().max(1.0)
+    }
+
+    /// Golden pins captured from the PR 5 full-scan quantum engine.
+    /// Integer fields must match *exactly*; f64 fields to 1e-9 relative
+    /// (they are sums whose order the cohort engine may legally change).
+    /// Any engine change that shifts a completion tick, a rebuffer
+    /// count, or an edge counter breaks these loudly.
+    fn assert_golden(r: &LoadReport, g: &LoadReport) {
+        assert_eq!(
+            (
+                r.sessions,
+                r.completed,
+                r.ticks,
+                r.rebuffer_sessions,
+                r.rung_switches,
+                r.departed
+            ),
+            (
+                g.sessions,
+                g.completed,
+                g.ticks,
+                g.rebuffer_sessions,
+                g.rung_switches,
+                g.departed
+            ),
+            "integer report fields diverged: {r:?} vs {g:?}"
+        );
+        for (a, b) in [
+            (r.total_goodput_bits_per_tick, g.total_goodput_bits_per_tick),
+            (r.mean_session_bits_per_tick, g.mean_session_bits_per_tick),
+            (r.mean_startup_ticks, g.mean_startup_ticks),
+            (r.rebuffer_fraction, g.rebuffer_fraction),
+            (r.mean_rung, g.mean_rung),
+        ] {
+            assert!(
+                rel_close(a, b),
+                "f64 report field diverged: {a} vs {b}\n{r:?}\n{g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn golden_vod_report_matches_the_seed_engine() {
+        let m = manifest();
+        let r = simulate_load(
+            &m,
+            &ServerConfig::default(),
+            &LoadConfig {
+                sessions: 700,
+                ..Default::default()
+            },
+        );
+        assert_golden(
+            &r,
+            &LoadReport {
+                sessions: 700,
+                completed: 700,
+                ticks: 1084,
+                total_goodput_bits_per_tick: 30107.749077490775,
+                mean_session_bits_per_tick: 456.0807901306719,
+                mean_startup_ticks: 52.73,
+                rebuffer_sessions: 0,
+                rebuffer_fraction: 0.0,
+                mean_rung: 1.5,
+                rung_switches: 700,
+                departed: 0,
+            },
+        );
+    }
+
+    #[test]
+    fn golden_churned_edge_report_matches_the_seed_engine() {
+        let m = manifest();
+        let tier = EdgeTierConfig {
+            edges: 3,
+            prewarm: false,
+            cache_capacity_bytes: title_bytes(&m) / 2,
+            ..Default::default()
+        };
+        let load = LoadConfig {
+            sessions: 200,
+            churn: ChurnConfig {
+                churn_sessions: 150,
+                mean_interarrival_ticks: 300.0,
+                mean_watch_ticks: 4_000.0,
+                flash_sessions: 100,
+                flash_at_tick: 20_000,
+                flash_ramp_ticks: 5_000,
+            },
+            ..Default::default()
+        };
+        let r = simulate_edge_load(&m, &tier, &load);
+        assert_golden(
+            &r.load,
+            &LoadReport {
+                sessions: 450,
+                completed: 447,
+                ticks: 48996,
+                total_goodput_bits_per_tick: 427.2015674748959,
+                mean_session_bits_per_tick: 756.4441274993856,
+                mean_startup_ticks: 29.56222222222222,
+                rebuffer_sessions: 0,
+                rebuffer_fraction: 0.0,
+                mean_rung: 1.4988864142538976,
+                rung_switches: 450,
+                departed: 3,
+            },
+        );
+        assert_eq!(
+            r.tier,
+            EdgeStats {
+                hits: 1780,
+                misses: 12,
+                coalesced: 7,
+                evictions: 0,
+                revalidations: 0,
+                invalidations: 0,
+                origin_bytes: 17484,
+                served_bytes: 2616396,
+            }
+        );
+    }
+
+    #[test]
+    fn golden_live_report_matches_the_seed_engine() {
+        let m = manifest();
+        let live = LiveConfig {
+            dvr_window_segments: 8,
+            join: JoinMode::LiveEdge,
+            ..Default::default()
+        };
+        let r = simulate_live_load(
+            &m,
+            &ServerConfig::default(),
+            &live,
+            &LoadConfig {
+                sessions: 300,
+                ..Default::default()
+            },
+        );
+        assert_golden(
+            &r.load,
+            &LoadReport {
+                sessions: 300,
+                completed: 300,
+                ticks: 1316,
+                total_goodput_bits_per_tick: 7869.714285714285,
+                mean_session_bits_per_tick: 43.79183931778799,
+                mean_startup_ticks: 314.31666666666666,
+                rebuffer_sessions: 0,
+                rebuffer_fraction: 0.0,
+                mean_rung: 1.3704092339979013,
+                rung_switches: 300,
+                departed: 0,
+            },
+        );
+        assert!(rel_close(r.live.mean_latency_ticks, 131.77334732423924));
+        assert_eq!(r.live.max_latency_ticks, 448);
+        assert_eq!(r.live.publish_wait_ticks, 170520);
+        assert_eq!(r.live.window_skips, 0);
+    }
+
+    #[test]
+    fn exhausted_churn_schedules_terminate_the_arrival_stream() {
+        // A churn clock that saturates near `u64::MAX` used to leave
+        // the un-scheduled arrivals counted as alive forever, spinning
+        // the engine to `max_ticks`. Now the stream terminates
+        // explicitly: the impossible arrivals become phantoms that
+        // denominate the report but never simulate.
+        let m = manifest();
+        let load = LoadConfig {
+            sessions: 40,
+            churn: ChurnConfig {
+                churn_sessions: 25,
+                mean_interarrival_ticks: 1e300, // first gap saturates
+                mean_watch_ticks: 100.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let r = simulate_load(&m, &ServerConfig::default(), &load);
+        assert_eq!(r.sessions, 65, "phantoms still denominate");
+        assert_eq!(r.completed, 40, "the base population completes");
+        assert_eq!(r.departed, 0);
+        // The engine finished at the base population's pace instead of
+        // spinning out the 10M-tick ceiling.
+        assert!(r.ticks < 100_000, "terminated at {}", r.ticks);
+        // Deterministic, like every other config.
+        assert_eq!(r, simulate_load(&m, &ServerConfig::default(), &load));
+
+        // A flash ramp pushed off the end of time is likewise phantom,
+        // not frozen.
+        let flashed = LoadConfig {
+            churn: ChurnConfig {
+                flash_sessions: 10,
+                flash_at_tick: u64::MAX,
+                flash_ramp_ticks: 0,
+                ..Default::default()
+            },
+            ..load
+        };
+        let r = simulate_load(&m, &ServerConfig::default(), &flashed);
+        assert_eq!(r.sessions, 50, "40 base + 10 phantom flash");
+        assert_eq!(r.completed, 40);
+        assert!(r.ticks < 100_000);
     }
 
     #[test]
