@@ -465,6 +465,50 @@ impl SimEdge {
     }
 }
 
+/// The epsilon-stable download-completion threshold for a segment of
+/// `segment_bytes`: a transfer is complete once its remaining bytes
+/// fall *at or below* this, not exactly to `0.0`.
+///
+/// The hot loop drains `remaining_bytes -= rate * step` once per
+/// quantum, and each subtraction can round by half an ulp — over a
+/// 10M-tick run that accumulates to ~1e-4 bytes of drift, so a path
+/// that advances the same download analytically (`remaining - k *
+/// rate * step`, the cohort engine's fused form) could disagree with
+/// the iterated path about *which quantum* crossed zero. The epsilon
+/// is sized orders of magnitude above the worst accumulated drift and
+/// orders of magnitude below a deliverable byte, so both paths agree
+/// on every segment-completion tick (regression-pinned at 10M ticks).
+pub(crate) fn completion_eps(segment_bytes: f64) -> f64 {
+    segment_bytes.max(1.0) * 1e-8
+}
+
+/// Quanta until a download of `remaining` bytes completes at
+/// `per_quantum` bytes per quantum under the epsilon-stable rule: the
+/// smallest `k >= 1` with `remaining - k * per_quantum <= eps`. This is
+/// the analytic (fused) form of the iterated hot-loop drain; the two
+/// must agree on completion quanta (see [`completion_eps`]).
+// Consumed by the cohort fast path (and the 10M-tick regression pin);
+// the iterated hot loop above stays authoritative.
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn quanta_to_complete(remaining: f64, per_quantum: f64, eps: f64) -> u64 {
+    if remaining <= eps {
+        return 0;
+    }
+    if per_quantum.is_nan() || per_quantum <= 0.0 {
+        return u64::MAX;
+    }
+    let mut k = ((remaining - eps) / per_quantum).ceil().max(1.0) as u64;
+    // The division can land a rounding error on either side of the
+    // boundary quantum; nudge onto the exact side of the rule.
+    while remaining - (k as f64) * per_quantum > eps {
+        k += 1;
+    }
+    while k > 1 && remaining - ((k - 1) as f64) * per_quantum <= eps {
+        k -= 1;
+    }
+    k
+}
+
 /// One exponential(mean) draw in ticks (0 for a disabled mean).
 fn exp_ticks(rng: &mut Xoroshiro128, mean: f64) -> u64 {
     if !mean.is_finite() || mean <= 0.0 {
@@ -675,7 +719,8 @@ fn run_fluid(
                     .iter_mut()
                     .filter_map(|(k, rem)| {
                         *rem -= fill_rate * step;
-                        (*rem <= 0.0).then_some(k.0)
+                        let total = manifest.rungs[k.0 .0].segments[k.0 .1].bytes as f64;
+                        (*rem <= completion_eps(total)).then_some(k.0)
                     })
                     .collect();
                 for k in done {
@@ -812,12 +857,12 @@ fn run_fluid(
             let rate = (p.edge_capacity / downloading[s.edge].max(1) as f64).min(p.per_session);
             s.remaining_bytes -= rate * step;
             progressed = true;
-            if s.remaining_bytes > 0.0 {
+            let entry = &manifest.rungs[s.rung].segments[s.seg];
+            if s.remaining_bytes > completion_eps(entry.bytes as f64) {
                 continue;
             }
             // Segment complete at the end of this quantum.
             let end = now + q;
-            let entry = &manifest.rungs[s.rung].segments[s.seg];
             let elapsed = end.saturating_sub(s.fetch_start).max(1);
             s.abr.observe((entry.bytes * 8) as f64, elapsed as f64);
             s.delivered_bits += (entry.bytes * 8) as u64;
@@ -1347,6 +1392,68 @@ mod tests {
         assert_eq!(r.live.max_latency_ticks, 448);
         assert_eq!(r.live.publish_wait_ticks, 170520);
         assert_eq!(r.live.window_skips, 0);
+    }
+
+    #[test]
+    fn iterated_and_analytic_completion_agree_at_ten_million_ticks() {
+        // Satellite pin for the f64 byte accounting: the per-quantum
+        // iterated drain (`rem -= per_quantum`, the per-session hot
+        // loop) and the fused analytic form (`rem - k * per_quantum`,
+        // the cohort fast path) must agree on the completion quantum
+        // even after 2.5M subtractions (10M ticks at quantum 4), where
+        // accumulated rounding drift peaks.
+        for (bytes, per_quantum) in [
+            (10_000.0f64, 0.004f64), // 2.5M quanta exactly on paper
+            (9_999.7, 0.0041),       // non-representable fractions
+            (123_456.78, 0.049),
+            (7.0, 3.0), // tiny transfer, coarse quanta
+        ] {
+            let eps = completion_eps(bytes);
+            let analytic = quanta_to_complete(bytes, per_quantum, eps);
+            let mut rem = bytes;
+            let mut iterated = 0u64;
+            while rem > eps {
+                rem -= per_quantum;
+                iterated += 1;
+            }
+            assert_eq!(
+                iterated, analytic,
+                "completion quantum diverged for {bytes} B at {per_quantum} B/quantum"
+            );
+            // The drift the epsilon must absorb stays far inside it.
+            let fused = bytes - analytic as f64 * per_quantum;
+            assert!(
+                (rem - fused).abs() < eps / 100.0,
+                "accumulated drift {} vs eps {eps}",
+                (rem - fused).abs()
+            );
+        }
+        // Degenerate guards.
+        assert_eq!(quanta_to_complete(0.0, 1.0, completion_eps(1.0)), 0);
+        assert_eq!(quanta_to_complete(10.0, 0.0, 1e-8), u64::MAX);
+        assert_eq!(quanta_to_complete(10.0, f64::NAN, 1e-8), u64::MAX);
+    }
+
+    #[test]
+    fn ten_million_tick_run_completes_deterministically() {
+        // Engine-level long-run pin: a starved session draining one
+        // segment over millions of quanta neither wedges on the
+        // epsilon rule nor drifts between runs.
+        let m = manifest();
+        let server = ServerConfig {
+            capacity_bytes_per_tick: 4_000.0,
+            per_session_bytes_per_tick: 0.0003,
+        };
+        let load = LoadConfig {
+            sessions: 1,
+            stagger_ticks: 0,
+            max_ticks: u64::MAX,
+            ..Default::default()
+        };
+        let a = simulate_load(&m, &server, &load);
+        assert_eq!(a.completed, 1, "the starved session still finishes");
+        assert!(a.ticks > 10_000_000, "ran long: {}", a.ticks);
+        assert_eq!(a, simulate_load(&m, &server, &load));
     }
 
     #[test]
