@@ -1,0 +1,1306 @@
+//! The event-calendar + cohort fluid engine behind `serve`'s
+//! `simulate_*` entry points.
+//!
+//! The retired quantum engine advanced **every** arrived session every
+//! quantum — O(ticks × population) — which capped capacity sweeps at a
+//! few thousand viewers. This engine spends per-quantum work on
+//! *cohorts* instead:
+//!
+//! * **Cohorts.** Sessions whose entire dynamic state is value-identical
+//!   are one counted class. The fluid model has no per-session
+//!   randomness after the arrival draw: two viewers arriving on the
+//!   same tick, sharded onto the same edge, run bit-identical dynamics
+//!   forever. A cohort executes each per-quantum f64 operation *once*
+//!   (the same operation sequence the per-session engine would run for
+//!   each member), so its trajectory — every completion tick, rebuffer,
+//!   rung switch — is exactly the per-session trajectory, and the edge
+//!   counters advance by counted arithmetic ([`SimEdge::request_n`]).
+//!   A flash crowd of 100k viewers landing on one tick is one actor.
+//! * **The calendar.** A binary-heap [`EventCalendar`] keyed on each
+//!   cohort's next discrete event (arrival, churn departure) drives the
+//!   clock: quanta where no cohort is active fast-forward straight to
+//!   the next event boundary instead of ticking through the gap, and
+//!   departures/arrivals touch only the cohort they name.
+//! * **Merge/split bookkeeping.** Cohorts whose states converge (same
+//!   edge, equal state) are merged into one class whose member groups
+//!   keep per-arrival accounting (start tick, departure tick, startup
+//!   latency); a scheduled churn departure *splits* its member group
+//!   back out of the class at the departure quantum, folding it into
+//!   the report while the rest of the class keeps simulating.
+//!
+//! Exactness contract, pinned by the golden tests in `serve` and the
+//! oracle-equivalence property tests below: for unbounded edge caches
+//! (every `BENCH` knee sweep), reports are identical to the per-session
+//! quantum oracle — integer fields bit-exact, f64 fields to 1e-9
+//! (summation order). Bounded caches under *eviction* are the one
+//! documented divergence: a cohort touches the LRU once per class
+//! rather than once per member, so recency interleaving — and hence
+//! eviction victims — can legally differ; reports remain deterministic
+//! and within the behavioural tolerances the bounded-cache tests
+//! assert.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
+
+use signal::rng::splitmix64;
+
+use crate::ladder::Manifest;
+use crate::serve::{
+    build_edges, build_schedule, completion_eps, join_point, shard_edge, LiveStats, LoadConfig,
+    LoadReport, Req, SimEdge, TierParams,
+};
+use crate::session::AbrController;
+
+/// Cheap deterministic hasher for the cohort-formation index: the key
+/// is two machine words, and formation does one lookup per *session*
+/// (the only O(population) hot path left), so SipHash is pure
+/// overhead. Determinism does not depend on the hash — cohort order is
+/// schedule order — this is wall-clock only.
+#[derive(Default)]
+struct SplitMixHasher(u64);
+
+impl Hasher for SplitMixHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = splitmix64(self.0 ^ u64::from(b));
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = splitmix64(self.0 ^ v);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+type CohortIndex = HashMap<(u64, usize), u32, BuildHasherDefault<SplitMixHasher>>;
+
+/// How often the engine scans active cohorts for merge candidates.
+/// Merging is pure bookkeeping — it never changes report values (the
+/// merged class runs the identical operation sequence both classes
+/// would have run separately) — so the cadence only trades scan cost
+/// against how quickly converged classes collapse.
+const MERGE_EVERY: u64 = 16;
+
+/// The dynamic state every member of a cohort shares, bit for bit.
+/// This is the per-session engine's `SimSession` minus the per-member
+/// identity fields (`start_tick`, `depart_at`, `startup_ticks`), which
+/// live in [`MemberGroup`]s. Two cohorts may merge exactly when these
+/// compare equal (and they sit on the same edge): equality here means
+/// the members are indistinguishable to every future quantum.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CohortState {
+    pub(crate) abr: AbrController,
+    pub(crate) seg: usize,
+    pub(crate) rung: usize,
+    pub(crate) remaining_bytes: f64,
+    pub(crate) fetch_start: u64,
+    pub(crate) buffer_ticks: f64,
+    pub(crate) fetched: usize,
+    pub(crate) started: bool,
+    pub(crate) startup_after: usize,
+    pub(crate) waiting: bool,
+    pub(crate) pending_request: bool,
+    pub(crate) playing: bool,
+    pub(crate) in_rebuffer: bool,
+    pub(crate) rebuffer_events: u32,
+    pub(crate) rung_switches: u32,
+    pub(crate) rung_sum: u64,
+    pub(crate) delivered_bits: u64,
+    pub(crate) latency_sum: u64,
+    pub(crate) latency_max: u64,
+}
+
+/// Per-arrival accounting inside a cohort: `count` sessions that
+/// arrived at `start_tick`, depart (if churned) at `depart_at`, and —
+/// once the cohort starts playing — observed `startup_ticks` of
+/// startup delay. Groups are what a merge carries over and what a
+/// departure splits back out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct MemberGroup {
+    pub(crate) start_tick: u64,
+    pub(crate) depart_at: Option<u64>,
+    pub(crate) count: u64,
+    pub(crate) startup_ticks: u64,
+}
+
+/// One counted class of identical sessions.
+#[derive(Debug, Clone)]
+pub(crate) struct Cohort {
+    pub(crate) edge: usize,
+    pub(crate) members: Vec<MemberGroup>,
+    pub(crate) state: CohortState,
+    /// Cached member count (`members` group counts summed) — read every
+    /// quantum on the downlink-share pass, maintained on formation,
+    /// departure splits, and merges.
+    pub(crate) n: u64,
+    /// Every member folded into the report (completed, departed, or
+    /// merged away) — the engine never touches this cohort again.
+    pub(crate) done: bool,
+}
+
+impl Cohort {
+    pub(crate) fn count(&self) -> u64 {
+        debug_assert_eq!(self.n, self.members.iter().map(|g| g.count).sum::<u64>());
+        self.n
+    }
+}
+
+/// Discrete per-cohort events the calendar orders. Arrivals sort
+/// before departures on the same tick, mirroring the quantum engine's
+/// arrivals-then-departures loop top.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum EventKind {
+    Arrive,
+    Depart,
+}
+
+/// The binary-heap event calendar: a min-heap of `(tick, kind, cohort)`
+/// so the engine pops exactly the events due by the current quantum and
+/// can fast-forward an idle clock to the next event boundary.
+#[derive(Debug, Default)]
+pub(crate) struct EventCalendar {
+    heap: BinaryHeap<Reverse<(u64, EventKind, u32)>>,
+}
+
+impl EventCalendar {
+    pub(crate) fn push(&mut self, tick: u64, kind: EventKind, cohort: u32) {
+        self.heap.push(Reverse((tick, kind, cohort)));
+    }
+
+    /// The earliest scheduled tick, if any event remains.
+    pub(crate) fn next_tick(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Pops the next event if it is due at or before `now`.
+    pub(crate) fn pop_due(&mut self, now: u64) -> Option<(u64, EventKind, u32)> {
+        if self.next_tick()? > now {
+            return None;
+        }
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    /// Whether any *future* departure still targets a live cohort
+    /// (due events were popped already), for the stasis detector.
+    fn departure_pending(&self, cohorts: &[Cohort], alias: &[u32]) -> bool {
+        self.heap.iter().any(|&Reverse((_, kind, cid))| {
+            kind == EventKind::Depart && !cohorts[resolve(alias, cid) as usize].done
+        })
+    }
+}
+
+/// Follows merge redirections: events scheduled against a cohort that
+/// later merged into another must land on the surviving class.
+fn resolve(alias: &[u32], mut cid: u32) -> u32 {
+    while alias[cid as usize] != cid {
+        cid = alias[cid as usize];
+    }
+    cid
+}
+
+/// The first quantum boundary at or past `target`, starting from the
+/// boundary `now` — where the oracle's q-at-a-time idle ticking would
+/// land, computed in one jump (saturating for `u64::MAX`-adjacent
+/// schedules).
+fn quantized_jump(now: u64, target: u64, q: u64) -> u64 {
+    now.saturating_add((target - now).div_ceil(q).saturating_mul(q))
+}
+
+/// The terminal-fold accumulator: cohorts fold member groups in here
+/// the quantum they finish (and survivors fold at the end), replacing
+/// the oracle's materialised session vector. Integer ledgers are exact
+/// counted arithmetic; the two genuinely floating-point sums
+/// (`rate_sum`, `startup_sum`) are the only report inputs whose
+/// summation order differs from the oracle's per-session fold — and
+/// `startup_sum` stays exact regardless because it only ever adds
+/// integers below 2^53.
+#[derive(Debug, Default)]
+struct Acc {
+    completed: u64,
+    departed: u64,
+    total_bits: u64,
+    rate_sum: f64,
+    started: u64,
+    startup_sum: f64,
+    rebuffer_sessions: u64,
+    fetched: u64,
+    rung_sum: u64,
+    rung_switches: u64,
+    latency_sum: u64,
+    latency_max: u64,
+    max_done: Option<u64>,
+}
+
+impl Acc {
+    /// Folds one member group of a cohort in state `s`: `done_at` is
+    /// the group's finish tick (`None` for a survivor at engine end),
+    /// `completed` whether it reached the end of the title, `now` the
+    /// engine clock used for unfinished lifetimes — all exactly the
+    /// oracle's `finish()` per-session arithmetic, multiplied by count.
+    fn fold(
+        &mut self,
+        s: &CohortState,
+        g: &MemberGroup,
+        done_at: Option<u64>,
+        completed: bool,
+        now: u64,
+    ) {
+        if completed {
+            self.completed += g.count;
+        } else if done_at.is_some() {
+            self.departed += g.count;
+        }
+        if let Some(d) = done_at {
+            self.max_done = Some(self.max_done.map_or(d, |m| m.max(d)));
+        }
+        self.total_bits += s.delivered_bits * g.count;
+        let end = done_at.unwrap_or(now).max(g.start_tick + 1);
+        self.rate_sum += g.count as f64 * (s.delivered_bits as f64 / (end - g.start_tick) as f64);
+        if s.playing {
+            self.started += g.count;
+            self.startup_sum += (g.startup_ticks * g.count) as f64;
+        }
+        if s.rebuffer_events > 0 {
+            self.rebuffer_sessions += g.count;
+        }
+        self.fetched += s.fetched as u64 * g.count;
+        self.rung_sum += s.rung_sum * g.count;
+        self.rung_switches += u64::from(s.rung_switches) * g.count;
+        self.latency_sum += s.latency_sum * g.count;
+        self.latency_max = self.latency_max.max(s.latency_max);
+    }
+
+    fn report(&self, n_sessions: usize, now: u64) -> LoadReport {
+        let end_tick = self.max_done.unwrap_or(now).max(1);
+        let mean_startup = if self.started == 0 {
+            0.0
+        } else {
+            self.startup_sum / self.started as f64
+        };
+        LoadReport {
+            sessions: n_sessions,
+            completed: self.completed as usize,
+            ticks: end_tick,
+            total_goodput_bits_per_tick: self.total_bits as f64 / end_tick as f64,
+            mean_session_bits_per_tick: self.rate_sum / n_sessions.max(1) as f64,
+            mean_startup_ticks: mean_startup,
+            rebuffer_sessions: self.rebuffer_sessions as usize,
+            rebuffer_fraction: self.rebuffer_sessions as f64 / n_sessions.max(1) as f64,
+            mean_rung: self.rung_sum as f64 / self.fetched.max(1) as f64,
+            rung_switches: self.rung_switches,
+            departed: self.departed as usize,
+        }
+    }
+}
+
+/// What one cohort run hands back to the `serve` entry points.
+pub(crate) struct CohortRun {
+    pub(crate) report: LoadReport,
+    pub(crate) edges: Vec<SimEdge>,
+    pub(crate) live: LiveStats,
+}
+
+/// Groups the arrival/departure schedule into cohorts keyed on
+/// `(start_tick, edge)` — the identity that fixes a session's entire
+/// deterministic trajectory — with member groups split by departure
+/// tick. Returns the cohorts in first-arrival order (deterministic:
+/// derived from schedule order, never map iteration).
+fn form_cohorts(
+    schedule: &[(u64, Option<u64>)],
+    manifest: &Manifest,
+    load: &LoadConfig,
+    p: &TierParams,
+    edges: &mut [SimEdge],
+) -> Vec<Cohort> {
+    let n_segments = manifest.segment_count();
+    let mut cohorts: Vec<Cohort> = Vec::new();
+    let mut index = CohortIndex::with_capacity_and_hasher(1024, BuildHasherDefault::default());
+    for (i, &(start_tick, depart_at)) in schedule.iter().enumerate() {
+        let edge = shard_edge(load, p, i);
+        edges[edge].assigned += 1;
+        let cid = *index.entry((start_tick, edge)).or_insert_with(|| {
+            let (join_seq, startup_after) = join_point(p, load, start_tick, n_segments);
+            cohorts.push(Cohort {
+                edge,
+                n: 0,
+                members: Vec::new(),
+                state: CohortState {
+                    abr: AbrController::new(load.ewma_alpha, load.safety),
+                    seg: join_seq,
+                    rung: 0,
+                    remaining_bytes: 0.0,
+                    fetch_start: start_tick,
+                    buffer_ticks: 0.0,
+                    fetched: 0,
+                    started: false,
+                    startup_after,
+                    waiting: false,
+                    pending_request: false,
+                    playing: false,
+                    in_rebuffer: false,
+                    rebuffer_events: 0,
+                    rung_switches: 0,
+                    rung_sum: 0,
+                    delivered_bits: 0,
+                    latency_sum: 0,
+                    latency_max: 0,
+                },
+                done: false,
+            });
+            (cohorts.len() - 1) as u32
+        });
+        let c = &mut cohorts[cid as usize];
+        c.n += 1;
+        if let Some(g) = c.members.iter_mut().find(|g| g.depart_at == depart_at) {
+            g.count += 1;
+        } else {
+            c.members.push(MemberGroup {
+                start_tick,
+                depart_at,
+                count: 1,
+                startup_ticks: 0,
+            });
+        }
+    }
+    cohorts
+}
+
+/// Merges cohort `b` into `a` (same edge, equal state): member groups
+/// carry over, combining with any group they are indistinguishable
+/// from. `b` becomes a tombstone its pending calendar events redirect
+/// through.
+fn merge_into(cohorts: &mut [Cohort], a: u32, b: u32) {
+    debug_assert!(a != b);
+    debug_assert_eq!(cohorts[a as usize].edge, cohorts[b as usize].edge);
+    debug_assert!(cohorts[a as usize].state == cohorts[b as usize].state);
+    let groups = std::mem::take(&mut cohorts[b as usize].members);
+    let moved = std::mem::take(&mut cohorts[b as usize].n);
+    cohorts[b as usize].done = true;
+    let target = &mut cohorts[a as usize];
+    target.n += moved;
+    for g in groups {
+        if let Some(g2) = target.members.iter_mut().find(|g2| {
+            g2.start_tick == g.start_tick
+                && g2.depart_at == g.depart_at
+                && g2.startup_ticks == g.startup_ticks
+        }) {
+            g2.count += g.count;
+        } else {
+            target.members.push(g);
+        }
+    }
+}
+
+/// One merge sweep over the active set: bucket by a cheap integral key,
+/// then collapse classes whose full state compares equal. Report
+/// values are unaffected (see [`MERGE_EVERY`]); only the number of
+/// actors the next quanta touch shrinks.
+fn merge_converged(cohorts: &mut [Cohort], active: &mut Vec<u32>, alias: &mut [u32]) {
+    if active.len() < 2 {
+        return;
+    }
+    // Every field here must also be part of `CohortState` equality, so
+    // tighter bucketing never hides a legal merge — it only spares the
+    // full-state compare for classes that can't merge anyway (e.g.
+    // same-phase cohorts whose EWMA or buffer history differs).
+    let cheap_key = |c: &Cohort| {
+        (
+            c.edge,
+            c.state.seg,
+            c.state.rung,
+            c.state.fetched,
+            c.state.fetch_start,
+            c.state.delivered_bits,
+            c.state.buffer_ticks.to_bits(),
+            c.state.remaining_bytes.to_bits(),
+        )
+    };
+    let mut ids: Vec<u32> = active.clone();
+    ids.sort_by_key(|&cid| cheap_key(&cohorts[cid as usize]));
+    let mut merged_any = false;
+    let mut start = 0;
+    while start < ids.len() {
+        let mut end = start + 1;
+        while end < ids.len()
+            && cheap_key(&cohorts[ids[end] as usize]) == cheap_key(&cohorts[ids[start] as usize])
+        {
+            end += 1;
+        }
+        if end - start > 1 {
+            // Within a bucket, the first cohort with each distinct full
+            // state is canonical; the rest merge into it.
+            let mut canon: Vec<u32> = Vec::new();
+            for &cid in &ids[start..end] {
+                match canon.iter().find(|&&a| {
+                    cohorts[a as usize].edge == cohorts[cid as usize].edge
+                        && cohorts[a as usize].state == cohorts[cid as usize].state
+                }) {
+                    Some(&a) => {
+                        merge_into(cohorts, a, cid);
+                        alias[cid as usize] = a;
+                        merged_any = true;
+                    }
+                    None => canon.push(cid),
+                }
+            }
+        }
+        start = end;
+    }
+    if merged_any {
+        active.retain(|&cid| !cohorts[cid as usize].done);
+    }
+}
+
+/// The cohort fluid engine. Semantically the per-session quantum
+/// engine (`serve::oracle`) run at cohort granularity: identical DVR
+/// maintenance, origin-fill drain, max-min downlink sharing, ABR,
+/// playout, and live gates per quantum — with per-quantum cost
+/// O(active cohorts) instead of O(population), idle stretches jumped
+/// via the event calendar, and finished classes folded straight into
+/// the report accumulator.
+pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams) -> CohortRun {
+    let n_segments = manifest.segment_count();
+    let q = load.tick_quantum.max(1);
+
+    let mut edges = build_edges(manifest, p);
+    let (schedule, phantoms) = build_schedule(load);
+    let n_sessions = schedule.len() + phantoms;
+    let all_arrived_by = schedule.iter().map(|&(s, _)| s).max().unwrap_or(0);
+    let mut cohorts = form_cohorts(&schedule, manifest, load, p, &mut edges);
+
+    let mut cal = EventCalendar::default();
+    for (cid, c) in cohorts.iter().enumerate() {
+        let start = c.members.first().map_or(0, |g| g.start_tick);
+        cal.push(start, EventKind::Arrive, cid as u32);
+        for g in &c.members {
+            if let Some(d) = g.depart_at {
+                cal.push(d, EventKind::Depart, cid as u32);
+            }
+        }
+    }
+    let mut alias: Vec<u32> = (0..cohorts.len() as u32).collect();
+
+    let mut acc = Acc::default();
+    // Active cohort ids, kept sorted ascending — the iteration order is
+    // cohort creation order, exactly the oracle's session order.
+    let mut active: Vec<u32> = Vec::with_capacity(cohorts.len());
+    let mut downloading = vec![0u64; p.edges];
+
+    let mut now = 0u64;
+    let mut alive = schedule.len() as u64;
+    let mut quanta = 0u64;
+    let mut last_first_seq = 0u64;
+    let mut publish_wait_ticks = 0u64;
+    let mut window_skips = 0u64;
+    while alive > 0 && now < load.max_ticks {
+        // Calendar events due this quantum: arrivals activate their
+        // cohort; a departure splits its member group out of the
+        // (possibly merged) class and folds it, departed, at the
+        // quantum it fell due — exactly the oracle's loop top.
+        while let Some((tick, kind, cid)) = cal.pop_due(now) {
+            let cid = resolve(&alias, cid);
+            let c = &mut cohorts[cid as usize];
+            if c.done {
+                continue;
+            }
+            match kind {
+                EventKind::Arrive => {
+                    if let Err(pos) = active.binary_search(&cid) {
+                        active.insert(pos, cid);
+                    }
+                }
+                EventKind::Depart => {
+                    let mut folded = 0u64;
+                    let state = &c.state;
+                    c.members.retain(|g| {
+                        if g.depart_at == Some(tick) {
+                            acc.fold(state, g, Some(now), false, now);
+                            folded += g.count;
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    alive -= folded;
+                    c.n -= folded;
+                    if c.members.is_empty() {
+                        c.done = true;
+                        if let Ok(pos) = active.binary_search(&cid) {
+                            active.remove(pos);
+                        }
+                    }
+                }
+            }
+        }
+        if active.is_empty() {
+            // Idle fast-forward: jump to the quantum boundary of the
+            // next calendar event (or the ceiling) — the boundary the
+            // oracle's q-at-a-time idle ticking would reach.
+            let ceiling = quantized_jump(now, load.max_ticks, q);
+            now = match cal.next_tick() {
+                Some(t) => quantized_jump(now, t, q).min(ceiling),
+                None => ceiling,
+            };
+            continue;
+        }
+        // Publish fast-forward: when every active cohort is a caught-up
+        // live viewer (started, pending, its segment not yet published)
+        // and no origin fill is in flight, nothing can change before the
+        // next publish, arrival, or departure. Apply the skipped
+        // quanta's playout drain and publish-wait accrual analytically
+        // — exact, because both are integer-valued f64 arithmetic — and
+        // jump. This is what turns a 400-tick publish pace into
+        // O(download quanta) work per segment instead of O(pace).
+        if let Some(l) = p.live {
+            let live_now = l.live_seq(now, n_segments);
+            let idle_until_publish = live_now < n_segments as u64 - 1
+                && edges.iter().all(|e| e.fills.is_empty())
+                && active.iter().all(|&cid| {
+                    let s = &cohorts[cid as usize].state;
+                    s.started && s.pending_request && s.seg as u64 > live_now
+                });
+            if idle_until_publish {
+                let ceiling = quantized_jump(now, load.max_ticks, q);
+                let mut target = quantized_jump(now, l.publish_tick(live_now + 1).max(now + 1), q);
+                if let Some(t) = cal.next_tick() {
+                    target = target.min(quantized_jump(now, t, q));
+                }
+                target = target.min(ceiling);
+                let skipped = (target - now) / q;
+                if skipped > 0 {
+                    for &cid in active.iter() {
+                        let c = &mut cohorts[cid as usize];
+                        let n = c.n;
+                        let s = &mut c.state;
+                        publish_wait_ticks += skipped * q * n;
+                        if s.playing {
+                            // k clamped unit drains collapse to one:
+                            // the buffer either survives the whole jump
+                            // or empties (entering rebuffer at the
+                            // quantum it first ran dry).
+                            let drain = (skipped * q) as f64;
+                            if s.buffer_ticks >= drain {
+                                s.buffer_ticks -= drain;
+                            } else {
+                                if !s.in_rebuffer {
+                                    s.in_rebuffer = true;
+                                    s.rebuffer_events += 1;
+                                }
+                                s.buffer_ticks = 0.0;
+                            }
+                        }
+                    }
+                    now = target;
+                    continue;
+                }
+            }
+        }
+        let step = q as f64;
+        let mut progressed = false;
+
+        // Live DVR-window maintenance: segments that left the window
+        // are invalidated from every edge cache (the origin's purge,
+        // not capacity pressure — eviction counters are untouched).
+        if let Some(l) = p.live {
+            let first = l.first_seq(now, n_segments);
+            for seq in last_first_seq..first {
+                for ri in 0..manifest.rungs.len() {
+                    for e in edges.iter_mut() {
+                        if e.lru.remove(&(ri, seq as usize)).is_some() {
+                            e.stats.invalidations += 1;
+                        }
+                    }
+                }
+            }
+            last_first_seq = last_first_seq.max(first);
+        }
+
+        // Origin fills: every in-flight fill shares the origin uplink
+        // max-min-equally; an outage freezes them all. Fills land
+        // *before* the downlink shares are computed, so waiters waking
+        // this quantum count toward their edge's split.
+        let origin_down = p.origin_down_after.is_some_and(|t| now >= t);
+        let total_fills: usize = edges.iter().map(|e| e.fills.len()).sum();
+        if total_fills > 0 && !origin_down && p.origin_capacity > 0.0 {
+            let fill_rate = p.origin_capacity / total_fills as f64;
+            for e in &mut edges {
+                let done: Vec<(usize, usize)> = e
+                    .fills
+                    .iter_mut()
+                    .filter_map(|(k, rem)| {
+                        *rem -= fill_rate * step;
+                        let total = manifest.rungs[k.0 .0].segments[k.0 .1].bytes as f64;
+                        (*rem <= completion_eps(total)).then_some(k.0)
+                    })
+                    .collect();
+                for k in done {
+                    e.fills.complete(&k, 0);
+                    let bytes = manifest.rungs[k.0].segments[k.1].bytes;
+                    e.stats.origin_bytes += bytes as u64;
+                    e.lru.insert(k, bytes);
+                    e.stats.evictions = e.lru.evictions();
+                }
+            }
+            progressed = true;
+        }
+
+        // Per-edge downlink shares, weighted by cohort counts: a
+        // waiter whose object just landed will download this quantum,
+        // so its whole class counts — otherwise a burst of waking
+        // waiters would oversubscribe the edge link. A publish-gated
+        // cohort counts only if its segment is now live *and* already
+        // cached (it will request and hit below).
+        downloading.iter_mut().for_each(|d| *d = 0);
+        for &cid in &active {
+            let c = &cohorts[cid as usize];
+            let s = &c.state;
+            let will_download = if s.pending_request {
+                // Publish gate first: a caught-up live-edge cohort (the
+                // common case, most quanta) answers without touching the
+                // ABR or the cache index.
+                let l = p.live.expect("pending only in live mode");
+                s.seg as u64 <= l.live_seq(now, n_segments) && {
+                    let rung = if s.fetched == 0 {
+                        0
+                    } else {
+                        s.abr.pick(manifest, s.seg, None)
+                    };
+                    edges[c.edge].lru.contains(&(rung, s.seg))
+                }
+            } else if s.waiting {
+                edges[c.edge].lru.contains(&(s.rung, s.seg))
+            } else {
+                true
+            };
+            if will_download {
+                downloading[c.edge] += c.count();
+            }
+        }
+
+        for &cid in &active {
+            let Cohort {
+                edge,
+                members,
+                state: s,
+                n,
+                done,
+            } = &mut cohorts[cid as usize];
+            let edge = *edge;
+            let n = *n;
+            let e = &mut edges[edge];
+            if !s.started {
+                s.started = true;
+                let live_now = p
+                    .live
+                    .map_or(true, |l| s.seg as u64 <= l.live_seq(now, n_segments));
+                if live_now {
+                    let bytes = manifest.rungs[0].segments[s.seg].bytes as f64;
+                    match e.request_n((0, s.seg), bytes, n) {
+                        Req::Hit => s.remaining_bytes += bytes,
+                        Req::Wait(new_fill) => {
+                            s.waiting = true;
+                            progressed |= new_fill;
+                        }
+                    }
+                } else {
+                    s.pending_request = true;
+                }
+            }
+            // Playout drains while the next segment downloads (or while
+            // the class waits on a fill or the live edge).
+            if s.playing {
+                s.buffer_ticks -= step;
+                if s.buffer_ticks < 0.0 {
+                    if !s.in_rebuffer {
+                        s.in_rebuffer = true;
+                        s.rebuffer_events += 1;
+                    }
+                    s.buffer_ticks = 0.0;
+                }
+            }
+            // A segment chosen but not yet requested: the live edge
+            // had not published it. Re-check the window now.
+            if s.pending_request {
+                let l = p.live.expect("pending only in live mode");
+                let first = l.first_seq(now, n_segments) as usize;
+                if s.seg < first {
+                    // Too slow: the segment expired out of the DVR
+                    // window before we ever asked. Skip forward.
+                    window_skips += (first - s.seg) as u64 * n;
+                    s.seg = first;
+                }
+                if s.seg as u64 <= l.live_seq(now, n_segments) {
+                    s.pending_request = false;
+                    let rung = if s.fetched == 0 {
+                        0
+                    } else {
+                        s.abr.pick(manifest, s.seg, None)
+                    };
+                    if s.fetched > 0 && rung != s.rung {
+                        s.rung_switches += 1;
+                    }
+                    s.rung = rung;
+                    s.fetch_start = now;
+                    let bytes = manifest.rungs[rung].segments[s.seg].bytes as f64;
+                    match e.request_n((rung, s.seg), bytes, n) {
+                        Req::Hit => s.remaining_bytes += bytes,
+                        Req::Wait(new_fill) => {
+                            s.waiting = true;
+                            progressed |= new_fill;
+                        }
+                    }
+                } else {
+                    publish_wait_ticks += q * n;
+                    continue;
+                }
+            }
+            if s.waiting {
+                let key = (s.rung, s.seg);
+                let bytes = manifest.rungs[s.rung].segments[s.seg].bytes as f64;
+                if e.lru.touch(&key) {
+                    // The fill landed: start the edge-leg download, with
+                    // `fetch_start` still at request time so the ABR
+                    // sees the full wait. The fall-through download
+                    // decrement below marks the progress.
+                    s.waiting = false;
+                    s.remaining_bytes += bytes;
+                } else {
+                    if !e.fills.contains(&key, 0) {
+                        // The filled object was evicted before this
+                        // class could download it: re-request (one fill
+                        // restarts no matter how many members wait).
+                        e.stats.misses += 1;
+                        e.fills.request(key, 0, || bytes);
+                        progressed = true;
+                    }
+                    continue;
+                }
+            }
+            let rate = (p.edge_capacity / downloading[edge].max(1) as f64).min(p.per_session);
+            s.remaining_bytes -= rate * step;
+            progressed = true;
+            let entry = &manifest.rungs[s.rung].segments[s.seg];
+            if s.remaining_bytes > completion_eps(entry.bytes as f64) {
+                continue;
+            }
+            // Segment complete at the end of this quantum — for every
+            // member at once (the class shares one download trajectory).
+            let end = now + q;
+            let elapsed = end.saturating_sub(s.fetch_start).max(1);
+            s.abr.observe((entry.bytes * 8) as f64, elapsed as f64);
+            s.delivered_bits += (entry.bytes * 8) as u64;
+            s.rung_sum += s.rung as u64;
+            s.buffer_ticks += (entry.frames as u64 * manifest.ticks_per_frame) as f64;
+            s.in_rebuffer = false;
+            s.fetched += 1;
+            e.stats.served_bytes += entry.bytes as u64 * n;
+            if let Some(l) = p.live {
+                let lat = end.saturating_sub(l.publish_tick(s.seg as u64));
+                s.latency_sum += lat;
+                s.latency_max = s.latency_max.max(lat);
+            }
+            if !s.playing && s.fetched >= s.startup_after {
+                s.playing = true;
+                for g in members.iter_mut() {
+                    g.startup_ticks = end - g.start_tick;
+                }
+            }
+            s.seg += 1;
+            if s.seg == n_segments {
+                for g in members.iter() {
+                    acc.fold(s, g, Some(end), true, now);
+                }
+                alive -= n;
+                *done = true;
+                continue;
+            }
+            // Live gates for the next segment, evaluated at the
+            // completion tick (the same tick the next quantum sees).
+            if let Some(l) = p.live {
+                let first = l.first_seq(end, n_segments) as usize;
+                if s.seg < first {
+                    window_skips += (first - s.seg) as u64 * n;
+                    s.seg = first;
+                }
+                if s.seg as u64 > l.live_seq(end, n_segments) {
+                    // Caught up with the live edge: wait for the next
+                    // publish, discarding the download overshoot (the
+                    // link idles — pacing, not congestion).
+                    s.pending_request = true;
+                    s.remaining_bytes = 0.0;
+                    continue;
+                }
+            }
+            let next_rung = s.abr.pick(manifest, s.seg, None);
+            if next_rung != s.rung {
+                s.rung_switches += 1;
+            }
+            s.rung = next_rung;
+            let bytes = manifest.rungs[s.rung].segments[s.seg].bytes as f64;
+            match e.request_n((s.rung, s.seg), bytes, n) {
+                // A hit carries this quantum's download overshoot into
+                // the next segment, exactly like the single-origin path.
+                Req::Hit => s.remaining_bytes += bytes,
+                Req::Wait(new_fill) => {
+                    s.waiting = true;
+                    s.remaining_bytes = 0.0;
+                    progressed |= new_fill;
+                }
+            }
+            s.fetch_start = end;
+        }
+        active.retain(|&cid| !cohorts[cid as usize].done);
+        quanta += 1;
+        if quanta % MERGE_EVERY == 0 {
+            merge_converged(&mut cohorts, &mut active, &mut alias);
+        }
+        now += q;
+        // Stasis: every arrival has happened and a whole quantum passed
+        // with no byte moved anywhere (e.g. an origin outage with cold
+        // caches) — and no publish or departure is still due, so the
+        // state can never change again.
+        if !progressed && now > all_arrived_by {
+            let publishes_due = p
+                .live
+                .is_some_and(|l| l.live_seq(now, n_segments) < n_segments as u64 - 1);
+            // A pending cohort will request (and progress) once its
+            // segment publishes — including the final one, which may
+            // have gone live this very quantum without being consumed
+            // yet.
+            let waiters_due = active
+                .iter()
+                .any(|&cid| cohorts[cid as usize].state.pending_request);
+            let departures_due = cal.departure_pending(&cohorts, &alias);
+            if !publishes_due && !waiters_due && !departures_due {
+                break;
+            }
+        }
+    }
+    // Survivors (still downloading at the ceiling, or never arrived)
+    // fold with the oracle's unfinished-session arithmetic.
+    for c in &cohorts {
+        if !c.done {
+            for g in &c.members {
+                acc.fold(&c.state, g, None, false, now);
+            }
+        }
+    }
+    let live = LiveStats {
+        mean_latency_ticks: acc.latency_sum as f64 / acc.fetched.max(1) as f64,
+        max_latency_ticks: acc.latency_max,
+        publish_wait_ticks,
+        window_skips,
+    };
+    let report = acc.report(n_sessions, now);
+    CohortRun {
+        report,
+        edges,
+        live,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::{EdgeTierConfig, Sharding};
+    use crate::ladder::{encode_ladder, LadderConfig};
+    use crate::serve::{oracle, ChurnConfig, LiveConfig, ServerConfig};
+    use crate::session::JoinMode;
+    use proptest::prelude::*;
+    use video::synth::SequenceGen;
+
+    fn manifest() -> Manifest {
+        let frames = SequenceGen::new(44).panning_sequence(48, 32, 16, 1, 0);
+        let cfg = LadderConfig {
+            targets_bits_per_frame: vec![2_000.0, 6_000.0, 18_000.0],
+            gop: 4,
+            ..Default::default()
+        };
+        encode_ladder("movie", &frames, &cfg).unwrap().manifest
+    }
+
+    fn rel_close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * b.abs().max(1.0)
+    }
+
+    /// Cohort run vs per-session oracle: integer fields bit-exact, f64
+    /// fields to 1e-9 relative (summation order), per-edge counters and
+    /// live stats exact. Valid for unbounded caches — under bounded-
+    /// cache *eviction* the engines may legally pick different victims.
+    fn assert_matches_oracle(manifest: &Manifest, load: &LoadConfig, p: &TierParams) {
+        let c = run_cohorts(manifest, load, p);
+        let (o, o_edges, o_live) = oracle::run(manifest, load, p);
+        let r = &c.report;
+        assert_eq!(
+            (
+                r.sessions,
+                r.completed,
+                r.ticks,
+                r.rebuffer_sessions,
+                r.rung_switches,
+                r.departed
+            ),
+            (
+                o.sessions,
+                o.completed,
+                o.ticks,
+                o.rebuffer_sessions,
+                o.rung_switches,
+                o.departed
+            ),
+            "integer report fields diverged:\n  cohort {r:?}\n  oracle {o:?}"
+        );
+        for (name, a, b) in [
+            (
+                "goodput",
+                r.total_goodput_bits_per_tick,
+                o.total_goodput_bits_per_tick,
+            ),
+            (
+                "mean_session",
+                r.mean_session_bits_per_tick,
+                o.mean_session_bits_per_tick,
+            ),
+            ("startup", r.mean_startup_ticks, o.mean_startup_ticks),
+            (
+                "rebuffer_fraction",
+                r.rebuffer_fraction,
+                o.rebuffer_fraction,
+            ),
+            ("mean_rung", r.mean_rung, o.mean_rung),
+        ] {
+            assert!(rel_close(a, b), "{name} diverged: cohort {a} vs oracle {b}");
+        }
+        assert_eq!(c.edges.len(), o_edges.len());
+        for (i, (ce, oe)) in c.edges.iter().zip(&o_edges).enumerate() {
+            assert_eq!(ce.assigned, oe.assigned, "edge {i} assigned");
+            assert_eq!(ce.stats, oe.stats, "edge {i} stats diverged");
+        }
+        assert!(
+            rel_close(c.live.mean_latency_ticks, o_live.mean_latency_ticks),
+            "mean latency diverged: {} vs {}",
+            c.live.mean_latency_ticks,
+            o_live.mean_latency_ticks
+        );
+        assert_eq!(
+            (
+                c.live.max_latency_ticks,
+                c.live.publish_wait_ticks,
+                c.live.window_skips
+            ),
+            (
+                o_live.max_latency_ticks,
+                o_live.publish_wait_ticks,
+                o_live.window_skips
+            ),
+            "live counters diverged"
+        );
+    }
+
+    #[test]
+    fn calendar_orders_arrivals_before_departures_on_the_same_tick() {
+        let mut cal = EventCalendar::default();
+        cal.push(5, EventKind::Depart, 1);
+        cal.push(5, EventKind::Arrive, 2);
+        cal.push(3, EventKind::Depart, 0);
+        assert_eq!(cal.next_tick(), Some(3));
+        assert_eq!(cal.pop_due(2), None, "nothing due before tick 3");
+        assert_eq!(cal.pop_due(8), Some((3, EventKind::Depart, 0)));
+        assert_eq!(
+            cal.pop_due(8),
+            Some((5, EventKind::Arrive, 2)),
+            "same-tick arrival must precede the departure (oracle loop order)"
+        );
+        assert_eq!(cal.pop_due(8), Some((5, EventKind::Depart, 1)));
+        assert_eq!(cal.pop_due(8), None);
+        assert_eq!(cal.next_tick(), None);
+    }
+
+    #[test]
+    fn quantized_jump_lands_where_oracle_idle_ticking_would() {
+        // q-at-a-time ticking from a boundary lands on the first
+        // boundary at or past the target.
+        assert_eq!(quantized_jump(0, 5, 4), 8);
+        assert_eq!(quantized_jump(0, 4, 4), 4);
+        assert_eq!(quantized_jump(8, 8, 4), 8);
+        assert_eq!(quantized_jump(8, 9, 4), 12);
+        assert_eq!(quantized_jump(0, 1, 1), 1);
+        // Saturates rather than wrapping on u64::MAX-adjacent schedules.
+        assert_eq!(quantized_jump(0, u64::MAX, 4), u64::MAX);
+    }
+
+    #[test]
+    fn alias_resolution_follows_merge_chains() {
+        // 3 merged into 1, 1 merged into 0: events against 3 land on 0.
+        let alias = vec![0, 0, 2, 1];
+        assert_eq!(resolve(&alias, 3), 0);
+        assert_eq!(resolve(&alias, 1), 0);
+        assert_eq!(resolve(&alias, 2), 2);
+        assert_eq!(resolve(&alias, 0), 0);
+    }
+
+    fn test_state() -> CohortState {
+        CohortState {
+            abr: AbrController::new(0.3, 0.7),
+            seg: 3,
+            rung: 1,
+            remaining_bytes: 0.0,
+            fetch_start: 40,
+            buffer_ticks: 12.0,
+            fetched: 3,
+            started: true,
+            startup_after: 2,
+            waiting: false,
+            pending_request: false,
+            playing: true,
+            in_rebuffer: false,
+            rebuffer_events: 0,
+            rung_switches: 1,
+            rung_sum: 2,
+            delivered_bits: 9_000,
+            latency_sum: 0,
+            latency_max: 0,
+        }
+    }
+
+    #[test]
+    fn merge_combines_indistinguishable_member_groups_and_keeps_distinct_ones() {
+        let g = |start, depart, count, startup| MemberGroup {
+            start_tick: start,
+            depart_at: depart,
+            count,
+            startup_ticks: startup,
+        };
+        let mut cohorts = vec![
+            Cohort {
+                edge: 0,
+                members: vec![g(10, None, 5, 6), g(10, Some(90), 2, 6)],
+                state: test_state(),
+                n: 7,
+                done: false,
+            },
+            Cohort {
+                edge: 0,
+                members: vec![g(10, None, 3, 6), g(10, None, 1, 8)],
+                state: test_state(),
+                n: 4,
+                done: false,
+            },
+        ];
+        merge_into(&mut cohorts, 0, 1);
+        assert!(cohorts[1].done, "absorbed cohort becomes a tombstone");
+        assert!(cohorts[1].members.is_empty());
+        // (10, None, 6) merged into the existing group; (10, None, 8)
+        // differs in startup latency and must stay its own group.
+        assert_eq!(
+            cohorts[0].members,
+            vec![g(10, None, 8, 6), g(10, Some(90), 2, 6), g(10, None, 1, 8)]
+        );
+        assert_eq!(cohorts[0].count(), 11);
+    }
+
+    #[test]
+    fn cohort_formation_groups_same_tick_arrivals_and_splits_departure_groups() {
+        let m = manifest();
+        let load = LoadConfig {
+            sessions: 6,
+            stagger_ticks: 0, // all six arrive at tick 0
+            ..Default::default()
+        };
+        let p = TierParams::single_origin(&ServerConfig::default());
+        let mut edges = build_edges(&m, &p);
+        // Hand-build a schedule: four stayers and two churners leaving
+        // at different ticks — one cohort, three member groups.
+        let schedule = vec![
+            (0, None),
+            (0, Some(500)),
+            (0, None),
+            (0, Some(900)),
+            (0, None),
+            (0, None),
+        ];
+        let cohorts = form_cohorts(&schedule, &m, &load, &p, &mut edges);
+        assert_eq!(
+            cohorts.len(),
+            1,
+            "same (tick, edge) arrivals share a cohort"
+        );
+        assert_eq!(cohorts[0].count(), 6);
+        assert_eq!(cohorts[0].members.len(), 3, "split by departure tick");
+        let counts: Vec<(Option<u64>, u64)> = cohorts[0]
+            .members
+            .iter()
+            .map(|g| (g.depart_at, g.count))
+            .collect();
+        assert_eq!(counts, vec![(None, 4), (Some(500), 1), (Some(900), 1)]);
+        assert_eq!(edges[0].assigned, 6);
+    }
+
+    #[test]
+    fn merge_sweep_collapses_converged_classes_without_changing_reports() {
+        // Two staggered arrival waves converge once both are in steady
+        // state; the merge sweep must collapse them and the report must
+        // still match the oracle exactly.
+        let m = manifest();
+        let load = LoadConfig {
+            sessions: 64,
+            stagger_ticks: 64,
+            ..Default::default()
+        };
+        let p = TierParams::single_origin(&ServerConfig::default());
+        assert_matches_oracle(&m, &load, &p);
+    }
+
+    #[test]
+    fn departures_split_groups_out_of_live_cohorts() {
+        // Churned viewers leave mid-stream: every departure must fold
+        // exactly its member group while the rest of the cohort keeps
+        // streaming — pinned by exact equivalence with the per-session
+        // oracle, including the departed count.
+        let m = manifest();
+        let load = LoadConfig {
+            sessions: 30,
+            churn: ChurnConfig {
+                churn_sessions: 40,
+                mean_interarrival_ticks: 40.0,
+                mean_watch_ticks: 300.0,
+                flash_sessions: 0,
+                flash_at_tick: 0,
+                flash_ramp_ticks: 0,
+            },
+            ..Default::default()
+        };
+        let p = TierParams::tier(&EdgeTierConfig::default());
+        let run = run_cohorts(&m, &load, &p);
+        assert!(run.report.departed > 0, "config must actually churn");
+        assert_matches_oracle(&m, &load, &p);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// VOD through an edge tier: the cohort engine is
+        /// report-identical to the retired per-session quantum engine
+        /// for arbitrary populations, stagger, quanta, sharding,
+        /// prewarm, churn, and flash crowds (unbounded caches).
+        #[test]
+        fn cohorts_match_oracle_on_vod_tiers(
+            sessions in 0usize..48,
+            stagger in 0u64..1500,
+            seed in any::<u64>(),
+            quantum in 1u64..9,
+            edges in 1usize..5,
+            hash_shard in any::<bool>(),
+            prewarm in any::<bool>(),
+            churn_sessions in 0usize..24,
+            interarrival in 1.0f64..200.0,
+            watch in 0.0f64..2000.0,
+            flash_sessions in 0usize..24,
+            flash_at in 0u64..3000,
+            flash_ramp in 0u64..500,
+            origin_capacity in 500.0f64..8000.0,
+        ) {
+            let m = manifest();
+            let load = LoadConfig {
+                sessions,
+                stagger_ticks: stagger,
+                seed,
+                tick_quantum: quantum,
+                churn: ChurnConfig {
+                    churn_sessions,
+                    mean_interarrival_ticks: interarrival,
+                    mean_watch_ticks: watch,
+                    flash_sessions,
+                    flash_at_tick: flash_at,
+                    flash_ramp_ticks: flash_ramp,
+                },
+                ..Default::default()
+            };
+            let tier = EdgeTierConfig {
+                edges,
+                sharding: if hash_shard { Sharding::Hash } else { Sharding::RoundRobin },
+                prewarm,
+                origin_capacity_bytes_per_tick: origin_capacity,
+                ..Default::default()
+            };
+            assert_matches_oracle(&m, &load, &TierParams::tier(&tier));
+        }
+
+        /// Live delivery: publish gating, DVR-window expiry, window
+        /// skips, and latency accounting all match the oracle.
+        #[test]
+        fn cohorts_match_oracle_on_live_streams(
+            sessions in 1usize..40,
+            stagger in 0u64..1200,
+            seed in any::<u64>(),
+            quantum in 1u64..9,
+            edges in 1usize..4,
+            dvr in 2u64..12,
+            head_start in 0u64..5,
+            dvr_start in any::<bool>(),
+            startup_segments in 1usize..4,
+            churn_sessions in 0usize..16,
+            interarrival in 1.0f64..120.0,
+            watch in 0.0f64..1500.0,
+        ) {
+            let m = manifest();
+            let load = LoadConfig {
+                sessions,
+                stagger_ticks: stagger,
+                seed,
+                tick_quantum: quantum,
+                startup_segments,
+                churn: ChurnConfig {
+                    churn_sessions,
+                    mean_interarrival_ticks: interarrival,
+                    mean_watch_ticks: watch,
+                    flash_sessions: 0,
+                    flash_at_tick: 0,
+                    flash_ramp_ticks: 0,
+                },
+                ..Default::default()
+            };
+            let live = LiveConfig {
+                dvr_window_segments: dvr,
+                head_start_segments: head_start,
+                join: if dvr_start { JoinMode::DvrStart } else { JoinMode::LiveEdge },
+                ..Default::default()
+            };
+            let tier = EdgeTierConfig { edges, ..Default::default() };
+            let p = TierParams::tier(&tier).with_live(&live, &m);
+            assert_matches_oracle(&m, &load, &p);
+        }
+
+        /// Degenerate tiers (zero capacity, origin outages) terminate
+        /// identically on both engines — the stasis detector agrees.
+        #[test]
+        fn cohorts_match_oracle_under_origin_outage(
+            sessions in 1usize..24,
+            stagger in 0u64..600,
+            seed in any::<u64>(),
+            down_after in 0u64..400,
+        ) {
+            let m = manifest();
+            let load = LoadConfig {
+                sessions,
+                stagger_ticks: stagger,
+                seed,
+                ..Default::default()
+            };
+            let tier = EdgeTierConfig {
+                prewarm: false,
+                origin_down_after: Some(down_after),
+                ..Default::default()
+            };
+            assert_matches_oracle(&m, &load, &TierParams::tier(&tier));
+        }
+    }
+}

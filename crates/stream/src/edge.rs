@@ -249,6 +249,15 @@ impl<K: Ord + Clone, V> FillTable<K, V> {
         self.joined
     }
 
+    /// Account `n` extra requesters coalescing onto an in-flight fill
+    /// in one call — the counted form of [`FillTable::request`]
+    /// returning `false` `n` times. The cohort engine attaches a whole
+    /// counted session class to a fill with a single request, so this
+    /// keeps the `joined` ledger identical to the per-session engine's.
+    pub fn join_many(&mut self, n: u64) {
+        self.joined += n;
+    }
+
     /// Fills that failed (and freed their slot).
     #[must_use]
     pub fn failed(&self) -> u64 {

@@ -83,6 +83,7 @@
 //! # Ok::<(), mmstream::ladder::LadderError>(())
 //! ```
 
+pub(crate) mod calendar;
 pub mod edge;
 pub mod ladder;
 pub mod segment;
@@ -97,8 +98,9 @@ pub use ladder::{
 };
 pub use segment::{demux_segment, mux_segment, mux_segment_wire, Segment};
 pub use serve::{
-    capacity_curve, capacity_knee, edge_capacity_curve, edge_capacity_knee,
-    live_edge_capacity_curve, live_edge_capacity_knee, simulate_edge_load, simulate_live_edge_load,
+    capacity_curve, capacity_knee, capacity_knee_bisect, edge_capacity_curve, edge_capacity_knee,
+    edge_capacity_knee_bisect, live_edge_capacity_curve, live_edge_capacity_knee,
+    live_edge_capacity_knee_bisect, simulate_edge_load, simulate_live_edge_load,
     simulate_live_load, simulate_load, ChurnConfig, EdgeLoadReport, LiveConfig, LiveEdgeLoadReport,
     LiveLoadReport, LiveStats, LoadConfig, LoadReport, ServerConfig,
 };

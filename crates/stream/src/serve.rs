@@ -19,14 +19,13 @@
 //! single-uplink ceiling. Both are the same engine; the single origin is
 //! literally the one-edge, everything-cached special case.
 
-use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap};
-
 use signal::rng::Xoroshiro128;
 
 use crate::edge::{splitmix64, EdgeStats, EdgeTierConfig, FillTable, Lru, Sharding};
 use crate::ladder::Manifest;
-use crate::session::{AbrController, JoinMode};
+#[cfg(test)]
+use crate::session::AbrController;
+use crate::session::JoinMode;
 
 /// Segment-server capacity model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -180,7 +179,9 @@ impl Default for LoadConfig {
     }
 }
 
-/// One simulated viewer.
+/// One simulated viewer (quantum-oracle form; the shipping engine
+/// aggregates these into counted cohorts — see `calendar`).
+#[cfg(test)]
 #[derive(Debug, Clone)]
 struct SimSession {
     start_tick: u64,
@@ -329,11 +330,11 @@ pub struct EdgeLoadReport {
 
 /// Resolved live gates for the fluid engine.
 #[derive(Debug, Clone, Copy)]
-struct LiveSim {
-    tps: u64,
-    dvr: u64,
-    head_start: u64,
-    join: JoinMode,
+pub(crate) struct LiveSim {
+    pub(crate) tps: u64,
+    pub(crate) dvr: u64,
+    pub(crate) head_start: u64,
+    pub(crate) join: JoinMode,
 }
 
 impl LiveSim {
@@ -354,17 +355,17 @@ impl LiveSim {
     }
 
     /// Newest sequence live at `now` (capped at the event's last).
-    fn live_seq(&self, now: u64, n_segments: usize) -> u64 {
+    pub(crate) fn live_seq(&self, now: u64, n_segments: usize) -> u64 {
         (self.head_start.saturating_add(now / self.tps)).min(n_segments as u64 - 1)
     }
 
     /// Oldest sequence still in the DVR window at `now`.
-    fn first_seq(&self, now: u64, n_segments: usize) -> u64 {
+    pub(crate) fn first_seq(&self, now: u64, n_segments: usize) -> u64 {
         crate::ladder::dvr_window_start(self.live_seq(now, n_segments), self.dvr)
     }
 
     /// The tick sequence `seq` went (or will go) live.
-    fn publish_tick(&self, seq: u64) -> u64 {
+    pub(crate) fn publish_tick(&self, seq: u64) -> u64 {
         seq.saturating_sub(self.head_start).saturating_mul(self.tps)
     }
 }
@@ -372,20 +373,20 @@ impl LiveSim {
 /// Internal engine parameters: the single origin is the 1-edge,
 /// everything-prewarmed, nothing-to-fill special case, and VOD is the
 /// no-live-gates special case.
-struct TierParams {
-    edges: usize,
-    cache_capacity_bytes: usize,
-    edge_capacity: f64,
-    per_session: f64,
-    origin_capacity: f64,
-    sharding: Sharding,
-    prewarm: bool,
-    origin_down_after: Option<u64>,
-    live: Option<LiveSim>,
+pub(crate) struct TierParams {
+    pub(crate) edges: usize,
+    pub(crate) cache_capacity_bytes: usize,
+    pub(crate) edge_capacity: f64,
+    pub(crate) per_session: f64,
+    pub(crate) origin_capacity: f64,
+    pub(crate) sharding: Sharding,
+    pub(crate) prewarm: bool,
+    pub(crate) origin_down_after: Option<u64>,
+    pub(crate) live: Option<LiveSim>,
 }
 
 impl TierParams {
-    fn single_origin(server: &ServerConfig) -> Self {
+    pub(crate) fn single_origin(server: &ServerConfig) -> Self {
         Self {
             edges: 1,
             cache_capacity_bytes: usize::MAX,
@@ -399,7 +400,7 @@ impl TierParams {
         }
     }
 
-    fn tier(t: &EdgeTierConfig) -> Self {
+    pub(crate) fn tier(t: &EdgeTierConfig) -> Self {
         Self {
             edges: t.edges,
             cache_capacity_bytes: t.cache_capacity_bytes,
@@ -413,13 +414,13 @@ impl TierParams {
         }
     }
 
-    fn with_live(mut self, live: &LiveConfig, manifest: &Manifest) -> Self {
+    pub(crate) fn with_live(mut self, live: &LiveConfig, manifest: &Manifest) -> Self {
         self.live = Some(LiveSim::resolve(live, manifest));
         self
     }
 
     /// `true` when no session could ever make progress.
-    fn degenerate(&self, manifest: &Manifest, load: &LoadConfig) -> bool {
+    pub(crate) fn degenerate(&self, manifest: &Manifest, load: &LoadConfig) -> bool {
         load.population() == 0
             || manifest.segment_count() == 0
             || self.edges == 0
@@ -434,14 +435,14 @@ impl TierParams {
 /// One simulated edge: an LRU over `(rung, seq)` keys plus the
 /// coalescing table of in-flight origin fills (fluid segments are
 /// immutable once published, so every fill is generation 0).
-struct SimEdge {
-    lru: Lru<(usize, usize)>,
-    fills: FillTable<(usize, usize), f64>,
-    stats: EdgeStats,
-    assigned: usize,
+pub(crate) struct SimEdge {
+    pub(crate) lru: Lru<(usize, usize)>,
+    pub(crate) fills: FillTable<(usize, usize), f64>,
+    pub(crate) stats: EdgeStats,
+    pub(crate) assigned: usize,
 }
 
-enum Req {
+pub(crate) enum Req {
     Hit,
     /// Waiting on a fill; `true` when this request started it (a state
     /// change the engine's stasis detector must count as progress).
@@ -450,7 +451,9 @@ enum Req {
 
 impl SimEdge {
     /// A session asks for one segment: cached → hit; fill in flight →
-    /// coalesce onto it; otherwise start a fill.
+    /// coalesce onto it; otherwise start a fill. Kept as the quantum
+    /// oracle's per-session form of [`SimEdge::request_n`].
+    #[cfg(test)]
     fn request(&mut self, key: (usize, usize), bytes: f64) -> Req {
         if self.lru.touch(&key) {
             self.stats.hits += 1;
@@ -460,6 +463,28 @@ impl SimEdge {
             Req::Wait(true)
         } else {
             self.stats.coalesced += 1;
+            Req::Wait(false)
+        }
+    }
+
+    /// `n` identical sessions ask for one segment in a single counted
+    /// call — the cohort engine's form of [`SimEdge::request`]. Every
+    /// stats ledger advances exactly as `n` per-session requests would
+    /// (one fill started at most; the rest coalesce), so the per-edge
+    /// counters stay identical to the quantum oracle's.
+    pub(crate) fn request_n(&mut self, key: (usize, usize), bytes: f64, n: u64) -> Req {
+        debug_assert!(n > 0, "a cohort request carries at least one session");
+        if self.lru.touch(&key) {
+            self.stats.hits += n;
+            Req::Hit
+        } else if self.fills.request(key, 0, || bytes) {
+            self.fills.join_many(n - 1);
+            self.stats.misses += 1;
+            self.stats.coalesced += n - 1;
+            Req::Wait(true)
+        } else {
+            self.fills.join_many(n - 1);
+            self.stats.coalesced += n;
             Req::Wait(false)
         }
     }
@@ -518,18 +543,10 @@ fn exp_ticks(rng: &mut Xoroshiro128, mean: f64) -> u64 {
     (-mean * (1.0 - rng.next_f64()).ln()).round() as u64
 }
 
-/// The shared fluid engine. Returns the sessions, the edges, the final
-/// simulation tick, the live-gate aggregates (zero for VOD), and the
-/// count of phantom sessions (arrivals a saturated churn clock could
-/// never schedule — they denominate the report but never simulate).
-fn run_fluid(
-    manifest: &Manifest,
-    load: &LoadConfig,
-    p: &TierParams,
-) -> (Vec<SimSession>, Vec<SimEdge>, u64, LiveStats, usize) {
-    let n_segments = manifest.segment_count();
-    let q = load.tick_quantum.max(1);
-
+/// The simulated edge tier, optionally prewarmed with the whole ladder.
+/// Shared verbatim by the cohort engine and the quantum oracle so both
+/// start from the identical cache state.
+pub(crate) fn build_edges(manifest: &Manifest, p: &TierParams) -> Vec<SimEdge> {
     let mut edges: Vec<SimEdge> = (0..p.edges)
         .map(|_| SimEdge {
             lru: Lru::new(p.cache_capacity_bytes),
@@ -548,21 +565,28 @@ fn run_fluid(
             e.stats.evictions = e.lru.evictions();
         }
     }
+    edges
+}
 
-    // Arrival/departure schedule. The base population draws exactly as
-    // the pre-churn engine did (zero churn therefore reproduces it
-    // bit-identically); churn and flash arrivals draw afterwards.
+/// The arrival/departure schedule: one `(start_tick, depart_at)` per
+/// session that will actually simulate, plus the count of *phantoms*.
+/// Shared verbatim by the cohort engine and the quantum oracle so both
+/// consume the identical RNG draw sequence.
+///
+/// The base population draws exactly as the pre-churn engine did (zero
+/// churn therefore reproduces it bit-identically); churn and flash
+/// arrivals draw afterwards. An exhausted churn schedule terminates
+/// the arrival stream *explicitly*: once the clock saturates, no
+/// further arrival can ever fall due, so the remaining churn sessions
+/// are accounted as phantoms (they count in the report denominator but
+/// never enter the simulation) instead of freezing `alive` above zero
+/// and spinning the engine to `max_ticks`.
+pub(crate) fn build_schedule(load: &LoadConfig) -> (Vec<(u64, Option<u64>)>, usize) {
     let mut rng = Xoroshiro128::new(load.seed);
     let c = load.churn;
     let mut schedule: Vec<(u64, Option<u64>)> = (0..load.sessions)
         .map(|_| (rng.below(load.stagger_ticks + 1), None))
         .collect();
-    // An exhausted churn schedule terminates the arrival stream
-    // *explicitly*: once the clock saturates, no further arrival can
-    // ever fall due, so the remaining churn sessions are accounted as
-    // phantoms (they count in the report denominator but never enter
-    // the simulation) instead of freezing `alive` above zero and
-    // spinning the engine to `max_ticks`.
     let mut churn_clock = 0u64;
     let mut phantoms = 0usize;
     for drawn in 0..c.churn_sessions {
@@ -587,420 +611,480 @@ fn run_fluid(
             schedule.push((at, None));
         }
     }
+    (schedule, phantoms)
+}
 
-    let mut sessions: Vec<SimSession> = schedule
-        .into_iter()
-        .enumerate()
-        .map(|(i, (start_tick, depart_at))| {
-            let edge = match p.sharding {
-                Sharding::RoundRobin => i % p.edges,
-                Sharding::Hash => (splitmix64(load.seed ^ i as u64) % p.edges as u64) as usize,
-            };
-            let join_seq = p.live.map_or(0, |l| match l.join {
-                JoinMode::LiveEdge => l.live_seq(start_tick, n_segments),
-                JoinMode::DvrStart => l.first_seq(start_tick, n_segments),
-            }) as usize;
-            SimSession {
-                start_tick,
-                depart_at,
-                edge,
-                abr: AbrController::new(load.ewma_alpha, load.safety),
-                seg: join_seq,
-                rung: 0,
-                remaining_bytes: 0.0,
-                fetch_start: start_tick,
-                buffer_ticks: 0.0,
-                fetched: 0,
-                started: false,
-                startup_after: load.startup_segments.clamp(1, n_segments - join_seq),
-                waiting: false,
-                pending_request: false,
-                playing: false,
-                in_rebuffer: false,
-                startup_ticks: 0,
-                rebuffer_events: 0,
-                rung_switches: 0,
-                rung_sum: 0,
-                delivered_bits: 0,
-                latency_sum: 0,
-                latency_max: 0,
-                done_at: None,
-                completed: false,
-            }
-        })
-        .collect();
-    for s in &sessions {
-        edges[s.edge].assigned += 1;
+/// The edge a session at schedule position `i` is sharded onto. Shared
+/// by both engines so cohort membership matches the oracle's routing.
+pub(crate) fn shard_edge(load: &LoadConfig, p: &TierParams, i: usize) -> usize {
+    match p.sharding {
+        Sharding::RoundRobin => i % p.edges,
+        Sharding::Hash => (splitmix64(load.seed ^ i as u64) % p.edges as u64) as usize,
     }
-    let all_arrived_by = sessions.iter().map(|s| s.start_tick).max().unwrap_or(0);
+}
 
-    // Alive-set bookkeeping: a quantum touches only sessions that have
-    // arrived and not yet finished. Arrivals pop off a start-tick-sorted
-    // cursor, departures off a min-heap, and the per-quantum departure
-    // sweep / `arrived` recount over the whole population are gone —
-    // the reports are bit-identical to the full-scan engine (golden-
-    // pinned in the tests).
-    let mut arrival_order: Vec<u32> = (0..sessions.len() as u32).collect();
-    arrival_order.sort_by_key(|&i| sessions[i as usize].start_tick);
-    let mut next_arrival = 0usize;
-    let mut departures: BinaryHeap<Reverse<(u64, u32)>> = sessions
-        .iter()
-        .enumerate()
-        .filter_map(|(i, s)| s.depart_at.map(|d| Reverse((d, i as u32))))
-        .collect();
-    let mut active: BTreeSet<u32> = BTreeSet::new();
-    let mut scratch: Vec<u32> = Vec::with_capacity(sessions.len());
+/// The sequence a session arriving at `start_tick` joins at, and the
+/// startup-buffer depth clamped to what remains after that join point.
+pub(crate) fn join_point(
+    p: &TierParams,
+    load: &LoadConfig,
+    start_tick: u64,
+    n_segments: usize,
+) -> (usize, usize) {
+    let join_seq = p.live.map_or(0, |l| match l.join {
+        JoinMode::LiveEdge => l.live_seq(start_tick, n_segments),
+        JoinMode::DvrStart => l.first_seq(start_tick, n_segments),
+    }) as usize;
+    let startup_after = load.startup_segments.clamp(1, n_segments - join_seq);
+    (join_seq, startup_after)
+}
 
-    let mut now = 0u64;
-    let mut alive = sessions.len();
-    let mut downloading = vec![0usize; p.edges];
-    let mut last_first_seq = 0u64;
-    let mut publish_wait_ticks = 0u64;
-    let mut window_skips = 0u64;
-    while alive > 0 && now < load.max_ticks {
-        // Arrivals due this quantum activate...
-        while next_arrival < arrival_order.len() {
-            let i = arrival_order[next_arrival];
-            if sessions[i as usize].start_tick > now {
-                break;
-            }
-            active.insert(i);
-            next_arrival += 1;
-        }
-        // ...and churn departures happen on the quantum they fall due.
-        while let Some(&Reverse((d, i))) = departures.peek() {
-            if d > now {
-                break;
-            }
-            departures.pop();
-            let s = &mut sessions[i as usize];
-            if s.done_at.is_none() {
-                s.done_at = Some(now);
-                alive -= 1;
-                active.remove(&i);
-            }
-        }
-        let arrived = active.len();
-        if arrived == 0 {
-            now += q;
-            continue;
-        }
-        let step = q as f64;
-        let mut progressed = false;
+/// The retired per-session quantum engine, kept as the test oracle the
+/// cohort engine is equality-pinned against (see `calendar`): it
+/// advances *every* arrived session every quantum, which is exactly the
+/// O(ticks × population) cost profile the event-calendar rewrite
+/// removed — and exactly why it makes a trustworthy reference.
+#[cfg(test)]
+pub(crate) mod oracle {
+    use super::*;
+    use std::cmp::Reverse;
+    use std::collections::{BTreeSet, BinaryHeap};
 
-        // Live DVR-window maintenance: segments that left the window
-        // are invalidated from every edge cache (the origin's purge,
-        // not capacity pressure — eviction counters are untouched).
-        if let Some(l) = p.live {
-            let first = l.first_seq(now, n_segments);
-            for seq in last_first_seq..first {
-                for ri in 0..manifest.rungs.len() {
-                    for e in edges.iter_mut() {
-                        if e.lru.remove(&(ri, seq as usize)).is_some() {
-                            e.stats.invalidations += 1;
+    /// The shared fluid engine. Returns the sessions, the edges, the final
+    /// simulation tick, the live-gate aggregates (zero for VOD), and the
+    /// count of phantom sessions (arrivals a saturated churn clock could
+    /// never schedule — they denominate the report but never simulate).
+    fn run_fluid(
+        manifest: &Manifest,
+        load: &LoadConfig,
+        p: &TierParams,
+    ) -> (Vec<SimSession>, Vec<SimEdge>, u64, LiveStats, usize) {
+        let n_segments = manifest.segment_count();
+        let q = load.tick_quantum.max(1);
+
+        let mut edges = build_edges(manifest, p);
+        let (schedule, phantoms) = build_schedule(load);
+
+        let mut sessions: Vec<SimSession> = schedule
+            .into_iter()
+            .enumerate()
+            .map(|(i, (start_tick, depart_at))| {
+                let edge = shard_edge(load, p, i);
+                let (join_seq, startup_after) = join_point(p, load, start_tick, n_segments);
+                SimSession {
+                    start_tick,
+                    depart_at,
+                    edge,
+                    abr: AbrController::new(load.ewma_alpha, load.safety),
+                    seg: join_seq,
+                    rung: 0,
+                    remaining_bytes: 0.0,
+                    fetch_start: start_tick,
+                    buffer_ticks: 0.0,
+                    fetched: 0,
+                    started: false,
+                    startup_after,
+                    waiting: false,
+                    pending_request: false,
+                    playing: false,
+                    in_rebuffer: false,
+                    startup_ticks: 0,
+                    rebuffer_events: 0,
+                    rung_switches: 0,
+                    rung_sum: 0,
+                    delivered_bits: 0,
+                    latency_sum: 0,
+                    latency_max: 0,
+                    done_at: None,
+                    completed: false,
+                }
+            })
+            .collect();
+        for s in &sessions {
+            edges[s.edge].assigned += 1;
+        }
+        let all_arrived_by = sessions.iter().map(|s| s.start_tick).max().unwrap_or(0);
+
+        // Alive-set bookkeeping: a quantum touches only sessions that have
+        // arrived and not yet finished. Arrivals pop off a start-tick-sorted
+        // cursor, departures off a min-heap, and the per-quantum departure
+        // sweep / `arrived` recount over the whole population are gone —
+        // the reports are bit-identical to the full-scan engine (golden-
+        // pinned in the tests).
+        let mut arrival_order: Vec<u32> = (0..sessions.len() as u32).collect();
+        arrival_order.sort_by_key(|&i| sessions[i as usize].start_tick);
+        let mut next_arrival = 0usize;
+        let mut departures: BinaryHeap<Reverse<(u64, u32)>> = sessions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.depart_at.map(|d| Reverse((d, i as u32))))
+            .collect();
+        let mut active: BTreeSet<u32> = BTreeSet::new();
+        let mut scratch: Vec<u32> = Vec::with_capacity(sessions.len());
+
+        let mut now = 0u64;
+        let mut alive = sessions.len();
+        let mut downloading = vec![0usize; p.edges];
+        let mut last_first_seq = 0u64;
+        let mut publish_wait_ticks = 0u64;
+        let mut window_skips = 0u64;
+        while alive > 0 && now < load.max_ticks {
+            // Arrivals due this quantum activate...
+            while next_arrival < arrival_order.len() {
+                let i = arrival_order[next_arrival];
+                if sessions[i as usize].start_tick > now {
+                    break;
+                }
+                active.insert(i);
+                next_arrival += 1;
+            }
+            // ...and churn departures happen on the quantum they fall due.
+            while let Some(&Reverse((d, i))) = departures.peek() {
+                if d > now {
+                    break;
+                }
+                departures.pop();
+                let s = &mut sessions[i as usize];
+                if s.done_at.is_none() {
+                    s.done_at = Some(now);
+                    alive -= 1;
+                    active.remove(&i);
+                }
+            }
+            let arrived = active.len();
+            if arrived == 0 {
+                now += q;
+                continue;
+            }
+            let step = q as f64;
+            let mut progressed = false;
+
+            // Live DVR-window maintenance: segments that left the window
+            // are invalidated from every edge cache (the origin's purge,
+            // not capacity pressure — eviction counters are untouched).
+            if let Some(l) = p.live {
+                let first = l.first_seq(now, n_segments);
+                for seq in last_first_seq..first {
+                    for ri in 0..manifest.rungs.len() {
+                        for e in edges.iter_mut() {
+                            if e.lru.remove(&(ri, seq as usize)).is_some() {
+                                e.stats.invalidations += 1;
+                            }
                         }
                     }
                 }
+                last_first_seq = last_first_seq.max(first);
             }
-            last_first_seq = last_first_seq.max(first);
-        }
 
-        // Origin fills: every in-flight fill shares the origin uplink
-        // max-min-equally; an outage freezes them all. Fills land
-        // *before* the downlink shares are computed, so waiters waking
-        // this quantum count toward their edge's split.
-        let origin_down = p.origin_down_after.is_some_and(|t| now >= t);
-        let total_fills: usize = edges.iter().map(|e| e.fills.len()).sum();
-        if total_fills > 0 && !origin_down && p.origin_capacity > 0.0 {
-            let fill_rate = p.origin_capacity / total_fills as f64;
-            for e in &mut edges {
-                let done: Vec<(usize, usize)> = e
-                    .fills
-                    .iter_mut()
-                    .filter_map(|(k, rem)| {
-                        *rem -= fill_rate * step;
-                        let total = manifest.rungs[k.0 .0].segments[k.0 .1].bytes as f64;
-                        (*rem <= completion_eps(total)).then_some(k.0)
-                    })
-                    .collect();
-                for k in done {
-                    e.fills.complete(&k, 0);
-                    let bytes = manifest.rungs[k.0].segments[k.1].bytes;
-                    e.stats.origin_bytes += bytes as u64;
-                    e.lru.insert(k, bytes);
-                    e.stats.evictions = e.lru.evictions();
-                }
-            }
-            progressed = true;
-        }
-
-        // Per-edge downlink shares: a waiter whose object just landed
-        // will download this quantum, so it counts — otherwise a burst
-        // of waking waiters would each claim a full share and
-        // oversubscribe the edge link. A publish-gated session counts
-        // only if its segment is now live *and* already cached (it
-        // will request and hit below).
-        downloading.iter_mut().for_each(|d| *d = 0);
-        scratch.clear();
-        scratch.extend(active.iter().copied());
-        for &i in &scratch {
-            let s = &sessions[i as usize];
-            let will_download = if s.pending_request {
-                let l = p.live.expect("pending only in live mode");
-                let rung = if s.fetched == 0 {
-                    0
-                } else {
-                    s.abr.pick(manifest, s.seg, None)
-                };
-                s.seg as u64 <= l.live_seq(now, n_segments)
-                    && edges[s.edge].lru.contains(&(rung, s.seg))
-            } else if s.waiting {
-                edges[s.edge].lru.contains(&(s.rung, s.seg))
-            } else {
-                true
-            };
-            if will_download {
-                downloading[s.edge] += 1;
-            }
-        }
-
-        for &i in &scratch {
-            let s = &mut sessions[i as usize];
-            let e = &mut edges[s.edge];
-            if !s.started {
-                s.started = true;
-                let live_now = p
-                    .live
-                    .map_or(true, |l| s.seg as u64 <= l.live_seq(now, n_segments));
-                if live_now {
-                    let bytes = manifest.rungs[0].segments[s.seg].bytes as f64;
-                    match e.request((0, s.seg), bytes) {
-                        Req::Hit => s.remaining_bytes += bytes,
-                        Req::Wait(new_fill) => {
-                            s.waiting = true;
-                            progressed |= new_fill;
-                        }
+            // Origin fills: every in-flight fill shares the origin uplink
+            // max-min-equally; an outage freezes them all. Fills land
+            // *before* the downlink shares are computed, so waiters waking
+            // this quantum count toward their edge's split.
+            let origin_down = p.origin_down_after.is_some_and(|t| now >= t);
+            let total_fills: usize = edges.iter().map(|e| e.fills.len()).sum();
+            if total_fills > 0 && !origin_down && p.origin_capacity > 0.0 {
+                let fill_rate = p.origin_capacity / total_fills as f64;
+                for e in &mut edges {
+                    let done: Vec<(usize, usize)> = e
+                        .fills
+                        .iter_mut()
+                        .filter_map(|(k, rem)| {
+                            *rem -= fill_rate * step;
+                            let total = manifest.rungs[k.0 .0].segments[k.0 .1].bytes as f64;
+                            (*rem <= completion_eps(total)).then_some(k.0)
+                        })
+                        .collect();
+                    for k in done {
+                        e.fills.complete(&k, 0);
+                        let bytes = manifest.rungs[k.0].segments[k.1].bytes;
+                        e.stats.origin_bytes += bytes as u64;
+                        e.lru.insert(k, bytes);
+                        e.stats.evictions = e.lru.evictions();
                     }
-                } else {
-                    s.pending_request = true;
                 }
+                progressed = true;
             }
-            // Playout drains while the next segment downloads (or while
-            // the session waits on a fill or the live edge).
-            if s.playing {
-                s.buffer_ticks -= step;
-                if s.buffer_ticks < 0.0 {
-                    if !s.in_rebuffer {
-                        s.in_rebuffer = true;
-                        s.rebuffer_events += 1;
-                    }
-                    s.buffer_ticks = 0.0;
-                }
-            }
-            // A segment chosen but not yet requested: the live edge
-            // had not published it. Re-check the window now.
-            if s.pending_request {
-                let l = p.live.expect("pending only in live mode");
-                let first = l.first_seq(now, n_segments) as usize;
-                if s.seg < first {
-                    // Too slow: the segment expired out of the DVR
-                    // window before we ever asked. Skip forward.
-                    window_skips += (first - s.seg) as u64;
-                    s.seg = first;
-                }
-                if s.seg as u64 <= l.live_seq(now, n_segments) {
-                    s.pending_request = false;
+
+            // Per-edge downlink shares: a waiter whose object just landed
+            // will download this quantum, so it counts — otherwise a burst
+            // of waking waiters would each claim a full share and
+            // oversubscribe the edge link. A publish-gated session counts
+            // only if its segment is now live *and* already cached (it
+            // will request and hit below).
+            downloading.iter_mut().for_each(|d| *d = 0);
+            scratch.clear();
+            scratch.extend(active.iter().copied());
+            for &i in &scratch {
+                let s = &sessions[i as usize];
+                let will_download = if s.pending_request {
+                    let l = p.live.expect("pending only in live mode");
                     let rung = if s.fetched == 0 {
                         0
                     } else {
                         s.abr.pick(manifest, s.seg, None)
                     };
-                    if s.fetched > 0 && rung != s.rung {
-                        s.rung_switches += 1;
-                    }
-                    s.rung = rung;
-                    s.fetch_start = now;
-                    let bytes = manifest.rungs[rung].segments[s.seg].bytes as f64;
-                    match e.request((rung, s.seg), bytes) {
-                        Req::Hit => s.remaining_bytes += bytes,
-                        Req::Wait(new_fill) => {
-                            s.waiting = true;
-                            progressed |= new_fill;
+                    s.seg as u64 <= l.live_seq(now, n_segments)
+                        && edges[s.edge].lru.contains(&(rung, s.seg))
+                } else if s.waiting {
+                    edges[s.edge].lru.contains(&(s.rung, s.seg))
+                } else {
+                    true
+                };
+                if will_download {
+                    downloading[s.edge] += 1;
+                }
+            }
+
+            for &i in &scratch {
+                let s = &mut sessions[i as usize];
+                let e = &mut edges[s.edge];
+                if !s.started {
+                    s.started = true;
+                    let live_now = p
+                        .live
+                        .map_or(true, |l| s.seg as u64 <= l.live_seq(now, n_segments));
+                    if live_now {
+                        let bytes = manifest.rungs[0].segments[s.seg].bytes as f64;
+                        match e.request((0, s.seg), bytes) {
+                            Req::Hit => s.remaining_bytes += bytes,
+                            Req::Wait(new_fill) => {
+                                s.waiting = true;
+                                progressed |= new_fill;
+                            }
                         }
+                    } else {
+                        s.pending_request = true;
                     }
-                } else {
-                    publish_wait_ticks += q;
+                }
+                // Playout drains while the next segment downloads (or while
+                // the session waits on a fill or the live edge).
+                if s.playing {
+                    s.buffer_ticks -= step;
+                    if s.buffer_ticks < 0.0 {
+                        if !s.in_rebuffer {
+                            s.in_rebuffer = true;
+                            s.rebuffer_events += 1;
+                        }
+                        s.buffer_ticks = 0.0;
+                    }
+                }
+                // A segment chosen but not yet requested: the live edge
+                // had not published it. Re-check the window now.
+                if s.pending_request {
+                    let l = p.live.expect("pending only in live mode");
+                    let first = l.first_seq(now, n_segments) as usize;
+                    if s.seg < first {
+                        // Too slow: the segment expired out of the DVR
+                        // window before we ever asked. Skip forward.
+                        window_skips += (first - s.seg) as u64;
+                        s.seg = first;
+                    }
+                    if s.seg as u64 <= l.live_seq(now, n_segments) {
+                        s.pending_request = false;
+                        let rung = if s.fetched == 0 {
+                            0
+                        } else {
+                            s.abr.pick(manifest, s.seg, None)
+                        };
+                        if s.fetched > 0 && rung != s.rung {
+                            s.rung_switches += 1;
+                        }
+                        s.rung = rung;
+                        s.fetch_start = now;
+                        let bytes = manifest.rungs[rung].segments[s.seg].bytes as f64;
+                        match e.request((rung, s.seg), bytes) {
+                            Req::Hit => s.remaining_bytes += bytes,
+                            Req::Wait(new_fill) => {
+                                s.waiting = true;
+                                progressed |= new_fill;
+                            }
+                        }
+                    } else {
+                        publish_wait_ticks += q;
+                        continue;
+                    }
+                }
+                if s.waiting {
+                    let key = (s.rung, s.seg);
+                    let bytes = manifest.rungs[s.rung].segments[s.seg].bytes as f64;
+                    if e.lru.touch(&key) {
+                        // The fill landed: start the edge-leg download, with
+                        // `fetch_start` still at request time so the ABR
+                        // sees the full wait. The fall-through download
+                        // decrement below marks the progress.
+                        s.waiting = false;
+                        s.remaining_bytes += bytes;
+                    } else {
+                        if !e.fills.contains(&key, 0) {
+                            // The filled object was evicted before this
+                            // session could download it: re-request.
+                            e.stats.misses += 1;
+                            e.fills.request(key, 0, || bytes);
+                            progressed = true;
+                        }
+                        continue;
+                    }
+                }
+                let rate = (p.edge_capacity / downloading[s.edge].max(1) as f64).min(p.per_session);
+                s.remaining_bytes -= rate * step;
+                progressed = true;
+                let entry = &manifest.rungs[s.rung].segments[s.seg];
+                if s.remaining_bytes > completion_eps(entry.bytes as f64) {
                     continue;
                 }
-            }
-            if s.waiting {
-                let key = (s.rung, s.seg);
+                // Segment complete at the end of this quantum.
+                let end = now + q;
+                let elapsed = end.saturating_sub(s.fetch_start).max(1);
+                s.abr.observe((entry.bytes * 8) as f64, elapsed as f64);
+                s.delivered_bits += (entry.bytes * 8) as u64;
+                s.rung_sum += s.rung as u64;
+                s.buffer_ticks += (entry.frames as u64 * manifest.ticks_per_frame) as f64;
+                s.in_rebuffer = false;
+                s.fetched += 1;
+                e.stats.served_bytes += entry.bytes as u64;
+                if let Some(l) = p.live {
+                    let lat = end.saturating_sub(l.publish_tick(s.seg as u64));
+                    s.latency_sum += lat;
+                    s.latency_max = s.latency_max.max(lat);
+                }
+                if !s.playing && s.fetched >= s.startup_after {
+                    s.playing = true;
+                    s.startup_ticks = end - s.start_tick;
+                }
+                s.seg += 1;
+                if s.seg == n_segments {
+                    s.done_at = Some(end);
+                    s.completed = true;
+                    alive -= 1;
+                    continue;
+                }
+                // Live gates for the next segment, evaluated at the
+                // completion tick (the same tick the next quantum sees).
+                if let Some(l) = p.live {
+                    let first = l.first_seq(end, n_segments) as usize;
+                    if s.seg < first {
+                        window_skips += (first - s.seg) as u64;
+                        s.seg = first;
+                    }
+                    if s.seg as u64 > l.live_seq(end, n_segments) {
+                        // Caught up with the live edge: wait for the next
+                        // publish, discarding the download overshoot (the
+                        // link idles — pacing, not congestion).
+                        s.pending_request = true;
+                        s.remaining_bytes = 0.0;
+                        continue;
+                    }
+                }
+                let next_rung = s.abr.pick(manifest, s.seg, None);
+                if next_rung != s.rung {
+                    s.rung_switches += 1;
+                }
+                s.rung = next_rung;
                 let bytes = manifest.rungs[s.rung].segments[s.seg].bytes as f64;
-                if e.lru.touch(&key) {
-                    // The fill landed: start the edge-leg download, with
-                    // `fetch_start` still at request time so the ABR
-                    // sees the full wait. The fall-through download
-                    // decrement below marks the progress.
-                    s.waiting = false;
-                    s.remaining_bytes += bytes;
-                } else {
-                    if !e.fills.contains(&key, 0) {
-                        // The filled object was evicted before this
-                        // session could download it: re-request.
-                        e.stats.misses += 1;
-                        e.fills.request(key, 0, || bytes);
-                        progressed = true;
+                match e.request((s.rung, s.seg), bytes) {
+                    // A hit carries this quantum's download overshoot into
+                    // the next segment, exactly like the single-origin path.
+                    Req::Hit => s.remaining_bytes += bytes,
+                    Req::Wait(new_fill) => {
+                        s.waiting = true;
+                        s.remaining_bytes = 0.0;
+                        progressed |= new_fill;
                     }
-                    continue;
+                }
+                s.fetch_start = end;
+            }
+            active.retain(|&i| sessions[i as usize].done_at.is_none());
+            now += q;
+            // Stasis: every arrival has happened and a whole quantum passed
+            // with no byte moved anywhere (e.g. an origin outage with cold
+            // caches) — and no publish or departure is still due, so the
+            // state can never change again.
+            if !progressed && now > all_arrived_by {
+                let publishes_due = p
+                    .live
+                    .is_some_and(|l| l.live_seq(now, n_segments) < n_segments as u64 - 1);
+                // A pending session will request (and progress) once its
+                // segment publishes — including the final one, which may
+                // have gone live this very quantum without being consumed
+                // yet.
+                let waiters_due = active.iter().any(|&i| sessions[i as usize].pending_request);
+                // Entries due at or before `now` were popped at the loop
+                // top, so anything left in the heap is a future departure.
+                let departures_due = departures
+                    .iter()
+                    .any(|&Reverse((_, i))| sessions[i as usize].done_at.is_none());
+                if !publishes_due && !waiters_due && !departures_due {
+                    break;
                 }
             }
-            let rate = (p.edge_capacity / downloading[s.edge].max(1) as f64).min(p.per_session);
-            s.remaining_bytes -= rate * step;
-            progressed = true;
-            let entry = &manifest.rungs[s.rung].segments[s.seg];
-            if s.remaining_bytes > completion_eps(entry.bytes as f64) {
-                continue;
-            }
-            // Segment complete at the end of this quantum.
-            let end = now + q;
-            let elapsed = end.saturating_sub(s.fetch_start).max(1);
-            s.abr.observe((entry.bytes * 8) as f64, elapsed as f64);
-            s.delivered_bits += (entry.bytes * 8) as u64;
-            s.rung_sum += s.rung as u64;
-            s.buffer_ticks += (entry.frames as u64 * manifest.ticks_per_frame) as f64;
-            s.in_rebuffer = false;
-            s.fetched += 1;
-            e.stats.served_bytes += entry.bytes as u64;
-            if let Some(l) = p.live {
-                let lat = end.saturating_sub(l.publish_tick(s.seg as u64));
-                s.latency_sum += lat;
-                s.latency_max = s.latency_max.max(lat);
-            }
-            if !s.playing && s.fetched >= s.startup_after {
-                s.playing = true;
-                s.startup_ticks = end - s.start_tick;
-            }
-            s.seg += 1;
-            if s.seg == n_segments {
-                s.done_at = Some(end);
-                s.completed = true;
-                alive -= 1;
-                continue;
-            }
-            // Live gates for the next segment, evaluated at the
-            // completion tick (the same tick the next quantum sees).
-            if let Some(l) = p.live {
-                let first = l.first_seq(end, n_segments) as usize;
-                if s.seg < first {
-                    window_skips += (first - s.seg) as u64;
-                    s.seg = first;
-                }
-                if s.seg as u64 > l.live_seq(end, n_segments) {
-                    // Caught up with the live edge: wait for the next
-                    // publish, discarding the download overshoot (the
-                    // link idles — pacing, not congestion).
-                    s.pending_request = true;
-                    s.remaining_bytes = 0.0;
-                    continue;
-                }
-            }
-            let next_rung = s.abr.pick(manifest, s.seg, None);
-            if next_rung != s.rung {
-                s.rung_switches += 1;
-            }
-            s.rung = next_rung;
-            let bytes = manifest.rungs[s.rung].segments[s.seg].bytes as f64;
-            match e.request((s.rung, s.seg), bytes) {
-                // A hit carries this quantum's download overshoot into
-                // the next segment, exactly like the single-origin path.
-                Req::Hit => s.remaining_bytes += bytes,
-                Req::Wait(new_fill) => {
-                    s.waiting = true;
-                    s.remaining_bytes = 0.0;
-                    progressed |= new_fill;
-                }
-            }
-            s.fetch_start = end;
         }
-        active.retain(|&i| sessions[i as usize].done_at.is_none());
-        now += q;
-        // Stasis: every arrival has happened and a whole quantum passed
-        // with no byte moved anywhere (e.g. an origin outage with cold
-        // caches) — and no publish or departure is still due, so the
-        // state can never change again.
-        if !progressed && now > all_arrived_by {
-            let publishes_due = p
-                .live
-                .is_some_and(|l| l.live_seq(now, n_segments) < n_segments as u64 - 1);
-            // A pending session will request (and progress) once its
-            // segment publishes — including the final one, which may
-            // have gone live this very quantum without being consumed
-            // yet.
-            let waiters_due = active.iter().any(|&i| sessions[i as usize].pending_request);
-            // Entries due at or before `now` were popped at the loop
-            // top, so anything left in the heap is a future departure.
-            let departures_due = departures
-                .iter()
-                .any(|&Reverse((_, i))| sessions[i as usize].done_at.is_none());
-            if !publishes_due && !waiters_due && !departures_due {
-                break;
-            }
+        let fetched_total: u64 = sessions.iter().map(|s| s.fetched as u64).sum();
+        let latency_sum: u64 = sessions.iter().map(|s| s.latency_sum).sum();
+        let live_stats = LiveStats {
+            mean_latency_ticks: latency_sum as f64 / fetched_total.max(1) as f64,
+            max_latency_ticks: sessions.iter().map(|s| s.latency_max).max().unwrap_or(0),
+            publish_wait_ticks,
+            window_skips,
+        };
+        (sessions, edges, now, live_stats, phantoms)
+    }
+
+    /// Folds finished sessions into the aggregate report.
+    fn finish(sessions: &[SimSession], n_sessions: usize, now: u64) -> LoadReport {
+        let end_tick = sessions
+            .iter()
+            .filter_map(|s| s.done_at)
+            .max()
+            .unwrap_or(now)
+            .max(1);
+        let completed = sessions.iter().filter(|s| s.completed).count();
+        let departed = sessions
+            .iter()
+            .filter(|s| s.done_at.is_some() && !s.completed)
+            .count();
+        let total_bits: u64 = sessions.iter().map(|s| s.delivered_bits).sum();
+        let mean_session_rate = sessions
+            .iter()
+            .map(|s| {
+                let end = s.done_at.unwrap_or(now).max(s.start_tick + 1);
+                s.delivered_bits as f64 / (end - s.start_tick) as f64
+            })
+            .sum::<f64>()
+            / n_sessions.max(1) as f64;
+        let started: Vec<&SimSession> = sessions.iter().filter(|s| s.playing).collect();
+        let mean_startup = if started.is_empty() {
+            0.0
+        } else {
+            started.iter().map(|s| s.startup_ticks as f64).sum::<f64>() / started.len() as f64
+        };
+        let rebuffer_sessions = sessions.iter().filter(|s| s.rebuffer_events > 0).count();
+        let fetched_total: u64 = sessions.iter().map(|s| s.fetched as u64).sum();
+        let rung_sum: u64 = sessions.iter().map(|s| s.rung_sum).sum();
+        LoadReport {
+            sessions: n_sessions,
+            completed,
+            ticks: end_tick,
+            total_goodput_bits_per_tick: total_bits as f64 / end_tick as f64,
+            mean_session_bits_per_tick: mean_session_rate,
+            mean_startup_ticks: mean_startup,
+            rebuffer_sessions,
+            rebuffer_fraction: rebuffer_sessions as f64 / n_sessions.max(1) as f64,
+            mean_rung: rung_sum as f64 / fetched_total.max(1) as f64,
+            rung_switches: sessions.iter().map(|s| u64::from(s.rung_switches)).sum(),
+            departed,
         }
     }
-    let fetched_total: u64 = sessions.iter().map(|s| s.fetched as u64).sum();
-    let latency_sum: u64 = sessions.iter().map(|s| s.latency_sum).sum();
-    let live_stats = LiveStats {
-        mean_latency_ticks: latency_sum as f64 / fetched_total.max(1) as f64,
-        max_latency_ticks: sessions.iter().map(|s| s.latency_max).max().unwrap_or(0),
-        publish_wait_ticks,
-        window_skips,
-    };
-    (sessions, edges, now, live_stats, phantoms)
-}
 
-/// Folds finished sessions into the aggregate report.
-fn finish(sessions: &[SimSession], n_sessions: usize, now: u64) -> LoadReport {
-    let end_tick = sessions
-        .iter()
-        .filter_map(|s| s.done_at)
-        .max()
-        .unwrap_or(now)
-        .max(1);
-    let completed = sessions.iter().filter(|s| s.completed).count();
-    let departed = sessions
-        .iter()
-        .filter(|s| s.done_at.is_some() && !s.completed)
-        .count();
-    let total_bits: u64 = sessions.iter().map(|s| s.delivered_bits).sum();
-    let mean_session_rate = sessions
-        .iter()
-        .map(|s| {
-            let end = s.done_at.unwrap_or(now).max(s.start_tick + 1);
-            s.delivered_bits as f64 / (end - s.start_tick) as f64
-        })
-        .sum::<f64>()
-        / n_sessions.max(1) as f64;
-    let started: Vec<&SimSession> = sessions.iter().filter(|s| s.playing).collect();
-    let mean_startup = if started.is_empty() {
-        0.0
-    } else {
-        started.iter().map(|s| s.startup_ticks as f64).sum::<f64>() / started.len() as f64
-    };
-    let rebuffer_sessions = sessions.iter().filter(|s| s.rebuffer_events > 0).count();
-    let fetched_total: u64 = sessions.iter().map(|s| s.fetched as u64).sum();
-    let rung_sum: u64 = sessions.iter().map(|s| s.rung_sum).sum();
-    LoadReport {
-        sessions: n_sessions,
-        completed,
-        ticks: end_tick,
-        total_goodput_bits_per_tick: total_bits as f64 / end_tick as f64,
-        mean_session_bits_per_tick: mean_session_rate,
-        mean_startup_ticks: mean_startup,
-        rebuffer_sessions,
-        rebuffer_fraction: rebuffer_sessions as f64 / n_sessions.max(1) as f64,
-        mean_rung: rung_sum as f64 / fetched_total.max(1) as f64,
-        rung_switches: sessions.iter().map(|s| u64::from(s.rung_switches)).sum(),
-        departed,
+    /// One oracle run, folded to the same `(report, edges, live)`
+    /// shape the cohort engine returns, for equality pins.
+    pub(crate) fn run(
+        manifest: &Manifest,
+        load: &LoadConfig,
+        p: &TierParams,
+    ) -> (LoadReport, Vec<SimEdge>, LiveStats) {
+        let (sessions, edges, now, live_stats, phantoms) = run_fluid(manifest, load, p);
+        let n = sessions.len() + phantoms;
+        (finish(&sessions, n, now), edges, live_stats)
     }
 }
 
@@ -1016,9 +1100,7 @@ pub fn simulate_load(manifest: &Manifest, server: &ServerConfig, load: &LoadConf
     if p.degenerate(manifest, load) {
         return LoadReport::degenerate(load.population());
     }
-    let (sessions, _, now, _, phantoms) = run_fluid(manifest, load, &p);
-    let n = sessions.len() + phantoms;
-    finish(&sessions, n, now)
+    crate::calendar::run_cohorts(manifest, load, &p).report
 }
 
 /// Runs `load.sessions` concurrent viewers sharded across an edge tier.
@@ -1057,11 +1139,10 @@ pub fn simulate_live_load(
             live: LiveStats::default(),
         };
     }
-    let (sessions, _, now, live_stats, phantoms) = run_fluid(manifest, load, &p);
-    let n = sessions.len() + phantoms;
+    let run = crate::calendar::run_cohorts(manifest, load, &p);
     LiveLoadReport {
-        load: finish(&sessions, n, now),
-        live: live_stats,
+        load: run.report,
+        live: run.live,
     }
 }
 
@@ -1101,7 +1182,13 @@ fn run_edge(manifest: &Manifest, load: &LoadConfig, p: TierParams) -> (EdgeLoadR
             LiveStats::default(),
         );
     }
-    let (sessions, edges, now, live_stats, phantoms) = run_fluid(manifest, load, &p);
+    let run = crate::calendar::run_cohorts(manifest, load, &p);
+    (assemble_edge_report(run.report, &run.edges), run.live)
+}
+
+/// Folds per-edge counters into the tier-level report shape (shared by
+/// the shipping engine and the test oracle's equality pins).
+pub(crate) fn assemble_edge_report(load: LoadReport, edges: &[SimEdge]) -> EdgeLoadReport {
     let per_edge: Vec<EdgeReportEntry> = edges
         .iter()
         .map(|e| EdgeReportEntry {
@@ -1112,17 +1199,13 @@ fn run_edge(manifest: &Manifest, load: &LoadConfig, p: TierParams) -> (EdgeLoadR
     let tier_stats = per_edge
         .iter()
         .fold(EdgeStats::default(), |acc, e| acc.merged(&e.stats));
-    let n = sessions.len() + phantoms;
-    (
-        EdgeLoadReport {
-            load: finish(&sessions, n, now),
-            per_edge,
-            hit_rate: tier_stats.hit_rate(),
-            origin_offload: tier_stats.origin_offload(),
-            tier: tier_stats,
-        },
-        live_stats,
-    )
+    EdgeLoadReport {
+        load,
+        per_edge,
+        hit_rate: tier_stats.hit_rate(),
+        origin_offload: tier_stats.origin_offload(),
+        tier: tier_stats,
+    }
 }
 
 /// Sweeps session counts and reports one [`LoadReport`] per level.
@@ -1203,6 +1286,102 @@ pub fn live_edge_capacity_knee(
         .filter(|r| r.edge.load.rebuffer_fraction <= stall_tolerance)
         .map(|r| r.edge.load.sessions)
         .max()
+}
+
+/// The degenerate-input guard the bisecting knees share: callers may
+/// pass unsorted or duplicated population points (sweep configs are
+/// often hand-edited); the search needs them strictly increasing.
+fn bisect_counts(counts: &[usize]) -> Vec<usize> {
+    let mut counts = counts.to_vec();
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// Shared bisection over a sweep's session counts: the largest count
+/// whose simulated stall fraction meets `tol`, probing O(log n) counts
+/// instead of materialising the whole curve. Assumes stalling is
+/// monotone in load — true of every BENCH sweep, and the tests pin
+/// equality with the curve-scan knee there. `None` on an empty sweep
+/// or when even the smallest count stalls.
+fn knee_bisect(counts: &[usize], mut stalls: impl FnMut(usize) -> f64, tol: f64) -> Option<usize> {
+    let counts = bisect_counts(counts);
+    if counts.is_empty() || stalls(counts[0]) > tol {
+        return None;
+    }
+    // Invariant: counts[lo] passes, everything above hi fails.
+    let (mut lo, mut hi) = (0, counts.len() - 1);
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if stalls(counts[mid]) <= tol {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    Some(counts[lo])
+}
+
+/// [`capacity_knee`] by bisection: simulates only the probed session
+/// counts instead of the whole [`capacity_curve`]. Input counts may be
+/// unsorted or contain duplicates.
+#[must_use]
+pub fn capacity_knee_bisect(
+    manifest: &Manifest,
+    server: &ServerConfig,
+    counts: &[usize],
+    base: &LoadConfig,
+    stall_tolerance: f64,
+) -> Option<usize> {
+    knee_bisect(
+        counts,
+        |sessions| {
+            simulate_load(manifest, server, &LoadConfig { sessions, ..*base }).rebuffer_fraction
+        },
+        stall_tolerance,
+    )
+}
+
+/// [`edge_capacity_knee`] by bisection over an edge tier.
+#[must_use]
+pub fn edge_capacity_knee_bisect(
+    manifest: &Manifest,
+    tier: &EdgeTierConfig,
+    counts: &[usize],
+    base: &LoadConfig,
+    stall_tolerance: f64,
+) -> Option<usize> {
+    knee_bisect(
+        counts,
+        |sessions| {
+            simulate_edge_load(manifest, tier, &LoadConfig { sessions, ..*base })
+                .load
+                .rebuffer_fraction
+        },
+        stall_tolerance,
+    )
+}
+
+/// [`live_edge_capacity_knee`] by bisection over a live edge tier.
+#[must_use]
+pub fn live_edge_capacity_knee_bisect(
+    manifest: &Manifest,
+    tier: &EdgeTierConfig,
+    live: &LiveConfig,
+    counts: &[usize],
+    base: &LoadConfig,
+    stall_tolerance: f64,
+) -> Option<usize> {
+    knee_bisect(
+        counts,
+        |sessions| {
+            simulate_live_edge_load(manifest, tier, live, &LoadConfig { sessions, ..*base })
+                .edge
+                .load
+                .rebuffer_fraction
+        },
+        stall_tolerance,
+    )
 }
 
 #[cfg(test)]
@@ -2172,6 +2351,68 @@ mod tests {
         assert_eq!(edge_capacity_knee(&curve, 0.05), knee);
         curve.rotate_left(1);
         assert_eq!(edge_capacity_knee(&curve, 0.05), knee);
+    }
+
+    #[test]
+    fn bisecting_knee_equals_the_curve_scan_on_capacity_sweeps() {
+        // The bisect probes O(log n) counts; on the monotone sweeps the
+        // BENCH tables use it must land on exactly the curve-scan knee
+        // — for the single-origin, edge-tier, and live shapes alike.
+        let m = manifest();
+        let base = LoadConfig::default();
+        let counts = [50usize, 200, 400, 800, 1_600, 3_200];
+        let server = ServerConfig::default();
+        let scan = capacity_knee(&capacity_curve(&m, &server, &counts, &base), 0.05);
+        assert!(scan.is_some());
+        assert_eq!(
+            capacity_knee_bisect(&m, &server, &counts, &base, 0.05),
+            scan
+        );
+
+        let tier = EdgeTierConfig::default();
+        let scan = edge_capacity_knee(&edge_capacity_curve(&m, &tier, &counts, &base), 0.05);
+        assert!(scan.is_some());
+        assert_eq!(
+            edge_capacity_knee_bisect(&m, &tier, &counts, &base, 0.05),
+            scan
+        );
+
+        let live = LiveConfig::default();
+        let scan = live_edge_capacity_knee(
+            &live_edge_capacity_curve(&m, &tier, &live, &counts, &base),
+            0.05,
+        );
+        assert_eq!(
+            live_edge_capacity_knee_bisect(&m, &tier, &live, &counts, &base, 0.05),
+            scan
+        );
+    }
+
+    #[test]
+    fn bisecting_knee_guards_degenerate_count_inputs() {
+        // Unsorted and duplicated population points (hand-edited sweep
+        // configs) must give the same knee as the clean sweep; empty
+        // and all-stalling sweeps answer `None`.
+        let m = manifest();
+        let base = LoadConfig::default();
+        let tier = EdgeTierConfig::default();
+        let clean = edge_capacity_knee_bisect(&m, &tier, &[200, 800, 3_200], &base, 0.05);
+        assert!(clean.is_some());
+        let messy = [3_200usize, 200, 800, 200, 3_200, 800, 800];
+        assert_eq!(
+            edge_capacity_knee_bisect(&m, &tier, &messy, &base, 0.05),
+            clean
+        );
+        assert_eq!(edge_capacity_knee_bisect(&m, &tier, &[], &base, 0.05), None);
+        // Even the smallest count stalls on a starved tier.
+        let starved = EdgeTierConfig {
+            edge_capacity_bytes_per_tick: 1.0,
+            ..Default::default()
+        };
+        assert_eq!(
+            edge_capacity_knee_bisect(&m, &starved, &[400, 800], &base, 0.05),
+            None
+        );
     }
 
     #[test]

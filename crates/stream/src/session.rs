@@ -29,7 +29,13 @@ use crate::segment::{demux_segment, Segment};
 
 /// Throughput-driven rung selection, shared by the single-session path
 /// and the many-session load simulator.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` is part of the contract: the cohort engine in
+/// `serve`/`calendar` aggregates sessions whose *entire* dynamic state
+/// — including this controller's EWMA estimate — is value-identical,
+/// so two controllers compare equal exactly when they would make the
+/// same rung choices forever given the same samples.
+#[derive(Debug, Clone, PartialEq)]
 pub struct AbrController {
     /// EWMA smoothing factor for throughput samples (0..=1].
     pub alpha: f64,
