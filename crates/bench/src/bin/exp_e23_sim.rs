@@ -1,0 +1,269 @@
+//! E23 — event-calendar simulation core at scale.
+//!
+//! Regenerates the delivery-stack capacity numbers on the cohort
+//! engine and writes the machine-readable `BENCH_sim.json` that
+//! extends the repo's perf trajectory:
+//!
+//! * **Knee reproduction**: the BENCH_edge sweep (1/2/4/8 warm edges
+//!   at 4,000 bytes/tick per link) must land on the exact knees the
+//!   per-session engine recorded — 1,000/2,000/4,000/8,000 — and the
+//!   new bisecting knee must agree with the full curve scan on both
+//!   the VOD and the live sweeps. All asserted in-binary.
+//! * **Flash-crowd reproduction**: the PR 5 absorption bar — the 10x
+//!   flash crowd collapses one origin (> 5% rebuffering) while a
+//!   cold 4-edge tier holds ≤ 5% through the same spike.
+//! * **The 1M-session live sweep**: a million live-edge viewers join
+//!   a channel over 1,000 ticks, through a 4-edge tier provisioned to
+//!   sustain them. Under the retired per-session engine this touched
+//!   every viewer every quantum (~330k simulated sessions/s, hours per
+//!   sweep point at this scale); the cohort engine collapses the
+//!   million viewers into a few thousand counted classes and must
+//!   finish in seconds, at ≥ 10x the old sessions/s — both asserted
+//!   before anything is written.
+//!
+//! All numbers are seed-deterministic (asserted by re-running the 1M
+//! level and comparing reports exactly).
+
+use std::time::Instant;
+
+use mmbench::banner;
+use mmbench::perf::{PerfEntry, PerfReport};
+use mmstream::edge::EdgeTierConfig;
+use mmstream::ladder::{encode_ladder, LadderConfig};
+use mmstream::serve::{
+    edge_capacity_curve, edge_capacity_knee, edge_capacity_knee_bisect, live_edge_capacity_curve,
+    live_edge_capacity_knee, live_edge_capacity_knee_bisect, simulate_live_edge_load,
+    simulate_live_load, ChurnConfig, LiveConfig, LoadConfig, ServerConfig,
+};
+use mmstream::session::JoinMode;
+use video::synth::SequenceGen;
+
+fn main() {
+    banner(
+        "E23: event-calendar simulation core (BENCH_sim.json)",
+        "the cohort fluid engine reproduces every edge-tier capacity \
+         knee and the flash-crowd absorption bar of the per-session \
+         engine, then takes the same live workload to one million \
+         concurrent viewers in seconds",
+    );
+
+    let mut report = PerfReport::new("sim_core", "exp_e23_sim");
+
+    // ---- The E21 VOD title: knees directly comparable to BENCH_edge.
+    let source = SequenceGen::new(12).panning_sequence(64, 48, 32, 1, 1);
+    let cfg = LadderConfig {
+        targets_bits_per_frame: vec![2_000.0, 6_000.0, 18_000.0],
+        gop: 4,
+        ..Default::default()
+    };
+    let manifest = encode_ladder("bench", &source, &cfg)
+        .expect("ladder encodes")
+        .manifest;
+    let base = LoadConfig::default();
+
+    println!("knee reproduction vs BENCH_edge (warm edges, 4,000 B/tick each):");
+    let counts = [200usize, 1_000, 2_000, 4_000, 8_000, 16_000];
+    for edges in [1usize, 2, 4, 8] {
+        let tier = EdgeTierConfig {
+            edges,
+            cache_capacity_bytes: usize::MAX,
+            prewarm: true,
+            ..Default::default()
+        };
+        let curve = edge_capacity_curve(&manifest, &tier, &counts, &base);
+        let scan = edge_capacity_knee(&curve, 0.05).expect("tier sustains some level");
+        let bisect = edge_capacity_knee_bisect(&manifest, &tier, &counts, &base, 0.05)
+            .expect("bisect finds the same level");
+        assert_eq!(
+            bisect, scan,
+            "bisecting knee must equal the curve scan ({edges} edges)"
+        );
+        assert_eq!(
+            scan,
+            1_000 * edges,
+            "the {edges}-edge knee must reproduce the per-session engine's"
+        );
+        println!("  {edges} edges: knee {scan} sessions (bisect agrees)");
+        report.push(
+            PerfEntry::new(&format!("knee_bisect_{edges}_edges"))
+                .metric("edges", edges as f64)
+                .metric("knee_sessions", scan as f64)
+                .metric("bisect_equals_scan", 1.0),
+        );
+    }
+
+    // ---- The E22 live title (16 segments, 400-tick publish pace).
+    let live_source = SequenceGen::new(12).panning_sequence(64, 48, 64, 1, 1);
+    let live_manifest = encode_ladder("bench", &live_source, &cfg)
+        .expect("ladder encodes")
+        .manifest;
+    let live_edge_join = LiveConfig {
+        dvr_window_segments: 8,
+        join: JoinMode::LiveEdge,
+        ..Default::default()
+    };
+
+    println!("\nlive knee: bisect vs curve scan (live-edge joins, cold edges):");
+    let live_counts = [500usize, 1_000, 2_000, 4_000, 8_000];
+    for edges in [1usize, 4] {
+        let tier = EdgeTierConfig {
+            edges,
+            prewarm: false,
+            ..Default::default()
+        };
+        let curve =
+            live_edge_capacity_curve(&live_manifest, &tier, &live_edge_join, &live_counts, &base);
+        let scan = live_edge_capacity_knee(&curve, 0.05).expect("tier sustains some live level");
+        let bisect = live_edge_capacity_knee_bisect(
+            &live_manifest,
+            &tier,
+            &live_edge_join,
+            &live_counts,
+            &base,
+            0.05,
+        )
+        .expect("bisect finds the same level");
+        assert_eq!(
+            bisect, scan,
+            "live bisecting knee must equal the curve scan ({edges} edges)"
+        );
+        println!("  {edges} edges: live knee {scan} sessions (bisect agrees)");
+        report.push(
+            PerfEntry::new(&format!("live_knee_bisect_{edges}_edges"))
+                .metric("edges", edges as f64)
+                .metric("knee_sessions", scan as f64)
+                .metric("bisect_equals_scan", 1.0),
+        );
+    }
+
+    // ---- The PR 5 flash-crowd absorption bar, regenerated.
+    println!("\n10x flash crowd (300 steady viewers + 3,000 over a 1,000-tick ramp):");
+    let flashed = LoadConfig {
+        sessions: 300,
+        stagger_ticks: 1_000,
+        churn: ChurnConfig {
+            flash_sessions: 3_000,
+            flash_at_tick: 2_000,
+            flash_ramp_ticks: 1_000,
+            ..Default::default()
+        },
+        ..base
+    };
+    let single_flash = simulate_live_load(
+        &live_manifest,
+        &ServerConfig::default(),
+        &live_edge_join,
+        &flashed,
+    );
+    let flash_tier = EdgeTierConfig {
+        edges: 4,
+        prewarm: false,
+        ..Default::default()
+    };
+    let edge_flash =
+        simulate_live_edge_load(&live_manifest, &flash_tier, &live_edge_join, &flashed);
+    println!(
+        "  single origin: rebuffer {:>5.1}%   4-edge tier: rebuffer {:>5.1}% (hit rate {:.1}%)",
+        100.0 * single_flash.load.rebuffer_fraction,
+        100.0 * edge_flash.edge.load.rebuffer_fraction,
+        100.0 * edge_flash.edge.hit_rate,
+    );
+    assert!(
+        single_flash.load.rebuffer_fraction > 0.05,
+        "the flash crowd must still drive a single origin past its knee"
+    );
+    assert!(
+        edge_flash.edge.load.rebuffer_fraction <= 0.05,
+        "the 4-edge tier must still absorb the flash crowd"
+    );
+    report.push(
+        PerfEntry::new("flash_crowd_bar")
+            .metric(
+                "single_origin_rebuffer_fraction",
+                single_flash.load.rebuffer_fraction,
+            )
+            .metric(
+                "edge4_rebuffer_fraction",
+                edge_flash.edge.load.rebuffer_fraction,
+            )
+            .metric("edge4_hit_rate", edge_flash.edge.hit_rate),
+    );
+
+    // ---- The 1M-session live sweep: a 4-edge tier provisioned for a
+    // million-viewer audience (each edge's downlink carries its 250k
+    // viewers at the full 100 B/tick access-link rate; the origin
+    // uplink stays at 4,000 B/tick — each segment still crosses it
+    // once per edge while every co-located viewer coalesces).
+    println!("\n1M-session live sweep (4 provisioned edges, live-edge joins):");
+    let big_tier = EdgeTierConfig {
+        edges: 4,
+        edge_capacity_bytes_per_tick: 2.5e7,
+        prewarm: false,
+        ..Default::default()
+    };
+    let mut rate_1m = 0.0f64;
+    let mut wall_ms_1m = 0.0f64;
+    for sessions in [10_000usize, 100_000, 1_000_000] {
+        let load = LoadConfig { sessions, ..base };
+        let t0 = Instant::now();
+        let r = simulate_live_edge_load(&live_manifest, &big_tier, &live_edge_join, &load);
+        let wall = t0.elapsed();
+        let per_s = sessions as f64 / wall.as_secs_f64();
+        println!(
+            "  {sessions:>9} sessions: {:>8.1} ms  ({:>5.1}M sessions/s, rebuffer {:.2}%, hit rate {:.1}%)",
+            wall.as_secs_f64() * 1e3,
+            per_s / 1e6,
+            100.0 * r.edge.load.rebuffer_fraction,
+            100.0 * r.edge.hit_rate,
+        );
+        assert_eq!(
+            r.edge.load.completed, sessions,
+            "a provisioned tier must carry every viewer to the end"
+        );
+        report.push(
+            PerfEntry::new(&format!("live_sweep_{sessions}_sessions"))
+                .metric("sessions", sessions as f64)
+                .metric("wall_ms", wall.as_secs_f64() * 1e3)
+                .metric("sessions_per_second", per_s)
+                .metric("rebuffer_fraction", r.edge.load.rebuffer_fraction)
+                .metric("hit_rate", r.edge.hit_rate)
+                .metric("coalesced_waiters", r.edge.tier.coalesced as f64),
+        );
+        if sessions == 1_000_000 {
+            rate_1m = per_s;
+            wall_ms_1m = wall.as_secs_f64() * 1e3;
+            // Determinism gate: an identical re-run must agree exactly.
+            let replay = simulate_live_edge_load(&live_manifest, &big_tier, &live_edge_join, &load);
+            assert_eq!(replay, r, "the 1M sweep must be seed-deterministic");
+        }
+    }
+
+    // The tentpole bars, gated before the report is written: in
+    // seconds (not hours), and ≥ 10x the per-session engine's ~330k
+    // simulated sessions/s.
+    assert!(
+        wall_ms_1m < 30_000.0,
+        "the 1M-session sweep must finish in seconds: {wall_ms_1m:.0} ms"
+    );
+    assert!(
+        rate_1m >= 3.3e6,
+        "cohort engine must clear 10x the ~330k/s per-session rate: {rate_1m:.0}/s"
+    );
+    println!(
+        "  1M sweep in {:.2} s at {:.1}M sessions/s (>= 10x the per-session engine): ok",
+        wall_ms_1m / 1e3,
+        rate_1m / 1e6
+    );
+    report.push(
+        PerfEntry::new("simulator_rate_1m")
+            .metric("sessions", 1e6)
+            .metric("wall_ms", wall_ms_1m)
+            .metric("sessions_per_second", rate_1m)
+            .metric("speedup_vs_330k_baseline", rate_1m / 330_000.0),
+    );
+
+    report
+        .write("BENCH_sim.json")
+        .expect("write BENCH_sim.json");
+    println!("\nwrote BENCH_sim.json ({} entries)", report.entries.len());
+}
