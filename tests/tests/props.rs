@@ -565,6 +565,67 @@ proptest! {
         prop_assert_eq!(mmstream::edge_capacity_knee(&permuted, 0.05), knee);
     }
 
+    /// The bisecting knee search is invariant under permutation and
+    /// duplication of the candidate count list, and its verdict is
+    /// self-consistent: a returned knee really sustains the stall
+    /// tolerance when simulated directly, and `None` means even the
+    /// smallest candidate level stalls.
+    #[test]
+    fn knee_bisect_is_order_invariant_and_self_consistent(
+        picks in prop::collection::vec(0usize..5, 1..8),
+        rotate in 0usize..8,
+        capacity in 400.0f64..2500.0,
+    ) {
+        let levels = [10usize, 25, 50, 100, 200];
+        let mut counts: Vec<usize> = picks.iter().map(|&i| levels[i]).collect();
+        let frames = video::synth::SequenceGen::new(9).panning_sequence(48, 32, 8, 1, 0);
+        let cfg = mmstream::LadderConfig {
+            targets_bits_per_frame: vec![2_000.0, 6_000.0],
+            gop: 4,
+            ..Default::default()
+        };
+        let manifest = mmstream::encode_ladder("prop", &frames, &cfg).unwrap().manifest;
+        let server = mmstream::ServerConfig {
+            capacity_bytes_per_tick: capacity,
+            ..Default::default()
+        };
+        let base = mmstream::LoadConfig {
+            stagger_ticks: 200,
+            ..Default::default()
+        };
+        let knee = mmstream::capacity_knee_bisect(&manifest, &server, &counts, &base, 0.05);
+        // Messy input (duplicates, arbitrary order) gives the same
+        // answer as the clean sorted set of distinct levels.
+        let n = counts.len();
+        counts.rotate_left(rotate % n);
+        prop_assert_eq!(
+            mmstream::capacity_knee_bisect(&manifest, &server, &counts, &base, 0.05),
+            knee
+        );
+        counts.sort_unstable();
+        counts.dedup();
+        prop_assert_eq!(
+            mmstream::capacity_knee_bisect(&manifest, &server, &counts, &base, 0.05),
+            knee
+        );
+        // The verdict holds up when the named level is simulated directly.
+        let stalls = |sessions: usize| {
+            mmstream::simulate_load(&manifest, &server, &mmstream::LoadConfig { sessions, ..base })
+                .rebuffer_fraction
+                > 0.05
+        };
+        match knee {
+            Some(k) => {
+                prop_assert!(counts.contains(&k), "knee must be a candidate level");
+                prop_assert!(!stalls(k), "a returned knee must sustain the tolerance");
+            }
+            None => prop_assert!(
+                stalls(counts[0]),
+                "no knee means even the smallest level stalls"
+            ),
+        }
+    }
+
     /// Borrowed `BlockView` gathers (interior and edge-clamped) agree
     /// with the allocating `block_at` everywhere, so the zero-copy motion
     /// search sees exactly the same candidate pixels.
