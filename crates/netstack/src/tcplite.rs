@@ -21,16 +21,23 @@ pub struct TcpConfig {
     pub rto_ticks: u64,
     /// Give up after this many ticks.
     pub deadline_ticks: u64,
+    /// Give up on the connection once any single segment has been
+    /// retransmitted this many times — a dead link fails after
+    /// `max_retransmits * rto_ticks`-ish ticks instead of burning the
+    /// whole deadline.
+    pub max_retransmits: u32,
 }
 
 impl Default for TcpConfig {
-    /// MSS 512, window 8, RTO 200 ticks, deadline 2,000,000 ticks.
+    /// MSS 512, window 8, RTO 200 ticks, deadline 2,000,000 ticks, 32
+    /// retransmits per segment before declaring the connection dead.
     fn default() -> Self {
         Self {
             mss: 512,
             window: 8,
             rto_ticks: 200,
             deadline_ticks: 2_000_000,
+            max_retransmits: 32,
         }
     }
 }
@@ -42,6 +49,10 @@ pub enum TcpError {
     Timeout,
     /// Empty input (nothing to transfer).
     Empty,
+    /// One segment exhausted its retransmit budget
+    /// ([`TcpConfig::max_retransmits`]): the peer (or the link) is
+    /// dead, so the connection gives up long before the deadline.
+    ConnectionTimedOut,
 }
 
 impl core::fmt::Display for TcpError {
@@ -49,6 +60,7 @@ impl core::fmt::Display for TcpError {
         f.write_str(match self {
             TcpError::Timeout => "transfer deadline exceeded",
             TcpError::Empty => "nothing to transfer",
+            TcpError::ConnectionTimedOut => "connection timed out (retransmit budget exhausted)",
         })
     }
 }
@@ -96,7 +108,8 @@ fn decode_segment(bytes: &[u8]) -> Option<(u32, u32, bool, &[u8])> {
 ///
 /// # Errors
 ///
-/// Returns [`TcpError`] on empty input or deadline expiry.
+/// Returns [`TcpError`] on empty input, deadline expiry, or a segment
+/// exhausting its retransmit budget (a dead connection).
 pub fn transfer(
     data: &[u8],
     config: TcpConfig,
@@ -115,6 +128,7 @@ pub fn transfer(
     let n_segments = data.len().div_ceil(config.mss);
     let mut acked = 0usize; // segments fully acknowledged (cumulative)
     let mut send_times: Vec<Option<u64>> = vec![None; n_segments];
+    let mut retransmit_counts: Vec<u32> = vec![0; n_segments];
     let mut segments_sent = 0u64;
     let mut retransmissions = 0u64;
 
@@ -148,6 +162,10 @@ pub fn transfer(
             };
             if due {
                 if slot.is_some() {
+                    if retransmit_counts[s] >= config.max_retransmits {
+                        return Err(TcpError::ConnectionTimedOut);
+                    }
+                    retransmit_counts[s] += 1;
                     retransmissions += 1;
                 }
                 *slot = Some(now);
@@ -291,6 +309,37 @@ mod tests {
         };
         let cfg = LinkConfig::default().with_loss(0.9);
         assert_eq!(transfer(&data, tcp, cfg, 8).unwrap_err(), TcpError::Timeout);
+    }
+
+    #[test]
+    fn dead_link_trips_the_retransmit_cap_long_before_the_deadline() {
+        // 99% loss: a round trip survives one attempt in ~10,000, so
+        // segments retransmit on every RTO until the cap trips — well
+        // under the 2M-tick deadline a pure timeout would burn.
+        let data = payload(2_000, 15);
+        let tcp = TcpConfig::default();
+        let dead = LinkConfig::default().with_loss(0.99);
+        let err = transfer(&data, tcp, dead, 16).unwrap_err();
+        assert_eq!(err, TcpError::ConnectionTimedOut);
+        // The give-up point is max_retransmits RTOs plus change.
+        let bound = (u64::from(tcp.max_retransmits) + 2) * tcp.rto_ticks;
+        assert!(bound < tcp.deadline_ticks / 100, "cap must beat deadline");
+    }
+
+    #[test]
+    fn retransmit_cap_is_per_segment_not_global() {
+        // 20% loss forces plenty of total retransmissions across many
+        // segments, but no single segment comes near the cap: the
+        // transfer must still complete.
+        let data = payload(50_000, 17);
+        let cfg = LinkConfig::default().with_loss(0.2);
+        let r = transfer(&data, TcpConfig::default(), cfg, 18).unwrap();
+        assert_eq!(r.data, data);
+        assert!(
+            r.retransmissions > u64::from(TcpConfig::default().max_retransmits),
+            "total retransmissions exceed the per-segment cap: {}",
+            r.retransmissions
+        );
     }
 
     #[test]

@@ -27,6 +27,16 @@
 //!   latency); a scheduled churn departure *splits* its member group
 //!   back out of the class at the departure quantum, folding it into
 //!   the report while the rest of the class keeps simulating.
+//! * **Fault replay.** A resolved [`crate::fault::FaultPlan`] schedules
+//!   its actions on the same event heap (sorting before same-tick
+//!   arrivals), so crashes, restarts, origin flaps, and degradation
+//!   spans replay deterministically at any scale. Classes whose home
+//!   edge crashes re-home across the failover ring to survivors and
+//!   fail back on restart; rebuffers that begin under fault pressure
+//!   pin the class to the lowest rung (graceful degradation) and are
+//!   tallied into [`ResilienceStats`]. A run without a plan never
+//!   touches any of this — plan-free reports are bit-identical to
+//!   pre-fault builds.
 //!
 //! Exactness contract, pinned by the golden tests in `serve` and the
 //! oracle-equivalence property tests below: for unbounded edge caches
@@ -45,10 +55,12 @@ use std::hash::{BuildHasherDefault, Hasher};
 
 use signal::rng::splitmix64;
 
+use crate::edge::HashRing;
+use crate::fault::{FaultAction, ResilienceStats};
 use crate::ladder::Manifest;
 use crate::serve::{
-    build_edges, build_schedule, completion_eps, join_point, shard_edge, LiveStats, LoadConfig,
-    LoadReport, Req, SimEdge, TierParams,
+    build_edges, build_ring, build_schedule, completion_eps, join_point, shard_edge, LiveStats,
+    LoadConfig, LoadReport, Req, SimEdge, TierParams,
 };
 use crate::session::AbrController;
 
@@ -116,6 +128,14 @@ pub(crate) struct CohortState {
     pub(crate) delivered_bits: u64,
     pub(crate) latency_sum: u64,
     pub(crate) latency_max: u64,
+    /// Rebuffer events that *began* while fault pressure was active.
+    /// Nonzero is sticky graceful degradation: every later rung pick
+    /// returns the lowest rung (keep playing over keep quality). Always
+    /// zero on a plan-free run, so the plan-free trajectory is
+    /// untouched.
+    pub(crate) fault_rebuffers: u32,
+    /// Stalled ticks accrued while fault pressure was active.
+    pub(crate) fault_rebuffer_ticks: u64,
 }
 
 /// Per-arrival accounting inside a cohort: `count` sessions that
@@ -134,7 +154,16 @@ pub(crate) struct MemberGroup {
 /// One counted class of identical sessions.
 #[derive(Debug, Clone)]
 pub(crate) struct Cohort {
+    /// The edge currently serving this class. Equal to `home_edge`
+    /// except while failover has the class re-homed on a survivor.
     pub(crate) edge: usize,
+    /// The edge the shard function placed this class on — where it
+    /// fails *back* to once a crashed home restarts.
+    pub(crate) home_edge: usize,
+    /// Deterministic failover key on the consistent-hash ring (from the
+    /// fault plan's seed). `0` on plan-free runs, where it is never
+    /// routed — and therefore never blocks a merge.
+    pub(crate) ring_key: u64,
     pub(crate) members: Vec<MemberGroup>,
     pub(crate) state: CohortState,
     /// Cached member count (`members` group counts summed) — read every
@@ -153,11 +182,15 @@ impl Cohort {
     }
 }
 
-/// Discrete per-cohort events the calendar orders. Arrivals sort
-/// before departures on the same tick, mirroring the quantum engine's
-/// arrivals-then-departures loop top.
+/// Discrete per-cohort events the calendar orders. Fault actions sort
+/// first (a crash at tick t is visible to a tick-t arrival), then
+/// arrivals before departures on the same tick, mirroring the quantum
+/// engine's arrivals-then-departures loop top.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub(crate) enum EventKind {
+    /// A [`FaultAction`] falls due; the payload is an index into the
+    /// resolved action list, not a cohort id.
+    Fault,
     Arrive,
     Depart,
 }
@@ -194,6 +227,15 @@ impl EventCalendar {
         self.heap.iter().any(|&Reverse((_, kind, cid))| {
             kind == EventKind::Depart && !cohorts[resolve(alias, cid) as usize].done
         })
+    }
+
+    /// Whether any fault action is still scheduled — a pending restart
+    /// or recovery can unfreeze a run the stasis detector would
+    /// otherwise declare dead.
+    fn fault_pending(&self) -> bool {
+        self.heap
+            .iter()
+            .any(|&Reverse((_, kind, _))| kind == EventKind::Fault)
     }
 }
 
@@ -237,6 +279,8 @@ struct Acc {
     latency_sum: u64,
     latency_max: u64,
     max_done: Option<u64>,
+    fault_rebuffer_sessions: u64,
+    fault_rebuffer_ticks: u64,
 }
 
 impl Acc {
@@ -276,6 +320,10 @@ impl Acc {
         self.rung_switches += u64::from(s.rung_switches) * g.count;
         self.latency_sum += s.latency_sum * g.count;
         self.latency_max = self.latency_max.max(s.latency_max);
+        if s.fault_rebuffers > 0 {
+            self.fault_rebuffer_sessions += g.count;
+        }
+        self.fault_rebuffer_ticks += s.fault_rebuffer_ticks * g.count;
     }
 
     fn report(&self, n_sessions: usize, now: u64) -> LoadReport {
@@ -306,6 +354,8 @@ pub(crate) struct CohortRun {
     pub(crate) report: LoadReport,
     pub(crate) edges: Vec<SimEdge>,
     pub(crate) live: LiveStats,
+    /// All zero on a plan-free run.
+    pub(crate) resilience: ResilienceStats,
 }
 
 /// Groups the arrival/departure schedule into cohorts keyed on
@@ -319,17 +369,25 @@ fn form_cohorts(
     load: &LoadConfig,
     p: &TierParams,
     edges: &mut [SimEdge],
+    ring: Option<&HashRing>,
 ) -> Vec<Cohort> {
     let n_segments = manifest.segment_count();
+    let fault_seed = p.faults.as_ref().map(|f| f.seed);
     let mut cohorts: Vec<Cohort> = Vec::new();
     let mut index = CohortIndex::with_capacity_and_hasher(1024, BuildHasherDefault::default());
     for (i, &(start_tick, depart_at)) in schedule.iter().enumerate() {
-        let edge = shard_edge(load, p, i);
+        let edge = shard_edge(load, p, i, ring);
         edges[edge].assigned += 1;
         let cid = *index.entry((start_tick, edge)).or_insert_with(|| {
             let (join_seq, startup_after) = join_point(p, load, start_tick, n_segments);
             cohorts.push(Cohort {
                 edge,
+                home_edge: edge,
+                // The class fails over as one unit: its key mixes the
+                // plan seed with the cohort identity, so different
+                // plans spread a crashed edge's classes differently.
+                ring_key: fault_seed
+                    .map_or(0, |s| splitmix64(splitmix64(s ^ start_tick) ^ edge as u64)),
                 n: 0,
                 members: Vec::new(),
                 state: CohortState {
@@ -352,6 +410,8 @@ fn form_cohorts(
                     delivered_bits: 0,
                     latency_sum: 0,
                     latency_max: 0,
+                    fault_rebuffers: 0,
+                    fault_rebuffer_ticks: 0,
                 },
                 done: false,
             });
@@ -380,6 +440,10 @@ fn form_cohorts(
 fn merge_into(cohorts: &mut [Cohort], a: u32, b: u32) {
     debug_assert!(a != b);
     debug_assert_eq!(cohorts[a as usize].edge, cohorts[b as usize].edge);
+    // Failover identity must match too: classes with different homes
+    // (or ring keys) would diverge again at the next fault event.
+    debug_assert_eq!(cohorts[a as usize].home_edge, cohorts[b as usize].home_edge);
+    debug_assert_eq!(cohorts[a as usize].ring_key, cohorts[b as usize].ring_key);
     debug_assert!(cohorts[a as usize].state == cohorts[b as usize].state);
     let groups = std::mem::take(&mut cohorts[b as usize].members);
     let moved = std::mem::take(&mut cohorts[b as usize].n);
@@ -407,13 +471,18 @@ fn merge_converged(cohorts: &mut [Cohort], active: &mut Vec<u32>, alias: &mut [u
     if active.len() < 2 {
         return;
     }
-    // Every field here must also be part of `CohortState` equality, so
-    // tighter bucketing never hides a legal merge — it only spares the
+    // Every field here must also be part of merge legality (the
+    // `CohortState` equality, plus the failover identity), so tighter
+    // bucketing never hides a legal merge — it only spares the
     // full-state compare for classes that can't merge anyway (e.g.
     // same-phase cohorts whose EWMA or buffer history differs).
+    // `home_edge`/`ring_key` are `(edge, 0)` on plan-free runs, so they
+    // split no bucket that the plan-free engine would have merged.
     let cheap_key = |c: &Cohort| {
         (
             c.edge,
+            c.home_edge,
+            c.ring_key,
             c.state.seg,
             c.state.rung,
             c.state.fetched,
@@ -459,6 +528,25 @@ fn merge_converged(cohorts: &mut [Cohort], active: &mut Vec<u32>, alias: &mut [u
     }
 }
 
+/// Re-homes one cohort after the up/down edge set changed: home
+/// whenever the home edge is up (failback), else the first live edge
+/// clockwise from its ring key. The home-if-up branch is what makes
+/// the ≤ 1/N remap bound structural: a crash moves only the crashed
+/// edge's own classes, never a survivor's. Returns the sessions moved.
+fn rehome(c: &mut Cohort, edge_up: &[bool], ring: &HashRing) -> u64 {
+    let target = if edge_up[c.home_edge] {
+        c.home_edge
+    } else {
+        // All edges down leaves the class parked on its home edge.
+        ring.route_alive(c.ring_key, edge_up).unwrap_or(c.home_edge)
+    };
+    if target == c.edge {
+        return 0;
+    }
+    c.edge = target;
+    c.n
+}
+
 /// The cohort fluid engine. Semantically the per-session quantum
 /// engine (`serve::oracle`) run at cohort granularity: identical DVR
 /// maintenance, origin-fill drain, max-min downlink sharing, ABR,
@@ -474,7 +562,8 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
     let (schedule, phantoms) = build_schedule(load);
     let n_sessions = schedule.len() + phantoms;
     let all_arrived_by = schedule.iter().map(|&(s, _)| s).max().unwrap_or(0);
-    let mut cohorts = form_cohorts(&schedule, manifest, load, p, &mut edges);
+    let ring = build_ring(load, p);
+    let mut cohorts = form_cohorts(&schedule, manifest, load, p, &mut edges, ring.as_ref());
 
     let mut cal = EventCalendar::default();
     for (cid, c) in cohorts.iter().enumerate() {
@@ -486,13 +575,52 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
             }
         }
     }
+    // Fault actions ride the same heap (payload: action index), so
+    // fault replay is exactly as deterministic as arrivals are.
+    let faulted = p.faults.is_some();
+    let fault_actions: &[(u64, FaultAction)] =
+        p.faults.as_ref().map_or(&[], |f| f.actions.as_slice());
+    for (ai, &(t, _)) in fault_actions.iter().enumerate() {
+        cal.push(t, EventKind::Fault, ai as u32);
+    }
     let mut alias: Vec<u32> = (0..cohorts.len() as u32).collect();
+
+    // Fault state. All of it is inert on a plan-free run: every edge
+    // stays up, every scale stays exactly 1.0 (and `x * 1.0` is
+    // IEEE-exact), so the plan-free trajectory is bit-identical.
+    let mut edge_up = vec![true; p.edges];
+    let mut crash_tick: Vec<Option<u64>> = vec![None; p.edges];
+    // Cold-restarted edges count their fills as re-warm traffic until
+    // the wiped cache holds an object again.
+    let mut rewarming = vec![false; p.edges];
+    // Active degradation spans per link; the effective scale is the
+    // product, recomputed from the span list on every change so a
+    // span's end unwinds its start exactly (no multiply/divide drift).
+    let mut edge_degrades: Vec<Vec<f64>> = vec![Vec::new(); p.edges];
+    let mut origin_degrades: Vec<f64> = Vec::new();
+    let mut edge_scale = vec![1.0f64; p.edges];
+    let mut origin_scale = 1.0f64;
+    let mut flap_down = false;
+    let mut restore_sum = 0u64;
+    let mut res = ResilienceStats::default();
 
     let mut acc = Acc::default();
     // Active cohort ids, kept sorted ascending — the iteration order is
     // cohort creation order, exactly the oracle's session order.
     let mut active: Vec<u32> = Vec::with_capacity(cohorts.len());
     let mut downloading = vec![0u64; p.edges];
+
+    // Graceful degradation folds into every rung pick: once fault
+    // pressure has made a class rebuffer, it pins to the lowest rung
+    // (keep playing over keep quality). With `fault_rebuffers == 0` —
+    // always, on a plan-free run — this is exactly the plain ABR pick.
+    let pick_rung = |s: &CohortState| -> usize {
+        if s.fault_rebuffers > 0 || s.fetched == 0 {
+            0
+        } else {
+            s.abr.pick(manifest, s.seg, None)
+        }
+    };
 
     let mut now = 0u64;
     let mut alive = schedule.len() as u64;
@@ -501,20 +629,101 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
     let mut publish_wait_ticks = 0u64;
     let mut window_skips = 0u64;
     while alive > 0 && now < load.max_ticks {
-        // Calendar events due this quantum: arrivals activate their
-        // cohort; a departure splits its member group out of the
-        // (possibly merged) class and folds it, departed, at the
-        // quantum it fell due — exactly the oracle's loop top.
+        // Calendar events due this quantum: fault actions mutate the
+        // tier; arrivals activate their cohort; a departure splits its
+        // member group out of the (possibly merged) class and folds it,
+        // departed, at the quantum it fell due — exactly the oracle's
+        // loop top.
         while let Some((tick, kind, cid)) = cal.pop_due(now) {
+            if kind == EventKind::Fault {
+                match fault_actions[cid as usize].1 {
+                    FaultAction::EdgeDown(e) => {
+                        if !edge_up[e] {
+                            continue;
+                        }
+                        edge_up[e] = false;
+                        crash_tick[e] = Some(tick);
+                        res.edge_crashes += 1;
+                        // In-flight fills die with the edge; re-homed
+                        // waiters re-request on survivors, where
+                        // `FillTable` coalescing absorbs the herd.
+                        let lost: Vec<(usize, usize)> =
+                            edges[e].fills.iter_mut().map(|(k, _)| k.0).collect();
+                        res.fills_lost += lost.len() as u64;
+                        for k in lost {
+                            edges[e].fills.fail(&k, 0);
+                        }
+                        if let Some(r) = ring.as_ref() {
+                            for &a in &active {
+                                res.sessions_rehomed +=
+                                    rehome(&mut cohorts[a as usize], &edge_up, r);
+                            }
+                        }
+                    }
+                    FaultAction::EdgeUp(e, cold) => {
+                        if edge_up[e] {
+                            continue;
+                        }
+                        edge_up[e] = true;
+                        res.edge_restarts += 1;
+                        if let Some(t0) = crash_tick[e].take() {
+                            restore_sum += tick - t0;
+                        }
+                        if cold {
+                            edges[e].lru.clear();
+                            rewarming[e] = true;
+                        }
+                        // Failback: every class whose home just came
+                        // back moves home again.
+                        if let Some(r) = ring.as_ref() {
+                            for &a in &active {
+                                res.sessions_rehomed +=
+                                    rehome(&mut cohorts[a as usize], &edge_up, r);
+                            }
+                        }
+                    }
+                    FaultAction::OriginDown => flap_down = true,
+                    FaultAction::OriginUp => flap_down = false,
+                    FaultAction::DegradeStart(Some(e), s) => {
+                        edge_degrades[e].push(s);
+                        edge_scale[e] = edge_degrades[e].iter().product();
+                    }
+                    FaultAction::DegradeStart(None, s) => {
+                        origin_degrades.push(s);
+                        origin_scale = origin_degrades.iter().product();
+                    }
+                    FaultAction::DegradeEnd(Some(e), s) => {
+                        if let Some(i) = edge_degrades[e].iter().position(|&x| x == s) {
+                            edge_degrades[e].remove(i);
+                        }
+                        edge_scale[e] = edge_degrades[e].iter().product();
+                    }
+                    FaultAction::DegradeEnd(None, s) => {
+                        if let Some(i) = origin_degrades.iter().position(|&x| x == s) {
+                            origin_degrades.remove(i);
+                        }
+                        origin_scale = origin_degrades.iter().product();
+                    }
+                }
+                continue;
+            }
             let cid = resolve(&alias, cid);
             let c = &mut cohorts[cid as usize];
             if c.done {
                 continue;
             }
             match kind {
+                EventKind::Fault => unreachable!("handled before cohort resolution"),
                 EventKind::Arrive => {
                     if let Err(pos) = active.binary_search(&cid) {
                         active.insert(pos, cid);
+                    }
+                    // A class arriving into a crashed home lands on a
+                    // survivor straight away.
+                    if faulted {
+                        if let Some(r) = ring.as_ref() {
+                            res.sessions_rehomed += rehome(c, &edge_up, r);
+                        }
                     }
                 }
                 EventKind::Depart => {
@@ -543,7 +752,8 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
         if active.is_empty() {
             // Idle fast-forward: jump to the quantum boundary of the
             // next calendar event (or the ceiling) — the boundary the
-            // oracle's q-at-a-time idle ticking would reach.
+            // oracle's q-at-a-time idle ticking would reach. Fault
+            // events are calendar events, so the jump never skips one.
             let ceiling = quantized_jump(now, load.max_ticks, q);
             now = match cal.next_tick() {
                 Some(t) => quantized_jump(now, t, q).min(ceiling),
@@ -551,6 +761,14 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
             };
             continue;
         }
+        // Fault pressure this quantum: anything down, flapping, or
+        // running degraded. Gates the fast-forward paths and attributes
+        // rebuffer accounting; always `false` on a plan-free run.
+        let fault_active = faulted
+            && (flap_down
+                || edge_up.iter().any(|&u| !u)
+                || origin_scale != 1.0
+                || edge_scale.iter().any(|&s| s != 1.0));
         // Publish fast-forward: when every active cohort is a caught-up
         // live viewer (started, pending, its segment not yet published)
         // and no origin fill is in flight, nothing can change before the
@@ -561,7 +779,11 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
         // O(download quanta) work per segment instead of O(pace).
         if let Some(l) = p.live {
             let live_now = l.live_seq(now, n_segments);
-            let idle_until_publish = live_now < n_segments as u64 - 1
+            // Under fault pressure the per-quantum path stays
+            // authoritative (degraded links and parked classes change
+            // what a quantum does), so the jump is gated off.
+            let idle_until_publish = !fault_active
+                && live_now < n_segments as u64 - 1
                 && edges.iter().all(|e| e.fills.is_empty())
                 && active.iter().all(|&cid| {
                     let s = &cohorts[cid as usize].state;
@@ -627,11 +849,11 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
         // max-min-equally; an outage freezes them all. Fills land
         // *before* the downlink shares are computed, so waiters waking
         // this quantum count toward their edge's split.
-        let origin_down = p.origin_down_after.is_some_and(|t| now >= t);
+        let origin_down = p.origin_down_after.is_some_and(|t| now >= t) || flap_down;
         let total_fills: usize = edges.iter().map(|e| e.fills.len()).sum();
         if total_fills > 0 && !origin_down && p.origin_capacity > 0.0 {
-            let fill_rate = p.origin_capacity / total_fills as f64;
-            for e in &mut edges {
+            let fill_rate = p.origin_capacity * origin_scale / total_fills as f64;
+            for (ei, e) in edges.iter_mut().enumerate() {
                 let done: Vec<(usize, usize)> = e
                     .fills
                     .iter_mut()
@@ -647,6 +869,9 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
                     e.stats.origin_bytes += bytes as u64;
                     e.lru.insert(k, bytes);
                     e.stats.evictions = e.lru.evictions();
+                    // The wiped cache holds an object again: later
+                    // fills are ordinary demand fills, not re-warm.
+                    rewarming[ei] = false;
                 }
             }
             progressed = true;
@@ -661,6 +886,10 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
         downloading.iter_mut().for_each(|d| *d = 0);
         for &cid in &active {
             let c = &cohorts[cid as usize];
+            if !edge_up[c.edge] {
+                // Parked (every edge down): nothing downloads.
+                continue;
+            }
             let s = &c.state;
             let will_download = if s.pending_request {
                 // Publish gate first: a caught-up live-edge cohort (the
@@ -668,11 +897,7 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
                 // ABR or the cache index.
                 let l = p.live.expect("pending only in live mode");
                 s.seg as u64 <= l.live_seq(now, n_segments) && {
-                    let rung = if s.fetched == 0 {
-                        0
-                    } else {
-                        s.abr.pick(manifest, s.seg, None)
-                    };
+                    let rung = pick_rung(s);
                     edges[c.edge].lru.contains(&(rung, s.seg))
                 }
             } else if s.waiting {
@@ -692,9 +917,31 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
                 state: s,
                 n,
                 done,
+                ..
             } = &mut cohorts[cid as usize];
             let edge = *edge;
             let n = *n;
+            if !edge_up[edge] {
+                // Parked: every edge is down, failover had nowhere to
+                // go. Playout keeps draining — members stall in place,
+                // all of it fault-attributed — but no request, fill,
+                // or download can move until a restart re-homes.
+                if s.playing {
+                    s.buffer_ticks -= step;
+                    if s.buffer_ticks < 0.0 {
+                        if !s.in_rebuffer {
+                            s.in_rebuffer = true;
+                            s.rebuffer_events += 1;
+                            s.fault_rebuffers += 1;
+                        }
+                        s.buffer_ticks = 0.0;
+                    }
+                }
+                if s.in_rebuffer {
+                    s.fault_rebuffer_ticks += q;
+                }
+                continue;
+            }
             let e = &mut edges[edge];
             if !s.started {
                 s.started = true;
@@ -708,6 +955,9 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
                         Req::Wait(new_fill) => {
                             s.waiting = true;
                             progressed |= new_fill;
+                            if new_fill && (fault_active || rewarming[edge]) {
+                                res.rewarm_fills += 1;
+                            }
                         }
                     }
                 } else {
@@ -722,9 +972,15 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
                     if !s.in_rebuffer {
                         s.in_rebuffer = true;
                         s.rebuffer_events += 1;
+                        if fault_active {
+                            s.fault_rebuffers += 1;
+                        }
                     }
                     s.buffer_ticks = 0.0;
                 }
+            }
+            if fault_active && s.in_rebuffer {
+                s.fault_rebuffer_ticks += q;
             }
             // A segment chosen but not yet requested: the live edge
             // had not published it. Re-check the window now.
@@ -739,11 +995,7 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
                 }
                 if s.seg as u64 <= l.live_seq(now, n_segments) {
                     s.pending_request = false;
-                    let rung = if s.fetched == 0 {
-                        0
-                    } else {
-                        s.abr.pick(manifest, s.seg, None)
-                    };
+                    let rung = pick_rung(s);
                     if s.fetched > 0 && rung != s.rung {
                         s.rung_switches += 1;
                     }
@@ -755,6 +1007,9 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
                         Req::Wait(new_fill) => {
                             s.waiting = true;
                             progressed |= new_fill;
+                            if new_fill && (fault_active || rewarming[edge]) {
+                                res.rewarm_fills += 1;
+                            }
                         }
                     }
                 } else {
@@ -775,16 +1030,22 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
                 } else {
                     if !e.fills.contains(&key, 0) {
                         // The filled object was evicted before this
-                        // class could download it: re-request (one fill
-                        // restarts no matter how many members wait).
+                        // class could download it — or the class was
+                        // just re-homed onto an edge with no fill in
+                        // flight: re-request (one fill restarts no
+                        // matter how many members wait).
                         e.stats.misses += 1;
                         e.fills.request(key, 0, || bytes);
                         progressed = true;
+                        if fault_active || rewarming[edge] {
+                            res.rewarm_fills += 1;
+                        }
                     }
                     continue;
                 }
             }
-            let rate = (p.edge_capacity / downloading[edge].max(1) as f64).min(p.per_session);
+            let rate = (p.edge_capacity * edge_scale[edge] / downloading[edge].max(1) as f64)
+                .min(p.per_session);
             s.remaining_bytes -= rate * step;
             progressed = true;
             let entry = &manifest.rungs[s.rung].segments[s.seg];
@@ -839,7 +1100,7 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
                     continue;
                 }
             }
-            let next_rung = s.abr.pick(manifest, s.seg, None);
+            let next_rung = pick_rung(s);
             if next_rung != s.rung {
                 s.rung_switches += 1;
             }
@@ -853,6 +1114,9 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
                     s.waiting = true;
                     s.remaining_bytes = 0.0;
                     progressed |= new_fill;
+                    if new_fill && (fault_active || rewarming[edge]) {
+                        res.rewarm_fills += 1;
+                    }
                 }
             }
             s.fetch_start = end;
@@ -868,18 +1132,29 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
         // caches) — and no publish or departure is still due, so the
         // state can never change again.
         if !progressed && now > all_arrived_by {
-            let publishes_due = p
-                .live
-                .is_some_and(|l| l.live_seq(now, n_segments) < n_segments as u64 - 1);
+            // A scheduled restart or recovery can still unfreeze a
+            // fully stalled tier; a plan that crashes everything
+            // forever leaves nothing due and terminates cleanly here.
+            let faults_due = cal.fault_pending();
+            // Parked classes (their edge is down) cannot consume a
+            // publish or wake as waiters — only a fault event revives
+            // them, and that is `faults_due`'s job to keep alive.
+            let any_unparked = active
+                .iter()
+                .any(|&cid| edge_up[cohorts[cid as usize].edge]);
+            let publishes_due = any_unparked
+                && p.live
+                    .is_some_and(|l| l.live_seq(now, n_segments) < n_segments as u64 - 1);
             // A pending cohort will request (and progress) once its
             // segment publishes — including the final one, which may
             // have gone live this very quantum without being consumed
             // yet.
-            let waiters_due = active
-                .iter()
-                .any(|&cid| cohorts[cid as usize].state.pending_request);
+            let waiters_due = active.iter().any(|&cid| {
+                let c = &cohorts[cid as usize];
+                edge_up[c.edge] && c.state.pending_request
+            });
             let departures_due = cal.departure_pending(&cohorts, &alias);
-            if !publishes_due && !waiters_due && !departures_due {
+            if !faults_due && !publishes_due && !waiters_due && !departures_due {
                 break;
             }
         }
@@ -899,11 +1174,19 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
         publish_wait_ticks,
         window_skips,
     };
+    res.mean_restore_ticks = if res.edge_restarts == 0 {
+        0.0
+    } else {
+        restore_sum as f64 / res.edge_restarts as f64
+    };
+    res.sessions_fault_rebuffered = acc.fault_rebuffer_sessions;
+    res.fault_rebuffer_ticks = acc.fault_rebuffer_ticks;
     let report = acc.report(n_sessions, now);
     CohortRun {
         report,
         edges,
         live,
+        resilience: res,
     }
 }
 
@@ -1025,6 +1308,58 @@ mod tests {
     }
 
     #[test]
+    fn calendar_orders_faults_before_same_tick_arrivals() {
+        // A crash at tick t must be visible to a tick-t arrival (the
+        // arriving class lands on a survivor), and same-tick fault
+        // actions apply in resolved order (ascending payload index).
+        let mut cal = EventCalendar::default();
+        cal.push(5, EventKind::Arrive, 9);
+        cal.push(5, EventKind::Fault, 1);
+        cal.push(5, EventKind::Fault, 0);
+        assert!(cal.fault_pending());
+        assert_eq!(cal.pop_due(5), Some((5, EventKind::Fault, 0)));
+        assert_eq!(cal.pop_due(5), Some((5, EventKind::Fault, 1)));
+        assert!(!cal.fault_pending());
+        assert_eq!(cal.pop_due(5), Some((5, EventKind::Arrive, 9)));
+    }
+
+    #[test]
+    fn rehome_moves_only_classes_whose_home_is_down() {
+        let ring = HashRing::new(4, 64, 0xC0FFEE);
+        let mk = |home: usize, key: u64| Cohort {
+            edge: home,
+            home_edge: home,
+            ring_key: key,
+            members: Vec::new(),
+            state: test_state(),
+            n: 10,
+            done: false,
+        };
+        let mut up = vec![true, false, true, true];
+        // Home up: never moves, whatever the ring says.
+        let mut c0 = mk(0, 0xDEAD);
+        assert_eq!(rehome(&mut c0, &up, &ring), 0);
+        assert_eq!(c0.edge, 0);
+        // Home down: moves to a live edge, counting every member.
+        let mut c1 = mk(1, 0xBEEF);
+        assert_eq!(rehome(&mut c1, &up, &ring), 10);
+        assert_ne!(c1.edge, 1);
+        assert!(up[c1.edge]);
+        // Idempotent while the edge set is unchanged.
+        assert_eq!(rehome(&mut c1, &up, &ring), 0);
+        // Failback: the home recovers and the class moves straight
+        // back (one counted move).
+        up[1] = true;
+        assert_eq!(rehome(&mut c1, &up, &ring), 10);
+        assert_eq!(c1.edge, 1);
+        // All edges down: parked in place, no move counted.
+        let all_down = vec![false; 4];
+        let mut c2 = mk(2, 0xF00D);
+        assert_eq!(rehome(&mut c2, &all_down, &ring), 0);
+        assert_eq!(c2.edge, 2);
+    }
+
+    #[test]
     fn quantized_jump_lands_where_oracle_idle_ticking_would() {
         // q-at-a-time ticking from a boundary lands on the first
         // boundary at or past the target.
@@ -1068,6 +1403,8 @@ mod tests {
             delivered_bits: 9_000,
             latency_sum: 0,
             latency_max: 0,
+            fault_rebuffers: 0,
+            fault_rebuffer_ticks: 0,
         }
     }
 
@@ -1082,6 +1419,8 @@ mod tests {
         let mut cohorts = vec![
             Cohort {
                 edge: 0,
+                home_edge: 0,
+                ring_key: 0,
                 members: vec![g(10, None, 5, 6), g(10, Some(90), 2, 6)],
                 state: test_state(),
                 n: 7,
@@ -1089,6 +1428,8 @@ mod tests {
             },
             Cohort {
                 edge: 0,
+                home_edge: 0,
+                ring_key: 0,
                 members: vec![g(10, None, 3, 6), g(10, None, 1, 8)],
                 state: test_state(),
                 n: 4,
@@ -1127,7 +1468,7 @@ mod tests {
             (0, None),
             (0, None),
         ];
-        let cohorts = form_cohorts(&schedule, &m, &load, &p, &mut edges);
+        let cohorts = form_cohorts(&schedule, &m, &load, &p, &mut edges, None);
         assert_eq!(
             cohorts.len(),
             1,
@@ -1189,8 +1530,9 @@ mod tests {
 
         /// VOD through an edge tier: the cohort engine is
         /// report-identical to the retired per-session quantum engine
-        /// for arbitrary populations, stagger, quanta, sharding,
-        /// prewarm, churn, and flash crowds (unbounded caches).
+        /// for arbitrary populations, stagger, quanta, sharding
+        /// (including the consistent-hash ring, fault-free), prewarm,
+        /// churn, and flash crowds (unbounded caches).
         #[test]
         fn cohorts_match_oracle_on_vod_tiers(
             sessions in 0usize..48,
@@ -1198,7 +1540,7 @@ mod tests {
             seed in any::<u64>(),
             quantum in 1u64..9,
             edges in 1usize..5,
-            hash_shard in any::<bool>(),
+            shard_mode in 0usize..3,
             prewarm in any::<bool>(),
             churn_sessions in 0usize..24,
             interarrival in 1.0f64..200.0,
@@ -1226,7 +1568,11 @@ mod tests {
             };
             let tier = EdgeTierConfig {
                 edges,
-                sharding: if hash_shard { Sharding::Hash } else { Sharding::RoundRobin },
+                sharding: match shard_mode {
+                    0 => Sharding::RoundRobin,
+                    1 => Sharding::Hash,
+                    _ => Sharding::Ring,
+                },
                 prewarm,
                 origin_capacity_bytes_per_tick: origin_capacity,
                 ..Default::default()

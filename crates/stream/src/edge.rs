@@ -147,6 +147,14 @@ impl<K: Ord + Clone> Lru<K> {
     pub fn evictions(&self) -> u64 {
         self.evictions
     }
+
+    /// Empties the cache in place — a *cold restart*, not eviction
+    /// pressure: the eviction counter (and the recency clock) survive,
+    /// so tier-level stats stay monotone across a crash/restart cycle.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.held_bytes = 0;
+    }
 }
 
 /// In-flight origin fills, keyed by `(key, generation)`. Concurrent
@@ -329,6 +337,79 @@ impl EdgeStats {
     }
 }
 
+/// A consistent-hash ring over the edges of a tier: each edge owns the
+/// arcs clockwise-preceding its virtual points, and a key routes to the
+/// owner of the first point at or after its hash.
+///
+/// The property that makes this the failover structure (and that the
+/// test suite pins): removing one edge re-homes *only that edge's
+/// keys* — every key whose owner is still alive keeps it, so a crash
+/// moves at most ~1/N of the keyspace onto survivors instead of
+/// reshuffling everyone (the thundering-herd failure mode of modular
+/// hashing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashRing {
+    /// `(point hash, edge)` sorted by hash (ties broken by edge index,
+    /// deterministically).
+    points: Vec<(u64, u32)>,
+}
+
+impl HashRing {
+    /// A ring over `edges` edges with `vnodes` virtual points each,
+    /// placed by `splitmix64` from `seed`.
+    #[must_use]
+    pub fn new(edges: usize, vnodes: usize, seed: u64) -> Self {
+        assert!(edges > 0, "a ring needs at least one edge");
+        assert!(vnodes > 0, "a ring needs at least one point per edge");
+        let mut points = Vec::with_capacity(edges * vnodes);
+        for e in 0..edges {
+            for v in 0..vnodes {
+                let h = splitmix64(seed ^ (((e as u64) << 16) | v as u64));
+                points.push((h, e as u32));
+            }
+        }
+        points.sort_unstable();
+        Self { points }
+    }
+
+    /// Edges on the ring.
+    #[must_use]
+    pub fn edges(&self) -> usize {
+        self.points.iter().map(|&(_, e)| e).max().unwrap_or(0) as usize + 1
+    }
+
+    /// The index of the first point at or clockwise-after `key`.
+    fn first_point(&self, key: u64) -> usize {
+        match self.points.binary_search(&(key, 0)) {
+            Ok(i) => i,
+            Err(i) if i == self.points.len() => 0,
+            Err(i) => i,
+        }
+    }
+
+    /// The edge owning `key` with every edge up.
+    #[must_use]
+    pub fn route(&self, key: u64) -> usize {
+        self.points[self.first_point(key)].1 as usize
+    }
+
+    /// The edge owning `key` given liveness flags: walk clockwise from
+    /// the owner point to the first point on a live edge. `None` when
+    /// every edge is down. When `key`'s owner is up this *is*
+    /// [`HashRing::route`] — the ≤ 1/N remap guarantee by construction.
+    #[must_use]
+    pub fn route_alive(&self, key: u64, up: &[bool]) -> Option<usize> {
+        let start = self.first_point(key);
+        for i in 0..self.points.len() {
+            let e = self.points[(start + i) % self.points.len()].1 as usize;
+            if up.get(e).copied().unwrap_or(false) {
+                return Some(e);
+            }
+        }
+        None
+    }
+}
+
 /// Configuration of one live edge cache.
 #[derive(Debug, Clone)]
 pub struct EdgeConfig {
@@ -347,11 +428,16 @@ pub struct EdgeConfig {
     /// every request; VOD objects fetched via
     /// [`EdgeCache::fetch_through`] are immutable and ignore this.
     pub mutable_ttl_ticks: u64,
+    /// Retry discipline for transport-level origin-fill failures. The
+    /// default makes no retries (one attempt, fail fast — the legacy
+    /// behavior); every attempt advances the fill counter, so retries
+    /// see fresh deterministic loss draws.
+    pub retry: crate::fault::RetryPolicy,
 }
 
 impl Default for EdgeConfig {
     /// 1 MiB cache over a clean default link; mutable objects
-    /// revalidate on every request.
+    /// revalidate on every request; origin fills are not retried.
     fn default() -> Self {
         Self {
             cache_capacity_bytes: 1 << 20,
@@ -359,6 +445,7 @@ impl Default for EdgeConfig {
             origin_link: LinkConfig::default(),
             origin_seed: 0xED6E,
             mutable_ttl_ticks: 0,
+            retry: crate::fault::RetryPolicy::default(),
         }
     }
 }
@@ -564,24 +651,41 @@ impl EdgeCache {
     /// objects). The attempt counter advances even when the fill
     /// fails, so a retry after a transport timeout sees fresh (still
     /// deterministic) loss draws instead of replaying the exact
-    /// failure forever.
+    /// failure forever. Transport failures retry under the configured
+    /// [`crate::fault::RetryPolicy`] (backoff ticks count against the
+    /// fill time); server-level failures — the object does not exist —
+    /// surface immediately, retrying cannot help.
     fn fill_from_origin(
         &mut self,
         origin: &ContentServer,
         name: &str,
     ) -> Result<(u64, Option<ContentServer>), FetchError> {
-        let fill_seed = self.config.origin_seed.wrapping_add(self.fills);
-        self.fills += 1;
-        let fill = fetch(
-            origin,
-            name,
-            self.config.origin_tcp,
-            self.config.origin_link,
-            fill_seed,
-        )?;
+        let mut backoff_ticks = 0u64;
+        let mut failures = 0u32;
+        let fill = loop {
+            let fill_seed = self.config.origin_seed.wrapping_add(self.fills);
+            self.fills += 1;
+            match fetch(
+                origin,
+                name,
+                self.config.origin_tcp,
+                self.config.origin_link,
+                fill_seed,
+            ) {
+                Ok(fill) => break fill,
+                Err(e @ FetchError::Transport(_)) => {
+                    failures += 1;
+                    match self.config.retry.backoff_before(failures) {
+                        Some(wait) => backoff_ticks += wait,
+                        None => return Err(e),
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        };
         self.stats.misses += 1;
         self.stats.origin_bytes += fill.data.len() as u64;
-        let ticks = fill.ticks;
+        let ticks = fill.ticks + backoff_ticks;
         if fill.data.len() <= self.config.cache_capacity_bytes {
             self.admit(name.to_string(), fill.data);
             Ok((ticks, None))
@@ -618,6 +722,13 @@ pub enum Sharding {
     /// Session `i` goes to `splitmix64(seed ^ i) % edges` (the
     /// imperfect balance a consistent-hash front end would give).
     Hash,
+    /// Session `i` routes through a [`HashRing`] over the tier — the
+    /// failover sharding: when an edge crashes, only *its* sessions
+    /// re-home to survivors (≤ 1/N remap), and they fail back when it
+    /// restarts. Faulted runs build the ring regardless of this
+    /// setting; choosing it makes the fault-free placement match the
+    /// failover placement exactly.
+    Ring,
 }
 
 /// The edge tier the fluid simulator routes sessions through.
@@ -1076,6 +1187,170 @@ mod tests {
         edge.fetch_through(&origin, "t/seg0", tcp, link, 2).unwrap();
         assert_eq!(edge.stats().misses, 2);
         assert_eq!(edge.stats().hits, 0);
+    }
+
+    #[test]
+    fn lru_clear_empties_but_keeps_the_eviction_ledger() {
+        let mut lru: Lru<u32> = Lru::new(100);
+        lru.insert(1, 60);
+        lru.insert(2, 60); // evicts 1
+        assert_eq!(lru.evictions(), 1);
+        lru.clear();
+        assert!(lru.is_empty());
+        assert_eq!(lru.held_bytes(), 0);
+        assert_eq!(lru.evictions(), 1, "cold restart is not eviction");
+        // The cleared cache works normally afterwards.
+        lru.insert(3, 60);
+        assert!(lru.contains(&3));
+    }
+
+    #[test]
+    fn retrying_edge_rides_out_a_flaky_origin_link_in_one_call() {
+        // Same doomed link as `failed_fills_retry_with_fresh_seeds`,
+        // but the retry policy folds the external loop into the fill:
+        // one fetch_through call succeeds on the third attempt, and
+        // the backoff ticks show up in the fill time.
+        let mut origin = ContentServer::new();
+        origin.publish("x", vec![7u8; 1500]);
+        let flaky = |retry| EdgeConfig {
+            origin_tcp: TcpConfig {
+                deadline_ticks: 1_200,
+                ..Default::default()
+            },
+            origin_link: LinkConfig::default().with_loss(0.65),
+            origin_seed: 3,
+            retry,
+            ..Default::default()
+        };
+        let mut edge = EdgeCache::new(flaky(crate::fault::RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ticks: 10,
+            max_backoff_ticks: 40,
+            jitter_ticks: 0,
+            seed: 0,
+        }));
+        let viewer_tcp = TcpConfig::default();
+        let viewer_link = LinkConfig::default();
+        let (data, ticks) = edge
+            .fetch_through(&origin, "x", viewer_tcp, viewer_link, 1)
+            .unwrap();
+        assert_eq!(data, vec![7u8; 1500]);
+        assert_eq!(edge.stats().misses, 1, "one logical fill");
+        // Two failures backed off 10 + 20 ticks before the success.
+        let mut no_retry = EdgeCache::new(flaky(crate::fault::RetryPolicy::default()));
+        no_retry.fills = 2; // skip straight to the succeeding seed 5
+        let (_, clean_ticks) = no_retry
+            .fetch_through(&origin, "x", viewer_tcp, viewer_link, 1)
+            .unwrap();
+        assert_eq!(ticks, clean_ticks + 30);
+        // Without retries the same edge fails on the first attempt.
+        let mut fail_fast = EdgeCache::new(flaky(crate::fault::RetryPolicy::default()));
+        assert!(matches!(
+            fail_fast
+                .fetch_through(&origin, "x", viewer_tcp, viewer_link, 1)
+                .unwrap_err(),
+            FetchError::Transport(_)
+        ));
+    }
+
+    #[test]
+    fn retry_budget_exhausts_and_surfaces_the_transport_error() {
+        let mut origin = ContentServer::new();
+        origin.publish("x", vec![7u8; 1500]);
+        let mut edge = EdgeCache::new(EdgeConfig {
+            origin_tcp: TcpConfig {
+                deadline_ticks: 1_200,
+                ..Default::default()
+            },
+            origin_link: LinkConfig::default().with_loss(0.65),
+            origin_seed: 3,
+            retry: crate::fault::RetryPolicy {
+                max_attempts: 2, // seeds 3 and 4 both fail
+                base_backoff_ticks: 10,
+                max_backoff_ticks: 10,
+                jitter_ticks: 0,
+                seed: 0,
+            },
+            ..Default::default()
+        });
+        assert!(matches!(
+            edge.fetch_through(&origin, "x", TcpConfig::default(), LinkConfig::default(), 1)
+                .unwrap_err(),
+            FetchError::Transport(_)
+        ));
+        // A missing object is never retried, whatever the budget.
+        let mut retrying = EdgeCache::new(EdgeConfig {
+            retry: crate::fault::RetryPolicy::standard(1),
+            ..Default::default()
+        });
+        assert!(matches!(
+            retrying
+                .fetch_through(
+                    &origin,
+                    "nope",
+                    TcpConfig::default(),
+                    LinkConfig::default(),
+                    1
+                )
+                .unwrap_err(),
+            FetchError::Server(_)
+        ));
+        assert_eq!(retrying.fills, 1, "one attempt only for a server miss");
+    }
+
+    #[test]
+    fn ring_routes_deterministically_and_covers_every_edge() {
+        let ring = HashRing::new(8, 64, 0xA11CE);
+        assert_eq!(ring.edges(), 8);
+        let mut buckets = [0u32; 8];
+        for i in 0..10_000u64 {
+            let k = splitmix64(i);
+            let e = ring.route(k);
+            assert_eq!(e, ring.route(k), "routing is a pure function");
+            buckets[e] += 1;
+        }
+        assert!(
+            buckets.iter().all(|&b| b > 400),
+            "no edge starves: {buckets:?}"
+        );
+    }
+
+    #[test]
+    fn ring_failover_moves_only_the_crashed_edges_keys() {
+        let ring = HashRing::new(5, 64, 7);
+        let all_up = vec![true; 5];
+        let mut up = all_up.clone();
+        up[2] = false;
+        let mut moved = 0u32;
+        let mut owned = 0u32;
+        for i in 0..10_000u64 {
+            let k = splitmix64(0x5EED ^ i);
+            let home = ring.route(k);
+            assert_eq!(ring.route_alive(k, &all_up), Some(home));
+            let after = ring.route_alive(k, &up).unwrap();
+            if home == 2 {
+                owned += 1;
+                assert_ne!(after, 2, "crashed edge serves nothing");
+                moved += 1;
+            } else {
+                assert_eq!(after, home, "survivors keep every key they own");
+            }
+        }
+        assert_eq!(moved, owned, "exactly the crashed edge's keys move");
+        assert!(owned > 0, "the crashed edge owned something");
+    }
+
+    #[test]
+    fn ring_with_all_edges_down_routes_nowhere() {
+        let ring = HashRing::new(3, 16, 1);
+        assert_eq!(ring.route_alive(42, &[false, false, false]), None);
+        // A single survivor takes the whole keyspace.
+        for i in 0..100u64 {
+            assert_eq!(
+                ring.route_alive(splitmix64(i), &[false, true, false]),
+                Some(1)
+            );
+        }
     }
 
     #[test]

@@ -36,6 +36,15 @@
 //!   being pinned to one uplink; live sessions fetch through an edge
 //!   transparently, and the fluid simulator shards load across the
 //!   tier.
+//! * [`fault`] — deterministic resilience: a seeded [`FaultPlan`]
+//!   (edge crashes with cold/warm restarts, origin flaps, link
+//!   degradation) scheduled on the simulator's own event calendar, a
+//!   consistent-hash failover ring ([`HashRing`]) that re-homes only a
+//!   crashed edge's sessions, and the [`RetryPolicy`] backoff
+//!   discipline shared by session fetches, live manifest refreshes,
+//!   and edge origin fills. Faulted runs report a [`ResilienceStats`]
+//!   ledger (MTTR, sessions impacted, re-warm fills); an empty plan is
+//!   bit-identical to a plan-free run.
 //!
 //! # VOD vs live object lifecycles
 //!
@@ -85,13 +94,17 @@
 
 pub(crate) mod calendar;
 pub mod edge;
+pub mod fault;
 pub mod ladder;
 pub mod segment;
 pub mod serve;
 pub mod session;
 pub mod ts;
 
-pub use edge::{EdgeCache, EdgeConfig, EdgeStats, EdgeTierConfig, FillTable, Lru, Sharding};
+pub use edge::{
+    EdgeCache, EdgeConfig, EdgeStats, EdgeTierConfig, FillTable, HashRing, Lru, Sharding,
+};
+pub use fault::{FaultEvent, FaultPlan, ResilienceStats, RestartMode, RetryPolicy};
 pub use ladder::{
     encode_ladder, publish_ladder, seal_ladder, Ladder, LadderConfig, LiveOrigin, LiveOriginConfig,
     LiveWindow, Manifest, PublishDelta,
@@ -99,10 +112,12 @@ pub use ladder::{
 pub use segment::{demux_segment, mux_segment, mux_segment_wire, Segment};
 pub use serve::{
     capacity_curve, capacity_knee, capacity_knee_bisect, edge_capacity_curve, edge_capacity_knee,
-    edge_capacity_knee_bisect, live_edge_capacity_curve, live_edge_capacity_knee,
-    live_edge_capacity_knee_bisect, simulate_edge_load, simulate_live_edge_load,
-    simulate_live_load, simulate_load, ChurnConfig, EdgeLoadReport, LiveConfig, LiveEdgeLoadReport,
-    LiveLoadReport, LiveStats, LoadConfig, LoadReport, ServerConfig,
+    edge_capacity_knee_bisect, faulted_edge_capacity_knee_bisect, live_edge_capacity_curve,
+    live_edge_capacity_knee, live_edge_capacity_knee_bisect, simulate_edge_load,
+    simulate_edge_load_faulted, simulate_live_edge_load, simulate_live_edge_load_faulted,
+    simulate_live_load, simulate_load, ChurnConfig, EdgeLoadReport, FaultedEdgeLoadReport,
+    LiveConfig, LiveEdgeLoadReport, LiveLoadReport, LiveStats, LoadConfig, LoadReport,
+    ServerConfig,
 };
 pub use session::{
     run_live_session, run_live_session_via_edge, run_session, run_session_via_edge, AbrController,

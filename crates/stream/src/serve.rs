@@ -21,11 +21,21 @@
 
 use signal::rng::Xoroshiro128;
 
-use crate::edge::{splitmix64, EdgeStats, EdgeTierConfig, FillTable, Lru, Sharding};
+use crate::edge::{splitmix64, EdgeStats, EdgeTierConfig, FillTable, HashRing, Lru, Sharding};
+use crate::fault::{FaultPlan, FaultSchedule, ResilienceStats};
 use crate::ladder::Manifest;
 #[cfg(test)]
 use crate::session::AbrController;
 use crate::session::JoinMode;
+
+/// Virtual points per edge on the failover [`HashRing`]. Enough that
+/// per-edge load imbalance stays small at 8 edges without making ring
+/// construction noticeable.
+pub(crate) const RING_VNODES: usize = 64;
+
+/// Salt mixed into the load seed for ring point placement, so the ring
+/// layout is independent of the arrival-time draw stream.
+pub(crate) const RING_SALT: u64 = 0x51A6_F00D_CA57_1E55;
 
 /// Segment-server capacity model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -303,6 +313,20 @@ pub struct LiveEdgeLoadReport {
     pub live: LiveStats,
 }
 
+/// Result of one load level run under a [`FaultPlan`]: the ordinary
+/// edge-tier report plus the live gates (zero for VOD) and the
+/// resilience ledger (zero for an empty plan — bit-identically, since
+/// an empty plan runs the plan-free engine path).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultedEdgeLoadReport {
+    /// The edge-tier report (session aggregate + per-edge stats).
+    pub edge: EdgeLoadReport,
+    /// Live-specific aggregates.
+    pub live: LiveStats,
+    /// What the faults cost.
+    pub resilience: ResilienceStats,
+}
+
 /// Per-edge entry in an [`EdgeLoadReport`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EdgeReportEntry {
@@ -383,6 +407,11 @@ pub(crate) struct TierParams {
     pub(crate) prewarm: bool,
     pub(crate) origin_down_after: Option<u64>,
     pub(crate) live: Option<LiveSim>,
+    /// The resolved fault schedule, or `None` for a plan-free run.
+    /// Discipline (same as zero-churn): an *empty* resolved plan is
+    /// stored as `None`, so the engine's plan-free fast path — and its
+    /// bit-identical reports — are structural, not coincidental.
+    pub(crate) faults: Option<FaultSchedule>,
 }
 
 impl TierParams {
@@ -397,6 +426,7 @@ impl TierParams {
             prewarm: true,
             origin_down_after: None,
             live: None,
+            faults: None,
         }
     }
 
@@ -411,11 +441,24 @@ impl TierParams {
             prewarm: t.prewarm,
             origin_down_after: t.origin_down_after,
             live: None,
+            faults: None,
         }
     }
 
     pub(crate) fn with_live(mut self, live: &LiveConfig, manifest: &Manifest) -> Self {
         self.live = Some(LiveSim::resolve(live, manifest));
+        self
+    }
+
+    /// Resolves `plan` against this tier. An empty resolution (empty
+    /// plan, or every event out of range/degenerate) leaves `faults`
+    /// at `None` — the plan-free path, bit-identically.
+    pub(crate) fn with_faults(mut self, plan: &FaultPlan) -> Self {
+        let resolved = plan.resolve(self.edges);
+        self.faults = (!resolved.is_empty()).then_some(FaultSchedule {
+            seed: plan.seed,
+            actions: resolved,
+        });
         self
     }
 
@@ -614,12 +657,36 @@ pub(crate) fn build_schedule(load: &LoadConfig) -> (Vec<(u64, Option<u64>)>, usi
     (schedule, phantoms)
 }
 
+/// The failover ring, when this run needs one: always under
+/// [`Sharding::Ring`], and under *any* fault plan (whatever the
+/// sharding, re-homed sessions must land deterministically). Shared by
+/// both engines so placements match.
+pub(crate) fn build_ring(load: &LoadConfig, p: &TierParams) -> Option<HashRing> {
+    (p.sharding == Sharding::Ring || p.faults.is_some())
+        .then(|| HashRing::new(p.edges, RING_VNODES, load.seed ^ RING_SALT))
+}
+
+/// The session key a schedule position hashes to on the failover ring.
+/// One canonical mixing so home placement ([`shard_edge`]) and failover
+/// routing agree on the key.
+pub(crate) fn ring_key(load: &LoadConfig, i: usize) -> u64 {
+    splitmix64(load.seed ^ i as u64)
+}
+
 /// The edge a session at schedule position `i` is sharded onto. Shared
 /// by both engines so cohort membership matches the oracle's routing.
-pub(crate) fn shard_edge(load: &LoadConfig, p: &TierParams, i: usize) -> usize {
+pub(crate) fn shard_edge(
+    load: &LoadConfig,
+    p: &TierParams,
+    i: usize,
+    ring: Option<&HashRing>,
+) -> usize {
     match p.sharding {
         Sharding::RoundRobin => i % p.edges,
         Sharding::Hash => (splitmix64(load.seed ^ i as u64) % p.edges as u64) as usize,
+        Sharding::Ring => ring
+            .expect("Sharding::Ring runs always build the ring")
+            .route(ring_key(load, i)),
     }
 }
 
@@ -665,11 +732,12 @@ pub(crate) mod oracle {
         let mut edges = build_edges(manifest, p);
         let (schedule, phantoms) = build_schedule(load);
 
+        let ring = build_ring(load, p);
         let mut sessions: Vec<SimSession> = schedule
             .into_iter()
             .enumerate()
             .map(|(i, (start_tick, depart_at))| {
-                let edge = shard_edge(load, p, i);
+                let edge = shard_edge(load, p, i, ring.as_ref());
                 let (join_seq, startup_after) = join_point(p, load, start_tick, n_segments);
                 SimSession {
                     start_tick,
@@ -1168,8 +1236,89 @@ pub fn simulate_live_edge_load(
     }
 }
 
+/// [`simulate_edge_load`] under a [`FaultPlan`]: edges crash and
+/// restart, the origin flaps, links degrade — all scheduled on the
+/// engine's own event calendar, so the run stays deterministic at any
+/// scale. A crashed edge's sessions re-home across the failover ring
+/// to survivors (and fail back on restart); an empty plan runs the
+/// plan-free path bit-identically.
+#[must_use]
+pub fn simulate_edge_load_faulted(
+    manifest: &Manifest,
+    tier: &EdgeTierConfig,
+    plan: &FaultPlan,
+    load: &LoadConfig,
+) -> FaultedEdgeLoadReport {
+    let (edge, live, resilience) =
+        run_edge_resilient(manifest, load, TierParams::tier(tier).with_faults(plan));
+    FaultedEdgeLoadReport {
+        edge,
+        live,
+        resilience,
+    }
+}
+
+/// [`simulate_live_edge_load`] under a [`FaultPlan`] — the composed
+/// worst case ROADMAP item 3 asks for: a flash crowd arriving while an
+/// edge crashes and the origin flaps, in one deterministic run.
+#[must_use]
+pub fn simulate_live_edge_load_faulted(
+    manifest: &Manifest,
+    tier: &EdgeTierConfig,
+    live: &LiveConfig,
+    plan: &FaultPlan,
+    load: &LoadConfig,
+) -> FaultedEdgeLoadReport {
+    let (edge, live_stats, resilience) = run_edge_resilient(
+        manifest,
+        load,
+        TierParams::tier(tier)
+            .with_live(live, manifest)
+            .with_faults(plan),
+    );
+    FaultedEdgeLoadReport {
+        edge,
+        live: live_stats,
+        resilience,
+    }
+}
+
+/// [`edge_capacity_knee_bisect`] under a [`FaultPlan`] — how far the
+/// knee retreats as the plan takes edges away.
+#[must_use]
+pub fn faulted_edge_capacity_knee_bisect(
+    manifest: &Manifest,
+    tier: &EdgeTierConfig,
+    plan: &FaultPlan,
+    counts: &[usize],
+    base: &LoadConfig,
+    stall_tolerance: f64,
+) -> Option<usize> {
+    knee_bisect(
+        counts,
+        |sessions| {
+            simulate_edge_load_faulted(manifest, tier, plan, &LoadConfig { sessions, ..*base })
+                .edge
+                .load
+                .rebuffer_fraction
+        },
+        stall_tolerance,
+    )
+}
+
 /// The shared edge-report assembly.
 fn run_edge(manifest: &Manifest, load: &LoadConfig, p: TierParams) -> (EdgeLoadReport, LiveStats) {
+    let (edge, live, _) = run_edge_resilient(manifest, load, p);
+    (edge, live)
+}
+
+/// [`run_edge`] keeping the resilience ledger (all zero for a
+/// plan-free run).
+fn run_edge_resilient(
+    manifest: &Manifest,
+    load: &LoadConfig,
+    p: TierParams,
+) -> (EdgeLoadReport, LiveStats, ResilienceStats) {
     if p.degenerate(manifest, load) {
         return (
             EdgeLoadReport {
@@ -1180,10 +1329,15 @@ fn run_edge(manifest: &Manifest, load: &LoadConfig, p: TierParams) -> (EdgeLoadR
                 origin_offload: 0.0,
             },
             LiveStats::default(),
+            ResilienceStats::default(),
         );
     }
     let run = crate::calendar::run_cohorts(manifest, load, &p);
-    (assemble_edge_report(run.report, &run.edges), run.live)
+    (
+        assemble_edge_report(run.report, &run.edges),
+        run.live,
+        run.resilience,
+    )
 }
 
 /// Folds per-edge counters into the tier-level report shape (shared by
@@ -2477,5 +2631,71 @@ mod tests {
         assert_eq!(zero_edges.load, LoadReport::degenerate(load.population()));
         assert!(zero_edges.per_edge.is_empty());
         assert_eq!(edge_capacity_knee(&[], 0.05), None);
+    }
+
+    #[test]
+    fn crashing_every_edge_forever_terminates_cleanly_degraded() {
+        // The degenerate fault plan: all edges die early and never
+        // restart. Nothing can ever move a byte again, so the run must
+        // terminate with a clean degraded report — not trip the stasis
+        // detector into a panic, and not spin to `max_ticks`.
+        let m = manifest();
+        let tier = EdgeTierConfig {
+            edges: 2,
+            ..Default::default()
+        };
+        let plan = FaultPlan::new(9)
+            .crash_edge(0, 200, None)
+            .crash_edge(1, 200, None);
+        let load = LoadConfig {
+            sessions: 300,
+            ..Default::default()
+        };
+        let r = simulate_edge_load_faulted(&m, &tier, &plan, &load);
+        assert_eq!(r.resilience.edge_crashes, 2);
+        assert_eq!(r.resilience.edge_restarts, 0);
+        assert_eq!(r.resilience.mean_restore_ticks, 0.0);
+        assert!(
+            r.edge.load.completed < r.edge.load.sessions,
+            "a tier with no edges left cannot complete everyone"
+        );
+        assert!(
+            r.edge.load.ticks < load.max_ticks / 100,
+            "the dead tier must terminate promptly, not spin: {}",
+            r.edge.load.ticks
+        );
+    }
+
+    #[test]
+    fn crash_and_restart_fail_over_and_fail_back() {
+        use crate::fault::RestartMode;
+
+        // One of two edges dies mid-run and comes back cold: sessions
+        // must fail over (re-home), the restart must land in the MTTR
+        // ledger, and the cold cache must trigger re-warm fills. The
+        // run still completes everyone — that is what failover buys.
+        let m = manifest();
+        let tier = EdgeTierConfig {
+            edges: 2,
+            prewarm: true,
+            ..Default::default()
+        };
+        let plan = FaultPlan::new(5).crash_edge(0, 300, Some((900, RestartMode::Cold)));
+        let load = LoadConfig {
+            sessions: 400,
+            ..Default::default()
+        };
+        let r = simulate_edge_load_faulted(&m, &tier, &plan, &load);
+        assert_eq!(r.resilience.edge_crashes, 1);
+        assert_eq!(r.resilience.edge_restarts, 1);
+        assert_eq!(r.resilience.mean_restore_ticks, 600.0);
+        assert!(
+            r.resilience.sessions_rehomed > 0,
+            "the crashed edge's sessions must move to the survivor"
+        );
+        assert_eq!(
+            r.edge.load.completed, r.edge.load.sessions,
+            "failover must carry every session through the crash"
+        );
     }
 }

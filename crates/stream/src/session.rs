@@ -24,6 +24,7 @@ use netstack::link::LinkConfig;
 use netstack::tcplite::TcpConfig;
 
 use crate::edge::EdgeCache;
+use crate::fault::RetryPolicy;
 use crate::ladder::{LadderError, LiveOrigin, Manifest};
 use crate::segment::{demux_segment, Segment};
 
@@ -131,6 +132,12 @@ pub struct SessionConfig {
     pub max_rung: Option<usize>,
     /// License verification key for sealed titles.
     pub verification_key: Option<Vec<u8>>,
+    /// Transport-failure retry discipline for every fetch leg
+    /// (manifest, license, segments): each failed attempt backs off
+    /// per the policy and re-draws the link's loss randomness. The
+    /// default makes a single attempt — no retries — so legacy
+    /// sessions fail exactly as before.
+    pub retry: RetryPolicy,
 }
 
 impl Default for SessionConfig {
@@ -146,6 +153,7 @@ impl Default for SessionConfig {
             ewma_alpha: 0.4,
             max_rung: None,
             verification_key: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -224,6 +232,13 @@ pub struct SessionReport {
     pub rebuffer_ticks: u64,
     /// Rung changes after the first segment.
     pub rung_switches: u32,
+    /// Transport-failure retries that eventually succeeded, summed
+    /// over all fetch legs (zero under the default no-retry policy).
+    pub fetch_retries: u32,
+    /// Ticks spent backing off between retry attempts (included in
+    /// `total_ticks`, and drained from the playout buffer like any
+    /// other wall time).
+    pub retry_backoff_ticks: u64,
     /// Per-segment records, in playout order.
     pub segments: Vec<SegmentRecord>,
     /// Total simulated ticks (manifest + license + every segment fetch).
@@ -318,9 +333,20 @@ fn parse_manifest(bytes: &[u8]) -> Result<Manifest, SessionError> {
     })
 }
 
+/// Salt mixed into the leg number per retry attempt, so attempt `k` of
+/// a leg draws link randomness distinct from attempt `k - 1` (and from
+/// every other leg's attempts) instead of deterministically replaying
+/// the loss pattern that just failed. Attempt 0 leaves the leg number
+/// untouched, keeping no-retry runs bit-identical to the pre-retry
+/// engine.
+const ATTEMPT_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
 /// The session engine, generic over how objects are fetched. `leg`
 /// numbers each fetch (manifest 0, license 1, segment `i` at `2 + i`)
-/// so routes can derive per-leg seeds.
+/// so routes can derive per-leg seeds. Transport failures retry under
+/// [`SessionConfig::retry`]: each retry backs off (wall time the
+/// playout buffer drains) and re-issues the leg with an attempt-salted
+/// leg number.
 fn run_session_with(
     mut fetch_object: impl FnMut(&str, u64) -> Result<(Vec<u8>, u64), FetchError>,
     title: &str,
@@ -328,13 +354,37 @@ fn run_session_with(
 ) -> Result<SessionReport, SessionError> {
     let mut clock = 0u64;
     let mut delivered_bits = 0u64;
-    let mut fetch_object = |name: &str, leg: u64| -> Result<(Vec<u8>, u64), SessionError> {
-        Ok(fetch_object(name, leg)?)
+    let mut fetch_retries = 0u32;
+    let mut retry_backoff_ticks = 0u64;
+    // Returns (bytes, transfer ticks, backoff ticks waited). Only the
+    // transfer ticks feed the ABR's throughput estimate; both feed the
+    // clock and the playout drain.
+    let mut fetch_object = |name: &str, leg: u64| -> Result<(Vec<u8>, u64, u64), SessionError> {
+        let mut failures = 0u32;
+        let mut waited = 0u64;
+        loop {
+            let attempt = leg.wrapping_add(u64::from(failures).wrapping_mul(ATTEMPT_SALT));
+            match fetch_object(name, attempt) {
+                Ok((bytes, ticks)) => {
+                    fetch_retries += failures;
+                    retry_backoff_ticks += waited;
+                    return Ok((bytes, ticks, waited));
+                }
+                Err(e @ FetchError::Transport(_)) => {
+                    failures += 1;
+                    match config.retry.backoff_before(failures) {
+                        Some(wait) => waited += wait,
+                        None => return Err(e.into()),
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
     };
 
     // 1. Manifest.
-    let (bytes, ticks) = fetch_object(&Manifest::manifest_object(title), 0)?;
-    clock += ticks;
+    let (bytes, ticks, waited) = fetch_object(&Manifest::manifest_object(title), 0)?;
+    clock += ticks + waited;
     delivered_bits += (bytes.len() * 8) as u64;
     let manifest = parse_manifest(&bytes)?;
 
@@ -344,8 +394,8 @@ fn run_session_with(
             .verification_key
             .as_deref()
             .ok_or(SessionError::SealedWithoutKey)?;
-        let (bytes, ticks) = fetch_object(&Manifest::license_object(title), 1)?;
-        clock += ticks;
+        let (bytes, ticks, waited) = fetch_object(&Manifest::license_object(title), 1)?;
+        clock += ticks + waited;
         delivered_bits += (bytes.len() * 8) as u64;
         let license = License::unseal(&bytes, key).map_err(SessionError::License)?;
         Some(license.content_key)
@@ -373,14 +423,16 @@ fn run_session_with(
             }
         }
         let entry = &manifest.rungs[rung].segments[seg];
-        let (mut bytes, ticks) = fetch_object(&manifest.segment_object(rung, seg), 2 + seg as u64)?;
-        clock += ticks;
+        let (mut bytes, ticks, waited) =
+            fetch_object(&manifest.segment_object(rung, seg), 2 + seg as u64)?;
+        clock += ticks + waited;
         delivered_bits += (bytes.len() * 8) as u64;
         abr.observe((bytes.len() * 8) as f64, ticks as f64);
 
-        // Playout drains while the fetch was in flight.
+        // Playout drains while the fetch (and any retry backoff) was
+        // in flight.
         if playing {
-            buffer_ticks -= ticks as i64;
+            buffer_ticks -= (ticks + waited) as i64;
             if buffer_ticks < 0 {
                 rebuffer_events += 1;
                 rebuffer_ticks += (-buffer_ticks) as u64;
@@ -414,6 +466,8 @@ fn run_session_with(
         rebuffer_events,
         rebuffer_ticks,
         rung_switches,
+        fetch_retries,
+        retry_backoff_ticks,
         segments: records,
         total_ticks: clock,
         delivered_bits,
@@ -443,6 +497,15 @@ pub struct LiveSessionConfig {
     /// Bounds the session when an edge can only serve a stale manifest
     /// forever — e.g. stale-if-error through an endless origin outage.
     pub max_stale_refreshes: u32,
+    /// Retry discipline for progress-free manifest refreshes. `None`
+    /// reproduces the legacy fixed-interval poll exactly — equivalent
+    /// to `RetryPolicy { max_attempts: max_stale_refreshes + 1,
+    /// base_backoff_ticks: poll_ticks, max_backoff_ticks: poll_ticks,
+    /// jitter_ticks: 0, seed: 0 }`. A backoff-shaped policy lets
+    /// viewers poll gently through an origin outage instead of
+    /// hammering a fixed interval; its give-up budget then supersedes
+    /// `max_stale_refreshes`.
+    pub refresh_retry: Option<RetryPolicy>,
 }
 
 impl Default for LiveSessionConfig {
@@ -457,6 +520,7 @@ impl Default for LiveSessionConfig {
             poll_ticks: 50,
             start_tick: 0,
             max_stale_refreshes: 64,
+            refresh_retry: None,
         }
     }
 }
@@ -709,6 +773,16 @@ fn run_live_core(
     config: &LiveSessionConfig,
 ) -> Result<LiveSessionReport, SessionError> {
     let poll = config.poll_ticks.max(1);
+    // The stale-refresh loop runs on a retry policy; the legacy
+    // `poll_ticks`/`max_stale_refreshes` knobs are exactly the flat
+    // policy below (poll-sized backoff, `max_stale + 1` attempts).
+    let refresh_retry = config.refresh_retry.unwrap_or(RetryPolicy {
+        max_attempts: config.max_stale_refreshes.saturating_add(1),
+        base_backoff_ticks: poll,
+        max_backoff_ticks: poll,
+        jitter_ticks: 0,
+        seed: 0,
+    });
     let mut clock = config.start_tick;
     let mut leg = 0u64;
     let mut delivered_bits = 0u64;
@@ -771,10 +845,10 @@ fn run_live_core(
         // Bring the manifest window up to (or past) the wanted
         // sequence: skip forward over expired content, refresh when
         // the copy is stale, and poll while the origin itself has not
-        // published it yet. Bounded: `max_stale_refreshes` consecutive
-        // refreshes with no live-edge progress (an edge that can only
-        // serve stale-if-error through an endless outage) error out
-        // instead of polling forever.
+        // published it yet. Bounded: the refresh retry policy's
+        // give-up budget caps consecutive refreshes with no live-edge
+        // progress (an edge that can only serve stale-if-error through
+        // an endless outage), erroring out instead of polling forever.
         let mut stale_refreshes = 0u32;
         loop {
             if next_seq < window.first_seq {
@@ -800,14 +874,22 @@ fn run_live_core(
             window = fresh;
             if stalled {
                 stale_refreshes = if progressed { 0 } else { stale_refreshes + 1 };
-                if stale_refreshes > config.max_stale_refreshes {
-                    return Err(SessionError::LiveStalled);
-                }
                 // Not published yet (or an edge served a within-TTL
-                // stale copy): wait before asking again.
-                clock += poll;
-                stale_manifest_ticks += poll;
-                playout.drain(poll);
+                // stale copy): wait before asking again. A refresh
+                // that progressed (but not far enough) restarts the
+                // backoff ladder at its base; progress-free refreshes
+                // climb it until the give-up budget is spent.
+                let wait = if stale_refreshes == 0 {
+                    refresh_retry.base_backoff_ticks
+                } else {
+                    match refresh_retry.backoff_before(stale_refreshes) {
+                        Some(wait) => wait,
+                        None => return Err(SessionError::LiveStalled),
+                    }
+                };
+                clock += wait;
+                stale_manifest_ticks += wait;
+                playout.drain(wait);
             }
         }
 
@@ -997,6 +1079,109 @@ mod tests {
         assert_eq!(a.total_ticks, b.total_ticks);
         assert_eq!(a.startup_delay_ticks, b.startup_delay_ticks);
         assert_eq!(a.segments.len(), 3);
+    }
+
+    #[test]
+    fn transport_retries_recover_flaky_legs() {
+        use netstack::tcplite::TcpError;
+        use std::collections::HashMap;
+
+        let (server, _) = published(false);
+        let cfg = SessionConfig {
+            max_rung: Some(0),
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base_backoff_ticks: 40,
+                max_backoff_ticks: 160,
+                jitter_ticks: 0,
+                seed: 7,
+            },
+            ..Default::default()
+        };
+        // Every object's first two attempts die on the wire; the third
+        // succeeds. Each attempt must arrive under a distinct leg
+        // number (the salted re-draw of link randomness).
+        let mut attempts: HashMap<String, Vec<u64>> = HashMap::new();
+        let report = run_session_with(
+            |name, leg| {
+                let seen = attempts.entry(name.to_string()).or_default();
+                seen.push(leg);
+                if seen.len() <= 2 {
+                    return Err(FetchError::Transport(TcpError::Timeout));
+                }
+                let r = fetch(&server, name, cfg.tcp, cfg.link, cfg.seed.wrapping_add(leg))?;
+                Ok((r.data, r.ticks))
+            },
+            "movie",
+            &cfg,
+        )
+        .expect("retries must carry the session through");
+        assert_eq!(report.segments.len(), 3);
+        // 4 objects (manifest + 3 segments) x 2 recovered failures,
+        // each leg backing off 40 + 80 ticks.
+        assert_eq!(report.fetch_retries, 8);
+        assert_eq!(report.retry_backoff_ticks, 4 * 120);
+        for legs in attempts.values() {
+            assert_eq!(legs.len(), 3);
+            assert!(
+                legs[0] != legs[1] && legs[1] != legs[2],
+                "every attempt must re-salt the leg: {legs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_surfaces_the_transport_error() {
+        use netstack::tcplite::TcpError;
+
+        let cfg = SessionConfig {
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base_backoff_ticks: 10,
+                max_backoff_ticks: 10,
+                jitter_ticks: 0,
+                seed: 0,
+            },
+            ..Default::default()
+        };
+        let mut calls = 0u32;
+        let err = run_session_with(
+            |_, _| {
+                calls += 1;
+                Err(FetchError::Transport(TcpError::Timeout))
+            },
+            "movie",
+            &cfg,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            SessionError::Fetch(FetchError::Transport(TcpError::Timeout))
+        );
+        assert_eq!(calls, 3, "budget spent: exactly max_attempts tries");
+    }
+
+    #[test]
+    fn default_policy_makes_a_single_attempt() {
+        use netstack::tcplite::TcpError;
+
+        let mut calls = 0u32;
+        let err = run_session_with(
+            |_, _| {
+                calls += 1;
+                Err(FetchError::Transport(TcpError::Timeout))
+            },
+            "movie",
+            &SessionConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SessionError::Fetch(FetchError::Transport(_))));
+        assert_eq!(calls, 1, "no-retry default fails fast");
+        // And on a clean run the retry counters stay zero.
+        let (server, _) = published(false);
+        let report = run_session(&server, "movie", &SessionConfig::default()).unwrap();
+        assert_eq!(report.fetch_retries, 0);
+        assert_eq!(report.retry_backoff_ticks, 0);
     }
 
     #[test]
@@ -1190,6 +1375,7 @@ mod tests {
             poll_ticks: 5,
             start_tick: 0,
             max_stale_refreshes: 64,
+            refresh_retry: None,
         };
         let r = run_live_session(&mut server, &mut origin, "chan", &session).unwrap();
         assert_eq!(r.segments.len(), 5, "skipping forward must keep playing");
@@ -1289,6 +1475,71 @@ mod tests {
             &LiveSessionConfig {
                 start_tick: tune_in,
                 max_stale_refreshes: 8,
+                ..cfg
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, SessionError::LiveStalled);
+    }
+
+    #[test]
+    fn explicit_flat_refresh_policy_matches_the_legacy_poll_exactly() {
+        let run = |retry: Option<RetryPolicy>| {
+            let (mut server, mut origin, _) = live_channel(false);
+            let cfg = LiveSessionConfig {
+                segments_to_play: 6,
+                poll_ticks: 20,
+                refresh_retry: retry,
+                ..Default::default()
+            };
+            run_live_session(&mut server, &mut origin, "chan", &cfg).unwrap()
+        };
+        let legacy = run(None);
+        // The documented legacy-equivalent policy for poll_ticks = 20,
+        // max_stale_refreshes = 64.
+        let flat = run(Some(RetryPolicy {
+            max_attempts: 65,
+            base_backoff_ticks: 20,
+            max_backoff_ticks: 20,
+            jitter_ticks: 0,
+            seed: 0,
+        }));
+        assert_eq!(legacy.total_ticks, flat.total_ticks);
+        assert_eq!(legacy.stale_manifest_ticks, flat.stale_manifest_ticks);
+        assert_eq!(legacy.manifest_refreshes, flat.manifest_refreshes);
+        assert_eq!(legacy.segments.len(), flat.segments.len());
+    }
+
+    #[test]
+    fn backoff_refresh_policy_gives_up_cleanly_through_an_endless_outage() {
+        use crate::edge::{EdgeCache, EdgeConfig};
+
+        let (mut server, mut origin, _) = live_channel(false);
+        let mut edge = EdgeCache::new(EdgeConfig {
+            mutable_ttl_ticks: 50,
+            ..Default::default()
+        });
+        let cfg = LiveSessionConfig {
+            base: SessionConfig {
+                max_rung: Some(0),
+                ..Default::default()
+            },
+            segments_to_play: 4,
+            poll_ticks: 20,
+            ..Default::default()
+        };
+        run_live_session_via_edge(&mut server, &mut origin, &mut edge, "chan", &cfg)
+            .expect("first viewer warms the edge");
+        edge.set_origin_up(false);
+        let tune_in = origin.publish_tick(origin.live_seq().unwrap());
+        let err = run_live_session_via_edge(
+            &mut server,
+            &mut origin,
+            &mut edge,
+            "chan",
+            &LiveSessionConfig {
+                start_tick: tune_in,
+                refresh_retry: Some(RetryPolicy::standard(11)),
                 ..cfg
             },
         )

@@ -68,6 +68,7 @@ fn sealed_live_viewer_plays_the_channel_over_a_lossy_link() {
         poll_ticks: 25,
         start_tick: 0,
         max_stale_refreshes: 64,
+        refresh_retry: None,
     };
     let r = run_live_session(&mut server, &mut origin, "linear", &cfg).expect("live session");
     assert_eq!(r.segments.len(), 9);
@@ -116,6 +117,7 @@ fn live_viewers_share_an_edge_that_honours_the_live_object_lifecycle() {
         poll_ticks: 25,
         start_tick,
         max_stale_refreshes: 64,
+        refresh_retry: None,
     };
     let a = run_live_session_via_edge(
         &mut server,

@@ -626,6 +626,77 @@ proptest! {
         }
     }
 
+    /// An empty `FaultPlan` runs the fault-free edge engine
+    /// bit-identically: the whole edge report (load, per-edge
+    /// counters, hit rates) is equal, the live stats are equal, and
+    /// the resilience ledger is all zero. The chaos layer must cost
+    /// exactly nothing when no fault is scheduled.
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_plan_free(
+        sessions in 1usize..400,
+        edges in 1usize..5,
+        plan_seed in any::<u64>(),
+        load_seed in 0u64..1000,
+    ) {
+        let frames = video::synth::SequenceGen::new(9).panning_sequence(48, 32, 8, 1, 0);
+        let cfg = mmstream::LadderConfig {
+            targets_bits_per_frame: vec![2_000.0, 6_000.0],
+            gop: 4,
+            ..Default::default()
+        };
+        let manifest = mmstream::encode_ladder("prop", &frames, &cfg).unwrap().manifest;
+        let tier = mmstream::EdgeTierConfig {
+            edges,
+            ..Default::default()
+        };
+        let load = mmstream::LoadConfig {
+            sessions,
+            seed: load_seed,
+            ..Default::default()
+        };
+        let faulted = mmstream::simulate_edge_load_faulted(
+            &manifest,
+            &tier,
+            &mmstream::FaultPlan::new(plan_seed),
+            &load,
+        );
+        let plain = mmstream::simulate_edge_load(&manifest, &tier, &load);
+        prop_assert_eq!(&faulted.edge, &plain);
+        prop_assert_eq!(faulted.live, mmstream::LiveStats::default());
+        prop_assert_eq!(faulted.resilience, mmstream::ResilienceStats::default());
+    }
+
+    /// The consistent-hash failover ring moves only the crashed edge's
+    /// keys: with every edge up, `route_alive` equals `route` on every
+    /// key; with one edge down, every key homed elsewhere keeps its
+    /// owner (the ≤ 1/N remap guarantee), and the crashed edge's keys
+    /// land on a survivor.
+    #[test]
+    fn hash_ring_failover_moves_only_the_crashed_edges_keys(
+        edges in 2usize..10,
+        crashed_sel in any::<usize>(),
+        ring_seed in any::<u64>(),
+        keys in prop::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let ring = mmstream::HashRing::new(edges, 64, ring_seed);
+        let up = vec![true; edges];
+        for &k in &keys {
+            prop_assert_eq!(ring.route_alive(k, &up), Some(ring.route(k)));
+        }
+        let crashed = crashed_sel % edges;
+        let mut up = up;
+        up[crashed] = false;
+        for &k in &keys {
+            let home = ring.route(k);
+            let rerouted = ring.route_alive(k, &up).unwrap();
+            if home == crashed {
+                prop_assert!(rerouted != crashed, "keys must leave the dead edge");
+            } else {
+                prop_assert_eq!(rerouted, home, "only the crashed edge's keys may move");
+            }
+        }
+    }
+
     /// Borrowed `BlockView` gathers (interior and edge-clamped) agree
     /// with the allocating `block_at` everywhere, so the zero-copy motion
     /// search sees exactly the same candidate pixels.
