@@ -55,14 +55,19 @@ use std::hash::{BuildHasherDefault, Hasher};
 
 use signal::rng::splitmix64;
 
+use crate::catalog::ZipfSampler;
 use crate::edge::HashRing;
 use crate::fault::{FaultAction, ResilienceStats};
 use crate::ladder::Manifest;
 use crate::serve::{
-    build_edges, build_ring, build_schedule, completion_eps, join_point, shard_edge, LiveStats,
-    LoadConfig, LoadReport, Req, SimEdge, TierParams,
+    build_edges, build_ring, build_schedule, completion_eps, join_point, shard_edge, title_for,
+    LiveStats, LoadConfig, LoadReport, Req, SimEdge, TierParams, RING_VNODES, SHIELD_KEY_SALT,
+    SHIELD_RING_SALT,
 };
 use crate::session::AbrController;
+use crate::shield::{
+    admit_insert, build_shields, obj_key_hash, shield_home, Admission, ObjKey, SimShield,
+};
 
 /// Cheap deterministic hasher for the cohort-formation index: the key
 /// is two machine words, and formation does one lookup per *session*
@@ -92,7 +97,7 @@ impl Hasher for SplitMixHasher {
     }
 }
 
-type CohortIndex = HashMap<(u64, usize), u32, BuildHasherDefault<SplitMixHasher>>;
+type CohortIndex = HashMap<(u64, usize, u32), u32, BuildHasherDefault<SplitMixHasher>>;
 
 /// How often the engine scans active cohorts for merge candidates.
 /// Merging is pure bookkeeping — it never changes report values (the
@@ -160,6 +165,10 @@ pub(crate) struct Cohort {
     /// The edge the shard function placed this class on — where it
     /// fails *back* to once a crashed home restarts.
     pub(crate) home_edge: usize,
+    /// The catalog popularity rank every member watches — part of the
+    /// cohort identity (sessions on different titles can never share a
+    /// trajectory). Always `0` on a single-title run.
+    pub(crate) title: u32,
     /// Deterministic failover key on the consistent-hash ring (from the
     /// fault plan's seed). `0` on plan-free runs, where it is never
     /// routed — and therefore never blocks a merge.
@@ -353,41 +362,55 @@ impl Acc {
 pub(crate) struct CohortRun {
     pub(crate) report: LoadReport,
     pub(crate) edges: Vec<SimEdge>,
+    /// The shield tier's caches — empty in a flat topology.
+    pub(crate) shields: Vec<SimShield>,
     pub(crate) live: LiveStats,
     /// All zero on a plan-free run.
     pub(crate) resilience: ResilienceStats,
 }
 
 /// Groups the arrival/departure schedule into cohorts keyed on
-/// `(start_tick, edge)` — the identity that fixes a session's entire
-/// deterministic trajectory — with member groups split by departure
-/// tick. Returns the cohorts in first-arrival order (deterministic:
-/// derived from schedule order, never map iteration).
+/// `(start_tick, edge, title)` — the identity that fixes a session's
+/// entire deterministic trajectory — with member groups split by
+/// departure tick. Returns the cohorts in first-arrival order
+/// (deterministic: derived from schedule order, never map iteration).
+#[allow(clippy::too_many_arguments)]
 fn form_cohorts(
     schedule: &[(u64, Option<u64>)],
-    manifest: &Manifest,
+    seg_counts: &[usize],
     load: &LoadConfig,
     p: &TierParams,
     edges: &mut [SimEdge],
     ring: Option<&HashRing>,
+    sampler: Option<&ZipfSampler>,
 ) -> Vec<Cohort> {
-    let n_segments = manifest.segment_count();
     let fault_seed = p.faults.as_ref().map(|f| f.seed);
     let mut cohorts: Vec<Cohort> = Vec::new();
     let mut index = CohortIndex::with_capacity_and_hasher(1024, BuildHasherDefault::default());
     for (i, &(start_tick, depart_at)) in schedule.iter().enumerate() {
         let edge = shard_edge(load, p, i, ring);
+        let title = title_for(load, sampler, i);
         edges[edge].assigned += 1;
-        let cid = *index.entry((start_tick, edge)).or_insert_with(|| {
-            let (join_seq, startup_after) = join_point(p, load, start_tick, n_segments);
+        let cid = *index.entry((start_tick, edge, title)).or_insert_with(|| {
+            let (join_seq, startup_after) =
+                join_point(p, load, start_tick, seg_counts[title as usize]);
             cohorts.push(Cohort {
                 edge,
                 home_edge: edge,
+                title,
                 // The class fails over as one unit: its key mixes the
                 // plan seed with the cohort identity, so different
                 // plans spread a crashed edge's classes differently.
-                ring_key: fault_seed
-                    .map_or(0, |s| splitmix64(splitmix64(s ^ start_tick) ^ edge as u64)),
+                // Title 0 hashes exactly like the pre-catalog key, so
+                // single-title fault runs keep their golden layouts.
+                ring_key: fault_seed.map_or(0, |s| {
+                    let base = splitmix64(splitmix64(s ^ start_tick) ^ edge as u64);
+                    if title != 0 {
+                        splitmix64(base ^ u64::from(title))
+                    } else {
+                        base
+                    }
+                }),
                 n: 0,
                 members: Vec::new(),
                 state: CohortState {
@@ -443,6 +466,7 @@ fn merge_into(cohorts: &mut [Cohort], a: u32, b: u32) {
     // Failover identity must match too: classes with different homes
     // (or ring keys) would diverge again at the next fault event.
     debug_assert_eq!(cohorts[a as usize].home_edge, cohorts[b as usize].home_edge);
+    debug_assert_eq!(cohorts[a as usize].title, cohorts[b as usize].title);
     debug_assert_eq!(cohorts[a as usize].ring_key, cohorts[b as usize].ring_key);
     debug_assert!(cohorts[a as usize].state == cohorts[b as usize].state);
     let groups = std::mem::take(&mut cohorts[b as usize].members);
@@ -482,6 +506,7 @@ fn merge_converged(cohorts: &mut [Cohort], active: &mut Vec<u32>, alias: &mut [u
         (
             c.edge,
             c.home_edge,
+            c.title,
             c.ring_key,
             c.state.seg,
             c.state.rung,
@@ -547,23 +572,99 @@ fn rehome(c: &mut Cohort, edge_up: &[bool], ring: &HashRing) -> u64 {
     c.n
 }
 
+/// Recomputes every edge's serving shield after the shield up/down set
+/// changed: home while the home shield is up (failback), else the
+/// first live shield clockwise from the edge's ring key — parked on
+/// the (down) home when every shield is down.
+fn reroute_shields(
+    edge_shield: &mut [usize],
+    shield_up: &[bool],
+    ring: &HashRing,
+    keys: &[u64],
+    shields: usize,
+) {
+    let edges = edge_shield.len();
+    for (e, slot) in edge_shield.iter_mut().enumerate() {
+        let home = shield_home(e, edges, shields);
+        *slot = if shield_up[home] {
+            home
+        } else {
+            ring.route_alive(keys[e], shield_up).unwrap_or(home)
+        };
+    }
+}
+
+/// One cohort-counted cache request with the tier glue applied: the
+/// edge's admission sketch sees the demand first (every request feeds
+/// frequency, hit or miss), and a request that *starts* an edge fill
+/// registers on the serving shield — a shield hit, a new origin fill,
+/// or a coalesce into one already in flight. With admission off and no
+/// shield this is exactly [`SimEdge::request_n`].
+fn cohort_request(
+    e: &mut SimEdge,
+    adm: &mut Option<Admission>,
+    shield: Option<&mut SimShield>,
+    key: ObjKey,
+    bytes: f64,
+    n: u64,
+) -> Req {
+    if let Some(a) = adm.as_mut() {
+        a.record(obj_key_hash(key), n);
+    }
+    let req = e.request_n(key, bytes, n);
+    if let (Req::Wait(true), Some(sh)) = (req, shield) {
+        sh.request(key, bytes);
+    }
+    req
+}
+
 /// The cohort fluid engine. Semantically the per-session quantum
 /// engine (`serve::oracle`) run at cohort granularity: identical DVR
 /// maintenance, origin-fill drain, max-min downlink sharing, ABR,
 /// playout, and live gates per quantum — with per-quantum cost
 /// O(active cohorts) instead of O(population), idle stretches jumped
 /// via the event calendar, and finished classes folded straight into
-/// the report accumulator.
-pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams) -> CohortRun {
-    let n_segments = manifest.segment_count();
+/// the report accumulator. Multi-title catalogs key every cache object
+/// by `(title, rung, seg)`; a shield tier (when `p.shields > 0`) sits
+/// between the edges and the origin, so edge fills drain from shield
+/// caches and only shield misses cross the true origin link.
+pub(crate) fn run_cohorts(titles: &[Manifest], load: &LoadConfig, p: &TierParams) -> CohortRun {
+    let seg_counts: Vec<usize> = titles.iter().map(Manifest::segment_count).collect();
     let q = load.tick_quantum.max(1);
 
-    let mut edges = build_edges(manifest, p);
+    let mut edges = build_edges(titles, p);
     let (schedule, phantoms) = build_schedule(load);
     let n_sessions = schedule.len() + phantoms;
     let all_arrived_by = schedule.iter().map(|&(s, _)| s).max().unwrap_or(0);
     let ring = build_ring(load, p);
-    let mut cohorts = form_cohorts(&schedule, manifest, load, p, &mut edges, ring.as_ref());
+    let sampler = (titles.len() > 1).then(|| ZipfSampler::new(titles.len(), p.zipf_s));
+    let mut cohorts = form_cohorts(
+        &schedule,
+        &seg_counts,
+        load,
+        p,
+        &mut edges,
+        ring.as_ref(),
+        sampler.as_ref(),
+    );
+
+    // The shield tier — empty in the flat topology, which is the
+    // legacy code path bit-identically (nothing below consults an
+    // empty shield vec). Per-edge admission sketches likewise build to
+    // `None` under admit-always, leaving every insert a plain insert.
+    let shields_on = p.shields > 0;
+    let mut shields = if shields_on {
+        build_shields(
+            titles,
+            p.shields,
+            p.shield_cache_capacity_bytes,
+            p.prewarm,
+            p.edges,
+        )
+    } else {
+        Vec::new()
+    };
+    let mut edge_adm: Vec<Option<Admission>> = (0..p.edges).map(|_| p.admission.build()).collect();
 
     let mut cal = EventCalendar::default();
     for (cid, c) in cohorts.iter().enumerate() {
@@ -578,6 +679,7 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
     // Fault actions ride the same heap (payload: action index), so
     // fault replay is exactly as deterministic as arrivals are.
     let faulted = p.faults.is_some();
+    let fault_seed = p.faults.as_ref().map(|f| f.seed);
     let fault_actions: &[(u64, FaultAction)] =
         p.faults.as_ref().map_or(&[], |f| f.actions.as_slice());
     for (ai, &(t, _)) in fault_actions.iter().enumerate() {
@@ -590,6 +692,24 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
     // IEEE-exact), so the plan-free trajectory is bit-identical.
     let mut edge_up = vec![true; p.edges];
     let mut crash_tick: Vec<Option<u64>> = vec![None; p.edges];
+    let mut shield_up = vec![true; p.shields];
+    let mut shield_crash_tick: Vec<Option<u64>> = vec![None; p.shields];
+    // Which shield each edge currently fills from: its home, unless
+    // the home is down and the shield ring re-routed it to a survivor.
+    let mut edge_shield: Vec<usize> = (0..p.edges)
+        .map(|e| {
+            if shields_on {
+                shield_home(e, p.edges, p.shields)
+            } else {
+                0
+            }
+        })
+        .collect();
+    let shield_ring = (shields_on && faulted)
+        .then(|| HashRing::new(p.shields, RING_VNODES, load.seed ^ SHIELD_RING_SALT));
+    let shield_keys: Vec<u64> = (0..p.edges)
+        .map(|e| fault_seed.map_or(0, |s| splitmix64(s ^ SHIELD_KEY_SALT ^ e as u64)))
+        .collect();
     // Cold-restarted edges count their fills as re-warm traffic until
     // the wiped cache holds an object again.
     let mut rewarming = vec![false; p.edges];
@@ -614,18 +734,18 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
     // pressure has made a class rebuffer, it pins to the lowest rung
     // (keep playing over keep quality). With `fault_rebuffers == 0` —
     // always, on a plan-free run — this is exactly the plain ABR pick.
-    let pick_rung = |s: &CohortState| -> usize {
+    let pick_rung = |s: &CohortState, m: &Manifest| -> usize {
         if s.fault_rebuffers > 0 || s.fetched == 0 {
             0
         } else {
-            s.abr.pick(manifest, s.seg, None)
+            s.abr.pick(m, s.seg, None)
         }
     };
 
     let mut now = 0u64;
     let mut alive = schedule.len() as u64;
     let mut quanta = 0u64;
-    let mut last_first_seq = 0u64;
+    let mut last_first_seq = vec![0u64; titles.len()];
     let mut publish_wait_ticks = 0u64;
     let mut window_skips = 0u64;
     while alive > 0 && now < load.max_ticks {
@@ -647,7 +767,7 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
                         // In-flight fills die with the edge; re-homed
                         // waiters re-request on survivors, where
                         // `FillTable` coalescing absorbs the herd.
-                        let lost: Vec<(usize, usize)> =
+                        let lost: Vec<ObjKey> =
                             edges[e].fills.iter_mut().map(|(k, _)| k.0).collect();
                         res.fills_lost += lost.len() as u64;
                         for k in lost {
@@ -680,6 +800,56 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
                                 res.sessions_rehomed +=
                                     rehome(&mut cohorts[a as usize], &edge_up, r);
                             }
+                        }
+                    }
+                    FaultAction::ShieldDown(si) => {
+                        if !shield_up[si] {
+                            continue;
+                        }
+                        shield_up[si] = false;
+                        shield_crash_tick[si] = Some(tick);
+                        res.shield_crashes += 1;
+                        // In-flight origin fills die with the shield;
+                        // orphaned edge fills re-register on the
+                        // failover shield via the re-request pass.
+                        let lost: Vec<ObjKey> =
+                            shields[si].fills.iter_mut().map(|(k, _)| k.0).collect();
+                        res.fills_lost += lost.len() as u64;
+                        for k in lost {
+                            shields[si].fills.fail(&k, 0);
+                        }
+                        if let Some(r) = shield_ring.as_ref() {
+                            reroute_shields(
+                                &mut edge_shield,
+                                &shield_up,
+                                r,
+                                &shield_keys,
+                                p.shields,
+                            );
+                        }
+                    }
+                    FaultAction::ShieldUp(si, cold) => {
+                        if shield_up[si] {
+                            continue;
+                        }
+                        shield_up[si] = true;
+                        res.shield_restarts += 1;
+                        if let Some(t0) = shield_crash_tick[si].take() {
+                            restore_sum += tick - t0;
+                        }
+                        if cold {
+                            shields[si].lru.clear();
+                        }
+                        // Failback: every child edge whose home shield
+                        // just came back moves home again.
+                        if let Some(r) = shield_ring.as_ref() {
+                            reroute_shields(
+                                &mut edge_shield,
+                                &shield_up,
+                                r,
+                                &shield_keys,
+                                p.shields,
+                            );
                         }
                     }
                     FaultAction::OriginDown => flap_down = true,
@@ -767,6 +937,7 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
         let fault_active = faulted
             && (flap_down
                 || edge_up.iter().any(|&u| !u)
+                || shield_up.iter().any(|&u| !u)
                 || origin_scale != 1.0
                 || edge_scale.iter().any(|&s| s != 1.0));
         // Publish fast-forward: when every active cohort is a caught-up
@@ -778,20 +949,35 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
         // jump. This is what turns a 400-tick publish pace into
         // O(download quanta) work per segment instead of O(pace).
         if let Some(l) = p.live {
-            let live_now = l.live_seq(now, n_segments);
             // Under fault pressure the per-quantum path stays
             // authoritative (degraded links and parked classes change
-            // what a quantum does), so the jump is gated off.
+            // what a quantum does), so the jump is gated off. A cohort
+            // caught up on its *own* title gates on that title's
+            // publish clock; for a single title this is exactly the
+            // pre-catalog condition (`seg > live` forces the published
+            // prefix to be strictly shorter than the title).
             let idle_until_publish = !fault_active
-                && live_now < n_segments as u64 - 1
                 && edges.iter().all(|e| e.fills.is_empty())
+                && shields.iter().all(|s| s.fills.is_empty())
                 && active.iter().all(|&cid| {
-                    let s = &cohorts[cid as usize].state;
-                    s.started && s.pending_request && s.seg as u64 > live_now
+                    let c = &cohorts[cid as usize];
+                    let s = &c.state;
+                    s.started
+                        && s.pending_request
+                        && s.seg as u64 > l.live_seq(now, seg_counts[c.title as usize])
                 });
             if idle_until_publish {
                 let ceiling = quantized_jump(now, load.max_ticks, q);
-                let mut target = quantized_jump(now, l.publish_tick(live_now + 1).max(now + 1), q);
+                // The earliest next publish any active class waits on.
+                let next_pub = active
+                    .iter()
+                    .map(|&cid| {
+                        let nseg = seg_counts[cohorts[cid as usize].title as usize];
+                        l.publish_tick(l.live_seq(now, nseg) + 1)
+                    })
+                    .min()
+                    .expect("active is nonempty here");
+                let mut target = quantized_jump(now, next_pub.max(now + 1), q);
                 if let Some(t) = cal.next_tick() {
                     target = target.min(quantized_jump(now, t, q));
                 }
@@ -829,52 +1015,178 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
         let mut progressed = false;
 
         // Live DVR-window maintenance: segments that left the window
-        // are invalidated from every edge cache (the origin's purge,
-        // not capacity pressure — eviction counters are untouched).
+        // are invalidated from every edge and shield cache (the
+        // origin's purge, not capacity pressure — eviction counters
+        // are untouched).
         if let Some(l) = p.live {
-            let first = l.first_seq(now, n_segments);
-            for seq in last_first_seq..first {
-                for ri in 0..manifest.rungs.len() {
-                    for e in edges.iter_mut() {
-                        if e.lru.remove(&(ri, seq as usize)).is_some() {
-                            e.stats.invalidations += 1;
+            for (ti, m) in titles.iter().enumerate() {
+                let first = l.first_seq(now, seg_counts[ti]);
+                for seq in last_first_seq[ti]..first {
+                    for ri in 0..m.rungs.len() {
+                        let key = (ti as u32, ri as u32, seq as u32);
+                        for e in edges.iter_mut() {
+                            if e.lru.remove(&key).is_some() {
+                                e.stats.invalidations += 1;
+                            }
+                        }
+                        for sh in shields.iter_mut() {
+                            if sh.lru.remove(&key).is_some() {
+                                sh.stats.invalidations += 1;
+                            }
                         }
                     }
                 }
+                last_first_seq[ti] = last_first_seq[ti].max(first);
             }
-            last_first_seq = last_first_seq.max(first);
         }
 
-        // Origin fills: every in-flight fill shares the origin uplink
-        // max-min-equally; an outage freezes them all. Fills land
-        // *before* the downlink shares are computed, so waiters waking
-        // this quantum count toward their edge's split.
+        // Parent fills: in the flat topology every in-flight *edge*
+        // fill shares the origin uplink max-min-equally; an outage
+        // freezes them all. With a shield tier, only *shield* fills
+        // touch the true origin — edge fills drain from their shield's
+        // cache over the shield downlink once the object is there.
+        // Fills land *before* the downlink shares are computed, so
+        // waiters waking this quantum count toward their edge's split.
         let origin_down = p.origin_down_after.is_some_and(|t| now >= t) || flap_down;
-        let total_fills: usize = edges.iter().map(|e| e.fills.len()).sum();
-        if total_fills > 0 && !origin_down && p.origin_capacity > 0.0 {
-            let fill_rate = p.origin_capacity * origin_scale / total_fills as f64;
-            for (ei, e) in edges.iter_mut().enumerate() {
-                let done: Vec<(usize, usize)> = e
+        if !shields_on {
+            let total_fills: usize = edges.iter().map(|e| e.fills.len()).sum();
+            if total_fills > 0 && !origin_down && p.origin_capacity > 0.0 {
+                let fill_rate = p.origin_capacity * origin_scale / total_fills as f64;
+                for (ei, e) in edges.iter_mut().enumerate() {
+                    let done: Vec<ObjKey> = e
+                        .fills
+                        .iter_mut()
+                        .filter_map(|(k, rem)| {
+                            *rem -= fill_rate * step;
+                            let total = titles[k.0 .0 as usize].rungs[k.0 .1 as usize].segments
+                                [k.0 .2 as usize]
+                                .bytes as f64;
+                            (*rem <= completion_eps(total)).then_some(k.0)
+                        })
+                        .collect();
+                    for k in done {
+                        e.fills.complete(&k, 0);
+                        let bytes =
+                            titles[k.0 as usize].rungs[k.1 as usize].segments[k.2 as usize].bytes;
+                        e.stats.origin_bytes += bytes as u64;
+                        // Admission may refuse to cache the filled
+                        // object; its waiters still wake via the pass
+                        // set (serve-through without caching).
+                        if !admit_insert(&mut e.lru, &edge_adm[ei], k, bytes) {
+                            e.pass.insert(k);
+                        }
+                        e.stats.evictions = e.lru.evictions();
+                        // The wiped cache holds an object again: later
+                        // fills are ordinary demand fills, not re-warm.
+                        rewarming[ei] = false;
+                    }
+                }
+                progressed = true;
+            }
+        } else {
+            // Re-request pass first: edge fills whose serving shield
+            // neither caches the object nor has an origin fill in
+            // flight (shield crash, failover, or shield-side eviction)
+            // re-register as shield misses — one origin fill restarts
+            // no matter how many child edges wait on it.
+            for ei in 0..p.edges {
+                let si = edge_shield[ei];
+                if !shield_up[si] {
+                    continue;
+                }
+                let orphaned: Vec<ObjKey> = edges[ei]
+                    .fills
+                    .iter()
+                    .map(|(k, _)| k.0)
+                    .filter(|k| !shields[si].lru.contains(k) && !shields[si].fills.contains(k, 0))
+                    .collect();
+                for k in orphaned {
+                    let bytes = titles[k.0 as usize].rungs[k.1 as usize].segments[k.2 as usize]
+                        .bytes as f64;
+                    shields[si].stats.misses += 1;
+                    shields[si].fills.request(k, 0, || bytes);
+                    progressed = true;
+                }
+            }
+            // Shield→origin leg: every in-flight shield fill shares
+            // the true origin uplink.
+            let total_fills: usize = shields.iter().map(|s| s.fills.len()).sum();
+            if total_fills > 0 && !origin_down && p.origin_capacity > 0.0 {
+                let fill_rate = p.origin_capacity * origin_scale / total_fills as f64;
+                for sh in shields.iter_mut() {
+                    let done: Vec<ObjKey> = sh
+                        .fills
+                        .iter_mut()
+                        .filter_map(|(k, rem)| {
+                            *rem -= fill_rate * step;
+                            let total = titles[k.0 .0 as usize].rungs[k.0 .1 as usize].segments
+                                [k.0 .2 as usize]
+                                .bytes as f64;
+                            (*rem <= completion_eps(total)).then_some(k.0)
+                        })
+                        .collect();
+                    for k in done {
+                        sh.fills.complete(&k, 0);
+                        let bytes =
+                            titles[k.0 as usize].rungs[k.1 as usize].segments[k.2 as usize].bytes;
+                        sh.stats.origin_bytes += bytes as u64;
+                        sh.lru.insert(k, bytes);
+                        sh.stats.evictions = sh.lru.evictions();
+                    }
+                }
+                progressed = true;
+            }
+            // Shield→edge leg: edge fills whose object the shield now
+            // caches drain over the shield's downlink, max-min-shared
+            // across that shield's concurrently-drawing fills.
+            let mut draw = vec![0usize; p.shields];
+            for (ei, e) in edges.iter().enumerate() {
+                let si = edge_shield[ei];
+                if !shield_up[si] {
+                    continue;
+                }
+                draw[si] += e
+                    .fills
+                    .iter()
+                    .filter(|(k, _)| shields[si].lru.contains(&k.0))
+                    .count();
+            }
+            for ei in 0..p.edges {
+                let si = edge_shield[ei];
+                if !shield_up[si] || draw[si] == 0 {
+                    continue;
+                }
+                let rate = p.shield_capacity / draw[si] as f64;
+                let done: Vec<ObjKey> = edges[ei]
                     .fills
                     .iter_mut()
                     .filter_map(|(k, rem)| {
-                        *rem -= fill_rate * step;
-                        let total = manifest.rungs[k.0 .0].segments[k.0 .1].bytes as f64;
+                        if !shields[si].lru.contains(&k.0) {
+                            return None;
+                        }
+                        *rem -= rate * step;
+                        let total = titles[k.0 .0 as usize].rungs[k.0 .1 as usize].segments
+                            [k.0 .2 as usize]
+                            .bytes as f64;
                         (*rem <= completion_eps(total)).then_some(k.0)
                     })
                     .collect();
+                let e = &mut edges[ei];
                 for k in done {
                     e.fills.complete(&k, 0);
-                    let bytes = manifest.rungs[k.0].segments[k.1].bytes;
+                    let bytes =
+                        titles[k.0 as usize].rungs[k.1 as usize].segments[k.2 as usize].bytes;
                     e.stats.origin_bytes += bytes as u64;
-                    e.lru.insert(k, bytes);
+                    shields[si].lru.touch(&k);
+                    shields[si].stats.served_bytes += bytes as u64;
+                    if !admit_insert(&mut e.lru, &edge_adm[ei], k, bytes) {
+                        e.pass.insert(k);
+                    }
                     e.stats.evictions = e.lru.evictions();
-                    // The wiped cache holds an object again: later
-                    // fills are ordinary demand fills, not re-warm.
                     rewarming[ei] = false;
                 }
+                progressed = true;
             }
-            progressed = true;
         }
 
         // Per-edge downlink shares, weighted by cohort counts: a
@@ -896,12 +1208,15 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
                 // common case, most quanta) answers without touching the
                 // ABR or the cache index.
                 let l = p.live.expect("pending only in live mode");
-                s.seg as u64 <= l.live_seq(now, n_segments) && {
-                    let rung = pick_rung(s);
-                    edges[c.edge].lru.contains(&(rung, s.seg))
+                s.seg as u64 <= l.live_seq(now, seg_counts[c.title as usize]) && {
+                    let rung = pick_rung(s, &titles[c.title as usize]);
+                    edges[c.edge]
+                        .lru
+                        .contains(&(c.title, rung as u32, s.seg as u32))
                 }
             } else if s.waiting {
-                edges[c.edge].lru.contains(&(s.rung, s.seg))
+                let key = (c.title, s.rung as u32, s.seg as u32);
+                edges[c.edge].lru.contains(&key) || edges[c.edge].pass.contains(&key)
             } else {
                 true
             };
@@ -913,6 +1228,7 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
         for &cid in &active {
             let Cohort {
                 edge,
+                title,
                 members,
                 state: s,
                 n,
@@ -920,7 +1236,10 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
                 ..
             } = &mut cohorts[cid as usize];
             let edge = *edge;
+            let title = *title;
             let n = *n;
+            let m = &titles[title as usize];
+            let nseg = seg_counts[title as usize];
             if !edge_up[edge] {
                 // Parked: every edge is down, failover had nowhere to
                 // go. Playout keeps draining — members stall in place,
@@ -947,10 +1266,22 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
                 s.started = true;
                 let live_now = p
                     .live
-                    .map_or(true, |l| s.seg as u64 <= l.live_seq(now, n_segments));
+                    .map_or(true, |l| s.seg as u64 <= l.live_seq(now, nseg));
                 if live_now {
-                    let bytes = manifest.rungs[0].segments[s.seg].bytes as f64;
-                    match e.request_n((0, s.seg), bytes, n) {
+                    let bytes = m.rungs[0].segments[s.seg].bytes as f64;
+                    let sh = if shields_on && shield_up[edge_shield[edge]] {
+                        Some(&mut shields[edge_shield[edge]])
+                    } else {
+                        None
+                    };
+                    match cohort_request(
+                        e,
+                        &mut edge_adm[edge],
+                        sh,
+                        (title, 0, s.seg as u32),
+                        bytes,
+                        n,
+                    ) {
                         Req::Hit => s.remaining_bytes += bytes,
                         Req::Wait(new_fill) => {
                             s.waiting = true;
@@ -986,23 +1317,29 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
             // had not published it. Re-check the window now.
             if s.pending_request {
                 let l = p.live.expect("pending only in live mode");
-                let first = l.first_seq(now, n_segments) as usize;
+                let first = l.first_seq(now, nseg) as usize;
                 if s.seg < first {
                     // Too slow: the segment expired out of the DVR
                     // window before we ever asked. Skip forward.
                     window_skips += (first - s.seg) as u64 * n;
                     s.seg = first;
                 }
-                if s.seg as u64 <= l.live_seq(now, n_segments) {
+                if s.seg as u64 <= l.live_seq(now, nseg) {
                     s.pending_request = false;
-                    let rung = pick_rung(s);
+                    let rung = pick_rung(s, m);
                     if s.fetched > 0 && rung != s.rung {
                         s.rung_switches += 1;
                     }
                     s.rung = rung;
                     s.fetch_start = now;
-                    let bytes = manifest.rungs[rung].segments[s.seg].bytes as f64;
-                    match e.request_n((rung, s.seg), bytes, n) {
+                    let bytes = m.rungs[rung].segments[s.seg].bytes as f64;
+                    let sh = if shields_on && shield_up[edge_shield[edge]] {
+                        Some(&mut shields[edge_shield[edge]])
+                    } else {
+                        None
+                    };
+                    let key = (title, rung as u32, s.seg as u32);
+                    match cohort_request(e, &mut edge_adm[edge], sh, key, bytes, n) {
                         Req::Hit => s.remaining_bytes += bytes,
                         Req::Wait(new_fill) => {
                             s.waiting = true;
@@ -1018,12 +1355,13 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
                 }
             }
             if s.waiting {
-                let key = (s.rung, s.seg);
-                let bytes = manifest.rungs[s.rung].segments[s.seg].bytes as f64;
-                if e.lru.touch(&key) {
-                    // The fill landed: start the edge-leg download, with
-                    // `fetch_start` still at request time so the ABR
-                    // sees the full wait. The fall-through download
+                let key = (title, s.rung as u32, s.seg as u32);
+                let bytes = m.rungs[s.rung].segments[s.seg].bytes as f64;
+                if e.lru.touch(&key) || e.pass.contains(&key) {
+                    // The fill landed (cached, or admission-rejected
+                    // but passed through): start the edge-leg download,
+                    // with `fetch_start` still at request time so the
+                    // ABR sees the full wait. The fall-through download
                     // decrement below marks the progress.
                     s.waiting = false;
                     s.remaining_bytes += bytes;
@@ -1036,6 +1374,9 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
                         // matter how many members wait).
                         e.stats.misses += 1;
                         e.fills.request(key, 0, || bytes);
+                        if shields_on && shield_up[edge_shield[edge]] {
+                            shields[edge_shield[edge]].request(key, bytes);
+                        }
                         progressed = true;
                         if fault_active || rewarming[edge] {
                             res.rewarm_fills += 1;
@@ -1048,7 +1389,7 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
                 .min(p.per_session);
             s.remaining_bytes -= rate * step;
             progressed = true;
-            let entry = &manifest.rungs[s.rung].segments[s.seg];
+            let entry = &m.rungs[s.rung].segments[s.seg];
             if s.remaining_bytes > completion_eps(entry.bytes as f64) {
                 continue;
             }
@@ -1059,7 +1400,7 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
             s.abr.observe((entry.bytes * 8) as f64, elapsed as f64);
             s.delivered_bits += (entry.bytes * 8) as u64;
             s.rung_sum += s.rung as u64;
-            s.buffer_ticks += (entry.frames as u64 * manifest.ticks_per_frame) as f64;
+            s.buffer_ticks += (entry.frames as u64 * m.ticks_per_frame) as f64;
             s.in_rebuffer = false;
             s.fetched += 1;
             e.stats.served_bytes += entry.bytes as u64 * n;
@@ -1075,7 +1416,7 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
                 }
             }
             s.seg += 1;
-            if s.seg == n_segments {
+            if s.seg == nseg {
                 for g in members.iter() {
                     acc.fold(s, g, Some(end), true, now);
                 }
@@ -1086,12 +1427,12 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
             // Live gates for the next segment, evaluated at the
             // completion tick (the same tick the next quantum sees).
             if let Some(l) = p.live {
-                let first = l.first_seq(end, n_segments) as usize;
+                let first = l.first_seq(end, nseg) as usize;
                 if s.seg < first {
                     window_skips += (first - s.seg) as u64 * n;
                     s.seg = first;
                 }
-                if s.seg as u64 > l.live_seq(end, n_segments) {
+                if s.seg as u64 > l.live_seq(end, nseg) {
                     // Caught up with the live edge: wait for the next
                     // publish, discarding the download overshoot (the
                     // link idles — pacing, not congestion).
@@ -1100,13 +1441,19 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
                     continue;
                 }
             }
-            let next_rung = pick_rung(s);
+            let next_rung = pick_rung(s, m);
             if next_rung != s.rung {
                 s.rung_switches += 1;
             }
             s.rung = next_rung;
-            let bytes = manifest.rungs[s.rung].segments[s.seg].bytes as f64;
-            match e.request_n((s.rung, s.seg), bytes, n) {
+            let bytes = m.rungs[s.rung].segments[s.seg].bytes as f64;
+            let sh = if shields_on && shield_up[edge_shield[edge]] {
+                Some(&mut shields[edge_shield[edge]])
+            } else {
+                None
+            };
+            let key = (title, s.rung as u32, s.seg as u32);
+            match cohort_request(e, &mut edge_adm[edge], sh, key, bytes, n) {
                 // A hit carries this quantum's download overshoot into
                 // the next segment, exactly like the single-origin path.
                 Req::Hit => s.remaining_bytes += bytes,
@@ -1122,6 +1469,13 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
             s.fetch_start = end;
         }
         active.retain(|&cid| !cohorts[cid as usize].done);
+        // Pass-set entries only bridge a fill's completion to its
+        // waiters' wake within the quantum; clear them so an admission
+        // reject never masquerades as a cache hit later. Always empty
+        // under admit-always (the legacy path clears nothing).
+        for e in edges.iter_mut() {
+            e.pass.clear();
+        }
         quanta += 1;
         if quanta % MERGE_EVERY == 0 {
             merge_converged(&mut cohorts, &mut active, &mut alias);
@@ -1143,8 +1497,12 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
                 .iter()
                 .any(|&cid| edge_up[cohorts[cid as usize].edge]);
             let publishes_due = any_unparked
-                && p.live
-                    .is_some_and(|l| l.live_seq(now, n_segments) < n_segments as u64 - 1);
+                && p.live.is_some_and(|l| {
+                    active.iter().any(|&cid| {
+                        let nseg = seg_counts[cohorts[cid as usize].title as usize];
+                        l.live_seq(now, nseg) < nseg as u64 - 1
+                    })
+                });
             // A pending cohort will request (and progress) once its
             // segment publishes — including the final one, which may
             // have gone live this very quantum without being consumed
@@ -1174,10 +1532,11 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
         publish_wait_ticks,
         window_skips,
     };
-    res.mean_restore_ticks = if res.edge_restarts == 0 {
+    let restarts = res.edge_restarts + res.shield_restarts;
+    res.mean_restore_ticks = if restarts == 0 {
         0.0
     } else {
-        restore_sum as f64 / res.edge_restarts as f64
+        restore_sum as f64 / restarts as f64
     };
     res.sessions_fault_rebuffered = acc.fault_rebuffer_sessions;
     res.fault_rebuffer_ticks = acc.fault_rebuffer_ticks;
@@ -1185,6 +1544,7 @@ pub(crate) fn run_cohorts(manifest: &Manifest, load: &LoadConfig, p: &TierParams
     CohortRun {
         report,
         edges,
+        shields,
         live,
         resilience: res,
     }
@@ -1219,7 +1579,7 @@ mod tests {
     /// live stats exact. Valid for unbounded caches — under bounded-
     /// cache *eviction* the engines may legally pick different victims.
     fn assert_matches_oracle(manifest: &Manifest, load: &LoadConfig, p: &TierParams) {
-        let c = run_cohorts(manifest, load, p);
+        let c = run_cohorts(std::slice::from_ref(manifest), load, p);
         let (o, o_edges, o_live) = oracle::run(manifest, load, p);
         let r = &c.report;
         assert_eq!(
@@ -1329,6 +1689,7 @@ mod tests {
         let mk = |home: usize, key: u64| Cohort {
             edge: home,
             home_edge: home,
+            title: 0,
             ring_key: key,
             members: Vec::new(),
             state: test_state(),
@@ -1420,6 +1781,7 @@ mod tests {
             Cohort {
                 edge: 0,
                 home_edge: 0,
+                title: 0,
                 ring_key: 0,
                 members: vec![g(10, None, 5, 6), g(10, Some(90), 2, 6)],
                 state: test_state(),
@@ -1429,6 +1791,7 @@ mod tests {
             Cohort {
                 edge: 0,
                 home_edge: 0,
+                title: 0,
                 ring_key: 0,
                 members: vec![g(10, None, 3, 6), g(10, None, 1, 8)],
                 state: test_state(),
@@ -1457,7 +1820,7 @@ mod tests {
             ..Default::default()
         };
         let p = TierParams::single_origin(&ServerConfig::default());
-        let mut edges = build_edges(&m, &p);
+        let mut edges = build_edges(std::slice::from_ref(&m), &p);
         // Hand-build a schedule: four stayers and two churners leaving
         // at different ticks — one cohort, three member groups.
         let schedule = vec![
@@ -1468,7 +1831,15 @@ mod tests {
             (0, None),
             (0, None),
         ];
-        let cohorts = form_cohorts(&schedule, &m, &load, &p, &mut edges, None);
+        let cohorts = form_cohorts(
+            &schedule,
+            &[m.segment_count()],
+            &load,
+            &p,
+            &mut edges,
+            None,
+            None,
+        );
         assert_eq!(
             cohorts.len(),
             1,
@@ -1520,7 +1891,7 @@ mod tests {
             ..Default::default()
         };
         let p = TierParams::tier(&EdgeTierConfig::default());
-        let run = run_cohorts(&m, &load, &p);
+        let run = run_cohorts(std::slice::from_ref(&m), &load, &p);
         assert!(run.report.departed > 0, "config must actually churn");
         assert_matches_oracle(&m, &load, &p);
     }

@@ -115,6 +115,26 @@ impl<K: Ord + Clone> Lru<K> {
         evicted
     }
 
+    /// The entry that [`Lru::insert`] would evict first (least recently
+    /// used), without evicting it. `None` when the cache is empty.
+    /// Admission policies compare the candidate against this victim
+    /// before deciding whether the insert is worth the eviction.
+    #[must_use]
+    pub fn peek_victim(&self) -> Option<(&K, usize)> {
+        self.entries
+            .iter()
+            .min_by_key(|(_, (_, used))| *used)
+            .map(|(k, (bytes, _))| (k, *bytes))
+    }
+
+    /// Whether inserting a new `bytes`-sized object would force at
+    /// least one eviction. Oversized objects are never inserted, so
+    /// they never evict.
+    #[must_use]
+    pub fn would_evict(&self, bytes: usize) -> bool {
+        bytes <= self.capacity_bytes && self.held_bytes + bytes > self.capacity_bytes
+    }
+
     /// Removes `key` outright (cache invalidation, not capacity
     /// pressure — the eviction counter is untouched). Returns the freed
     /// bytes, or `None` if it was not cached.
@@ -233,6 +253,12 @@ impl<K: Ord + Clone, V> FillTable<K, V> {
         self.inflight.iter_mut()
     }
 
+    /// Read-only walk over in-flight fills (the shield tier inspects an
+    /// edge's fills to decide which can drain from the shield cache).
+    pub fn iter(&self) -> impl Iterator<Item = (&(K, u64), &V)> {
+        self.inflight.iter()
+    }
+
     /// Fills currently in flight.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -319,6 +345,15 @@ impl EdgeStats {
         } else {
             1.0 - self.origin_bytes as f64 / self.served_bytes as f64
         }
+    }
+
+    /// Element-wise sum over any number of caches — the tier-level
+    /// rollup [`crate::shield::TierStats`] is built from.
+    #[must_use]
+    pub fn merged_all<'a>(stats: impl IntoIterator<Item = &'a EdgeStats>) -> EdgeStats {
+        stats
+            .into_iter()
+            .fold(EdgeStats::default(), |acc, s| acc.merged(s))
     }
 
     /// Element-wise sum, for tier-level aggregates.
@@ -621,6 +656,128 @@ impl EdgeCache {
                 self.fetched_at.insert(key, now);
             }
             passthrough = through;
+        }
+        self.serve_local(
+            name,
+            passthrough,
+            viewer_tcp,
+            viewer_link,
+            viewer_seed,
+            fill_ticks,
+        )
+    }
+
+    /// Fetches `name` through this edge with a shield mid-tier behind
+    /// it: an edge hit is served locally; an edge miss first *ensures*
+    /// the object on `shield` (which fills from `origin` on a shield
+    /// miss, coalescing per `(key, generation)`), then fills this edge
+    /// from the shield's store over the edge's origin link — which now
+    /// models the edge→shield leg, so only the shield's own link
+    /// crosses to the true origin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FetchError`] when the viewer leg fails, when the
+    /// shield is down (and the object is uncached here), or when the
+    /// shield itself cannot fill from the origin.
+    pub fn fetch_through_shield(
+        &mut self,
+        shield: &mut crate::shield::ShieldCache,
+        origin: &ContentServer,
+        name: &str,
+        viewer_tcp: TcpConfig,
+        viewer_link: LinkConfig,
+        viewer_seed: u64,
+    ) -> Result<(Vec<u8>, u64), FetchError> {
+        let key = name.to_string();
+        let mut fill_ticks = 0u64;
+        let mut passthrough: Option<ContentServer> = None;
+        if self.lru.touch(&key) {
+            self.stats.hits += 1;
+        } else {
+            if !self.origin_up {
+                return Err(FetchError::Server("shield-unreachable".to_string()));
+            }
+            let (parent_ticks, shield_through) = shield.ensure(origin, name)?;
+            let source = shield_through.as_ref().unwrap_or(shield.server());
+            let len = source.get(name).map_or(0, |d| d.len() as u64);
+            let (ticks, through) = self.fill_from_origin(source, name)?;
+            shield.note_served(len);
+            fill_ticks = parent_ticks + ticks;
+            passthrough = through;
+        }
+        self.serve_local(
+            name,
+            passthrough,
+            viewer_tcp,
+            viewer_link,
+            viewer_seed,
+            fill_ticks,
+        )
+    }
+
+    /// The mutable-object counterpart of
+    /// [`EdgeCache::fetch_through_shield`]: TTL freshness is enforced
+    /// at the edge, revalidations go through the shield (which applies
+    /// its own TTL against the origin), and *stale-if-error* extends
+    /// across the extra hop — a cached copy is served when the shield
+    /// is unreachable, and also when the shield itself cannot reach
+    /// the origin for a revalidation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FetchError`] when a leg fails or the object is
+    /// uncached with the shield (or the origin behind it) unreachable.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fetch_mutable_through_shield(
+        &mut self,
+        shield: &mut crate::shield::ShieldCache,
+        origin: &ContentServer,
+        name: &str,
+        viewer_tcp: TcpConfig,
+        viewer_link: LinkConfig,
+        viewer_seed: u64,
+        now: u64,
+    ) -> Result<(Vec<u8>, u64), FetchError> {
+        let key = name.to_string();
+        let cached = self.lru.touch(&key);
+        let fresh = cached
+            && self
+                .fetched_at
+                .get(name)
+                .is_some_and(|&at| now < at.saturating_add(self.config.mutable_ttl_ticks));
+        let parent_ok = self.origin_up && shield.is_up();
+        let mut fill_ticks = 0u64;
+        let mut passthrough: Option<ContentServer> = None;
+        if fresh || (cached && !parent_ok) {
+            // Fresh — or stale-if-error: the shield (or the link to it)
+            // is down, and a slightly old copy beats a dead channel.
+            self.stats.hits += 1;
+        } else if !parent_ok {
+            return Err(FetchError::Server("shield-unreachable".to_string()));
+        } else {
+            match shield.ensure_mutable(origin, name, now) {
+                Ok((parent_ticks, shield_through)) => {
+                    if cached {
+                        self.stats.revalidations += 1;
+                    }
+                    let source = shield_through.as_ref().unwrap_or(shield.server());
+                    let len = source.get(name).map_or(0, |d| d.len() as u64);
+                    let (ticks, through) = self.fill_from_origin(source, name)?;
+                    shield.note_served(len);
+                    fill_ticks = parent_ticks + ticks;
+                    if through.is_none() {
+                        self.fetched_at.insert(key, now);
+                    }
+                    passthrough = through;
+                }
+                // Stale-if-error across the second hop: the shield had
+                // no copy and the origin behind it is down.
+                Err(FetchError::Server(_)) if cached => {
+                    self.stats.hits += 1;
+                }
+                Err(e) => return Err(e),
+            }
         }
         self.serve_local(
             name,

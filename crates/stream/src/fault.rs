@@ -47,6 +47,18 @@ pub enum FaultEvent {
         /// Restart tick and mode, or `None` for a permanent loss.
         restart: Option<(u64, RestartMode)>,
     },
+    /// Shield `shield` (mid-tier cache) dies at `at`. Its child edges
+    /// fail over to the surviving shields via the shield ring; `restart`
+    /// works as for [`FaultEvent::EdgeCrash`]. Dropped when the tier
+    /// runs no shields.
+    ShieldCrash {
+        /// Which shield (tier index).
+        shield: usize,
+        /// Crash tick.
+        at: u64,
+        /// Restart tick and mode, or `None` for a permanent loss.
+        restart: Option<(u64, RestartMode)>,
+    },
     /// The origin is unreachable for `[down_at, up_at)`: cache fills
     /// freeze mid-flight and resume on recovery.
     OriginFlap {
@@ -81,6 +93,10 @@ pub(crate) enum FaultAction {
     EdgeDown(usize),
     /// Edge comes back; `true` means cold (cache wiped).
     EdgeUp(usize, bool),
+    /// Shield goes down.
+    ShieldDown(usize),
+    /// Shield comes back; `true` means cold (cache wiped).
+    ShieldUp(usize, bool),
     /// Origin outage begins.
     OriginDown,
     /// Origin outage ends.
@@ -136,6 +152,22 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a shield crash (restarting later when `restart` is set).
+    #[must_use]
+    pub fn crash_shield(
+        mut self,
+        shield: usize,
+        at: u64,
+        restart: Option<(u64, RestartMode)>,
+    ) -> Self {
+        self.events.push(FaultEvent::ShieldCrash {
+            shield,
+            at,
+            restart,
+        });
+        self
+    }
+
     /// Adds an origin outage over `[down_at, up_at)`.
     #[must_use]
     pub fn flap_origin(mut self, down_at: u64, up_at: u64) -> Self {
@@ -170,10 +202,12 @@ impl FaultPlan {
     /// Flattens the plan into `(tick, action)` pairs, stably sorted by
     /// tick. Per event the *down* transition is emitted before the *up*
     /// one, so a same-tick crash-and-restart applies as crash, then
-    /// restart. Events naming an edge outside `0..n_edges` are dropped
-    /// (a plan written for an 8-edge tier degrades gracefully on a
-    /// smaller one); empty or zero-length spans resolve to nothing.
-    pub(crate) fn resolve(&self, n_edges: usize) -> Vec<(u64, FaultAction)> {
+    /// restart. Events naming an edge outside `0..n_edges` (or a shield
+    /// outside `0..n_shields`) are dropped (a plan written for an
+    /// 8-edge tier degrades gracefully on a smaller one, and shield
+    /// crashes are no-ops on a flat topology); empty or zero-length
+    /// spans resolve to nothing.
+    pub(crate) fn resolve(&self, n_edges: usize, n_shields: usize) -> Vec<(u64, FaultAction)> {
         let mut out: Vec<(u64, FaultAction)> = Vec::new();
         for ev in &self.events {
             match *ev {
@@ -185,6 +219,24 @@ impl FaultPlan {
                     if let Some((up_at, mode)) = restart {
                         if up_at >= at {
                             out.push((up_at, FaultAction::EdgeUp(edge, mode == RestartMode::Cold)));
+                        }
+                    }
+                }
+                FaultEvent::ShieldCrash {
+                    shield,
+                    at,
+                    restart,
+                } => {
+                    if shield >= n_shields {
+                        continue;
+                    }
+                    out.push((at, FaultAction::ShieldDown(shield)));
+                    if let Some((up_at, mode)) = restart {
+                        if up_at >= at {
+                            out.push((
+                                up_at,
+                                FaultAction::ShieldUp(shield, mode == RestartMode::Cold),
+                            ));
                         }
                     }
                 }
@@ -302,8 +354,12 @@ pub struct ResilienceStats {
     pub edge_crashes: u64,
     /// Edge restarts applied.
     pub edge_restarts: u64,
-    /// Mean ticks from crash to restart across restarted edges (MTTR);
-    /// `0.0` when nothing restarted.
+    /// Shield crashes applied.
+    pub shield_crashes: u64,
+    /// Shield restarts applied.
+    pub shield_restarts: u64,
+    /// Mean ticks from crash to restart across restarted caches (MTTR,
+    /// edges and shields pooled); `0.0` when nothing restarted.
     pub mean_restore_ticks: f64,
     /// Sessions moved off their home edge by failover (each move of a
     /// counted cohort counts every member).
@@ -328,8 +384,8 @@ mod tests {
     #[test]
     fn empty_plan_resolves_to_nothing() {
         assert!(FaultPlan::default().is_empty());
-        assert!(FaultPlan::default().resolve(4).is_empty());
-        assert!(FaultPlan::new(9).resolve(4).is_empty());
+        assert!(FaultPlan::default().resolve(4, 0).is_empty());
+        assert!(FaultPlan::new(9).resolve(4, 2).is_empty());
     }
 
     #[test]
@@ -338,7 +394,7 @@ mod tests {
             .flap_origin(500, 900)
             .crash_edge(2, 300, Some((700, RestartMode::Cold)))
             .crash_edge(0, 300, None);
-        let acts = plan.resolve(4);
+        let acts = plan.resolve(4, 0);
         assert_eq!(
             acts,
             vec![
@@ -355,7 +411,7 @@ mod tests {
     fn same_tick_crash_and_restart_applies_down_first() {
         let acts = FaultPlan::new(0)
             .crash_edge(1, 100, Some((100, RestartMode::Warm)))
-            .resolve(2);
+            .resolve(2, 0);
         assert_eq!(
             acts,
             vec![
@@ -372,15 +428,35 @@ mod tests {
             .flap_origin(50, 50) // zero-length
             .degrade_link(Some(9), 0, 100, 0.5) // edge out of range
             .degrade_link(None, 30, 30, 0.5) // zero-length
-            .degrade_link(None, 40, 60, 0.0); // zero scale
-        assert!(plan.resolve(4).is_empty());
+            .degrade_link(None, 40, 60, 0.0) // zero scale
+            .crash_shield(2, 10, Some((20, RestartMode::Cold))); // shield out of range
+        assert!(plan.resolve(4, 2).is_empty());
+    }
+
+    #[test]
+    fn shield_crash_resolves_like_an_edge_crash() {
+        let acts = FaultPlan::new(0)
+            .crash_shield(1, 100, Some((300, RestartMode::Cold)))
+            .resolve(8, 2);
+        assert_eq!(
+            acts,
+            vec![
+                (100, FaultAction::ShieldDown(1)),
+                (300, FaultAction::ShieldUp(1, true)),
+            ]
+        );
+        // The same plan on a flat (shield-less) tier is a no-op.
+        assert!(FaultPlan::new(0)
+            .crash_shield(1, 100, Some((300, RestartMode::Cold)))
+            .resolve(8, 0)
+            .is_empty());
     }
 
     #[test]
     fn degrade_span_emits_matched_start_and_end() {
         let acts = FaultPlan::new(0)
             .degrade_link(Some(1), 10, 90, 0.25)
-            .resolve(2);
+            .resolve(2, 0);
         assert_eq!(
             acts,
             vec![
@@ -466,6 +542,8 @@ mod tests {
             ResilienceStats {
                 edge_crashes: 0,
                 edge_restarts: 0,
+                shield_crashes: 0,
+                shield_restarts: 0,
                 mean_restore_ticks: 0.0,
                 sessions_rehomed: 0,
                 sessions_fault_rebuffered: 0,

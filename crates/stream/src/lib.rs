@@ -36,6 +36,15 @@
 //!   being pinned to one uplink; live sessions fetch through an edge
 //!   transparently, and the fluid simulator shards load across the
 //!   tier.
+//! * [`shield`] — the regional mid-tier of the hierarchical CDN:
+//!   shield caches (edge → shield → origin) with their own LRU +
+//!   generation-keyed fill coalescing, TinyLFU cache admission over a
+//!   4-bit count-min [`FreqSketch`], and the per-tier [`TierStats`]
+//!   rollup separating edge-local from true-origin offload.
+//! * [`catalog`] — multi-title workloads: a [`Catalog`] of per-title
+//!   manifests with a seeded Zipf popularity sampler
+//!   ([`ZipfSampler`]); a single-title catalog is bit-identical to
+//!   the pre-catalog engine.
 //! * [`fault`] — deterministic resilience: a seeded [`FaultPlan`]
 //!   (edge crashes with cold/warm restarts, origin flaps, link
 //!   degradation) scheduled on the simulator's own event calendar, a
@@ -93,14 +102,17 @@
 //! ```
 
 pub(crate) mod calendar;
+pub mod catalog;
 pub mod edge;
 pub mod fault;
 pub mod ladder;
 pub mod segment;
 pub mod serve;
 pub mod session;
+pub mod shield;
 pub mod ts;
 
+pub use catalog::{Catalog, ZipfSampler};
 pub use edge::{
     EdgeCache, EdgeConfig, EdgeStats, EdgeTierConfig, FillTable, HashRing, Lru, Sharding,
 };
@@ -111,16 +123,22 @@ pub use ladder::{
 };
 pub use segment::{demux_segment, mux_segment, mux_segment_wire, Segment};
 pub use serve::{
-    capacity_curve, capacity_knee, capacity_knee_bisect, edge_capacity_curve, edge_capacity_knee,
-    edge_capacity_knee_bisect, faulted_edge_capacity_knee_bisect, live_edge_capacity_curve,
-    live_edge_capacity_knee, live_edge_capacity_knee_bisect, simulate_edge_load,
-    simulate_edge_load_faulted, simulate_live_edge_load, simulate_live_edge_load_faulted,
-    simulate_live_load, simulate_load, ChurnConfig, EdgeLoadReport, FaultedEdgeLoadReport,
-    LiveConfig, LiveEdgeLoadReport, LiveLoadReport, LiveStats, LoadConfig, LoadReport,
-    ServerConfig,
+    capacity_curve, capacity_knee, capacity_knee_bisect, cdn_capacity_knee_bisect,
+    edge_capacity_curve, edge_capacity_knee, edge_capacity_knee_bisect,
+    faulted_edge_capacity_knee_bisect, live_edge_capacity_curve, live_edge_capacity_knee,
+    live_edge_capacity_knee_bisect, simulate_cdn_load, simulate_cdn_load_faulted,
+    simulate_edge_load, simulate_edge_load_faulted, simulate_live_cdn_load,
+    simulate_live_cdn_load_faulted, simulate_live_edge_load, simulate_live_edge_load_faulted,
+    simulate_live_load, simulate_load, CdnConfig, CdnLoadReport, ChurnConfig, EdgeLoadReport,
+    FaultedEdgeLoadReport, LiveConfig, LiveEdgeLoadReport, LiveLoadReport, LiveStats, LoadConfig,
+    LoadReport, ServerConfig,
 };
 pub use session::{
-    run_live_session, run_live_session_via_edge, run_session, run_session_via_edge, AbrController,
-    JoinMode, LiveSessionConfig, LiveSessionReport, SessionConfig, SessionReport,
+    run_live_session, run_live_session_via_edge, run_session, run_session_via_edge,
+    run_session_via_tier, AbrController, JoinMode, LiveSessionConfig, LiveSessionReport,
+    SessionConfig, SessionReport,
+};
+pub use shield::{
+    AdmissionPolicy, FreqSketch, ShieldCache, ShieldConfig, TierStats, TinyLfuConfig,
 };
 pub use ts::{TsDemux, TsMux, TsPacket, TS_PACKET_LEN};

@@ -21,12 +21,14 @@
 
 use signal::rng::Xoroshiro128;
 
+use crate::catalog::{Catalog, ZipfSampler};
 use crate::edge::{splitmix64, EdgeStats, EdgeTierConfig, FillTable, HashRing, Lru, Sharding};
 use crate::fault::{FaultPlan, FaultSchedule, ResilienceStats};
 use crate::ladder::Manifest;
 #[cfg(test)]
 use crate::session::AbrController;
 use crate::session::JoinMode;
+use crate::shield::{AdmissionPolicy, ObjKey, TierStats};
 
 /// Virtual points per edge on the failover [`HashRing`]. Enough that
 /// per-edge load imbalance stays small at 8 edges without making ring
@@ -36,6 +38,28 @@ pub(crate) const RING_VNODES: usize = 64;
 /// Salt mixed into the load seed for ring point placement, so the ring
 /// layout is independent of the arrival-time draw stream.
 pub(crate) const RING_SALT: u64 = 0x51A6_F00D_CA57_1E55;
+
+/// Salt mixed into the load seed for the *shield* failover ring, so the
+/// two rings never share point placement.
+pub(crate) const SHIELD_RING_SALT: u64 = 0x5111_E1D0_F00D_CA57;
+
+/// Salt mixed into the fault seed for per-edge shield-failover keys.
+pub(crate) const SHIELD_KEY_SALT: u64 = 0x0E06_E25E_11E1_D5A1;
+
+/// Salt mixed into the load seed for per-session title draws, so the
+/// popularity stream is independent of arrival times and ring keys.
+pub(crate) const TITLE_SALT: u64 = 0xCA7A_1060_0F71_71E5;
+
+/// The title a session at schedule position `i` watches: rank 0 for a
+/// single-title catalog (drawing *nothing* — the bit-identity contract
+/// with the pre-catalog engine), otherwise a Zipf draw keyed by
+/// position, not by RNG-stream order, so title choice never perturbs
+/// the arrival draws.
+pub(crate) fn title_for(load: &LoadConfig, sampler: Option<&ZipfSampler>, i: usize) -> u32 {
+    sampler.map_or(0, |z| {
+        z.sample_hash(splitmix64(load.seed ^ TITLE_SALT ^ i as u64)) as u32
+    })
+}
 
 /// Segment-server capacity model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -352,6 +376,67 @@ pub struct EdgeLoadReport {
     pub origin_offload: f64,
 }
 
+/// The full hierarchical-CDN topology the fluid simulator can run: an
+/// edge tier fronted by a shield (mid-tier) layer, with an optional
+/// frequency-based edge-cache admission policy. `shields: 0` is the
+/// flat topology — exactly [`EdgeTierConfig`] behavior, bit-identically
+/// (the engine never touches the shield code path).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CdnConfig {
+    /// The edge tier (the shield tier sits behind it).
+    pub tier: EdgeTierConfig,
+    /// Shield caches between the edges and the origin (0 = flat).
+    /// Edges home onto shields in contiguous near-equal groups; under
+    /// a fault plan, a crashed shield's children fail over across a
+    /// shield [`HashRing`].
+    pub shields: usize,
+    /// Per-shield cache budget, bytes.
+    pub shield_cache_capacity_bytes: usize,
+    /// Each shield's downlink feeding its child edges' fills, bytes
+    /// per tick.
+    pub shield_capacity_bytes_per_tick: f64,
+    /// Edge-cache admission policy (shields always admit: the tier
+    /// exists to hold the union working set).
+    pub admission: AdmissionPolicy,
+}
+
+impl Default for CdnConfig {
+    /// The default edge tier behind 4 shields with unbounded caches
+    /// and a 4,000 byte/tick downlink each, admitting everything.
+    fn default() -> Self {
+        Self {
+            tier: EdgeTierConfig::default(),
+            shields: 4,
+            shield_cache_capacity_bytes: usize::MAX,
+            shield_capacity_bytes_per_tick: 4_000.0,
+            admission: AdmissionPolicy::AdmitAll,
+        }
+    }
+}
+
+/// Result of one load level through the full hierarchy: the edge-tier
+/// report plus per-shield stats, the [`TierStats`] rollup, and the
+/// live/resilience ledgers (zero when unused).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CdnLoadReport {
+    /// The edge-tier report (session aggregate + per-edge stats). Its
+    /// `origin_offload` is the *edge-local* figure — against whatever
+    /// parent the edges fill from; `tier.origin_offload()` is the
+    /// true-origin figure.
+    pub edge: EdgeLoadReport,
+    /// Per-shield cache behaviour (`sessions` counts child *edges*).
+    pub per_shield: Vec<EdgeReportEntry>,
+    /// The two-tier rollup.
+    pub tier: TierStats,
+    /// `tier.origin_offload()`: fraction of viewer-served bytes that
+    /// never crossed the *true* origin link.
+    pub origin_offload: f64,
+    /// Live-specific aggregates (zero for VOD).
+    pub live: LiveStats,
+    /// What the faults cost (zero for a plan-free run).
+    pub resilience: ResilienceStats,
+}
+
 /// Resolved live gates for the fluid engine.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct LiveSim {
@@ -406,6 +491,16 @@ pub(crate) struct TierParams {
     pub(crate) sharding: Sharding,
     pub(crate) prewarm: bool,
     pub(crate) origin_down_after: Option<u64>,
+    /// Shield caches between the edges and the origin; `0` is the flat
+    /// topology — structurally the pre-shield code path.
+    pub(crate) shields: usize,
+    pub(crate) shield_cache_capacity_bytes: usize,
+    /// Each shield's downlink to its child edges, bytes per tick.
+    pub(crate) shield_capacity: f64,
+    /// Edge-cache admission policy (shields always admit).
+    pub(crate) admission: AdmissionPolicy,
+    /// Zipf exponent for multi-title runs (unused for one title).
+    pub(crate) zipf_s: f64,
     pub(crate) live: Option<LiveSim>,
     /// The resolved fault schedule, or `None` for a plan-free run.
     /// Discipline (same as zero-churn): an *empty* resolved plan is
@@ -425,6 +520,11 @@ impl TierParams {
             sharding: Sharding::RoundRobin,
             prewarm: true,
             origin_down_after: None,
+            shields: 0,
+            shield_cache_capacity_bytes: usize::MAX,
+            shield_capacity: 0.0,
+            admission: AdmissionPolicy::AdmitAll,
+            zipf_s: 1.0,
             live: None,
             faults: None,
         }
@@ -440,9 +540,23 @@ impl TierParams {
             sharding: t.sharding,
             prewarm: t.prewarm,
             origin_down_after: t.origin_down_after,
+            shields: 0,
+            shield_cache_capacity_bytes: usize::MAX,
+            shield_capacity: 0.0,
+            admission: AdmissionPolicy::AdmitAll,
+            zipf_s: 1.0,
             live: None,
             faults: None,
         }
+    }
+
+    pub(crate) fn cdn(c: &CdnConfig) -> Self {
+        let mut p = Self::tier(&c.tier);
+        p.shields = c.shields;
+        p.shield_cache_capacity_bytes = c.shield_cache_capacity_bytes;
+        p.shield_capacity = c.shield_capacity_bytes_per_tick;
+        p.admission = c.admission;
+        p
     }
 
     pub(crate) fn with_live(mut self, live: &LiveConfig, manifest: &Manifest) -> Self {
@@ -450,11 +564,16 @@ impl TierParams {
         self
     }
 
+    pub(crate) fn with_zipf(mut self, zipf_s: f64) -> Self {
+        self.zipf_s = zipf_s;
+        self
+    }
+
     /// Resolves `plan` against this tier. An empty resolution (empty
     /// plan, or every event out of range/degenerate) leaves `faults`
     /// at `None` — the plan-free path, bit-identically.
     pub(crate) fn with_faults(mut self, plan: &FaultPlan) -> Self {
-        let resolved = plan.resolve(self.edges);
+        let resolved = plan.resolve(self.edges, self.shields);
         self.faults = (!resolved.is_empty()).then_some(FaultSchedule {
             seed: plan.seed,
             actions: resolved,
@@ -463,28 +582,37 @@ impl TierParams {
     }
 
     /// `true` when no session could ever make progress.
-    pub(crate) fn degenerate(&self, manifest: &Manifest, load: &LoadConfig) -> bool {
+    pub(crate) fn degenerate(&self, titles: &[Manifest], load: &LoadConfig) -> bool {
         load.population() == 0
-            || manifest.segment_count() == 0
+            || titles.is_empty()
+            || titles.iter().any(|m| m.segment_count() == 0)
             || self.edges == 0
             || self.edge_capacity.is_nan()
             || self.edge_capacity <= 0.0
             || self.per_session.is_nan()
             || self.per_session <= 0.0
+            || (self.shields > 0 && (self.shield_capacity.is_nan() || self.shield_capacity <= 0.0))
+            || (titles.len() > 1 && !self.zipf_s.is_finite())
             || self.live.is_some_and(|l| l.tps == 0 || l.dvr == 0)
     }
 }
 
-/// One simulated edge: an LRU over `(rung, seq)` keys plus the
-/// coalescing table of in-flight origin fills (fluid segments are
+/// One simulated edge: an LRU over `(title, rung, seq)` keys plus the
+/// coalescing table of in-flight parent fills (fluid segments are
 /// immutable once published, so every fill is generation 0).
 pub(crate) struct SimEdge {
-    pub(crate) lru: Lru<(usize, usize)>,
-    pub(crate) fills: FillTable<(usize, usize), f64>,
+    pub(crate) lru: Lru<ObjKey>,
+    pub(crate) fills: FillTable<ObjKey, f64>,
     pub(crate) stats: EdgeStats,
     pub(crate) assigned: usize,
+    /// Objects filled this quantum but *rejected* by cache admission:
+    /// their waiters still wake and download (serve-through without
+    /// caching). Cleared every quantum; always empty under
+    /// admit-always, so the legacy path never consults it.
+    pub(crate) pass: std::collections::BTreeSet<ObjKey>,
 }
 
+#[derive(Clone, Copy)]
 pub(crate) enum Req {
     Hit,
     /// Waiting on a fill; `true` when this request started it (a state
@@ -497,7 +625,7 @@ impl SimEdge {
     /// coalesce onto it; otherwise start a fill. Kept as the quantum
     /// oracle's per-session form of [`SimEdge::request_n`].
     #[cfg(test)]
-    fn request(&mut self, key: (usize, usize), bytes: f64) -> Req {
+    fn request(&mut self, key: ObjKey, bytes: f64) -> Req {
         if self.lru.touch(&key) {
             self.stats.hits += 1;
             Req::Hit
@@ -515,7 +643,7 @@ impl SimEdge {
     /// stats ledger advances exactly as `n` per-session requests would
     /// (one fill started at most; the rest coalesce), so the per-edge
     /// counters stay identical to the quantum oracle's.
-    pub(crate) fn request_n(&mut self, key: (usize, usize), bytes: f64, n: u64) -> Req {
+    pub(crate) fn request_n(&mut self, key: ObjKey, bytes: f64, n: u64) -> Req {
         debug_assert!(n > 0, "a cohort request carries at least one session");
         if self.lru.touch(&key) {
             self.stats.hits += n;
@@ -586,23 +714,26 @@ fn exp_ticks(rng: &mut Xoroshiro128, mean: f64) -> u64 {
     (-mean * (1.0 - rng.next_f64()).ln()).round() as u64
 }
 
-/// The simulated edge tier, optionally prewarmed with the whole ladder.
-/// Shared verbatim by the cohort engine and the quantum oracle so both
-/// start from the identical cache state.
-pub(crate) fn build_edges(manifest: &Manifest, p: &TierParams) -> Vec<SimEdge> {
+/// The simulated edge tier, optionally prewarmed with every title's
+/// whole ladder. Shared verbatim by the cohort engine and the quantum
+/// oracle so both start from the identical cache state.
+pub(crate) fn build_edges(titles: &[Manifest], p: &TierParams) -> Vec<SimEdge> {
     let mut edges: Vec<SimEdge> = (0..p.edges)
         .map(|_| SimEdge {
             lru: Lru::new(p.cache_capacity_bytes),
             fills: FillTable::new(),
             stats: EdgeStats::default(),
             assigned: 0,
+            pass: std::collections::BTreeSet::new(),
         })
         .collect();
     if p.prewarm {
         for e in &mut edges {
-            for (ri, rung) in manifest.rungs.iter().enumerate() {
-                for (si, seg) in rung.segments.iter().enumerate() {
-                    e.lru.insert((ri, si), seg.bytes);
+            for (ti, m) in titles.iter().enumerate() {
+                for (ri, rung) in m.rungs.iter().enumerate() {
+                    for (si, seg) in rung.segments.iter().enumerate() {
+                        e.lru.insert((ti as u32, ri as u32, si as u32), seg.bytes);
+                    }
                 }
             }
             e.stats.evictions = e.lru.evictions();
@@ -729,7 +860,7 @@ pub(crate) mod oracle {
         let n_segments = manifest.segment_count();
         let q = load.tick_quantum.max(1);
 
-        let mut edges = build_edges(manifest, p);
+        let mut edges = build_edges(std::slice::from_ref(manifest), p);
         let (schedule, phantoms) = build_schedule(load);
 
         let ring = build_ring(load, p);
@@ -835,7 +966,7 @@ pub(crate) mod oracle {
                 for seq in last_first_seq..first {
                     for ri in 0..manifest.rungs.len() {
                         for e in edges.iter_mut() {
-                            if e.lru.remove(&(ri, seq as usize)).is_some() {
+                            if e.lru.remove(&(0, ri as u32, seq as u32)).is_some() {
                                 e.stats.invalidations += 1;
                             }
                         }
@@ -853,18 +984,19 @@ pub(crate) mod oracle {
             if total_fills > 0 && !origin_down && p.origin_capacity > 0.0 {
                 let fill_rate = p.origin_capacity / total_fills as f64;
                 for e in &mut edges {
-                    let done: Vec<(usize, usize)> = e
+                    let done: Vec<ObjKey> = e
                         .fills
                         .iter_mut()
                         .filter_map(|(k, rem)| {
                             *rem -= fill_rate * step;
-                            let total = manifest.rungs[k.0 .0].segments[k.0 .1].bytes as f64;
+                            let total = manifest.rungs[k.0 .1 as usize].segments[k.0 .2 as usize]
+                                .bytes as f64;
                             (*rem <= completion_eps(total)).then_some(k.0)
                         })
                         .collect();
                     for k in done {
                         e.fills.complete(&k, 0);
-                        let bytes = manifest.rungs[k.0].segments[k.1].bytes;
+                        let bytes = manifest.rungs[k.1 as usize].segments[k.2 as usize].bytes;
                         e.stats.origin_bytes += bytes as u64;
                         e.lru.insert(k, bytes);
                         e.stats.evictions = e.lru.evictions();
@@ -892,9 +1024,11 @@ pub(crate) mod oracle {
                         s.abr.pick(manifest, s.seg, None)
                     };
                     s.seg as u64 <= l.live_seq(now, n_segments)
-                        && edges[s.edge].lru.contains(&(rung, s.seg))
+                        && edges[s.edge].lru.contains(&(0, rung as u32, s.seg as u32))
                 } else if s.waiting {
-                    edges[s.edge].lru.contains(&(s.rung, s.seg))
+                    edges[s.edge]
+                        .lru
+                        .contains(&(0, s.rung as u32, s.seg as u32))
                 } else {
                     true
                 };
@@ -913,7 +1047,7 @@ pub(crate) mod oracle {
                         .map_or(true, |l| s.seg as u64 <= l.live_seq(now, n_segments));
                     if live_now {
                         let bytes = manifest.rungs[0].segments[s.seg].bytes as f64;
-                        match e.request((0, s.seg), bytes) {
+                        match e.request((0, 0, s.seg as u32), bytes) {
                             Req::Hit => s.remaining_bytes += bytes,
                             Req::Wait(new_fill) => {
                                 s.waiting = true;
@@ -960,7 +1094,7 @@ pub(crate) mod oracle {
                         s.rung = rung;
                         s.fetch_start = now;
                         let bytes = manifest.rungs[rung].segments[s.seg].bytes as f64;
-                        match e.request((rung, s.seg), bytes) {
+                        match e.request((0, rung as u32, s.seg as u32), bytes) {
                             Req::Hit => s.remaining_bytes += bytes,
                             Req::Wait(new_fill) => {
                                 s.waiting = true;
@@ -973,7 +1107,7 @@ pub(crate) mod oracle {
                     }
                 }
                 if s.waiting {
-                    let key = (s.rung, s.seg);
+                    let key = (0, s.rung as u32, s.seg as u32);
                     let bytes = manifest.rungs[s.rung].segments[s.seg].bytes as f64;
                     if e.lru.touch(&key) {
                         // The fill landed: start the edge-leg download, with
@@ -1049,7 +1183,7 @@ pub(crate) mod oracle {
                 }
                 s.rung = next_rung;
                 let bytes = manifest.rungs[s.rung].segments[s.seg].bytes as f64;
-                match e.request((s.rung, s.seg), bytes) {
+                match e.request((0, s.rung as u32, s.seg as u32), bytes) {
                     // A hit carries this quantum's download overshoot into
                     // the next segment, exactly like the single-origin path.
                     Req::Hit => s.remaining_bytes += bytes,
@@ -1165,10 +1299,10 @@ pub(crate) mod oracle {
 #[must_use]
 pub fn simulate_load(manifest: &Manifest, server: &ServerConfig, load: &LoadConfig) -> LoadReport {
     let p = TierParams::single_origin(server);
-    if p.degenerate(manifest, load) {
+    if p.degenerate(std::slice::from_ref(manifest), load) {
         return LoadReport::degenerate(load.population());
     }
-    crate::calendar::run_cohorts(manifest, load, &p).report
+    crate::calendar::run_cohorts(std::slice::from_ref(manifest), load, &p).report
 }
 
 /// Runs `load.sessions` concurrent viewers sharded across an edge tier.
@@ -1201,13 +1335,13 @@ pub fn simulate_live_load(
     load: &LoadConfig,
 ) -> LiveLoadReport {
     let p = TierParams::single_origin(server).with_live(live, manifest);
-    if p.degenerate(manifest, load) {
+    if p.degenerate(std::slice::from_ref(manifest), load) {
         return LiveLoadReport {
             load: LoadReport::degenerate(load.population()),
             live: LiveStats::default(),
         };
     }
-    let run = crate::calendar::run_cohorts(manifest, load, &p);
+    let run = crate::calendar::run_cohorts(std::slice::from_ref(manifest), load, &p);
     LiveLoadReport {
         load: run.report,
         live: run.live,
@@ -1319,7 +1453,7 @@ fn run_edge_resilient(
     load: &LoadConfig,
     p: TierParams,
 ) -> (EdgeLoadReport, LiveStats, ResilienceStats) {
-    if p.degenerate(manifest, load) {
+    if p.degenerate(std::slice::from_ref(manifest), load) {
         return (
             EdgeLoadReport {
                 load: LoadReport::degenerate(load.population()),
@@ -1332,7 +1466,7 @@ fn run_edge_resilient(
             ResilienceStats::default(),
         );
     }
-    let run = crate::calendar::run_cohorts(manifest, load, &p);
+    let run = crate::calendar::run_cohorts(std::slice::from_ref(manifest), load, &p);
     (
         assemble_edge_report(run.report, &run.edges),
         run.live,
@@ -1536,6 +1670,134 @@ pub fn live_edge_capacity_knee_bisect(
         },
         stall_tolerance,
     )
+}
+
+/// Runs `load.sessions` across the full hierarchical CDN: viewers pick
+/// titles by the catalog's Zipf law, shard onto edges, edge misses
+/// coalesce behind the edge's home shield, and only *shield* misses
+/// cross the true origin link. With `shields: 0` and a single-title
+/// catalog this is [`simulate_edge_load`] bit-identically (the pins in
+/// the tests hold it there).
+#[must_use]
+pub fn simulate_cdn_load(catalog: &Catalog, cdn: &CdnConfig, load: &LoadConfig) -> CdnLoadReport {
+    run_cdn(
+        catalog,
+        load,
+        TierParams::cdn(cdn).with_zipf(catalog.zipf_s),
+    )
+}
+
+/// [`simulate_cdn_load`] for a live audience: the live gates apply to
+/// title 0 (live catalogs are single-title — a live event *is* one
+/// title), and the shield tier absorbs the per-edge thundering herd on
+/// each just-published segment.
+#[must_use]
+pub fn simulate_live_cdn_load(
+    catalog: &Catalog,
+    cdn: &CdnConfig,
+    live: &LiveConfig,
+    load: &LoadConfig,
+) -> CdnLoadReport {
+    let p = TierParams::cdn(cdn)
+        .with_live(live, catalog.title(0))
+        .with_zipf(catalog.zipf_s);
+    run_cdn(catalog, load, p)
+}
+
+/// [`simulate_cdn_load`] under a [`FaultPlan`]: shields crash and
+/// restart alongside edges, with a crashed shield's child edges
+/// failing over across the shield ring to survivors (and failing back
+/// on restart).
+#[must_use]
+pub fn simulate_cdn_load_faulted(
+    catalog: &Catalog,
+    cdn: &CdnConfig,
+    plan: &FaultPlan,
+    load: &LoadConfig,
+) -> CdnLoadReport {
+    let p = TierParams::cdn(cdn)
+        .with_zipf(catalog.zipf_s)
+        .with_faults(plan);
+    run_cdn(catalog, load, p)
+}
+
+/// The composed worst case through the full hierarchy: a live flash
+/// crowd while an edge crashes, a shield crashes, and the origin flaps
+/// — one deterministic run.
+#[must_use]
+pub fn simulate_live_cdn_load_faulted(
+    catalog: &Catalog,
+    cdn: &CdnConfig,
+    live: &LiveConfig,
+    plan: &FaultPlan,
+    load: &LoadConfig,
+) -> CdnLoadReport {
+    let p = TierParams::cdn(cdn)
+        .with_live(live, catalog.title(0))
+        .with_zipf(catalog.zipf_s)
+        .with_faults(plan);
+    run_cdn(catalog, load, p)
+}
+
+/// [`edge_capacity_knee_bisect`] through the full hierarchy.
+#[must_use]
+pub fn cdn_capacity_knee_bisect(
+    catalog: &Catalog,
+    cdn: &CdnConfig,
+    counts: &[usize],
+    base: &LoadConfig,
+    stall_tolerance: f64,
+) -> Option<usize> {
+    knee_bisect(
+        counts,
+        |sessions| {
+            simulate_cdn_load(catalog, cdn, &LoadConfig { sessions, ..*base })
+                .edge
+                .load
+                .rebuffer_fraction
+        },
+        stall_tolerance,
+    )
+}
+
+/// The shared CDN run: degenerate guard, calendar run, rollup.
+fn run_cdn(catalog: &Catalog, load: &LoadConfig, p: TierParams) -> CdnLoadReport {
+    if p.degenerate(catalog.titles(), load) {
+        return CdnLoadReport {
+            edge: EdgeLoadReport {
+                load: LoadReport::degenerate(load.population()),
+                per_edge: Vec::new(),
+                tier: EdgeStats::default(),
+                hit_rate: 0.0,
+                origin_offload: 0.0,
+            },
+            per_shield: Vec::new(),
+            tier: TierStats::default(),
+            origin_offload: 0.0,
+            live: LiveStats::default(),
+            resilience: ResilienceStats::default(),
+        };
+    }
+    let run = crate::calendar::run_cohorts(catalog.titles(), load, &p);
+    let per_shield: Vec<EdgeReportEntry> = run
+        .shields
+        .iter()
+        .map(|s| EdgeReportEntry {
+            sessions: s.assigned,
+            stats: s.stats,
+        })
+        .collect();
+    let per_edge_stats: Vec<EdgeStats> = run.edges.iter().map(|e| e.stats).collect();
+    let per_shield_stats: Vec<EdgeStats> = per_shield.iter().map(|s| s.stats).collect();
+    let tier = TierStats::rollup(&per_edge_stats, &per_shield_stats);
+    CdnLoadReport {
+        edge: assemble_edge_report(run.report, &run.edges),
+        per_shield,
+        origin_offload: tier.origin_offload(),
+        tier,
+        live: run.live,
+        resilience: run.resilience,
+    }
 }
 
 #[cfg(test)]

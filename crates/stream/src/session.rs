@@ -27,6 +27,7 @@ use crate::edge::EdgeCache;
 use crate::fault::RetryPolicy;
 use crate::ladder::{LadderError, LiveOrigin, Manifest};
 use crate::segment::{demux_segment, Segment};
+use crate::shield::ShieldCache;
 
 /// Throughput-driven rung selection, shared by the single-session path
 /// and the many-session load simulator.
@@ -312,6 +313,40 @@ pub fn run_session_via_edge(
     run_session_with(
         |name, leg| {
             edge.fetch_through(
+                origin,
+                name,
+                config.tcp,
+                config.link,
+                config.seed.wrapping_add(leg),
+            )
+        },
+        title,
+        config,
+    )
+}
+
+/// Runs one viewer session through the full cache hierarchy: the edge
+/// fills from the `shield` on miss, and only shield misses reach
+/// `origin`. The session code is again identical — both cache tiers
+/// are transparent to viewers; the assertions the hierarchical tests
+/// make are about *where* the bytes came from, not what arrived.
+///
+/// # Errors
+///
+/// Returns [`SessionError`] on transport failure, manifest/license
+/// problems, an unreachable parent on a cold object (either tier
+/// down), or a damaged segment.
+pub fn run_session_via_tier(
+    origin: &ContentServer,
+    shield: &mut ShieldCache,
+    edge: &mut EdgeCache,
+    title: &str,
+    config: &SessionConfig,
+) -> Result<SessionReport, SessionError> {
+    run_session_with(
+        |name, leg| {
+            edge.fetch_through_shield(
+                shield,
                 origin,
                 name,
                 config.tcp,

@@ -1,0 +1,869 @@
+//! The shield (mid-tier) cache layer and frequency-based cache
+//! admission.
+//!
+//! A flat edge tier pays one origin fill *per edge* per object: 64 cold
+//! edges cross the origin link 64 times for the same segment. Real CDNs
+//! put a small regional tier — "shield" or "parent" caches — between
+//! edges and origin so each object crosses the origin link once per
+//! *shield* instead, and edge misses fan in over cheap regional links.
+//! This module adds that tier to both delivery paths:
+//!
+//! * [`ShieldCache`] is the *live* path: an [`crate::edge::EdgeCache`]
+//!   miss calls [`ShieldCache::ensure`] before filling, so the origin
+//!   sees at most one fetch per (object, generation) across all child
+//!   edges ([`crate::edge::EdgeCache::fetch_through_shield`]).
+//! * [`SimShield`] is the *fluid* counterpart: the calendar engine
+//!   drains edge fills from their shield's cache at the shield's
+//!   downlink rate, and shield misses coalesce into origin fills that
+//!   share the origin uplink.
+//!
+//! The second half of the module is cache *admission*. An LRU admits
+//! everything, so a long tail of one-hit wonders flushes the hot head
+//! of a Zipf catalog out of a small cache. [`AdmissionPolicy::TinyLfu`]
+//! gates inserts on a [`FreqSketch`] — a 4-bit count-min sketch with
+//! periodic halving (an aging window): a candidate is admitted only if
+//! its estimated request frequency beats the would-be LRU victim's.
+//! Admit-always remains the default and is property-pinned
+//! bit-identical to the pre-admission engine.
+
+use crate::edge::{EdgeStats, FillTable, Lru};
+use crate::ladder::Manifest;
+use netstack::fetch::{fetch, ContentServer, FetchError};
+use netstack::link::LinkConfig;
+use netstack::tcplite::TcpConfig;
+use signal::rng::splitmix64;
+use std::collections::BTreeMap;
+
+/// The fluid engine's object key: `(title, rung, segment)`. Title 0 is
+/// the single-title degenerate case, so pre-catalog keys `(rung, seg)`
+/// map to `(0, rung, seg)` with identical `BTreeMap` ordering.
+pub(crate) type ObjKey = (u32, u32, u32);
+
+/// One canonical 64-bit hash of an [`ObjKey`] for sketch indexing.
+pub(crate) fn obj_key_hash(key: ObjKey) -> u64 {
+    splitmix64((u64::from(key.0) << 42) ^ (u64::from(key.1) << 21) ^ u64::from(key.2))
+}
+
+/// A 4-bit count-min frequency sketch with periodic halving — the
+/// frequency memory behind [`AdmissionPolicy::TinyLfu`].
+///
+/// `hashes` counters (one per hash function) are bumped per recorded
+/// key, saturating at 15; the estimate is their minimum, which
+/// over-counts (hash collisions only ever *add*) but never
+/// under-counts — the count-min upper-bound property the test suite
+/// pins. Every `halve_every` recorded requests all counters are halved
+/// in place, so the sketch tracks a sliding frequency window instead of
+/// all of history (a title that was hot yesterday decays today).
+#[derive(Debug, Clone)]
+pub struct FreqSketch {
+    /// Two 4-bit counters per byte.
+    nibbles: Vec<u8>,
+    mask: u64,
+    hashes: u32,
+    halve_every: u64,
+    recorded: u64,
+    seed: u64,
+}
+
+impl FreqSketch {
+    /// A sketch with `slots` counters (rounded up to a power of two,
+    /// minimum 2), `hashes` hash functions, halved every `halve_every`
+    /// recorded requests.
+    #[must_use]
+    pub fn new(slots: usize, hashes: u32, halve_every: u64, seed: u64) -> Self {
+        let slots = slots.next_power_of_two().max(2);
+        Self {
+            nibbles: vec![0; slots / 2],
+            mask: slots as u64 - 1,
+            hashes: hashes.max(1),
+            halve_every: halve_every.max(1),
+            recorded: 0,
+            seed,
+        }
+    }
+
+    fn slot(&self, key: u64, i: u32) -> usize {
+        let salted = key.wrapping_add(u64::from(i).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        (splitmix64(self.seed ^ salted) & self.mask) as usize
+    }
+
+    fn counter(&self, slot: usize) -> u8 {
+        (self.nibbles[slot / 2] >> ((slot & 1) * 4)) & 0xF
+    }
+
+    fn bump(&mut self, slot: usize) {
+        let shift = (slot & 1) * 4;
+        let byte = &mut self.nibbles[slot / 2];
+        let v = (*byte >> shift) & 0xF;
+        if v < 15 {
+            *byte = (*byte & !(0xF << shift)) | ((v + 1) << shift);
+        }
+    }
+
+    /// Records one request for `key`.
+    pub fn record(&mut self, key: u64) {
+        for i in 0..self.hashes {
+            let slot = self.slot(key, i);
+            self.bump(slot);
+        }
+        self.recorded += 1;
+        if self.recorded % self.halve_every == 0 {
+            self.halve();
+        }
+    }
+
+    /// Records up to 16 requests for `key` in one call — the counted
+    /// form for cohort engines. Counters saturate at 15, so recording
+    /// more than 16 from one cohort cannot change any estimate; capping
+    /// bounds the cost of million-session cohorts.
+    pub fn record_n(&mut self, key: u64, n: u64) {
+        for _ in 0..n.min(16) {
+            self.record(key);
+        }
+    }
+
+    /// Halves every counter in place (the aging window).
+    fn halve(&mut self) {
+        for byte in &mut self.nibbles {
+            *byte = (*byte >> 1) & 0x77;
+        }
+    }
+
+    /// The frequency estimate for `key`: the minimum across its
+    /// counters. Never an under-count of requests recorded since the
+    /// last halving (saturated at 15).
+    #[must_use]
+    pub fn estimate(&self, key: u64) -> u8 {
+        (0..self.hashes)
+            .map(|i| self.counter(self.slot(key, i)))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Requests recorded so far (halvings included in the count's
+    /// history; this is the halving clock).
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+}
+
+/// Sizing for a [`FreqSketch`]-backed TinyLFU admission filter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TinyLfuConfig {
+    /// Counters in the sketch (rounded up to a power of two).
+    pub counters: usize,
+    /// Hash functions per key.
+    pub hashes: u32,
+    /// Halve all counters every this many recorded requests.
+    pub halve_every: u64,
+    /// Sketch hash seed.
+    pub seed: u64,
+}
+
+impl Default for TinyLfuConfig {
+    /// 16Ki 4-bit counters, 4 hashes, halved every 16Ki requests.
+    fn default() -> Self {
+        Self {
+            counters: 1 << 14,
+            hashes: 4,
+            halve_every: 1 << 14,
+            seed: 0x7E11_F00D,
+        }
+    }
+}
+
+/// How a cache decides whether a filled object is worth an eviction.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum AdmissionPolicy {
+    /// Insert everything (classic LRU). The default, and the
+    /// bit-identical legacy behavior.
+    #[default]
+    AdmitAll,
+    /// TinyLFU: admit an object that would force an eviction only when
+    /// its sketch-estimated frequency is at least the would-be
+    /// victim's. Objects that fit without evicting are always admitted.
+    TinyLfu(TinyLfuConfig),
+}
+
+impl AdmissionPolicy {
+    /// The per-cache runtime state for this policy — `None` for
+    /// admit-always, so the legacy path carries no sketch at all.
+    #[must_use]
+    pub(crate) fn build(&self) -> Option<Admission> {
+        match *self {
+            AdmissionPolicy::AdmitAll => None,
+            AdmissionPolicy::TinyLfu(cfg) => Some(Admission {
+                sketch: FreqSketch::new(cfg.counters, cfg.hashes, cfg.halve_every, cfg.seed),
+            }),
+        }
+    }
+}
+
+/// Per-cache TinyLFU state: the frequency sketch plus the admit rule.
+#[derive(Debug, Clone)]
+pub(crate) struct Admission {
+    sketch: FreqSketch,
+}
+
+impl Admission {
+    /// Records `n` requests for `key` (every request feeds the sketch,
+    /// hits and misses alike — frequency is about demand, not misses).
+    pub(crate) fn record(&mut self, key: u64, n: u64) {
+        self.sketch.record_n(key, n);
+    }
+
+    /// Whether `candidate` is worth evicting `victim` for.
+    pub(crate) fn admits(&self, candidate: u64, victim: u64) -> bool {
+        self.sketch.estimate(candidate) >= self.sketch.estimate(victim)
+    }
+}
+
+/// Inserts `key` into `lru` subject to the cache's admission policy.
+/// Returns whether the object was cached: under admit-always (`adm` is
+/// `None`) this is a plain insert; under TinyLFU an insert that would
+/// force an eviction is dropped when the candidate's estimated
+/// frequency loses to the current LRU victim's. Re-inserts of an
+/// already-cached key and inserts that fit without evicting always
+/// land.
+pub(crate) fn admit_insert(
+    lru: &mut Lru<ObjKey>,
+    adm: &Option<Admission>,
+    key: ObjKey,
+    bytes: usize,
+) -> bool {
+    if let Some(a) = adm {
+        if !lru.contains(&key) && lru.would_evict(bytes) {
+            if let Some((victim, _)) = lru.peek_victim() {
+                if !a.admits(obj_key_hash(key), obj_key_hash(*victim)) {
+                    return false;
+                }
+            }
+        }
+    }
+    lru.insert(key, bytes);
+    true
+}
+
+/// The tier-aware rollup of [`EdgeStats`]: per-tier element-wise sums
+/// plus origin-crossing accounting, so offload is computed one way
+/// everywhere instead of ad hoc in exp bins.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TierStats {
+    /// Sum over the edge tier.
+    pub edges: EdgeStats,
+    /// Sum over the shield tier (all-zero in a flat topology).
+    pub shields: EdgeStats,
+    /// Requests that crossed all the way to the true origin: the
+    /// deepest tier's fill starts.
+    pub origin_hits: u64,
+    /// Whether a shield tier exists — decides which tier's
+    /// `origin_bytes` count as true origin crossings.
+    pub tiered: bool,
+}
+
+impl TierStats {
+    /// Rolls up per-cache stats. An empty `per_shield` slice is the
+    /// flat topology: edges fill straight from the origin.
+    #[must_use]
+    pub fn rollup(per_edge: &[EdgeStats], per_shield: &[EdgeStats]) -> Self {
+        let edges = EdgeStats::merged_all(per_edge);
+        let shields = EdgeStats::merged_all(per_shield);
+        let tiered = !per_shield.is_empty();
+        Self {
+            edges,
+            shields,
+            origin_hits: if tiered { shields.misses } else { edges.misses },
+            tiered,
+        }
+    }
+
+    /// Bytes that actually crossed the true origin link.
+    #[must_use]
+    pub fn origin_bytes(&self) -> u64 {
+        if self.tiered {
+            self.shields.origin_bytes
+        } else {
+            self.edges.origin_bytes
+        }
+    }
+
+    /// Fraction of viewer-served bytes that never crossed the true
+    /// origin link — the offload the whole hierarchy exists to provide.
+    /// With shields, edge `origin_bytes` only crossed a *regional*
+    /// link, so offload is measured against the shields' origin pulls.
+    #[must_use]
+    pub fn origin_offload(&self) -> f64 {
+        if self.edges.served_bytes == 0 {
+            0.0
+        } else {
+            1.0 - self.origin_bytes() as f64 / self.edges.served_bytes as f64
+        }
+    }
+
+    /// Viewer-facing hit rate (the edge tier's — viewers only ever see
+    /// edges).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        self.edges.hit_rate()
+    }
+}
+
+/// One shield cache in the fluid simulator: the same LRU +
+/// coalescing-fill machinery as the fluid edge, one level up. Edge
+/// fills drain from the shield's cache; shield misses become origin
+/// fills whose payload is the object's remaining origin-leg bytes.
+#[derive(Debug, Clone)]
+pub(crate) struct SimShield {
+    pub(crate) lru: Lru<ObjKey>,
+    pub(crate) fills: FillTable<ObjKey, f64>,
+    pub(crate) stats: EdgeStats,
+    /// Child edges statically assigned to this shield.
+    pub(crate) assigned: usize,
+}
+
+impl SimShield {
+    /// One edge fill lands on this shield: a cached object is a hit, a
+    /// cold one starts (or joins) an origin fill.
+    pub(crate) fn request(&mut self, key: ObjKey, bytes: f64) {
+        if self.lru.touch(&key) {
+            self.stats.hits += 1;
+        } else if self.fills.request(key, 0, || bytes) {
+            self.stats.misses += 1;
+        } else {
+            self.stats.coalesced += 1;
+        }
+    }
+}
+
+/// The shield an edge homes to with every shield up: child edges are
+/// split into `shields` contiguous, near-equal groups.
+pub(crate) fn shield_home(edge: usize, edges: usize, shields: usize) -> usize {
+    edge * shields / edges
+}
+
+/// Builds the fluid shield tier: `count` shields, optionally prewarmed
+/// with every title (as far as capacity allows), with child-edge
+/// assignment counts filled in.
+pub(crate) fn build_shields(
+    titles: &[Manifest],
+    count: usize,
+    cache_capacity_bytes: usize,
+    prewarm: bool,
+    edges: usize,
+) -> Vec<SimShield> {
+    let mut shields: Vec<SimShield> = (0..count)
+        .map(|_| SimShield {
+            lru: Lru::new(cache_capacity_bytes),
+            fills: FillTable::new(),
+            stats: EdgeStats::default(),
+            assigned: 0,
+        })
+        .collect();
+    if prewarm {
+        for sh in &mut shields {
+            for (ti, m) in titles.iter().enumerate() {
+                for (ri, rung) in m.rungs.iter().enumerate() {
+                    for (si, seg) in rung.segments.iter().enumerate() {
+                        sh.lru.insert((ti as u32, ri as u32, si as u32), seg.bytes);
+                    }
+                }
+            }
+            sh.stats.evictions = sh.lru.evictions();
+        }
+    }
+    if count > 0 {
+        for e in 0..edges {
+            shields[shield_home(e, edges, count)].assigned += 1;
+        }
+    }
+    shields
+}
+
+/// Configuration of one live shield cache.
+#[derive(Debug, Clone)]
+pub struct ShieldConfig {
+    /// Cache budget in bytes.
+    pub cache_capacity_bytes: usize,
+    /// Transport used on the shield→origin fill path.
+    pub origin_tcp: TcpConfig,
+    /// The shield's origin link (regional backbone: typically cleaner
+    /// and fatter than an edge's).
+    pub origin_link: LinkConfig,
+    /// Seed for the origin link's loss process (advanced per fill).
+    pub origin_seed: u64,
+    /// Freshness window for mutable objects, in ticks (see
+    /// [`crate::edge::EdgeConfig::mutable_ttl_ticks`]).
+    pub mutable_ttl_ticks: u64,
+    /// Retry discipline for transport-level origin-fill failures.
+    pub retry: crate::fault::RetryPolicy,
+}
+
+impl Default for ShieldConfig {
+    /// 8 MiB cache over a clean default link; mutable objects
+    /// revalidate on every request; origin fills are not retried.
+    fn default() -> Self {
+        Self {
+            cache_capacity_bytes: 8 << 20,
+            origin_tcp: TcpConfig::default(),
+            origin_link: LinkConfig::default(),
+            origin_seed: 0x5111E1D,
+            mutable_ttl_ticks: 0,
+            retry: crate::fault::RetryPolicy::default(),
+        }
+    }
+}
+
+/// One live shield cache: a bounded LRU of named objects filled from
+/// the origin on demand, serving *edges* (not viewers) from its local
+/// store. Child edges call [`ShieldCache::ensure`] on a miss and then
+/// fill from [`ShieldCache::server`] over their own origin link; the
+/// [`FillTable`] ledger records one started fill per (object,
+/// generation) however many edges ask.
+#[derive(Debug, Clone)]
+pub struct ShieldCache {
+    config: ShieldConfig,
+    lru: Lru<String>,
+    store: ContentServer,
+    fills: FillTable<String, ()>,
+    fetched_at: BTreeMap<String, u64>,
+    up: bool,
+    origin_up: bool,
+    fill_count: u64,
+    stats: EdgeStats,
+}
+
+impl ShieldCache {
+    /// An empty (cold) shield.
+    #[must_use]
+    pub fn new(config: ShieldConfig) -> Self {
+        Self {
+            lru: Lru::new(config.cache_capacity_bytes),
+            config,
+            store: ContentServer::new(),
+            fills: FillTable::new(),
+            fetched_at: BTreeMap::new(),
+            up: true,
+            origin_up: true,
+            fill_count: 0,
+            stats: EdgeStats::default(),
+        }
+    }
+
+    /// Simulates a shield-process crash (or recovery): while down,
+    /// every `ensure` fails and child edges fall back to stale copies
+    /// or their failover shield.
+    pub fn set_up(&mut self, up: bool) {
+        self.up = up;
+    }
+
+    /// Whether the shield process is up.
+    #[must_use]
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Simulates an origin outage behind the shield: warm objects keep
+    /// serving, shield misses fail.
+    pub fn set_origin_up(&mut self, up: bool) {
+        self.origin_up = up;
+    }
+
+    /// What this shield has observed so far.
+    #[must_use]
+    pub fn stats(&self) -> &EdgeStats {
+        &self.stats
+    }
+
+    /// The `(started, joined, failed)` origin-fill ledger.
+    #[must_use]
+    pub fn fill_ledger(&self) -> (u64, u64, u64) {
+        (
+            self.fills.started(),
+            self.fills.joined(),
+            self.fills.failed(),
+        )
+    }
+
+    /// Objects currently cached.
+    #[must_use]
+    pub fn cached_objects(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// Bytes currently cached.
+    #[must_use]
+    pub fn cached_bytes(&self) -> usize {
+        self.lru.held_bytes()
+    }
+
+    /// The shield's local store — the "origin" its child edges fill
+    /// from after a successful [`ShieldCache::ensure`].
+    #[must_use]
+    pub fn server(&self) -> &ContentServer {
+        &self.store
+    }
+
+    /// Copies `names` from the origin into the cache instantly
+    /// (pre-positioning on the parent tier).
+    pub fn prewarm(&mut self, origin: &ContentServer, names: &[String]) {
+        for name in names {
+            if let Some(data) = origin.get(name) {
+                self.admit(name.clone(), data.to_vec());
+            }
+        }
+    }
+
+    /// Accounts bytes a child edge pulled from this shield.
+    pub(crate) fn note_served(&mut self, bytes: u64) {
+        self.stats.served_bytes += bytes;
+    }
+
+    /// Ensures an *immutable* object is present in the shield's store,
+    /// filling from `origin` on a miss. Returns the origin-leg ticks
+    /// (0 on a shield hit) and, for an object larger than the shield's
+    /// cache, a pass-through server to fill from instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FetchError`] when the shield is down, or on a miss
+    /// with the origin unreachable or the fill failing.
+    pub fn ensure(
+        &mut self,
+        origin: &ContentServer,
+        name: &str,
+    ) -> Result<(u64, Option<ContentServer>), FetchError> {
+        if !self.up {
+            return Err(FetchError::Server("shield-unreachable".to_string()));
+        }
+        if self.lru.touch(&name.to_string()) {
+            self.stats.hits += 1;
+            return Ok((0, None));
+        }
+        if !self.origin_up {
+            return Err(FetchError::Server("origin-unreachable".to_string()));
+        }
+        self.fill(origin, name, None)
+    }
+
+    /// The mutable-object counterpart of [`ShieldCache::ensure`]: a
+    /// cached copy younger than the TTL is a hit, a stale one is
+    /// revalidated against the origin, and a stale copy is still
+    /// served when the origin is down (stale-if-error).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FetchError`] when the shield is down, or the object
+    /// is wholly uncached with the origin unreachable or failing.
+    pub fn ensure_mutable(
+        &mut self,
+        origin: &ContentServer,
+        name: &str,
+        now: u64,
+    ) -> Result<(u64, Option<ContentServer>), FetchError> {
+        if !self.up {
+            return Err(FetchError::Server("shield-unreachable".to_string()));
+        }
+        let cached = self.lru.touch(&name.to_string());
+        let fresh = cached
+            && self
+                .fetched_at
+                .get(name)
+                .is_some_and(|&at| now < at.saturating_add(self.config.mutable_ttl_ticks));
+        if fresh || (cached && !self.origin_up) {
+            self.stats.hits += 1;
+            return Ok((0, None));
+        }
+        if !self.origin_up {
+            return Err(FetchError::Server("origin-unreachable".to_string()));
+        }
+        if cached {
+            self.stats.revalidations += 1;
+        }
+        self.fill(origin, name, Some(now))
+    }
+
+    /// Inserts one object, evicting as needed (LRU index and local
+    /// store stay consistent).
+    fn admit(&mut self, name: String, data: Vec<u8>) {
+        let len = data.len();
+        let cacheable = len <= self.config.cache_capacity_bytes;
+        for victim in self.lru.insert(name.clone(), len) {
+            self.store.remove(&victim);
+        }
+        self.stats.evictions = self.lru.evictions();
+        if cacheable {
+            self.store.publish(name, data);
+        }
+    }
+
+    /// One origin fill, mirroring the edge's retry discipline; the
+    /// [`FillTable`] slot for `(name, 0)` is held for the duration so
+    /// the coalescing ledger stays one-fill-per-generation even though
+    /// the live path is serial.
+    fn fill(
+        &mut self,
+        origin: &ContentServer,
+        name: &str,
+        stamp: Option<u64>,
+    ) -> Result<(u64, Option<ContentServer>), FetchError> {
+        let key = name.to_string();
+        self.fills.request(key.clone(), 0, || ());
+        let mut backoff_ticks = 0u64;
+        let mut failures = 0u32;
+        let fill = loop {
+            let fill_seed = self.config.origin_seed.wrapping_add(self.fill_count);
+            self.fill_count += 1;
+            match fetch(
+                origin,
+                name,
+                self.config.origin_tcp,
+                self.config.origin_link,
+                fill_seed,
+            ) {
+                Ok(fill) => break fill,
+                Err(e @ FetchError::Transport(_)) => {
+                    failures += 1;
+                    match self.config.retry.backoff_before(failures) {
+                        Some(wait) => backoff_ticks += wait,
+                        None => {
+                            self.fills.fail(&key, 0);
+                            return Err(e);
+                        }
+                    }
+                }
+                Err(e) => {
+                    self.fills.fail(&key, 0);
+                    return Err(e);
+                }
+            }
+        };
+        self.fills.complete(&key, 0);
+        self.stats.misses += 1;
+        self.stats.origin_bytes += fill.data.len() as u64;
+        let ticks = fill.ticks + backoff_ticks;
+        if fill.data.len() <= self.config.cache_capacity_bytes {
+            self.admit(key.clone(), fill.data);
+            if let Some(now) = stamp {
+                self.fetched_at.insert(key, now);
+            }
+            Ok((ticks, None))
+        } else {
+            // Serve-through without caching.
+            let mut tmp = ContentServer::new();
+            tmp.publish(name, fill.data);
+            Ok((ticks, Some(tmp)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sketch_estimate_is_an_upper_bound() {
+        let mut s = FreqSketch::new(256, 4, u64::MAX, 1);
+        for i in 0..40u64 {
+            let key = splitmix64(i);
+            for _ in 0..(i % 7) {
+                s.record(key);
+            }
+        }
+        for i in 0..40u64 {
+            let key = splitmix64(i);
+            let true_count = (i % 7).min(15) as u8;
+            assert!(
+                s.estimate(key) >= true_count,
+                "key {i}: estimate {} < true {true_count}",
+                s.estimate(key)
+            );
+        }
+    }
+
+    #[test]
+    fn sketch_counters_saturate_at_fifteen() {
+        let mut s = FreqSketch::new(64, 2, u64::MAX, 2);
+        for _ in 0..100 {
+            s.record(42);
+        }
+        assert_eq!(s.estimate(42), 15);
+    }
+
+    #[test]
+    fn sketch_halving_preserves_relative_order() {
+        // Satellite: on a fixed stream, halving keeps hot keys above
+        // cold keys.
+        let mut s = FreqSketch::new(1 << 12, 4, u64::MAX, 3);
+        let hot = splitmix64(1000);
+        let warm = splitmix64(2000);
+        let cold = splitmix64(3000);
+        for _ in 0..12 {
+            s.record(hot);
+        }
+        for _ in 0..6 {
+            s.record(warm);
+        }
+        s.record(cold);
+        let before = (s.estimate(hot), s.estimate(warm), s.estimate(cold));
+        assert!(before.0 > before.1 && before.1 > before.2);
+        s.halve();
+        let after = (s.estimate(hot), s.estimate(warm), s.estimate(cold));
+        assert!(after.0 > after.1 && after.1 > after.2);
+        assert_eq!(after.0, before.0 / 2);
+    }
+
+    #[test]
+    fn sketch_halving_clock_fires_on_schedule() {
+        let mut s = FreqSketch::new(64, 1, 4, 4);
+        let key = 7u64;
+        for _ in 0..3 {
+            s.record(key);
+        }
+        assert_eq!(s.estimate(key), 3);
+        s.record(key); // 4th record: bump to 4, then halve to 2.
+        assert_eq!(s.estimate(key), 2);
+    }
+
+    #[test]
+    fn admit_all_policy_builds_no_state() {
+        assert!(AdmissionPolicy::AdmitAll.build().is_none());
+        assert!(AdmissionPolicy::TinyLfu(TinyLfuConfig::default())
+            .build()
+            .is_some());
+    }
+
+    #[test]
+    fn tinylfu_rejects_cold_candidate_and_admits_hot_one() {
+        let mut lru: Lru<ObjKey> = Lru::new(100);
+        lru.insert((0, 0, 0), 100); // victim-to-be
+        let mut adm = AdmissionPolicy::TinyLfu(TinyLfuConfig::default())
+            .build()
+            .expect("tinylfu builds state");
+        adm.record(obj_key_hash((0, 0, 0)), 5);
+        // Cold candidate loses to the warm victim: not inserted.
+        assert!(!admit_insert(&mut lru, &Some(adm.clone()), (0, 0, 1), 100));
+        assert!(lru.contains(&(0, 0, 0)));
+        assert!(!lru.contains(&(0, 0, 1)));
+        // Now make the candidate hotter than the victim: admitted.
+        adm.record(obj_key_hash((0, 0, 1)), 9);
+        assert!(admit_insert(&mut lru, &Some(adm), (0, 0, 1), 100));
+        assert!(lru.contains(&(0, 0, 1)));
+        assert!(!lru.contains(&(0, 0, 0)));
+    }
+
+    #[test]
+    fn admit_insert_without_eviction_pressure_always_lands() {
+        let mut lru: Lru<ObjKey> = Lru::new(300);
+        lru.insert((0, 0, 0), 100);
+        let adm = AdmissionPolicy::TinyLfu(TinyLfuConfig::default()).build();
+        // Fits without evicting: admitted despite zero frequency.
+        assert!(admit_insert(&mut lru, &adm, (0, 0, 1), 100));
+        // Admit-always: no sketch, always lands.
+        assert!(admit_insert(&mut lru, &None, (0, 0, 2), 100));
+        assert_eq!(lru.len(), 3);
+    }
+
+    #[test]
+    fn tier_stats_zero_requests() {
+        let t = TierStats::rollup(&[EdgeStats::default(); 4], &[]);
+        assert_eq!(t.origin_hits, 0);
+        assert!(!t.tiered);
+        assert!((t.origin_offload() - 0.0).abs() < f64::EPSILON);
+        assert!((t.hit_rate() - 0.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn tier_stats_all_hits_is_full_offload() {
+        let edge = EdgeStats {
+            hits: 10,
+            served_bytes: 1000,
+            ..EdgeStats::default()
+        };
+        let t = TierStats::rollup(&[edge, edge], &[EdgeStats::default()]);
+        assert!(t.tiered);
+        assert_eq!(t.origin_hits, 0);
+        assert_eq!(t.edges.hits, 20);
+        assert!((t.origin_offload() - 1.0).abs() < f64::EPSILON);
+        assert!((t.hit_rate() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn tier_stats_mixed_tiers_charge_origin_to_deepest() {
+        let edge = EdgeStats {
+            hits: 6,
+            misses: 2,
+            origin_bytes: 400, // regional (edge->shield) pulls
+            served_bytes: 2000,
+            ..EdgeStats::default()
+        };
+        let shield = EdgeStats {
+            hits: 3,
+            misses: 1,
+            origin_bytes: 100, // true origin pulls
+            served_bytes: 400,
+            ..EdgeStats::default()
+        };
+        let t = TierStats::rollup(&[edge, edge], &[shield]);
+        assert_eq!(t.origin_hits, 1);
+        assert_eq!(t.origin_bytes(), 100);
+        assert!((t.origin_offload() - (1.0 - 100.0 / 4000.0)).abs() < 1e-12);
+        // Flat rollup of the same edges charges the edge pulls instead.
+        let flat = TierStats::rollup(&[edge, edge], &[]);
+        assert_eq!(flat.origin_hits, 4);
+        assert_eq!(flat.origin_bytes(), 800);
+    }
+
+    #[test]
+    fn shield_home_splits_edges_contiguously() {
+        let homes: Vec<usize> = (0..8).map(|e| shield_home(e, 8, 2)).collect();
+        assert_eq!(homes, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        assert!((0..64).all(|e| shield_home(e, 64, 4) == e / 16));
+    }
+
+    #[test]
+    fn shield_cache_hit_miss_and_ledger() {
+        let mut origin = ContentServer::new();
+        origin.publish("a", vec![1u8; 64]);
+        let mut sh = ShieldCache::new(ShieldConfig::default());
+        let (t0, through) = sh.ensure(&origin, "a").expect("miss fills");
+        assert!(t0 > 0);
+        assert!(through.is_none());
+        assert_eq!(sh.stats().misses, 1);
+        assert_eq!(sh.stats().origin_bytes, 64);
+        let (t1, _) = sh.ensure(&origin, "a").expect("hit");
+        assert_eq!(t1, 0);
+        assert_eq!(sh.stats().hits, 1);
+        assert_eq!(sh.fill_ledger(), (1, 0, 0));
+        assert!(sh.server().get("a").is_some());
+    }
+
+    #[test]
+    fn shield_down_fails_even_warm() {
+        let mut origin = ContentServer::new();
+        origin.publish("a", vec![1u8; 64]);
+        let mut sh = ShieldCache::new(ShieldConfig::default());
+        sh.ensure(&origin, "a").expect("warm it");
+        sh.set_up(false);
+        assert!(sh.ensure(&origin, "a").is_err());
+        sh.set_up(true);
+        assert!(sh.ensure(&origin, "a").is_ok());
+    }
+
+    #[test]
+    fn shield_stale_if_error_serves_mutable_through_origin_outage() {
+        let mut origin = ContentServer::new();
+        origin.publish("m", vec![2u8; 32]);
+        let mut sh = ShieldCache::new(ShieldConfig::default());
+        sh.ensure_mutable(&origin, "m", 0).expect("fill");
+        sh.set_origin_up(false);
+        // TTL 0 means this is stale, but the origin is down: serve it.
+        let (t, _) = sh
+            .ensure_mutable(&origin, "m", 100)
+            .expect("stale-if-error");
+        assert_eq!(t, 0);
+        assert_eq!(sh.stats().hits, 1);
+        // An uncached object has nothing stale to serve.
+        assert!(sh.ensure_mutable(&origin, "other", 100).is_err());
+    }
+}

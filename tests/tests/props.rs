@@ -697,6 +697,104 @@ proptest! {
         }
     }
 
+    /// The flat CDN topology is the edge engine bit-identically: a
+    /// single-title catalog with zero shields and admit-always must
+    /// produce exactly `simulate_edge_load`'s report — the shield tier,
+    /// catalog sampler, and admission filter together cost nothing when
+    /// switched off.
+    #[test]
+    fn cdn_flat_topology_is_bit_identical_to_edge_engine(
+        sessions in 1usize..400,
+        edges in 1usize..5,
+        load_seed in 0u64..1000,
+        stagger in 0u64..80,
+    ) {
+        let frames = video::synth::SequenceGen::new(9).panning_sequence(48, 32, 8, 1, 0);
+        let cfg = mmstream::LadderConfig {
+            targets_bits_per_frame: vec![2_000.0, 6_000.0],
+            gop: 4,
+            ..Default::default()
+        };
+        let manifest = mmstream::encode_ladder("prop", &frames, &cfg).unwrap().manifest;
+        let tier = mmstream::EdgeTierConfig {
+            edges,
+            ..Default::default()
+        };
+        let load = mmstream::LoadConfig {
+            sessions,
+            seed: load_seed,
+            stagger_ticks: stagger,
+            ..Default::default()
+        };
+        let cdn = mmstream::CdnConfig {
+            tier,
+            shields: 0,
+            ..Default::default()
+        };
+        let flat = mmstream::simulate_cdn_load(&mmstream::Catalog::single(manifest.clone()), &cdn, &load);
+        let plain = mmstream::simulate_edge_load(&manifest, &tier, &load);
+        prop_assert_eq!(&flat.edge, &plain);
+        prop_assert!(flat.per_shield.is_empty());
+        prop_assert_eq!(flat.live, mmstream::LiveStats::default());
+        prop_assert_eq!(flat.resilience, mmstream::ResilienceStats::default());
+        // With no shields the rollup's origin is the edges' parent:
+        // the two offload figures must agree exactly.
+        prop_assert_eq!(flat.origin_offload, plain.origin_offload);
+    }
+
+    /// Failing a ring member over and then restoring it is a perfect
+    /// inverse: after the restart every key routes exactly where it did
+    /// before the crash, so a heal rebalances back without any residual
+    /// remap (no key stays on its failover owner).
+    #[test]
+    fn hash_ring_restart_rebalance_is_inverse_of_failover(
+        edges in 2usize..10,
+        crashed_sel in any::<usize>(),
+        ring_seed in any::<u64>(),
+        keys in prop::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let ring = mmstream::HashRing::new(edges, 64, ring_seed);
+        let crashed = crashed_sel % edges;
+        let before: Vec<usize> = keys.iter().map(|&k| ring.route(k)).collect();
+        let mut up = vec![true; edges];
+        up[crashed] = false;
+        let failed_over: Vec<usize> =
+            keys.iter().map(|&k| ring.route_alive(k, &up).unwrap()).collect();
+        up[crashed] = true;
+        for ((&k, &home), &via) in keys.iter().zip(&before).zip(&failed_over) {
+            let healed = ring.route_alive(k, &up).unwrap();
+            prop_assert_eq!(healed, home, "restart must restore the pre-crash owner");
+            if home != crashed {
+                prop_assert_eq!(via, home, "bystander keys never moved at all");
+            }
+        }
+    }
+
+    /// The count-min sketch never under-estimates: for any key/repeat
+    /// pattern (no aging in the window), every key's estimate is at
+    /// least its true recorded count, saturated at the 4-bit ceiling.
+    #[test]
+    fn freq_sketch_estimate_is_an_upper_bound(
+        keys in prop::collection::vec(any::<u64>(), 1..60),
+        reps in prop::collection::vec(1u64..12, 1..60),
+        sketch_seed in any::<u64>(),
+    ) {
+        let mut sketch = mmstream::FreqSketch::new(1 << 10, 4, u64::MAX, sketch_seed);
+        let mut truth: std::collections::BTreeMap<u64, u64> = Default::default();
+        for (&k, &n) in keys.iter().zip(reps.iter().cycle()) {
+            sketch.record_n(k, n);
+            *truth.entry(k).or_insert(0) += n;
+        }
+        for (&k, &count) in &truth {
+            let est = u64::from(sketch.estimate(k));
+            prop_assert!(
+                est >= count.min(15),
+                "estimate {} under-counts key {:#x} (true {})",
+                est, k, count
+            );
+        }
+    }
+
     /// Borrowed `BlockView` gathers (interior and edge-clamped) agree
     /// with the allocating `block_at` everywhere, so the zero-copy motion
     /// search sees exactly the same candidate pixels.
