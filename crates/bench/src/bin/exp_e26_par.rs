@@ -1,0 +1,251 @@
+//! E26 — the head-end on the MPSoC model and on real host cores.
+//!
+//! One staged head-end definition (capture → per-rung encode → mux →
+//! seal → publish), consumed two ways and cross-checked, writing the
+//! machine-readable `BENCH_par.json`:
+//!
+//! * **Executed**: the ladder's per-rung encode work units run on the
+//!   `mmpool` worker pool at 1/2/4/8 workers for 3/5/7-rung ladders.
+//!   Every pooled encode must be bit-identical to the sequential one
+//!   (asserted at every worker count); on hosts with ≥ 4 cores the
+//!   5-rung encode must clear a 2x speedup at 4 workers. The recorded
+//!   `host_cpus` metric lets CI re-assert the bar only where the
+//!   hardware can express it.
+//! * **Modeled**: the same ladders, folded through
+//!   `mmstream::headend_spec` into the `mpsoc::headend` task graph
+//!   (measured op tallies, real segment bytes) and scheduled on
+//!   symmetric-bus platforms of 1/2/4/8 PEs — latency and energy per
+//!   rung count per PE count, with the multi-PE mappings required to
+//!   beat the single-PE makespan.
+//! * **Parallel simulation**: exp_e23's live 1M-session sweep re-run
+//!   through `live_edge_capacity_curve_on` (whole curve points sharded
+//!   across the pool). The pooled 1M report must equal the sequential
+//!   `simulate_live_edge_load` report *exactly* — the merge is
+//!   deterministic by construction, and CI cross-checks the recorded
+//!   numbers against `BENCH_sim.json`.
+
+use std::time::Instant;
+
+use mmbench::banner;
+use mmbench::perf::{PerfEntry, PerfReport};
+use mmpool::WorkerPool;
+use mmstream::edge::EdgeTierConfig;
+use mmstream::headend_spec;
+use mmstream::ladder::{encode_ladder, encode_ladder_on, Ladder, LadderConfig};
+use mmstream::serve::{
+    live_edge_capacity_curve_on, simulate_live_edge_load, LiveConfig, LoadConfig,
+};
+use mmstream::session::JoinMode;
+use mpsoc::{Mapping, Platform, Simulator};
+use video::synth::SequenceGen;
+use video::Frame;
+
+/// Ascending per-frame rate targets spanning the 2k–18k band the other
+/// experiments use, at any rung count.
+fn rate_targets(rungs: usize) -> Vec<f64> {
+    (0..rungs)
+        .map(|i| 2_000.0 + i as f64 * 16_000.0 / (rungs - 1) as f64)
+        .collect()
+}
+
+/// Minimum wall time over `reps` runs of `f`, in milliseconds.
+fn best_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut out = None;
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let v = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        out = Some(v);
+    }
+    (out.expect("reps >= 1"), best)
+}
+
+fn encode_source() -> Vec<Frame> {
+    SequenceGen::new(12).panning_sequence(64, 48, 32, 1, 1)
+}
+
+fn main() {
+    banner(
+        "E26: head-end on the MPSoC model + host parallelism (BENCH_par.json)",
+        "one staged head-end definition is executed on a hand-rolled \
+         worker pool (bit-identical to sequential at any worker count) \
+         and mapped onto MPSoC platform configurations (latency/energy \
+         per PE count), and the 1M-session live sweep reruns in \
+         parallel with exactly the sequential numbers",
+    );
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut report = PerfReport::new("par_headend", "exp_e26_par");
+    report.push(PerfEntry::new("host").metric("host_cpus", host_cpus as f64));
+    println!("host: {host_cpus} cpus\n");
+
+    // ---- Executed: pooled ladder encode, core scaling.
+    let source = encode_source();
+    let rung_counts = [3usize, 5, 7];
+    let worker_counts = [1usize, 2, 4, 8];
+    let mut ladders: Vec<(usize, Ladder)> = Vec::new();
+    println!("pooled ladder encode (64x48, 32 frames), wall ms by workers:");
+    for &rungs in &rung_counts {
+        let cfg = LadderConfig {
+            targets_bits_per_frame: rate_targets(rungs),
+            gop: 4,
+            ..Default::default()
+        };
+        let (seq, seq_ms) = best_ms(3, || {
+            encode_ladder("bench", &source, &cfg).expect("ladder encodes")
+        });
+        print!("  {rungs} rungs: seq {seq_ms:>7.1} ms |");
+        for &workers in &worker_counts {
+            let pool = WorkerPool::new(workers);
+            let (par, par_ms) = best_ms(3, || {
+                encode_ladder_on(&pool, "bench", &source, &cfg).expect("ladder encodes")
+            });
+            assert_eq!(
+                par, seq,
+                "pooled encode must be bit-identical ({rungs} rungs, {workers} workers)"
+            );
+            let speedup = seq_ms / par_ms;
+            print!("  {workers}w {par_ms:>7.1} ms ({speedup:>4.2}x)");
+            if rungs == 5 && workers == 4 && host_cpus >= 4 {
+                assert!(
+                    speedup >= 2.0,
+                    "4 workers on a >=4-core host must clear 2x on 5 rungs: {speedup:.2}x"
+                );
+            }
+            report.push(
+                PerfEntry::new(&format!("encode_{rungs}_rungs_{workers}_workers"))
+                    .metric("rungs", rungs as f64)
+                    .metric("workers", workers as f64)
+                    .metric("wall_ms", par_ms)
+                    .metric("sequential_wall_ms", seq_ms)
+                    .metric("speedup", speedup)
+                    .metric("bit_identical", 1.0),
+            );
+        }
+        println!();
+        ladders.push((rungs, seq));
+    }
+
+    // ---- Modeled: the same ladders on MPSoC platform configurations.
+    println!("\nmodeled head-end graph on symmetric-bus platforms (8-frame stream):");
+    for (rungs, ladder) in &ladders {
+        let spec = headend_spec(ladder, &source);
+        let graph = spec.task_graph();
+        let mut makespan_1pe = 0.0f64;
+        print!("  {rungs} rungs:");
+        for pes in [1usize, 2, 4, 8] {
+            let platform = Platform::symmetric_bus("headend", pes, 200e6);
+            let mapping = Mapping::load_balanced(&graph, &platform);
+            let run = Simulator::new(&platform)
+                .run_stream(&graph, &mapping, 8)
+                .expect("head-end graph schedules");
+            let makespan_ms = run.makespan_s() * 1e3;
+            if pes == 1 {
+                makespan_1pe = makespan_ms;
+            } else {
+                assert!(
+                    makespan_ms < makespan_1pe,
+                    "{pes} PEs must beat 1 PE on the {rungs}-rung graph"
+                );
+            }
+            let energy = run.energy();
+            print!(
+                "  {pes}pe {makespan_ms:>7.2} ms / {:>6.2} mJ",
+                energy.total_j() * 1e3
+            );
+            report.push(
+                PerfEntry::new(&format!("model_{rungs}_rungs_{pes}_pes"))
+                    .metric("rungs", *rungs as f64)
+                    .metric("pes", pes as f64)
+                    .metric("makespan_ms", makespan_ms)
+                    .metric("modeled_speedup", makespan_1pe / makespan_ms)
+                    .metric("energy_mj", energy.total_j() * 1e3)
+                    .metric("transfer_mj", energy.transfer_j() * 1e3),
+            );
+        }
+        println!();
+    }
+
+    // ---- Parallel simulation: exp_e23's live sweep, pooled.
+    println!("\nparallel 1M-session live sweep (exp_e23 workload, 4 workers):");
+    let live_source = SequenceGen::new(12).panning_sequence(64, 48, 64, 1, 1);
+    let cfg = LadderConfig {
+        targets_bits_per_frame: vec![2_000.0, 6_000.0, 18_000.0],
+        gop: 4,
+        ..Default::default()
+    };
+    let live_manifest = encode_ladder("bench", &live_source, &cfg)
+        .expect("ladder encodes")
+        .manifest;
+    let live_edge_join = LiveConfig {
+        dvr_window_segments: 8,
+        join: JoinMode::LiveEdge,
+        ..Default::default()
+    };
+    let big_tier = EdgeTierConfig {
+        edges: 4,
+        edge_capacity_bytes_per_tick: 2.5e7,
+        prewarm: false,
+        ..Default::default()
+    };
+    let base = LoadConfig::default();
+    let counts = [10_000usize, 100_000, 1_000_000];
+    let pool = WorkerPool::new(4);
+    let t0 = Instant::now();
+    let curve = live_edge_capacity_curve_on(
+        &pool,
+        &live_manifest,
+        &big_tier,
+        &live_edge_join,
+        &counts,
+        &base,
+    );
+    let curve_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let seq_1m = simulate_live_edge_load(
+        &live_manifest,
+        &big_tier,
+        &live_edge_join,
+        &LoadConfig {
+            sessions: 1_000_000,
+            ..base
+        },
+    );
+    assert_eq!(
+        curve[2], seq_1m,
+        "the pooled 1M sweep must equal the sequential run exactly"
+    );
+    for (r, &sessions) in curve.iter().zip(&counts) {
+        assert_eq!(
+            r.edge.load.completed, sessions,
+            "a provisioned tier must carry every viewer to the end"
+        );
+        println!(
+            "  {sessions:>9} sessions: rebuffer {:.2}%, hit rate {:.1}%, coalesced {}",
+            100.0 * r.edge.load.rebuffer_fraction,
+            100.0 * r.edge.hit_rate,
+            r.edge.tier.coalesced,
+        );
+        report.push(
+            PerfEntry::new(&format!("par_sweep_{sessions}_sessions"))
+                .metric("sessions", sessions as f64)
+                .metric("rebuffer_fraction", r.edge.load.rebuffer_fraction)
+                .metric("hit_rate", r.edge.hit_rate)
+                .metric("coalesced_waiters", r.edge.tier.coalesced as f64)
+                .metric("par_equals_seq", 1.0),
+        );
+    }
+    println!("  whole curve on 4 workers: {curve_ms:.1} ms (1M point matches sequential exactly)");
+    report.push(
+        PerfEntry::new("par_sweep_wall")
+            .metric("curve_wall_ms", curve_ms)
+            .metric("workers", 4.0),
+    );
+
+    report
+        .write("BENCH_par.json")
+        .expect("write BENCH_par.json");
+    println!("\nwrote BENCH_par.json ({} entries)", report.entries.len());
+}

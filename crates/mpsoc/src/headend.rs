@@ -1,0 +1,384 @@
+//! The streaming head-end as an MPSoC task graph.
+//!
+//! Wolf's thesis is that one platform family serves every multimedia
+//! box in the house — and the *head-end* that feeds those boxes is
+//! itself a multiprocessor workload: one source fans out to an encoder
+//! per ABR ladder rung, the rung streams are packetised, sealed (§6
+//! content protection) and published. This module captures that
+//! pipeline as pure data (a [`HeadendSpec`]) and builds the
+//! corresponding [`TaskGraph`]:
+//!
+//! ```text
+//!            ┌─ encode_r0 ─┐
+//!  capture ──┼─ encode_r1 ─┼── mux ── seal ── publish
+//!            └─ encode_r… ─┘
+//! ```
+//!
+//! The spec is the *single definition* consumed two ways: the delivery
+//! stack (`mmstream::headend`) derives one from a really-encoded ladder
+//! — per-rung [`EncodeTally`]s measured by the `video` encoder, edge
+//! bytes from actual elementary-stream/segment sizes — and (a) maps the
+//! graph across platform configurations here, while (b) executing the
+//! same per-rung stages on a host worker pool. `mpsoc` itself stays
+//! dependency-free: everything in this module is plain counts and
+//! bytes, and [`HeadendSpec::synthetic`] provides a dimensioned
+//! stand-in for tests and benches that don't want to run an encoder.
+
+use crate::task::{OpCounts, TaskGraph};
+
+/// Per-stage operation tallies for one rung's encode, mirroring the
+/// video encoder's stage counters (pure data so `mpsoc` needs no
+/// dependency on the codec crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EncodeTally {
+    /// Block-matching candidates evaluated by motion estimation.
+    pub sad_evaluations: u64,
+    /// Pixels absolute-differenced across all SAD evaluations.
+    pub sad_pixel_ops: u64,
+    /// Multiply–accumulates in the forward + inverse transforms.
+    pub transform_macs: u64,
+    /// Coefficients quantized (one multiply-round each).
+    pub quant_coeffs: u64,
+    /// Entropy symbols emitted (DC, AC, motion vectors).
+    pub vlc_symbols: u64,
+    /// Pixels produced by motion-compensated prediction.
+    pub mc_pixels: u64,
+}
+
+impl EncodeTally {
+    /// Classifies the tallies into the five [`OpCounts`] classes the
+    /// PE cycle tables price:
+    ///
+    /// * SAD pixel work is absolute-difference + accumulate → `IntAlu`;
+    /// * transforms and quantization are multiply–accumulate → `Mac`;
+    /// * motion compensation streams reference pixels → `Mem`;
+    /// * one branchy candidate loop per SAD evaluation → `Control`;
+    /// * entropy coding shifts symbols into the bitstream → `Bit`.
+    #[must_use]
+    pub fn op_counts(&self) -> OpCounts {
+        OpCounts::new()
+            .with_int_alu(self.sad_pixel_ops)
+            .with_mac(self.transform_macs + self.quant_coeffs)
+            .with_mem(self.mc_pixels)
+            .with_control(self.sad_evaluations)
+            .with_bit(self.vlc_symbols)
+    }
+}
+
+/// One ladder rung as a head-end stage: measured encode tallies plus
+/// the real byte volumes flowing in and out of it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RungStage {
+    /// Stage name, e.g. `"encode_r0"`.
+    pub name: String,
+    /// Measured (or modeled) encoder work for one pass over the source.
+    pub tally: EncodeTally,
+    /// Elementary-stream bytes the rung hands to the muxer.
+    pub es_bytes: u64,
+    /// Muxed wire bytes this rung contributes to the published ladder.
+    pub wire_bytes: u64,
+}
+
+/// The head-end pipeline as pure data: source volume plus one
+/// [`RungStage`] per ladder rung. One spec, two consumers — see the
+/// module docs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeadendSpec {
+    /// Title being encoded (graph naming only).
+    pub title: String,
+    /// Raw source bytes per pipeline pass (all planes, all frames) —
+    /// the volume `capture` feeds to *each* rung encoder.
+    pub source_bytes: u64,
+    /// The ladder rungs, lowest target first.
+    pub rungs: Vec<RungStage>,
+}
+
+impl HeadendSpec {
+    /// Creates an empty spec for `title`.
+    #[must_use]
+    pub fn new(title: impl Into<String>, source_bytes: u64) -> Self {
+        Self {
+            title: title.into(),
+            source_bytes,
+            rungs: Vec::new(),
+        }
+    }
+
+    /// Appends a rung stage (named `encode_r<i>` after its position).
+    pub fn push_rung(&mut self, tally: EncodeTally, es_bytes: u64, wire_bytes: u64) {
+        let name = format!("encode_r{}", self.rungs.len());
+        self.rungs.push(RungStage {
+            name,
+            tally,
+            es_bytes,
+            wire_bytes,
+        });
+    }
+
+    /// Number of ladder rungs.
+    #[must_use]
+    pub fn rung_count(&self) -> usize {
+        self.rungs.len()
+    }
+
+    /// Total wire bytes across all rungs — what mux emits and seal and
+    /// publish each traverse.
+    #[must_use]
+    pub fn wire_bytes(&self) -> u64 {
+        self.rungs.iter().map(|r| r.wire_bytes).sum()
+    }
+
+    /// Builds the head-end task graph: `capture` fanning out to one
+    /// encode task per rung, joined by `mux`, then `seal` and
+    /// `publish` in sequence. Every edge carries the real byte volume
+    /// of the data crossing it.
+    ///
+    /// For `R` rungs the graph has `R + 4` tasks and `2R + 2` edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has no rungs.
+    #[must_use]
+    pub fn task_graph(&self) -> TaskGraph {
+        assert!(!self.rungs.is_empty(), "head-end spec needs >= 1 rung");
+        let wire = self.wire_bytes();
+        let mut g = TaskGraph::new(format!("headend:{}", self.title));
+        let capture = g.add_task("capture", capture_ops(self.source_bytes), 0);
+        let mux = {
+            // Encode tasks first so ids follow pipeline order.
+            let encodes: Vec<_> = self
+                .rungs
+                .iter()
+                .map(|r| g.add_task(r.name.clone(), r.tally.op_counts(), 0))
+                .collect();
+            let mux = g.add_task("mux", mux_ops(wire), 0);
+            for (rung, id) in self.rungs.iter().zip(&encodes) {
+                g.add_edge(capture, *id, self.source_bytes)
+                    .expect("fan-out cannot form a cycle");
+                g.add_edge(*id, mux, rung.es_bytes)
+                    .expect("fan-in cannot form a cycle");
+            }
+            mux
+        };
+        let seal = g.add_task("seal", seal_ops(wire), 0);
+        let publish = g.add_task("publish", publish_ops(wire), 0);
+        g.add_edge(mux, seal, wire).expect("chain is acyclic");
+        g.add_edge(seal, publish, wire).expect("chain is acyclic");
+        g
+    }
+
+    /// A dimensioned synthetic spec — a CIF-ish source modeled
+    /// analytically (macroblock counts × a diamond-search candidate
+    /// budget, 8×8 transform MACs, symbol counts growing with the rung
+    /// target) so graph-construction tests and mapping benches can run
+    /// without encoding anything.
+    #[must_use]
+    pub fn synthetic(rungs: usize) -> Self {
+        assert!(rungs > 0, "head-end spec needs >= 1 rung");
+        let (w, h, frames) = (352u64, 288u64, 8u64);
+        let source_bytes = w * h * 3 / 2 * frames; // 4:2:0, one pass
+        let macroblocks = (w / 16) * (h / 16) * frames;
+        let blocks = (w / 8) * (h / 8) * frames;
+        let mut spec = Self::new(format!("synthetic_{rungs}rung"), source_bytes);
+        for ri in 0..rungs as u64 {
+            // Higher rungs emit more symbols and bytes; motion search
+            // and transforms are rate-independent.
+            let tally = EncodeTally {
+                sad_evaluations: macroblocks * 81,
+                sad_pixel_ops: macroblocks * 81 * 256,
+                transform_macs: blocks * 2 * 2 * 8 * 8 * 8,
+                quant_coeffs: blocks * 64,
+                vlc_symbols: blocks * 8 * (ri + 1),
+                mc_pixels: (frames - 1) * w * h,
+            };
+            let es_bytes = frames * 1_500 * (ri + 1);
+            // TS-style overhead: 188-byte packets with 4-byte headers.
+            let wire_bytes = es_bytes + es_bytes / 46 + 376;
+            spec.push_rung(tally, es_bytes, wire_bytes);
+        }
+        spec
+    }
+}
+
+/// Source stage model: one memory fetch per raw byte handed on.
+#[must_use]
+pub fn capture_ops(source_bytes: u64) -> OpCounts {
+    OpCounts::new().with_mem(source_bytes)
+}
+
+/// Muxer model for TS-style packetisation: every wire byte is written
+/// once and shifted through the CRC, with per-packet header control.
+#[must_use]
+pub fn mux_ops(wire_bytes: u64) -> OpCounts {
+    let packets = wire_bytes / 188;
+    OpCounts::new()
+        .with_mem(wire_bytes)
+        .with_bit(wire_bytes)
+        .with_control(packets)
+}
+
+/// Sealing model for XTEA-CTR: 32 rounds per 8-byte block, each round
+/// ~6 adds and ~8 shift/xor ops, plus a read and a write per byte.
+#[must_use]
+pub fn seal_ops(wire_bytes: u64) -> OpCounts {
+    let blocks = wire_bytes.div_ceil(8);
+    OpCounts::new()
+        .with_int_alu(blocks * 32 * 6)
+        .with_bit(blocks * 32 * 8)
+        .with_mem(wire_bytes * 2)
+}
+
+/// Publish model: copy the sealed ladder into the origin's object
+/// store (read + write per byte).
+#[must_use]
+pub fn publish_ops(wire_bytes: u64) -> OpCounts {
+    OpCounts::new().with_mem(wire_bytes * 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::Mapping;
+    use crate::pe::PeId;
+    use crate::platform::Platform;
+    use crate::sched::Simulator;
+
+    #[test]
+    fn rung_count_sets_task_and_edge_counts() {
+        for rungs in [1usize, 3, 5, 7] {
+            let g = HeadendSpec::synthetic(rungs).task_graph();
+            assert_eq!(g.task_count(), rungs + 4, "{rungs} rungs");
+            assert_eq!(g.edge_count(), 2 * rungs + 2, "{rungs} rungs");
+        }
+    }
+
+    #[test]
+    fn topological_order_matches_the_pipeline() {
+        let g = HeadendSpec::synthetic(3).task_graph();
+        let names: Vec<&str> = g
+            .topological_order()
+            .unwrap()
+            .into_iter()
+            .map(|id| g.task(id).name.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "capture",
+                "encode_r0",
+                "encode_r1",
+                "encode_r2",
+                "mux",
+                "seal",
+                "publish"
+            ]
+        );
+    }
+
+    #[test]
+    fn edges_carry_the_spec_byte_volumes() {
+        let spec = HeadendSpec::synthetic(2);
+        let g = spec.task_graph();
+        let wire = spec.wire_bytes();
+        // capture -> encode edges carry the raw source volume.
+        let order = g.topological_order().unwrap();
+        let capture = order[0];
+        for e in g.successors(capture) {
+            assert_eq!(e.bytes, spec.source_bytes);
+        }
+        // The mux -> seal -> publish chain carries the full wire volume.
+        let chain: Vec<u64> = g
+            .edges()
+            .iter()
+            .filter(|e| {
+                let names = (g.task(e.from).name.as_str(), g.task(e.to).name.as_str());
+                matches!(names, ("mux", "seal") | ("seal", "publish"))
+            })
+            .map(|e| e.bytes)
+            .collect();
+        assert_eq!(chain, vec![wire, wire]);
+        // encode -> mux edges carry each rung's elementary stream.
+        for (ri, rung) in spec.rungs.iter().enumerate() {
+            let es: Vec<u64> = g
+                .edges()
+                .iter()
+                .filter(|e| g.task(e.from).name == format!("encode_r{ri}"))
+                .map(|e| e.bytes)
+                .collect();
+            assert_eq!(es, vec![rung.es_bytes]);
+        }
+    }
+
+    #[test]
+    fn critical_path_grows_with_the_heaviest_rung() {
+        // Adding rungs to the synthetic ladder adds heavier top rungs
+        // (more symbols), so the critical path — capture, the heaviest
+        // encode, mux, seal, publish — must grow strictly.
+        let mut last = 0;
+        for rungs in [1usize, 3, 5, 7] {
+            let cp = HeadendSpec::synthetic(rungs)
+                .task_graph()
+                .critical_path_ops();
+            assert!(cp > last, "{rungs} rungs: {cp} vs {last}");
+            last = cp;
+        }
+        // And it equals the analytic chain through the heaviest rung.
+        let spec = HeadendSpec::synthetic(4);
+        let g = spec.task_graph();
+        let wire = spec.wire_bytes();
+        let heaviest = spec
+            .rungs
+            .iter()
+            .map(|r| r.tally.op_counts().total())
+            .max()
+            .unwrap();
+        let expect = capture_ops(spec.source_bytes).total()
+            + heaviest
+            + mux_ops(wire).total()
+            + seal_ops(wire).total()
+            + publish_ops(wire).total();
+        assert_eq!(g.critical_path_ops(), expect);
+    }
+
+    #[test]
+    fn one_pe_mapping_equals_the_sequential_ops_sum() {
+        let g = HeadendSpec::synthetic(5).task_graph();
+        let p = Platform::symmetric_bus("uni", 1, 200e6);
+        let r = Simulator::new(&p)
+            .run(&g, &Mapping::all_on_one(&g))
+            .unwrap();
+        // Everything on one PE: no transfers, makespan is exactly the
+        // time of the summed op profile (per-class pricing is linear).
+        let sequential_s = p.pe(PeId(0)).seconds_for(&g.total_ops());
+        assert!(
+            (r.makespan_s() - sequential_s).abs() < 1e-9 * sequential_s,
+            "{} vs {}",
+            r.makespan_s(),
+            sequential_s
+        );
+        assert_eq!(r.bytes_moved(), 0);
+    }
+
+    #[test]
+    fn more_pes_cut_latency_until_the_tail_dominates() {
+        let g = HeadendSpec::synthetic(5).task_graph();
+        let mut last = f64::INFINITY;
+        for pes in [1usize, 2, 4] {
+            let p = Platform::symmetric_bus("p", pes, 200e6);
+            let m = Mapping::load_balanced(&g, &p);
+            let r = Simulator::new(&p).run_stream(&g, &m, 8).unwrap();
+            assert!(
+                r.makespan_s() < last,
+                "{pes} PEs did not improve: {} vs {last}",
+                r.makespan_s()
+            );
+            last = r.makespan_s();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 1 rung")]
+    fn empty_spec_panics() {
+        let _ = HeadendSpec::new("empty", 0).task_graph();
+    }
+}

@@ -40,6 +40,7 @@
 //! ```
 
 pub mod energy;
+pub mod headend;
 pub mod interconnect;
 pub mod map;
 pub mod pe;

@@ -386,6 +386,47 @@ mod tests {
     }
 
     #[test]
+    fn schedule_is_pinned_through_the_adjacency_refactor() {
+        // Pin the list schedule the old Vec-allocating predecessor walk
+        // produced, so the O(V+E) iterator refactor provably changed
+        // nothing: a fork-join graph with zero-byte edges has an exact,
+        // hand-computable schedule (no interconnect terms).
+        //
+        //   src(1e6) -> a(2e6), b(1e6) -> sink(1e6),  100 MHz, 1 cycle/op
+        //   src on pe0: [0, 10ms]   a on pe1: [10, 30ms]
+        //   b on pe2:   [10, 20ms]  sink on pe0: [30, 40ms]
+        let mut g = TaskGraph::new("fork-join");
+        let src = g.add_task("src", OpCounts::new().with_int_alu(1_000_000), 0);
+        let a = g.add_task("a", OpCounts::new().with_int_alu(2_000_000), 0);
+        let b = g.add_task("b", OpCounts::new().with_int_alu(1_000_000), 0);
+        let sink = g.add_task("sink", OpCounts::new().with_int_alu(1_000_000), 0);
+        g.add_edge(src, a, 0).unwrap();
+        g.add_edge(src, b, 0).unwrap();
+        g.add_edge(a, sink, 0).unwrap();
+        g.add_edge(b, sink, 0).unwrap();
+        let p = Platform::symmetric_bus("p", 3, 100e6);
+        let m = Mapping::from_vec(&g, 3, vec![PeId(0), PeId(1), PeId(2), PeId(0)]).unwrap();
+        let r = Simulator::new(&p).run(&g, &m).unwrap();
+        assert!((r.makespan_s() - 0.04).abs() < 1e-12, "{}", r.makespan_s());
+        assert!((r.pe_busy_s()[0] - 0.02).abs() < 1e-12);
+        assert!((r.pe_busy_s()[1] - 0.02).abs() < 1e-12);
+        assert!((r.pe_busy_s()[2] - 0.01).abs() < 1e-12);
+        // Execute events carry the exact start/end instants above.
+        let execs: Vec<(f64, f64)> = r
+            .trace()
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::Execute { .. }))
+            .map(|e| (e.start_s, e.end_s))
+            .collect();
+        let expect = [(0.0, 0.01), (0.01, 0.03), (0.01, 0.02), (0.03, 0.04)];
+        assert_eq!(execs.len(), expect.len());
+        for ((s, e), (es, ee)) in execs.iter().zip(expect) {
+            assert!((s - es).abs() < 1e-12 && (e - ee).abs() < 1e-12);
+        }
+    }
+
+    #[test]
     fn bus_contention_slows_parallel_transfers() {
         // Fork: one source feeding two sinks on distinct PEs; transfers
         // serialize on the bus.

@@ -6,7 +6,7 @@
 //! number of bytes exchanged per iteration; the scheduler replays the graph
 //! over many iterations to model streaming.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use crate::pe::OpClass;
 
@@ -280,16 +280,21 @@ impl TaskGraph {
         (0..self.tasks.len()).map(TaskId)
     }
 
-    /// Incoming edges of `id`.
-    #[must_use]
-    pub fn predecessors(&self, id: TaskId) -> Vec<&Edge> {
-        self.pred[id.0].iter().map(|&i| &self.edges[i]).collect()
+    /// Incoming edges of `id`, in insertion order.
+    ///
+    /// Backed by the adjacency index built up in [`TaskGraph::add_edge`],
+    /// so iterating costs nothing beyond the edges themselves — the
+    /// scheduler's inner loop visits every task's predecessors once per
+    /// graph iteration, and the old `Vec<&Edge>`-returning version made
+    /// list-scheduling allocate per task instance.
+    pub fn predecessors(&self, id: TaskId) -> impl Iterator<Item = &Edge> + '_ {
+        self.pred[id.0].iter().map(|&i| &self.edges[i])
     }
 
-    /// Outgoing edges of `id`.
-    #[must_use]
-    pub fn successors(&self, id: TaskId) -> Vec<&Edge> {
-        self.succ[id.0].iter().map(|&i| &self.edges[i]).collect()
+    /// Outgoing edges of `id`, in insertion order (allocation-free, like
+    /// [`TaskGraph::predecessors`]).
+    pub fn successors(&self, id: TaskId) -> impl Iterator<Item = &Edge> + '_ {
+        self.succ[id.0].iter().map(|&i| &self.edges[i])
     }
 
     /// Kahn topological sort.
@@ -342,18 +347,17 @@ impl TaskGraph {
             Ok(o) => o,
             Err(_) => return 0,
         };
-        let mut dist: HashMap<TaskId, u64> = HashMap::new();
+        let mut dist = vec![0u64; self.tasks.len()];
         let mut best = 0;
         for id in order {
             let here = self
                 .predecessors(id)
-                .iter()
-                .map(|e| dist.get(&e.from).copied().unwrap_or(0))
+                .map(|e| dist[e.from.0])
                 .max()
                 .unwrap_or(0)
                 + self.task(id).ops.total();
             best = best.max(here);
-            dist.insert(id, here);
+            dist[id.0] = here;
         }
         best
     }
@@ -379,6 +383,7 @@ impl TaskGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
 
     fn diamond() -> TaskGraph {
         let mut g = TaskGraph::new("diamond");
@@ -478,9 +483,25 @@ mod tests {
     #[test]
     fn predecessors_and_successors() {
         let g = diamond();
-        assert_eq!(g.predecessors(TaskId(3)).len(), 2);
-        assert_eq!(g.successors(TaskId(0)).len(), 2);
-        assert!(g.predecessors(TaskId(0)).is_empty());
+        assert_eq!(g.predecessors(TaskId(3)).count(), 2);
+        assert_eq!(g.successors(TaskId(0)).count(), 2);
+        assert_eq!(g.predecessors(TaskId(0)).count(), 0);
+    }
+
+    #[test]
+    fn adjacency_iterators_match_a_full_edge_scan() {
+        // The O(V+E) adjacency iterators must report exactly the edges a
+        // naive O(V·E) scan of `edges()` finds, in insertion order — the
+        // equivalence the scheduler refactor relies on.
+        let g = diamond();
+        for id in g.task_ids() {
+            let preds: Vec<Edge> = g.predecessors(id).copied().collect();
+            let scan: Vec<Edge> = g.edges().iter().filter(|e| e.to == id).copied().collect();
+            assert_eq!(preds, scan, "predecessors of {id}");
+            let succs: Vec<Edge> = g.successors(id).copied().collect();
+            let scan: Vec<Edge> = g.edges().iter().filter(|e| e.from == id).copied().collect();
+            assert_eq!(succs, scan, "successors of {id}");
+        }
     }
 
     #[test]

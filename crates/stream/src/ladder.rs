@@ -26,8 +26,9 @@
 use drm::playback::LicenseAuthority;
 use drm::TitleId;
 use mediafs::fs::{FsError, MediaFs};
+use mmpool::WorkerPool;
 use netstack::fetch::ContentServer;
-use video::encoder::{Encoder, EncoderConfig, EncoderError};
+use video::encoder::{Encoder, EncoderConfig, EncoderError, StageTally};
 use video::rate::RateConfig;
 use video::{Frame, SearchKind};
 
@@ -449,14 +450,30 @@ impl Manifest {
     }
 }
 
+/// What one rung's encode actually cost: the encoder's stage tallies
+/// summed over every segment, plus the elementary-stream bytes handed
+/// to the muxer. This is the measured calibration data the MPSoC
+/// head-end spec (`crate::headend`) turns into per-rung `OpCounts` and
+/// edge byte weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RungCost {
+    /// Encoder stage tallies summed across the rung's segments.
+    pub tally: StageTally,
+    /// Elementary-stream bytes across the rung's segments (pre-mux).
+    pub es_bytes: u64,
+}
+
 /// A built ladder: the manifest plus every segment's wire bytes,
-/// `segments[rung][seg]` parallel to the manifest.
-#[derive(Debug, Clone)]
+/// `segments[rung][seg]` parallel to the manifest, and the measured
+/// per-rung encode cost (parallel to `manifest.rungs`).
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ladder {
     /// The manifest.
     pub manifest: Manifest,
     /// Muxed (possibly sealed) segment bytes per rung.
     pub segments: Vec<Vec<Vec<u8>>>,
+    /// Measured encode cost per rung.
+    pub rung_costs: Vec<RungCost>,
 }
 
 impl Ladder {
@@ -470,17 +487,24 @@ impl Ladder {
     }
 }
 
-/// Encodes `frames` at every rung of `config`, cutting closed-GOP
-/// segments and muxing each to wire packets.
-///
-/// # Errors
-///
-/// Returns [`LadderError`] for bad targets/titles or encoder failures.
-pub fn encode_ladder(
+/// The output of one per-rung work unit: the rung's manifest entries,
+/// its muxed wire bytes, and its measured encode cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RungBuild {
+    /// The rung's manifest entry (target + segment list).
+    pub rung: RungInfo,
+    /// Muxed wire bytes, one `Vec<u8>` per segment.
+    pub wires: Vec<Vec<u8>>,
+    /// Measured encode cost.
+    pub cost: RungCost,
+}
+
+/// Validates the shared `encode_ladder` inputs.
+fn validate_ladder_inputs(
     title: &str,
     frames: &[Frame],
     config: &LadderConfig,
-) -> Result<Ladder, LadderError> {
+) -> Result<(), LadderError> {
     if title.is_empty() || title.split_whitespace().count() != 1 || title.contains('/') {
         return Err(LadderError::BadTitle);
     }
@@ -497,54 +521,109 @@ pub fn encode_ladder(
     if frames.is_empty() {
         return Err(LadderError::Encoder(EncoderError::Empty));
     }
+    Ok(())
+}
 
-    let mut rungs = Vec::with_capacity(targets.len());
-    let mut segments = Vec::with_capacity(targets.len());
-    for (ri, &target) in targets.iter().enumerate() {
-        // Rate control alone cannot separate rungs on easy content (every
-        // rung would drift to max quality), so each rung also gets a
-        // quality band — the capped-quality + rate-target combination
-        // real ladder encoders use. The controller may still drop to
-        // quality 5 to hold the bit budget on hard content.
-        let quality = if targets.len() == 1 {
-            75u8
-        } else {
-            (35 + ri * 55 / (targets.len() - 1)) as u8
-        };
-        let encoder = Encoder::new(EncoderConfig {
-            quality,
-            gop: config.gop,
-            search: config.search,
-            search_range: config.search_range,
-            rate: Some(RateConfig {
-                max_quality: (quality + 8).min(95),
-                ..RateConfig::for_target(target)
-            }),
-        })?;
-        let mut entries = Vec::new();
-        let mut wires = Vec::new();
-        for (si, chunk) in frames.chunks(config.gop).enumerate() {
-            let seq = encoder.encode(chunk)?;
-            // Closed GOP by construction: the chunk is at most one GOP
-            // long, so the encoder's boundary metadata must report
-            // exactly one I-frame-led range.
-            debug_assert_eq!(seq.gop_frame_ranges(), vec![0..chunk.len()]);
-            let wire = mux_segment_wire(&seq, None);
-            entries.push(SegmentEntry {
-                name: format!("r{ri}_s{si}.ts"),
-                bytes: wire.len(),
-                frames: chunk.len(),
-                nonce: ((ri as u32) << 16) | si as u32,
-            });
-            wires.push(wire);
-        }
-        rungs.push(RungInfo {
+/// Encodes one ladder rung: the head-end's per-rung work unit.
+///
+/// This is the *single definition* of a rung stage. The sequential
+/// [`encode_ladder`] loops over it; the pooled [`encode_ladder_on`]
+/// fans it out across worker threads. It is deliberately a pure
+/// function of borrowed inputs (`&[Frame]`, `&LadderConfig`) with no
+/// shared mutable state, so the two drivers are bit-identical by
+/// construction: rungs neither read nor write each other's data, and
+/// the `video` encoder itself is `&self`-clean (per-call stack
+/// scratch), so concurrent rungs do not interact.
+///
+/// # Errors
+///
+/// Returns [`LadderError::Encoder`] if the encoder refuses (empty or
+/// mis-dimensioned frames).
+///
+/// # Panics
+///
+/// Panics if `rung_index` is out of range for the config's targets.
+pub fn encode_rung(
+    frames: &[Frame],
+    config: &LadderConfig,
+    rung_index: usize,
+) -> Result<RungBuild, LadderError> {
+    let targets = &config.targets_bits_per_frame;
+    assert!(
+        rung_index < targets.len(),
+        "rung {rung_index} out of range for {} targets",
+        targets.len()
+    );
+    let ri = rung_index;
+    let target = targets[ri];
+    // Rate control alone cannot separate rungs on easy content (every
+    // rung would drift to max quality), so each rung also gets a
+    // quality band — the capped-quality + rate-target combination
+    // real ladder encoders use. The controller may still drop to
+    // quality 5 to hold the bit budget on hard content.
+    let quality = if targets.len() == 1 {
+        75u8
+    } else {
+        (35 + ri * 55 / (targets.len() - 1)) as u8
+    };
+    let encoder = Encoder::new(EncoderConfig {
+        quality,
+        gop: config.gop,
+        search: config.search,
+        search_range: config.search_range,
+        rate: Some(RateConfig {
+            max_quality: (quality + 8).min(95),
+            ..RateConfig::for_target(target)
+        }),
+    })?;
+    let mut entries = Vec::new();
+    let mut wires = Vec::new();
+    let mut cost = RungCost::default();
+    for (si, chunk) in frames.chunks(config.gop).enumerate() {
+        let seq = encoder.encode(chunk)?;
+        // Closed GOP by construction: the chunk is at most one GOP
+        // long, so the encoder's boundary metadata must report
+        // exactly one I-frame-led range.
+        debug_assert_eq!(seq.gop_frame_ranges(), vec![0..chunk.len()]);
+        let t = &mut cost.tally;
+        t.me_sad_evaluations += seq.tally.me_sad_evaluations;
+        t.me_pixel_ops += seq.tally.me_pixel_ops;
+        t.dct_blocks += seq.tally.dct_blocks;
+        t.idct_blocks += seq.tally.idct_blocks;
+        t.quant_coeffs += seq.tally.quant_coeffs;
+        t.vlc_symbols += seq.tally.vlc_symbols;
+        t.mc_pixels += seq.tally.mc_pixels;
+        cost.es_bytes += seq.bytes.len() as u64;
+        let wire = mux_segment_wire(&seq, None);
+        entries.push(SegmentEntry {
+            name: format!("r{ri}_s{si}.ts"),
+            bytes: wire.len(),
+            frames: chunk.len(),
+            nonce: ((ri as u32) << 16) | si as u32,
+        });
+        wires.push(wire);
+    }
+    Ok(RungBuild {
+        rung: RungInfo {
             target_bits_per_frame: target,
             segments: entries,
-        });
-        segments.push(wires);
+        },
+        wires,
+        cost,
+    })
+}
+
+/// Assembles rung builds (in rung order) into a ladder.
+fn assemble_ladder(title: &str, config: &LadderConfig, builds: Vec<RungBuild>) -> Ladder {
+    let mut rungs = Vec::with_capacity(builds.len());
+    let mut segments = Vec::with_capacity(builds.len());
+    let mut rung_costs = Vec::with_capacity(builds.len());
+    for b in builds {
+        rungs.push(b.rung);
+        segments.push(b.wires);
+        rung_costs.push(b.cost);
     }
-    Ok(Ladder {
+    Ladder {
         manifest: Manifest {
             title: title.to_string(),
             ticks_per_frame: config.ticks_per_frame,
@@ -553,7 +632,53 @@ pub fn encode_ladder(
             rungs,
         },
         segments,
-    })
+        rung_costs,
+    }
+}
+
+/// Encodes `frames` at every rung of `config`, cutting closed-GOP
+/// segments and muxing each to wire packets. One [`encode_rung`] work
+/// unit per rung, run sequentially.
+///
+/// # Errors
+///
+/// Returns [`LadderError`] for bad targets/titles or encoder failures.
+pub fn encode_ladder(
+    title: &str,
+    frames: &[Frame],
+    config: &LadderConfig,
+) -> Result<Ladder, LadderError> {
+    validate_ladder_inputs(title, frames, config)?;
+    let builds = (0..config.targets_bits_per_frame.len())
+        .map(|ri| encode_rung(frames, config, ri))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(assemble_ladder(title, config, builds))
+}
+
+/// Encodes the ladder with one [`encode_rung`] work unit per rung
+/// fanned out on `pool`, merging results in rung order. Bit-identical
+/// to [`encode_ladder`] for any worker count and completion
+/// interleaving (property-pinned in the test suite): the work units
+/// share nothing mutable, and the merge is by rung index, not
+/// completion order. When several rungs fail, the lowest rung's error
+/// is returned — the same error the sequential driver stops at.
+///
+/// # Errors
+///
+/// Returns [`LadderError`] for bad targets/titles or encoder failures.
+pub fn encode_ladder_on(
+    pool: &WorkerPool,
+    title: &str,
+    frames: &[Frame],
+    config: &LadderConfig,
+) -> Result<Ladder, LadderError> {
+    validate_ladder_inputs(title, frames, config)?;
+    let indices: Vec<usize> = (0..config.targets_bits_per_frame.len()).collect();
+    let builds = pool
+        .map(&indices, |&ri| encode_rung(frames, config, ri))
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(assemble_ladder(title, config, builds))
 }
 
 /// Seals every segment under the title's content key (XTEA-CTR, one
@@ -902,6 +1027,54 @@ mod tests {
             totals.windows(2).all(|w| w[0] < w[1]),
             "rung totals not ascending: {totals:?}"
         );
+    }
+
+    #[test]
+    fn pooled_encode_is_bit_identical_for_any_worker_count() {
+        let frames = source(10);
+        let cfg = small_config();
+        let seq = encode_ladder("movie", &frames, &cfg).unwrap();
+        for workers in [1usize, 2, 4] {
+            let pool = WorkerPool::new(workers);
+            let par = encode_ladder_on(&pool, "movie", &frames, &cfg).unwrap();
+            assert_eq!(par.manifest, seq.manifest, "{workers} workers");
+            assert_eq!(par.segments, seq.segments, "{workers} workers");
+            assert_eq!(par.rung_costs, seq.rung_costs, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn pooled_encode_reports_the_sequential_error() {
+        let pool = WorkerPool::new(2);
+        let bad = LadderConfig {
+            targets_bits_per_frame: vec![6_000.0, 2_000.0],
+            ..Default::default()
+        };
+        assert_eq!(
+            encode_ladder_on(&pool, "movie", &source(4), &bad).unwrap_err(),
+            encode_ladder("movie", &source(4), &bad).unwrap_err(),
+        );
+        assert_eq!(
+            encode_ladder_on(&pool, "bad title", &source(4), &small_config()).unwrap_err(),
+            LadderError::BadTitle,
+        );
+    }
+
+    #[test]
+    fn rung_work_units_compose_the_ladder() {
+        // The sequential ladder is literally the per-rung work units in
+        // order — the decomposition the pool fans out.
+        let frames = source(8);
+        let cfg = small_config();
+        let ladder = encode_ladder("movie", &frames, &cfg).unwrap();
+        for ri in 0..cfg.targets_bits_per_frame.len() {
+            let build = encode_rung(&frames, &cfg, ri).unwrap();
+            assert_eq!(build.rung, ladder.manifest.rungs[ri]);
+            assert_eq!(build.wires, ladder.segments[ri]);
+            assert_eq!(build.cost, ladder.rung_costs[ri]);
+            assert!(build.cost.tally.vlc_symbols > 0);
+            assert!(build.cost.es_bytes > 0);
+        }
     }
 
     #[test]

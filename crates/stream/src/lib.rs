@@ -17,6 +17,15 @@
 //!   head end, [`ladder::LiveOrigin`], which publishes a pre-encoded
 //!   wheel one segment per tick interval under a rolling DVR window
 //!   and a versioned live manifest.
+//! * [`headend`] — the bridge back to the source paper's platform
+//!   model: folds a measured ladder (per-rung encoder stage tallies,
+//!   real segment byte volumes) into the staged
+//!   `mpsoc::headend::HeadendSpec` whose task graph maps the
+//!   capture → per-rung encode → mux → seal → publish pipeline across
+//!   MPSoC platforms, while the same per-rung stages execute as
+//!   [`ladder::encode_rung`] work units on an `mmpool` worker pool
+//!   ([`ladder::encode_ladder_on`], bit-identical to the sequential
+//!   encode for any worker count).
 //! * [`session`] — a viewer: manifest/license fetch, segment fetches
 //!   over `netstack::fetch`/`tcplite` across lossy links, a playout
 //!   buffer, and a throughput-driven ABR controller; reports startup
@@ -105,6 +114,7 @@ pub(crate) mod calendar;
 pub mod catalog;
 pub mod edge;
 pub mod fault;
+pub mod headend;
 pub mod ladder;
 pub mod segment;
 pub mod serve;
@@ -117,21 +127,23 @@ pub use edge::{
     EdgeCache, EdgeConfig, EdgeStats, EdgeTierConfig, FillTable, HashRing, Lru, Sharding,
 };
 pub use fault::{FaultEvent, FaultPlan, ResilienceStats, RestartMode, RetryPolicy};
+pub use headend::headend_spec;
 pub use ladder::{
-    encode_ladder, publish_ladder, seal_ladder, Ladder, LadderConfig, LiveOrigin, LiveOriginConfig,
-    LiveWindow, Manifest, PublishDelta,
+    encode_ladder, encode_ladder_on, encode_rung, publish_ladder, seal_ladder, Ladder,
+    LadderConfig, LiveOrigin, LiveOriginConfig, LiveWindow, Manifest, PublishDelta, RungBuild,
+    RungCost,
 };
 pub use segment::{demux_segment, mux_segment, mux_segment_wire, Segment};
 pub use serve::{
-    capacity_curve, capacity_knee, capacity_knee_bisect, cdn_capacity_knee_bisect,
-    edge_capacity_curve, edge_capacity_knee, edge_capacity_knee_bisect,
-    faulted_edge_capacity_knee_bisect, live_edge_capacity_curve, live_edge_capacity_knee,
-    live_edge_capacity_knee_bisect, simulate_cdn_load, simulate_cdn_load_faulted,
-    simulate_edge_load, simulate_edge_load_faulted, simulate_live_cdn_load,
-    simulate_live_cdn_load_faulted, simulate_live_edge_load, simulate_live_edge_load_faulted,
-    simulate_live_load, simulate_load, CdnConfig, CdnLoadReport, ChurnConfig, EdgeLoadReport,
-    FaultedEdgeLoadReport, LiveConfig, LiveEdgeLoadReport, LiveLoadReport, LiveStats, LoadConfig,
-    LoadReport, ServerConfig,
+    capacity_curve, capacity_curve_on, capacity_knee, capacity_knee_bisect,
+    cdn_capacity_knee_bisect, edge_capacity_curve, edge_capacity_curve_on, edge_capacity_knee,
+    edge_capacity_knee_bisect, faulted_edge_capacity_knee_bisect, live_edge_capacity_curve,
+    live_edge_capacity_curve_on, live_edge_capacity_knee, live_edge_capacity_knee_bisect,
+    simulate_cdn_load, simulate_cdn_load_faulted, simulate_edge_load, simulate_edge_load_faulted,
+    simulate_live_cdn_load, simulate_live_cdn_load_faulted, simulate_live_edge_load,
+    simulate_live_edge_load_faulted, simulate_live_load, simulate_load, CdnConfig, CdnLoadReport,
+    ChurnConfig, EdgeLoadReport, FaultedEdgeLoadReport, LiveConfig, LiveEdgeLoadReport,
+    LiveLoadReport, LiveStats, LoadConfig, LoadReport, ServerConfig,
 };
 pub use session::{
     run_live_session, run_live_session_via_edge, run_session, run_session_via_edge,

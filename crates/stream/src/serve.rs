@@ -19,6 +19,7 @@
 //! single-uplink ceiling. Both are the same engine; the single origin is
 //! literally the one-edge, everything-cached special case.
 
+use mmpool::WorkerPool;
 use signal::rng::Xoroshiro128;
 
 use crate::catalog::{Catalog, ZipfSampler};
@@ -1574,6 +1575,58 @@ pub fn live_edge_capacity_knee(
         .filter(|r| r.edge.load.rebuffer_fraction <= stall_tolerance)
         .map(|r| r.edge.load.sessions)
         .max()
+}
+
+/// [`capacity_curve`] with its per-count shards fanned out on `pool`.
+///
+/// Each swept session count is one complete, independent simulator run
+/// (runs share nothing: the origin uplink, fill tables and RNG streams
+/// all live inside a run), so the points parallelise perfectly; the
+/// merge collects reports **by count index**, not completion order.
+/// Bit-identical to the sequential driver for any worker count and any
+/// completion interleaving — property-pinned in the test suite.
+#[must_use]
+pub fn capacity_curve_on(
+    pool: &WorkerPool,
+    manifest: &Manifest,
+    server: &ServerConfig,
+    counts: &[usize],
+    base: &LoadConfig,
+) -> Vec<LoadReport> {
+    pool.map(counts, |&sessions| {
+        simulate_load(manifest, server, &LoadConfig { sessions, ..*base })
+    })
+}
+
+/// [`edge_capacity_curve`] with its per-count shards on `pool` —
+/// deterministic merge by count index, bit-identical to sequential.
+#[must_use]
+pub fn edge_capacity_curve_on(
+    pool: &WorkerPool,
+    manifest: &Manifest,
+    tier: &EdgeTierConfig,
+    counts: &[usize],
+    base: &LoadConfig,
+) -> Vec<EdgeLoadReport> {
+    pool.map(counts, |&sessions| {
+        simulate_edge_load(manifest, tier, &LoadConfig { sessions, ..*base })
+    })
+}
+
+/// [`live_edge_capacity_curve`] with its per-count shards on `pool` —
+/// deterministic merge by count index, bit-identical to sequential.
+#[must_use]
+pub fn live_edge_capacity_curve_on(
+    pool: &WorkerPool,
+    manifest: &Manifest,
+    tier: &EdgeTierConfig,
+    live: &LiveConfig,
+    counts: &[usize],
+    base: &LoadConfig,
+) -> Vec<LiveEdgeLoadReport> {
+    pool.map(counts, |&sessions| {
+        simulate_live_edge_load(manifest, tier, live, &LoadConfig { sessions, ..*base })
+    })
 }
 
 /// The degenerate-input guard the bisecting knees share: callers may

@@ -679,6 +679,34 @@ mod tests {
     }
 
     #[test]
+    fn encoder_is_sync_and_reentrant_across_threads() {
+        // The streaming head-end encodes ladder rungs concurrently on a
+        // worker pool, each rung holding `&Encoder`-style borrowed state
+        // of its own — so `encode(&self)` must be freely shareable
+        // (compile-time pin) and bit-identical under concurrency
+        // (runtime pin: no hidden per-encoder mutable state).
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Encoder>();
+
+        let frames = test_frames(6);
+        let enc = Encoder::new(EncoderConfig {
+            gop: 3,
+            ..EncoderConfig::default()
+        })
+        .unwrap();
+        let baseline = enc.encode(&frames).unwrap();
+        let concurrent: Vec<Vec<u8>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| enc.encode(&frames).unwrap().bytes))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for bytes in concurrent {
+            assert_eq!(bytes, baseline.bytes, "concurrent encode diverged");
+        }
+    }
+
+    #[test]
     fn config_validation() {
         assert!(Encoder::new(EncoderConfig::default()).is_ok());
         assert!(matches!(

@@ -1,0 +1,93 @@
+//! Head-end on the MPSoC model (§2–§4 + ROADMAP item 2): one staged
+//! head-end definition — capture → per-rung encode → mux → seal →
+//! publish — consumed two ways. First the ladder really encodes, each
+//! rung a work unit on the `mmpool` worker pool (bit-identical to the
+//! sequential encode); then the measured stage tallies and segment
+//! bytes fold into an `mpsoc::headend` task graph that is mapped and
+//! scheduled across platform configurations, printing the Gantt
+//! schedule, the energy split, and measured-vs-modeled stage times.
+//!
+//! ```sh
+//! cargo run --release --example headend_mpsoc
+//! ```
+
+use std::time::Instant;
+
+use mmpool::WorkerPool;
+use mmstream::headend_spec;
+use mmstream::ladder::{encode_ladder, encode_ladder_on, encode_rung, LadderConfig};
+use mpsoc::pe::PeId;
+use mpsoc::{Mapping, Platform, Simulator};
+use video::synth::SequenceGen;
+
+fn main() {
+    // 1. The real head-end: a 3-rung ladder encoded on the host.
+    let frames = SequenceGen::new(9).panning_sequence(64, 48, 24, 1, 1);
+    let config = LadderConfig {
+        targets_bits_per_frame: vec![2_000.0, 6_000.0, 18_000.0],
+        gop: 4,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let sequential = encode_ladder("channel", &frames, &config).expect("ladder encodes");
+    let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let pool = WorkerPool::new(4);
+    let t0 = Instant::now();
+    let pooled = encode_ladder_on(&pool, "channel", &frames, &config).expect("ladder encodes");
+    let pool_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(pooled, sequential, "pooled encode is bit-identical");
+    println!(
+        "encoded 3 rungs: sequential {seq_ms:.1} ms, 4-worker pool {pool_ms:.1} ms \
+         (bit-identical)\n"
+    );
+
+    // 2. The same pipeline as an MPSoC task graph, from measured data.
+    let spec = headend_spec(&sequential, &frames);
+    let graph = spec.task_graph();
+    println!(
+        "head-end graph: {} tasks, {} edges, {} wire bytes",
+        graph.task_count(),
+        graph.edge_count(),
+        spec.wire_bytes()
+    );
+
+    // 3. Map it onto a 4-PE shared-bus platform and print the schedule.
+    let platform = Platform::symmetric_bus("headend-soc", 4, 200e6);
+    let mapping = Mapping::load_balanced(&graph, &platform);
+    let run = Simulator::new(&platform)
+        .run_stream(&graph, &mapping, 4)
+        .expect("head-end graph schedules");
+    println!("\nmapping (load-balanced):");
+    for (task, pe) in graph.tasks().iter().zip(mapping.assignments()) {
+        println!("  {:<10} -> pe{}", task.name, pe.0);
+    }
+    println!(
+        "\nschedule (4 iterations):\n{}",
+        run.trace().render_gantt(64)
+    );
+    let energy = run.energy();
+    println!(
+        "makespan {:.2} ms | energy {:.2} mJ (compute {:.2}, transfer {:.2}, leakage {:.2})",
+        run.makespan_s() * 1e3,
+        energy.total_j() * 1e3,
+        energy.compute_j() * 1e3,
+        energy.transfer_j() * 1e3,
+        energy.leakage_j() * 1e3,
+    );
+
+    // 4. Measured host time vs modeled PE time, stage by stage.
+    println!("\nper-rung encode: measured on this host vs modeled on one 200 MHz PE:");
+    let pe = platform.pe(PeId(0));
+    for (i, stage) in spec.rungs.iter().enumerate() {
+        let t0 = Instant::now();
+        let build = encode_rung(&frames, &config, i).expect("rung encodes");
+        let host_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let modeled_ms = pe.seconds_for(&stage.tally.op_counts()) * 1e3;
+        println!(
+            "  {:<10} host {host_ms:>6.1} ms | modeled {modeled_ms:>8.1} ms | {} wire bytes",
+            stage.name,
+            build.wires.iter().map(Vec::len).sum::<usize>(),
+        );
+    }
+}

@@ -1,4 +1,4 @@
-//! Workspace smoke test: all seven `examples/` targets build, and the
+//! Workspace smoke test: all eight `examples/` targets build, and the
 //! `quickstart` example runs to successful exit.
 //!
 //! Driven through the same `cargo` that is running the test suite, in

@@ -427,6 +427,7 @@ proptest! {
                 rungs,
             },
             segments,
+            rung_costs: vec![mmstream::RungCost::default(); n_rungs],
         };
         let mut origin = mmstream::LiveOrigin::new(
             wheel,
@@ -813,5 +814,51 @@ proptest! {
         let mut got = vec![0u8; bs * bs];
         plane.block_into(x, y, bs, &mut got);
         prop_assert_eq!(got, plane.block_at(x, y, bs));
+    }
+
+    /// The parallel head-end is deterministic: for ANY worker count and
+    /// ANY completion interleaving (a seeded busy-delay per shard
+    /// scrambles which rung or curve point finishes first), the pooled
+    /// ladder encode and the pooled capacity curve merge bit-identical
+    /// to their sequential drivers.
+    #[test]
+    fn pooled_headend_merge_is_deterministic(workers in 1usize..9, seed in any::<u64>()) {
+        let frames = video::synth::SequenceGen::new(41).panning_sequence(48, 32, 8, 1, 1);
+        let cfg = mmstream::ladder::LadderConfig {
+            targets_bits_per_frame: vec![2_000.0, 9_000.0],
+            gop: 4,
+            ..Default::default()
+        };
+        let sequential = mmstream::encode_ladder("prop", &frames, &cfg).unwrap();
+        let pool = mmpool::WorkerPool::new(workers);
+
+        // Scrambled per-rung work units reassemble the exact ladder.
+        let rungs: Vec<usize> = (0..cfg.targets_bits_per_frame.len()).collect();
+        let builds = pool.map(&rungs, |&ri| {
+            let spins = (seed ^ (ri as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)) % 30_000;
+            let mut acc = seed;
+            for k in 0..spins {
+                acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(k);
+            }
+            std::hint::black_box(acc);
+            mmstream::encode_rung(&frames, &cfg, ri).unwrap()
+        });
+        for (ri, build) in builds.iter().enumerate() {
+            prop_assert_eq!(&build.rung, &sequential.manifest.rungs[ri]);
+            prop_assert_eq!(&build.wires, &sequential.segments[ri]);
+            prop_assert_eq!(build.cost, sequential.rung_costs[ri]);
+        }
+        // And the undelayed pooled driver agrees wholesale.
+        let pooled = mmstream::encode_ladder_on(&pool, "prop", &frames, &cfg).unwrap();
+        prop_assert_eq!(&pooled, &sequential);
+
+        // The pooled capacity curve equals the sequential scan.
+        let server = mmstream::ServerConfig::default();
+        let base = mmstream::LoadConfig::default();
+        let counts = [40usize, 80];
+        prop_assert_eq!(
+            mmstream::capacity_curve_on(&pool, &sequential.manifest, &server, &counts, &base),
+            mmstream::capacity_curve(&sequential.manifest, &server, &counts, &base)
+        );
     }
 }
