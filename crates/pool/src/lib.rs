@@ -44,14 +44,27 @@
 //! Scopes may be entered from any thread, including concurrently from
 //! several threads, but a *job running on the pool* must not open a new
 //! scope on the same pool: with every worker blocked in a nested join
-//! there may be nobody left to run the nested jobs. Fan out once, at
-//! the call site.
+//! there may be nobody left to run the nested jobs. This is enforced —
+//! worker threads carry a thread-local pool identity, and entering
+//! [`WorkerPool::scope`] from a job on the same pool panics instead of
+//! deadlocking silently. Fan out once, at the call site. (Scoping onto
+//! a *different* pool from a worker is allowed.)
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+thread_local! {
+    /// Identity (address of the `Shared` allocation) of the pool this
+    /// thread is a worker of; 0 on every non-worker thread. Lets
+    /// [`WorkerPool::scope`] turn the nested-scope deadlock (a pool
+    /// job joining a scope on its own pool, with every worker blocked
+    /// in that join) into an immediate panic.
+    static WORKER_OF: Cell<usize> = const { Cell::new(0) };
+}
 
 /// A queued unit of work. Jobs are lifetime-erased closures; the scope
 /// that spawned one guarantees (by joining before it returns) that the
@@ -165,11 +178,22 @@ impl WorkerPool {
     /// # Panics
     ///
     /// Re-raises a panic from `f` itself, or panics if any spawned job
-    /// panicked (after all jobs have drained, in both cases).
+    /// panicked (after all jobs have drained, in both cases). Also
+    /// panics immediately when called from a job running on this same
+    /// pool: the nested join could block every worker with nobody left
+    /// to run the nested jobs, so the silent deadlock is rejected up
+    /// front. Scoping onto a *different* pool is fine.
     pub fn scope<'env, F, T>(&'env self, f: F) -> T
     where
         F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> T,
     {
+        let pool_id = Arc::as_ptr(&self.shared) as usize;
+        assert!(
+            WORKER_OF.get() != pool_id,
+            "mmpool: scope() entered from a job running on the same pool — \
+             the nested join can deadlock with every worker blocked; \
+             fan out once, at the call site"
+        );
         let state = Arc::new(ScopeState::new());
         let scope = Scope {
             pool: self,
@@ -228,8 +252,25 @@ impl WorkerPool {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Release);
-        self.shared.work_ready.notify_all();
+        // Set shutdown and notify *while holding the queue mutex*. A
+        // worker transitioning from spin to park checks `shutdown`
+        // under this lock right before `work_ready.wait`; storing the
+        // flag without the lock could land in that window — the worker
+        // has already seen `false`, the notification fires before it
+        // waits, and it parks forever (and `join` below hangs with
+        // it). Holding the lock serialises against that check: the
+        // worker either still holds the lock (our store waits until it
+        // does `wait`, which releases it, so `notify_all` reaches it)
+        // or is already parked (the notification wakes it).
+        {
+            let _queue = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            self.shared.shutdown.store(true, Ordering::Release);
+            self.shared.work_ready.notify_all();
+        }
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -296,6 +337,7 @@ impl<'scope, 'env> core::fmt::Debug for Scope<'scope, 'env> {
 
 /// The worker body: spin briefly for bursty work, then park.
 fn worker_loop(shared: &Shared) {
+    WORKER_OF.set(shared as *const Shared as usize);
     loop {
         // Fast path: bounded spin on try_lock.
         let mut spun = 0;
@@ -438,5 +480,47 @@ mod tests {
     fn debug_formats() {
         let pool = WorkerPool::new(2);
         assert!(format!("{pool:?}").contains("workers"));
+    }
+
+    #[test]
+    fn drop_right_after_work_does_not_hang() {
+        // Hammers the shutdown path in the exact window the lost-wakeup
+        // race lived in: a map just completed, so workers are mid
+        // spin-to-park transition when the pool is dropped. Without
+        // Drop taking the queue lock around the shutdown store, a
+        // worker could check shutdown, miss the notification, and park
+        // forever — hanging this test on join.
+        for round in 0..200 {
+            let pool = WorkerPool::new(4);
+            let got = pool.map(&[round], |&r: &usize| r + 1);
+            assert_eq!(got, vec![round + 1]);
+            drop(pool);
+        }
+    }
+
+    #[test]
+    fn nested_scope_on_same_pool_panics_instead_of_deadlocking() {
+        let pool = WorkerPool::new(2);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                let p = &pool;
+                s.spawn(move || {
+                    // Would deadlock with every worker blocked in the
+                    // nested join; must panic instead.
+                    p.scope(|_| {});
+                });
+            });
+        }));
+        assert!(outcome.is_err(), "nested same-pool scope must be rejected");
+        // The worker caught the panic and keeps serving.
+        assert_eq!(pool.map(&[1, 2], |&x: &i32| x * 3), vec![3, 6]);
+    }
+
+    #[test]
+    fn scope_on_a_different_pool_from_a_worker_is_allowed() {
+        let outer = WorkerPool::new(2);
+        let inner = WorkerPool::new(2);
+        let got = outer.map(&[1u64, 2, 3], |&x| inner.map(&[x], |&y| y * 2)[0]);
+        assert_eq!(got, vec![2, 4, 6]);
     }
 }
