@@ -8,8 +8,8 @@
 
 use std::collections::BTreeMap;
 
-use crate::link::LinkConfig;
-use crate::tcplite::{transfer, TcpConfig, TcpError};
+use crate::link::{LinkConfig, LinkTrace};
+use crate::tcplite::{transfer_with, TcpConfig, TcpError};
 
 /// An in-memory content server.
 #[derive(Debug, Clone, Default)]
@@ -155,13 +155,40 @@ pub fn fetch(
     link: LinkConfig,
     seed: u64,
 ) -> Result<FetchReport, FetchError> {
+    fetch_traced(server, name, tcp, link, None, 0, seed)
+}
+
+/// [`fetch`] over a link optionally driven by a bandwidth/loss trace.
+/// `start_tick` is the absolute session tick at which the fetch begins:
+/// the request leg walks the schedule from there, and the response leg
+/// continues from wherever the request leg finished.
+///
+/// # Errors
+///
+/// As [`fetch`].
+pub fn fetch_traced(
+    server: &ContentServer,
+    name: &str,
+    tcp: TcpConfig,
+    link: LinkConfig,
+    trace: Option<&LinkTrace>,
+    start_tick: u64,
+    seed: u64,
+) -> Result<FetchReport, FetchError> {
     // Request leg.
     let request = format!("GET {name}");
-    let req_report = transfer(request.as_bytes(), tcp, link, seed)?;
+    let req_report = transfer_with(request.as_bytes(), tcp, link, trace, start_tick, seed)?;
     let request_line = String::from_utf8_lossy(&req_report.data).to_string();
     // Server handles the request, response leg carries the body.
     let response = server.respond(&request_line);
-    let resp_report = transfer(&response, tcp, link, seed ^ 0x5A5A)?;
+    let resp_report = transfer_with(
+        &response,
+        tcp,
+        link,
+        trace,
+        start_tick + req_report.ticks,
+        seed ^ 0x5A5A,
+    )?;
     let body = resp_report.data;
     if let Some(rest) = body.strip_prefix(b"OK ".as_slice()) {
         if rest.len() < 4 {
@@ -252,6 +279,42 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r.data, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn traced_fetch_is_exact_and_phase_dependent() {
+        let s = server();
+        let trace = LinkTrace::mobile_handoff();
+        // Starting in the strong cell vs inside the handoff gap: both
+        // exact, the gap start slower.
+        let strong = fetch_traced(
+            &s,
+            "song.mp3",
+            TcpConfig::default(),
+            LinkConfig::default(),
+            Some(&trace),
+            0,
+            6,
+        )
+        .unwrap();
+        let gap = fetch_traced(
+            &s,
+            "song.mp3",
+            TcpConfig::default(),
+            LinkConfig::default(),
+            Some(&trace),
+            2_000 + 800,
+            6,
+        )
+        .unwrap();
+        assert_eq!(strong.data, vec![7u8; 5000]);
+        assert_eq!(gap.data, vec![7u8; 5000]);
+        assert!(
+            gap.ticks > strong.ticks,
+            "a fetch through the handoff gap ({}) must cost more than the strong cell ({})",
+            gap.ticks,
+            strong.ticks
+        );
     }
 
     #[test]

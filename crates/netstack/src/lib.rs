@@ -5,12 +5,14 @@
 //! content access or DRM. This crate is such a stack, simulated end to
 //! end:
 //!
-//! * [`link`] — deterministic lossy/latency point-to-point link.
+//! * [`link`] — deterministic lossy/latency point-to-point link, with a
+//!   bounded drop-tail queue (bufferbloat knob), Gilbert–Elliott bursty
+//!   loss, and piecewise bandwidth/loss traces.
 //! * [`packet`] — IP-style packets with checksums, fragmentation, and
 //!   reassembly.
 //! * [`udp`] — best-effort datagrams (the baseline of experiment E14).
-//! * [`tcplite`] — reliable streams: windowed, cumulative-ACK,
-//!   timeout-retransmitting.
+//! * [`tcplite`] — reliable streams: cumulative-ACK, adaptive-RTO,
+//!   congestion-controlled (fixed window, AIMD, or CUBIC-flavored).
 //! * [`fetch`] — named-object content access over TCP-lite (the DRM
 //!   license path of the integration tests).
 //!
@@ -33,7 +35,7 @@ pub mod packet;
 pub mod tcplite;
 pub mod udp;
 
-pub use fetch::{fetch, ContentServer, FetchError};
-pub use link::{Link, LinkConfig};
+pub use fetch::{fetch, fetch_traced, ContentServer, FetchError};
+pub use link::{Link, LinkConfig, LinkTrace, LossModel, TracePhase};
 pub use packet::{Addr, Packet, Protocol};
-pub use tcplite::{transfer, TcpConfig, TcpError, TransferReport};
+pub use tcplite::{transfer, CongestionControl, TcpConfig, TcpError, TransferReport};

@@ -1,23 +1,86 @@
 //! TCP-lite: a reliable stream over the lossy link.
 //!
-//! Sequence-numbered segments, cumulative ACKs, a fixed sender window,
-//! and timeout retransmission — the minimum machinery that turns the
-//! lossy link into the reliable channel content download and DRM
-//! transactions (§7) require. Deliberately not TCP-conformant: no
-//! handshake, no congestion control beyond the fixed window (DESIGN.md
-//! §5).
+//! Sequence-numbered segments, cumulative ACKs, timeout retransmission,
+//! and — since PR 10 — real congestion control: the machinery that turns
+//! the lossy link into the reliable channel content download and DRM
+//! transactions (§7) require, with a window honest enough to benchmark
+//! ABR controllers against. Three sender modes
+//! ([`CongestionControl`]):
+//!
+//! - `Fixed(w)` — the original fixed window, **bit-identical** to the
+//!   pre-congestion-control engine (equality-pinned against an in-tree
+//!   oracle copy);
+//! - `Aimd` — Reno-style slow start / congestion avoidance /
+//!   multiplicative decrease with fast retransmit on triple duplicate
+//!   ACKs;
+//! - `Cubic` — CUBIC-flavored window growth (β = 0.7, cubic recovery
+//!   toward the pre-loss window).
+//!
+//! Adaptive modes estimate the RTO from SRTT/RTTVAR (RFC 6298 flavor)
+//! under Karn's rule — no samples from retransmitted segments, samples
+//! measured from transmit-complete (not offer) time — with exponential
+//! backoff per retransmission. The retransmission timer itself starts at
+//! the tick a frame finishes serializing ([`Link::send`]'s return
+//! value): stamping at offer time made the tail of a window burst time
+//! out while still queued behind `tx_free_at`, spawning spurious
+//! retransmits that re-queued and compounded (the PR 10 storm bugfix).
+//! Deliberately still not TCP-conformant: no handshake, no SACK
+//! (DESIGN.md §5).
 
-use crate::link::{Link, LinkConfig};
+use crate::link::{Link, LinkConfig, LinkTrace};
 use crate::packet::{Addr, Packet, Protocol};
+
+/// Sender window policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CongestionControl {
+    /// A fixed window of this many segments — the pre-PR-10 transport,
+    /// pinned bit-identical to the original engine.
+    Fixed(usize),
+    /// Reno-style AIMD: slow start to `ssthresh`, additive increase
+    /// past it, halve on loss, window capped at `max_window` segments.
+    Aimd {
+        /// Hard cap on the congestion window, in segments.
+        max_window: usize,
+    },
+    /// CUBIC-flavored growth: concave recovery toward the pre-loss
+    /// window `w_max`, then convex probing beyond it.
+    Cubic {
+        /// Hard cap on the congestion window, in segments.
+        max_window: usize,
+    },
+}
+
+impl CongestionControl {
+    /// Reno-style AIMD with the default 256-segment cap.
+    #[must_use]
+    pub fn aimd() -> Self {
+        Self::Aimd { max_window: 256 }
+    }
+
+    /// CUBIC-flavored growth with the default 256-segment cap.
+    #[must_use]
+    pub fn cubic() -> Self {
+        Self::Cubic { max_window: 256 }
+    }
+}
+
+impl Default for CongestionControl {
+    /// The original fixed window of 8 segments.
+    fn default() -> Self {
+        Self::Fixed(8)
+    }
+}
 
 /// Transport configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TcpConfig {
     /// Segment payload size in bytes.
     pub mss: usize,
-    /// Sender window in segments.
-    pub window: usize,
-    /// Retransmission timeout in ticks.
+    /// Sender window policy (fixed window or congestion control).
+    pub cc: CongestionControl,
+    /// Retransmission timeout in ticks: the fixed RTO in
+    /// [`CongestionControl::Fixed`] mode, the initial RTO (before any
+    /// RTT sample) in the adaptive modes.
     pub rto_ticks: u64,
     /// Give up after this many ticks.
     pub deadline_ticks: u64,
@@ -29,12 +92,13 @@ pub struct TcpConfig {
 }
 
 impl Default for TcpConfig {
-    /// MSS 512, window 8, RTO 200 ticks, deadline 2,000,000 ticks, 32
-    /// retransmits per segment before declaring the connection dead.
+    /// MSS 512, fixed window 8, RTO 200 ticks, deadline 2,000,000
+    /// ticks, 32 retransmits per segment before declaring the
+    /// connection dead.
     fn default() -> Self {
         Self {
             mss: 512,
-            window: 8,
+            cc: CongestionControl::default(),
             rto_ticks: 200,
             deadline_ticks: 2_000_000,
             max_retransmits: 32,
@@ -78,8 +142,206 @@ pub struct TransferReport {
     pub segments_sent: u64,
     /// Retransmitted segments.
     pub retransmissions: u64,
+    /// Retransmissions triggered by triple duplicate ACKs (adaptive
+    /// modes only) rather than an RTO.
+    pub fast_retransmits: u64,
+    /// Arrived data segments rejected by the receive-path validator
+    /// (non-mss-aligned `seq` or wrong payload length).
+    pub malformed_segments: u64,
     /// Goodput in bytes per tick.
     pub goodput: f64,
+}
+
+/// Floor on the adaptive RTO, so a converged (low-variance) estimator
+/// cannot collapse onto the RTT itself and fire spuriously on the first
+/// tick of jitter.
+const MIN_RTO: u64 = 16;
+/// Cap on the exponential RTO backoff shift (2^6 = 64x).
+const RTO_BACKOFF_MAX_SHIFT: u32 = 6;
+/// CUBIC multiplicative-decrease factor.
+const CUBIC_BETA: f64 = 0.7;
+/// CUBIC growth constant.
+const CUBIC_C: f64 = 0.4;
+
+/// Congestion-window and RTT-estimator state.
+struct CwndState {
+    cc: CongestionControl,
+    cwnd: f64,
+    ssthresh: f64,
+    /// CUBIC: window at the last loss event.
+    w_max: f64,
+    /// CUBIC: start of the current growth epoch.
+    epoch_start: Option<u64>,
+    srtt: Option<f64>,
+    rttvar: f64,
+    /// Last tick a loss reaction was applied — one multiplicative
+    /// decrease per RTO-ish window, not one per retransmitted segment.
+    last_loss_reaction: Option<u64>,
+}
+
+impl CwndState {
+    fn new(cc: CongestionControl) -> Self {
+        Self {
+            cc,
+            cwnd: 2.0,
+            ssthresh: f64::INFINITY,
+            w_max: 0.0,
+            epoch_start: None,
+            srtt: None,
+            rttvar: 0.0,
+            last_loss_reaction: None,
+        }
+    }
+
+    fn adaptive(&self) -> bool {
+        !matches!(self.cc, CongestionControl::Fixed(_))
+    }
+
+    fn max_window(&self) -> usize {
+        match self.cc {
+            CongestionControl::Fixed(w) => w,
+            CongestionControl::Aimd { max_window } | CongestionControl::Cubic { max_window } => {
+                max_window.max(1)
+            }
+        }
+    }
+
+    /// The sender window, in segments, for this tick.
+    fn window(&self) -> usize {
+        match self.cc {
+            CongestionControl::Fixed(w) => w,
+            CongestionControl::Aimd { .. } | CongestionControl::Cubic { .. } => {
+                (self.cwnd.floor() as usize).clamp(1, self.max_window())
+            }
+        }
+    }
+
+    /// Folds one RTT sample (RFC 6298 weights). Callers enforce Karn's
+    /// rule: never sampled from a retransmitted segment.
+    fn on_rtt_sample(&mut self, sample: f64) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(sample);
+                self.rttvar = sample / 2.0;
+            }
+            Some(s) => {
+                self.rttvar = 0.75 * self.rttvar + 0.25 * (s - sample).abs();
+                self.srtt = Some(0.875 * s + 0.125 * sample);
+            }
+        }
+    }
+
+    /// The un-backed-off RTO: fixed in `Fixed` mode, estimated from
+    /// SRTT/RTTVAR once a sample exists. The `srtt / 2` floor keeps the
+    /// timer at least 1.5x the smoothed RTT even when the variance has
+    /// converged to zero.
+    fn base_rto(&self, config: &TcpConfig) -> u64 {
+        if !self.adaptive() {
+            return config.rto_ticks;
+        }
+        match self.srtt {
+            None => config.rto_ticks,
+            Some(s) => {
+                let margin = (4.0 * self.rttvar).max(s / 2.0).max(1.0);
+                let rto = (s + margin).ceil() as u64;
+                rto.clamp(MIN_RTO, config.rto_ticks.max(MIN_RTO).saturating_mul(64))
+            }
+        }
+    }
+
+    /// The RTO for a segment already retransmitted `retransmit_count`
+    /// times: exponential backoff in adaptive modes, flat in `Fixed`.
+    fn rto_for(&self, config: &TcpConfig, retransmit_count: u32) -> u64 {
+        let base = self.base_rto(config);
+        if !self.adaptive() {
+            return base;
+        }
+        base.saturating_mul(1 << retransmit_count.min(RTO_BACKOFF_MAX_SHIFT))
+    }
+
+    /// Window growth on `newly` cumulatively acknowledged segments.
+    fn on_new_ack(&mut self, newly: usize, now: u64) {
+        let newly = newly as f64;
+        match self.cc {
+            CongestionControl::Fixed(_) => {}
+            CongestionControl::Aimd { .. } => {
+                if self.cwnd < self.ssthresh {
+                    self.cwnd += newly;
+                } else {
+                    self.cwnd += newly / self.cwnd.max(1.0);
+                }
+            }
+            CongestionControl::Cubic { .. } => {
+                if self.cwnd < self.ssthresh {
+                    self.cwnd += newly;
+                } else {
+                    let epoch = *self.epoch_start.get_or_insert(now);
+                    let rtt_unit = self.srtt.unwrap_or(MIN_RTO as f64).max(1.0);
+                    let t = (now - epoch) as f64 / rtt_unit;
+                    let k = (self.w_max * (1.0 - CUBIC_BETA) / CUBIC_C).cbrt();
+                    let target = CUBIC_C * (t - k).powi(3) + self.w_max;
+                    if target > self.cwnd {
+                        self.cwnd += (target - self.cwnd).min(newly);
+                    } else {
+                        // Below target (deep in the concave region):
+                        // probe gently.
+                        self.cwnd += 0.01 * newly;
+                    }
+                }
+            }
+        }
+        self.cwnd = self.cwnd.min(self.max_window() as f64);
+    }
+
+    /// At most one multiplicative decrease per RTO-ish window, so a
+    /// burst of same-event retransmissions does not collapse `ssthresh`
+    /// to the floor.
+    fn loss_reaction_due(&mut self, now: u64, config: &TcpConfig) -> bool {
+        let window = self.base_rto(config);
+        let due = match self.last_loss_reaction {
+            Some(t) => now >= t.saturating_add(window),
+            None => true,
+        };
+        if due {
+            self.last_loss_reaction = Some(now);
+        }
+        due
+    }
+
+    /// Reaction to an RTO loss: back to slow start.
+    fn on_rto_loss(&mut self) {
+        match self.cc {
+            CongestionControl::Fixed(_) => {}
+            CongestionControl::Aimd { .. } => {
+                self.ssthresh = (self.cwnd / 2.0).max(2.0);
+                self.cwnd = 1.0;
+            }
+            CongestionControl::Cubic { .. } => {
+                self.w_max = self.cwnd.max(2.0);
+                self.ssthresh = (self.cwnd * CUBIC_BETA).max(2.0);
+                self.cwnd = 1.0;
+                self.epoch_start = None;
+            }
+        }
+    }
+
+    /// Reaction to a fast retransmit: multiplicative decrease without
+    /// draining to one segment.
+    fn on_fast_retransmit(&mut self) {
+        match self.cc {
+            CongestionControl::Fixed(_) => {}
+            CongestionControl::Aimd { .. } => {
+                self.ssthresh = (self.cwnd / 2.0).max(2.0);
+                self.cwnd = self.ssthresh;
+            }
+            CongestionControl::Cubic { .. } => {
+                self.w_max = self.cwnd.max(2.0);
+                self.cwnd = (self.cwnd * CUBIC_BETA).max(2.0);
+                self.ssthresh = self.cwnd;
+                self.epoch_start = None;
+            }
+        }
+    }
 }
 
 /// Segment header layout inside the IP payload: seq (4), ack (4),
@@ -110,17 +372,74 @@ fn decode_segment(bytes: &[u8]) -> Option<(u32, u32, bool, &[u8])> {
 ///
 /// Returns [`TcpError`] on empty input, deadline expiry, or a segment
 /// exhausting its retransmit budget (a dead connection).
+///
+/// # Panics
+///
+/// Panics if `config.mss` is zero.
 pub fn transfer(
     data: &[u8],
     config: TcpConfig,
     link_config: LinkConfig,
     seed: u64,
 ) -> Result<TransferReport, TcpError> {
+    transfer_with(data, config, link_config, None, 0, seed)
+}
+
+/// [`transfer`] over links optionally driven by a bandwidth/loss trace,
+/// evaluated from `trace_offset` (the absolute session tick at which
+/// this transfer starts) so back-to-back fetches walk the schedule.
+///
+/// # Errors
+///
+/// As [`transfer`].
+///
+/// # Panics
+///
+/// Panics if `config.mss` is zero.
+pub fn transfer_with(
+    data: &[u8],
+    config: TcpConfig,
+    link_config: LinkConfig,
+    trace: Option<&LinkTrace>,
+    trace_offset: u64,
+    seed: u64,
+) -> Result<TransferReport, TcpError> {
+    let mut data_link = match trace {
+        Some(t) => Link::traced(link_config, t.clone(), trace_offset, seed),
+        None => Link::new(link_config, seed),
+    };
+    let mut ack_link = match trace {
+        Some(t) => Link::traced(link_config, t.clone(), trace_offset, seed ^ 0xDEAD_BEEF),
+        None => Link::new(link_config, seed ^ 0xDEAD_BEEF),
+    };
+    transfer_over(data, config, &mut data_link, &mut ack_link)
+}
+
+/// The transfer engine over caller-supplied links — the injectable
+/// entry: tests pre-load malformed frames, benchmarks pass traced or
+/// queue-bounded links, and the wrappers above stay thin.
+///
+/// Within each tick the sender first processes that tick's arrived
+/// ACKs, then retransmits: a cumulative ACK landing exactly on an RTO
+/// boundary cancels the retransmission it just made moot.
+///
+/// # Errors
+///
+/// As [`transfer`].
+///
+/// # Panics
+///
+/// Panics if `config.mss` is zero.
+pub fn transfer_over(
+    data: &[u8],
+    config: TcpConfig,
+    data_link: &mut Link,
+    ack_link: &mut Link,
+) -> Result<TransferReport, TcpError> {
+    assert!(config.mss > 0, "mss must be non-zero");
     if data.is_empty() {
         return Err(TcpError::Empty);
     }
-    let mut data_link = Link::new(link_config, seed);
-    let mut ack_link = Link::new(link_config, seed ^ 0xDEAD_BEEF);
     let src = Addr(1);
     let dst = Addr(2);
 
@@ -131,10 +450,14 @@ pub fn transfer(
     let mut retransmit_counts: Vec<u32> = vec![0; n_segments];
     let mut segments_sent = 0u64;
     let mut retransmissions = 0u64;
+    let mut fast_retransmits = 0u64;
+    let mut dup_acks = 0u32;
+    let mut cwnd = CwndState::new(config.cc);
 
     // Receiver state.
     let mut received: Vec<Option<Vec<u8>>> = vec![None; n_segments];
     let mut next_expected = 0usize;
+    let mut malformed_segments = 0u64;
 
     let mut now = 0u64;
     // The IP-layer datagram id is a 16-bit counter that wraps every
@@ -143,50 +466,100 @@ pub fn transfer(
     // the byte `seq`/`ack` fields inside the segment header, never on
     // `Packet::id` (pinned by `transfer_crosses_the_packet_id_boundary`).
     let mut packet_id = 0u16;
-    while acked < n_segments {
+    loop {
+        // Sender: process this tick's ACKs before any (re)transmission.
+        for wire in ack_link.deliver(now) {
+            let Ok(packet) = Packet::decode(&wire) else {
+                continue;
+            };
+            let Some((_, ack, is_ack, _)) = decode_segment(&packet.payload) else {
+                continue;
+            };
+            if !is_ack {
+                continue;
+            }
+            let ack_segs = (ack as usize) / config.mss;
+            if ack_segs > acked {
+                // Karn's rule: RTT samples only from segments never
+                // retransmitted, clocked from transmit-complete time.
+                if cwnd.adaptive() {
+                    for s in acked..ack_segs.min(n_segments) {
+                        if retransmit_counts[s] == 0 {
+                            if let Some(t) = send_times[s] {
+                                cwnd.on_rtt_sample(now.saturating_sub(t).max(1) as f64);
+                            }
+                        }
+                    }
+                }
+                cwnd.on_new_ack(ack_segs - acked, now);
+                acked = ack_segs;
+                dup_acks = 0;
+            } else if ack_segs == acked {
+                dup_acks += 1;
+            }
+        }
+        if acked >= n_segments {
+            break;
+        }
         if now > config.deadline_ticks {
             return Err(TcpError::Timeout);
         }
+        // Fast retransmit: three duplicate ACKs mean the segment at
+        // `acked` is lost but the pipe is alive (adaptive modes only).
+        if cwnd.adaptive() && dup_acks >= 3 && acked < n_segments {
+            let s = acked;
+            if retransmit_counts[s] >= config.max_retransmits {
+                return Err(TcpError::ConnectionTimedOut);
+            }
+            retransmit_counts[s] += 1;
+            retransmissions += 1;
+            fast_retransmits += 1;
+            segments_sent += 1;
+            send_times[s] = Some(send_data_segment(
+                data,
+                &config,
+                s,
+                &mut packet_id,
+                data_link,
+                now,
+            ));
+            if cwnd.loss_reaction_due(now, &config) {
+                cwnd.on_fast_retransmit();
+            }
+            dup_acks = 0;
+        }
         // Sender: (re)transmit anything in the window that is unsent or
-        // timed out.
-        let window_end = (acked + config.window).min(n_segments);
-        for (s, slot) in send_times
-            .iter_mut()
-            .enumerate()
-            .take(window_end)
-            .skip(acked)
-        {
-            let due = match *slot {
+        // timed out. The timer runs from transmit-complete time — a
+        // frame still queued behind `tx_free_at` has not been sent yet,
+        // so it cannot spuriously time out (the PR 10 storm bugfix).
+        let window_end = (acked + cwnd.window()).min(n_segments);
+        for s in acked..window_end {
+            let due = match send_times[s] {
                 None => true,
-                Some(t) => now >= t + config.rto_ticks,
+                Some(t) => now >= t + cwnd.rto_for(&config, retransmit_counts[s]),
             };
             if due {
-                if slot.is_some() {
+                if send_times[s].is_some() {
                     if retransmit_counts[s] >= config.max_retransmits {
                         return Err(TcpError::ConnectionTimedOut);
                     }
                     retransmit_counts[s] += 1;
                     retransmissions += 1;
+                    if cwnd.adaptive() && cwnd.loss_reaction_due(now, &config) {
+                        cwnd.on_rto_loss();
+                    }
                 }
-                *slot = Some(now);
                 segments_sent += 1;
-                let lo = s * config.mss;
-                let hi = (lo + config.mss).min(data.len());
-                let seg = encode_segment((s * config.mss) as u32, 0, false, &data[lo..hi]);
-                let packet = Packet {
-                    src,
-                    dst,
-                    protocol: Protocol::Tcp,
-                    id: packet_id,
-                    frag_offset: 0,
-                    more_fragments: false,
-                    payload: seg,
-                };
-                packet_id = packet_id.wrapping_add(1);
-                data_link.send(packet.encode(), now);
+                send_times[s] = Some(send_data_segment(
+                    data,
+                    &config,
+                    s,
+                    &mut packet_id,
+                    data_link,
+                    now,
+                ));
             }
         }
-        // Advance time to the next interesting moment.
         now += 1;
         // Receiver: take arrived data segments, ACK cumulatively. Only
         // the byte `seq` identifies a segment — the packet's wrapped
@@ -201,8 +574,19 @@ pub fn transfer(
             if is_ack {
                 continue;
             }
-            let s = seq as usize / config.mss;
-            if s < n_segments && received[s].is_none() {
+            // Hardening: validate mss-alignment and exact payload
+            // length before slotting `seq / mss` — a malformed segment
+            // is counted and ignored, never mis-slotted.
+            let seq = seq as usize;
+            let s = seq / config.mss;
+            let valid = seq % config.mss == 0
+                && s < n_segments
+                && payload.len() == config.mss.min(data.len() - s * config.mss);
+            if !valid {
+                malformed_segments += 1;
+                continue;
+            }
+            if received[s].is_none() {
                 received[s] = Some(payload.to_vec());
             }
             while next_expected < n_segments && received[next_expected].is_some() {
@@ -222,22 +606,6 @@ pub fn transfer(
             packet_id = packet_id.wrapping_add(1);
             ack_link.send(ack_packet.encode(), now);
         }
-        // Sender: process ACKs.
-        for wire in ack_link.deliver(now) {
-            let Ok(packet) = Packet::decode(&wire) else {
-                continue;
-            };
-            let Some((_, ack, is_ack, _)) = decode_segment(&packet.payload) else {
-                continue;
-            };
-            if !is_ack {
-                continue;
-            }
-            let ack_segs = (ack as usize) / config.mss;
-            if ack_segs > acked {
-                acked = ack_segs;
-            }
-        }
     }
 
     let mut out = Vec::with_capacity(data.len());
@@ -251,7 +619,177 @@ pub fn transfer(
         ticks: now,
         segments_sent,
         retransmissions,
+        fast_retransmits,
+        malformed_segments,
     })
+}
+
+/// Encodes and offers segment `s` to the data link, returning its
+/// transmit-complete tick.
+fn send_data_segment(
+    data: &[u8],
+    config: &TcpConfig,
+    s: usize,
+    packet_id: &mut u16,
+    data_link: &mut Link,
+    now: u64,
+) -> u64 {
+    let lo = s * config.mss;
+    let hi = (lo + config.mss).min(data.len());
+    let seg = encode_segment((s * config.mss) as u32, 0, false, &data[lo..hi]);
+    let packet = Packet {
+        src: Addr(1),
+        dst: Addr(2),
+        protocol: Protocol::Tcp,
+        id: *packet_id,
+        frag_offset: 0,
+        more_fragments: false,
+        payload: seg,
+    };
+    *packet_id = packet_id.wrapping_add(1);
+    data_link.send(packet.encode(), now)
+}
+
+/// The pre-PR-10 transfer engine, kept verbatim as the equality oracle
+/// for `CongestionControl::Fixed`: offer-time timer stamping, send
+/// phase before ACK processing, no receive-path validation. Test-only.
+#[cfg(test)]
+pub(crate) mod oracle {
+    use super::{decode_segment, encode_segment, TcpConfig, TcpError, TransferReport};
+    use crate::link::{Link, LinkConfig};
+    use crate::packet::{Addr, Packet, Protocol};
+
+    pub(crate) fn transfer(
+        data: &[u8],
+        config: TcpConfig,
+        window: usize,
+        link_config: LinkConfig,
+        seed: u64,
+    ) -> Result<TransferReport, TcpError> {
+        if data.is_empty() {
+            return Err(TcpError::Empty);
+        }
+        let mut data_link = Link::new(link_config, seed);
+        let mut ack_link = Link::new(link_config, seed ^ 0xDEAD_BEEF);
+        let src = Addr(1);
+        let dst = Addr(2);
+
+        let n_segments = data.len().div_ceil(config.mss);
+        let mut acked = 0usize;
+        let mut send_times: Vec<Option<u64>> = vec![None; n_segments];
+        let mut retransmit_counts: Vec<u32> = vec![0; n_segments];
+        let mut segments_sent = 0u64;
+        let mut retransmissions = 0u64;
+
+        let mut received: Vec<Option<Vec<u8>>> = vec![None; n_segments];
+        let mut next_expected = 0usize;
+
+        let mut now = 0u64;
+        let mut packet_id = 0u16;
+        while acked < n_segments {
+            if now > config.deadline_ticks {
+                return Err(TcpError::Timeout);
+            }
+            let window_end = (acked + window).min(n_segments);
+            for (s, slot) in send_times
+                .iter_mut()
+                .enumerate()
+                .take(window_end)
+                .skip(acked)
+            {
+                let due = match *slot {
+                    None => true,
+                    Some(t) => now >= t + config.rto_ticks,
+                };
+                if due {
+                    if slot.is_some() {
+                        if retransmit_counts[s] >= config.max_retransmits {
+                            return Err(TcpError::ConnectionTimedOut);
+                        }
+                        retransmit_counts[s] += 1;
+                        retransmissions += 1;
+                    }
+                    *slot = Some(now);
+                    segments_sent += 1;
+                    let lo = s * config.mss;
+                    let hi = (lo + config.mss).min(data.len());
+                    let seg = encode_segment((s * config.mss) as u32, 0, false, &data[lo..hi]);
+                    let packet = Packet {
+                        src,
+                        dst,
+                        protocol: Protocol::Tcp,
+                        id: packet_id,
+                        frag_offset: 0,
+                        more_fragments: false,
+                        payload: seg,
+                    };
+                    packet_id = packet_id.wrapping_add(1);
+                    data_link.send(packet.encode(), now);
+                }
+            }
+            now += 1;
+            for wire in data_link.deliver(now) {
+                let Ok(packet) = Packet::decode(&wire) else {
+                    continue;
+                };
+                let Some((seq, _, is_ack, payload)) = decode_segment(&packet.payload) else {
+                    continue;
+                };
+                if is_ack {
+                    continue;
+                }
+                let s = seq as usize / config.mss;
+                if s < n_segments && received[s].is_none() {
+                    received[s] = Some(payload.to_vec());
+                }
+                while next_expected < n_segments && received[next_expected].is_some() {
+                    next_expected += 1;
+                }
+                let ack_seg = encode_segment(0, (next_expected * config.mss) as u32, true, &[]);
+                let ack_packet = Packet {
+                    src: dst,
+                    dst: src,
+                    protocol: Protocol::Tcp,
+                    id: packet_id,
+                    frag_offset: 0,
+                    more_fragments: false,
+                    payload: ack_seg,
+                };
+                packet_id = packet_id.wrapping_add(1);
+                ack_link.send(ack_packet.encode(), now);
+            }
+            for wire in ack_link.deliver(now) {
+                let Ok(packet) = Packet::decode(&wire) else {
+                    continue;
+                };
+                let Some((_, ack, is_ack, _)) = decode_segment(&packet.payload) else {
+                    continue;
+                };
+                if !is_ack {
+                    continue;
+                }
+                let ack_segs = (ack as usize) / config.mss;
+                if ack_segs > acked {
+                    acked = ack_segs;
+                }
+            }
+        }
+
+        let mut out = Vec::with_capacity(data.len());
+        for seg in received.into_iter().flatten() {
+            out.extend(seg);
+        }
+        out.truncate(data.len());
+        Ok(TransferReport {
+            goodput: data.len() as f64 / now.max(1) as f64,
+            data: out,
+            ticks: now,
+            segments_sent,
+            retransmissions,
+            fast_retransmits: 0,
+            malformed_segments: 0,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -327,6 +865,18 @@ mod tests {
     }
 
     #[test]
+    fn total_blackout_fails_via_the_retransmit_cap_not_the_deadline() {
+        // loss = 1.0 (now accepted by with_loss): every frame drops, so
+        // the first segment burns its retransmit budget and the
+        // connection dies — ConnectionTimedOut, not a 2M-tick
+        // deadline spin (which would surface as Timeout).
+        let data = payload(2_000, 19);
+        let blackout = LinkConfig::default().with_loss(1.0);
+        let err = transfer(&data, TcpConfig::default(), blackout, 20).unwrap_err();
+        assert_eq!(err, TcpError::ConnectionTimedOut);
+    }
+
+    #[test]
     fn retransmit_cap_is_per_segment_not_global() {
         // 20% loss forces plenty of total retransmissions across many
         // segments, but no single segment comes near the cap: the
@@ -362,7 +912,7 @@ mod tests {
         let slow = transfer(
             &data,
             TcpConfig {
-                window: 1,
+                cc: CongestionControl::Fixed(1),
                 ..Default::default()
             },
             LinkConfig::default(),
@@ -372,7 +922,7 @@ mod tests {
         let fast = transfer(
             &data,
             TcpConfig {
-                window: 16,
+                cc: CongestionControl::Fixed(16),
                 ..Default::default()
             },
             LinkConfig::default(),
@@ -398,7 +948,7 @@ mod tests {
         let data = payload(N, 20);
         let tcp = TcpConfig {
             mss: 1, // one byte per packet -> one packet per segment
-            window: 64,
+            cc: CongestionControl::Fixed(64),
             ..Default::default()
         };
         let r = transfer(&data, tcp, LinkConfig::default(), 21).unwrap();
@@ -418,5 +968,264 @@ mod tests {
         let b = transfer(&data, TcpConfig::default(), cfg, 14).unwrap();
         assert_eq!(a.ticks, b.ticks);
         assert_eq!(a.retransmissions, b.retransmissions);
+    }
+
+    // ── PR 10: timer bugfix, validation, and congestion control ──────
+
+    #[test]
+    fn spurious_rto_regression_slow_link_large_window() {
+        // Large window x high ticks_per_byte: the whole burst is
+        // offered at t=0 but serializes for thousands of ticks. The
+        // pre-fix engine stamped the retransmit timer at offer time, so
+        // queued segments "timed out" while still serializing and the
+        // retransmits re-queued — a storm. Post-fix (timer from
+        // transmit-complete time) a lossless link sees zero
+        // retransmissions.
+        let data = payload(4_096, 30);
+        let tcp = TcpConfig {
+            cc: CongestionControl::Fixed(32),
+            ..Default::default()
+        };
+        let slow = LinkConfig {
+            ticks_per_byte: 1.0,
+            ..LinkConfig::default()
+        };
+        let fixed = transfer(&data, tcp, slow, 31).unwrap();
+        assert_eq!(fixed.data, data);
+        assert_eq!(
+            fixed.retransmissions, 0,
+            "lossless link must see zero spurious retransmits"
+        );
+        // The regression test discriminates: the pre-fix oracle on the
+        // same scenario either storms (retransmissions > 0) or dies.
+        let storm = oracle::transfer(&data, tcp, 32, slow, 31);
+        match storm {
+            Ok(r) => assert!(r.retransmissions > 0, "pre-fix engine must storm"),
+            Err(e) => assert_eq!(e, TcpError::ConnectionTimedOut),
+        }
+    }
+
+    #[test]
+    fn fixed_mode_is_bit_identical_to_the_pre_cc_engine_without_serialization() {
+        // With ticks_per_byte = 0 a frame's transmit-complete time IS
+        // its offer time, so the timer fix is a no-op and the whole
+        // report must match the pre-PR engine bit for bit — across
+        // losses, latencies, and window sizes.
+        for &loss in &[0.0, 0.1, 0.3] {
+            for &latency in &[0u64, 5] {
+                for &window in &[1usize, 4, 8] {
+                    for seed in 0..8u64 {
+                        let data = payload(6_000 + seed as usize * 997, seed);
+                        let link = LinkConfig {
+                            latency_ticks: latency,
+                            ticks_per_byte: 0.0,
+                            ..LinkConfig::default()
+                        }
+                        .with_loss(loss);
+                        let tcp = TcpConfig {
+                            cc: CongestionControl::Fixed(window),
+                            ..Default::default()
+                        };
+                        let new = transfer(&data, tcp, link, seed);
+                        let old = oracle::transfer(&data, tcp, window, link, seed);
+                        assert_eq!(
+                            new, old,
+                            "divergence at loss={loss} latency={latency} window={window} seed={seed}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_mode_is_bit_identical_to_the_pre_cc_engine_on_clean_serialized_links() {
+        // On a lossless link whose window-burst queueing delay stays
+        // under the RTO, neither engine ever retransmits, so offer-time
+        // vs wire-time stamping cannot diverge: full report equality.
+        for &window in &[1usize, 8, 16] {
+            for seed in 0..8u64 {
+                let data = payload(9_000 + seed as usize * 1_371, 100 + seed);
+                let tcp = TcpConfig {
+                    cc: CongestionControl::Fixed(window),
+                    ..Default::default()
+                };
+                let new = transfer(&data, tcp, LinkConfig::default(), seed);
+                let old = oracle::transfer(&data, tcp, window, LinkConfig::default(), seed);
+                assert_eq!(new, old, "divergence at window={window} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_segments_are_counted_and_never_mis_slotted() {
+        // Inject two corrupt segments ahead of a normal transfer: one
+        // with a non-mss-aligned seq, one aligned but with the wrong
+        // payload length. Both must be rejected (counted), and the
+        // transfer must still be byte-exact.
+        let data = payload(4_000, 40);
+        let config = TcpConfig::default();
+        let mut data_link = Link::new(LinkConfig::default(), 41);
+        let mut ack_link = Link::new(LinkConfig::default(), 42);
+        let unaligned = Packet {
+            src: Addr(9),
+            dst: Addr(2),
+            protocol: Protocol::Tcp,
+            id: 9_999,
+            frag_offset: 0,
+            more_fragments: false,
+            payload: encode_segment(13, 0, false, &[1, 2, 3, 4, 5]),
+        };
+        let wrong_length = Packet {
+            src: Addr(9),
+            dst: Addr(2),
+            protocol: Protocol::Tcp,
+            id: 9_998,
+            frag_offset: 0,
+            more_fragments: false,
+            payload: encode_segment(0, 0, false, &vec![7u8; config.mss + 3]),
+        };
+        data_link.send(unaligned.encode(), 0);
+        data_link.send(wrong_length.encode(), 0);
+        let r = transfer_over(&data, config, &mut data_link, &mut ack_link).unwrap();
+        assert_eq!(r.malformed_segments, 2, "both corrupt segments counted");
+        assert_eq!(r.data, data, "corruption must never reach the stream");
+    }
+
+    #[test]
+    fn aimd_transfers_exactly_under_loss() {
+        let data = payload(30_000, 50);
+        let tcp = TcpConfig {
+            cc: CongestionControl::aimd(),
+            ..Default::default()
+        };
+        let cfg = LinkConfig::default().with_loss(0.15);
+        let r = transfer(&data, tcp, cfg, 51).unwrap();
+        assert_eq!(r.data, data);
+        assert!(r.retransmissions > 0);
+    }
+
+    #[test]
+    fn cubic_transfers_exactly_under_loss() {
+        let data = payload(30_000, 52);
+        let tcp = TcpConfig {
+            cc: CongestionControl::cubic(),
+            ..Default::default()
+        };
+        let cfg = LinkConfig::default().with_loss(0.15);
+        let r = transfer(&data, tcp, cfg, 53).unwrap();
+        assert_eq!(r.data, data);
+    }
+
+    #[test]
+    fn aimd_is_clean_on_a_lossless_link() {
+        // The adaptive RTO must never fire spuriously when nothing is
+        // lost — slow start ramps, the estimator converges, zero
+        // retransmissions.
+        let data = payload(60_000, 54);
+        let tcp = TcpConfig {
+            cc: CongestionControl::aimd(),
+            ..Default::default()
+        };
+        let r = transfer(&data, tcp, LinkConfig::default(), 55).unwrap();
+        assert_eq!(r.data, data);
+        assert_eq!(r.retransmissions, 0, "no spurious adaptive RTOs");
+    }
+
+    #[test]
+    fn fast_retransmit_fires_on_duplicate_acks() {
+        let data = payload(80_000, 56);
+        let tcp = TcpConfig {
+            cc: CongestionControl::aimd(),
+            ..Default::default()
+        };
+        let cfg = LinkConfig::default().with_loss(0.08);
+        let r = transfer(&data, tcp, cfg, 57).unwrap();
+        assert_eq!(r.data, data);
+        assert!(
+            r.fast_retransmits > 0,
+            "triple dup ACKs must trigger fast retransmits"
+        );
+    }
+
+    #[test]
+    fn aimd_beats_fixed_goodput_on_a_bufferbloated_bounded_link() {
+        // A bounded drop-tail queue punishes a big fixed window: the
+        // burst tail-drops, every dropped segment waits out a full RTO,
+        // and goodput craters. AIMD feels the same drops but backs off
+        // to the queue's capacity.
+        let data = payload(40_000, 60);
+        let link = LinkConfig {
+            ticks_per_byte: 0.05,
+            ..LinkConfig::default()
+        }
+        .with_queue_bytes(2_000);
+        let fixed = transfer(
+            &data,
+            TcpConfig {
+                cc: CongestionControl::Fixed(64),
+                ..Default::default()
+            },
+            link,
+            61,
+        )
+        .unwrap();
+        let aimd = transfer(
+            &data,
+            TcpConfig {
+                cc: CongestionControl::aimd(),
+                ..Default::default()
+            },
+            link,
+            61,
+        )
+        .unwrap();
+        assert_eq!(fixed.data, data);
+        assert_eq!(aimd.data, data);
+        assert!(
+            aimd.goodput > fixed.goodput,
+            "AIMD ({:.4}) must beat the bufferbloated fixed window ({:.4})",
+            aimd.goodput,
+            fixed.goodput
+        );
+    }
+
+    #[test]
+    fn transfer_over_a_mobile_handoff_trace_survives() {
+        let data = payload(20_000, 70);
+        let tcp = TcpConfig {
+            cc: CongestionControl::aimd(),
+            ..Default::default()
+        };
+        let trace = LinkTrace::mobile_handoff();
+        let r = transfer_with(&data, tcp, LinkConfig::default(), Some(&trace), 0, 71).unwrap();
+        assert_eq!(r.data, data, "the handoff gap must not corrupt the stream");
+        // A transfer starting inside the handoff gap sees the bad phase
+        // first and takes longer per byte on average than one starting
+        // in the strong cell.
+        let gap_start = 2_000 + 800 + 10;
+        let r2 = transfer_with(
+            &data,
+            tcp,
+            LinkConfig::default(),
+            Some(&trace),
+            gap_start,
+            71,
+        )
+        .unwrap();
+        assert_eq!(r2.data, data);
+    }
+
+    #[test]
+    fn adaptive_mode_is_deterministic_given_seed() {
+        let data = payload(16_000, 80);
+        let tcp = TcpConfig {
+            cc: CongestionControl::aimd(),
+            ..Default::default()
+        };
+        let cfg = LinkConfig::default().with_loss(0.1);
+        let a = transfer(&data, tcp, cfg, 81).unwrap();
+        let b = transfer(&data, tcp, cfg, 81).unwrap();
+        assert_eq!(a, b);
     }
 }

@@ -193,6 +193,61 @@ impl FaultPlan {
         self
     }
 
+    /// Compiles a [`netstack::link::LinkTrace`] into link-degradation
+    /// spans against `edge` (or the origin uplink with `None`),
+    /// threading the same per-session bandwidth schedules the transport
+    /// runs on into the fluid engine's per-link parameters. Each trace
+    /// phase whose `ticks_per_byte` differs from `base_ticks_per_byte`
+    /// becomes one span scaled by `base / phase` (a phase twice as slow
+    /// is a 0.5-capacity span); phases at the base rate and zero-length
+    /// phases emit nothing. The schedule is walked (repeating when the
+    /// trace repeats) until `horizon_ticks`.
+    #[must_use]
+    pub fn degrade_from_trace(
+        mut self,
+        edge: Option<usize>,
+        trace: &netstack::link::LinkTrace,
+        base_ticks_per_byte: f64,
+        horizon_ticks: u64,
+    ) -> Self {
+        if trace.phases.is_empty() || trace.total_ticks() == 0 || base_ticks_per_byte <= 0.0 {
+            return self;
+        }
+        let mut at = 0u64;
+        'walk: loop {
+            for phase in &trace.phases {
+                if at >= horizon_ticks {
+                    break 'walk;
+                }
+                let until = at.saturating_add(phase.ticks).min(horizon_ticks);
+                if phase.ticks > 0 && phase.ticks_per_byte > 0.0 {
+                    let scale = base_ticks_per_byte / phase.ticks_per_byte;
+                    if (scale - 1.0).abs() > f64::EPSILON {
+                        self = self.degrade_link(edge, at, until, scale);
+                    }
+                }
+                at = at.saturating_add(phase.ticks);
+            }
+            if !trace.repeat {
+                break;
+            }
+        }
+        // A non-repeating trace settles into its final phase (matching
+        // `Link`'s persist-last semantics): extend that scale to the
+        // horizon.
+        if !trace.repeat && at < horizon_ticks {
+            if let Some(last) = trace.phases.last() {
+                if last.ticks_per_byte > 0.0 {
+                    let scale = base_ticks_per_byte / last.ticks_per_byte;
+                    if (scale - 1.0).abs() > f64::EPSILON {
+                        self = self.degrade_link(edge, at, horizon_ticks, scale);
+                    }
+                }
+            }
+        }
+        self
+    }
+
     /// `true` when the plan schedules nothing.
     #[must_use]
     pub fn is_empty(&self) -> bool {
@@ -417,6 +472,63 @@ mod tests {
             vec![
                 (100, FaultAction::EdgeDown(1)),
                 (100, FaultAction::EdgeUp(1, false)),
+            ]
+        );
+    }
+
+    #[test]
+    fn trace_compiles_to_degrade_spans() {
+        use netstack::link::{LinkTrace, TracePhase};
+        // Base 1.0 ticks/byte; phase 1 is 4x slower (scale 0.25), the
+        // others run at the base rate and emit nothing. Non-repeating:
+        // the last phase persists, and at the base rate it also emits
+        // nothing past the end.
+        let trace = LinkTrace {
+            phases: vec![
+                TracePhase {
+                    ticks: 100,
+                    ticks_per_byte: 1.0,
+                    loss: 0.0,
+                },
+                TracePhase {
+                    ticks: 50,
+                    ticks_per_byte: 4.0,
+                    loss: 0.0,
+                },
+                TracePhase {
+                    ticks: 100,
+                    ticks_per_byte: 1.0,
+                    loss: 0.0,
+                },
+            ],
+            repeat: false,
+        };
+        let acts = FaultPlan::new(0)
+            .degrade_from_trace(Some(0), &trace, 1.0, 1_000)
+            .resolve(2, 0);
+        assert_eq!(
+            acts,
+            vec![
+                (100, FaultAction::DegradeStart(Some(0), 0.25)),
+                (150, FaultAction::DegradeEnd(Some(0), 0.25)),
+            ]
+        );
+        // Repeating: the slow phase recurs every period up to the
+        // horizon.
+        let wrapped = LinkTrace {
+            repeat: true,
+            ..trace
+        };
+        let acts = FaultPlan::new(0)
+            .degrade_from_trace(None, &wrapped, 1.0, 500)
+            .resolve(2, 0);
+        assert_eq!(
+            acts,
+            vec![
+                (100, FaultAction::DegradeStart(None, 0.25)),
+                (150, FaultAction::DegradeEnd(None, 0.25)),
+                (350, FaultAction::DegradeStart(None, 0.25)),
+                (400, FaultAction::DegradeEnd(None, 0.25)),
             ]
         );
     }

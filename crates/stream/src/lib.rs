@@ -147,8 +147,8 @@ pub use serve::{
 };
 pub use session::{
     run_live_session, run_live_session_via_edge, run_session, run_session_via_edge,
-    run_session_via_tier, AbrController, JoinMode, LiveSessionConfig, LiveSessionReport,
-    SessionConfig, SessionReport,
+    run_session_via_tier, AbrController, AbrStrategy, JoinMode, LiveSessionConfig,
+    LiveSessionReport, SessionConfig, SessionReport,
 };
 pub use shield::{
     AdmissionPolicy, FreqSketch, ShieldCache, ShieldConfig, TierStats, TinyLfuConfig,

@@ -19,8 +19,8 @@
 
 use drm::cipher::XteaCtr;
 use drm::license::{License, LicenseParseError};
-use netstack::fetch::{fetch, ContentServer, FetchError};
-use netstack::link::LinkConfig;
+use netstack::fetch::{fetch_traced, ContentServer, FetchError};
+use netstack::link::{LinkConfig, LinkTrace};
 use netstack::tcplite::TcpConfig;
 
 use crate::edge::EdgeCache;
@@ -102,6 +102,111 @@ impl AbrController {
     }
 }
 
+/// How the session picks rungs — the controllers the PR 10 ABR
+/// shootout (`exp_e27_abr`) races on identical link traces.
+///
+/// Every strategy shares the same [`AbrController`] throughput
+/// estimator underneath (it keeps observing downloads either way);
+/// they differ in what signal drives the rung choice.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum AbrStrategy {
+    /// Throughput-driven: the classic EWMA estimate with safety
+    /// headroom ([`AbrController::pick`]) — the pre-PR-10 behaviour
+    /// and the default.
+    #[default]
+    Ewma,
+    /// Buffer-occupancy-driven (BBA-style): rung 0 below the
+    /// `reservoir`, then rungs mapped linearly across the `cushion`
+    /// until the top rung at `reservoir + cushion` ticks of buffer.
+    /// Ignores the throughput estimate entirely.
+    BufferOccupancy {
+        /// Playout-buffer level (ticks) below which the controller
+        /// pins rung 0 to refill.
+        reservoir_ticks: u64,
+        /// Buffer range (ticks) over which rungs ramp linearly from 0
+        /// to the ceiling.
+        cushion_ticks: u64,
+    },
+    /// Both signals, conservatively: rung 0 below the reservoir, else
+    /// the minimum of the buffer-mapped rung and the EWMA pick — the
+    /// buffer caps risk, the throughput estimate caps optimism.
+    Hybrid {
+        /// As [`AbrStrategy::BufferOccupancy::reservoir_ticks`].
+        reservoir_ticks: u64,
+        /// As [`AbrStrategy::BufferOccupancy::cushion_ticks`].
+        cushion_ticks: u64,
+    },
+}
+
+impl AbrStrategy {
+    /// The rung this strategy picks given the throughput controller's
+    /// state and the current playout-buffer level.
+    #[must_use]
+    pub fn pick(
+        &self,
+        abr: &AbrController,
+        manifest: &Manifest,
+        seg: usize,
+        max_rung: Option<usize>,
+        buffer_ticks: i64,
+    ) -> usize {
+        match *self {
+            AbrStrategy::Ewma => abr.pick(manifest, seg, max_rung),
+            AbrStrategy::BufferOccupancy {
+                reservoir_ticks,
+                cushion_ticks,
+            } => buffer_mapped_rung(
+                manifest,
+                max_rung,
+                buffer_ticks,
+                reservoir_ticks,
+                cushion_ticks,
+            ),
+            AbrStrategy::Hybrid {
+                reservoir_ticks,
+                cushion_ticks,
+            } => {
+                if buffer_ticks <= reservoir_ticks as i64 {
+                    0
+                } else {
+                    let by_buffer = buffer_mapped_rung(
+                        manifest,
+                        max_rung,
+                        buffer_ticks,
+                        reservoir_ticks,
+                        cushion_ticks,
+                    );
+                    by_buffer.min(abr.pick(manifest, seg, max_rung))
+                }
+            }
+        }
+    }
+}
+
+/// BBA-style map from buffer level to rung: 0 at or below the
+/// reservoir, the ceiling at or above `reservoir + cushion`, linear in
+/// between.
+fn buffer_mapped_rung(
+    manifest: &Manifest,
+    max_rung: Option<usize>,
+    buffer_ticks: i64,
+    reservoir_ticks: u64,
+    cushion_ticks: u64,
+) -> usize {
+    if manifest.rungs.is_empty() {
+        return 0;
+    }
+    let ceiling = max_rung
+        .unwrap_or(manifest.rungs.len() - 1)
+        .min(manifest.rungs.len() - 1);
+    if buffer_ticks <= reservoir_ticks as i64 {
+        return 0;
+    }
+    let above = (buffer_ticks - reservoir_ticks as i64) as f64;
+    let frac = (above / cushion_ticks.max(1) as f64).min(1.0);
+    ((frac * ceiling as f64).floor() as usize).min(ceiling)
+}
+
 /// Where a live session enters the stream, shared by the
 /// transport-level live session and the fluid live simulator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,11 +244,19 @@ pub struct SessionConfig {
     /// default makes a single attempt — no retries — so legacy
     /// sessions fail exactly as before.
     pub retry: RetryPolicy,
+    /// Rung-selection strategy. The default ([`AbrStrategy::Ewma`]) is
+    /// the pre-PR-10 throughput controller, bit-identical.
+    pub abr: AbrStrategy,
+    /// Optional bandwidth/loss schedule for the access link, walked on
+    /// the session clock: each fetch starts the trace at the tick the
+    /// session reaches it (direct-path sessions only; edge routes keep
+    /// their own link conditions).
+    pub trace: Option<LinkTrace>,
 }
 
 impl Default for SessionConfig {
     /// Default transport and link, 2-segment jitter buffer, 0.7 safety,
-    /// 0.4 EWMA, free rung choice, no DRM.
+    /// 0.4 EWMA, free rung choice, no DRM, EWMA ABR, no trace.
     fn default() -> Self {
         Self {
             tcp: TcpConfig::default(),
@@ -155,6 +268,8 @@ impl Default for SessionConfig {
             max_rung: None,
             verification_key: None,
             retry: RetryPolicy::default(),
+            abr: AbrStrategy::default(),
+            trace: None,
         }
     }
 }
@@ -278,12 +393,14 @@ pub fn run_session(
     config: &SessionConfig,
 ) -> Result<SessionReport, SessionError> {
     run_session_with(
-        |name, leg| {
-            let r = fetch(
+        |name, leg, now| {
+            let r = fetch_traced(
                 server,
                 name,
                 config.tcp,
                 config.link,
+                config.trace.as_ref(),
+                now,
                 config.seed.wrapping_add(leg),
             )?;
             Ok((r.data, r.ticks))
@@ -311,7 +428,7 @@ pub fn run_session_via_edge(
     config: &SessionConfig,
 ) -> Result<SessionReport, SessionError> {
     run_session_with(
-        |name, leg| {
+        |name, leg, _now| {
             edge.fetch_through(
                 origin,
                 name,
@@ -344,7 +461,7 @@ pub fn run_session_via_tier(
     config: &SessionConfig,
 ) -> Result<SessionReport, SessionError> {
     run_session_with(
-        |name, leg| {
+        |name, leg, _now| {
             edge.fetch_through_shield(
                 shield,
                 origin,
@@ -378,12 +495,13 @@ const ATTEMPT_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// The session engine, generic over how objects are fetched. `leg`
 /// numbers each fetch (manifest 0, license 1, segment `i` at `2 + i`)
-/// so routes can derive per-leg seeds. Transport failures retry under
-/// [`SessionConfig::retry`]: each retry backs off (wall time the
-/// playout buffer drains) and re-issues the leg with an attempt-salted
-/// leg number.
+/// so routes can derive per-leg seeds; `now` is the session clock at
+/// the moment the fetch starts, so traced routes can walk a link
+/// schedule. Transport failures retry under [`SessionConfig::retry`]:
+/// each retry backs off (wall time the playout buffer drains) and
+/// re-issues the leg with an attempt-salted leg number.
 fn run_session_with(
-    mut fetch_object: impl FnMut(&str, u64) -> Result<(Vec<u8>, u64), FetchError>,
+    mut fetch_object: impl FnMut(&str, u64, u64) -> Result<(Vec<u8>, u64), FetchError>,
     title: &str,
     config: &SessionConfig,
 ) -> Result<SessionReport, SessionError> {
@@ -394,31 +512,32 @@ fn run_session_with(
     // Returns (bytes, transfer ticks, backoff ticks waited). Only the
     // transfer ticks feed the ABR's throughput estimate; both feed the
     // clock and the playout drain.
-    let mut fetch_object = |name: &str, leg: u64| -> Result<(Vec<u8>, u64, u64), SessionError> {
-        let mut failures = 0u32;
-        let mut waited = 0u64;
-        loop {
-            let attempt = leg.wrapping_add(u64::from(failures).wrapping_mul(ATTEMPT_SALT));
-            match fetch_object(name, attempt) {
-                Ok((bytes, ticks)) => {
-                    fetch_retries += failures;
-                    retry_backoff_ticks += waited;
-                    return Ok((bytes, ticks, waited));
-                }
-                Err(e @ FetchError::Transport(_)) => {
-                    failures += 1;
-                    match config.retry.backoff_before(failures) {
-                        Some(wait) => waited += wait,
-                        None => return Err(e.into()),
+    let mut fetch_object =
+        |name: &str, leg: u64, now: u64| -> Result<(Vec<u8>, u64, u64), SessionError> {
+            let mut failures = 0u32;
+            let mut waited = 0u64;
+            loop {
+                let attempt = leg.wrapping_add(u64::from(failures).wrapping_mul(ATTEMPT_SALT));
+                match fetch_object(name, attempt, now + waited) {
+                    Ok((bytes, ticks)) => {
+                        fetch_retries += failures;
+                        retry_backoff_ticks += waited;
+                        return Ok((bytes, ticks, waited));
                     }
+                    Err(e @ FetchError::Transport(_)) => {
+                        failures += 1;
+                        match config.retry.backoff_before(failures) {
+                            Some(wait) => waited += wait,
+                            None => return Err(e.into()),
+                        }
+                    }
+                    Err(e) => return Err(e.into()),
                 }
-                Err(e) => return Err(e.into()),
             }
-        }
-    };
+        };
 
     // 1. Manifest.
-    let (bytes, ticks, waited) = fetch_object(&Manifest::manifest_object(title), 0)?;
+    let (bytes, ticks, waited) = fetch_object(&Manifest::manifest_object(title), 0, clock)?;
     clock += ticks + waited;
     delivered_bits += (bytes.len() * 8) as u64;
     let manifest = parse_manifest(&bytes)?;
@@ -429,7 +548,7 @@ fn run_session_with(
             .verification_key
             .as_deref()
             .ok_or(SessionError::SealedWithoutKey)?;
-        let (bytes, ticks, waited) = fetch_object(&Manifest::license_object(title), 1)?;
+        let (bytes, ticks, waited) = fetch_object(&Manifest::license_object(title), 1, clock)?;
         clock += ticks + waited;
         delivered_bits += (bytes.len() * 8) as u64;
         let license = License::unseal(&bytes, key).map_err(SessionError::License)?;
@@ -451,7 +570,9 @@ fn run_session_with(
     let mut rung_switches = 0u32;
 
     for seg in 0..n {
-        let rung = abr.pick(&manifest, seg, config.max_rung);
+        let rung = config
+            .abr
+            .pick(&abr, &manifest, seg, config.max_rung, buffer_ticks);
         if let Some(prev) = records.last() {
             if prev.rung != rung {
                 rung_switches += 1;
@@ -459,7 +580,7 @@ fn run_session_with(
         }
         let entry = &manifest.rungs[rung].segments[seg];
         let (mut bytes, ticks, waited) =
-            fetch_object(&manifest.segment_object(rung, seg), 2 + seg as u64)?;
+            fetch_object(&manifest.segment_object(rung, seg), 2 + seg as u64, clock)?;
         clock += ticks + waited;
         delivered_bits += (bytes.len() * 8) as u64;
         abr.observe((bytes.len() * 8) as f64, ticks as f64);
@@ -694,14 +815,16 @@ impl LiveRoute for DirectRoute<'_> {
         server: &ContentServer,
         name: &str,
         leg: u64,
-        _now: u64,
+        now: u64,
         _mutable: bool,
     ) -> Result<(Vec<u8>, u64), FetchError> {
-        let r = fetch(
+        let r = fetch_traced(
             server,
             name,
             self.config.tcp,
             self.config.link,
+            self.config.trace.as_ref(),
+            now,
             self.config.seed.wrapping_add(leg),
         )?;
         Ok((r.data, r.ticks))
@@ -929,7 +1052,13 @@ fn run_live_core(
         }
 
         let idx = (next_seq - window.first_seq) as usize;
-        let rung = abr.pick(&manifest, idx, config.base.max_rung);
+        let rung = config.base.abr.pick(
+            &abr,
+            &manifest,
+            idx,
+            config.base.max_rung,
+            playout.buffer_ticks,
+        );
         if last_rung.is_some_and(|prev| prev != rung) {
             rung_switches += 1;
         }
@@ -1138,13 +1267,21 @@ mod tests {
         // number (the salted re-draw of link randomness).
         let mut attempts: HashMap<String, Vec<u64>> = HashMap::new();
         let report = run_session_with(
-            |name, leg| {
+            |name, leg, _now| {
                 let seen = attempts.entry(name.to_string()).or_default();
                 seen.push(leg);
                 if seen.len() <= 2 {
                     return Err(FetchError::Transport(TcpError::Timeout));
                 }
-                let r = fetch(&server, name, cfg.tcp, cfg.link, cfg.seed.wrapping_add(leg))?;
+                let r = fetch_traced(
+                    &server,
+                    name,
+                    cfg.tcp,
+                    cfg.link,
+                    None,
+                    0,
+                    cfg.seed.wrapping_add(leg),
+                )?;
                 Ok((r.data, r.ticks))
             },
             "movie",
@@ -1181,7 +1318,7 @@ mod tests {
         };
         let mut calls = 0u32;
         let err = run_session_with(
-            |_, _| {
+            |_, _, _| {
                 calls += 1;
                 Err(FetchError::Transport(TcpError::Timeout))
             },
@@ -1202,7 +1339,7 @@ mod tests {
 
         let mut calls = 0u32;
         let err = run_session_with(
-            |_, _| {
+            |_, _, _| {
                 calls += 1;
                 Err(FetchError::Transport(TcpError::Timeout))
             },
@@ -1602,11 +1739,13 @@ mod tests {
     #[test]
     fn abr_controller_picks_by_budget() {
         let (server, _) = published(false);
-        let bytes = fetch(
+        let bytes = fetch_traced(
             &server,
             "movie/manifest",
             TcpConfig::default(),
             LinkConfig::default(),
+            None,
+            0,
             9,
         )
         .unwrap()

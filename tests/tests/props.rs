@@ -861,4 +861,171 @@ proptest! {
             mmstream::capacity_curve(&sequential.manifest, &server, &counts, &base)
         );
     }
+
+    /// TCP-lite delivers the payload **exactly** or fails with a typed
+    /// error — never silently corrupts — for arbitrary configurations:
+    /// any MSS, any congestion controller (fixed, AIMD, CUBIC), i.i.d.
+    /// or Gilbert–Elliott loss, any latency, bounded or unbounded
+    /// transmitter queues.
+    #[test]
+    fn tcplite_arbitrary_config_is_exact_or_a_typed_error(
+        len in 1usize..1500,
+        mss in 1usize..600,
+        mode in 0u8..3,
+        window in 1usize..64,
+        latency in 0u64..30,
+        queue_raw in 0usize..5000,
+        bursty in any::<bool>(),
+        loss in 0.0f64..0.4,
+        seed in any::<u64>(),
+    ) {
+        let data: Vec<u8> = (0..len).map(|i| (i.wrapping_mul(37) >> 3) as u8).collect();
+        let cc = match mode {
+            0 => netstack::CongestionControl::Fixed(window),
+            1 => netstack::CongestionControl::Aimd { max_window: 256 },
+            _ => netstack::CongestionControl::Cubic { max_window: 256 },
+        };
+        let tcp = netstack::TcpConfig {
+            mss,
+            cc,
+            deadline_ticks: 150_000,
+            ..Default::default()
+        };
+        let model = if bursty {
+            netstack::LossModel::GilbertElliott {
+                p_enter_bad: loss * 0.1,
+                p_exit_bad: 0.1,
+                loss_good: 0.0,
+                loss_bad: 0.8,
+            }
+        } else {
+            netstack::LossModel::Iid
+        };
+        let mut link = netstack::LinkConfig {
+            latency_ticks: latency,
+            ..Default::default()
+        }
+        .with_loss(loss)
+        .with_loss_model(model);
+        // Draws below 600 mean "unbounded queue".
+        if queue_raw >= 600 {
+            link = link.with_queue_bytes(queue_raw);
+        }
+        match netstack::tcplite::transfer(&data, tcp, link, seed) {
+            Ok(report) => prop_assert_eq!(report.data, data, "delivered bytes must be exact"),
+            Err(e) => prop_assert!(
+                matches!(
+                    e,
+                    netstack::TcpError::Timeout | netstack::TcpError::ConnectionTimedOut
+                ),
+                "non-empty input may only fail by timing out, got {:?}",
+                e
+            ),
+        }
+    }
+
+    /// The Gilbert–Elliott channel's empirical loss rate converges to
+    /// its stationary prediction
+    /// `p_bad * loss_bad + (1 - p_bad) * loss_good` with
+    /// `p_bad = p_enter / (p_enter + p_exit)`, for arbitrary chain
+    /// parameters.
+    #[test]
+    fn gilbert_elliott_loss_matches_the_stationary_rate(
+        p_enter in 0.01f64..0.03,
+        p_exit in 0.1f64..0.3,
+        loss_good in 0.0f64..0.1,
+        loss_bad in 0.5f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let model = netstack::LossModel::GilbertElliott {
+            p_enter_bad: p_enter,
+            p_exit_bad: p_exit,
+            loss_good,
+            loss_bad,
+        };
+        let mut link = netstack::Link::new(
+            netstack::LinkConfig::default().with_loss_model(model),
+            seed,
+        );
+        let frames = 50_000u64;
+        for i in 0..frames {
+            link.send(vec![0], i);
+            // Keep the in-flight queue from accumulating 50k frames.
+            if i % 1024 == 0 {
+                link.deliver(i);
+            }
+        }
+        let empirical = link.dropped() as f64 / link.sent() as f64;
+        let p_bad = p_enter / (p_enter + p_exit);
+        let stationary = p_bad * loss_bad + (1.0 - p_bad) * loss_good;
+        prop_assert!(
+            (empirical - stationary).abs() < 0.05,
+            "empirical {} vs stationary {}",
+            empirical,
+            stationary
+        );
+    }
+
+    /// A traced link obeys its schedule *exactly*: every offered frame's
+    /// transmit-complete tick equals the hand-computed prediction from
+    /// the phase in effect at offer time (rate sampled at transmit
+    /// start, backlog carried across phases), and every frame arrives
+    /// precisely one propagation delay later.
+    #[test]
+    fn link_trace_schedule_is_obeyed_exactly(
+        phase_picks in prop::collection::vec((10u64..200, 0usize..4), 1..5),
+        repeat in any::<bool>(),
+        trace_offset in 0u64..500,
+        sends in prop::collection::vec((0u64..300, 1usize..40), 1..30),
+        latency in 0u64..20,
+    ) {
+        // Rates from an exactly-representable set so ceil() predictions
+        // cannot drift.
+        let rates = [0.0f64, 0.25, 1.0, 4.0];
+        let trace = netstack::LinkTrace {
+            phases: phase_picks
+                .iter()
+                .map(|&(ticks, r)| netstack::TracePhase {
+                    ticks,
+                    ticks_per_byte: rates[r],
+                    loss: 0.0,
+                })
+                .collect(),
+            repeat,
+        };
+        let cfg = netstack::LinkConfig {
+            latency_ticks: latency,
+            ..Default::default()
+        };
+        let mut link = netstack::Link::traced(cfg, trace.clone(), trace_offset, 0);
+        let mut now = 0u64;
+        let mut tx_free = 0u64;
+        let mut arrivals = Vec::new();
+        for &(gap, len) in &sends {
+            now += gap;
+            let rate = trace.at(trace_offset + now).unwrap().ticks_per_byte;
+            let serialize = (len as f64 * rate).ceil() as u64;
+            tx_free = now.max(tx_free) + serialize;
+            prop_assert_eq!(
+                link.send(vec![0xC3; len], now),
+                tx_free,
+                "transmit-complete tick must follow the schedule"
+            );
+            arrivals.push(tx_free + latency);
+        }
+        prop_assert_eq!(link.next_arrival(), arrivals.iter().min().copied());
+        let horizon = *arrivals.iter().max().unwrap();
+        let early = if horizon > 0 {
+            let drained = link.deliver(horizon - 1).len();
+            prop_assert_eq!(
+                drained,
+                arrivals.iter().filter(|&&a| a < horizon).count(),
+                "frames arrive exactly at transmit-complete + latency"
+            );
+            drained
+        } else {
+            0
+        };
+        prop_assert_eq!(link.deliver(horizon).len(), sends.len() - early);
+    }
 }
